@@ -1,0 +1,81 @@
+//! Criterion bench: cost of the Algorithm 3 cache update as a function of the
+//! cache size N1 and the random-subset size N2 (the `O((N1 + N2)·d)` claim of
+//! Table I, and the cost side of the Figure 9 sensitivity study).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nscaching::{CorruptionPolicy, NegativeSampler, NsCachingConfig, NsCachingSampler};
+use nscaching_kg::Triple;
+use nscaching_math::seeded_rng;
+use nscaching_models::{build_model, ModelConfig, ModelKind};
+use std::hint::black_box;
+
+const NUM_ENTITIES: usize = 2_000;
+const NUM_RELATIONS: usize = 20;
+
+fn bench_cache_update(c: &mut Criterion) {
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE).with_dim(50).with_seed(1),
+        NUM_ENTITIES,
+        NUM_RELATIONS,
+    );
+    let mut group = c.benchmark_group("cache_update");
+    for &(n1, n2) in &[(10usize, 10usize), (30, 30), (50, 50), (70, 70), (90, 90), (50, 10), (10, 50)] {
+        let config = NsCachingConfig::new(n1, n2);
+        let mut sampler = NsCachingSampler::new(config, NUM_ENTITIES, CorruptionPolicy::Uniform);
+        let mut rng = seeded_rng(5);
+        let mut i = 0u32;
+        group.bench_function(BenchmarkId::from_parameter(format!("n1={n1}_n2={n2}")), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let positive = Triple::new(
+                    i % NUM_ENTITIES as u32,
+                    i % NUM_RELATIONS as u32,
+                    (i * 13 + 1) % NUM_ENTITIES as u32,
+                );
+                sampler.update(&positive, model.as_ref(), &mut rng);
+                black_box(sampler.refresh_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lazy_update_schedule(c: &mut Criterion) {
+    // Compares an epoch with updates enabled against one with lazy updates
+    // disabling them — the `n`-epoch lazy-update knob of Table I.
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE).with_dim(50).with_seed(1),
+        NUM_ENTITIES,
+        NUM_RELATIONS,
+    );
+    let mut group = c.benchmark_group("lazy_update");
+    for (name, lazy) in [("every_epoch", 0usize), ("every_3rd_epoch", 2)] {
+        let config = NsCachingConfig::new(50, 50).with_lazy_update(lazy);
+        let mut sampler = NsCachingSampler::new(config, NUM_ENTITIES, CorruptionPolicy::Uniform);
+        // Put the sampler into the "skipped" phase of the schedule when lazy.
+        sampler.epoch_finished(0);
+        let mut rng = seeded_rng(6);
+        let mut i = 0u32;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let positive = Triple::new(
+                    i % NUM_ENTITIES as u32,
+                    i % NUM_RELATIONS as u32,
+                    (i * 13 + 1) % NUM_ENTITIES as u32,
+                );
+                let neg = sampler.sample(&positive, model.as_ref(), &mut rng);
+                sampler.update(&positive, model.as_ref(), &mut rng);
+                black_box(neg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache_update, bench_lazy_update_schedule
+}
+criterion_main!(benches);

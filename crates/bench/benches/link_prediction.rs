@@ -1,0 +1,59 @@
+//! Criterion bench: filtered link-prediction evaluation throughput
+//! (single-threaded vs multi-threaded ranking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nscaching_datagen::GeneratorConfig;
+use nscaching_eval::{evaluate_link_prediction, EvalProtocol};
+use nscaching_kg::Dataset;
+use nscaching_models::{build_model, KgeModel, ModelConfig, ModelKind};
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    let mut config = GeneratorConfig::small("bench-eval");
+    config.num_entities = 800;
+    config.num_train = 4_000;
+    config.num_valid = 100;
+    config.num_test = 100;
+    config.seed = 2;
+    nscaching_datagen::generate(&config).expect("generation succeeds")
+}
+
+fn model(dataset: &Dataset, kind: ModelKind) -> Box<dyn KgeModel> {
+    build_model(
+        &ModelConfig::new(kind).with_dim(32).with_seed(4),
+        dataset.num_entities(),
+        dataset.num_relations(),
+    )
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let dataset = dataset();
+    let filter = dataset.filter_index();
+    let mut group = c.benchmark_group("link_prediction");
+    group.sample_size(10);
+    for kind in [ModelKind::TransE, ModelKind::ComplEx] {
+        let model = model(&dataset, kind);
+        for threads in [1usize, 4] {
+            let protocol = EvalProtocol::filtered()
+                .with_threads(threads)
+                .with_max_triples(50);
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{}_{}threads", kind.name(), threads)),
+                |b| {
+                    b.iter(|| {
+                        black_box(evaluate_link_prediction(
+                            model.as_ref(),
+                            &dataset.test,
+                            &filter,
+                            &protocol,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

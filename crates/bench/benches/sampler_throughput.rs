@@ -1,0 +1,103 @@
+//! Criterion bench: per-triplet negative-sampling cost of every method
+//! (the measured counterpart of Table I's complexity column).
+//!
+//! Run with `cargo bench -p nscaching-bench --bench sampler_throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nscaching::{build_sampler, NsCachingConfig, SamplerConfig};
+use nscaching_datagen::GeneratorConfig;
+use nscaching_kg::Dataset;
+use nscaching_math::seeded_rng;
+use nscaching_models::{build_model, KgeModel, ModelConfig, ModelKind};
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    let mut config = GeneratorConfig::small("bench-sampler");
+    config.num_entities = 1_000;
+    config.num_train = 6_000;
+    config.num_valid = 200;
+    config.num_test = 200;
+    config.seed = 1;
+    nscaching_datagen::generate(&config).expect("generation succeeds")
+}
+
+fn model(dataset: &Dataset) -> Box<dyn KgeModel> {
+    build_model(
+        &ModelConfig::new(ModelKind::TransE).with_dim(50).with_seed(3),
+        dataset.num_entities(),
+        dataset.num_relations(),
+    )
+}
+
+fn sampler_configs() -> Vec<(&'static str, SamplerConfig)> {
+    vec![
+        ("uniform", SamplerConfig::Uniform),
+        ("bernoulli", SamplerConfig::Bernoulli),
+        (
+            "nscaching",
+            SamplerConfig::NsCaching(NsCachingConfig::new(50, 50)),
+        ),
+        ("kbgan", SamplerConfig::kbgan_default()),
+        ("igan", SamplerConfig::igan_default()),
+    ]
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let dataset = dataset();
+    let model = model(&dataset);
+    let mut group = c.benchmark_group("negative_sample");
+    for (name, config) in sampler_configs() {
+        let mut sampler = build_sampler(&config, &dataset, 7);
+        let mut rng = seeded_rng(11);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let positive = dataset.train[i % dataset.train.len()];
+                i += 1;
+                black_box(sampler.sample(&positive, model.as_ref(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_and_update(c: &mut Criterion) {
+    let dataset = dataset();
+    let model = model(&dataset);
+    let mut group = c.benchmark_group("sample_plus_update");
+    // Only the methods with per-triple state updates are interesting here.
+    for (name, config) in [
+        (
+            "nscaching_n50",
+            SamplerConfig::NsCaching(NsCachingConfig::new(50, 50)),
+        ),
+        (
+            "nscaching_n10",
+            SamplerConfig::NsCaching(NsCachingConfig::new(10, 10)),
+        ),
+        ("kbgan", SamplerConfig::kbgan_default()),
+    ] {
+        let mut sampler = build_sampler(&config, &dataset, 7);
+        let mut rng = seeded_rng(13);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let positive = dataset.train[i % dataset.train.len()];
+                i += 1;
+                let negative = sampler.sample(&positive, model.as_ref(), &mut rng);
+                let reward = model.score(&negative.triple);
+                sampler.feedback(&positive, &negative, reward, &mut rng);
+                sampler.update(&positive, model.as_ref(), &mut rng);
+                black_box(negative)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sample, bench_sample_and_update
+}
+criterion_main!(benches);

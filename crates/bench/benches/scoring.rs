@@ -1,0 +1,67 @@
+//! Criterion bench: score and gradient cost of every scoring function
+//! (supports the per-triplet `O(d)` / `O(d²)` terms in Table I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nscaching_kg::Triple;
+use nscaching_models::{build_model, GradientBuffer, ModelConfig, ModelKind};
+use std::hint::black_box;
+
+const NUM_ENTITIES: usize = 2_000;
+const NUM_RELATIONS: usize = 20;
+
+fn bench_score(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score");
+    for kind in ModelKind::ALL {
+        let model = build_model(
+            &ModelConfig::new(kind).with_dim(50).with_seed(1),
+            NUM_ENTITIES,
+            NUM_RELATIONS,
+        );
+        let mut i = 0u32;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let t = Triple::new(
+                    i % NUM_ENTITIES as u32,
+                    i % NUM_RELATIONS as u32,
+                    (i * 7 + 1) % NUM_ENTITIES as u32,
+                );
+                black_box(model.score(&t))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_gradient");
+    for kind in ModelKind::ALL {
+        let model = build_model(
+            &ModelConfig::new(kind).with_dim(50).with_seed(1),
+            NUM_ENTITIES,
+            NUM_RELATIONS,
+        );
+        let mut i = 0u32;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let t = Triple::new(
+                    i % NUM_ENTITIES as u32,
+                    i % NUM_RELATIONS as u32,
+                    (i * 7 + 1) % NUM_ENTITIES as u32,
+                );
+                let mut grads = GradientBuffer::new();
+                model.accumulate_score_gradient(&t, 1.0, &mut grads);
+                black_box(grads.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_score, bench_gradient
+}
+criterion_main!(benches);

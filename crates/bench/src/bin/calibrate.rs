@@ -1,0 +1,44 @@
+//! Quick hyper-parameter calibration sweep used while developing the
+//! experiment harness (kept as a utility: it prints filtered MRR for a grid
+//! of learning rates and penalties on a small synthetic dataset).
+
+use nscaching::SamplerConfig;
+use nscaching_datagen::GeneratorConfig;
+use nscaching_models::{build_model, ModelConfig, ModelKind};
+use nscaching_optim::OptimizerConfig;
+use nscaching_train::{TrainConfig, Trainer};
+
+fn main() {
+    let mut config = GeneratorConfig::small("calibrate");
+    config.num_entities = 200;
+    config.num_train = 2_000;
+    config.num_valid = 100;
+    config.num_test = 100;
+    config.seed = 7;
+    let dataset = nscaching_datagen::generate(&config).expect("generation succeeds");
+    println!("{}", dataset.summary());
+
+    for kind in [ModelKind::ComplEx, ModelKind::DistMult, ModelKind::TransE] {
+        for &lr in &[0.01, 0.02, 0.05] {
+            for &lambda in &[0.0, 0.001, 0.01] {
+                let model = build_model(
+                    &ModelConfig::new(kind).with_dim(16).with_seed(13),
+                    dataset.num_entities(),
+                    dataset.num_relations(),
+                );
+                let sampler =
+                    nscaching::build_sampler(&SamplerConfig::Bernoulli, &dataset, 17);
+                let train_config = TrainConfig::new(15)
+                    .with_batch_size(256)
+                    .with_optimizer(OptimizerConfig::adam(lr))
+                    .with_margin(3.0)
+                    .with_lambda(lambda)
+                    .with_seed(23);
+                let mut trainer = Trainer::new(model, sampler, &dataset, train_config);
+                let history = trainer.run();
+                let mrr = history.final_report.unwrap().combined.mrr;
+                println!("{:10} lr={lr:<5} lambda={lambda:<6} MRR={mrr:.4}", kind.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Runs every experiment binary in sequence with a shared settings line.
+//!
+//! `cargo run -p nscaching-bench --bin run_all --release -- [settings]`
+//!
+//! Each experiment writes its TSV under `--out` (default `results/`);
+//! EXPERIMENTS.md documents how the outputs map onto the paper's tables and
+//! figures. Pass `--smoke` for a minutes-long end-to-end check.
+
+use nscaching_bench::ExperimentSettings;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_table2",
+    "exp_table4",
+    "exp_table5",
+    "exp_table6",
+    "exp_fig1",
+    "exp_fig2_3",
+    "exp_fig4_5",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_lazy_update",
+    "exp_corruption_side",
+];
+
+fn main() {
+    // Validate the settings once so a typo fails before any experiment runs.
+    let settings = ExperimentSettings::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!(
+        "running {} experiments with scale={} epochs={} dim={} out={}",
+        EXPERIMENTS.len(),
+        settings.scale,
+        settings.epochs,
+        settings.dim,
+        settings.out_dir().display()
+    );
+
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("binary directory")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================");
+        let status = Command::new(exe_dir.join(name))
+            .args(&args)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not launch {name}: {e}\n(build all binaries first: cargo build --release -p nscaching-bench --bins)"
+                );
+                failures.push(*name);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared infrastructure for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has a dedicated binary in `src/bin/`
+//! (see DESIGN.md for the full index); this library provides the pieces they
+//! share:
+//!
+//! * [`ExperimentSettings`] — command-line settings (`--scale`, `--epochs`,
+//!   `--dim`, `--seed`, `--out`, `--smoke`) common to every binary;
+//! * [`runner`] — canonical training configurations per scoring function, the
+//!   method grid of Table IV (Bernoulli / KBGAN ± pretrain / NSCaching ±
+//!   pretrain) and a single-call `train_once` used by all experiments;
+//! * [`report`] — TSV writers that mirror every result to stdout and to
+//!   `results/<experiment>.tsv`.
+
+pub mod convergence;
+pub mod report;
+pub mod runner;
+pub mod settings;
+
+pub use convergence::run_convergence;
+pub use report::TsvReport;
+pub use runner::{standard_train_config, train_once, Method, RunOutcome};
+pub use settings::ExperimentSettings;

@@ -1,0 +1,148 @@
+//! TSV result files mirrored to stdout.
+
+use crate::settings::ExperimentSettings;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// Collects rows for one experiment and writes them both to stdout and to
+/// `results/<name>.tsv`.
+#[derive(Debug)]
+pub struct TsvReport {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TsvReport {
+    /// Start a report with the given column names.
+    pub fn new(name: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Experiment name (used for the output file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of data rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row (must match the header length).
+    pub fn push_row<S: ToString>(&mut self, row: &[S]) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row length must match the header of report {}",
+            self.name
+        );
+        self.rows.push(row.iter().map(|v| v.to_string()).collect());
+    }
+
+    /// Render the whole report as TSV text.
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.header.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write to `settings.out_dir/<name>.tsv` and echo the table to stdout.
+    /// Returns the path written.
+    pub fn write(&self, settings: &ExperimentSettings) -> std::io::Result<PathBuf> {
+        settings.ensure_out_dir()?;
+        let path = settings.results_path(&self.name);
+        let mut file = BufWriter::new(File::create(&path)?);
+        file.write_all(self.to_tsv().as_bytes())?;
+        file.flush()?;
+
+        println!("\n=== {} ===", self.name);
+        print!("{}", self.pretty());
+        println!("written to {}", path.display());
+        Ok(path)
+    }
+
+    /// Column-aligned rendering for terminals.
+    pub fn pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip_to_tsv() {
+        let mut r = TsvReport::new("unit", &["a", "b"]);
+        assert!(r.is_empty());
+        r.push_row(&["1", "2"]);
+        r.push_row(&["x", "y"]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.to_tsv(), "a\tb\n1\t2\nx\ty\n");
+        assert!(r.pretty().contains("a  b"));
+        assert_eq!(r.name(), "unit");
+    }
+
+    #[test]
+    #[should_panic(expected = "row length must match")]
+    fn mismatched_rows_are_rejected() {
+        let mut r = TsvReport::new("unit", &["a", "b"]);
+        r.push_row(&["only-one"]);
+    }
+
+    #[test]
+    fn write_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!("nscaching-report-{}", std::process::id()));
+        let settings = ExperimentSettings::parse(["--out", dir.to_str().unwrap()]).unwrap();
+        let mut r = TsvReport::new("writer-test", &["col"]);
+        r.push_row(&["42"]);
+        let path = r.write(&settings).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "col\n42\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn numeric_rows_are_stringified() {
+        let mut r = TsvReport::new("nums", &["x", "y"]);
+        r.push_row(&[1.5, 2.25]);
+        assert_eq!(r.to_tsv(), "x\ty\n1.5\t2.25\n");
+    }
+}

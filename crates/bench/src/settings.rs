@@ -1,0 +1,279 @@
+//! Command-line settings shared by every experiment binary.
+
+use std::path::{Path, PathBuf};
+
+/// Settings parsed from the command line.
+///
+/// ```text
+/// --scale <f64>    dataset scale factor relative to the real benchmarks (default 0.01)
+/// --epochs <n>     training epochs per run (default 20)
+/// --dim <n>        embedding dimension (default 32)
+/// --seed <n>       master seed (default 0)
+/// --out <dir>      output directory for TSV results (default results)
+/// --eval-max <n>   cap on evaluated test triples (default: all)
+/// --smoke          tiny configuration used by CI / integration tests
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentSettings {
+    /// Dataset scale factor in `(0, 1]`.
+    pub scale: f64,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for TSV files.
+    pub out_dir: PathBuf,
+    /// Cap on evaluated test triples (None = all).
+    pub eval_max: Option<usize>,
+    /// Smoke mode: shrink everything so the binary finishes in seconds.
+    pub smoke: bool,
+    /// Restrict grid experiments to these dataset families (comma-separated
+    /// `--datasets wn18,fb15k237`); None = the experiment's default.
+    pub datasets: Option<Vec<String>>,
+    /// Restrict grid experiments to these scoring functions (comma-separated
+    /// `--models TransE,ComplEx`); None = the experiment's default.
+    pub models: Option<Vec<String>>,
+}
+
+impl Default for ExperimentSettings {
+    fn default() -> Self {
+        Self {
+            scale: 0.01,
+            epochs: 20,
+            dim: 32,
+            seed: 0,
+            out_dir: PathBuf::from("results"),
+            eval_max: None,
+            smoke: false,
+            datasets: None,
+            models: None,
+        }
+    }
+}
+
+impl ExperimentSettings {
+    /// Parse from an explicit argument list (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut settings = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let mut next_value = |flag: &str| -> Result<String, String> {
+                iter.next()
+                    .map(|v| v.as_ref().to_owned())
+                    .ok_or_else(|| format!("missing value for {flag}"))
+            };
+            match arg {
+                "--scale" => {
+                    settings.scale = next_value(arg)?
+                        .parse()
+                        .map_err(|e| format!("invalid --scale: {e}"))?
+                }
+                "--epochs" => {
+                    settings.epochs = next_value(arg)?
+                        .parse()
+                        .map_err(|e| format!("invalid --epochs: {e}"))?
+                }
+                "--dim" => {
+                    settings.dim = next_value(arg)?
+                        .parse()
+                        .map_err(|e| format!("invalid --dim: {e}"))?
+                }
+                "--seed" => {
+                    settings.seed = next_value(arg)?
+                        .parse()
+                        .map_err(|e| format!("invalid --seed: {e}"))?
+                }
+                "--out" => settings.out_dir = PathBuf::from(next_value(arg)?),
+                "--eval-max" => {
+                    settings.eval_max = Some(
+                        next_value(arg)?
+                            .parse()
+                            .map_err(|e| format!("invalid --eval-max: {e}"))?,
+                    )
+                }
+                "--datasets" => {
+                    settings.datasets = Some(
+                        next_value(arg)?
+                            .split(',')
+                            .map(|s| s.trim().to_lowercase())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                }
+                "--models" => {
+                    settings.models = Some(
+                        next_value(arg)?
+                            .split(',')
+                            .map(|s| s.trim().to_lowercase())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                }
+                "--smoke" => settings.smoke = true,
+                "--help" | "-h" => return Err(Self::usage().to_owned()),
+                other => return Err(format!("unknown argument {other}\n{}", Self::usage())),
+            }
+        }
+        if settings.smoke {
+            settings.apply_smoke();
+        }
+        if !(settings.scale > 0.0 && settings.scale <= 1.0) {
+            return Err("--scale must be in (0, 1]".to_owned());
+        }
+        if settings.epochs == 0 || settings.dim == 0 {
+            return Err("--epochs and --dim must be positive".to_owned());
+        }
+        Ok(settings)
+    }
+
+    /// Parse from `std::env::args()`, printing usage and exiting on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(s) => s,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn apply_smoke(&mut self) {
+        self.scale = self.scale.min(0.004);
+        self.epochs = self.epochs.min(3);
+        self.dim = self.dim.min(12);
+        self.eval_max = Some(self.eval_max.unwrap_or(40).min(40));
+    }
+
+    /// Usage string shown for `--help` and argument errors.
+    pub fn usage() -> &'static str {
+        "usage: <experiment> [--scale F] [--epochs N] [--dim N] [--seed N] [--out DIR] \
+         [--eval-max N] [--datasets a,b] [--models A,B] [--smoke]"
+    }
+
+    /// Filter a default list of benchmark families by `--datasets`.
+    pub fn select_families(
+        &self,
+        default: Vec<nscaching_datagen::BenchmarkFamily>,
+    ) -> Vec<nscaching_datagen::BenchmarkFamily> {
+        match &self.datasets {
+            None => default,
+            Some(wanted) => default
+                .into_iter()
+                .filter(|f| wanted.iter().any(|w| w == f.name()))
+                .collect(),
+        }
+    }
+
+    /// Filter a default list of scoring functions by `--models`.
+    pub fn select_models(
+        &self,
+        default: Vec<nscaching_models::ModelKind>,
+    ) -> Vec<nscaching_models::ModelKind> {
+        match &self.models {
+            None => default,
+            Some(wanted) => default
+                .into_iter()
+                .filter(|m| wanted.iter().any(|w| w == &m.name().to_lowercase()))
+                .collect(),
+        }
+    }
+
+    /// Path of the TSV output file for an experiment name.
+    pub fn results_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(format!("{name}.tsv"))
+    }
+
+    /// Ensure the output directory exists.
+    pub fn ensure_out_dir(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.out_dir)
+    }
+
+    /// Output directory as a path.
+    pub fn out_dir(&self) -> &Path {
+        &self.out_dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = ExperimentSettings::default();
+        assert!(s.scale > 0.0 && s.scale <= 1.0);
+        assert!(s.epochs > 0);
+        assert!(!s.smoke);
+    }
+
+    #[test]
+    fn parse_overrides_every_field() {
+        let s = ExperimentSettings::parse([
+            "--scale", "0.05", "--epochs", "7", "--dim", "24", "--seed", "9", "--out", "tmpout",
+            "--eval-max", "100",
+        ])
+        .unwrap();
+        assert_eq!(s.scale, 0.05);
+        assert_eq!(s.epochs, 7);
+        assert_eq!(s.dim, 24);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.out_dir, PathBuf::from("tmpout"));
+        assert_eq!(s.eval_max, Some(100));
+    }
+
+    #[test]
+    fn smoke_mode_shrinks_the_configuration() {
+        let s = ExperimentSettings::parse(["--epochs", "50", "--smoke"]).unwrap();
+        assert!(s.smoke);
+        assert!(s.epochs <= 3);
+        assert!(s.scale <= 0.004);
+        assert!(s.eval_max.unwrap() <= 40);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(ExperimentSettings::parse(["--scale", "2.0"]).is_err());
+        assert!(ExperimentSettings::parse(["--bogus"]).is_err());
+        assert!(ExperimentSettings::parse(["--epochs"]).is_err());
+        assert!(ExperimentSettings::parse(["--epochs", "0"]).is_err());
+    }
+
+    #[test]
+    fn results_path_joins_out_dir() {
+        let s = ExperimentSettings::parse(["--out", "x"]).unwrap();
+        assert_eq!(s.results_path("table4"), PathBuf::from("x/table4.tsv"));
+    }
+}
+
+#[cfg(test)]
+mod filter_tests {
+    use super::*;
+    use nscaching_datagen::BenchmarkFamily;
+    use nscaching_models::ModelKind;
+
+    #[test]
+    fn dataset_and_model_filters_select_subsets() {
+        let s = ExperimentSettings::parse([
+            "--datasets", "wn18,fb15k237", "--models", "transe,ComplEx",
+        ])
+        .unwrap();
+        let families = s.select_families(BenchmarkFamily::ALL.to_vec());
+        assert_eq!(families, vec![BenchmarkFamily::Wn18, BenchmarkFamily::Fb15k237]);
+        let models = s.select_models(ModelKind::PAPER.to_vec());
+        assert_eq!(models, vec![ModelKind::TransE, ModelKind::ComplEx]);
+    }
+
+    #[test]
+    fn no_filter_keeps_the_default() {
+        let s = ExperimentSettings::default();
+        assert_eq!(s.select_families(BenchmarkFamily::ALL.to_vec()).len(), 4);
+        assert_eq!(s.select_models(ModelKind::PAPER.to_vec()).len(), 5);
+    }
+}

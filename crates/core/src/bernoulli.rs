@@ -1,0 +1,93 @@
+//! Bernoulli negative sampling (Wang et al., 2014) — the paper's baseline.
+
+use crate::corruption::CorruptionPolicy;
+use crate::sampler::{NegativeSampler, SampledNegative};
+use crate::uniform::UniformSampler;
+use nscaching_kg::{KnowledgeGraph, Triple};
+use nscaching_models::KgeModel;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Uniform entity replacement, but the corrupted *side* is chosen per
+/// relation with probability `tph / (tph + hpt)` so that one-to-many
+/// relations corrupt heads and many-to-one relations corrupt tails, reducing
+/// false negatives.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler {
+    inner: UniformSampler,
+}
+
+impl BernoulliSampler {
+    /// Build from the training split (the statistics are computed here).
+    pub fn new(train: &[Triple], num_entities: usize, num_relations: usize) -> Self {
+        let policy = CorruptionPolicy::bernoulli_from_train(train, num_relations);
+        Self {
+            inner: UniformSampler::new(num_entities).with_policy(policy),
+        }
+    }
+
+    /// Also reject corruptions that are known training triples.
+    pub fn with_false_negative_filter(mut self, train: Arc<KnowledgeGraph>) -> Self {
+        self.inner = self.inner.with_false_negative_filter(train);
+        self
+    }
+}
+
+impl NegativeSampler for BernoulliSampler {
+    fn name(&self) -> &'static str {
+        "Bernoulli"
+    }
+
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        self.inner.sample(positive, model, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_kg::CorruptionSide;
+    use nscaching_math::seeded_rng;
+    use nscaching_models::{build_model, ModelConfig, ModelKind};
+
+    #[test]
+    fn side_choice_follows_the_relation_statistics() {
+        // relation 0 is 1-to-many (head 0 has 5 tails), so heads are corrupted
+        // with probability 5/6.
+        let train: Vec<Triple> = (1..6u32).map(|t| Triple::new(0, 0, t)).collect();
+        let mut sampler = BernoulliSampler::new(&train, 10, 1);
+        let model = build_model(&ModelConfig::new(ModelKind::TransE).with_dim(4), 10, 1);
+        let mut rng = seeded_rng(3);
+        let pos = Triple::new(0, 0, 1);
+        let n = 20_000;
+        let heads = (0..n)
+            .filter(|_| sampler.sample(&pos, model.as_ref(), &mut rng).side == CorruptionSide::Head)
+            .count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 5.0 / 6.0).abs() < 0.02, "head fraction {frac}");
+    }
+
+    #[test]
+    fn name_is_bernoulli() {
+        let sampler = BernoulliSampler::new(&[Triple::new(0, 0, 1)], 4, 1);
+        assert_eq!(sampler.name(), "Bernoulli");
+    }
+
+    #[test]
+    fn filter_variant_still_samples() {
+        let train = vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)];
+        let graph = Arc::new(KnowledgeGraph::from_triples(5, 1, train.clone()).unwrap());
+        let mut sampler = BernoulliSampler::new(&train, 5, 1).with_false_negative_filter(graph);
+        let model = build_model(&ModelConfig::new(ModelKind::TransE).with_dim(4), 5, 1);
+        let mut rng = seeded_rng(4);
+        for _ in 0..100 {
+            let neg = sampler.sample(&Triple::new(0, 0, 1), model.as_ref(), &mut rng);
+            assert!(neg.entity < 5);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The negative-sample cache (the `H` and `T` structures of Algorithm 2).
+//!
+//! A cache maps an index pair — `(r, t)` for the head cache, `(h, r)` for the
+//! tail cache — to at most `N1` candidate entity ids. Entries are created
+//! lazily with uniformly random entities the first time a key is touched,
+//! which matches the reference implementation's initialisation and gives the
+//! "easy samples first" behaviour discussed in the self-paced-learning
+//! section of the paper.
+
+use nscaching_kg::EntityId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A cache key: `(relation, tail)` for the head cache `H`, `(head, relation)`
+/// for the tail cache `T`.
+pub type CacheKey = (u32, u32);
+
+/// A fixed-capacity cache of high-scoring corruption candidates per key.
+#[derive(Debug, Clone)]
+pub struct NegativeCache {
+    capacity: usize,
+    num_entities: u32,
+    entries: HashMap<CacheKey, Vec<EntityId>>,
+    changed_elements: u64,
+}
+
+impl NegativeCache {
+    /// Create a cache of per-key capacity `N1` over `num_entities` entities.
+    pub fn new(capacity: usize, num_entities: usize) -> Self {
+        assert!(capacity > 0, "cache capacity N1 must be positive");
+        assert!(num_entities > 1, "need at least two entities");
+        Self {
+            capacity,
+            num_entities: num_entities as u32,
+            entries: HashMap::new(),
+            changed_elements: 0,
+        }
+    }
+
+    /// Per-key capacity `N1`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys with materialised entries.
+    pub fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of cached entity slots across all keys.
+    pub fn num_cached_entities(&self) -> usize {
+        self.entries.values().map(|v| v.len()).sum()
+    }
+
+    /// Borrow the candidates for `key`, materialising a random entry if the
+    /// key has never been seen.
+    pub fn get_or_init<R: Rng + ?Sized>(&mut self, key: CacheKey, rng: &mut R) -> &[EntityId] {
+        let capacity = self.capacity;
+        let num_entities = self.num_entities;
+        self.entries
+            .entry(key)
+            .or_insert_with(|| {
+                (0..capacity)
+                    .map(|_| rng.gen_range(0..num_entities))
+                    .collect()
+            })
+            .as_slice()
+    }
+
+    /// Peek at the candidates for `key` without materialising anything.
+    pub fn peek(&self, key: CacheKey) -> Option<&[EntityId]> {
+        self.entries.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Replace the entry for `key`, returning how many cached entities
+    /// actually changed (the "CE" measure of Figure 8). The replacement is
+    /// truncated to the cache capacity.
+    pub fn replace(&mut self, key: CacheKey, mut new_entries: Vec<EntityId>) -> usize {
+        new_entries.truncate(self.capacity);
+        let changed = match self.entries.get(&key) {
+            Some(old) => {
+                let mut old_sorted = old.clone();
+                old_sorted.sort_unstable();
+                new_entries
+                    .iter()
+                    .filter(|e| old_sorted.binary_search(e).is_err())
+                    .count()
+            }
+            None => new_entries.len(),
+        };
+        self.changed_elements += changed as u64;
+        self.entries.insert(key, new_entries);
+        changed
+    }
+
+    /// Total number of changed cache elements since the last call to
+    /// [`take_changed_elements`](Self::take_changed_elements).
+    pub fn take_changed_elements(&mut self) -> u64 {
+        std::mem::take(&mut self.changed_elements)
+    }
+
+    /// Changed-element counter without resetting it.
+    pub fn changed_elements(&self) -> u64 {
+        self.changed_elements
+    }
+
+    /// Snapshot of a probed key's cache contents (used by the Table VI /
+    /// self-paced-learning experiment).
+    pub fn probe(&self, key: CacheKey) -> CacheProbe {
+        CacheProbe {
+            key,
+            entities: self.peek(key).map(|s| s.to_vec()).unwrap_or_default(),
+        }
+    }
+
+    /// Approximate memory footprint of the cache in bytes (entity slots only),
+    /// used by the Table I space comparison.
+    pub fn memory_bytes(&self) -> usize {
+        self.num_cached_entities() * std::mem::size_of::<EntityId>()
+    }
+}
+
+/// A snapshot of one key's cache contents at some training step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheProbe {
+    /// The probed key.
+    pub key: CacheKey,
+    /// The cached entity ids (empty if the key was never materialised).
+    pub entities: Vec<EntityId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+
+    #[test]
+    fn lazily_initialised_entries_have_capacity_entities() {
+        let mut cache = NegativeCache::new(8, 100);
+        let mut rng = seeded_rng(1);
+        assert_eq!(cache.num_keys(), 0);
+        let entry = cache.get_or_init((3, 4), &mut rng).to_vec();
+        assert_eq!(entry.len(), 8);
+        assert!(entry.iter().all(|e| *e < 100));
+        assert_eq!(cache.num_keys(), 1);
+        // second access returns the same entry
+        let again = cache.get_or_init((3, 4), &mut rng).to_vec();
+        assert_eq!(entry, again);
+    }
+
+    #[test]
+    fn replace_counts_changed_elements() {
+        let mut cache = NegativeCache::new(4, 50);
+        let mut rng = seeded_rng(2);
+        let _ = cache.get_or_init((0, 0), &mut rng);
+        let old = cache.peek((0, 0)).unwrap().to_vec();
+        // keep two old entries, add two new ones that are guaranteed fresh
+        let fresh: Vec<u32> = vec![old[0], old[1], 47, 48];
+        let changed = cache.replace((0, 0), fresh);
+        let expected = [47u32, 48]
+            .iter()
+            .filter(|e| !old.contains(e))
+            .count();
+        assert_eq!(changed, expected);
+        assert_eq!(cache.changed_elements(), expected as u64);
+        assert_eq!(cache.take_changed_elements(), expected as u64);
+        assert_eq!(cache.changed_elements(), 0);
+    }
+
+    #[test]
+    fn replace_on_missing_key_counts_everything_and_truncates() {
+        let mut cache = NegativeCache::new(3, 50);
+        let changed = cache.replace((9, 9), vec![1, 2, 3, 4, 5]);
+        assert_eq!(changed, 3, "truncated to capacity before counting");
+        assert_eq!(cache.peek((9, 9)).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn probe_returns_empty_for_unknown_keys() {
+        let cache = NegativeCache::new(4, 10);
+        let p = cache.probe((1, 2));
+        assert_eq!(p.key, (1, 2));
+        assert!(p.entities.is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_counts_slots() {
+        let mut cache = NegativeCache::new(16, 1000);
+        let mut rng = seeded_rng(3);
+        for k in 0..10u32 {
+            let _ = cache.get_or_init((k, 0), &mut rng);
+        }
+        assert_eq!(cache.num_cached_entities(), 160);
+        assert_eq!(cache.memory_bytes(), 160 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "N1 must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = NegativeCache::new(0, 10);
+    }
+}

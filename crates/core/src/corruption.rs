@@ -1,0 +1,89 @@
+//! Choosing which side of a positive triple to corrupt.
+
+use nscaching_kg::{BernoulliStats, CorruptionSide, Triple};
+use rand::Rng;
+
+/// Policy for choosing between replacing the head or the tail.
+///
+/// The paper uses the Bernoulli policy of Wang et al. (2014) for the
+/// Bernoulli baseline and also to pick between `(h̄, r, t)` and `(h, r, t̄)`
+/// inside KBGAN and NSCaching (Section IV-B1).
+#[derive(Debug, Clone)]
+pub enum CorruptionPolicy {
+    /// Flip a fair coin.
+    Uniform,
+    /// Corrupt the head with probability `tph / (tph + hpt)` for the triple's
+    /// relation.
+    Bernoulli(BernoulliStats),
+}
+
+impl CorruptionPolicy {
+    /// Build the Bernoulli policy from training triples.
+    pub fn bernoulli_from_train(train: &[Triple], num_relations: usize) -> Self {
+        CorruptionPolicy::Bernoulli(BernoulliStats::from_train(train, num_relations))
+    }
+
+    /// Decide which side of `positive` to corrupt.
+    pub fn choose<R: Rng + ?Sized>(&self, positive: &Triple, rng: &mut R) -> CorruptionSide {
+        match self {
+            CorruptionPolicy::Uniform => {
+                if rng.gen::<bool>() {
+                    CorruptionSide::Head
+                } else {
+                    CorruptionSide::Tail
+                }
+            }
+            CorruptionPolicy::Bernoulli(stats) => {
+                stats.corruption_side(positive.relation, rng.gen::<f64>())
+            }
+        }
+    }
+
+    /// Probability of corrupting the head for the triple's relation.
+    pub fn head_probability(&self, positive: &Triple) -> f64 {
+        match self {
+            CorruptionPolicy::Uniform => 0.5,
+            CorruptionPolicy::Bernoulli(stats) => stats.head_probability(positive.relation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+
+    fn one_to_many_train() -> Vec<Triple> {
+        vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2),
+            Triple::new(0, 0, 3),
+            Triple::new(0, 0, 4),
+        ]
+    }
+
+    #[test]
+    fn uniform_policy_is_roughly_balanced() {
+        let policy = CorruptionPolicy::Uniform;
+        let mut rng = seeded_rng(1);
+        let pos = Triple::new(0, 0, 1);
+        let heads = (0..10_000)
+            .filter(|_| policy.choose(&pos, &mut rng) == CorruptionSide::Head)
+            .count();
+        assert!((heads as f64 / 10_000.0 - 0.5).abs() < 0.03);
+        assert_eq!(policy.head_probability(&pos), 0.5);
+    }
+
+    #[test]
+    fn bernoulli_policy_prefers_the_safer_side() {
+        let policy = CorruptionPolicy::bernoulli_from_train(&one_to_many_train(), 1);
+        let pos = Triple::new(0, 0, 1);
+        // tph = 4, hpt = 1 ⇒ corrupt head with probability 0.8
+        assert!((policy.head_probability(&pos) - 0.8).abs() < 1e-12);
+        let mut rng = seeded_rng(2);
+        let heads = (0..20_000)
+            .filter(|_| policy.choose(&pos, &mut rng) == CorruptionSide::Head)
+            .count();
+        assert!((heads as f64 / 20_000.0 - 0.8).abs() < 0.02);
+    }
+}

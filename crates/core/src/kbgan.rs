@@ -1,0 +1,287 @@
+//! The KBGAN baseline (Cai & Wang, NAACL 2018).
+//!
+//! KBGAN draws a small uniformly-random candidate set `Neg`, lets a jointly
+//! trained *generator* embedding model put a softmax distribution over the
+//! candidates, and samples the negative from that distribution. The
+//! discriminator (the target KG embedding model) scores the chosen negative;
+//! that score is the generator's reward, and the generator is updated with
+//! the REINFORCE estimator using a moving-average baseline for variance
+//! reduction — exactly the setup the paper compares NSCaching against.
+
+use crate::corruption::CorruptionPolicy;
+use crate::sampler::{NegativeSampler, SampledNegative};
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::{sample_distinct_uniform, sample_one_weighted, softmax};
+use nscaching_models::{GradientBuffer, KgeModel};
+use nscaching_optim::{build_optimizer, Optimizer, OptimizerConfig};
+use rand::rngs::StdRng;
+
+/// The generator's last choice, kept until the discriminator reports a reward.
+struct PendingChoice {
+    positive: Triple,
+    side: CorruptionSide,
+    candidates: Vec<EntityId>,
+    probs: Vec<f64>,
+    chosen: usize,
+}
+
+/// KBGAN negative sampler: candidate-set generator trained with REINFORCE.
+pub struct KbGanSampler {
+    generator: Box<dyn KgeModel>,
+    optimizer: Box<dyn Optimizer>,
+    candidate_size: usize,
+    num_entities: usize,
+    policy: CorruptionPolicy,
+    baseline: f64,
+    baseline_decay: f64,
+    pending: Option<PendingChoice>,
+    feedback_steps: u64,
+}
+
+impl KbGanSampler {
+    /// Create a KBGAN sampler.
+    ///
+    /// * `generator` — the generator embedding model (the paper uses the
+    ///   simplest model, TransE, as the generator);
+    /// * `candidate_size` — size of the uniformly-drawn candidate set `Neg`
+    ///   (matched to NSCaching's `N1` for fairness, as in the paper);
+    /// * `generator_lr` — Adam learning rate for the generator.
+    pub fn new(
+        generator: Box<dyn KgeModel>,
+        candidate_size: usize,
+        generator_lr: f64,
+        policy: CorruptionPolicy,
+    ) -> Self {
+        assert!(candidate_size > 0, "candidate set must be non-empty");
+        let num_entities = generator.num_entities();
+        Self {
+            generator,
+            optimizer: build_optimizer(&OptimizerConfig::adam(generator_lr)),
+            candidate_size: candidate_size.min(num_entities),
+            num_entities,
+            policy,
+            baseline: 0.0,
+            baseline_decay: 0.99,
+            pending: None,
+            feedback_steps: 0,
+        }
+    }
+
+    /// The generator's current moving-average reward baseline.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Number of REINFORCE updates applied so far.
+    pub fn feedback_steps(&self) -> u64 {
+        self.feedback_steps
+    }
+
+    /// Immutable access to the generator (used in tests and reports).
+    pub fn generator(&self) -> &dyn KgeModel {
+        self.generator.as_ref()
+    }
+
+    /// Apply the REINFORCE update for a recorded choice.
+    fn reinforce(&mut self, pending: PendingChoice, reward: f64) {
+        // Advantage with moving-average baseline.
+        let advantage = reward - self.baseline;
+        self.baseline =
+            self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
+        self.feedback_steps += 1;
+        if advantage == 0.0 {
+            return;
+        }
+        // ∂ log p(chosen) / ∂ score_i = δ_{i = chosen} − p_i. We *maximise*
+        // advantage · log p(chosen), so we hand the minimising optimizer the
+        // negated gradient.
+        let mut grads = GradientBuffer::new();
+        for (i, (&entity, &p)) in pending.candidates.iter().zip(&pending.probs).enumerate() {
+            let indicator = if i == pending.chosen { 1.0 } else { 0.0 };
+            let coeff = -advantage * (indicator - p);
+            if coeff != 0.0 {
+                let triple = pending.positive.corrupted(pending.side, entity);
+                self.generator
+                    .accumulate_score_gradient(&triple, coeff, &mut grads);
+            }
+        }
+        let touched = self.optimizer.step(self.generator.as_mut(), &grads);
+        self.generator.apply_constraints(&touched);
+    }
+}
+
+impl NegativeSampler for KbGanSampler {
+    fn name(&self) -> &'static str {
+        "KBGAN"
+    }
+
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        _model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        let side = self.policy.choose(positive, rng);
+        // Uniform candidate set Neg, excluding the positive's own entity so a
+        // candidate can never reproduce the positive triple (Eq. (5)).
+        let excluded = positive.entity_at(side);
+        let candidates: Vec<EntityId> =
+            sample_distinct_uniform(rng, self.num_entities, self.candidate_size)
+                .into_iter()
+                .map(|e| e as EntityId)
+                .map(|e| {
+                    if e == excluded {
+                        (e + 1) % self.num_entities as EntityId
+                    } else {
+                        e
+                    }
+                })
+                .collect();
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|&e| self.generator.score(&positive.corrupted(side, e)))
+            .collect();
+        let probs = softmax(&scores);
+        let chosen = sample_one_weighted(rng, &probs);
+        let entity = candidates[chosen];
+        self.pending = Some(PendingChoice {
+            positive: *positive,
+            side,
+            candidates,
+            probs,
+            chosen,
+        });
+        SampledNegative::new(positive, side, entity)
+    }
+
+    fn feedback(
+        &mut self,
+        positive: &Triple,
+        negative: &SampledNegative,
+        reward: f64,
+        _rng: &mut StdRng,
+    ) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        // Only apply the update if the feedback matches the recorded draw
+        // (the trainer always calls sample → feedback in lockstep).
+        if pending.positive != *positive
+            || pending.side != negative.side
+            || pending.candidates[pending.chosen] != negative.entity
+        {
+            return;
+        }
+        self.reinforce(pending, reward);
+    }
+
+    fn extra_parameters(&self) -> usize {
+        self.generator.num_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+    use nscaching_models::{build_model, ModelConfig, ModelKind};
+
+    fn generator(n: usize) -> Box<dyn KgeModel> {
+        build_model(&ModelConfig::new(ModelKind::TransE).with_dim(6).with_seed(3), n, 2)
+    }
+
+    fn discriminator(n: usize) -> Box<dyn KgeModel> {
+        build_model(&ModelConfig::new(ModelKind::TransD).with_dim(6).with_seed(9), n, 2)
+    }
+
+    #[test]
+    fn sampled_negative_comes_from_the_candidate_set() {
+        let mut s = KbGanSampler::new(generator(50), 10, 0.01, CorruptionPolicy::Uniform);
+        let d = discriminator(50);
+        let mut rng = seeded_rng(1);
+        let pos = Triple::new(0, 0, 1);
+        let neg = s.sample(&pos, d.as_ref(), &mut rng);
+        assert!(neg.entity < 50);
+        assert_eq!(s.extra_parameters(), s.generator().num_parameters());
+        assert_eq!(s.name(), "KBGAN");
+    }
+
+    #[test]
+    fn feedback_updates_the_baseline_and_generator() {
+        let mut s = KbGanSampler::new(generator(40), 8, 0.05, CorruptionPolicy::Uniform);
+        let d = discriminator(40);
+        let mut rng = seeded_rng(2);
+        let pos = Triple::new(2, 1, 5);
+        let before: f64 = {
+            let neg = s.sample(&pos, d.as_ref(), &mut rng);
+            s.generator().score(&neg.triple)
+        };
+        let _ = before;
+        assert_eq!(s.feedback_steps(), 0);
+        for _ in 0..20 {
+            let neg = s.sample(&pos, d.as_ref(), &mut rng);
+            let reward = d.score(&neg.triple);
+            s.feedback(&pos, &neg, reward, &mut rng);
+        }
+        assert_eq!(s.feedback_steps(), 20);
+        assert!(s.baseline().abs() > 0.0, "baseline should move off zero");
+    }
+
+    #[test]
+    fn reinforce_increases_generator_probability_of_rewarded_entities() {
+        // Reward entity 7 only; after many updates the generator's softmax
+        // over the full entity set should assign entity 7 more than the
+        // uniform 1/20 share on both corruption sides.
+        let gen = build_model(
+            &ModelConfig::new(ModelKind::DistMult).with_dim(6).with_seed(3),
+            20,
+            2,
+        );
+        let mut s = KbGanSampler::new(gen, 20, 0.1, CorruptionPolicy::Uniform);
+        let d = discriminator(20);
+        let mut rng = seeded_rng(3);
+        let pos = Triple::new(0, 0, 1);
+        for _ in 0..600 {
+            let neg = s.sample(&pos, d.as_ref(), &mut rng);
+            let reward = if neg.entity == 7 { 5.0 } else { -5.0 };
+            s.feedback(&pos, &neg, reward, &mut rng);
+        }
+        let probability_of = |side: nscaching_kg::CorruptionSide| {
+            let scores = s.generator().score_all(&pos, side);
+            let probs = nscaching_math::softmax(&scores);
+            probs[7]
+        };
+        let p_head = probability_of(nscaching_kg::CorruptionSide::Head);
+        let p_tail = probability_of(nscaching_kg::CorruptionSide::Tail);
+        assert!(
+            p_head > 0.05 || p_tail > 0.05,
+            "rewarded entity should exceed the uniform share (head {p_head:.3}, tail {p_tail:.3})"
+        );
+        assert!(
+            p_head + p_tail > 0.15,
+            "combined preference should be clearly above uniform ({:.3})",
+            p_head + p_tail
+        );
+    }
+
+    #[test]
+    fn mismatched_feedback_is_ignored() {
+        let mut s = KbGanSampler::new(generator(30), 5, 0.01, CorruptionPolicy::Uniform);
+        let d = discriminator(30);
+        let mut rng = seeded_rng(4);
+        let pos = Triple::new(0, 0, 1);
+        let neg = s.sample(&pos, d.as_ref(), &mut rng);
+        let wrong = SampledNegative::new(&Triple::new(9, 1, 9), neg.side, neg.entity);
+        s.feedback(&Triple::new(9, 1, 9), &wrong, 1.0, &mut rng);
+        assert_eq!(s.feedback_steps(), 0);
+        // feedback without a pending draw is also a no-op
+        s.feedback(&pos, &neg, 1.0, &mut rng);
+        assert_eq!(s.feedback_steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate set must be non-empty")]
+    fn zero_candidate_size_is_rejected() {
+        let _ = KbGanSampler::new(generator(10), 0, 0.01, CorruptionPolicy::Uniform);
+    }
+}

@@ -1,0 +1,401 @@
+//! The NSCaching sampler (Algorithms 2 and 3 of the paper).
+
+use crate::cache::{CacheProbe, NegativeCache};
+use crate::config::NsCachingConfig;
+use crate::corruption::CorruptionPolicy;
+use crate::sampler::{NegativeSampler, SampledNegative};
+use crate::strategy::{SampleStrategy, UpdateStrategy};
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::{
+    sample_distinct_uniform, sample_one_weighted, sample_without_replacement_weighted, softmax,
+    top_k_indices,
+};
+use nscaching_models::KgeModel;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Cache-based negative sampler.
+///
+/// Maintains a head cache `H` indexed by `(r, t)` and a tail cache `T`
+/// indexed by `(h, r)`. For each positive triple the sampler
+///
+/// 1. draws a candidate head from `H(r,t)` and a candidate tail from
+///    `T(h,r)` using the configured [`SampleStrategy`] (step 6 of
+///    Algorithm 2);
+/// 2. picks one of the two corruptions using the corruption-side policy
+///    (step 7);
+/// 3. on [`update`](NegativeSampler::update), refreshes both cache entries by
+///    scoring `cache ∪ N2 random entities` and keeping `N1` of them according
+///    to the configured [`UpdateStrategy`] (Algorithm 3).
+pub struct NsCachingSampler {
+    config: NsCachingConfig,
+    head_cache: NegativeCache,
+    tail_cache: NegativeCache,
+    policy: CorruptionPolicy,
+    num_entities: usize,
+    /// Whether cache updates run in the current epoch (lazy update).
+    updates_enabled: bool,
+    /// Number of cache refresh operations performed (two per `update` call
+    /// when updates are enabled).
+    refresh_count: u64,
+}
+
+impl NsCachingSampler {
+    /// Create a sampler for a vocabulary of `num_entities` entities.
+    pub fn new(config: NsCachingConfig, num_entities: usize, policy: CorruptionPolicy) -> Self {
+        Self {
+            head_cache: NegativeCache::new(config.cache_size, num_entities),
+            tail_cache: NegativeCache::new(config.cache_size, num_entities),
+            policy,
+            num_entities,
+            updates_enabled: true,
+            refresh_count: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NsCachingConfig {
+        &self.config
+    }
+
+    /// Snapshot of the head cache for `(r, t)` (Table VI probing).
+    pub fn probe_head_cache(&self, relation: u32, tail: u32) -> CacheProbe {
+        self.head_cache.probe((relation, tail))
+    }
+
+    /// Snapshot of the tail cache for `(h, r)` (Table VI probing).
+    pub fn probe_tail_cache(&self, head: u32, relation: u32) -> CacheProbe {
+        self.tail_cache.probe((head, relation))
+    }
+
+    /// Changed cache elements since the last call (the CE measure of Fig. 8),
+    /// summed over both caches.
+    pub fn take_changed_elements(&mut self) -> u64 {
+        self.head_cache.take_changed_elements() + self.tail_cache.take_changed_elements()
+    }
+
+    /// Total approximate memory used by both caches, in bytes (Table I).
+    pub fn cache_memory_bytes(&self) -> usize {
+        self.head_cache.memory_bytes() + self.tail_cache.memory_bytes()
+    }
+
+    /// Number of cache refresh operations performed so far.
+    pub fn refresh_count(&self) -> u64 {
+        self.refresh_count
+    }
+
+    /// Whether the lazy-update schedule enables cache refreshes this epoch.
+    pub fn updates_enabled(&self) -> bool {
+        self.updates_enabled
+    }
+
+    fn pick_from_cache(
+        &self,
+        candidates: &[EntityId],
+        positive: &Triple,
+        side: CorruptionSide,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> EntityId {
+        debug_assert!(!candidates.is_empty());
+        // The cache may contain the positive's own entity (it is, after all, a
+        // very high-scoring candidate); drawing it would reproduce the positive
+        // triple, so it is masked here. If the whole cache entry is the
+        // positive entity, fall back to a uniform draw over the rest of E.
+        let excluded = positive.entity_at(side);
+        let candidates: Vec<EntityId> = candidates
+            .iter()
+            .copied()
+            .filter(|&e| e != excluded)
+            .collect();
+        if candidates.is_empty() {
+            let mut e = rng.gen_range(0..self.num_entities as EntityId);
+            if e == excluded {
+                e = (e + 1) % self.num_entities as EntityId;
+            }
+            return e;
+        }
+        let candidates = candidates.as_slice();
+        match self.config.sample_strategy {
+            SampleStrategy::Uniform => candidates[rng.gen_range(0..candidates.len())],
+            SampleStrategy::Importance => {
+                let scores: Vec<f64> = candidates
+                    .iter()
+                    .map(|&e| model.score(&positive.corrupted(side, e)))
+                    .collect();
+                let probs = softmax(&scores);
+                candidates[sample_one_weighted(rng, &probs)]
+            }
+            SampleStrategy::Top => {
+                let scores: Vec<f64> = candidates
+                    .iter()
+                    .map(|&e| model.score(&positive.corrupted(side, e)))
+                    .collect();
+                candidates[top_k_indices(&scores, 1)[0]]
+            }
+        }
+    }
+
+    /// Algorithm 3 applied to one cache entry; returns the refreshed entry.
+    fn refresh_entry(
+        &self,
+        current: &[EntityId],
+        positive: &Triple,
+        side: CorruptionSide,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> Vec<EntityId> {
+        let n1 = self.config.cache_size;
+        let n2 = self.config.random_size.min(self.num_entities);
+        // Step 2-3: candidate pool = cache ∪ N2 uniformly random entities.
+        let mut pool: Vec<EntityId> = Vec::with_capacity(current.len() + n2);
+        pool.extend_from_slice(current);
+        pool.extend(
+            sample_distinct_uniform(rng, self.num_entities, n2)
+                .into_iter()
+                .map(|e| e as EntityId),
+        );
+        // Step 4: score every candidate.
+        let scores: Vec<f64> = pool
+            .iter()
+            .map(|&e| model.score(&positive.corrupted(side, e)))
+            .collect();
+        // Steps 5-9: keep N1 of them.
+        let kept: Vec<usize> = match self.config.update_strategy {
+            UpdateStrategy::Importance => {
+                // Probability ∝ exp(score) — Equation (6); softmax keeps the
+                // exponentials finite.
+                let weights = softmax(&scores);
+                sample_without_replacement_weighted(rng, &weights, n1)
+            }
+            UpdateStrategy::Top => top_k_indices(&scores, n1),
+            UpdateStrategy::Uniform => sample_distinct_uniform(rng, pool.len(), n1.min(pool.len())),
+        };
+        kept.into_iter().map(|i| pool[i]).collect()
+    }
+}
+
+impl NegativeSampler for NsCachingSampler {
+    fn name(&self) -> &'static str {
+        "NSCaching"
+    }
+
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        // Step 5: index the caches.
+        let head_candidates = self
+            .head_cache
+            .get_or_init(positive.relation_tail(), rng)
+            .to_vec();
+        let tail_candidates = self
+            .tail_cache
+            .get_or_init(positive.head_relation(), rng)
+            .to_vec();
+        // Step 6: draw one candidate from each cache.
+        let head_pick =
+            self.pick_from_cache(&head_candidates, positive, CorruptionSide::Head, model, rng);
+        let tail_pick =
+            self.pick_from_cache(&tail_candidates, positive, CorruptionSide::Tail, model, rng);
+        // Step 7: pick the corruption side.
+        let side = self.policy.choose(positive, rng);
+        match side {
+            CorruptionSide::Head => SampledNegative::new(positive, side, head_pick),
+            CorruptionSide::Tail => SampledNegative::new(positive, side, tail_pick),
+        }
+    }
+
+    fn update(&mut self, positive: &Triple, model: &dyn KgeModel, rng: &mut StdRng) {
+        if !self.updates_enabled {
+            return;
+        }
+        // Head cache H(r, t).
+        let key = positive.relation_tail();
+        let current = self.head_cache.get_or_init(key, rng).to_vec();
+        let refreshed = self.refresh_entry(&current, positive, CorruptionSide::Head, model, rng);
+        self.head_cache.replace(key, refreshed);
+        // Tail cache T(h, r).
+        let key = positive.head_relation();
+        let current = self.tail_cache.get_or_init(key, rng).to_vec();
+        let refreshed = self.refresh_entry(&current, positive, CorruptionSide::Tail, model, rng);
+        self.tail_cache.replace(key, refreshed);
+        self.refresh_count += 2;
+    }
+
+    fn epoch_finished(&mut self, epoch: usize) {
+        // Lazy update: with period n, the cache is refreshed only every
+        // (n + 1)-th epoch; n = 0 refreshes every epoch (the paper's default).
+        let period = self.config.lazy_update_epochs + 1;
+        self.updates_enabled = (epoch + 1) % period == 0;
+    }
+
+    fn take_changed_elements(&mut self) -> u64 {
+        self.head_cache.take_changed_elements() + self.tail_cache.take_changed_elements()
+    }
+
+    fn tail_cache_contents(&self, positive: &Triple) -> Option<Vec<u32>> {
+        Some(self.tail_cache.probe(positive.head_relation()).entities)
+    }
+
+    fn head_cache_contents(&self, positive: &Triple) -> Option<Vec<u32>> {
+        Some(self.head_cache.probe(positive.relation_tail()).entities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+    use nscaching_models::{build_model, ModelConfig, ModelKind};
+
+    fn model(n: usize) -> Box<dyn KgeModel> {
+        build_model(&ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(5), n, 3)
+    }
+
+    fn sampler(n1: usize, n2: usize) -> NsCachingSampler {
+        let config = NsCachingConfig::new(n1, n2);
+        NsCachingSampler::new(config, 60, CorruptionPolicy::Uniform)
+    }
+
+    #[test]
+    fn sampled_negatives_come_from_the_cache() {
+        let mut s = sampler(10, 10);
+        let m = model(60);
+        let mut rng = seeded_rng(1);
+        let pos = Triple::new(0, 0, 1);
+        let neg = s.sample(&pos, m.as_ref(), &mut rng);
+        let head_cache = s.probe_head_cache(0, 1).entities;
+        let tail_cache = s.probe_tail_cache(0, 0).entities;
+        match neg.side {
+            CorruptionSide::Head => assert!(head_cache.contains(&neg.entity)),
+            CorruptionSide::Tail => assert!(tail_cache.contains(&neg.entity)),
+        }
+        assert_eq!(head_cache.len(), 10);
+        assert_eq!(tail_cache.len(), 10);
+    }
+
+    #[test]
+    fn update_raises_the_mean_cache_score() {
+        let mut s = sampler(10, 30);
+        let m = model(60);
+        let mut rng = seeded_rng(2);
+        let pos = Triple::new(3, 1, 7);
+        // materialise and capture the initial (random) cache
+        let _ = s.sample(&pos, m.as_ref(), &mut rng);
+        let mean_score = |entities: &[u32], side: CorruptionSide| -> f64 {
+            entities
+                .iter()
+                .map(|&e| m.score(&pos.corrupted(side, e)))
+                .sum::<f64>()
+                / entities.len() as f64
+        };
+        let before = mean_score(&s.probe_head_cache(1, 7).entities, CorruptionSide::Head);
+        for _ in 0..5 {
+            s.update(&pos, m.as_ref(), &mut rng);
+        }
+        let after = mean_score(&s.probe_head_cache(1, 7).entities, CorruptionSide::Head);
+        assert!(
+            after > before,
+            "IS update should concentrate the cache on high-scoring negatives ({before} -> {after})"
+        );
+        assert_eq!(s.refresh_count(), 10);
+    }
+
+    #[test]
+    fn top_update_keeps_exactly_the_highest_scoring_candidates() {
+        let config = NsCachingConfig::new(5, 20).with_update_strategy(UpdateStrategy::Top);
+        let mut s = NsCachingSampler::new(config, 40, CorruptionPolicy::Uniform);
+        let m = model(40);
+        let mut rng = seeded_rng(3);
+        let pos = Triple::new(2, 0, 9);
+        s.update(&pos, m.as_ref(), &mut rng);
+        let cache = s.probe_head_cache(0, 9).entities;
+        assert_eq!(cache.len(), 5);
+        // every cached entity must score at least as high as the median entity
+        let all_scores: Vec<f64> = (0..40u32)
+            .map(|e| m.score(&pos.with_head(e)))
+            .collect();
+        let mut sorted = all_scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[20];
+        for &e in &cache {
+            assert!(all_scores[e as usize] >= median);
+        }
+    }
+
+    #[test]
+    fn top_sampling_returns_the_argmax_of_the_cache() {
+        let config = NsCachingConfig::new(8, 8).with_sample_strategy(SampleStrategy::Top);
+        let mut s = NsCachingSampler::new(config, 50, CorruptionPolicy::Uniform);
+        let m = model(50);
+        let mut rng = seeded_rng(4);
+        let pos = Triple::new(1, 2, 3);
+        let neg = s.sample(&pos, m.as_ref(), &mut rng);
+        let cache = match neg.side {
+            CorruptionSide::Head => s.probe_head_cache(2, 3).entities,
+            CorruptionSide::Tail => s.probe_tail_cache(1, 2).entities,
+        };
+        let best = cache
+            .iter()
+            .map(|&e| m.score(&pos.corrupted(neg.side, e)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((m.score(&neg.triple) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_update_disables_refreshes_between_periods() {
+        let config = NsCachingConfig::new(4, 4).with_lazy_update(2);
+        let mut s = NsCachingSampler::new(config, 30, CorruptionPolicy::Uniform);
+        let m = model(30);
+        let mut rng = seeded_rng(5);
+        let pos = Triple::new(0, 0, 1);
+
+        assert!(s.updates_enabled());
+        s.update(&pos, m.as_ref(), &mut rng);
+        assert_eq!(s.refresh_count(), 2);
+
+        // epochs 0 and 1 finish -> period 3 means updates only after epoch 2
+        s.epoch_finished(0);
+        assert!(!s.updates_enabled());
+        s.update(&pos, m.as_ref(), &mut rng);
+        assert_eq!(s.refresh_count(), 2, "no refresh while disabled");
+
+        s.epoch_finished(1);
+        assert!(!s.updates_enabled());
+        s.epoch_finished(2);
+        assert!(s.updates_enabled());
+        s.update(&pos, m.as_ref(), &mut rng);
+        assert_eq!(s.refresh_count(), 4);
+    }
+
+    #[test]
+    fn changed_elements_accumulate_and_reset() {
+        let mut s = sampler(6, 20);
+        let m = model(60);
+        let mut rng = seeded_rng(6);
+        let pos = Triple::new(5, 2, 8);
+        s.update(&pos, m.as_ref(), &mut rng);
+        let ce = s.take_changed_elements();
+        assert!(ce > 0, "a fresh cache must change on the first update");
+        assert_eq!(s.take_changed_elements(), 0);
+    }
+
+    #[test]
+    fn cache_memory_grows_with_touched_keys() {
+        let mut s = sampler(10, 5);
+        let m = model(60);
+        let mut rng = seeded_rng(7);
+        assert_eq!(s.cache_memory_bytes(), 0);
+        for i in 0..5u32 {
+            let _ = s.sample(&Triple::new(i, 0, i + 1), m.as_ref(), &mut rng);
+        }
+        // 5 head-cache keys + 5 tail-cache keys, 10 slots each, 4 bytes per id
+        assert_eq!(s.cache_memory_bytes(), 10 * 10 * 4);
+        assert_eq!(s.name(), "NSCaching");
+        assert_eq!(s.extra_parameters(), 0);
+    }
+}

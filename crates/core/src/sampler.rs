@@ -1,0 +1,116 @@
+//! The negative-sampler trait shared by NSCaching and every baseline.
+
+use nscaching_kg::{CorruptionSide, Triple};
+use nscaching_models::KgeModel;
+use rand::rngs::StdRng;
+
+/// A sampled negative triple together with how it was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SampledNegative {
+    /// The negative triple `(h̄, r, t)` or `(h, r, t̄)`.
+    pub triple: Triple,
+    /// Which side of the positive was corrupted.
+    pub side: CorruptionSide,
+    /// The replacement entity.
+    pub entity: u32,
+}
+
+impl SampledNegative {
+    /// Build the record from a positive triple, a side and the replacement.
+    pub fn new(positive: &Triple, side: CorruptionSide, entity: u32) -> Self {
+        Self {
+            triple: positive.corrupted(side, entity),
+            side,
+            entity,
+        }
+    }
+}
+
+/// A negative-sampling scheme (step 5 of the paper's Algorithm 1, steps 5–8
+/// of Algorithm 2).
+///
+/// The trainer drives a sampler through three hooks:
+///
+/// 1. [`sample`](NegativeSampler::sample) — produce one negative for a
+///    positive triple;
+/// 2. [`feedback`](NegativeSampler::feedback) — report the discriminator's
+///    score of that negative (only the GAN-based samplers use this, for their
+///    REINFORCE update);
+/// 3. [`update`](NegativeSampler::update) — refresh internal state for the
+///    positive triple (NSCaching's Algorithm 3 cache update).
+///
+/// `epoch_finished` is called once per epoch so samplers can implement lazy
+/// updates and reset per-epoch statistics.
+pub trait NegativeSampler: Send {
+    /// Human-readable name used in reports (e.g. `"NSCaching"`).
+    fn name(&self) -> &'static str;
+
+    /// Sample one negative triple for `positive` under the current `model`.
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative;
+
+    /// Report the target model's score of a sampled negative so that
+    /// generator-based samplers can perform their policy-gradient update.
+    /// The default implementation ignores the feedback.
+    fn feedback(
+        &mut self,
+        _positive: &Triple,
+        _negative: &SampledNegative,
+        _reward: f64,
+        _rng: &mut StdRng,
+    ) {
+    }
+
+    /// Refresh internal state for `positive` (e.g. the NSCaching cache
+    /// update of Algorithm 3). Called once per processed positive triple.
+    fn update(&mut self, _positive: &Triple, _model: &dyn KgeModel, _rng: &mut StdRng) {}
+
+    /// Notify the sampler that an epoch has finished (0-based index).
+    fn epoch_finished(&mut self, _epoch: usize) {}
+
+    /// Number of trainable parameters owned by the sampler itself (generator
+    /// parameters for the GAN baselines, 0 otherwise). Used for the Table I
+    /// comparison.
+    fn extra_parameters(&self) -> usize {
+        0
+    }
+
+    /// Number of cache elements changed since the last call (the "CE" measure
+    /// of Figure 8). Samplers without a cache report 0.
+    fn take_changed_elements(&mut self) -> u64 {
+        0
+    }
+
+    /// The current tail-cache contents for `positive`'s `(h, r)` key, if this
+    /// sampler maintains a cache (used by the Table VI probing experiment).
+    fn tail_cache_contents(&self, _positive: &Triple) -> Option<Vec<u32>> {
+        None
+    }
+
+    /// The current head-cache contents for `positive`'s `(r, t)` key, if this
+    /// sampler maintains a cache.
+    fn head_cache_contents(&self, _positive: &Triple) -> Option<Vec<u32>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_negative_builds_the_corrupted_triple() {
+        let pos = Triple::new(1, 2, 3);
+        let n = SampledNegative::new(&pos, CorruptionSide::Head, 9);
+        assert_eq!(n.triple, Triple::new(9, 2, 3));
+        assert_eq!(n.side, CorruptionSide::Head);
+        assert_eq!(n.entity, 9);
+
+        let n = SampledNegative::new(&pos, CorruptionSide::Tail, 9);
+        assert_eq!(n.triple, Triple::new(1, 2, 9));
+    }
+}

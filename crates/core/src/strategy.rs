@@ -1,0 +1,86 @@
+//! The "exploration vs exploitation" strategy knobs of Sections III-B and
+//! IV-C: how to *sample from* the cache and how to *update* the cache.
+
+use serde::{Deserialize, Serialize};
+
+/// How a negative entity is drawn from the cache (Algorithm 2, step 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SampleStrategy {
+    /// Uniformly random member of the cache — the paper's choice (best
+    /// exploration/exploitation balance, Figure 6(a)).
+    Uniform,
+    /// Importance sampling ∝ `exp(score)` over cache members ("IS sampling").
+    Importance,
+    /// Always the highest-scoring cache member ("top sampling").
+    Top,
+}
+
+impl SampleStrategy {
+    /// All strategies, in the order used by the Figure 6/7 ablation.
+    pub const ALL: [SampleStrategy; 3] = [
+        SampleStrategy::Uniform,
+        SampleStrategy::Importance,
+        SampleStrategy::Top,
+    ];
+
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SampleStrategy::Uniform => "uniform",
+            SampleStrategy::Importance => "IS",
+            SampleStrategy::Top => "top",
+        }
+    }
+}
+
+/// How the cache is refreshed from `cache ∪ R_m` (Algorithm 3, step 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateStrategy {
+    /// Importance sampling without replacement ∝ `exp(score)` — the paper's
+    /// choice (Equation (6)).
+    Importance,
+    /// Keep the `N1` highest-scoring candidates deterministically.
+    Top,
+    /// Keep `N1` uniformly random candidates (pure exploration; used only as
+    /// an ablation lower bound).
+    Uniform,
+}
+
+impl UpdateStrategy {
+    /// All strategies, in the order used by the Figure 6/8 ablation.
+    pub const ALL: [UpdateStrategy; 3] = [
+        UpdateStrategy::Importance,
+        UpdateStrategy::Top,
+        UpdateStrategy::Uniform,
+    ];
+
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UpdateStrategy::Importance => "IS",
+            UpdateStrategy::Top => "top",
+            UpdateStrategy::Uniform => "uniform",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SampleStrategy::Uniform.name(), "uniform");
+        assert_eq!(SampleStrategy::Importance.name(), "IS");
+        assert_eq!(SampleStrategy::Top.name(), "top");
+        assert_eq!(UpdateStrategy::Importance.name(), "IS");
+        assert_eq!(UpdateStrategy::Top.name(), "top");
+        assert_eq!(UpdateStrategy::Uniform.name(), "uniform");
+    }
+
+    #[test]
+    fn all_lists_cover_three_variants_each() {
+        assert_eq!(SampleStrategy::ALL.len(), 3);
+        assert_eq!(UpdateStrategy::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the sampler invariants.
+
+use nscaching::{
+    build_sampler, CorruptionPolicy, NegativeCache, NegativeSampler, NsCachingConfig,
+    NsCachingSampler, SampleStrategy, SamplerConfig, UpdateStrategy,
+};
+use nscaching_kg::{CorruptionSide, Triple};
+use nscaching_math::seeded_rng;
+use nscaching_models::{build_model, KgeModel, ModelConfig, ModelKind};
+use proptest::prelude::*;
+
+fn small_model(num_entities: usize, num_relations: usize, seed: u64) -> Box<dyn KgeModel> {
+    build_model(
+        &ModelConfig::new(ModelKind::TransE).with_dim(4).with_seed(seed),
+        num_entities,
+        num_relations,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_entries_never_exceed_capacity_and_stay_in_range(
+        seed in any::<u64>(),
+        capacity in 1usize..20,
+        num_entities in 5usize..100,
+        replacements in prop::collection::vec(prop::collection::vec(0u32..1000, 0..40), 1..10),
+    ) {
+        let mut cache = NegativeCache::new(capacity, num_entities);
+        let mut rng = seeded_rng(seed);
+        let initial = cache.get_or_init((0, 0), &mut rng).to_vec();
+        prop_assert_eq!(initial.len(), capacity);
+        prop_assert!(initial.iter().all(|e| (*e as usize) < num_entities));
+        for r in replacements {
+            cache.replace((0, 0), r.clone());
+            let stored = cache.peek((0, 0)).unwrap();
+            prop_assert!(stored.len() <= capacity);
+            prop_assert!(stored.len() == r.len().min(capacity));
+        }
+    }
+
+    #[test]
+    fn nscaching_negatives_always_differ_from_the_positive_relation_structure(
+        seed in any::<u64>(),
+        n1 in 1usize..30,
+        n2 in 1usize..30,
+        strategy_idx in 0usize..3,
+        update_idx in 0usize..3,
+    ) {
+        let num_entities = 40;
+        let config = NsCachingConfig::new(n1, n2)
+            .with_sample_strategy(SampleStrategy::ALL[strategy_idx])
+            .with_update_strategy(UpdateStrategy::ALL[update_idx]);
+        let mut sampler = NsCachingSampler::new(config, num_entities, CorruptionPolicy::Uniform);
+        let model = small_model(num_entities, 3, seed);
+        let mut rng = seeded_rng(seed ^ 0xABCD);
+        for i in 0..20u32 {
+            let pos = Triple::new(i % 40, i % 3, (i + 1) % 40);
+            let neg = sampler.sample(&pos, model.as_ref(), &mut rng);
+            // the negative keeps the relation and exactly one endpoint
+            prop_assert_eq!(neg.triple.relation, pos.relation);
+            match neg.side {
+                CorruptionSide::Head => prop_assert_eq!(neg.triple.tail, pos.tail),
+                CorruptionSide::Tail => prop_assert_eq!(neg.triple.head, pos.head),
+            }
+            prop_assert!((neg.entity as usize) < num_entities);
+            sampler.update(&pos, model.as_ref(), &mut rng);
+            // cache sizes never exceed N1
+            prop_assert!(sampler.probe_head_cache(pos.relation, pos.tail).entities.len() <= n1);
+            prop_assert!(sampler.probe_tail_cache(pos.head, pos.relation).entities.len() <= n1);
+        }
+    }
+
+    #[test]
+    fn every_sampler_config_produces_well_formed_negatives(seed in any::<u64>(), config_idx in 0usize..5) {
+        let mut gen_config = nscaching_datagen::GeneratorConfig::small("prop");
+        gen_config.num_entities = 80;
+        gen_config.num_train = 400;
+        gen_config.num_valid = 30;
+        gen_config.num_test = 30;
+        gen_config.seed = seed % 3; // a few distinct datasets
+        let dataset = nscaching_datagen::generate(&gen_config).unwrap();
+        let configs = [
+            SamplerConfig::Uniform,
+            SamplerConfig::Bernoulli,
+            SamplerConfig::NsCaching(NsCachingConfig::new(8, 8)),
+            SamplerConfig::kbgan_default(),
+            SamplerConfig::Igan { generator: ModelKind::DistMult, generator_dim: 8, generator_lr: 0.01 },
+        ];
+        let mut sampler = build_sampler(&configs[config_idx], &dataset, seed);
+        let model = small_model(dataset.num_entities(), dataset.num_relations(), seed);
+        let mut rng = seeded_rng(seed);
+        for pos in dataset.train.iter().take(10) {
+            let neg = sampler.sample(pos, model.as_ref(), &mut rng);
+            prop_assert!((neg.entity as usize) < dataset.num_entities());
+            prop_assert_eq!(neg.triple.relation, pos.relation);
+            prop_assert_ne!(&neg.triple, pos);
+            sampler.feedback(pos, &neg, model.score(&neg.triple), &mut rng);
+            sampler.update(pos, model.as_ref(), &mut rng);
+        }
+    }
+}

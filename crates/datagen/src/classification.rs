@@ -1,0 +1,160 @@
+//! Labeled positive/negative triple sets for the triplet-classification task
+//! (Table V of the paper).
+//!
+//! The public WN18RR/FB15K237 releases ship `valid_neg.txt`/`test_neg.txt`
+//! files with one corrupted triple per positive. We regenerate the same
+//! construction for the synthetic benchmarks: each valid/test positive is
+//! paired with a corruption (head or tail replaced uniformly) that does not
+//! appear anywhere in the dataset, so the labels are unambiguous.
+
+use nscaching_kg::{CorruptionSide, Dataset, FilterIndex, Split, Triple};
+use nscaching_math::seeded_rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A triple together with its ground-truth label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledTriple {
+    /// The triple.
+    pub triple: Triple,
+    /// `true` for positives, `false` for generated negatives.
+    pub label: bool,
+}
+
+/// Labeled valid/test sets for triplet classification.
+#[derive(Debug, Clone)]
+pub struct ClassificationSet {
+    /// Labeled validation triples (used to tune per-relation thresholds).
+    pub valid: Vec<LabeledTriple>,
+    /// Labeled test triples (used to report accuracy).
+    pub test: Vec<LabeledTriple>,
+}
+
+impl ClassificationSet {
+    /// Fraction of positive labels in the test set (0.5 by construction).
+    pub fn test_positive_fraction(&self) -> f64 {
+        if self.test.is_empty() {
+            return 0.0;
+        }
+        self.test.iter().filter(|t| t.label).count() as f64 / self.test.len() as f64
+    }
+}
+
+/// Generate one negative per positive for the valid and test splits.
+pub fn generate_classification_sets(dataset: &Dataset, seed: u64) -> ClassificationSet {
+    let filter = dataset.filter_index();
+    let mut rng = seeded_rng(seed);
+    let valid = label_split(dataset, Split::Valid, &filter, &mut rng);
+    let test = label_split(dataset, Split::Test, &filter, &mut rng);
+    ClassificationSet { valid, test }
+}
+
+fn label_split<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    split: Split,
+    filter: &FilterIndex,
+    rng: &mut R,
+) -> Vec<LabeledTriple> {
+    let num_entities = dataset.num_entities() as u32;
+    let mut out = Vec::with_capacity(dataset.split(split).len() * 2);
+    for &positive in dataset.split(split) {
+        out.push(LabeledTriple {
+            triple: positive,
+            label: true,
+        });
+        // Rejection-sample a corruption that is not a known triple.
+        let mut negative = None;
+        for _ in 0..200 {
+            let side = if rng.gen::<bool>() {
+                CorruptionSide::Head
+            } else {
+                CorruptionSide::Tail
+            };
+            let candidate = rng.gen_range(0..num_entities);
+            if candidate == positive.entity_at(side) {
+                continue;
+            }
+            let corrupted = positive.corrupted(side, candidate);
+            if !filter.contains(&corrupted) {
+                negative = Some(corrupted);
+                break;
+            }
+        }
+        if let Some(neg) = negative {
+            out.push(LabeledTriple {
+                triple: neg,
+                label: false,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+
+    fn dataset() -> Dataset {
+        let mut c = GeneratorConfig::small("clf");
+        c.num_entities = 150;
+        c.num_train = 1_200;
+        c.num_valid = 120;
+        c.num_test = 120;
+        generate(&c).unwrap()
+    }
+
+    #[test]
+    fn every_positive_gets_a_negative() {
+        let ds = dataset();
+        let sets = generate_classification_sets(&ds, 3);
+        assert_eq!(sets.valid.len(), ds.valid.len() * 2);
+        assert_eq!(sets.test.len(), ds.test.len() * 2);
+        assert!((sets.test_positive_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negatives_are_never_known_triples() {
+        let ds = dataset();
+        let filter = ds.filter_index();
+        let sets = generate_classification_sets(&ds, 4);
+        for lt in sets.valid.iter().chain(&sets.test) {
+            if !lt.label {
+                assert!(!filter.contains(&lt.triple), "false negative {:?}", lt.triple);
+            }
+        }
+    }
+
+    #[test]
+    fn positives_are_exactly_the_split_triples() {
+        let ds = dataset();
+        let sets = generate_classification_sets(&ds, 5);
+        let positives: Vec<Triple> = sets
+            .test
+            .iter()
+            .filter(|t| t.label)
+            .map(|t| t.triple)
+            .collect();
+        assert_eq!(positives, ds.test);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let ds = dataset();
+        let a = generate_classification_sets(&ds, 11);
+        let b = generate_classification_sets(&ds, 11);
+        assert_eq!(a.test, b.test);
+        let c = generate_classification_sets(&ds, 12);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn empty_split_yields_empty_labels() {
+        let mut ds = dataset();
+        ds.test.clear();
+        let sets = generate_classification_sets(&ds, 1);
+        assert!(sets.test.is_empty());
+        assert_eq!(sets.test_positive_fraction(), 0.0);
+    }
+}

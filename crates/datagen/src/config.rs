@@ -1,0 +1,233 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How relations are distributed over the four cardinality classes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CardinalityMix {
+    /// Fraction of 1-1 relations.
+    pub one_to_one: f64,
+    /// Fraction of 1-N relations.
+    pub one_to_many: f64,
+    /// Fraction of N-1 relations.
+    pub many_to_one: f64,
+    /// Fraction of N-N relations.
+    pub many_to_many: f64,
+}
+
+impl CardinalityMix {
+    /// The mix reported for WordNet/Freebase-style graphs: mostly N-N with a
+    /// sizeable minority of the asymmetric classes.
+    pub fn realistic() -> Self {
+        Self {
+            one_to_one: 0.15,
+            one_to_many: 0.25,
+            many_to_one: 0.25,
+            many_to_many: 0.35,
+        }
+    }
+
+    /// A uniform mix (used in tests).
+    pub fn uniform() -> Self {
+        Self {
+            one_to_one: 0.25,
+            one_to_many: 0.25,
+            many_to_one: 0.25,
+            many_to_many: 0.25,
+        }
+    }
+
+    fn normalised(&self) -> [f64; 4] {
+        let total = self.one_to_one + self.one_to_many + self.many_to_one + self.many_to_many;
+        assert!(total > 0.0, "cardinality mix must have positive total");
+        [
+            self.one_to_one / total,
+            self.one_to_many / total,
+            self.many_to_one / total,
+            self.many_to_many / total,
+        ]
+    }
+
+    /// Assign a cardinality class (0 = 1-1, 1 = 1-N, 2 = N-1, 3 = N-N) to each
+    /// of `n` relations, deterministically rounding the requested fractions.
+    pub fn assign(&self, n: usize) -> Vec<usize> {
+        let fractions = self.normalised();
+        let mut assignment = Vec::with_capacity(n);
+        for class in 0..4 {
+            let count = (fractions[class] * n as f64).round() as usize;
+            for _ in 0..count {
+                if assignment.len() < n {
+                    assignment.push(class);
+                }
+            }
+        }
+        while assignment.len() < n {
+            assignment.push(3); // fill any rounding gap with N-N
+        }
+        assignment
+    }
+}
+
+/// Full description of a synthetic dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of entities.
+    pub num_entities: usize,
+    /// Number of *base* relations (inverse duplicates are added on top).
+    pub num_relations: usize,
+    /// Target number of training triples.
+    pub num_train: usize,
+    /// Target number of validation triples.
+    pub num_valid: usize,
+    /// Target number of test triples.
+    pub num_test: usize,
+    /// Dimension of the latent ground-truth factors.
+    pub latent_dim: usize,
+    /// Zipf exponent of entity popularity (0 = uniform, ~1 = realistic skew).
+    pub zipf_exponent: f64,
+    /// Fraction of base relations that get a near-inverse duplicate partner
+    /// (WN18/FB15K ≈ high, WN18RR/FB15K237 = 0).
+    pub inverse_fraction: f64,
+    /// Probability that a triple of a paired relation is mirrored into its
+    /// inverse partner.
+    pub inverse_mirror_probability: f64,
+    /// Relation cardinality mix.
+    pub cardinality: CardinalityMix,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A small, quick-to-generate default used by examples and tests.
+    pub fn small(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            num_entities: 500,
+            num_relations: 12,
+            num_train: 4_000,
+            num_valid: 300,
+            num_test: 300,
+            latent_dim: 12,
+            zipf_exponent: 0.8,
+            inverse_fraction: 0.0,
+            inverse_mirror_probability: 0.9,
+            cardinality: CardinalityMix::realistic(),
+            seed: 0,
+        }
+    }
+
+    /// Set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total number of relations after inverse duplicates are added.
+    pub fn total_relations(&self) -> usize {
+        self.num_relations + (self.num_relations as f64 * self.inverse_fraction).round() as usize
+    }
+
+    /// Basic sanity validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_entities < 10 {
+            return Err("need at least 10 entities".into());
+        }
+        if self.num_relations == 0 {
+            return Err("need at least one relation".into());
+        }
+        if self.num_train == 0 {
+            return Err("need at least one training triple".into());
+        }
+        if self.latent_dim == 0 {
+            return Err("latent dimension must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.inverse_fraction) {
+            return Err("inverse_fraction must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.inverse_mirror_probability) {
+            return Err("inverse_mirror_probability must be in [0,1]".into());
+        }
+        if self.zipf_exponent < 0.0 {
+            return Err("zipf_exponent must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_assignment_covers_all_relations() {
+        let mix = CardinalityMix::realistic();
+        let a = mix.assign(20);
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().all(|c| *c < 4));
+        // realistic mix has every class represented at n = 20
+        for class in 0..4 {
+            assert!(a.contains(&class), "missing class {class}");
+        }
+    }
+
+    #[test]
+    fn mix_assignment_handles_tiny_counts() {
+        let a = CardinalityMix::uniform().assign(1);
+        assert_eq!(a.len(), 1);
+        let a = CardinalityMix::uniform().assign(0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn zero_mix_is_rejected() {
+        let mix = CardinalityMix {
+            one_to_one: 0.0,
+            one_to_many: 0.0,
+            many_to_one: 0.0,
+            many_to_many: 0.0,
+        };
+        let _ = mix.assign(4);
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(GeneratorConfig::small("t").validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_reported() {
+        let mut c = GeneratorConfig::small("t");
+        c.num_entities = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::small("t");
+        c.num_relations = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::small("t");
+        c.inverse_fraction = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::small("t");
+        c.num_train = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn total_relations_includes_inverse_partners() {
+        let mut c = GeneratorConfig::small("t");
+        c.num_relations = 10;
+        c.inverse_fraction = 0.5;
+        assert_eq!(c.total_relations(), 15);
+        c.inverse_fraction = 0.0;
+        assert_eq!(c.total_relations(), 10);
+    }
+
+    #[test]
+    fn with_seed_sets_seed() {
+        assert_eq!(GeneratorConfig::small("t").with_seed(9).seed, 9);
+    }
+}

@@ -1,0 +1,335 @@
+//! The synthetic dataset generator.
+
+use crate::config::GeneratorConfig;
+use crate::latent::LatentSpace;
+use nscaching_kg::{Dataset, KgError, Triple, Vocab};
+use nscaching_math::{sample_distinct_uniform, seeded_rng, AliasTable, SeedStream};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Per-cardinality-class generation knobs.
+///
+/// `head_pool` / `tail_pool` bound how many distinct entities may appear on
+/// each side of a relation; `temperature` controls how concentrated the
+/// latent tail choice is. Together they reproduce the 1-1/1-N/N-1/N-N
+/// behaviour of real graphs.
+struct ClassProfile {
+    head_pool: usize,
+    tail_pool: usize,
+    temperature: f64,
+}
+
+fn class_profile(class: usize, num_entities: usize) -> ClassProfile {
+    let n = num_entities as f64;
+    match class {
+        // 1-1: small pools on both sides, sharp choice
+        0 => ClassProfile {
+            head_pool: (n * 0.20).ceil() as usize,
+            tail_pool: (n * 0.20).ceil() as usize,
+            temperature: 0.05,
+        },
+        // 1-N: few heads, many tails, diffuse choice
+        1 => ClassProfile {
+            head_pool: (n * 0.03).ceil() as usize,
+            tail_pool: (n * 0.50).ceil() as usize,
+            temperature: 0.8,
+        },
+        // N-1: many heads, few tails, sharp choice
+        2 => ClassProfile {
+            head_pool: (n * 0.50).ceil() as usize,
+            tail_pool: (n * 0.03).ceil() as usize,
+            temperature: 0.15,
+        },
+        // N-N: large pools, diffuse choice
+        _ => ClassProfile {
+            head_pool: (n * 0.40).ceil() as usize,
+            tail_pool: (n * 0.40).ceil() as usize,
+            temperature: 0.6,
+        },
+    }
+}
+
+/// Zipf weights `1 / rank^s` over `n` ranks.
+fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    (1..=n).map(|rank| 1.0 / (rank as f64).powf(exponent)).collect()
+}
+
+/// Generate a dataset from a configuration.
+///
+/// The generator is deterministic given `config.seed`. Returned datasets are
+/// always deduplicated (a triple appears in exactly one split, once).
+pub fn generate(config: &GeneratorConfig) -> Result<Dataset, KgError> {
+    config.validate().map_err(KgError::Invalid)?;
+    let mut seeds = SeedStream::new(config.seed);
+    let mut rng = seeds.next_rng();
+
+    let num_entities = config.num_entities;
+    let num_base = config.num_relations;
+    let num_inverse = config.total_relations() - num_base;
+
+    let latent = LatentSpace::sample(&mut rng, num_entities, num_base, config.latent_dim);
+    let classes = config.cardinality.assign(num_base);
+
+    // Zipf-ranked entity popularity: entity id == popularity rank - 1, so low
+    // ids are hubs. The alias table makes head draws O(1).
+    let popularity = zipf_weights(num_entities, config.zipf_exponent);
+    let popularity_table =
+        AliasTable::new(&popularity).expect("zipf weights are positive and non-empty");
+
+    // Per-relation head/tail pools, biased towards popular entities by
+    // drawing pool members from the popularity distribution.
+    let mut head_pools: Vec<Vec<usize>> = Vec::with_capacity(num_base);
+    let mut tail_pools: Vec<Vec<usize>> = Vec::with_capacity(num_base);
+    let mut temperatures: Vec<f64> = Vec::with_capacity(num_base);
+    for &class in &classes {
+        let profile = class_profile(class, num_entities);
+        head_pools.push(sample_pool(&mut rng, &popularity_table, num_entities, profile.head_pool));
+        tail_pools.push(sample_pool(&mut rng, &popularity_table, num_entities, profile.tail_pool));
+        temperatures.push(profile.temperature);
+    }
+
+    // Which base relations get an inverse-duplicate partner, and the partner ids.
+    let inverse_partner: Vec<Option<u32>> = (0..num_base)
+        .map(|r| {
+            if r < num_inverse {
+                Some((num_base + r) as u32)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    // Relation usage is itself skewed (FB15K has a few huge relations).
+    let relation_weights = zipf_weights(num_base, 0.6);
+    let relation_table = AliasTable::new(&relation_weights).expect("positive weights");
+
+    let total_target = config.num_train + config.num_valid + config.num_test;
+    let mut triples: Vec<Triple> = Vec::with_capacity(total_target + total_target / 4);
+    let mut seen: HashSet<Triple> = HashSet::with_capacity(triples.capacity());
+
+    let max_attempts = total_target.saturating_mul(40).max(10_000);
+    let mut attempts = 0usize;
+    // Candidate subset size for the latent tail choice: full pools are too
+    // slow for large graphs, 48 candidates preserve the latent structure.
+    const TAIL_CANDIDATES: usize = 48;
+
+    while triples.len() < total_target && attempts < max_attempts {
+        attempts += 1;
+        let relation = relation_table.sample(&mut rng);
+        let head_pool = &head_pools[relation];
+        let tail_pool = &tail_pools[relation];
+        let head = head_pool[rng.gen_range(0..head_pool.len())];
+
+        let candidates: Vec<usize> = if tail_pool.len() <= TAIL_CANDIDATES {
+            tail_pool.clone()
+        } else {
+            sample_distinct_uniform(&mut rng, tail_pool.len(), TAIL_CANDIDATES)
+                .into_iter()
+                .map(|i| tail_pool[i])
+                .collect()
+        };
+        let tail = latent.choose_tail(&mut rng, head, relation, &candidates, temperatures[relation]);
+        if head == tail {
+            continue;
+        }
+        let triple = Triple::new(head as u32, relation as u32, tail as u32);
+        if !seen.insert(triple) {
+            continue;
+        }
+        triples.push(triple);
+
+        // Mirror into the inverse-duplicate partner, mimicking how WN18 and
+        // FB15K leak test answers through reciprocal relations.
+        if let Some(partner) = inverse_partner[relation] {
+            if triples.len() < total_target && rng.gen::<f64>() < config.inverse_mirror_probability {
+                let mirrored = Triple::new(tail as u32, partner, head as u32);
+                if seen.insert(mirrored) {
+                    triples.push(mirrored);
+                }
+            }
+        }
+    }
+
+    if triples.len() < total_target.min(config.num_train) {
+        return Err(KgError::Invalid(format!(
+            "generator produced only {} of {} requested triples; \
+             increase num_entities or reduce the triple count",
+            triples.len(),
+            total_target
+        )));
+    }
+
+    // Shuffle and split. If fewer triples than requested were produced, the
+    // shortfall is taken from the train split so valid/test keep their size.
+    triples.shuffle(&mut rng);
+    let num_test = config.num_test.min(triples.len().saturating_sub(1));
+    let num_valid = config
+        .num_valid
+        .min(triples.len().saturating_sub(num_test + 1));
+    let test = triples.split_off(triples.len() - num_test);
+    let valid = triples.split_off(triples.len() - num_valid);
+    let train = triples;
+
+    let entities = Vocab::synthetic("e", num_entities);
+    let relations = Vocab::synthetic("r", config.total_relations());
+    Dataset::new(config.name.clone(), entities, relations, train, valid, test)
+}
+
+fn sample_pool<R: Rng + ?Sized>(
+    rng: &mut R,
+    popularity: &AliasTable,
+    num_entities: usize,
+    pool_size: usize,
+) -> Vec<usize> {
+    let pool_size = pool_size.clamp(2, num_entities);
+    // Keep insertion order (not HashSet iteration order) so pool contents are
+    // a pure function of the RNG stream and generation stays deterministic.
+    let mut seen: HashSet<usize> = HashSet::with_capacity(pool_size);
+    let mut pool: Vec<usize> = Vec::with_capacity(pool_size);
+    // Draw from the popularity distribution first so pools are hub-biased…
+    let mut guard = 0usize;
+    while pool.len() < pool_size && guard < pool_size * 20 {
+        let candidate = popularity.sample(rng);
+        if seen.insert(candidate) {
+            pool.push(candidate);
+        }
+        guard += 1;
+    }
+    // …then top up uniformly if the skew made draws collide too often.
+    while pool.len() < pool_size {
+        let candidate = rng.gen_range(0..num_entities);
+        if seen.insert(candidate) {
+            pool.push(candidate);
+        }
+    }
+    pool
+}
+
+/// Convenience wrapper: generate with an overriding seed.
+pub fn generate_with_seed(config: &GeneratorConfig, seed: u64) -> Result<Dataset, KgError> {
+    let mut c = config.clone();
+    c.seed = seed;
+    let _ = seeded_rng(seed); // keep the signature honest about determinism
+    generate(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_kg::{BernoulliStats, DatasetStats};
+
+    fn quick_config() -> GeneratorConfig {
+        let mut c = GeneratorConfig::small("unit");
+        c.num_entities = 200;
+        c.num_train = 1_500;
+        c.num_valid = 100;
+        c.num_test = 100;
+        c.num_relations = 8;
+        c
+    }
+
+    #[test]
+    fn generated_dataset_matches_requested_shape() {
+        let ds = generate(&quick_config()).unwrap();
+        assert_eq!(ds.num_entities(), 200);
+        assert_eq!(ds.num_relations(), 8);
+        assert_eq!(ds.valid.len(), 100);
+        assert_eq!(ds.test.len(), 100);
+        assert!(ds.train.len() >= 1_000, "train = {}", ds.train.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let c = quick_config();
+        let a = generate(&c).unwrap();
+        let b = generate(&c).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.valid, b.valid);
+        assert_eq!(a.test, b.test);
+        let d = generate(&c.clone().with_seed(99)).unwrap();
+        assert_ne!(a.train, d.train);
+    }
+
+    #[test]
+    fn no_triple_appears_twice_across_splits() {
+        let ds = generate(&quick_config()).unwrap();
+        let mut seen = HashSet::new();
+        for t in ds.all_triples() {
+            assert!(seen.insert(*t), "duplicate triple {t}");
+        }
+    }
+
+    #[test]
+    fn no_self_loops_are_generated() {
+        let ds = generate(&quick_config()).unwrap();
+        assert!(ds.all_triples().all(|t| t.head != t.tail));
+    }
+
+    #[test]
+    fn cardinality_classes_produce_spread_tph_hpt() {
+        let mut c = quick_config();
+        c.num_train = 3_000;
+        let ds = generate(&c).unwrap();
+        let stats = BernoulliStats::from_train(&ds.train, ds.num_relations());
+        let tphs: Vec<f64> = stats.all().iter().filter(|s| s.count > 0).map(|s| s.tph).collect();
+        let max = tphs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = tphs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 1.5, "expected at least one *-to-many relation, max tph {max}");
+        assert!(min < max, "tph should vary across relations");
+    }
+
+    #[test]
+    fn inverse_duplicates_create_reciprocal_pairs() {
+        let mut c = quick_config();
+        c.inverse_fraction = 0.5;
+        c.num_train = 2_000;
+        let ds = generate(&c).unwrap();
+        assert_eq!(ds.num_relations(), 12, "8 base + 4 inverse relations");
+        // count triples whose reverse (under the partner relation) also exists
+        let all: HashSet<Triple> = ds.all_triples().copied().collect();
+        let mut mirrored = 0usize;
+        for t in &all {
+            if t.relation < 4 {
+                let partner = t.relation + 8;
+                if all.contains(&Triple::new(t.tail, partner, t.head)) {
+                    mirrored += 1;
+                }
+            }
+        }
+        assert!(mirrored > 50, "expected many mirrored pairs, got {mirrored}");
+    }
+
+    #[test]
+    fn zipf_exponent_skews_entity_usage() {
+        let mut c = quick_config();
+        c.zipf_exponent = 1.1;
+        let ds = generate(&c).unwrap();
+        let mut counts = vec![0usize; ds.num_entities()];
+        for t in ds.all_triples() {
+            counts[t.head as usize] += 1;
+            counts[t.tail as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = counts[..counts.len() / 10].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(
+            top_decile as f64 > 0.2 * total as f64,
+            "top 10% of entities should carry a disproportionate share ({top_decile}/{total})"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = quick_config();
+        c.num_entities = 3;
+        assert!(generate(&c).is_err());
+    }
+
+    #[test]
+    fn stats_row_is_well_formed() {
+        let ds = generate(&quick_config()).unwrap();
+        let row = DatasetStats::of(&ds).tsv_row();
+        assert!(row.starts_with("unit\t200\t8\t"));
+    }
+}

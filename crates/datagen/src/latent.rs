@@ -1,0 +1,180 @@
+//! Latent ground-truth factor model.
+//!
+//! Triples are emitted by a hidden TransE-style generative model: every
+//! entity has a latent position on the unit sphere, every relation a latent
+//! translation. A tail `t` is plausible for `(h, r, ·)` when
+//! `‖e_h + v_r − e_t‖` is small. Training a KG embedding model on such data
+//! is learnable (the latent geometry can be recovered) but not trivial
+//! (finite samples, Zipf head/tail imbalance, cardinality pools), which is
+//! exactly what the paper's experiments require from the real benchmarks.
+
+use nscaching_math::vecops::{l2_distance, normalize_l2};
+use nscaching_math::{softmax, uniform_init};
+use rand::Rng;
+
+/// The latent factors behind a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct LatentSpace {
+    dim: usize,
+    entity_vectors: Vec<Vec<f64>>,
+    relation_vectors: Vec<Vec<f64>>,
+}
+
+impl LatentSpace {
+    /// Sample a latent space with `num_entities` unit-norm entity positions
+    /// and `num_relations` translation vectors.
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+    ) -> Self {
+        assert!(dim > 0, "latent dimension must be positive");
+        let entity_vectors = (0..num_entities)
+            .map(|_| {
+                let mut v = uniform_init(rng, dim, 1.0);
+                normalize_l2(&mut v);
+                v
+            })
+            .collect();
+        let relation_vectors = (0..num_relations)
+            .map(|_| uniform_init(rng, dim, 0.6))
+            .collect();
+        Self {
+            dim,
+            entity_vectors,
+            relation_vectors,
+        }
+    }
+
+    /// Latent dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_vectors.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relation_vectors.len()
+    }
+
+    /// Latent plausibility of `(h, r, t)`: the negative latent distance
+    /// `−‖e_h + v_r − e_t‖`.
+    pub fn plausibility(&self, head: usize, relation: usize, tail: usize) -> f64 {
+        let target: Vec<f64> = self.entity_vectors[head]
+            .iter()
+            .zip(&self.relation_vectors[relation])
+            .map(|(e, v)| e + v)
+            .collect();
+        -l2_distance(&target, &self.entity_vectors[tail])
+    }
+
+    /// Choose a tail for `(head, relation, ·)` among `candidates` with
+    /// probability `softmax(plausibility / temperature)`.
+    ///
+    /// Low temperatures concentrate the choice on the latent nearest
+    /// neighbour (→ 1-ish cardinality); higher temperatures spread it over
+    /// many plausible tails (→ N-ish cardinality).
+    pub fn choose_tail<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        head: usize,
+        relation: usize,
+        candidates: &[usize],
+        temperature: f64,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "need at least one candidate tail");
+        assert!(temperature > 0.0, "temperature must be positive");
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|&c| self.plausibility(head, relation, c) / temperature)
+            .collect();
+        let probs = softmax(&scores);
+        let draw = nscaching_math::sample_one_weighted(rng, &probs);
+        candidates[draw]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+
+    #[test]
+    fn sampled_space_has_requested_shape() {
+        let mut rng = seeded_rng(1);
+        let s = LatentSpace::sample(&mut rng, 50, 5, 8);
+        assert_eq!(s.num_entities(), 50);
+        assert_eq!(s.num_relations(), 5);
+        assert_eq!(s.dim(), 8);
+    }
+
+    #[test]
+    fn plausibility_is_highest_for_the_latent_nearest_neighbour() {
+        let mut rng = seeded_rng(2);
+        let s = LatentSpace::sample(&mut rng, 100, 3, 6);
+        // the most plausible tail should beat a random tail on average
+        let mut wins = 0;
+        for h in 0..50 {
+            let best = (0..100)
+                .max_by(|&a, &b| {
+                    s.plausibility(h, 0, a)
+                        .partial_cmp(&s.plausibility(h, 0, b))
+                        .unwrap()
+                })
+                .unwrap();
+            if s.plausibility(h, 0, best) > s.plausibility(h, 0, (h + 37) % 100) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 48, "latent structure should be informative, wins = {wins}");
+    }
+
+    #[test]
+    fn low_temperature_concentrates_tail_choice() {
+        let mut rng = seeded_rng(3);
+        let s = LatentSpace::sample(&mut rng, 60, 2, 6);
+        let candidates: Vec<usize> = (0..60).collect();
+        let mut cold_counts = std::collections::HashMap::new();
+        let mut hot_counts = std::collections::HashMap::new();
+        for _ in 0..300 {
+            *cold_counts
+                .entry(s.choose_tail(&mut rng, 0, 0, &candidates, 0.05))
+                .or_insert(0usize) += 1;
+            *hot_counts
+                .entry(s.choose_tail(&mut rng, 0, 0, &candidates, 5.0))
+                .or_insert(0usize) += 1;
+        }
+        assert!(
+            cold_counts.len() < hot_counts.len(),
+            "cold {} !< hot {}",
+            cold_counts.len(),
+            hot_counts.len()
+        );
+    }
+
+    #[test]
+    fn plausibility_is_finite_and_non_positive() {
+        let mut rng = seeded_rng(4);
+        let s = LatentSpace::sample(&mut rng, 10, 2, 5);
+        for e in 0..10 {
+            for t in 0..10 {
+                let p = s.plausibility(e, 0, t);
+                assert!(p.is_finite());
+                assert!(p <= 0.0, "negative distance cannot be positive");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_are_rejected() {
+        let mut rng = seeded_rng(5);
+        let s = LatentSpace::sample(&mut rng, 10, 1, 4);
+        let _ = s.choose_tail(&mut rng, 0, 0, &[], 1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic knowledge-graph benchmark generator.
+//!
+//! The paper evaluates on WN18, WN18RR, FB15K and FB15K237 — derivatives of
+//! WordNet and Freebase that are not redistributable inside this repository.
+//! This crate synthesises datasets that reproduce the *statistical shape* that
+//! NSCaching's claims depend on:
+//!
+//! * entity usage follows a Zipf law (a few hub entities, a long tail);
+//! * relations come in 1-1 / 1-N / N-1 / N-N cardinality classes, so the
+//!   Bernoulli corruption statistics are non-trivial;
+//! * triples are emitted from a latent ground-truth factor model, so link
+//!   prediction is learnable but not trivially so — and the score
+//!   distribution of negatives is highly skewed, which is the paper's key
+//!   observation;
+//! * the WN18/FB15K analogues contain near-inverse duplicate relations whose
+//!   removal yields the harder WN18RR/FB15K237 analogues, mirroring how the
+//!   real variants were constructed.
+//!
+//! All generators are fully deterministic given a seed, and every dataset can
+//! be exported to the standard `train.txt`/`valid.txt`/`test.txt` TSV layout
+//! via `nscaching_kg::io`, so real benchmark files can replace the synthetic
+//! ones without code changes.
+
+pub mod benchmarks;
+pub mod classification;
+pub mod config;
+pub mod generator;
+pub mod latent;
+
+pub use benchmarks::{fb15k237_like, fb15k_like, wn18_like, wn18rr_like, BenchmarkFamily};
+pub use classification::{generate_classification_sets, ClassificationSet, LabeledTriple};
+pub use config::{CardinalityMix, GeneratorConfig};
+pub use generator::generate;
+pub use latent::LatentSpace;

@@ -1,0 +1,207 @@
+//! Triplet classification (Table V of the paper).
+//!
+//! For each relation `r` a threshold `σ_r` is chosen to maximise accuracy on
+//! the labeled validation set; a triple is predicted positive iff its score
+//! is at least the threshold of its relation. Relations absent from the
+//! validation set fall back to a global threshold.
+
+use nscaching_models::KgeModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A labeled triple as produced by `nscaching_datagen::classification`.
+pub use nscaching_kg::Triple;
+
+/// Outcome of a triplet-classification evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Accuracy on the labeled test set, in `[0, 1]`.
+    pub test_accuracy: f64,
+    /// Accuracy on the labeled validation set under the tuned thresholds.
+    pub valid_accuracy: f64,
+    /// The tuned per-relation thresholds.
+    pub thresholds: HashMap<u32, f64>,
+    /// The global fallback threshold.
+    pub global_threshold: f64,
+    /// Number of test examples.
+    pub test_count: usize,
+}
+
+/// A `(triple, label)` pair; mirrors `nscaching_datagen::LabeledTriple` but is
+/// defined structurally so the eval crate does not depend on the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Example {
+    /// The triple to classify.
+    pub triple: Triple,
+    /// Ground-truth label.
+    pub label: bool,
+}
+
+impl Example {
+    /// Construct an example.
+    pub fn new(triple: Triple, label: bool) -> Self {
+        Self { triple, label }
+    }
+}
+
+/// Tune thresholds on `valid` and report accuracy on `test`.
+pub fn evaluate_classification(
+    model: &dyn KgeModel,
+    valid: &[Example],
+    test: &[Example],
+) -> ClassificationReport {
+    // Scores grouped by relation for threshold search.
+    let mut by_relation: HashMap<u32, Vec<(f64, bool)>> = HashMap::new();
+    let mut all: Vec<(f64, bool)> = Vec::with_capacity(valid.len());
+    for ex in valid {
+        let score = model.score(&ex.triple);
+        by_relation
+            .entry(ex.triple.relation)
+            .or_default()
+            .push((score, ex.label));
+        all.push((score, ex.label));
+    }
+
+    let global_threshold = best_threshold(&all).unwrap_or(0.0);
+    let thresholds: HashMap<u32, f64> = by_relation
+        .iter()
+        .map(|(r, examples)| (*r, best_threshold(examples).unwrap_or(global_threshold)))
+        .collect();
+
+    let classify = |triple: &Triple| -> bool {
+        let threshold = thresholds
+            .get(&triple.relation)
+            .copied()
+            .unwrap_or(global_threshold);
+        model.score(triple) >= threshold
+    };
+
+    let valid_accuracy = accuracy(valid, &classify);
+    let test_accuracy = accuracy(test, &classify);
+    ClassificationReport {
+        test_accuracy,
+        valid_accuracy,
+        thresholds,
+        global_threshold,
+        test_count: test.len(),
+    }
+}
+
+fn accuracy(examples: &[Example], classify: &impl Fn(&Triple) -> bool) -> f64 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    examples
+        .iter()
+        .filter(|ex| classify(&ex.triple) == ex.label)
+        .count() as f64
+        / examples.len() as f64
+}
+
+/// The threshold maximising accuracy over `(score, label)` pairs. Candidate
+/// thresholds are the scores themselves plus one value above the maximum (so
+/// "reject everything" is representable); ties prefer the lower threshold.
+fn best_threshold(examples: &[(f64, bool)]) -> Option<f64> {
+    if examples.is_empty() {
+        return None;
+    }
+    let mut candidates: Vec<f64> = examples.iter().map(|(s, _)| *s).collect();
+    let max = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    candidates.push(max + 1.0);
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    candidates.dedup();
+
+    let mut best = (f64::NEG_INFINITY, 0usize);
+    for &threshold in &candidates {
+        let correct = examples
+            .iter()
+            .filter(|(score, label)| (*score >= threshold) == *label)
+            .count();
+        if correct > best.1 {
+            best = (threshold, correct);
+        }
+    }
+    Some(best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_models::{build_model, ModelConfig, ModelKind};
+
+    /// Model-free check of the threshold search.
+    #[test]
+    fn best_threshold_separates_cleanly_separable_scores() {
+        // positives score high (2, 3), negatives low (0, 1)
+        let examples = vec![(0.0, false), (1.0, false), (2.0, true), (3.0, true)];
+        let t = best_threshold(&examples).unwrap();
+        assert!(t > 1.0 && t <= 2.0, "threshold {t}");
+        assert!(best_threshold(&[]).is_none());
+    }
+
+    #[test]
+    fn best_threshold_handles_all_negative_sets() {
+        let examples = vec![(0.5, false), (0.9, false)];
+        let t = best_threshold(&examples).unwrap();
+        // rejecting everything is optimal, so the threshold must exceed all scores
+        assert!(t > 0.9);
+    }
+
+    #[test]
+    fn classification_is_perfect_when_scores_separate_labels() {
+        // Build a real model but craft examples from its own scores so that
+        // label == (score above the relation's median).
+        let model = build_model(&ModelConfig::new(ModelKind::DistMult).with_dim(6), 30, 2);
+        let mut examples: Vec<Example> = Vec::new();
+        for i in 0..30u32 {
+            let t = Triple::new(i, i % 2, (i * 7 + 3) % 30);
+            examples.push(Example::new(t, false)); // placeholder label, fixed below
+        }
+        // label by comparing to the per-relation median score
+        let mut scores: HashMap<u32, Vec<f64>> = HashMap::new();
+        for ex in &examples {
+            scores
+                .entry(ex.triple.relation)
+                .or_default()
+                .push(model.score(&ex.triple));
+        }
+        let medians: HashMap<u32, f64> = scores
+            .into_iter()
+            .map(|(r, mut v)| {
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                (r, v[v.len() / 2])
+            })
+            .collect();
+        for ex in &mut examples {
+            ex.label = model.score(&ex.triple) >= medians[&ex.triple.relation];
+        }
+        let report = evaluate_classification(model.as_ref(), &examples, &examples);
+        assert!((report.valid_accuracy - 1.0).abs() < 1e-12);
+        assert!((report.test_accuracy - 1.0).abs() < 1e-12);
+        assert_eq!(report.test_count, examples.len());
+        assert!(!report.thresholds.is_empty());
+    }
+
+    #[test]
+    fn unseen_relations_use_the_global_threshold() {
+        let model = build_model(&ModelConfig::new(ModelKind::DistMult).with_dim(4), 10, 3);
+        // valid set only uses relation 0; test uses relation 2
+        let valid: Vec<Example> = (0..6u32)
+            .map(|i| Example::new(Triple::new(i, 0, (i + 1) % 10), i % 2 == 0))
+            .collect();
+        let test = vec![Example::new(Triple::new(0, 2, 1), true)];
+        let report = evaluate_classification(model.as_ref(), &valid, &test);
+        assert!(!report.thresholds.contains_key(&2));
+        // accuracy is 0 or 1 for the single example; either way it must be finite
+        assert!(report.test_accuracy == 0.0 || report.test_accuracy == 1.0);
+    }
+
+    #[test]
+    fn empty_sets_report_zero_accuracy() {
+        let model = build_model(&ModelConfig::new(ModelKind::DistMult).with_dim(4), 5, 1);
+        let report = evaluate_classification(model.as_ref(), &[], &[]);
+        assert_eq!(report.test_accuracy, 0.0);
+        assert_eq!(report.valid_accuracy, 0.0);
+        assert_eq!(report.test_count, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation protocols for knowledge-graph embedding.
+//!
+//! Implements the two tasks the paper reports:
+//!
+//! * **Link prediction** (Tables IV, Figures 2–5): for every test triple the
+//!   head and the tail are each ranked against all entities; MRR, MR and
+//!   Hits@k are computed in the *filtered* setting (corruptions that are
+//!   known true triples are removed from the candidate list) or the raw
+//!   setting. Ranking is parallelised over test triples with crossbeam.
+//! * **Triplet classification** (Table V): per-relation score thresholds are
+//!   tuned on a labeled validation set and accuracy is reported on the test
+//!   set.
+//!
+//! The [`ccdf`] module reproduces the negative-score-distance distributions
+//! of Figure 1.
+
+pub mod ccdf;
+pub mod classification;
+pub mod link_prediction;
+pub mod metrics;
+pub mod protocol;
+
+pub use ccdf::{negative_distance_ccdf, negative_distance_samples};
+pub use classification::{evaluate_classification, ClassificationReport};
+pub use link_prediction::{evaluate_link_prediction, LinkPredictionReport};
+pub use metrics::{RankAccumulator, RankingMetrics};
+pub use protocol::EvalProtocol;

@@ -1,0 +1,162 @@
+//! Ranking metrics: MRR, MR and Hits@k.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates ranks (1-based, possibly fractional for ties) and summarises
+/// them into the metrics used by the paper.
+#[derive(Debug, Clone, Default)]
+pub struct RankAccumulator {
+    ranks: Vec<f64>,
+}
+
+impl RankAccumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one rank (must be ≥ 1).
+    pub fn push(&mut self, rank: f64) {
+        debug_assert!(rank >= 1.0, "ranks are 1-based");
+        self.ranks.push(rank);
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: RankAccumulator) {
+        self.ranks.extend(other.ranks);
+    }
+
+    /// Number of recorded ranks.
+    pub fn count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Mean reciprocal rank.
+    pub fn mrr(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| 1.0 / r).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Mean rank.
+    pub fn mean_rank(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Fraction of ranks ≤ k (the paper reports Hit@10 as a percentage; this
+    /// returns the fraction in `[0, 1]`).
+    pub fn hits_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().filter(|r| **r <= k as f64 + 1e-9).count() as f64
+            / self.ranks.len() as f64
+    }
+
+    /// Summarise into a [`RankingMetrics`] value.
+    pub fn summarise(&self) -> RankingMetrics {
+        RankingMetrics {
+            mrr: self.mrr(),
+            mean_rank: self.mean_rank(),
+            hits_at_1: self.hits_at(1),
+            hits_at_3: self.hits_at(3),
+            hits_at_10: self.hits_at(10),
+            count: self.count(),
+        }
+    }
+}
+
+/// The summary statistics reported in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingMetrics {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean rank (lower is better; the paper notes it is noisy).
+    pub mean_rank: f64,
+    /// Hits@1 fraction.
+    pub hits_at_1: f64,
+    /// Hits@3 fraction.
+    pub hits_at_3: f64,
+    /// Hits@10 fraction.
+    pub hits_at_10: f64,
+    /// Number of ranking queries aggregated.
+    pub count: usize,
+}
+
+impl RankingMetrics {
+    /// Render as a TSV row `mrr\tmr\thit@10` matching the paper's column
+    /// order (Hit@10 as a percentage).
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{:.4}\t{:.1}\t{:.2}",
+            self.mrr,
+            self.mean_rank,
+            self.hits_at_10 * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_on_known_ranks() {
+        let mut acc = RankAccumulator::new();
+        for r in [1.0, 2.0, 4.0, 10.0] {
+            acc.push(r);
+        }
+        assert_eq!(acc.count(), 4);
+        let expected_mrr = (1.0 + 0.5 + 0.25 + 0.1) / 4.0;
+        assert!((acc.mrr() - expected_mrr).abs() < 1e-12);
+        assert!((acc.mean_rank() - 4.25).abs() < 1e-12);
+        assert!((acc.hits_at(1) - 0.25).abs() < 1e-12);
+        assert!((acc.hits_at(3) - 0.5).abs() < 1e-12);
+        assert!((acc.hits_at(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeros() {
+        let acc = RankAccumulator::new();
+        assert_eq!(acc.mrr(), 0.0);
+        assert_eq!(acc.mean_rank(), 0.0);
+        assert_eq!(acc.hits_at(10), 0.0);
+        assert_eq!(acc.summarise().count, 0);
+    }
+
+    #[test]
+    fn merge_concatenates_ranks() {
+        let mut a = RankAccumulator::new();
+        a.push(1.0);
+        let mut b = RankAccumulator::new();
+        b.push(3.0);
+        b.push(5.0);
+        a.merge(b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean_rank() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_and_tsv_row() {
+        let mut acc = RankAccumulator::new();
+        acc.push(1.0);
+        acc.push(2.0);
+        let m = acc.summarise();
+        assert_eq!(m.count, 2);
+        assert!((m.mrr - 0.75).abs() < 1e-12);
+        let row = m.tsv_row();
+        assert!(row.starts_with("0.7500\t1.5\t100.00"));
+    }
+
+    #[test]
+    fn fractional_tie_ranks_are_supported() {
+        let mut acc = RankAccumulator::new();
+        acc.push(1.5);
+        assert!((acc.hits_at(1) - 0.0).abs() < 1e-12);
+        assert!((acc.hits_at(2) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Evaluation protocol configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Settings of a link-prediction evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalProtocol {
+    /// Filtered setting: corrupted triples that exist anywhere in the dataset
+    /// are removed from the candidate list (the paper reports only this).
+    pub filtered: bool,
+    /// Number of worker threads for the ranking loop.
+    pub threads: usize,
+    /// Evaluate at most this many test triples (None = all); used for the
+    /// periodic convergence snapshots of Figures 2–5 where evaluating the
+    /// full test set every few epochs would dominate the run time.
+    pub max_triples: Option<usize>,
+}
+
+impl EvalProtocol {
+    /// The paper's protocol: filtered ranking over the full test set.
+    pub fn filtered() -> Self {
+        Self {
+            filtered: true,
+            threads: default_threads(),
+            max_triples: None,
+        }
+    }
+
+    /// Raw (unfiltered) ranking, kept for completeness.
+    pub fn raw() -> Self {
+        Self {
+            filtered: false,
+            threads: default_threads(),
+            max_triples: None,
+        }
+    }
+
+    /// Limit the number of evaluated triples.
+    pub fn with_max_triples(mut self, max: usize) -> Self {
+        self.max_triples = Some(max);
+        self
+    }
+
+    /// Set the number of worker threads (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl Default for EvalProtocol {
+    fn default() -> Self {
+        Self::filtered()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtered_is_the_default() {
+        let p = EvalProtocol::default();
+        assert!(p.filtered);
+        assert!(p.threads >= 1);
+        assert!(p.max_triples.is_none());
+    }
+
+    #[test]
+    fn raw_and_builders() {
+        let p = EvalProtocol::raw().with_max_triples(100).with_threads(0);
+        assert!(!p.filtered);
+        assert_eq!(p.max_triples, Some(100));
+        assert_eq!(p.threads, 1, "threads clamp to at least one");
+    }
+}

@@ -1,0 +1,341 @@
+//! Train/valid/test datasets and the filtered-evaluation index.
+
+use crate::error::KgError;
+use crate::graph::KnowledgeGraph;
+use crate::triple::{CorruptionSide, EntityId, RelationId, Triple};
+use crate::vocab::Vocab;
+use std::collections::{HashMap, HashSet};
+
+/// Which split of a dataset a triple belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training split.
+    Train,
+    /// Validation split.
+    Valid,
+    /// Test split.
+    Test,
+}
+
+impl Split {
+    /// All splits in canonical order.
+    pub const ALL: [Split; 3] = [Split::Train, Split::Valid, Split::Test];
+
+    /// Conventional file stem (`train`, `valid`, `test`).
+    pub fn stem(self) -> &'static str {
+        match self {
+            Split::Train => "train",
+            Split::Valid => "valid",
+            Split::Test => "test",
+        }
+    }
+}
+
+/// A complete benchmark dataset: vocabularies plus train/valid/test splits.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name, e.g. `"wn18-synthetic"`.
+    pub name: String,
+    /// Entity vocabulary.
+    pub entities: Vocab,
+    /// Relation vocabulary.
+    pub relations: Vocab,
+    /// Training triples.
+    pub train: Vec<Triple>,
+    /// Validation triples.
+    pub valid: Vec<Triple>,
+    /// Test triples.
+    pub test: Vec<Triple>,
+}
+
+impl Dataset {
+    /// Assemble a dataset and validate that every id is within range and that
+    /// the training split is non-empty.
+    pub fn new(
+        name: impl Into<String>,
+        entities: Vocab,
+        relations: Vocab,
+        train: Vec<Triple>,
+        valid: Vec<Triple>,
+        test: Vec<Triple>,
+    ) -> Result<Self, KgError> {
+        let ds = Self {
+            name: name.into(),
+            entities,
+            relations,
+            train,
+            valid,
+            test,
+        };
+        if ds.train.is_empty() {
+            return Err(KgError::Invalid("training split is empty".into()));
+        }
+        let ne = ds.num_entities() as u64;
+        let nr = ds.num_relations() as u64;
+        for t in ds.all_triples() {
+            if t.head as u64 >= ne || t.tail as u64 >= ne {
+                return Err(KgError::IdOutOfRange {
+                    what: "entity",
+                    id: t.head.max(t.tail) as u64,
+                    bound: ne,
+                });
+            }
+            if t.relation as u64 >= nr {
+                return Err(KgError::IdOutOfRange {
+                    what: "relation",
+                    id: t.relation as u64,
+                    bound: nr,
+                });
+            }
+        }
+        Ok(ds)
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The requested split.
+    pub fn split(&self, split: Split) -> &[Triple] {
+        match split {
+            Split::Train => &self.train,
+            Split::Valid => &self.valid,
+            Split::Test => &self.test,
+        }
+    }
+
+    /// Iterate over every triple in every split.
+    pub fn all_triples(&self) -> impl Iterator<Item = &Triple> {
+        self.train.iter().chain(self.valid.iter()).chain(self.test.iter())
+    }
+
+    /// Build the indexed training graph used by samplers.
+    pub fn train_graph(&self) -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(
+            self.num_entities(),
+            self.num_relations(),
+            self.train.iter().copied(),
+        )
+        .expect("dataset was validated at construction")
+    }
+
+    /// Build the filter index over *all* splits — the paper's "Filtered"
+    /// setting removes corrupted triplets that exist in train, valid or test.
+    pub fn filter_index(&self) -> FilterIndex {
+        FilterIndex::from_triples(self.all_triples().copied())
+    }
+
+    /// A compact single-line summary (used by example binaries).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} entities, {} relations, {} train / {} valid / {} test triples",
+            self.name,
+            self.num_entities(),
+            self.num_relations(),
+            self.train.len(),
+            self.valid.len(),
+            self.test.len()
+        )
+    }
+}
+
+/// Index of every known triple, used to implement the filtered ranking
+/// protocol and to avoid false negatives during sampling.
+///
+/// Internally stores, for every `(h, r)`, the set of known tails and, for
+/// every `(r, t)`, the set of known heads.
+#[derive(Debug, Clone, Default)]
+pub struct FilterIndex {
+    tails: HashMap<(EntityId, RelationId), HashSet<EntityId>>,
+    heads: HashMap<(RelationId, EntityId), HashSet<EntityId>>,
+    len: usize,
+}
+
+impl FilterIndex {
+    /// Build from an iterator of triples.
+    pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> Self {
+        let mut idx = Self::default();
+        for t in triples {
+            idx.insert(t);
+        }
+        idx
+    }
+
+    /// Insert a triple.
+    pub fn insert(&mut self, t: Triple) {
+        let newly_tail = self
+            .tails
+            .entry((t.head, t.relation))
+            .or_default()
+            .insert(t.tail);
+        self.heads
+            .entry((t.relation, t.tail))
+            .or_default()
+            .insert(t.head);
+        if newly_tail {
+            self.len += 1;
+        }
+    }
+
+    /// Number of distinct triples indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is `(h, r, t)` a known (true) triple?
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.tails
+            .get(&(t.head, t.relation))
+            .is_some_and(|s| s.contains(&t.tail))
+    }
+
+    /// Would corrupting `positive` on `side` with `candidate` produce a known
+    /// (true) triple? Candidates for which this returns `true` must be
+    /// filtered out of the ranking in the filtered protocol, and are the
+    /// "false negatives" the paper's Bernoulli scheme tries to avoid.
+    pub fn is_false_negative(
+        &self,
+        positive: &Triple,
+        side: CorruptionSide,
+        candidate: EntityId,
+    ) -> bool {
+        self.contains(&positive.corrupted(side, candidate))
+    }
+
+    /// Known tails of `(h, r, ·)`.
+    pub fn known_tails(&self, head: EntityId, relation: RelationId) -> Option<&HashSet<EntityId>> {
+        self.tails.get(&(head, relation))
+    }
+
+    /// Known heads of `(·, r, t)`.
+    pub fn known_heads(&self, relation: RelationId, tail: EntityId) -> Option<&HashSet<EntityId>> {
+        self.heads.get(&(relation, tail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        let entities = Vocab::synthetic("e", 6);
+        let relations = Vocab::synthetic("r", 2);
+        Dataset::new(
+            "tiny",
+            entities,
+            relations,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(3, 1, 4),
+            ],
+            vec![Triple::new(1, 0, 2)],
+            vec![Triple::new(2, 1, 5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dataset_counts_and_split_access() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.num_entities(), 6);
+        assert_eq!(ds.num_relations(), 2);
+        assert_eq!(ds.split(Split::Train).len(), 3);
+        assert_eq!(ds.split(Split::Valid).len(), 1);
+        assert_eq!(ds.split(Split::Test).len(), 1);
+        assert_eq!(ds.all_triples().count(), 5);
+        assert!(ds.summary().contains("tiny"));
+    }
+
+    #[test]
+    fn empty_train_split_is_rejected() {
+        let err = Dataset::new(
+            "bad",
+            Vocab::synthetic("e", 2),
+            Vocab::synthetic("r", 1),
+            vec![],
+            vec![],
+            vec![Triple::new(0, 0, 1)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("training split"));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let err = Dataset::new(
+            "bad",
+            Vocab::synthetic("e", 2),
+            Vocab::synthetic("r", 1),
+            vec![Triple::new(0, 0, 7)],
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn train_graph_only_contains_training_triples() {
+        let ds = tiny_dataset();
+        let g = ds.train_graph();
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(&Triple::new(0, 0, 1)));
+        assert!(!g.contains(&Triple::new(1, 0, 2)), "valid triple must not leak");
+    }
+
+    #[test]
+    fn filter_index_spans_all_splits() {
+        let ds = tiny_dataset();
+        let idx = ds.filter_index();
+        assert_eq!(idx.len(), 5);
+        assert!(idx.contains(&Triple::new(1, 0, 2)), "valid triples are filtered");
+        assert!(idx.contains(&Triple::new(2, 1, 5)), "test triples are filtered");
+        assert!(!idx.contains(&Triple::new(5, 0, 0)));
+    }
+
+    #[test]
+    fn false_negative_detection() {
+        let ds = tiny_dataset();
+        let idx = ds.filter_index();
+        let pos = Triple::new(0, 0, 1);
+        // replacing tail 1 with 2 produces (0,0,2) which is a known triple
+        assert!(idx.is_false_negative(&pos, CorruptionSide::Tail, 2));
+        // replacing tail with 5 produces an unknown triple
+        assert!(!idx.is_false_negative(&pos, CorruptionSide::Tail, 5));
+        // replacing head 0 with 1 produces (1,0,1) which is unknown
+        assert!(!idx.is_false_negative(&pos, CorruptionSide::Head, 1));
+    }
+
+    #[test]
+    fn filter_index_deduplicates() {
+        let idx = FilterIndex::from_triples(vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 1),
+        ]);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn known_neighbourhoods() {
+        let ds = tiny_dataset();
+        let idx = ds.filter_index();
+        let tails = idx.known_tails(0, 0).unwrap();
+        assert!(tails.contains(&1) && tails.contains(&2));
+        let heads = idx.known_heads(0, 2).unwrap();
+        assert!(heads.contains(&0) && heads.contains(&1));
+        assert!(idx.known_tails(5, 1).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the knowledge-graph substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building or loading knowledge graphs.
+#[derive(Debug)]
+pub enum KgError {
+    /// An entity or relation id refers outside the declared vocabulary.
+    IdOutOfRange {
+        /// Human readable description of the offending field.
+        what: &'static str,
+        /// The offending id.
+        id: u64,
+        /// The exclusive upper bound.
+        bound: u64,
+    },
+    /// A text line could not be parsed as a triple.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A name was looked up in a vocabulary that does not contain it.
+    UnknownName(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The dataset violates a structural invariant (e.g. empty split).
+    Invalid(String),
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::IdOutOfRange { what, id, bound } => {
+                write!(f, "{what} id {id} out of range (must be < {bound})")
+            }
+            KgError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            KgError::UnknownName(name) => write!(f, "unknown name: {name}"),
+            KgError::Io(e) => write!(f, "io error: {e}"),
+            KgError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KgError {
+    fn from(e: io::Error) -> Self {
+        KgError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = KgError::IdOutOfRange {
+            what: "entity",
+            id: 10,
+            bound: 5,
+        };
+        assert!(e.to_string().contains("entity id 10"));
+        let e = KgError::ParseError {
+            line: 3,
+            message: "expected 3 columns".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(KgError::UnknownName("foo".into()).to_string().contains("foo"));
+        assert!(KgError::Invalid("empty".into()).to_string().contains("empty"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: KgError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,253 @@
+//! Indexed triple collections.
+
+use crate::error::KgError;
+use crate::triple::{EntityId, RelationId, Triple};
+use std::collections::{HashMap, HashSet};
+
+/// An indexed set of facts over fixed entity/relation vocabularies.
+///
+/// The structure maintains exactly the indexes negative sampling and filtered
+/// evaluation need:
+///
+/// * membership test `contains(h, r, t)` — used to reject false negatives;
+/// * `tails_of(h, r)` — every known tail of `(h, r, ·)`;
+/// * `heads_of(r, t)` — every known head of `(·, r, t)`.
+///
+/// Duplicate insertions are ignored so the triple list stays a set.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeGraph {
+    num_entities: usize,
+    num_relations: usize,
+    triples: Vec<Triple>,
+    membership: HashSet<Triple>,
+    tails_by_hr: HashMap<(EntityId, RelationId), Vec<EntityId>>,
+    heads_by_rt: HashMap<(RelationId, EntityId), Vec<EntityId>>,
+    triples_per_relation: Vec<usize>,
+}
+
+impl KnowledgeGraph {
+    /// Create an empty graph over `num_entities` entities and
+    /// `num_relations` relations.
+    pub fn new(num_entities: usize, num_relations: usize) -> Self {
+        Self {
+            num_entities,
+            num_relations,
+            triples: Vec::new(),
+            membership: HashSet::new(),
+            tails_by_hr: HashMap::new(),
+            heads_by_rt: HashMap::new(),
+            triples_per_relation: vec![0; num_relations],
+        }
+    }
+
+    /// Build a graph from a triple list, validating every id.
+    pub fn from_triples(
+        num_entities: usize,
+        num_relations: usize,
+        triples: impl IntoIterator<Item = Triple>,
+    ) -> Result<Self, KgError> {
+        let mut g = Self::new(num_entities, num_relations);
+        for t in triples {
+            g.insert(t)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of entities in the vocabulary (not the number of *used* entities).
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Number of relations in the vocabulary.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Number of distinct triples stored.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the graph stores no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Insert one triple. Returns `Ok(true)` if it was new, `Ok(false)` if it
+    /// was already present, and an error if any id is out of range.
+    pub fn insert(&mut self, t: Triple) -> Result<bool, KgError> {
+        self.validate(t)?;
+        if !self.membership.insert(t) {
+            return Ok(false);
+        }
+        self.triples.push(t);
+        self.tails_by_hr
+            .entry((t.head, t.relation))
+            .or_default()
+            .push(t.tail);
+        self.heads_by_rt
+            .entry((t.relation, t.tail))
+            .or_default()
+            .push(t.head);
+        self.triples_per_relation[t.relation as usize] += 1;
+        Ok(true)
+    }
+
+    fn validate(&self, t: Triple) -> Result<(), KgError> {
+        if (t.head as usize) >= self.num_entities {
+            return Err(KgError::IdOutOfRange {
+                what: "head entity",
+                id: t.head as u64,
+                bound: self.num_entities as u64,
+            });
+        }
+        if (t.tail as usize) >= self.num_entities {
+            return Err(KgError::IdOutOfRange {
+                what: "tail entity",
+                id: t.tail as u64,
+                bound: self.num_entities as u64,
+            });
+        }
+        if (t.relation as usize) >= self.num_relations {
+            return Err(KgError::IdOutOfRange {
+                what: "relation",
+                id: t.relation as u64,
+                bound: self.num_relations as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Membership test for a fully specified triple.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.membership.contains(t)
+    }
+
+    /// All stored triples in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Known tails of `(h, r, ·)` (empty slice if none).
+    pub fn tails_of(&self, head: EntityId, relation: RelationId) -> &[EntityId] {
+        self.tails_by_hr
+            .get(&(head, relation))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Known heads of `(·, r, t)` (empty slice if none).
+    pub fn heads_of(&self, relation: RelationId, tail: EntityId) -> &[EntityId] {
+        self.heads_by_rt
+            .get(&(relation, tail))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of triples using each relation.
+    pub fn triples_per_relation(&self) -> &[usize] {
+        &self.triples_per_relation
+    }
+
+    /// Distinct `(h, r)` keys — the index set of the paper's tail cache `T`.
+    pub fn head_relation_keys(&self) -> impl Iterator<Item = (EntityId, RelationId)> + '_ {
+        self.tails_by_hr.keys().copied()
+    }
+
+    /// Distinct `(r, t)` keys — the index set of the paper's head cache `H`.
+    pub fn relation_tail_keys(&self) -> impl Iterator<Item = (RelationId, EntityId)> + '_ {
+        self.heads_by_rt.keys().copied()
+    }
+
+    /// Number of entities that appear in at least one stored triple.
+    pub fn used_entities(&self) -> usize {
+        let mut used: HashSet<EntityId> = HashSet::new();
+        for t in &self.triples {
+            used.insert(t.head);
+            used.insert(t.tail);
+        }
+        used.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(
+            5,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(3, 0, 1),
+                Triple::new(1, 1, 4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_counts_and_membership() {
+        let g = sample_graph();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_entities(), 5);
+        assert_eq!(g.num_relations(), 2);
+        assert!(g.contains(&Triple::new(0, 0, 1)));
+        assert!(!g.contains(&Triple::new(0, 0, 4)));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let mut g = sample_graph();
+        assert!(!g.insert(Triple::new(0, 0, 1)).unwrap());
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.tails_of(0, 0), &[1, 2]);
+    }
+
+    #[test]
+    fn indexes_answer_adjacency_queries() {
+        let g = sample_graph();
+        assert_eq!(g.tails_of(0, 0), &[1, 2]);
+        assert_eq!(g.heads_of(0, 1), &[0, 3]);
+        assert!(g.tails_of(4, 0).is_empty());
+        assert!(g.heads_of(1, 0).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let mut g = KnowledgeGraph::new(3, 1);
+        assert!(g.insert(Triple::new(3, 0, 0)).is_err());
+        assert!(g.insert(Triple::new(0, 1, 0)).is_err());
+        assert!(g.insert(Triple::new(0, 0, 3)).is_err());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn per_relation_counts() {
+        let g = sample_graph();
+        assert_eq!(g.triples_per_relation(), &[3, 1]);
+    }
+
+    #[test]
+    fn cache_key_sets_match_distinct_pairs() {
+        let g = sample_graph();
+        let hr: HashSet<_> = g.head_relation_keys().collect();
+        assert_eq!(hr.len(), 3);
+        assert!(hr.contains(&(0, 0)));
+        let rt: HashSet<_> = g.relation_tail_keys().collect();
+        assert_eq!(rt.len(), 3);
+        assert!(rt.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn used_entities_ignores_isolated_ids() {
+        let g = sample_graph();
+        // entity ids 0..5 declared, all of 0,1,2,3,4 appear.
+        assert_eq!(g.used_entities(), 5);
+        let g2 = KnowledgeGraph::from_triples(10, 1, vec![Triple::new(0, 0, 1)]).unwrap();
+        assert_eq!(g2.used_entities(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Knowledge-graph substrate for the NSCaching reproduction.
+//!
+//! A knowledge graph is a set of facts `(h, r, t)` over entity and relation
+//! vocabularies. This crate provides:
+//!
+//! * [`Triple`] and the id types used throughout the workspace;
+//! * [`Vocab`] — string ↔ id mapping for entities and relations;
+//! * [`KnowledgeGraph`] — an indexed triple collection supporting the lookups
+//!   every negative sampler needs (`(h,r) → tails`, `(r,t) → heads`,
+//!   membership tests);
+//! * [`Dataset`] — train/valid/test splits plus a filter index implementing
+//!   the paper's "Filtered" evaluation setting;
+//! * [`stats`] — Bernoulli corruption statistics (`tph`/`hpt`), relation
+//!   categories (1-1 / 1-N / N-1 / N-N) and dataset summaries (Table II);
+//! * [`io`] — plain-TSV readers/writers compatible with the public
+//!   WN18/FB15K file layout, so the real benchmark files can be dropped in
+//!   when available.
+
+pub mod dataset;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod triple;
+pub mod vocab;
+
+pub use dataset::{Dataset, FilterIndex, Split};
+pub use error::KgError;
+pub use graph::KnowledgeGraph;
+pub use stats::{BernoulliStats, DatasetStats, RelationCategory, RelationStats};
+pub use triple::{CorruptionSide, EntityId, RelationId, Triple};
+pub use vocab::Vocab;

@@ -1,0 +1,283 @@
+//! Dataset statistics: Bernoulli corruption probabilities, relation
+//! categories and the summary counts of Table II.
+
+use crate::dataset::Dataset;
+use crate::triple::{CorruptionSide, RelationId, Triple};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Mapping category of a relation, determined by the average number of tails
+/// per head (`tph`) and heads per tail (`hpt`), using the conventional 1.5
+/// threshold from the TransH paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationCategory {
+    /// `tph < 1.5` and `hpt < 1.5`.
+    OneToOne,
+    /// `tph ≥ 1.5` and `hpt < 1.5`.
+    OneToMany,
+    /// `tph < 1.5` and `hpt ≥ 1.5`.
+    ManyToOne,
+    /// `tph ≥ 1.5` and `hpt ≥ 1.5`.
+    ManyToMany,
+}
+
+/// Per-relation corruption statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelationStats {
+    /// Average number of distinct tails per (head, relation) pair.
+    pub tph: f64,
+    /// Average number of distinct heads per (relation, tail) pair.
+    pub hpt: f64,
+    /// Number of training triples using this relation.
+    pub count: usize,
+}
+
+impl RelationStats {
+    /// Probability of corrupting the *head* under the Bernoulli scheme of
+    /// Wang et al. (2014): `tph / (tph + hpt)`.
+    ///
+    /// Intuition: for a one-to-many relation (`tph` large) replacing the head
+    /// is more likely to produce a true negative, so heads are replaced more
+    /// often.
+    pub fn head_corruption_probability(&self) -> f64 {
+        let denom = self.tph + self.hpt;
+        if denom <= 0.0 {
+            0.5
+        } else {
+            self.tph / denom
+        }
+    }
+
+    /// The relation's mapping category.
+    pub fn category(&self) -> RelationCategory {
+        match (self.tph >= 1.5, self.hpt >= 1.5) {
+            (false, false) => RelationCategory::OneToOne,
+            (true, false) => RelationCategory::OneToMany,
+            (false, true) => RelationCategory::ManyToOne,
+            (true, true) => RelationCategory::ManyToMany,
+        }
+    }
+}
+
+/// Bernoulli sampling statistics for every relation, computed from the
+/// training split only (as in the original implementation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BernoulliStats {
+    per_relation: Vec<RelationStats>,
+}
+
+impl BernoulliStats {
+    /// Compute statistics from training triples.
+    pub fn from_train(triples: &[Triple], num_relations: usize) -> Self {
+        let mut tails: HashMap<(u32, u32), HashSet<u32>> = HashMap::new();
+        let mut heads: HashMap<(u32, u32), HashSet<u32>> = HashMap::new();
+        let mut counts = vec![0usize; num_relations];
+        for t in triples {
+            tails.entry((t.head, t.relation)).or_default().insert(t.tail);
+            heads.entry((t.relation, t.tail)).or_default().insert(t.head);
+            counts[t.relation as usize] += 1;
+        }
+        let mut tph_sum = vec![0usize; num_relations];
+        let mut tph_cnt = vec![0usize; num_relations];
+        for ((_, r), ts) in &tails {
+            tph_sum[*r as usize] += ts.len();
+            tph_cnt[*r as usize] += 1;
+        }
+        let mut hpt_sum = vec![0usize; num_relations];
+        let mut hpt_cnt = vec![0usize; num_relations];
+        for ((r, _), hs) in &heads {
+            hpt_sum[*r as usize] += hs.len();
+            hpt_cnt[*r as usize] += 1;
+        }
+        let per_relation = (0..num_relations)
+            .map(|r| RelationStats {
+                tph: if tph_cnt[r] == 0 {
+                    0.0
+                } else {
+                    tph_sum[r] as f64 / tph_cnt[r] as f64
+                },
+                hpt: if hpt_cnt[r] == 0 {
+                    0.0
+                } else {
+                    hpt_sum[r] as f64 / hpt_cnt[r] as f64
+                },
+                count: counts[r],
+            })
+            .collect();
+        Self { per_relation }
+    }
+
+    /// Statistics for one relation (panics if the id is out of range).
+    pub fn relation(&self, r: RelationId) -> &RelationStats {
+        &self.per_relation[r as usize]
+    }
+
+    /// All per-relation statistics.
+    pub fn all(&self) -> &[RelationStats] {
+        &self.per_relation
+    }
+
+    /// Probability of corrupting the head for relation `r`.
+    pub fn head_probability(&self, r: RelationId) -> f64 {
+        self.relation(r).head_corruption_probability()
+    }
+
+    /// Decide which side to corrupt given a uniform random draw `u ∈ [0,1)`.
+    pub fn corruption_side(&self, r: RelationId, u: f64) -> CorruptionSide {
+        if u < self.head_probability(r) {
+            CorruptionSide::Head
+        } else {
+            CorruptionSide::Tail
+        }
+    }
+
+    /// Count of relations in each category `(1-1, 1-N, N-1, N-N)`.
+    pub fn category_counts(&self) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for s in &self.per_relation {
+            if s.count == 0 {
+                continue;
+            }
+            match s.category() {
+                RelationCategory::OneToOne => c[0] += 1,
+                RelationCategory::OneToMany => c[1] += 1,
+                RelationCategory::ManyToOne => c[2] += 1,
+                RelationCategory::ManyToMany => c[3] += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Summary counts reported in Table II of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of relations.
+    pub relations: usize,
+    /// Training triples.
+    pub train: usize,
+    /// Validation triples.
+    pub valid: usize,
+    /// Test triples.
+    pub test: usize,
+}
+
+impl DatasetStats {
+    /// Compute the summary of a dataset.
+    pub fn of(ds: &Dataset) -> Self {
+        Self {
+            name: ds.name.clone(),
+            entities: ds.num_entities(),
+            relations: ds.num_relations(),
+            train: ds.train.len(),
+            valid: ds.valid.len(),
+            test: ds.test.len(),
+        }
+    }
+
+    /// Render as a TSV row matching Table II's column order.
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            self.name, self.entities, self.relations, self.train, self.valid, self.test
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    fn one_to_many_triples() -> Vec<Triple> {
+        // relation 0: head 0 connects to 4 tails (1..=4); each tail has 1 head.
+        // relation 1: 3 heads connect to tail 9; each head has 1 tail.
+        vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2),
+            Triple::new(0, 0, 3),
+            Triple::new(0, 0, 4),
+            Triple::new(5, 1, 9),
+            Triple::new(6, 1, 9),
+            Triple::new(7, 1, 9),
+        ]
+    }
+
+    #[test]
+    fn tph_hpt_are_computed_per_relation() {
+        let stats = BernoulliStats::from_train(&one_to_many_triples(), 2);
+        let r0 = stats.relation(0);
+        assert!((r0.tph - 4.0).abs() < 1e-12);
+        assert!((r0.hpt - 1.0).abs() < 1e-12);
+        assert_eq!(r0.count, 4);
+        assert_eq!(r0.category(), RelationCategory::OneToMany);
+
+        let r1 = stats.relation(1);
+        assert!((r1.tph - 1.0).abs() < 1e-12);
+        assert!((r1.hpt - 3.0).abs() < 1e-12);
+        assert_eq!(r1.category(), RelationCategory::ManyToOne);
+    }
+
+    #[test]
+    fn bernoulli_probability_prefers_head_for_one_to_many() {
+        let stats = BernoulliStats::from_train(&one_to_many_triples(), 2);
+        // 1-N relation: corrupting the head is safer -> probability 4/5.
+        assert!((stats.head_probability(0) - 0.8).abs() < 1e-12);
+        // N-1 relation: corrupting the tail is safer -> head probability 1/4.
+        assert!((stats.head_probability(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_side_uses_the_threshold() {
+        let stats = BernoulliStats::from_train(&one_to_many_triples(), 2);
+        assert_eq!(stats.corruption_side(0, 0.5), CorruptionSide::Head);
+        assert_eq!(stats.corruption_side(0, 0.9), CorruptionSide::Tail);
+    }
+
+    #[test]
+    fn unused_relation_defaults_to_half() {
+        let stats = BernoulliStats::from_train(&one_to_many_triples(), 3);
+        assert!((stats.head_probability(2) - 0.5).abs() < 1e-12);
+        assert_eq!(stats.relation(2).count, 0);
+    }
+
+    #[test]
+    fn category_counts_skip_unused_relations() {
+        let stats = BernoulliStats::from_train(&one_to_many_triples(), 3);
+        assert_eq!(stats.category_counts(), [0, 1, 1, 0]);
+        assert_eq!(stats.all().len(), 3);
+    }
+
+    #[test]
+    fn one_to_one_and_many_to_many_categories() {
+        let one_one = RelationStats { tph: 1.0, hpt: 1.0, count: 5 };
+        assert_eq!(one_one.category(), RelationCategory::OneToOne);
+        let many_many = RelationStats { tph: 3.2, hpt: 2.7, count: 5 };
+        assert_eq!(many_many.category(), RelationCategory::ManyToMany);
+        let degenerate = RelationStats { tph: 0.0, hpt: 0.0, count: 0 };
+        assert!((degenerate.head_corruption_probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_stats_row() {
+        let ds = Dataset::new(
+            "demo",
+            Vocab::synthetic("e", 4),
+            Vocab::synthetic("r", 1),
+            vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)],
+            vec![Triple::new(2, 0, 3)],
+            vec![],
+        )
+        .unwrap();
+        let s = DatasetStats::of(&ds);
+        assert_eq!(s.entities, 4);
+        assert_eq!(s.train, 2);
+        assert_eq!(s.valid, 1);
+        assert_eq!(s.test, 0);
+        assert_eq!(s.tsv_row(), "demo\t4\t1\t2\t1\t0");
+    }
+}

@@ -1,0 +1,147 @@
+//! The triple (fact) type and the id types used across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Entity identifier — a dense index into the entity vocabulary.
+pub type EntityId = u32;
+
+/// Relation identifier — a dense index into the relation vocabulary.
+pub type RelationId = u32;
+
+/// A fact `(h, r, t)`: head entity `h` is connected to tail entity `t` by the
+/// directed relation `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Relation.
+    pub relation: RelationId,
+    /// Tail entity.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub const fn new(head: EntityId, relation: RelationId, tail: EntityId) -> Self {
+        Self {
+            head,
+            relation,
+            tail,
+        }
+    }
+
+    /// The `(h, r)` key used by the tail cache `T` of the paper.
+    pub const fn head_relation(&self) -> (EntityId, RelationId) {
+        (self.head, self.relation)
+    }
+
+    /// The `(r, t)` key used by the head cache `H` of the paper.
+    pub const fn relation_tail(&self) -> (RelationId, EntityId) {
+        (self.relation, self.tail)
+    }
+
+    /// Return a copy of this triple with the head replaced by `new_head`.
+    pub const fn with_head(&self, new_head: EntityId) -> Self {
+        Self::new(new_head, self.relation, self.tail)
+    }
+
+    /// Return a copy of this triple with the tail replaced by `new_tail`.
+    pub const fn with_tail(&self, new_tail: EntityId) -> Self {
+        Self::new(self.head, self.relation, new_tail)
+    }
+
+    /// Return the triple with head and tail swapped (used when synthesising
+    /// inverse-duplicate relations in the dataset generator).
+    pub const fn reversed(&self) -> Self {
+        Self::new(self.tail, self.relation, self.head)
+    }
+
+    /// Replace either the head or the tail depending on `side`.
+    pub const fn corrupted(&self, side: CorruptionSide, entity: EntityId) -> Self {
+        match side {
+            CorruptionSide::Head => self.with_head(entity),
+            CorruptionSide::Tail => self.with_tail(entity),
+        }
+    }
+
+    /// The entity currently occupying `side`.
+    pub const fn entity_at(&self, side: CorruptionSide) -> EntityId {
+        match side {
+            CorruptionSide::Head => self.head,
+            CorruptionSide::Tail => self.tail,
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.head, self.relation, self.tail)
+    }
+}
+
+/// Which side of a positive triple is replaced to build a negative triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorruptionSide {
+    /// Replace the head entity (`(h̄, r, t)`).
+    Head,
+    /// Replace the tail entity (`(h, r, t̄)`).
+    Tail,
+}
+
+impl CorruptionSide {
+    /// The opposite side.
+    pub const fn flipped(self) -> Self {
+        match self {
+            CorruptionSide::Head => CorruptionSide::Tail,
+            CorruptionSide::Tail => CorruptionSide::Head,
+        }
+    }
+
+    /// Both sides, in the order the paper enumerates them.
+    pub const BOTH: [CorruptionSide; 2] = [CorruptionSide::Head, CorruptionSide::Tail];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_extract_the_right_pairs() {
+        let t = Triple::new(3, 7, 11);
+        assert_eq!(t.head_relation(), (3, 7));
+        assert_eq!(t.relation_tail(), (7, 11));
+    }
+
+    #[test]
+    fn with_head_and_tail_replace_only_one_slot() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(t.with_head(9), Triple::new(9, 2, 3));
+        assert_eq!(t.with_tail(9), Triple::new(1, 2, 9));
+    }
+
+    #[test]
+    fn reversed_swaps_head_and_tail() {
+        assert_eq!(Triple::new(1, 2, 3).reversed(), Triple::new(3, 2, 1));
+    }
+
+    #[test]
+    fn corrupted_uses_the_requested_side() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(t.corrupted(CorruptionSide::Head, 7), Triple::new(7, 2, 3));
+        assert_eq!(t.corrupted(CorruptionSide::Tail, 7), Triple::new(1, 2, 7));
+        assert_eq!(t.entity_at(CorruptionSide::Head), 1);
+        assert_eq!(t.entity_at(CorruptionSide::Tail), 3);
+    }
+
+    #[test]
+    fn corruption_side_flips() {
+        assert_eq!(CorruptionSide::Head.flipped(), CorruptionSide::Tail);
+        assert_eq!(CorruptionSide::Tail.flipped(), CorruptionSide::Head);
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        assert_eq!(Triple::new(1, 2, 3).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,130 @@
+//! String ↔ id vocabularies for entities and relations.
+
+use crate::error::KgError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional mapping between names and dense ids.
+///
+/// Ids are assigned in insertion order starting from 0, which matches the
+/// convention of the public benchmark `entity2id.txt` / `relation2id.txt`
+/// files.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a vocabulary of `n` synthetic names `prefix0..prefix{n-1}`.
+    pub fn synthetic(prefix: &str, n: usize) -> Self {
+        let mut v = Self::new();
+        for i in 0..n {
+            v.get_or_insert(&format!("{prefix}{i}"));
+        }
+        v
+    }
+
+    /// Number of names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Insert `name` if missing and return its id.
+    pub fn get_or_insert(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up the id of `name`.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Look up the id of `name`, returning an error naming the missing entry.
+    pub fn require(&self, name: &str) -> Result<u32, KgError> {
+        self.id(name).ok_or_else(|| KgError::UnknownName(name.to_owned()))
+    }
+
+    /// The name of `id`, if it exists.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_assigns_dense_ids_in_order() {
+        let mut v = Vocab::new();
+        assert_eq!(v.get_or_insert("a"), 0);
+        assert_eq!(v.get_or_insert("b"), 1);
+        assert_eq!(v.get_or_insert("a"), 0, "re-insert must be idempotent");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut v = Vocab::new();
+        v.get_or_insert("x");
+        v.get_or_insert("y");
+        assert_eq!(v.id("y"), Some(1));
+        assert_eq!(v.name(1), Some("y"));
+        assert_eq!(v.id("z"), None);
+        assert_eq!(v.name(9), None);
+    }
+
+    #[test]
+    fn require_reports_unknown_names() {
+        let v = Vocab::new();
+        let err = v.require("missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn synthetic_builds_prefixed_names() {
+        let v = Vocab::synthetic("e", 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.name(2), Some("e2"));
+        assert_eq!(v.id("e0"), Some(0));
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let v = Vocab::synthetic("r", 4);
+        let pairs: Vec<(u32, &str)> = v.iter().collect();
+        assert_eq!(pairs[0], (0, "r0"));
+        assert_eq!(pairs[3], (3, "r3"));
+    }
+
+    #[test]
+    fn empty_vocab_reports_empty() {
+        assert!(Vocab::new().is_empty());
+        assert!(!Vocab::synthetic("e", 1).is_empty());
+    }
+}

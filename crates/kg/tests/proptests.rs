@@ -1,0 +1,110 @@
+//! Property-based tests for the knowledge-graph substrate.
+
+use nscaching_kg::{io, BernoulliStats, CorruptionSide, FilterIndex, KnowledgeGraph, Triple, Vocab};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Strategy generating a set of triples over a small vocabulary.
+fn triples_strategy(
+    num_entities: u32,
+    num_relations: u32,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec(
+        (0..num_entities, 0..num_relations, 0..num_entities)
+            .prop_map(|(h, r, t)| Triple::new(h, r, t)),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_contains_exactly_the_inserted_triples(triples in triples_strategy(20, 4, 200)) {
+        let g = KnowledgeGraph::from_triples(20, 4, triples.clone()).unwrap();
+        for t in &triples {
+            prop_assert!(g.contains(t));
+        }
+        // every stored triple came from the input
+        for t in g.triples() {
+            prop_assert!(triples.contains(t));
+        }
+        // stored triples are distinct
+        let mut unique = triples.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(g.len(), unique.len());
+    }
+
+    #[test]
+    fn adjacency_indexes_are_consistent_with_membership(triples in triples_strategy(15, 3, 120)) {
+        let g = KnowledgeGraph::from_triples(15, 3, triples).unwrap();
+        for t in g.triples() {
+            prop_assert!(g.tails_of(t.head, t.relation).contains(&t.tail));
+            prop_assert!(g.heads_of(t.relation, t.tail).contains(&t.head));
+        }
+        for (h, r) in g.head_relation_keys() {
+            for &tail in g.tails_of(h, r) {
+                prop_assert!(g.contains(&Triple::new(h, r, tail)));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_index_agrees_with_naive_membership(triples in triples_strategy(12, 3, 100)) {
+        let idx = FilterIndex::from_triples(triples.iter().copied());
+        for h in 0..12u32 {
+            for r in 0..3u32 {
+                for t in 0..12u32 {
+                    let probe = Triple::new(h, r, t);
+                    prop_assert_eq!(idx.contains(&probe), triples.contains(&probe));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn false_negative_check_matches_direct_containment(
+        triples in triples_strategy(10, 2, 60),
+        candidate in 0u32..10,
+    ) {
+        let idx = FilterIndex::from_triples(triples.iter().copied());
+        for pos in &triples {
+            for side in CorruptionSide::BOTH {
+                let expected = idx.contains(&pos.corrupted(side, candidate));
+                prop_assert_eq!(idx.is_false_negative(pos, side, candidate), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_probabilities_are_valid(triples in triples_strategy(20, 5, 200)) {
+        let stats = BernoulliStats::from_train(&triples, 5);
+        for r in 0..5u32 {
+            let p = stats.head_probability(r);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert_eq!(stats.corruption_side(r, 0.0), CorruptionSide::Head);
+            prop_assert_eq!(stats.corruption_side(r, 0.999_999), CorruptionSide::Tail);
+        }
+        let total_count: usize = stats.all().iter().map(|s| s.count).sum();
+        prop_assert_eq!(total_count, triples.len());
+    }
+
+    #[test]
+    fn tsv_roundtrip_preserves_triples_by_name(triples in triples_strategy(16, 4, 80)) {
+        let entities = Vocab::synthetic("e", 16);
+        let relations = Vocab::synthetic("r", 4);
+        let mut buf = Vec::new();
+        io::write_triples(&mut buf, &triples, &entities, &relations).unwrap();
+        let mut e2 = Vocab::new();
+        let mut r2 = Vocab::new();
+        let back = io::read_triples(Cursor::new(buf), &mut e2, &mut r2).unwrap();
+        prop_assert_eq!(back.len(), triples.len());
+        for (orig, round) in triples.iter().zip(&back) {
+            prop_assert_eq!(entities.name(orig.head), e2.name(round.head));
+            prop_assert_eq!(relations.name(orig.relation), r2.name(round.relation));
+            prop_assert_eq!(entities.name(orig.tail), e2.name(round.tail));
+        }
+    }
+}

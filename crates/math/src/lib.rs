@@ -1,0 +1,34 @@
+//! Numeric substrate for the NSCaching reproduction.
+//!
+//! The paper's algorithms only need dense vector arithmetic, a handful of
+//! initialisers, stable softmax utilities, several sampling primitives
+//! (weighted with and without replacement, alias tables, reservoir sampling)
+//! and light-weight statistics (online moments, histograms, complementary
+//! CDFs). Everything is implemented here from scratch so that the rest of the
+//! workspace has no dependency on an external ML framework.
+//!
+//! All functions operate on `&[f64]` / `&mut [f64]` slices; embedding rows in
+//! `nscaching-models` are stored contiguously and borrowed as slices, so no
+//! dedicated tensor type is needed.
+
+pub mod init;
+pub mod rng;
+pub mod sample;
+pub mod softmax;
+pub mod stats;
+pub mod topk;
+pub mod vecops;
+
+pub use init::{constant_init, uniform_init, xavier_uniform};
+pub use rng::{seeded_rng, split_seed, SeedStream};
+pub use sample::{
+    sample_distinct_uniform, sample_one_weighted, sample_without_replacement_weighted,
+    AliasTable, ReservoirSampler, WeightedIndex,
+};
+pub use softmax::{log_sum_exp, softmax, softmax_in_place};
+pub use stats::{Ccdf, Histogram, OnlineStats, Quantiles};
+pub use topk::{argmax, top_k_indices};
+pub use vecops::{
+    add, add_scaled, dot, hadamard, l1_distance, l1_norm, l2_distance, l2_norm, normalize_l2,
+    scale, sub,
+};

@@ -1,0 +1,460 @@
+//! Sampling primitives.
+//!
+//! Three samplers matter for the paper:
+//!
+//! * uniform sampling of `N2` distinct entities when refreshing the cache
+//!   (Algorithm 3, step 2) — [`sample_distinct_uniform`];
+//! * importance sampling *without replacement* of `N1` entries proportionally
+//!   to `exp(score)` (Algorithm 3, steps 5–9) —
+//!   [`sample_without_replacement_weighted`];
+//! * single weighted draws for the KBGAN generator and for the "IS sampling
+//!   from cache" ablation — [`sample_one_weighted`] / [`WeightedIndex`].
+//!
+//! An [`AliasTable`] is provided for the Zipf-like entity popularity used by
+//! the synthetic dataset generator (O(1) draws from a fixed discrete
+//! distribution), and a [`ReservoirSampler`] for streaming sub-sampling in the
+//! instrumentation code.
+
+use rand::Rng;
+
+/// Sample `k` distinct indices uniformly from `0..n`.
+///
+/// Uses Floyd's algorithm, which performs exactly `k` RNG draws and needs
+/// `O(k)` memory. Panics if `k > n`.
+pub fn sample_distinct_uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct values from a pool of {n}");
+    // Floyd's algorithm produces a set; we then shuffle lightly by insertion
+    // order which is already random enough for our callers (order does not
+    // matter for cache candidates).
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// Draw one index from `0..weights.len()` with probability proportional to
+/// `weights[i]`. All weights must be non-negative and at least one must be
+/// positive; otherwise the draw falls back to uniform.
+pub fn sample_one_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from empty weights");
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut u = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if *w > 0.0 && w.is_finite() {
+            if u < *w {
+                return i;
+            }
+            u -= *w;
+        }
+    }
+    // Floating-point slack: return the last positive-weight index.
+    weights
+        .iter()
+        .rposition(|w| *w > 0.0 && w.is_finite())
+        .unwrap_or(weights.len() - 1)
+}
+
+/// Sample `k` *distinct* indices without replacement with probability
+/// proportional to `weights`, following Algorithm 3 of the paper: repeatedly
+/// draw from the renormalised remaining weights and remove the winner.
+///
+/// If fewer than `k` strictly positive weights exist, the remaining slots are
+/// filled uniformly from the not-yet-chosen indices, so the result always has
+/// exactly `min(k, weights.len())` entries.
+pub fn sample_without_replacement_weighted<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let n = weights.len();
+    let k = k.min(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut w: Vec<f64> = weights
+        .iter()
+        .map(|x| if x.is_finite() && *x > 0.0 { *x } else { 0.0 })
+        .collect();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: f64 = remaining.iter().map(|&i| w[i]).sum();
+        let pick_pos = if total > 0.0 {
+            let mut u = rng.gen_range(0.0..total);
+            let mut chosen = remaining.len() - 1;
+            for (pos, &i) in remaining.iter().enumerate() {
+                if u < w[i] {
+                    chosen = pos;
+                    break;
+                }
+                u -= w[i];
+            }
+            chosen
+        } else {
+            rng.gen_range(0..remaining.len())
+        };
+        let idx = remaining.swap_remove(pick_pos);
+        w[idx] = 0.0;
+        out.push(idx);
+    }
+    out
+}
+
+/// A cumulative-sum weighted index for repeated draws from a *fixed*
+/// distribution (the distribution cannot be mutated after construction).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from non-negative weights. Returns `None` if the weights are
+    /// empty or sum to a non-positive / non-finite value.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            let w = if w.is_finite() && *w > 0.0 { *w } else { 0.0 };
+            acc += w;
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 || !acc.is_finite() {
+            return None;
+        }
+        Some(Self {
+            cumulative,
+            total: acc,
+        })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen_range(0.0..self.total);
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("non-NaN cumulative"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Walker alias table for O(1) draws from a fixed discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build an alias table from non-negative weights. Returns `None` when the
+    /// weights are empty or sum to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let scaled: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                let w = if w.is_finite() && *w > 0.0 { *w } else { 0.0 };
+                w * n as f64 / total
+            })
+            .collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut scaled = scaled;
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &i in large.iter().chain(small.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no categories.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Reservoir sampler keeping a uniform sample of up to `capacity` items from a
+/// stream of unknown length (used to sub-sample negative-score observations
+/// for the CCDF plots without storing every score).
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    capacity: usize,
+    seen: usize,
+    items: Vec<T>,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Create a reservoir with the given capacity (must be positive).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer one item from the stream.
+    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if j < self.capacity {
+                self.items[j] = item;
+            }
+        }
+    }
+
+    /// Items currently held.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total number of items offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Consume the sampler and return its items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_uniform_returns_distinct_in_range() {
+        let mut rng = seeded_rng(10);
+        for _ in 0..50 {
+            let v = sample_distinct_uniform(&mut rng, 100, 20);
+            assert_eq!(v.len(), 20);
+            let set: HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), 20);
+            assert!(v.iter().all(|x| *x < 100));
+        }
+    }
+
+    #[test]
+    fn distinct_uniform_full_draw_is_permutation() {
+        let mut rng = seeded_rng(11);
+        let mut v = sample_distinct_uniform(&mut rng, 10, 10);
+        v.sort_unstable();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn distinct_uniform_rejects_oversized_request() {
+        let mut rng = seeded_rng(12);
+        let _ = sample_distinct_uniform(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn weighted_draw_respects_proportions() {
+        let mut rng = seeded_rng(13);
+        let weights = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..40_000 {
+            counts[sample_one_weighted(&mut rng, &weights)] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_draw_with_zero_total_is_uniform_and_in_range() {
+        let mut rng = seeded_rng(14);
+        for _ in 0..100 {
+            let i = sample_one_weighted(&mut rng, &[0.0, 0.0, 0.0]);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn weighted_draw_ignores_nan_and_negative() {
+        let mut rng = seeded_rng(15);
+        for _ in 0..200 {
+            let i = sample_one_weighted(&mut rng, &[f64::NAN, -1.0, 2.0]);
+            assert_eq!(i, 2);
+        }
+    }
+
+    #[test]
+    fn without_replacement_returns_distinct_and_prefers_heavy() {
+        let mut rng = seeded_rng(16);
+        let mut first_counts = vec![0usize; 4];
+        for _ in 0..20_000 {
+            let picks = sample_without_replacement_weighted(&mut rng, &[1.0, 1.0, 1.0, 10.0], 2);
+            assert_eq!(picks.len(), 2);
+            assert_ne!(picks[0], picks[1]);
+            first_counts[picks[0]] += 1;
+        }
+        assert!(first_counts[3] > first_counts[0] * 5);
+    }
+
+    #[test]
+    fn without_replacement_handles_more_requested_than_available() {
+        let mut rng = seeded_rng(17);
+        let mut picks = sample_without_replacement_weighted(&mut rng, &[1.0, 2.0], 5);
+        picks.sort_unstable();
+        assert_eq!(picks, vec![0, 1]);
+    }
+
+    #[test]
+    fn without_replacement_fills_from_zero_weights_when_needed() {
+        let mut rng = seeded_rng(18);
+        let picks = sample_without_replacement_weighted(&mut rng, &[0.0, 0.0, 5.0], 3);
+        let set: HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 3);
+        assert_eq!(picks[0], 2, "the only positive weight must be drawn first");
+    }
+
+    #[test]
+    fn weighted_index_matches_expected_frequencies() {
+        let wi = WeightedIndex::new(&[2.0, 0.0, 6.0]).unwrap();
+        let mut rng = seeded_rng(19);
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[wi.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_degenerate_inputs() {
+        assert!(WeightedIndex::new(&[]).is_none());
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_none());
+        assert!(WeightedIndex::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn alias_table_matches_expected_frequencies() {
+        let at = AliasTable::new(&[1.0, 2.0, 7.0]).unwrap();
+        let mut rng = seeded_rng(20);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[at.sample(&mut rng)] += 1;
+        }
+        let p: Vec<f64> = counts.iter().map(|c| *c as f64 / n as f64).collect();
+        assert!((p[0] - 0.1).abs() < 0.01);
+        assert!((p[1] - 0.2).abs() < 0.015);
+        assert!((p[2] - 0.7).abs() < 0.015);
+    }
+
+    #[test]
+    fn alias_table_rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0]).is_none());
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_under_capacity() {
+        let mut rng = seeded_rng(21);
+        let mut r = ReservoirSampler::new(10);
+        for i in 0..5 {
+            r.offer(&mut rng, i);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn reservoir_is_approximately_uniform() {
+        let mut rng = seeded_rng(22);
+        let mut hits = vec![0usize; 100];
+        for _ in 0..2000 {
+            let mut r = ReservoirSampler::new(10);
+            for i in 0..100 {
+                r.offer(&mut rng, i);
+            }
+            for &i in r.items() {
+                hits[i] += 1;
+            }
+        }
+        // Each item should be kept ~10% of the time (200 of 2000 trials).
+        let min = *hits.iter().min().unwrap() as f64;
+        let max = *hits.iter().max().unwrap() as f64;
+        assert!(min > 120.0 && max < 300.0, "min {min} max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn reservoir_rejects_zero_capacity() {
+        let _ = ReservoirSampler::<u32>::new(0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Top-k selection over score slices.
+//!
+//! Used by the "top sampling" / "top update" ablations of Section IV-C and by
+//! the link-prediction ranker.
+
+use std::cmp::Ordering;
+
+/// Index of the maximum element (ties broken towards the lower index).
+/// Returns `None` for an empty slice; NaNs are never selected unless every
+/// entry is NaN.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            None => best = Some((i, x)),
+            Some((_, b)) if x > b => best = Some((i, x)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i).or(if xs.is_empty() { None } else { Some(0) })
+}
+
+/// Indices of the `k` largest values, ordered from largest to smallest.
+///
+/// Ties are broken towards the lower index so the result is deterministic.
+/// If `k >= xs.len()` the result is a full argsort by descending value.
+pub fn top_k_indices(xs: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(xs.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| cmp_desc(xs[a], xs[b]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Number of entries strictly greater than `value`, plus the number of earlier
+/// ties — i.e. the 1-based competition rank of `value` among `xs ∪ {value}`
+/// when `value` itself is *not* a member of `xs`.
+///
+/// The link-prediction protocol ranks the positive entity against all
+/// corrupted candidates; with `rank = 1 + #{candidates with score > value}`
+/// (ties counted as half to avoid systematic bias, matching common practice).
+pub fn rank_against(xs: &[f64], value: f64) -> f64 {
+    let mut greater = 0usize;
+    let mut ties = 0usize;
+    for &x in xs {
+        if x.is_nan() {
+            continue;
+        }
+        if x > value {
+            greater += 1;
+        } else if x == value {
+            ties += 1;
+        }
+    }
+    1.0 + greater as f64 + ties as f64 / 2.0
+}
+
+fn cmp_desc(a: f64, b: f64) -> Ordering {
+    b.partial_cmp(&a).unwrap_or(Ordering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_towards_lower_index() {
+        assert_eq!(argmax(&[2.0, 7.0, 7.0]), Some(1));
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f64::NAN, 1.0, 0.5]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), Some(0));
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let xs = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&xs, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&xs, 10), vec![1, 3, 2, 0]);
+        assert!(top_k_indices(&xs, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let xs = [1.0, 1.0, 1.0];
+        assert_eq!(top_k_indices(&xs, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn rank_against_counts_strictly_greater_and_half_ties() {
+        assert_eq!(rank_against(&[0.5, 2.0, 3.0], 1.0), 3.0);
+        assert_eq!(rank_against(&[], 1.0), 1.0);
+        // one greater, one equal -> 1 + 1 + 0.5
+        assert_eq!(rank_against(&[2.0, 1.0], 1.0), 2.5);
+        // NaN candidates are ignored
+        assert_eq!(rank_against(&[f64::NAN, 2.0], 1.0), 2.0);
+    }
+}

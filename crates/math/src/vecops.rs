@@ -1,0 +1,211 @@
+//! Dense vector operations used by the scoring functions and optimizers.
+//!
+//! All binary operations assert that the operands have equal length; the
+//! embedding dimension is fixed per model so mismatches are programming
+//! errors, not runtime conditions.
+
+/// Dot product `x · y`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Element-wise sum `x + y` into a new vector.
+#[inline]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Element-wise difference `x - y` into a new vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Element-wise (Hadamard) product `x ⊙ y` into a new vector.
+#[inline]
+pub fn hadamard(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).collect()
+}
+
+/// In-place scaling `x ← α·x`.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// In-place `y ← y + α·x` (BLAS `axpy`).
+#[inline]
+pub fn add_scaled(y: &mut [f64], x: &[f64], alpha: f64) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// L1 norm `‖x‖₁`.
+#[inline]
+pub fn l1_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L2 norm `‖x‖₂`.
+#[inline]
+pub fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// L1 distance `‖x − y‖₁`.
+#[inline]
+pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// L2 distance `‖x − y‖₂`.
+#[inline]
+pub fn l2_distance(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Normalise `x` to unit L2 norm in place. Vectors whose norm is below
+/// `1e-12` are left untouched to avoid dividing by (numerical) zero.
+#[inline]
+pub fn normalize_l2(x: &mut [f64]) {
+    let n = l2_norm(x);
+    if n > 1e-12 {
+        scale(x, 1.0 / n);
+    }
+}
+
+/// Project `x` onto the L2 ball of radius 1: only rescale when the norm
+/// exceeds one. This is the constraint used by TransE/TransH/TransD on entity
+/// embeddings ("soft" unit-ball constraint).
+#[inline]
+pub fn project_l2_ball(x: &mut [f64]) {
+    let n = l2_norm(x);
+    if n > 1.0 {
+        scale(x, 1.0 / n);
+    }
+}
+
+/// Signum vector of `x` with `sign(0) = 0`; the subgradient of the L1 norm.
+#[inline]
+pub fn signum(x: &[f64]) -> Vec<f64> {
+    x.iter()
+        .map(|v| {
+            if *v > 0.0 {
+                1.0
+            } else if *v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Squared L2 norm `‖x‖₂²`.
+#[inline]
+pub fn sq_l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_manual_expansion() {
+        assert!((dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = vec![1.0, -2.0, 3.5];
+        let y = vec![0.5, 4.0, -1.0];
+        let s = add(&x, &y);
+        let back = sub(&s, &y);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        assert_eq!(hadamard(&[2.0, 3.0], &[4.0, -1.0]), vec![8.0, -3.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(&mut x, 3.0);
+        assert_eq!(x, vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut y = vec![1.0, 1.0];
+        add_scaled(&mut y, &[2.0, -4.0], 0.5);
+        assert_eq!(y, vec![2.0, -1.0]);
+    }
+
+    #[test]
+    fn norms_on_known_vectors() {
+        assert!((l1_norm(&[3.0, -4.0]) - 7.0).abs() < 1e-12);
+        assert!((l2_norm(&[3.0, -4.0]) - 5.0).abs() < 1e-12);
+        assert!((sq_l2_norm(&[3.0, -4.0]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_on_known_vectors() {
+        assert!((l1_distance(&[1.0, 1.0], &[4.0, -3.0]) - 7.0).abs() < 1e-12);
+        assert!((l2_distance(&[1.0, 1.0], &[4.0, 5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        normalize_l2(&mut x);
+        assert!((l2_norm(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_leaves_zero_vector_untouched() {
+        let mut x = vec![0.0, 0.0];
+        normalize_l2(&mut x);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn project_only_shrinks_large_vectors() {
+        let mut small = vec![0.3, 0.4];
+        project_l2_ball(&mut small);
+        assert_eq!(small, vec![0.3, 0.4]);
+
+        let mut large = vec![3.0, 4.0];
+        project_l2_ball(&mut large);
+        assert!((l2_norm(&large) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signum_handles_all_signs() {
+        assert_eq!(signum(&[2.0, -0.5, 0.0]), vec![1.0, -1.0, 0.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the numeric substrate.
+
+use nscaching_math::*;
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3f64, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn softmax_is_a_probability_distribution(xs in prop::collection::vec(-50.0f64..50.0, 1..64)) {
+        let p = softmax(&xs);
+        prop_assert_eq!(p.len(), xs.len());
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|v| *v >= 0.0 && *v <= 1.0));
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-50.0f64..50.0, 1..64)) {
+        let lse = log_sum_exp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-9);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn l2_norm_triangle_inequality(x in finite_vec(16), y in finite_vec(16)) {
+        let s = add(&x, &y);
+        prop_assert!(l2_norm(&s) <= l2_norm(&x) + l2_norm(&y) + 1e-9);
+    }
+
+    #[test]
+    fn dot_is_commutative(x in finite_vec(8), y in finite_vec(8)) {
+        prop_assert!((dot(&x, &y) - dot(&y, &x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm(mut x in finite_vec(12)) {
+        // ensure not all zeros
+        x[0] += 1.0;
+        normalize_l2(&mut x);
+        prop_assert!((l2_norm(&x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_sampling_yields_distinct(seed in any::<u64>(), n in 1usize..200, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac) as usize;
+        let mut rng = seeded_rng(seed);
+        let picks = sample_distinct_uniform(&mut rng, n, k);
+        prop_assert_eq!(picks.len(), k);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(picks.iter().all(|p| *p < n));
+    }
+
+    #[test]
+    fn weighted_without_replacement_is_distinct_and_in_range(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..40),
+        k in 0usize..60,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let picks = sample_without_replacement_weighted(&mut rng, &weights, k);
+        prop_assert_eq!(picks.len(), k.min(weights.len()));
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), picks.len());
+        prop_assert!(picks.iter().all(|p| *p < weights.len()));
+    }
+
+    #[test]
+    fn ccdf_is_bounded_and_monotone(samples in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+        let c = Ccdf::from_samples(&samples);
+        let grid = c.default_grid(32);
+        let vals = c.evaluate(&grid);
+        for w in vals.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        for (_, p) in vals {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn top_k_returns_the_largest(xs in prop::collection::vec(-100.0f64..100.0, 1..64), k in 1usize..64) {
+        let idx = top_k_indices(&xs, k);
+        let k = k.min(xs.len());
+        prop_assert_eq!(idx.len(), k);
+        // every returned element must be >= every non-returned element
+        let chosen: Vec<f64> = idx.iter().map(|&i| xs[i]).collect();
+        let min_chosen = chosen.iter().cloned().fold(f64::INFINITY, f64::min);
+        for (i, &x) in xs.iter().enumerate() {
+            if !idx.contains(&i) {
+                prop_assert!(x <= min_chosen + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn online_stats_mean_is_within_min_max(samples in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut s = OnlineStats::new();
+        for &x in &samples {
+            s.push(x);
+        }
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Model construction from a declarative configuration.
+
+use crate::complex::ComplEx;
+use crate::distmult::DistMult;
+use crate::rescal::Rescal;
+use crate::scorer::{KgeModel, ModelKind};
+use crate::transd::TransD;
+use crate::transe::TransE;
+use crate::transh::TransH;
+use crate::transr::TransR;
+use nscaching_math::seeded_rng;
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a model to build.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Which scoring function to use.
+    pub kind: ModelKind,
+    /// Embedding dimension `d` (complex dimension for ComplEx).
+    pub dim: usize,
+    /// Seed used for Xavier initialisation.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// A configuration with the workspace defaults (`d = 32`).
+    pub fn new(kind: ModelKind) -> Self {
+        Self {
+            kind,
+            dim: 32,
+            seed: 0,
+        }
+    }
+
+    /// Set the embedding dimension.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Set the initialisation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Build a freshly initialised model for the given vocabulary sizes.
+pub fn build_model(
+    config: &ModelConfig,
+    num_entities: usize,
+    num_relations: usize,
+) -> Box<dyn KgeModel> {
+    let mut rng = seeded_rng(config.seed);
+    let d = config.dim;
+    match config.kind {
+        ModelKind::TransE => Box::new(TransE::new(num_entities, num_relations, d, &mut rng)),
+        ModelKind::TransH => Box::new(TransH::new(num_entities, num_relations, d, &mut rng)),
+        ModelKind::TransD => Box::new(TransD::new(num_entities, num_relations, d, &mut rng)),
+        ModelKind::TransR => Box::new(TransR::new(num_entities, num_relations, d, &mut rng)),
+        ModelKind::DistMult => Box::new(DistMult::new(num_entities, num_relations, d, &mut rng)),
+        ModelKind::ComplEx => Box::new(ComplEx::new(num_entities, num_relations, d, &mut rng)),
+        ModelKind::Rescal => Box::new(Rescal::new(num_entities, num_relations, d, &mut rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_kg::Triple;
+
+    #[test]
+    fn every_kind_builds_with_matching_metadata() {
+        for kind in ModelKind::ALL {
+            let config = ModelConfig::new(kind).with_dim(6).with_seed(3);
+            let model = build_model(&config, 11, 4);
+            assert_eq!(model.kind(), kind, "{kind:?}");
+            assert_eq!(model.num_entities(), 11);
+            assert_eq!(model.num_relations(), 4);
+            assert_eq!(model.dim(), 6);
+            assert!(model.num_parameters() > 0);
+            // scoring an arbitrary triple must be finite
+            let s = model.score(&Triple::new(0, 0, 1));
+            assert!(s.is_finite(), "{kind:?} produced a non-finite score");
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_models() {
+        let config = ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(77);
+        let a = build_model(&config, 20, 3);
+        let b = build_model(&config, 20, 3);
+        let t = Triple::new(3, 1, 7);
+        assert_eq!(a.score(&t), b.score(&t));
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let a = build_model(&ModelConfig::new(ModelKind::TransE).with_seed(1), 20, 3);
+        let b = build_model(&ModelConfig::new(ModelKind::TransE).with_seed(2), 20, 3);
+        let t = Triple::new(3, 1, 7);
+        assert_ne!(a.score(&t), b.score(&t));
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = ModelConfig::new(ModelKind::ComplEx).with_dim(12).with_seed(9);
+        assert_eq!(c.dim, 12);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.kind, ModelKind::ComplEx);
+    }
+}

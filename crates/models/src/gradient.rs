@@ -1,0 +1,161 @@
+//! Sparse gradient accumulation.
+//!
+//! A single SGD step in KG embedding touches only a handful of parameter rows
+//! (the head, relation and tail of the positive and negative triples plus, for
+//! some models, their projection vectors). Gradients are therefore
+//! accumulated sparsely as `(table, row) → dense gradient` and applied by the
+//! optimizers in `nscaching-optim` without ever materialising a full-model
+//! gradient.
+
+use std::collections::HashMap;
+
+/// Index of a parameter table inside a model's `tables()` list.
+pub type TableId = usize;
+
+/// A sparse gradient: dense per-row gradients keyed by `(table, row)`.
+#[derive(Debug, Clone, Default)]
+pub struct GradientBuffer {
+    grads: HashMap<(TableId, usize), Vec<f64>>,
+}
+
+impl GradientBuffer {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate `coeff * values` into the gradient of `(table, row)`.
+    pub fn add(&mut self, table: TableId, row: usize, values: &[f64], coeff: f64) {
+        if coeff == 0.0 {
+            return;
+        }
+        let entry = self
+            .grads
+            .entry((table, row))
+            .or_insert_with(|| vec![0.0; values.len()]);
+        debug_assert_eq!(entry.len(), values.len(), "gradient dimension mismatch");
+        for (g, v) in entry.iter_mut().zip(values) {
+            *g += coeff * v;
+        }
+    }
+
+    /// Accumulate `coeff` into a single component of `(table, row)`, resizing
+    /// the row gradient to `dim` if it does not exist yet.
+    pub fn add_component(&mut self, table: TableId, row: usize, dim: usize, idx: usize, coeff: f64) {
+        if coeff == 0.0 {
+            return;
+        }
+        let entry = self
+            .grads
+            .entry((table, row))
+            .or_insert_with(|| vec![0.0; dim]);
+        entry[idx] += coeff;
+    }
+
+    /// Number of distinct `(table, row)` entries.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether no gradients were accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Borrow the gradient of `(table, row)`, if any.
+    pub fn get(&self, table: TableId, row: usize) -> Option<&[f64]> {
+        self.grads.get(&(table, row)).map(|v| v.as_slice())
+    }
+
+    /// Iterate over `((table, row), gradient)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(TableId, usize), &Vec<f64>)> {
+        self.grads.iter()
+    }
+
+    /// Drain the buffer, yielding owned entries and leaving it empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = ((TableId, usize), Vec<f64>)> + '_ {
+        self.grads.drain()
+    }
+
+    /// Remove all entries but keep the allocation.
+    pub fn clear(&mut self) {
+        self.grads.clear();
+    }
+
+    /// Sum of squared components across all entries — the squared L2 norm of
+    /// the full sparse gradient. Used by the Figure 10 instrumentation.
+    pub fn squared_norm(&self) -> f64 {
+        self.grads
+            .values()
+            .map(|g| g.iter().map(|x| x * x).sum::<f64>())
+            .sum()
+    }
+
+    /// L2 norm of the full sparse gradient.
+    pub fn norm(&self) -> f64 {
+        self.squared_norm().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_with_coefficients() {
+        let mut g = GradientBuffer::new();
+        g.add(0, 3, &[1.0, 2.0], 2.0);
+        g.add(0, 3, &[1.0, 0.0], -1.0);
+        assert_eq!(g.get(0, 3), Some(&[1.0, 4.0][..]));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn zero_coefficient_is_a_noop() {
+        let mut g = GradientBuffer::new();
+        g.add(1, 1, &[5.0], 0.0);
+        assert!(g.is_empty());
+        g.add_component(1, 1, 4, 2, 0.0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn distinct_rows_are_kept_separate() {
+        let mut g = GradientBuffer::new();
+        g.add(0, 0, &[1.0], 1.0);
+        g.add(0, 1, &[2.0], 1.0);
+        g.add(1, 0, &[3.0], 1.0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.get(1, 0), Some(&[3.0][..]));
+        assert_eq!(g.get(2, 0), None);
+    }
+
+    #[test]
+    fn add_component_creates_sized_rows() {
+        let mut g = GradientBuffer::new();
+        g.add_component(0, 7, 3, 1, 2.5);
+        assert_eq!(g.get(0, 7), Some(&[0.0, 2.5, 0.0][..]));
+    }
+
+    #[test]
+    fn norm_matches_manual_computation() {
+        let mut g = GradientBuffer::new();
+        g.add(0, 0, &[3.0], 1.0);
+        g.add(1, 1, &[4.0], 1.0);
+        assert!((g.squared_norm() - 25.0).abs() < 1e-12);
+        assert!((g.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_and_clear_empty_the_buffer() {
+        let mut g = GradientBuffer::new();
+        g.add(0, 0, &[1.0], 1.0);
+        let drained: Vec<_> = g.drain().collect();
+        assert_eq!(drained.len(), 1);
+        assert!(g.is_empty());
+
+        g.add(0, 0, &[1.0], 1.0);
+        g.clear();
+        assert!(g.is_empty());
+    }
+}

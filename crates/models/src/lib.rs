@@ -1,0 +1,46 @@
+//! Knowledge-graph embedding models with analytic gradients.
+//!
+//! The paper evaluates NSCaching on five scoring functions (its Table III):
+//! the translational-distance models TransE, TransH and TransD, and the
+//! semantic-matching models DistMult and ComplEx. This crate implements those
+//! five plus TransR and RESCAL as extensions, behind a single [`KgeModel`]
+//! trait that exposes:
+//!
+//! * `score(h, r, t)` — the plausibility of a triple (larger = more
+//!   plausible; translational models return the *negative* distance so the
+//!   convention is uniform);
+//! * `accumulate_score_gradient` — adds `coeff · ∂score/∂θ` into a sparse
+//!   [`GradientBuffer`], which the optimizers in `nscaching-optim` consume;
+//! * parameter access as a list of [`EmbeddingTable`]s so that optimizers and
+//!   serialisation stay model-agnostic.
+//!
+//! No autodiff framework is used; every gradient is hand-derived and verified
+//! against central finite differences in the test-suite (`tests/grad_check.rs`).
+
+pub mod complex;
+pub mod distmult;
+pub mod embedding;
+pub mod factory;
+pub mod gradient;
+pub mod loss;
+pub mod regularizer;
+pub mod rescal;
+pub mod scorer;
+pub mod transd;
+pub mod transe;
+pub mod transh;
+pub mod transr;
+
+pub use complex::ComplEx;
+pub use distmult::DistMult;
+pub use embedding::EmbeddingTable;
+pub use factory::{build_model, ModelConfig};
+pub use gradient::{GradientBuffer, TableId};
+pub use loss::{default_loss, LogisticLoss, Loss, LossKind, MarginRankingLoss, PairGradient};
+pub use regularizer::L2Regularizer;
+pub use rescal::Rescal;
+pub use scorer::{KgeModel, LossType, ModelKind};
+pub use transd::TransD;
+pub use transe::TransE;
+pub use transh::TransH;
+pub use transr::TransR;

@@ -1,0 +1,209 @@
+//! Training losses.
+//!
+//! The paper trains every model with one of two pairwise objectives over a
+//! positive triple and one sampled negative triple:
+//!
+//! * Eq. (1), translational-distance models:
+//!   `L = [γ − f(h,r,t) + f(h̄,r,t̄)]₊`;
+//! * Eq. (2), semantic-matching models:
+//!   `L = ℓ(+1, f(h,r,t)) + ℓ(−1, f(h̄,r,t̄))` with
+//!   `ℓ(α, β) = log(1 + exp(−αβ))`.
+//!
+//! Both are expressed here through the [`Loss`] trait, which maps the pair of
+//! scores `(f_pos, f_neg)` to a loss value and the pair of coefficients
+//! `(∂L/∂f_pos, ∂L/∂f_neg)`. The trainer multiplies these coefficients into
+//! the models' score gradients, so the loss never needs to see parameters.
+
+use crate::scorer::LossType;
+use nscaching_math::softmax::{sigmoid, softplus};
+use serde::{Deserialize, Serialize};
+
+/// Value and score-gradient coefficients of a pairwise loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairGradient {
+    /// The loss value.
+    pub loss: f64,
+    /// `∂L/∂f(positive)`.
+    pub d_positive: f64,
+    /// `∂L/∂f(negative)`.
+    pub d_negative: f64,
+}
+
+impl PairGradient {
+    /// Whether this example contributes no gradient (the "vanishing gradient"
+    /// events counted by the paper's non-zero-loss-ratio instrumentation).
+    pub fn is_zero(&self) -> bool {
+        self.d_positive == 0.0 && self.d_negative == 0.0
+    }
+}
+
+/// A pairwise training loss over `(f_pos, f_neg)`.
+pub trait Loss: Send + Sync {
+    /// Evaluate the loss and its score gradients for one (positive, negative)
+    /// pair.
+    fn evaluate(&self, f_pos: f64, f_neg: f64) -> PairGradient;
+
+    /// Which family this loss belongs to.
+    fn kind(&self) -> LossKind;
+}
+
+/// Identifies a concrete loss (useful for configs and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Margin ranking with the given margin γ.
+    MarginRanking {
+        /// The margin γ.
+        margin: f64,
+    },
+    /// Logistic loss.
+    Logistic,
+}
+
+impl LossKind {
+    /// The paper's loss family for this loss.
+    pub fn loss_type(&self) -> LossType {
+        match self {
+            LossKind::MarginRanking { .. } => LossType::MarginRanking,
+            LossKind::Logistic => LossType::Logistic,
+        }
+    }
+}
+
+/// Pairwise margin ranking loss `[γ − f_pos + f_neg]₊` (Eq. (1)).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MarginRankingLoss {
+    /// The margin γ.
+    pub margin: f64,
+}
+
+impl MarginRankingLoss {
+    /// Create a margin ranking loss with margin `γ`.
+    pub fn new(margin: f64) -> Self {
+        assert!(margin > 0.0, "margin must be positive");
+        Self { margin }
+    }
+}
+
+impl Loss for MarginRankingLoss {
+    fn evaluate(&self, f_pos: f64, f_neg: f64) -> PairGradient {
+        let raw = self.margin - f_pos + f_neg;
+        if raw > 0.0 {
+            PairGradient {
+                loss: raw,
+                d_positive: -1.0,
+                d_negative: 1.0,
+            }
+        } else {
+            PairGradient {
+                loss: 0.0,
+                d_positive: 0.0,
+                d_negative: 0.0,
+            }
+        }
+    }
+
+    fn kind(&self) -> LossKind {
+        LossKind::MarginRanking {
+            margin: self.margin,
+        }
+    }
+}
+
+/// Pointwise logistic loss `softplus(−f_pos) + softplus(f_neg)` (Eq. (2)).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LogisticLoss;
+
+impl Loss for LogisticLoss {
+    fn evaluate(&self, f_pos: f64, f_neg: f64) -> PairGradient {
+        PairGradient {
+            loss: softplus(-f_pos) + softplus(f_neg),
+            d_positive: -sigmoid(-f_pos),
+            d_negative: sigmoid(f_neg),
+        }
+    }
+
+    fn kind(&self) -> LossKind {
+        LossKind::Logistic
+    }
+}
+
+/// Build the paper's default loss for a loss family.
+pub fn default_loss(loss_type: LossType, margin: f64) -> Box<dyn Loss> {
+    match loss_type {
+        LossType::MarginRanking => Box::new(MarginRankingLoss::new(margin)),
+        LossType::Logistic => Box::new(LogisticLoss),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_loss_is_active_inside_the_margin() {
+        let l = MarginRankingLoss::new(1.0);
+        let g = l.evaluate(0.2, -0.3);
+        // raw = 1 − 0.2 + (−0.3) = 0.5 > 0
+        assert!((g.loss - 0.5).abs() < 1e-12);
+        assert_eq!(g.d_positive, -1.0);
+        assert_eq!(g.d_negative, 1.0);
+        assert!(!g.is_zero());
+    }
+
+    #[test]
+    fn margin_loss_vanishes_outside_the_margin() {
+        let l = MarginRankingLoss::new(1.0);
+        let g = l.evaluate(2.0, -3.0);
+        assert_eq!(g.loss, 0.0);
+        assert!(g.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be positive")]
+    fn margin_must_be_positive() {
+        let _ = MarginRankingLoss::new(0.0);
+    }
+
+    #[test]
+    fn logistic_loss_value_and_gradient_signs() {
+        let l = LogisticLoss;
+        let g = l.evaluate(1.0, -1.0);
+        let expected = (1.0 + (-1.0f64).exp()).ln() + (1.0 + (-1.0f64).exp()).ln();
+        assert!((g.loss - expected).abs() < 1e-12);
+        assert!(g.d_positive < 0.0, "positive score should be pushed up");
+        assert!(g.d_negative > 0.0, "negative score should be pushed down");
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_difference() {
+        let l = LogisticLoss;
+        let eps = 1e-6;
+        for &(fp, fn_) in &[(0.3, -0.2), (-1.5, 2.0), (4.0, 4.0)] {
+            let g = l.evaluate(fp, fn_);
+            let num_dp = (l.evaluate(fp + eps, fn_).loss - l.evaluate(fp - eps, fn_).loss) / (2.0 * eps);
+            let num_dn = (l.evaluate(fp, fn_ + eps).loss - l.evaluate(fp, fn_ - eps).loss) / (2.0 * eps);
+            assert!((g.d_positive - num_dp).abs() < 1e-6);
+            assert!((g.d_negative - num_dn).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn logistic_never_reports_zero_gradient() {
+        let l = LogisticLoss;
+        assert!(!l.evaluate(50.0, -50.0).is_zero());
+    }
+
+    #[test]
+    fn default_loss_dispatches_on_type() {
+        assert_eq!(
+            default_loss(LossType::MarginRanking, 2.0).kind(),
+            LossKind::MarginRanking { margin: 2.0 }
+        );
+        assert_eq!(default_loss(LossType::Logistic, 2.0).kind(), LossKind::Logistic);
+        assert_eq!(LossKind::Logistic.loss_type(), LossType::Logistic);
+        assert_eq!(
+            LossKind::MarginRanking { margin: 1.0 }.loss_type(),
+            LossType::MarginRanking
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The scoring-function trait every embedding model implements.
+
+use crate::embedding::EmbeddingTable;
+use crate::gradient::{GradientBuffer, TableId};
+use nscaching_kg::{CorruptionSide, Triple};
+use serde::{Deserialize, Serialize};
+
+/// Index of the entity-embedding table in every model's `tables()` list.
+pub const ENTITY_TABLE: TableId = 0;
+/// Index of the relation-embedding table in every model's `tables()` list.
+pub const RELATION_TABLE: TableId = 1;
+
+/// The scoring functions implemented by this crate (Table III of the paper
+/// plus the TransR and RESCAL extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// `‖h + r − t‖₁` (negated) — Bordes et al., 2013.
+    TransE,
+    /// Hyperplane-projected TransE — Wang et al., 2014.
+    TransH,
+    /// Dynamic-mapping-matrix projection — Ji et al., 2015.
+    TransD,
+    /// Relation-specific projection matrix — Lin et al., 2015.
+    TransR,
+    /// `h · diag(r) · t` — Yang et al., 2015.
+    DistMult,
+    /// `Re(h · diag(r) · conj(t))` — Trouillon et al., 2016.
+    ComplEx,
+    /// `hᵀ M_r t` — Nickel et al., 2011.
+    Rescal,
+}
+
+impl ModelKind {
+    /// All model kinds, in the order used by the experiment tables.
+    pub const ALL: [ModelKind; 7] = [
+        ModelKind::TransE,
+        ModelKind::TransH,
+        ModelKind::TransD,
+        ModelKind::TransR,
+        ModelKind::DistMult,
+        ModelKind::ComplEx,
+        ModelKind::Rescal,
+    ];
+
+    /// The five scoring functions used in the paper's evaluation.
+    pub const PAPER: [ModelKind; 5] = [
+        ModelKind::TransE,
+        ModelKind::TransH,
+        ModelKind::TransD,
+        ModelKind::DistMult,
+        ModelKind::ComplEx,
+    ];
+
+    /// Human readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::TransE => "TransE",
+            ModelKind::TransH => "TransH",
+            ModelKind::TransD => "TransD",
+            ModelKind::TransR => "TransR",
+            ModelKind::DistMult => "DistMult",
+            ModelKind::ComplEx => "ComplEx",
+            ModelKind::Rescal => "RESCAL",
+        }
+    }
+
+    /// Whether the model is a translational-distance model (margin loss) or a
+    /// semantic-matching model (logistic loss), following Section II of the
+    /// paper.
+    pub fn loss_type(&self) -> LossType {
+        match self {
+            ModelKind::TransE | ModelKind::TransH | ModelKind::TransD | ModelKind::TransR => {
+                LossType::MarginRanking
+            }
+            ModelKind::DistMult | ModelKind::ComplEx | ModelKind::Rescal => LossType::Logistic,
+        }
+    }
+}
+
+/// Which of the paper's two training objectives a model uses (Eq. (1) vs (2)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossType {
+    /// Pairwise margin ranking loss `[γ − f(pos) + f(neg)]₊` (Eq. (1)).
+    MarginRanking,
+    /// Pointwise logistic loss `ℓ(+1, f(pos)) + ℓ(−1, f(neg))` (Eq. (2)).
+    Logistic,
+}
+
+/// A knowledge-graph embedding model: parameters plus a differentiable
+/// scoring function.
+///
+/// Larger scores always mean "more plausible"; translational models return
+/// the negative distance so that this convention holds uniformly, exactly as
+/// in the paper's Eq. (1).
+pub trait KgeModel: Send + Sync {
+    /// Which scoring function this is.
+    fn kind(&self) -> ModelKind;
+
+    /// Entity vocabulary size.
+    fn num_entities(&self) -> usize;
+
+    /// Relation vocabulary size.
+    fn num_relations(&self) -> usize;
+
+    /// Embedding dimension `d` (for ComplEx this is the complex dimension;
+    /// the real parameter count per entity is `2d`).
+    fn dim(&self) -> usize;
+
+    /// Plausibility score `f(h, r, t)`.
+    fn score(&self, triple: &Triple) -> f64;
+
+    /// Accumulate `coeff · ∂f(h,r,t)/∂θ` into `grads`.
+    fn accumulate_score_gradient(&self, triple: &Triple, coeff: f64, grads: &mut GradientBuffer);
+
+    /// The parameter tables, in a fixed order starting with
+    /// `[ENTITY_TABLE, RELATION_TABLE, ...]`.
+    fn tables(&self) -> Vec<&EmbeddingTable>;
+
+    /// Mutable access to the parameter tables, same order as [`Self::tables`].
+    fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable>;
+
+    /// Parameter rows `(table, row)` involved in scoring `triple`; used for
+    /// per-example L2 regularisation and constraint application.
+    fn parameter_rows(&self, triple: &Triple) -> Vec<(TableId, usize)>;
+
+    /// Re-impose model-specific constraints (unit-ball entity norms, unit
+    /// normal vectors, …) on the given rows after an optimizer step.
+    fn apply_constraints(&mut self, touched: &[(TableId, usize)]);
+
+    /// Default loss for this model, derived from its kind.
+    fn loss_type(&self) -> LossType {
+        self.kind().loss_type()
+    }
+
+    /// Score every entity substituted at `side` of `triple`.
+    ///
+    /// The default implementation simply loops; models may override it with a
+    /// vectorised version. Used by the link-prediction ranker and by the
+    /// IGAN-style full-softmax generator.
+    fn score_all(&self, triple: &Triple, side: CorruptionSide) -> Vec<f64> {
+        (0..self.num_entities() as u32)
+            .map(|e| self.score(&triple.corrupted(side, e)))
+            .collect()
+    }
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.tables().iter().map(|t| t.num_parameters()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_type_split_matches_the_paper() {
+        assert_eq!(ModelKind::TransE.loss_type(), LossType::MarginRanking);
+        assert_eq!(ModelKind::TransH.loss_type(), LossType::MarginRanking);
+        assert_eq!(ModelKind::TransD.loss_type(), LossType::MarginRanking);
+        assert_eq!(ModelKind::TransR.loss_type(), LossType::MarginRanking);
+        assert_eq!(ModelKind::DistMult.loss_type(), LossType::Logistic);
+        assert_eq!(ModelKind::ComplEx.loss_type(), LossType::Logistic);
+        assert_eq!(ModelKind::Rescal.loss_type(), LossType::Logistic);
+    }
+
+    #[test]
+    fn names_are_the_paper_names() {
+        assert_eq!(ModelKind::TransE.name(), "TransE");
+        assert_eq!(ModelKind::ComplEx.name(), "ComplEx");
+        assert_eq!(ModelKind::Rescal.name(), "RESCAL");
+    }
+
+    #[test]
+    fn paper_subset_is_five_models() {
+        assert_eq!(ModelKind::PAPER.len(), 5);
+        assert_eq!(ModelKind::ALL.len(), 7);
+    }
+}

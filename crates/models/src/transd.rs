@@ -1,0 +1,232 @@
+//! TransD (Ji et al., ACL 2015):
+//! `h⊥ = h + (w_h·h)·w_r`, `t⊥ = t + (w_t·t)·w_r`,
+//! `f(h,r,t) = −‖h⊥ + r − t⊥‖₁`.
+//!
+//! This is the dynamic-mapping-matrix model `M_rh = w_r w_hᵀ + I` specialised
+//! to equal entity/relation dimensions, which is the configuration the paper
+//! (and the original TransD code) uses.
+
+use crate::embedding::EmbeddingTable;
+use crate::gradient::{GradientBuffer, TableId};
+use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
+use nscaching_kg::Triple;
+use nscaching_math::vecops::{dot, signum};
+use rand::Rng;
+
+/// Index of the per-entity projection table `w_e` in [`TransD::tables`].
+pub const ENTITY_PROJ_TABLE: TableId = 2;
+/// Index of the per-relation projection table `w_r` in [`TransD::tables`].
+pub const RELATION_PROJ_TABLE: TableId = 3;
+
+/// TransD with L1 dissimilarity.
+#[derive(Debug, Clone)]
+pub struct TransD {
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    entity_proj: EmbeddingTable,
+    relation_proj: EmbeddingTable,
+    dim: usize,
+}
+
+impl TransD {
+    /// Create a Xavier-initialised TransD model.
+    pub fn new<R: Rng + ?Sized>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut model = Self {
+            entities: EmbeddingTable::xavier("entity", num_entities, dim, rng),
+            relations: EmbeddingTable::xavier("relation", num_relations, dim, rng),
+            entity_proj: EmbeddingTable::xavier("entity_proj", num_entities, dim, rng),
+            relation_proj: EmbeddingTable::xavier("relation_proj", num_relations, dim, rng),
+            dim,
+        };
+        for i in 0..num_entities {
+            model.entities.project_row(i);
+        }
+        model
+    }
+
+    /// Residual `u = h + (w_h·h)·w_r + r − t − (w_t·t)·w_r` plus the scalars
+    /// needed for the gradient.
+    fn residual(&self, t: &Triple) -> Residual {
+        let h = self.entities.row(t.head as usize);
+        let tl = self.entities.row(t.tail as usize);
+        let r = self.relations.row(t.relation as usize);
+        let wh = self.entity_proj.row(t.head as usize);
+        let wt = self.entity_proj.row(t.tail as usize);
+        let wr = self.relation_proj.row(t.relation as usize);
+        let wh_h = dot(wh, h);
+        let wt_t = dot(wt, tl);
+        let u: Vec<f64> = (0..self.dim)
+            .map(|i| h[i] + wh_h * wr[i] + r[i] - tl[i] - wt_t * wr[i])
+            .collect();
+        Residual { u, wh_h, wt_t }
+    }
+}
+
+struct Residual {
+    u: Vec<f64>,
+    wh_h: f64,
+    wt_t: f64,
+}
+
+impl KgeModel for TransD {
+    fn kind(&self) -> ModelKind {
+        ModelKind::TransD
+    }
+
+    fn num_entities(&self) -> usize {
+        self.entities.rows()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.relations.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score(&self, t: &Triple) -> f64 {
+        -self.residual(t).u.iter().map(|v| v.abs()).sum::<f64>()
+    }
+
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+        // f = −‖u‖₁ with u = h + (w_h·h) w_r + r − t − (w_t·t) w_r.
+        // Let s = sign(u); ∂f/∂u = −s.
+        //   ∂u/∂h   = I + w_r w_hᵀ        ⇒ ∂f/∂h   = −(s + (w_r·s) w_h)
+        //   ∂u/∂t   = −(I + w_r w_tᵀ)     ⇒ ∂f/∂t   = +(s + (w_r·s) w_t)
+        //   ∂u/∂r   = I                   ⇒ ∂f/∂r   = −s
+        //   ∂u/∂w_h = w_r hᵀ              ⇒ ∂f/∂w_h = −(w_r·s) h
+        //   ∂u/∂w_t = −w_r tᵀ             ⇒ ∂f/∂w_t = +(w_r·s) t
+        //   ∂u/∂w_r = ((w_h·h) − (w_t·t))I⇒ ∂f/∂w_r = −((w_h·h) − (w_t·t)) s
+        let res = self.residual(t);
+        let s = signum(&res.u);
+        let h = self.entities.row(t.head as usize);
+        let tl = self.entities.row(t.tail as usize);
+        let wh = self.entity_proj.row(t.head as usize);
+        let wt = self.entity_proj.row(t.tail as usize);
+        let wr = self.relation_proj.row(t.relation as usize);
+        let wr_s = dot(wr, &s);
+
+        let grad_h: Vec<f64> = s.iter().zip(wh).map(|(si, whi)| si + wr_s * whi).collect();
+        let grad_t: Vec<f64> = s.iter().zip(wt).map(|(si, wti)| si + wr_s * wti).collect();
+        grads.add(ENTITY_TABLE, t.head as usize, &grad_h, -coeff);
+        grads.add(ENTITY_TABLE, t.tail as usize, &grad_t, coeff);
+        grads.add(RELATION_TABLE, t.relation as usize, &s, -coeff);
+        grads.add(ENTITY_PROJ_TABLE, t.head as usize, h, -coeff * wr_s);
+        grads.add(ENTITY_PROJ_TABLE, t.tail as usize, tl, coeff * wr_s);
+        grads.add(
+            RELATION_PROJ_TABLE,
+            t.relation as usize,
+            &s,
+            -coeff * (res.wh_h - res.wt_t),
+        );
+    }
+
+    fn tables(&self) -> Vec<&EmbeddingTable> {
+        vec![
+            &self.entities,
+            &self.relations,
+            &self.entity_proj,
+            &self.relation_proj,
+        ]
+    }
+
+    fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable> {
+        vec![
+            &mut self.entities,
+            &mut self.relations,
+            &mut self.entity_proj,
+            &mut self.relation_proj,
+        ]
+    }
+
+    fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {
+        vec![
+            (ENTITY_TABLE, t.head as usize),
+            (RELATION_TABLE, t.relation as usize),
+            (ENTITY_TABLE, t.tail as usize),
+            (ENTITY_PROJ_TABLE, t.head as usize),
+            (ENTITY_PROJ_TABLE, t.tail as usize),
+            (RELATION_PROJ_TABLE, t.relation as usize),
+        ]
+    }
+
+    fn apply_constraints(&mut self, touched: &[(TableId, usize)]) {
+        for &(table, row) in touched {
+            if table == ENTITY_TABLE {
+                self.entities.project_row(row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+
+    fn tiny_model() -> TransD {
+        let mut rng = seeded_rng(11);
+        TransD::new(6, 3, 4, &mut rng)
+    }
+
+    #[test]
+    fn reduces_to_transe_when_projections_are_zero() {
+        let mut m = tiny_model();
+        let dim = m.dim();
+        for e in 0..6 {
+            m.tables_mut()[ENTITY_PROJ_TABLE].set_row(e, &vec![0.0; dim]);
+        }
+        for r in 0..3 {
+            m.tables_mut()[RELATION_PROJ_TABLE].set_row(r, &vec![0.0; dim]);
+        }
+        m.tables_mut()[ENTITY_TABLE].set_row(0, &[0.2, 0.0, 0.0, 0.0]);
+        m.tables_mut()[RELATION_TABLE].set_row(0, &[0.1, 0.0, 0.0, 0.0]);
+        m.tables_mut()[ENTITY_TABLE].set_row(1, &[0.3, 0.0, 0.0, 0.0]);
+        let s = m.score(&Triple::new(0, 0, 1));
+        assert!((s - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_changes_the_score() {
+        let mut m = tiny_model();
+        let base = m.score(&Triple::new(0, 0, 1));
+        let dim = m.dim();
+        m.tables_mut()[RELATION_PROJ_TABLE].set_row(0, &vec![0.5; dim]);
+        m.tables_mut()[ENTITY_PROJ_TABLE].set_row(0, &vec![0.5; dim]);
+        let changed = m.score(&Triple::new(0, 0, 1));
+        assert!((base - changed).abs() > 1e-9);
+    }
+
+    #[test]
+    fn four_tables_and_parameter_rows() {
+        let m = tiny_model();
+        assert_eq!(m.tables().len(), 4);
+        assert_eq!(m.num_parameters(), (6 + 3 + 6 + 3) * 4);
+        let rows = m.parameter_rows(&Triple::new(1, 2, 4));
+        assert_eq!(rows.len(), 6);
+        assert!(rows.contains(&(ENTITY_PROJ_TABLE, 1)));
+        assert!(rows.contains(&(ENTITY_PROJ_TABLE, 4)));
+        assert!(rows.contains(&(RELATION_PROJ_TABLE, 2)));
+    }
+
+    #[test]
+    fn constraints_touch_only_entity_embeddings() {
+        let mut m = tiny_model();
+        m.tables_mut()[ENTITY_TABLE].set_row(0, &[3.0, 0.0, 4.0, 0.0]);
+        m.tables_mut()[ENTITY_PROJ_TABLE].set_row(0, &[3.0, 0.0, 4.0, 0.0]);
+        m.apply_constraints(&[(ENTITY_TABLE, 0), (ENTITY_PROJ_TABLE, 0)]);
+        assert!((m.tables()[ENTITY_TABLE].row_norm(0) - 1.0).abs() < 1e-12);
+        assert!((m.tables()[ENTITY_PROJ_TABLE].row_norm(0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_is_transd() {
+        assert_eq!(tiny_model().kind(), ModelKind::TransD);
+    }
+}

@@ -1,0 +1,205 @@
+//! TransR (Lin et al., AAAI 2015):
+//! `f(h,r,t) = −‖M_r h + r − M_r t‖₁` with a relation-specific projection
+//! matrix `M_r ∈ ℝ^{d×d}`.
+//!
+//! TransR is not part of the paper's five evaluated scoring functions but is
+//! listed among the translational models in its Section II-C; it is included
+//! here as an extension and exercised by the ablation benches.
+
+use crate::embedding::EmbeddingTable;
+use crate::gradient::{GradientBuffer, TableId};
+use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
+use nscaching_kg::Triple;
+use nscaching_math::vecops::{dot, signum};
+use rand::Rng;
+
+/// Index of the relation-matrix table (each row is a flattened `d×d` matrix).
+pub const MATRIX_TABLE: TableId = 2;
+
+/// TransR with L1 dissimilarity.
+#[derive(Debug, Clone)]
+pub struct TransR {
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    matrices: EmbeddingTable,
+    dim: usize,
+}
+
+impl TransR {
+    /// Create a TransR model. Relation matrices are initialised to the
+    /// identity (the standard warm start) plus small Xavier noise.
+    pub fn new<R: Rng + ?Sized>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let entities = EmbeddingTable::xavier("entity", num_entities, dim, rng);
+        let relations = EmbeddingTable::xavier("relation", num_relations, dim, rng);
+        let mut matrices = EmbeddingTable::xavier("relation_matrix", num_relations, dim * dim, rng);
+        for r in 0..num_relations {
+            let row = matrices.row_mut(r);
+            for i in 0..dim {
+                // damp the noise and add the identity
+                for j in 0..dim {
+                    row[i * dim + j] *= 0.1;
+                }
+                row[i * dim + i] += 1.0;
+            }
+        }
+        let mut model = Self {
+            entities,
+            relations,
+            matrices,
+            dim,
+        };
+        for i in 0..num_entities {
+            model.entities.project_row(i);
+        }
+        model
+    }
+
+    /// `M_r v` for the matrix of relation `r`.
+    fn project(&self, relation: u32, v: &[f64]) -> Vec<f64> {
+        let m = self.matrices.row(relation as usize);
+        let d = self.dim;
+        (0..d).map(|i| dot(&m[i * d..(i + 1) * d], v)).collect()
+    }
+
+    fn residual(&self, t: &Triple) -> Vec<f64> {
+        let h = self.entities.row(t.head as usize);
+        let tl = self.entities.row(t.tail as usize);
+        let r = self.relations.row(t.relation as usize);
+        let hp = self.project(t.relation, h);
+        let tp = self.project(t.relation, tl);
+        (0..self.dim).map(|i| hp[i] + r[i] - tp[i]).collect()
+    }
+}
+
+impl KgeModel for TransR {
+    fn kind(&self) -> ModelKind {
+        ModelKind::TransR
+    }
+
+    fn num_entities(&self) -> usize {
+        self.entities.rows()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.relations.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score(&self, t: &Triple) -> f64 {
+        -self.residual(t).iter().map(|v| v.abs()).sum::<f64>()
+    }
+
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+        // f = −‖u‖₁, u = M_r(h − t) + r, s = sign(u).
+        //   ∂f/∂h   = −M_rᵀ s
+        //   ∂f/∂t   = +M_rᵀ s
+        //   ∂f/∂r   = −s
+        //   ∂f/∂M_r = −s (h − t)ᵀ   (flattened row-major)
+        let u = self.residual(t);
+        let s = signum(&u);
+        let d = self.dim;
+        let m = self.matrices.row(t.relation as usize);
+        let h = self.entities.row(t.head as usize);
+        let tl = self.entities.row(t.tail as usize);
+
+        // M_rᵀ s
+        let mt_s: Vec<f64> = (0..d)
+            .map(|j| (0..d).map(|i| m[i * d + j] * s[i]).sum())
+            .collect();
+        grads.add(ENTITY_TABLE, t.head as usize, &mt_s, -coeff);
+        grads.add(ENTITY_TABLE, t.tail as usize, &mt_s, coeff);
+        grads.add(RELATION_TABLE, t.relation as usize, &s, -coeff);
+
+        let x: Vec<f64> = h.iter().zip(tl).map(|(a, b)| a - b).collect();
+        let mut grad_m = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                grad_m[i * d + j] = s[i] * x[j];
+            }
+        }
+        grads.add(MATRIX_TABLE, t.relation as usize, &grad_m, -coeff);
+    }
+
+    fn tables(&self) -> Vec<&EmbeddingTable> {
+        vec![&self.entities, &self.relations, &self.matrices]
+    }
+
+    fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable> {
+        vec![&mut self.entities, &mut self.relations, &mut self.matrices]
+    }
+
+    fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {
+        vec![
+            (ENTITY_TABLE, t.head as usize),
+            (RELATION_TABLE, t.relation as usize),
+            (ENTITY_TABLE, t.tail as usize),
+            (MATRIX_TABLE, t.relation as usize),
+        ]
+    }
+
+    fn apply_constraints(&mut self, touched: &[(TableId, usize)]) {
+        for &(table, row) in touched {
+            if table == ENTITY_TABLE {
+                self.entities.project_row(row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+
+    fn tiny_model() -> TransR {
+        let mut rng = seeded_rng(13);
+        TransR::new(5, 2, 3, &mut rng)
+    }
+
+    #[test]
+    fn identity_matrix_reduces_to_transe() {
+        let mut m = tiny_model();
+        let d = m.dim();
+        let mut identity = vec![0.0; d * d];
+        for i in 0..d {
+            identity[i * d + i] = 1.0;
+        }
+        m.tables_mut()[MATRIX_TABLE].set_row(0, &identity);
+        m.tables_mut()[ENTITY_TABLE].set_row(0, &[0.2, 0.1, 0.0]);
+        m.tables_mut()[RELATION_TABLE].set_row(0, &[0.1, -0.1, 0.3]);
+        m.tables_mut()[ENTITY_TABLE].set_row(1, &[0.3, 0.0, 0.3]);
+        assert!((m.score(&Triple::new(0, 0, 1)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_row_length_is_d_squared() {
+        let m = tiny_model();
+        assert_eq!(m.tables()[MATRIX_TABLE].dim(), 9);
+        assert_eq!(m.num_parameters(), 5 * 3 + 2 * 3 + 2 * 9);
+    }
+
+    #[test]
+    fn different_matrices_give_different_scores() {
+        let mut m = tiny_model();
+        let before = m.score(&Triple::new(0, 0, 1));
+        let d = m.dim();
+        m.tables_mut()[MATRIX_TABLE].set_row(0, &vec![0.33; d * d]);
+        let after = m.score(&Triple::new(0, 0, 1));
+        assert!((before - after).abs() > 1e-9);
+    }
+
+    #[test]
+    fn parameter_rows_include_matrix() {
+        let m = tiny_model();
+        let rows = m.parameter_rows(&Triple::new(0, 1, 2));
+        assert!(rows.contains(&(MATRIX_TABLE, 1)));
+    }
+}

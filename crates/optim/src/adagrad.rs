@@ -1,0 +1,115 @@
+//! AdaGrad (Duchi et al., 2011) with sparse per-row accumulators.
+
+use crate::optimizer::Optimizer;
+use nscaching_models::{GradientBuffer, KgeModel, TableId};
+use std::collections::HashMap;
+
+/// `θ ← θ − η·g / (√G + ε)` with `G` the per-component sum of squared
+/// gradients. State is stored only for rows that have ever been updated.
+#[derive(Debug, Clone)]
+pub struct AdaGrad {
+    learning_rate: f64,
+    epsilon: f64,
+    accumulators: HashMap<(TableId, usize), Vec<f64>>,
+}
+
+impl AdaGrad {
+    /// Create an AdaGrad optimizer with learning rate `η` and `ε = 1e-10`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Self {
+            learning_rate,
+            epsilon: 1e-10,
+            accumulators: HashMap::new(),
+        }
+    }
+
+    /// Number of rows with live state (used in tests and memory reports).
+    pub fn state_rows(&self) -> usize {
+        self.accumulators.len()
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)> {
+        let lr = self.learning_rate;
+        let eps = self.epsilon;
+        let mut tables = model.tables_mut();
+        let mut touched = Vec::with_capacity(grads.len());
+        for (&(table, row), grad) in grads.iter() {
+            let acc = self
+                .accumulators
+                .entry((table, row))
+                .or_insert_with(|| vec![0.0; grad.len()]);
+            let params = tables[table].row_mut(row);
+            for ((p, g), a) in params.iter_mut().zip(grad).zip(acc.iter_mut()) {
+                *a += g * g;
+                *p -= lr * g / (a.sqrt() + eps);
+            }
+            touched.push((table, row));
+        }
+        touched
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    fn reset(&mut self) {
+        self.accumulators.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+    use nscaching_models::{DistMult, KgeModel};
+
+    fn model() -> DistMult {
+        let mut rng = seeded_rng(3);
+        let mut m = DistMult::new(2, 1, 2, &mut rng);
+        m.tables_mut()[0].set_row(0, &[0.0, 0.0]);
+        m
+    }
+
+    #[test]
+    fn first_step_is_learning_rate_sized() {
+        let mut m = model();
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 0, &[2.0, -4.0], 1.0);
+        let mut opt = AdaGrad::new(0.1);
+        opt.step(&mut m, &grads);
+        // each component: -lr * g/|g| = ∓lr (sign of g)
+        let row = m.tables()[0].row(0);
+        assert!((row[0] + 0.1).abs() < 1e-6);
+        assert!((row[1] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_gradients_shrink_the_effective_step() {
+        let mut m = model();
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 0, &[1.0, 1.0], 1.0);
+        let mut opt = AdaGrad::new(0.1);
+        opt.step(&mut m, &grads);
+        let after_first = m.tables()[0].row(0)[0];
+        opt.step(&mut m, &grads);
+        let after_second = m.tables()[0].row(0)[0];
+        let first_step = (0.0 - after_first).abs();
+        let second_step = (after_first - after_second).abs();
+        assert!(second_step < first_step, "{second_step} !< {first_step}");
+    }
+
+    #[test]
+    fn state_grows_only_for_touched_rows_and_reset_clears_it() {
+        let mut m = model();
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 1, &[1.0, 1.0], 1.0);
+        let mut opt = AdaGrad::new(0.1);
+        opt.step(&mut m, &grads);
+        assert_eq!(opt.state_rows(), 1);
+        opt.reset();
+        assert_eq!(opt.state_rows(), 0);
+    }
+}

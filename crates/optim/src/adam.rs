@@ -1,0 +1,167 @@
+//! Adam (Kingma & Ba, 2015) with sparse, lazily-updated per-row moments.
+//!
+//! The paper uses Adam "with its default settings, except for the learning
+//! rate" (Section IV-A2). Moments are maintained only for rows that receive
+//! gradients, and bias correction uses a per-row step counter — the standard
+//! "lazy Adam" variant for sparse embedding training.
+
+use crate::optimizer::Optimizer;
+use nscaching_models::{GradientBuffer, KgeModel, TableId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct RowState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+/// Adam with per-row first/second moments.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    state: HashMap<(TableId, usize), RowState>,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with the default `β₁ = 0.9`, `β₂ = 0.999`,
+    /// `ε = 1e-8`.
+    pub fn new(learning_rate: f64) -> Self {
+        Self::with_betas(learning_rate, 0.9, 0.999)
+    }
+
+    /// Create an Adam optimizer with explicit momentum coefficients.
+    pub fn with_betas(learning_rate: f64, beta1: f64, beta2: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
+        Self {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Number of rows with live moment state.
+    pub fn state_rows(&self) -> usize {
+        self.state.len()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)> {
+        let (lr, b1, b2, eps) = (self.learning_rate, self.beta1, self.beta2, self.epsilon);
+        let mut tables = model.tables_mut();
+        let mut touched = Vec::with_capacity(grads.len());
+        for (&(table, row), grad) in grads.iter() {
+            let state = self.state.entry((table, row)).or_insert_with(|| RowState {
+                m: vec![0.0; grad.len()],
+                v: vec![0.0; grad.len()],
+                t: 0,
+            });
+            state.t += 1;
+            let bias1 = 1.0 - b1.powi(state.t as i32);
+            let bias2 = 1.0 - b2.powi(state.t as i32);
+            let params = tables[table].row_mut(row);
+            for i in 0..grad.len() {
+                let g = grad[i];
+                state.m[i] = b1 * state.m[i] + (1.0 - b1) * g;
+                state.v[i] = b2 * state.v[i] + (1.0 - b2) * g * g;
+                let m_hat = state.m[i] / bias1;
+                let v_hat = state.v[i] / bias2;
+                params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            touched.push((table, row));
+        }
+        touched
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+    use nscaching_models::{DistMult, KgeModel};
+
+    fn model() -> DistMult {
+        let mut rng = seeded_rng(4);
+        let mut m = DistMult::new(3, 1, 2, &mut rng);
+        m.tables_mut()[0].set_row(0, &[0.0, 0.0]);
+        m
+    }
+
+    #[test]
+    fn first_step_size_is_close_to_learning_rate() {
+        let mut m = model();
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 0, &[10.0, -0.001], 1.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut m, &grads);
+        let row = m.tables()[0].row(0);
+        // Adam's first bias-corrected step is ≈ lr regardless of magnitude,
+        // in the direction opposite to the gradient.
+        assert!((row[0] + 0.01).abs() < 1e-6, "row[0] = {}", row[0]);
+        assert!((row[1] - 0.01).abs() < 1e-6, "row[1] = {}", row[1]);
+    }
+
+    #[test]
+    fn repeated_steps_descend_a_quadratic() {
+        // minimise f(x) = x² with gradient 2x starting at x = 1
+        let mut m = model();
+        m.tables_mut()[0].set_row(1, &[1.0, 1.0]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..200 {
+            let x = m.tables()[0].row(1).to_vec();
+            let mut grads = GradientBuffer::new();
+            grads.add(0, 1, &[2.0 * x[0], 2.0 * x[1]], 1.0);
+            opt.step(&mut m, &grads);
+        }
+        let x = m.tables()[0].row(1);
+        assert!(x[0].abs() < 0.05, "x[0] = {}", x[0]);
+        assert!(x[1].abs() < 0.05);
+    }
+
+    #[test]
+    fn lazy_state_and_reset() {
+        let mut m = model();
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 2, &[1.0, 1.0], 1.0);
+        grads.add(1, 0, &[1.0, 1.0], 1.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut m, &grads);
+        assert_eq!(opt.state_rows(), 2);
+        opt.reset();
+        assert_eq!(opt.state_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta1 must be in [0,1)")]
+    fn invalid_beta_is_rejected() {
+        let _ = Adam::with_betas(0.01, 1.0, 0.999);
+    }
+
+    #[test]
+    fn touched_rows_are_reported() {
+        let mut m = model();
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 0, &[1.0, 1.0], 1.0);
+        grads.add(0, 1, &[1.0, 1.0], 1.0);
+        let mut opt = Adam::new(0.01);
+        let mut touched = opt.step(&mut m, &grads);
+        touched.sort_unstable();
+        assert_eq!(touched, vec![(0, 0), (0, 1)]);
+    }
+}

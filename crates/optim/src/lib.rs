@@ -1,0 +1,19 @@
+//! Sparse first-order optimizers for embedding tables.
+//!
+//! A KG-embedding SGD step only touches a handful of parameter rows, so all
+//! optimizer state (AdaGrad accumulators, Adam moments) is kept sparsely per
+//! `(table, row)` and updated lazily — exactly the "lazy Adam" behaviour of
+//! the PyTorch sparse optimizers the paper's reference implementation relies
+//! on. The paper trains every model with Adam at its default hyper-parameters
+//! except the learning rate (Section IV-A2); plain SGD and AdaGrad are
+//! provided for the ablation benches.
+
+pub mod adagrad;
+pub mod adam;
+pub mod optimizer;
+pub mod sgd;
+
+pub use adagrad::AdaGrad;
+pub use adam::Adam;
+pub use optimizer::{build_optimizer, Optimizer, OptimizerConfig, OptimizerKind};
+pub use sgd::Sgd;

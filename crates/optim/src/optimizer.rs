@@ -1,0 +1,101 @@
+//! The optimizer trait and configuration.
+
+use crate::adagrad::AdaGrad;
+use crate::adam::Adam;
+use crate::sgd::Sgd;
+use nscaching_models::{GradientBuffer, KgeModel, TableId};
+use serde::{Deserialize, Serialize};
+
+/// A sparse first-order optimizer.
+///
+/// `step` applies one descent update for every `(table, row)` gradient in the
+/// buffer and returns the list of touched rows so the caller can re-impose
+/// model constraints ([`KgeModel::apply_constraints`]).
+pub trait Optimizer: Send {
+    /// Apply one descent step of the given sparse gradient.
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)>;
+
+    /// The (base) learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Reset all accumulated state (moments, step counters).
+    fn reset(&mut self);
+}
+
+/// Which optimizer to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent.
+    Sgd,
+    /// AdaGrad with per-component accumulators.
+    AdaGrad,
+    /// Adam with default `β₁ = 0.9`, `β₂ = 0.999` (the paper's optimizer).
+    Adam,
+}
+
+/// Declarative optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Which algorithm to use.
+    pub kind: OptimizerKind,
+    /// Learning rate η.
+    pub learning_rate: f64,
+}
+
+impl OptimizerConfig {
+    /// The paper's default: Adam with the given learning rate.
+    pub fn adam(learning_rate: f64) -> Self {
+        Self {
+            kind: OptimizerKind::Adam,
+            learning_rate,
+        }
+    }
+
+    /// Plain SGD with the given learning rate.
+    pub fn sgd(learning_rate: f64) -> Self {
+        Self {
+            kind: OptimizerKind::Sgd,
+            learning_rate,
+        }
+    }
+
+    /// AdaGrad with the given learning rate.
+    pub fn adagrad(learning_rate: f64) -> Self {
+        Self {
+            kind: OptimizerKind::AdaGrad,
+            learning_rate,
+        }
+    }
+}
+
+/// Build an optimizer from its configuration.
+pub fn build_optimizer(config: &OptimizerConfig) -> Box<dyn Optimizer> {
+    match config.kind {
+        OptimizerKind::Sgd => Box::new(Sgd::new(config.learning_rate)),
+        OptimizerKind::AdaGrad => Box::new(AdaGrad::new(config.learning_rate)),
+        OptimizerKind::Adam => Box::new(Adam::new(config.learning_rate)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors_set_kind_and_rate() {
+        assert_eq!(OptimizerConfig::adam(0.01).kind, OptimizerKind::Adam);
+        assert_eq!(OptimizerConfig::sgd(0.1).learning_rate, 0.1);
+        assert_eq!(OptimizerConfig::adagrad(0.05).kind, OptimizerKind::AdaGrad);
+    }
+
+    #[test]
+    fn build_dispatches_on_kind() {
+        for kind in [OptimizerKind::Sgd, OptimizerKind::AdaGrad, OptimizerKind::Adam] {
+            let opt = build_optimizer(&OptimizerConfig {
+                kind,
+                learning_rate: 0.123,
+            });
+            assert!((opt.learning_rate() - 0.123).abs() < 1e-12);
+        }
+    }
+}

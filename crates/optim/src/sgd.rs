@@ -1,0 +1,86 @@
+//! Plain stochastic gradient descent.
+
+use crate::optimizer::Optimizer;
+use nscaching_models::{GradientBuffer, KgeModel, TableId};
+
+/// `θ ← θ − η·g` with no state.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f64,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer with learning rate `η`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Self { learning_rate }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)> {
+        let lr = self.learning_rate;
+        let mut tables = model.tables_mut();
+        let mut touched = Vec::with_capacity(grads.len());
+        for (&(table, row), grad) in grads.iter() {
+            let params = tables[table].row_mut(row);
+            for (p, g) in params.iter_mut().zip(grad) {
+                *p -= lr * g;
+            }
+            touched.push((table, row));
+        }
+        touched
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+    use nscaching_models::{DistMult, KgeModel};
+
+    #[test]
+    fn step_moves_parameters_against_the_gradient() {
+        let mut rng = seeded_rng(1);
+        let mut model = DistMult::new(3, 1, 2, &mut rng);
+        model.tables_mut()[0].set_row(0, &[1.0, 1.0]);
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 0, &[0.5, -0.5], 1.0);
+        let mut opt = Sgd::new(0.1);
+        let touched = opt.step(&mut model, &grads);
+        assert_eq!(touched, vec![(0, 0)]);
+        let row = model.tables()[0].row(0);
+        assert!((row[0] - 0.95).abs() < 1e-12);
+        assert!((row[1] - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untouched_rows_stay_unchanged() {
+        let mut rng = seeded_rng(2);
+        let mut model = DistMult::new(3, 1, 2, &mut rng);
+        let before = model.tables()[0].row(2).to_vec();
+        let mut grads = GradientBuffer::new();
+        grads.add(0, 0, &[1.0, 1.0], 1.0);
+        Sgd::new(0.1).step(&mut model, &grads);
+        assert_eq!(model.tables()[0].row(2), before.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_learning_rate_is_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn reset_is_a_noop() {
+        let mut opt = Sgd::new(0.1);
+        opt.reset();
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-12);
+    }
+}

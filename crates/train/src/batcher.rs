@@ -1,0 +1,99 @@
+//! Mini-batch iteration over the training split.
+
+use nscaching_kg::Triple;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffles the training triples once per epoch and yields contiguous
+/// mini-batches of (at most) the configured size.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    triples: Vec<Triple>,
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// Create a batcher over the training triples.
+    pub fn new(triples: Vec<Triple>, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!triples.is_empty(), "cannot batch an empty training split");
+        Self {
+            triples,
+            batch_size,
+        }
+    }
+
+    /// Number of training triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether there are no triples (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.triples.len().div_ceil(self.batch_size)
+    }
+
+    /// Shuffle and return the epoch's batches as slices into the internal
+    /// buffer.
+    pub fn epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> impl Iterator<Item = &[Triple]> {
+        self.triples.shuffle(rng);
+        self.triples.chunks(self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+
+    fn triples(n: u32) -> Vec<Triple> {
+        (0..n).map(|i| Triple::new(i, 0, i + 1)).collect()
+    }
+
+    #[test]
+    fn batches_cover_every_triple_exactly_once() {
+        let mut b = Batcher::new(triples(10), 3);
+        let mut rng = seeded_rng(1);
+        let mut seen: Vec<Triple> = Vec::new();
+        let mut batch_count = 0;
+        for batch in b.epoch(&mut rng) {
+            assert!(batch.len() <= 3);
+            seen.extend_from_slice(batch);
+            batch_count += 1;
+        }
+        assert_eq!(batch_count, 4);
+        assert_eq!(seen.len(), 10);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut b = Batcher::new(triples(50), 50);
+        let mut rng = seeded_rng(2);
+        let first: Vec<Triple> = b.epoch(&mut rng).flatten().copied().collect();
+        let second: Vec<Triple> = b.epoch(&mut rng).flatten().copied().collect();
+        assert_ne!(first, second, "two epochs should see different orders");
+    }
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        let b = Batcher::new(triples(10), 4);
+        assert_eq!(b.batches_per_epoch(), 3);
+        assert_eq!(b.len(), 10);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training split")]
+    fn empty_training_split_is_rejected() {
+        let _ = Batcher::new(vec![], 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! Training loop, pretraining protocol and instrumentation.
+//!
+//! [`Trainer`] wires together a dataset (`nscaching-kg` / `nscaching-datagen`),
+//! a scoring function (`nscaching-models`), an optimizer (`nscaching-optim`)
+//! and a negative sampler (`nscaching`) into the stochastic training procedure
+//! of the paper's Algorithms 1 and 2, and records everything the evaluation
+//! section needs:
+//!
+//! * per-epoch loss, non-zero-loss ratio (NZL), gradient norms (Figure 10),
+//!   negative-sample repeat ratio (RR, Figure 7) and cache churn (CE,
+//!   Figure 8);
+//! * periodic filtered link-prediction snapshots with wall-clock timestamps
+//!   (Figures 2–5);
+//! * the pretrain-then-continue protocol used for the "+ pretrain" rows of
+//!   Table IV.
+
+pub mod batcher;
+pub mod config;
+pub mod instrument;
+pub mod pretrain;
+pub mod snapshots;
+pub mod trainer;
+
+pub use batcher::Batcher;
+pub use config::TrainConfig;
+pub use instrument::{EpochStats, RepeatTracker};
+pub use pretrain::pretrain_model;
+pub use snapshots::{Snapshot, TrainingHistory};
+pub use trainer::Trainer;

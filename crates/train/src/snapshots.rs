@@ -1,0 +1,149 @@
+//! Periodic evaluation snapshots and the full training history.
+
+use crate::instrument::EpochStats;
+use nscaching_eval::LinkPredictionReport;
+use serde::{Deserialize, Serialize};
+
+/// One periodic evaluation during training (the points of Figures 2–5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Epoch after which the snapshot was taken (1-based count of finished
+    /// epochs).
+    pub epoch: usize,
+    /// Wall-clock seconds of *training* time elapsed when the snapshot was
+    /// taken (evaluation time itself is excluded, as in the paper's
+    /// performance-vs-time plots).
+    pub elapsed_seconds: f64,
+    /// Filtered MRR on the snapshot subset of the test split.
+    pub mrr: f64,
+    /// Filtered Hits@10 on the snapshot subset of the test split.
+    pub hits_at_10: f64,
+    /// Filtered mean rank on the snapshot subset.
+    pub mean_rank: f64,
+}
+
+impl Snapshot {
+    /// TSV row `epoch elapsed mrr hit10 mr`.
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{:.3}\t{:.4}\t{:.2}\t{:.1}",
+            self.epoch,
+            self.elapsed_seconds,
+            self.mrr,
+            self.hits_at_10 * 100.0,
+            self.mean_rank
+        )
+    }
+
+    /// Header matching [`tsv_row`](Self::tsv_row).
+    pub fn tsv_header() -> &'static str {
+        "epoch\tseconds\tmrr\thit@10\tmr"
+    }
+}
+
+/// Everything recorded during one training run.
+#[derive(Debug, Clone)]
+pub struct TrainingHistory {
+    /// Per-epoch statistics (loss, NZL, gradient norms, RR, CE).
+    pub epochs: Vec<EpochStats>,
+    /// Periodic evaluation snapshots.
+    pub snapshots: Vec<Snapshot>,
+    /// Final full evaluation on the test split.
+    pub final_report: Option<LinkPredictionReport>,
+    /// Total training seconds (excluding evaluation).
+    pub total_seconds: f64,
+}
+
+impl TrainingHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self {
+            epochs: Vec::new(),
+            snapshots: Vec::new(),
+            final_report: None,
+            total_seconds: 0.0,
+        }
+    }
+
+    /// The best snapshot MRR seen during training (0 if no snapshots).
+    pub fn best_snapshot_mrr(&self) -> f64 {
+        self.snapshots.iter().map(|s| s.mrr).fold(0.0, f64::max)
+    }
+
+    /// Final combined test metrics, if the final evaluation ran.
+    pub fn final_mrr(&self) -> Option<f64> {
+        self.final_report.map(|r| r.combined.mrr)
+    }
+
+    /// Render the per-epoch statistics as a TSV table.
+    pub fn epochs_tsv(&self) -> String {
+        let mut out = String::from(EpochStats::tsv_header());
+        out.push('\n');
+        for e in &self.epochs {
+            out.push_str(&e.tsv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the snapshots as a TSV table.
+    pub fn snapshots_tsv(&self) -> String {
+        let mut out = String::from(Snapshot::tsv_header());
+        out.push('\n');
+        for s in &self.snapshots {
+            out.push_str(&s.tsv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for TrainingHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(epoch: usize, mrr: f64) -> Snapshot {
+        Snapshot {
+            epoch,
+            elapsed_seconds: epoch as f64 * 1.5,
+            mrr,
+            hits_at_10: mrr * 1.1,
+            mean_rank: 100.0 - mrr * 10.0,
+        }
+    }
+
+    #[test]
+    fn best_snapshot_and_tsv() {
+        let mut h = TrainingHistory::new();
+        assert_eq!(h.best_snapshot_mrr(), 0.0);
+        assert!(h.final_mrr().is_none());
+        h.snapshots.push(snapshot(1, 0.2));
+        h.snapshots.push(snapshot(2, 0.5));
+        h.snapshots.push(snapshot(3, 0.4));
+        assert!((h.best_snapshot_mrr() - 0.5).abs() < 1e-12);
+        let tsv = h.snapshots_tsv();
+        assert!(tsv.starts_with(Snapshot::tsv_header()));
+        assert_eq!(tsv.lines().count(), 4);
+    }
+
+    #[test]
+    fn epochs_tsv_has_header_plus_rows() {
+        let mut h = TrainingHistory::default();
+        h.epochs.push(crate::instrument::EpochAccumulator::new().finish(0, 0.0, 0, 0.1));
+        let tsv = h.epochs_tsv();
+        assert_eq!(tsv.lines().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_row_formats_hits_as_percent() {
+        let s = snapshot(2, 0.5);
+        let row = s.tsv_row();
+        assert!(row.contains("55.00"), "row was {row}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The training loop (Algorithms 1 and 2 of the paper).
+
+use crate::batcher::Batcher;
+use crate::config::TrainConfig;
+use crate::instrument::{EpochAccumulator, EpochStats, RepeatTracker};
+use crate::snapshots::{Snapshot, TrainingHistory};
+use nscaching::{NegativeSampler, SampledNegative};
+use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
+use nscaching_kg::{Dataset, FilterIndex, Triple};
+use nscaching_math::seeded_rng;
+use nscaching_models::{
+    default_loss, GradientBuffer, KgeModel, L2Regularizer, Loss, LossType,
+};
+use nscaching_optim::{build_optimizer, Optimizer};
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// Drives one (model, sampler) pair through stochastic training and records
+/// the history needed by the paper's tables and figures.
+pub struct Trainer {
+    model: Box<dyn KgeModel>,
+    sampler: Box<dyn NegativeSampler>,
+    optimizer: Box<dyn Optimizer>,
+    loss: Box<dyn Loss>,
+    regularizer: L2Regularizer,
+    config: TrainConfig,
+    batcher: Batcher,
+    test: Vec<Triple>,
+    filter: FilterIndex,
+    repeat_tracker: RepeatTracker,
+    rng: StdRng,
+    history: TrainingHistory,
+    epochs_done: usize,
+    train_seconds: f64,
+}
+
+impl Trainer {
+    /// Assemble a trainer.
+    ///
+    /// The loss follows the model's family (margin ranking for translational
+    /// models, logistic for semantic matching, as in the paper's Eq. (1)/(2));
+    /// the L2 penalty is applied only to the logistic family.
+    pub fn new(
+        model: Box<dyn KgeModel>,
+        sampler: Box<dyn NegativeSampler>,
+        dataset: &Dataset,
+        config: TrainConfig,
+    ) -> Self {
+        let loss = default_loss(model.loss_type(), config.margin);
+        let regularizer = match model.loss_type() {
+            LossType::Logistic => L2Regularizer::new(config.lambda),
+            LossType::MarginRanking => L2Regularizer::none(),
+        };
+        let optimizer = build_optimizer(&config.optimizer);
+        let batcher = Batcher::new(dataset.train.clone(), config.batch_size);
+        let filter = dataset.filter_index();
+        let rng = seeded_rng(config.seed);
+        let repeat_tracker = RepeatTracker::new(config.repeat_window);
+        Self {
+            model,
+            sampler,
+            optimizer,
+            loss,
+            regularizer,
+            config,
+            batcher,
+            test: dataset.test.clone(),
+            filter,
+            repeat_tracker,
+            rng,
+            history: TrainingHistory::new(),
+            epochs_done: 0,
+            train_seconds: 0.0,
+        }
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &dyn KgeModel {
+        self.model.as_ref()
+    }
+
+    /// The negative sampler in use.
+    pub fn sampler(&self) -> &dyn NegativeSampler {
+        self.sampler.as_ref()
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// History recorded so far.
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// Number of epochs completed.
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// Consume the trainer and return the trained model (used by the
+    /// pretrain-then-continue protocol).
+    pub fn into_model(self) -> Box<dyn KgeModel> {
+        self.model
+    }
+
+    /// Train a single epoch and return its statistics.
+    pub fn train_epoch(&mut self) -> EpochStats {
+        let started = Instant::now();
+        let mut acc = EpochAccumulator::new();
+        let mut grads = GradientBuffer::new();
+
+        // The batcher borrows `self.batcher` mutably for the whole epoch; the
+        // batches are cloned out per iteration so the rest of `self` stays
+        // available inside the loop.
+        let batches: Vec<Vec<Triple>> = self
+            .batcher
+            .epoch(&mut self.rng)
+            .map(|b| b.to_vec())
+            .collect();
+
+        for batch in batches {
+            grads.clear();
+            for positive in &batch {
+                let negative = self
+                    .sampler
+                    .sample(positive, self.model.as_ref(), &mut self.rng);
+                self.repeat_tracker.record(negative.triple);
+
+                let f_pos = self.model.score(positive);
+                let f_neg = self.model.score(&negative.triple);
+                // The generator-based samplers use the discriminator's score
+                // of the sampled negative as their REINFORCE reward.
+                self.sampler
+                    .feedback(positive, &negative, f_neg, &mut self.rng);
+
+                let pair = self.loss.evaluate(f_pos, f_neg);
+                acc.record_example(pair.loss, !pair.is_zero());
+                if !pair.is_zero() {
+                    self.model
+                        .accumulate_score_gradient(positive, pair.d_positive, &mut grads);
+                    self.model.accumulate_score_gradient(
+                        &negative.triple,
+                        pair.d_negative,
+                        &mut grads,
+                    );
+                    if self.regularizer.is_active() {
+                        self.regularizer
+                            .accumulate_gradient(self.model.as_ref(), positive, &mut grads);
+                        self.regularizer.accumulate_gradient(
+                            self.model.as_ref(),
+                            &negative.triple,
+                            &mut grads,
+                        );
+                    }
+                }
+
+                // Algorithm 2, step 8: refresh the cache before the embedding
+                // update of step 9.
+                self.sampler
+                    .update(positive, self.model.as_ref(), &mut self.rng);
+            }
+
+            if !grads.is_empty() {
+                acc.record_batch_gradient(grads.norm());
+                let touched = self.optimizer.step(self.model.as_mut(), &grads);
+                self.model.apply_constraints(&touched);
+            }
+        }
+
+        let seconds = started.elapsed().as_secs_f64();
+        self.train_seconds += seconds;
+        let repeat_ratio = self.repeat_tracker.ratio();
+        let changed = self.sampler.take_changed_elements();
+        let stats = acc.finish(self.epochs_done, repeat_ratio, changed, seconds);
+
+        self.sampler.epoch_finished(self.epochs_done);
+        self.repeat_tracker.end_epoch();
+        self.epochs_done += 1;
+        self.history.epochs.push(stats);
+        self.history.total_seconds = self.train_seconds;
+        stats
+    }
+
+    /// Evaluate the current model on the test split with the given protocol.
+    pub fn evaluate(&self, protocol: &EvalProtocol) -> LinkPredictionReport {
+        evaluate_link_prediction(self.model.as_ref(), &self.test, &self.filter, protocol)
+    }
+
+    /// Take a snapshot of the current test performance (Figures 2–5 points).
+    pub fn snapshot(&mut self) -> Snapshot {
+        let report = self.evaluate(&self.config.snapshot_protocol);
+        let snap = Snapshot {
+            epoch: self.epochs_done,
+            elapsed_seconds: self.train_seconds,
+            mrr: report.combined.mrr,
+            hits_at_10: report.combined.hits_at_10,
+            mean_rank: report.combined.mean_rank,
+        };
+        self.history.snapshots.push(snap);
+        snap
+    }
+
+    /// Run the configured number of epochs, taking periodic snapshots, then
+    /// run the final evaluation.
+    pub fn run(&mut self) -> &TrainingHistory {
+        for _ in 0..self.config.epochs {
+            self.train_epoch();
+            if self.config.eval_every > 0 && self.epochs_done % self.config.eval_every == 0 {
+                self.snapshot();
+            }
+        }
+        let final_report = self.evaluate(&self.config.final_protocol.clone());
+        self.history.final_report = Some(final_report);
+        &self.history
+    }
+
+    /// One sample/score round without updating anything — used by the
+    /// Table I timing harness to isolate the cost of negative sampling.
+    pub fn sample_once(&mut self, positive: &Triple) -> SampledNegative {
+        self.sampler
+            .sample(positive, self.model.as_ref(), &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching::{NsCachingConfig, SamplerConfig};
+    use nscaching_datagen::GeneratorConfig;
+    use nscaching_models::{build_model, ModelConfig, ModelKind};
+    use nscaching_optim::OptimizerConfig;
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut c = GeneratorConfig::small("train-test");
+        c.num_entities = 120;
+        c.num_train = 900;
+        c.num_valid = 60;
+        c.num_test = 60;
+        c.seed = seed;
+        nscaching_datagen::generate(&c).unwrap()
+    }
+
+    fn trainer(ds: &Dataset, sampler: SamplerConfig, kind: ModelKind, epochs: usize) -> Trainer {
+        let model = build_model(
+            &ModelConfig::new(kind).with_dim(16).with_seed(7),
+            ds.num_entities(),
+            ds.num_relations(),
+        );
+        let sampler = nscaching::build_sampler(&sampler, ds, 11);
+        let config = TrainConfig::new(epochs)
+            .with_batch_size(128)
+            .with_optimizer(OptimizerConfig::adam(0.02))
+            .with_margin(2.0)
+            .with_seed(5);
+        Trainer::new(model, sampler, ds, config)
+    }
+
+    #[test]
+    fn training_reduces_the_loss() {
+        let ds = dataset(1);
+        let mut t = trainer(&ds, SamplerConfig::Bernoulli, ModelKind::TransE, 0);
+        let first = t.train_epoch();
+        for _ in 0..5 {
+            t.train_epoch();
+        }
+        let last = t.history().epochs.last().copied().unwrap();
+        assert!(last.mean_loss < first.mean_loss,
+            "loss should drop: {} -> {}", first.mean_loss, last.mean_loss);
+        assert_eq!(t.epochs_done(), 6);
+        assert!(last.seconds >= 0.0);
+        assert_eq!(last.examples, ds.train.len());
+    }
+
+    #[test]
+    fn nscaching_training_runs_and_changes_cache() {
+        let ds = dataset(2);
+        let mut t = trainer(
+            &ds,
+            SamplerConfig::NsCaching(NsCachingConfig::new(10, 10)),
+            ModelKind::TransE,
+            0,
+        );
+        let stats = t.train_epoch();
+        assert!(stats.changed_cache_elements > 0, "cache must churn in epoch 0");
+        assert!(stats.repeat_ratio >= 0.0 && stats.repeat_ratio <= 1.0);
+        assert_eq!(t.sampler().name(), "NSCaching");
+    }
+
+    #[test]
+    fn run_produces_snapshots_and_final_report() {
+        let ds = dataset(3);
+        let mut t = trainer(&ds, SamplerConfig::Bernoulli, ModelKind::DistMult, 4);
+        // snapshot every 2 epochs on a small subset to keep the test fast
+        t.config.eval_every = 2;
+        t.config.snapshot_protocol = EvalProtocol::filtered().with_max_triples(20);
+        t.config.final_protocol = EvalProtocol::filtered().with_max_triples(30);
+        let history = t.run();
+        assert_eq!(history.epochs.len(), 4);
+        assert_eq!(history.snapshots.len(), 2);
+        assert!(history.final_report.is_some());
+        let report = history.final_report.unwrap();
+        assert!(report.combined.mrr > 0.0);
+        assert!(report.combined.mrr <= 1.0);
+        assert!(history.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn logistic_models_use_the_regularizer_and_margin_models_do_not() {
+        let ds = dataset(4);
+        let t = trainer(&ds, SamplerConfig::Bernoulli, ModelKind::ComplEx, 1);
+        assert!(t.regularizer.is_active());
+        let t = trainer(&ds, SamplerConfig::Bernoulli, ModelKind::TransD, 1);
+        assert!(!t.regularizer.is_active());
+    }
+
+    #[test]
+    fn kbgan_sampler_receives_feedback_during_training() {
+        let ds = dataset(5);
+        let mut t = trainer(&ds, SamplerConfig::kbgan_default(), ModelKind::TransE, 0);
+        let stats = t.train_epoch();
+        assert!(stats.examples > 0);
+        assert!(t.sampler().extra_parameters() > 0);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_the_seeds() {
+        let ds = dataset(6);
+        let run = |seed| {
+            let model = build_model(
+                &ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(1),
+                ds.num_entities(),
+                ds.num_relations(),
+            );
+            let sampler = nscaching::build_sampler(
+                &SamplerConfig::NsCaching(NsCachingConfig::new(5, 5)),
+                &ds,
+                2,
+            );
+            let config = TrainConfig::new(2).with_seed(seed).with_batch_size(64);
+            let mut t = Trainer::new(model, sampler, &ds, config);
+            t.train_epoch();
+            t.train_epoch();
+            t.evaluate(&EvalProtocol::filtered().with_max_triples(20))
+                .combined
+                .mrr
+        };
+        assert_eq!(run(3), run(3));
+        // different shuffling seed gives a (very likely) different result
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn sample_once_does_not_advance_epochs() {
+        let ds = dataset(7);
+        let mut t = trainer(&ds, SamplerConfig::Bernoulli, ModelKind::TransE, 1);
+        let pos = ds.train[0];
+        let neg = t.sample_once(&pos);
+        assert_ne!(neg.triple, pos);
+        assert_eq!(t.epochs_done(), 0);
+    }
+}

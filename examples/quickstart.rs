@@ -1,0 +1,84 @@
+//! Quickstart: generate a small knowledge graph, train TransE with NSCaching
+//! and evaluate filtered link prediction.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nscaching_suite::datagen::GeneratorConfig;
+use nscaching_suite::eval::EvalProtocol;
+use nscaching_suite::models::{build_model, ModelConfig, ModelKind};
+use nscaching_suite::optim::OptimizerConfig;
+use nscaching_suite::sampling::{build_sampler, NsCachingConfig, SamplerConfig};
+use nscaching_suite::train::{TrainConfig, Trainer};
+
+fn main() {
+    // 1. A synthetic knowledge graph (drop in a real one with
+    //    `nscaching_suite::kg::io::load_dataset_dir` if you have the files).
+    let mut generator = GeneratorConfig::small("quickstart");
+    generator.num_entities = 500;
+    generator.num_train = 5_000;
+    generator.num_valid = 250;
+    generator.num_test = 250;
+    let dataset = nscaching_suite::datagen::generate(&generator).expect("dataset generation");
+    println!("{}", dataset.summary());
+
+    // 2. A scoring function: TransE with 32-dimensional embeddings.
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE).with_dim(32).with_seed(1),
+        dataset.num_entities(),
+        dataset.num_relations(),
+    );
+
+    // 3. The paper's sampler: NSCaching with N1 = N2 = 30 for this graph size.
+    let sampler = build_sampler(
+        &SamplerConfig::NsCaching(NsCachingConfig::new(30, 30)),
+        &dataset,
+        7,
+    );
+
+    // 4. Train with Adam and the margin ranking loss, evaluating every 5 epochs.
+    let config = TrainConfig::new(30)
+        .with_batch_size(256)
+        .with_optimizer(OptimizerConfig::adam(0.02))
+        .with_margin(3.0)
+        .with_eval_every(5)
+        .with_seed(42);
+    let mut trainer = Trainer::new(model, sampler, &dataset, config);
+    let history = trainer.run();
+
+    // 5. Report.
+    println!("\nepoch statistics:");
+    for stats in history.epochs.iter().step_by(5) {
+        println!(
+            "  epoch {:3}: loss = {:.4}, non-zero-loss ratio = {:.2}",
+            stats.epoch, stats.mean_loss, stats.nonzero_loss_ratio
+        );
+    }
+    println!("\nconvergence snapshots (filtered MRR on a test subset):");
+    for snap in &history.snapshots {
+        println!(
+            "  after epoch {:3} ({:6.1}s): MRR = {:.4}, Hit@10 = {:.1}%",
+            snap.epoch,
+            snap.elapsed_seconds,
+            snap.mrr,
+            snap.hits_at_10 * 100.0
+        );
+    }
+    let final_report = history.final_report.expect("final evaluation");
+    println!(
+        "\nfinal filtered link prediction: MRR = {:.4}, MR = {:.1}, Hit@10 = {:.1}%",
+        final_report.combined.mrr,
+        final_report.combined.mean_rank,
+        final_report.combined.hits_at_10 * 100.0
+    );
+
+    // The trained embeddings remain available for downstream use.
+    let trained = trainer.model();
+    let example = dataset.test[0];
+    println!(
+        "score of test triple {example}: {:.3}",
+        trained.score(&example)
+    );
+    let _ = EvalProtocol::filtered(); // see `examples/link_prediction.rs` for custom protocols
+}

@@ -1,0 +1,71 @@
+//! Triplet classification: tune per-relation thresholds on a labeled
+//! validation set and classify unseen triples as true or false — the task of
+//! the paper's Table V.
+//!
+//! ```text
+//! cargo run --release --example triplet_classification
+//! ```
+
+use nscaching_suite::datagen::{generate_classification_sets, BenchmarkFamily};
+use nscaching_suite::eval::classification::{evaluate_classification, Example};
+use nscaching_suite::models::{build_model, ModelConfig, ModelKind};
+use nscaching_suite::optim::OptimizerConfig;
+use nscaching_suite::sampling::{build_sampler, NsCachingConfig, SamplerConfig};
+use nscaching_suite::train::{TrainConfig, Trainer};
+
+fn main() {
+    let dataset = BenchmarkFamily::Fb15k237
+        .generate(0.01, 9)
+        .expect("dataset generation");
+    println!("{}", dataset.summary());
+
+    // Labeled positive/negative pairs for the valid and test splits, mirroring
+    // the released WN18RR/FB15K237 `*_neg.txt` files.
+    let labeled = generate_classification_sets(&dataset, 123);
+    let to_examples = |labels: &[nscaching_suite::datagen::LabeledTriple]| -> Vec<Example> {
+        labels.iter().map(|l| Example::new(l.triple, l.label)).collect()
+    };
+    let valid = to_examples(&labeled.valid);
+    let test = to_examples(&labeled.test);
+    println!(
+        "labeled examples: {} valid / {} test ({}% positives)\n",
+        valid.len(),
+        test.len(),
+        (labeled.test_positive_fraction() * 100.0).round()
+    );
+
+    for (name, sampler_config) in [
+        ("Bernoulli", SamplerConfig::Bernoulli),
+        (
+            "NSCaching",
+            SamplerConfig::NsCaching(NsCachingConfig::new(20, 20)),
+        ),
+    ] {
+        let model = build_model(
+            &ModelConfig::new(ModelKind::ComplEx).with_dim(24).with_seed(2),
+            dataset.num_entities(),
+            dataset.num_relations(),
+        );
+        let sampler = build_sampler(&sampler_config, &dataset, 31);
+        let config = TrainConfig::new(15)
+            .with_batch_size(256)
+            .with_optimizer(OptimizerConfig::adam(0.05))
+            .with_lambda(0.001)
+            .with_seed(7);
+        let mut trainer = Trainer::new(model, sampler, &dataset, config);
+        trainer.run();
+
+        let report = evaluate_classification(trainer.model(), &valid, &test);
+        println!(
+            "{:10} ComplEx: test accuracy = {:.2}% (valid {:.2}%, {} per-relation thresholds)",
+            name,
+            report.test_accuracy * 100.0,
+            report.valid_accuracy * 100.0,
+            report.thresholds.len()
+        );
+    }
+    println!(
+        "\nAs in Table V of the paper, the NSCaching-trained embeddings should classify unseen \
+         triples more accurately than the Bernoulli-trained ones."
+    );
+}

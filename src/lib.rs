@@ -1,0 +1,29 @@
+//! # nscaching-suite
+//!
+//! Facade crate for the Rust reproduction of *NSCaching: Simple and Efficient
+//! Negative Sampling for Knowledge Graph Embedding* (Zhang, Yao, Shao, Chen —
+//! ICDE 2019).
+//!
+//! This crate simply re-exports the workspace crates under short module names
+//! so that the examples and downstream users can depend on a single package:
+//!
+//! * [`kg`] — knowledge-graph substrate (triples, vocabularies, datasets);
+//! * [`datagen`] — synthetic WN18/WN18RR/FB15K/FB15K237-style benchmark generators;
+//! * [`math`] — numeric utilities (vector ops, sampling, statistics);
+//! * [`models`] — scoring functions with analytic gradients;
+//! * [`optim`] — sparse optimizers (SGD, AdaGrad, Adam);
+//! * [`sampling`] — negative samplers, including the paper's NSCaching;
+//! * [`train`] — training loop, pretraining and instrumentation;
+//! * [`eval`] — link prediction and triplet classification protocols.
+//!
+//! See the `examples/` directory for end-to-end usage, starting with
+//! `examples/quickstart.rs`.
+
+pub use nscaching as sampling;
+pub use nscaching_datagen as datagen;
+pub use nscaching_eval as eval;
+pub use nscaching_kg as kg;
+pub use nscaching_math as math;
+pub use nscaching_models as models;
+pub use nscaching_optim as optim;
+pub use nscaching_train as train;
