@@ -14,28 +14,41 @@ const NUM_RELATIONS: usize = 20;
 
 fn bench_cache_update(c: &mut Criterion) {
     let model = build_model(
-        &ModelConfig::new(ModelKind::TransE).with_dim(50).with_seed(1),
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(50)
+            .with_seed(1),
         NUM_ENTITIES,
         NUM_RELATIONS,
     );
     let mut group = c.benchmark_group("cache_update");
-    for &(n1, n2) in &[(10usize, 10usize), (30, 30), (50, 50), (70, 70), (90, 90), (50, 10), (10, 50)] {
+    for &(n1, n2) in &[
+        (10usize, 10usize),
+        (30, 30),
+        (50, 50),
+        (70, 70),
+        (90, 90),
+        (50, 10),
+        (10, 50),
+    ] {
         let config = NsCachingConfig::new(n1, n2);
         let mut sampler = NsCachingSampler::new(config, NUM_ENTITIES, CorruptionPolicy::Uniform);
         let mut rng = seeded_rng(5);
         let mut i = 0u32;
-        group.bench_function(BenchmarkId::from_parameter(format!("n1={n1}_n2={n2}")), |b| {
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                let positive = Triple::new(
-                    i % NUM_ENTITIES as u32,
-                    i % NUM_RELATIONS as u32,
-                    (i * 13 + 1) % NUM_ENTITIES as u32,
-                );
-                sampler.update(&positive, model.as_ref(), &mut rng);
-                black_box(sampler.refresh_count())
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("n1={n1}_n2={n2}")),
+            |b| {
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let positive = Triple::new(
+                        i % NUM_ENTITIES as u32,
+                        i % NUM_RELATIONS as u32,
+                        (i * 13 + 1) % NUM_ENTITIES as u32,
+                    );
+                    sampler.update(&positive, model.as_ref(), &mut rng);
+                    black_box(sampler.refresh_count())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -44,7 +57,9 @@ fn bench_lazy_update_schedule(c: &mut Criterion) {
     // Compares an epoch with updates enabled against one with lazy updates
     // disabling them — the `n`-epoch lazy-update knob of Table I.
     let model = build_model(
-        &ModelConfig::new(ModelKind::TransE).with_dim(50).with_seed(1),
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(50)
+            .with_seed(1),
         NUM_ENTITIES,
         NUM_RELATIONS,
     );

@@ -2,14 +2,53 @@
 //! (the measured counterpart of Table I's complexity column).
 //!
 //! Run with `cargo bench -p nscaching-bench --bench sampler_throughput`.
+//!
+//! Besides the timing groups, this binary asserts the fast-path guarantees
+//! the batched scoring API makes: the NSCaching sampler performs **zero heap
+//! allocations per positive in steady state** (counted by a wrapping global
+//! allocator) and batched TransE candidate scoring at d = 128 is **≥3×**
+//! faster than the per-triple loop it replaced.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nscaching::{build_sampler, NsCachingConfig, SamplerConfig};
 use nscaching_datagen::GeneratorConfig;
-use nscaching_kg::Dataset;
+use nscaching_kg::{CorruptionSide, Dataset, EntityId, Triple};
 use nscaching_math::seeded_rng;
 use nscaching_models::{build_model, KgeModel, ModelConfig, ModelKind};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Allocation-counting wrapper around the system allocator; the steady-state
+/// assertion below reads the counter around the sampler hot loop.
+struct CountingAllocator;
+
+static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn dataset() -> Dataset {
     let mut config = GeneratorConfig::small("bench-sampler");
@@ -23,7 +62,9 @@ fn dataset() -> Dataset {
 
 fn model(dataset: &Dataset) -> Box<dyn KgeModel> {
     build_model(
-        &ModelConfig::new(ModelKind::TransE).with_dim(50).with_seed(3),
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(50)
+            .with_seed(3),
         dataset.num_entities(),
         dataset.num_relations(),
     )
@@ -95,9 +136,103 @@ fn bench_sample_and_update(c: &mut Criterion) {
     group.finish();
 }
 
+/// Drive the NSCaching sampler to steady state (every cache key touched,
+/// every scratch buffer at its high-water mark), then assert the hot loop
+/// performs zero heap allocations per positive.
+fn assert_steady_state_never_allocates(_c: &mut Criterion) {
+    let dataset = dataset();
+    let model = model(&dataset);
+    // Importance sampling from the cache forces the scoring path in both
+    // `sample` and `update`, covering all scratch buffers.
+    let config =
+        NsCachingConfig::new(50, 50).with_sample_strategy(nscaching::SampleStrategy::Importance);
+    let mut sampler = build_sampler(&SamplerConfig::NsCaching(config), &dataset, 7);
+    let mut rng = seeded_rng(29);
+    for _ in 0..2 {
+        for positive in &dataset.train {
+            black_box(sampler.sample(positive, model.as_ref(), &mut rng));
+            sampler.update(positive, model.as_ref(), &mut rng);
+        }
+    }
+    let before = ALLOCATION_COUNT.load(Ordering::Relaxed);
+    let probes = 1_000;
+    for positive in dataset.train.iter().take(probes) {
+        black_box(sampler.sample(positive, model.as_ref(), &mut rng));
+        sampler.update(positive, model.as_ref(), &mut rng);
+    }
+    let allocations = ALLOCATION_COUNT.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "NSCaching steady state must be allocation-free, saw {allocations} allocations over {probes} positives"
+    );
+    println!("steady_state_allocations_per_positive: 0 (over {probes} positives)");
+}
+
+/// Best-of-samples timer for the fast-path speedup assertion (minimum of 7
+/// samples — the least noise-inflated estimate of each side's true cost).
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up, then take the best of 7 samples of 2000 iterations.
+    for _ in 0..200 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let iters = 2_000;
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// The ISSUE's acceptance bar: batched TransE candidate scoring at d = 128
+/// over 64-candidate batches must be at least 3× the per-triple loop.
+fn assert_batched_transe_speedup(_c: &mut Criterion) {
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(128)
+            .with_seed(3),
+        2_000,
+        20,
+    );
+    let candidates: Vec<EntityId> = (0..64u32).map(|i| (i * 31 + 7) % 2_000).collect();
+    let triple = Triple::new(3, 5, 11);
+
+    let loop_ns = time_ns(|| {
+        let mut acc = 0.0;
+        for &e in &candidates {
+            acc += model.score(&triple.corrupted(CorruptionSide::Tail, e));
+        }
+        black_box(acc);
+    });
+    let mut out = Vec::with_capacity(candidates.len());
+    let batched_ns = time_ns(|| {
+        model.score_candidates(&triple, CorruptionSide::Tail, &candidates, &mut out);
+        black_box(out.iter().sum::<f64>());
+    });
+    let speedup = loop_ns / batched_ns;
+    println!(
+        "transe_candidate_scoring_d128_b64: loop {loop_ns:.0} ns, batched {batched_ns:.0} ns, speedup {speedup:.2}x"
+    );
+    // 3× is the local acceptance bar; shared CI runners are noisier and
+    // narrower (AVX2, throttling), so the workflow relaxes the gate via this
+    // env var rather than letting unrelated PRs fail on scheduler jitter.
+    let required: f64 = std::env::var("NSCACHING_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    assert!(
+        speedup >= required,
+        "batched TransE candidate scoring must be ≥{required}× the per-triple loop, got {speedup:.2}x"
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sample, bench_sample_and_update
+    targets = assert_steady_state_never_allocates, assert_batched_transe_speedup,
+        bench_sample, bench_sample_and_update
 }
 criterion_main!(benches);

@@ -1,13 +1,18 @@
 //! Criterion bench: score and gradient cost of every scoring function
-//! (supports the per-triplet `O(d)` / `O(d²)` terms in Table I).
+//! (supports the per-triplet `O(d)` / `O(d²)` terms in Table I), plus the
+//! batched candidate-scoring fast path against the naive per-triple loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nscaching_kg::Triple;
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_models::{build_model, GradientBuffer, ModelConfig, ModelKind};
 use std::hint::black_box;
 
 const NUM_ENTITIES: usize = 2_000;
 const NUM_RELATIONS: usize = 20;
+
+/// The acceptance configuration: d = 128, batches of 64 candidates.
+const BATCH_DIM: usize = 128;
+const BATCH_SIZE: usize = 64;
 
 fn bench_score(c: &mut Criterion) {
     let mut group = c.benchmark_group("score");
@@ -59,9 +64,66 @@ fn bench_gradient(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched `score_candidates` vs the per-triple `score` loop it replaced,
+/// for every model at d = 128 with 64-candidate batches. The ISSUE's
+/// acceptance bar is ≥3× on TransE; the assertion lives in
+/// `sampler_throughput`'s smoke test, this bench produces the numbers for
+/// `BENCH_scoring.json`.
+fn bench_candidate_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_scoring");
+    for kind in ModelKind::ALL {
+        // TransR/RESCAL carry d×d matrices; keep their tables small enough
+        // to build quickly while scoring identically per candidate.
+        let dim = match kind {
+            ModelKind::TransR | ModelKind::Rescal => 64,
+            _ => BATCH_DIM,
+        };
+        let model = build_model(
+            &ModelConfig::new(kind).with_dim(dim).with_seed(1),
+            NUM_ENTITIES,
+            NUM_RELATIONS,
+        );
+        let candidates: Vec<EntityId> = (0..BATCH_SIZE as u32)
+            .map(|i| (i * 31 + 7) % NUM_ENTITIES as u32)
+            .collect();
+        let triple = Triple::new(3, 5, 11);
+
+        let mut i = 0usize;
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{}_loop", kind.name())),
+            |b| {
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let side = CorruptionSide::BOTH[i % 2];
+                    let mut acc = 0.0;
+                    for &e in &candidates {
+                        acc += model.score(&triple.corrupted(side, e));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+
+        let mut out = Vec::with_capacity(BATCH_SIZE);
+        let mut i = 0usize;
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{}_batched", kind.name())),
+            |b| {
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let side = CorruptionSide::BOTH[i % 2];
+                    model.score_candidates(&triple, side, &candidates, &mut out);
+                    black_box(out.iter().sum::<f64>())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_score, bench_gradient
+    targets = bench_score, bench_gradient, bench_candidate_batch
 }
 criterion_main!(benches);

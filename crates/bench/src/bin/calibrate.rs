@@ -26,8 +26,7 @@ fn main() {
                     dataset.num_entities(),
                     dataset.num_relations(),
                 );
-                let sampler =
-                    nscaching::build_sampler(&SamplerConfig::Bernoulli, &dataset, 17);
+                let sampler = nscaching::build_sampler(&SamplerConfig::Bernoulli, &dataset, 17);
                 let train_config = TrainConfig::new(15)
                     .with_batch_size(256)
                     .with_optimizer(OptimizerConfig::adam(lr))
@@ -37,7 +36,10 @@ fn main() {
                 let mut trainer = Trainer::new(model, sampler, &dataset, train_config);
                 let history = trainer.run();
                 let mrr = history.final_report.unwrap().combined.mrr;
-                println!("{:10} lr={lr:<5} lambda={lambda:<6} MRR={mrr:.4}", kind.name());
+                println!(
+                    "{:10} lr={lr:<5} lambda={lambda:<6} MRR={mrr:.4}",
+                    kind.name()
+                );
             }
         }
     }

@@ -48,7 +48,15 @@ fn main() {
         &["epoch", "distance", "ccdf", "neg_margin"],
     );
     let checkpoints: Vec<usize> = checkpoint_epochs(settings.epochs);
-    record_ccdf(&mut fig_a, "0", trainer.model(), &probe, &filter, margin, grid_points);
+    record_ccdf(
+        &mut fig_a,
+        "0",
+        trainer.model(),
+        &probe,
+        &filter,
+        margin,
+        grid_points,
+    );
     for epoch in 0..settings.epochs {
         trainer.train_epoch();
         if checkpoints.contains(&(epoch + 1)) {
@@ -70,7 +78,13 @@ fn main() {
         "fig1b_ccdf_over_triples",
         &["triple", "distance", "ccdf", "neg_margin"],
     );
-    for (i, positive) in dataset.train.iter().step_by(dataset.train.len() / 5).take(5).enumerate() {
+    for (i, positive) in dataset
+        .train
+        .iter()
+        .step_by(dataset.train.len() / 5)
+        .take(5)
+        .enumerate()
+    {
         record_ccdf(
             &mut fig_b,
             &format!("triple{i}"),

@@ -30,7 +30,13 @@ fn main() {
 
     let mut report = TsvReport::new(
         "fig10_gradient_norms",
-        &["model", "method", "epoch", "mean_gradient_norm", "nonzero_loss_ratio"],
+        &[
+            "model",
+            "method",
+            "epoch",
+            "mean_gradient_norm",
+            "nonzero_loss_ratio",
+        ],
     );
 
     for &kind in &models {
@@ -41,15 +47,8 @@ fn main() {
                 SamplerConfig::NsCaching(NsCachingConfig::new(cache, cache)),
             ),
         ] {
-            let outcome = train_with_sampler(
-                &dataset,
-                kind,
-                sampler,
-                label.clone(),
-                0,
-                &settings,
-                0,
-            );
+            let outcome =
+                train_with_sampler(&dataset, kind, sampler, label.clone(), 0, &settings, 0);
             for stats in &outcome.history.epochs {
                 report.push_row(&[
                     kind.name().to_string(),

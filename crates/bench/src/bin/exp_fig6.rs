@@ -8,8 +8,8 @@
 //! worst (Fig. 6(a)); IS update clearly beats top update (Fig. 6(b)).
 
 use nscaching::{NsCachingConfig, SampleStrategy, SamplerConfig, UpdateStrategy};
-use nscaching_bench::{runner::scaled_cache_size, ExperimentSettings, TsvReport};
 use nscaching_bench::runner::train_with_sampler;
+use nscaching_bench::{runner::scaled_cache_size, ExperimentSettings, TsvReport};
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
 
@@ -91,7 +91,6 @@ fn run_variant(
     }
     println!(
         "  {:18} final MRR = {:.4}",
-        label,
-        outcome.report.combined.mrr
+        label, outcome.report.combined.mrr
     );
 }

@@ -25,7 +25,12 @@ fn main() {
 
     let mut report = TsvReport::new(
         "fig8_ce_nzl",
-        &["update_strategy", "epoch", "changed_elements", "nonzero_loss_ratio"],
+        &[
+            "update_strategy",
+            "epoch",
+            "changed_elements",
+            "nonzero_loss_ratio",
+        ],
     );
 
     for strategy in UpdateStrategy::ALL {

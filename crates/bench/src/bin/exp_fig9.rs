@@ -39,11 +39,27 @@ fn main() {
 
     // Panel (a): vary N1, fix N2 = base.
     for &n1 in &sweep {
-        run_point(&mut report, "a_vary_n1", n1, base, &dataset, &settings, eval_every);
+        run_point(
+            &mut report,
+            "a_vary_n1",
+            n1,
+            base,
+            &dataset,
+            &settings,
+            eval_every,
+        );
     }
     // Panel (b): vary N2, fix N1 = base.
     for &n2 in &sweep {
-        run_point(&mut report, "b_vary_n2", base, n2, &dataset, &settings, eval_every);
+        run_point(
+            &mut report,
+            "b_vary_n2",
+            base,
+            n2,
+            &dataset,
+            &settings,
+            eval_every,
+        );
     }
 
     report.write(&settings).expect("write results");
@@ -82,5 +98,8 @@ fn run_point(
             format!("{:.4}", snapshot.mrr),
         ]);
     }
-    println!("  {:14} final MRR = {:.4}", label, outcome.report.combined.mrr);
+    println!(
+        "  {:14} final MRR = {:.4}",
+        label, outcome.report.combined.mrr
+    );
 }

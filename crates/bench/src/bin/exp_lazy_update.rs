@@ -21,14 +21,19 @@ fn main() {
 
     let mut report = TsvReport::new(
         "ablation_lazy_update",
-        &["lazy_n", "mrr", "hit@10", "train_seconds", "cache_changes_total"],
+        &[
+            "lazy_n",
+            "mrr",
+            "hit@10",
+            "train_seconds",
+            "cache_changes_total",
+        ],
     );
 
     for lazy in [0usize, 1, 3] {
         let label = format!("n={lazy}");
-        let sampler = SamplerConfig::NsCaching(
-            NsCachingConfig::new(cache, cache).with_lazy_update(lazy),
-        );
+        let sampler =
+            SamplerConfig::NsCaching(NsCachingConfig::new(cache, cache).with_lazy_update(lazy));
         let outcome = train_with_sampler(
             &dataset,
             ModelKind::TransD,

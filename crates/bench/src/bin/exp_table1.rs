@@ -80,7 +80,8 @@ fn main() {
         let ns_full = start.elapsed().as_nanos() as f64 / samples as f64;
 
         let extra = sampler.extra_parameters();
-        let cache_bytes = estimate_cache_bytes(&config, &dataset, settings.seed, samples, model.as_ref());
+        let cache_bytes =
+            estimate_cache_bytes(&config, &dataset, settings.seed, samples, model.as_ref());
         report.push_row(&[
             name.to_string(),
             format!("{ns_sample:.0}"),

@@ -33,7 +33,13 @@ fn main() {
     let mut report = TsvReport::new(
         "table4_link_prediction",
         &[
-            "dataset", "model", "method", "mrr", "mr", "hit@10", "train_seconds",
+            "dataset",
+            "model",
+            "method",
+            "mrr",
+            "mr",
+            "hit@10",
+            "train_seconds",
         ],
     );
     let pretrain_epochs = (settings.epochs / 2).max(1);
@@ -82,7 +88,10 @@ fn push_result(
         format!("{:.4}", m.mrr),
         format!("{:.1}", m.mean_rank),
         format!("{:.2}", m.hits_at_10 * 100.0),
-        format!("{:.1}", outcome.history.total_seconds + outcome.pretrain_seconds),
+        format!(
+            "{:.1}",
+            outcome.history.total_seconds + outcome.pretrain_seconds
+        ),
     ]);
     println!(
         "  {:22} {:9} MRR={:.4} MR={:6.1} Hit@10={:5.2}",

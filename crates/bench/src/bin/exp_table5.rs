@@ -33,7 +33,13 @@ fn main() {
 
     let mut report = TsvReport::new(
         "table5_classification",
-        &["dataset", "model", "method", "test_accuracy", "valid_accuracy"],
+        &[
+            "dataset",
+            "model",
+            "method",
+            "test_accuracy",
+            "valid_accuracy",
+        ],
     );
 
     for family in &families {
@@ -56,8 +62,7 @@ fn main() {
         for &model in &models {
             for method in methods {
                 let outcome = train_once(&dataset, model, method, &settings, pretrain_epochs, 0);
-                let classification =
-                    evaluate_classification(outcome.model.as_ref(), &valid, &test);
+                let classification = evaluate_classification(outcome.model.as_ref(), &valid, &test);
                 report.push_row(&[
                     family.name().to_string(),
                     model.name().to_string(),

@@ -2,9 +2,9 @@
 //! Hit@10 vs training wall-clock time for one scoring function across all
 //! benchmark analogues and sampling methods.
 
+use crate::report::TsvReport;
 use crate::runner::{train_once, Method};
 use crate::settings::ExperimentSettings;
-use crate::report::TsvReport;
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
 
@@ -20,7 +20,9 @@ pub fn run_convergence(kind: ModelKind, report_name: &str, settings: &Experiment
 
     let mut report = TsvReport::new(
         report_name,
-        &["dataset", "method", "epoch", "seconds", "mrr", "hit@10", "mr"],
+        &[
+            "dataset", "method", "epoch", "seconds", "mrr", "hit@10", "mr",
+        ],
     );
 
     for family in &families {
@@ -29,7 +31,14 @@ pub fn run_convergence(kind: ModelKind, report_name: &str, settings: &Experiment
             .expect("dataset generation succeeds");
         println!("# {} ({})", dataset.summary(), kind.name());
         for method in Method::TABLE4 {
-            let outcome = train_once(&dataset, kind, method, settings, pretrain_epochs, eval_every);
+            let outcome = train_once(
+                &dataset,
+                kind,
+                method,
+                settings,
+                pretrain_epochs,
+                eval_every,
+            );
             for snapshot in &outcome.history.snapshots {
                 report.push_row(&[
                     family.name().to_string(),
@@ -47,7 +56,11 @@ pub fn run_convergence(kind: ModelKind, report_name: &str, settings: &Experiment
                 .last()
                 .map(|s| s.mrr)
                 .unwrap_or(outcome.report.combined.mrr);
-            println!("  {:22} final snapshot MRR = {:.4}", method.label(), final_mrr);
+            println!(
+                "  {:22} final snapshot MRR = {:.4}",
+                method.label(),
+                final_mrr
+            );
         }
     }
 
@@ -65,12 +78,8 @@ mod tests {
     #[test]
     fn smoke_convergence_runs_and_writes_a_file() {
         let dir = std::env::temp_dir().join(format!("nscaching-conv-{}", std::process::id()));
-        let settings = ExperimentSettings::parse([
-            "--smoke",
-            "--out",
-            dir.to_str().unwrap(),
-        ])
-        .unwrap();
+        let settings =
+            ExperimentSettings::parse(["--smoke", "--out", dir.to_str().unwrap()]).unwrap();
         run_convergence(ModelKind::TransE, "conv-smoke", &settings);
         let path = settings.results_path("conv-smoke");
         let text = std::fs::read_to_string(path).unwrap();

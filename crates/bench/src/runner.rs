@@ -93,9 +93,8 @@ pub fn standard_train_config(kind: ModelKind, settings: &ExperimentSettings) -> 
         .with_margin(3.0)
         .with_lambda(0.001)
         .with_seed(settings.seed);
-    config.snapshot_protocol = EvalProtocol::filtered().with_max_triples(
-        settings.eval_max.unwrap_or(200).min(200),
-    );
+    config.snapshot_protocol =
+        EvalProtocol::filtered().with_max_triples(settings.eval_max.unwrap_or(200).min(200));
     config.final_protocol = match settings.eval_max {
         Some(max) => EvalProtocol::filtered().with_max_triples(max),
         None => EvalProtocol::filtered(),
@@ -137,7 +136,11 @@ pub fn train_once(
         kind,
         method.sampler(cache_size),
         method.label().to_owned(),
-        if method.pretrained() { pretrain_epochs } else { 0 },
+        if method.pretrained() {
+            pretrain_epochs
+        } else {
+            0
+        },
         settings,
         eval_every,
     )
@@ -220,10 +223,7 @@ mod tests {
         assert!(Method::KbGanPretrain.pretrained());
         assert!(!Method::NsCachingScratch.pretrained());
         assert_eq!(Method::NsCachingScratch.label(), "NSCaching+scratch");
-        assert_eq!(
-            Method::Bernoulli.sampler(30).display_name(),
-            "Bernoulli"
-        );
+        assert_eq!(Method::Bernoulli.sampler(30).display_name(), "Bernoulli");
         assert_eq!(
             Method::NsCachingPretrain.sampler(30).display_name(),
             "NSCaching"
@@ -255,7 +255,11 @@ mod tests {
         let dataset = BenchmarkFamily::Wn18rr
             .generate(settings.scale, settings.seed)
             .unwrap();
-        for method in [Method::Bernoulli, Method::NsCachingScratch, Method::KbGanPretrain] {
+        for method in [
+            Method::Bernoulli,
+            Method::NsCachingScratch,
+            Method::KbGanPretrain,
+        ] {
             let outcome = train_once(&dataset, ModelKind::TransE, method, &settings, 1, 0);
             assert_eq!(outcome.label, method.label());
             assert!(outcome.report.combined.mrr >= 0.0);

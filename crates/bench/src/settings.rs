@@ -216,8 +216,18 @@ mod tests {
     #[test]
     fn parse_overrides_every_field() {
         let s = ExperimentSettings::parse([
-            "--scale", "0.05", "--epochs", "7", "--dim", "24", "--seed", "9", "--out", "tmpout",
-            "--eval-max", "100",
+            "--scale",
+            "0.05",
+            "--epochs",
+            "7",
+            "--dim",
+            "24",
+            "--seed",
+            "9",
+            "--out",
+            "tmpout",
+            "--eval-max",
+            "100",
         ])
         .unwrap();
         assert_eq!(s.scale, 0.05);
@@ -261,11 +271,17 @@ mod filter_tests {
     #[test]
     fn dataset_and_model_filters_select_subsets() {
         let s = ExperimentSettings::parse([
-            "--datasets", "wn18,fb15k237", "--models", "transe,ComplEx",
+            "--datasets",
+            "wn18,fb15k237",
+            "--models",
+            "transe,ComplEx",
         ])
         .unwrap();
         let families = s.select_families(BenchmarkFamily::ALL.to_vec());
-        assert_eq!(families, vec![BenchmarkFamily::Wn18, BenchmarkFamily::Fb15k237]);
+        assert_eq!(
+            families,
+            vec![BenchmarkFamily::Wn18, BenchmarkFamily::Fb15k237]
+        );
         let models = s.select_models(ModelKind::PAPER.to_vec());
         assert_eq!(models, vec![ModelKind::TransE, ModelKind::ComplEx]);
     }

@@ -22,6 +22,9 @@ pub struct NegativeCache {
     num_entities: u32,
     entries: HashMap<CacheKey, Vec<EntityId>>,
     changed_elements: u64,
+    /// Reusable sort buffer for change counting in `replace_from_slice`; kept
+    /// here so steady-state refreshes allocate nothing.
+    sorted_scratch: Vec<EntityId>,
 }
 
 impl NegativeCache {
@@ -34,6 +37,7 @@ impl NegativeCache {
             num_entities: num_entities as u32,
             entries: HashMap::new(),
             changed_elements: 0,
+            sorted_scratch: Vec::new(),
         }
     }
 
@@ -75,21 +79,35 @@ impl NegativeCache {
     /// Replace the entry for `key`, returning how many cached entities
     /// actually changed (the "CE" measure of Figure 8). The replacement is
     /// truncated to the cache capacity.
-    pub fn replace(&mut self, key: CacheKey, mut new_entries: Vec<EntityId>) -> usize {
-        new_entries.truncate(self.capacity);
-        let changed = match self.entries.get(&key) {
+    pub fn replace(&mut self, key: CacheKey, new_entries: Vec<EntityId>) -> usize {
+        self.replace_from_slice(key, &new_entries)
+    }
+
+    /// Like [`Self::replace`] but borrows the replacement, reusing the
+    /// existing entry's storage. The sampler's refresh path calls this with a
+    /// scratch buffer so a steady-state cache update performs no heap
+    /// allocation at all.
+    pub fn replace_from_slice(&mut self, key: CacheKey, new_entries: &[EntityId]) -> usize {
+        let new_entries = &new_entries[..new_entries.len().min(self.capacity)];
+        let changed = match self.entries.get_mut(&key) {
             Some(old) => {
-                let mut old_sorted = old.clone();
-                old_sorted.sort_unstable();
-                new_entries
+                self.sorted_scratch.clear();
+                self.sorted_scratch.extend_from_slice(old);
+                self.sorted_scratch.sort_unstable();
+                let changed = new_entries
                     .iter()
-                    .filter(|e| old_sorted.binary_search(e).is_err())
-                    .count()
+                    .filter(|e| self.sorted_scratch.binary_search(e).is_err())
+                    .count();
+                old.clear();
+                old.extend_from_slice(new_entries);
+                changed
             }
-            None => new_entries.len(),
+            None => {
+                self.entries.insert(key, new_entries.to_vec());
+                new_entries.len()
+            }
         };
         self.changed_elements += changed as u64;
-        self.entries.insert(key, new_entries);
         changed
     }
 
@@ -157,10 +175,7 @@ mod tests {
         // keep two old entries, add two new ones that are guaranteed fresh
         let fresh: Vec<u32> = vec![old[0], old[1], 47, 48];
         let changed = cache.replace((0, 0), fresh);
-        let expected = [47u32, 48]
-            .iter()
-            .filter(|e| !old.contains(e))
-            .count();
+        let expected = [47u32, 48].iter().filter(|e| !old.contains(e)).count();
         assert_eq!(changed, expected);
         assert_eq!(cache.changed_elements(), expected as u64);
         assert_eq!(cache.take_changed_elements(), expected as u64);

@@ -158,9 +158,7 @@ pub fn build_sampler(
             BernoulliSampler::new(&dataset.train, num_entities, num_relations)
                 .with_false_negative_filter(Arc::new(dataset.train_graph())),
         ),
-        SamplerConfig::NsCaching(ns) => {
-            Box::new(NsCachingSampler::new(*ns, num_entities, policy))
-        }
+        SamplerConfig::NsCaching(ns) => Box::new(NsCachingSampler::new(*ns, num_entities, policy)),
         SamplerConfig::KbGan {
             generator,
             generator_dim,
@@ -168,7 +166,9 @@ pub fn build_sampler(
             generator_lr,
         } => {
             let gen_model = build_model(
-                &ModelConfig::new(*generator).with_dim(*generator_dim).with_seed(seed),
+                &ModelConfig::new(*generator)
+                    .with_dim(*generator_dim)
+                    .with_seed(seed),
                 num_entities,
                 num_relations,
             );
@@ -185,7 +185,9 @@ pub fn build_sampler(
             generator_lr,
         } => {
             let gen_model = build_model(
-                &ModelConfig::new(*generator).with_dim(*generator_dim).with_seed(seed),
+                &ModelConfig::new(*generator)
+                    .with_dim(*generator_dim)
+                    .with_seed(seed),
                 num_entities,
                 num_relations,
             );

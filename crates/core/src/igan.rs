@@ -12,7 +12,7 @@
 use crate::corruption::CorruptionPolicy;
 use crate::sampler::{NegativeSampler, SampledNegative};
 use nscaching_kg::{CorruptionSide, Triple};
-use nscaching_math::{sample_one_weighted, softmax};
+use nscaching_math::{sample_one_weighted, softmax_in_place};
 use nscaching_models::{GradientBuffer, KgeModel};
 use nscaching_optim::{build_optimizer, Optimizer, OptimizerConfig};
 use rand::rngs::StdRng;
@@ -33,6 +33,9 @@ pub struct IganSampler {
     baseline_decay: f64,
     pending: Option<PendingChoice>,
     feedback_steps: u64,
+    /// Probability buffer recycled between consecutive `PendingChoice`s so
+    /// the O(|E|) softmax reuses its allocation across positives.
+    spare_probs: Vec<f64>,
     /// Cap on how many entities receive a REINFORCE gradient per step (the
     /// chosen entity always does). `usize::MAX` means the faithful full
     /// update; smaller values trade fidelity for speed in smoke tests.
@@ -50,6 +53,7 @@ impl IganSampler {
             baseline_decay: 0.99,
             pending: None,
             feedback_steps: 0,
+            spare_probs: Vec::new(),
             gradient_fanout: usize::MAX,
         }
     }
@@ -73,10 +77,10 @@ impl IganSampler {
 
     fn reinforce(&mut self, pending: PendingChoice, reward: f64) {
         let advantage = reward - self.baseline;
-        self.baseline =
-            self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
+        self.baseline = self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
         self.feedback_steps += 1;
         if advantage == 0.0 {
+            self.spare_probs = pending.probs;
             return;
         }
         let mut grads = GradientBuffer::new();
@@ -99,6 +103,7 @@ impl IganSampler {
         }
         let touched = self.optimizer.step(self.generator.as_mut(), &grads);
         self.generator.apply_constraints(&touched);
+        self.spare_probs = pending.probs;
     }
 }
 
@@ -114,12 +119,14 @@ impl NegativeSampler for IganSampler {
         rng: &mut StdRng,
     ) -> SampledNegative {
         let side = self.policy.choose(positive, rng);
-        // Full distribution over every entity — the O(|E|·d) step. The
+        // Full distribution over every entity — the O(|E|·d) step, streamed
+        // through the batched fast path into a recycled buffer. The
         // positive's own entity is masked out, matching the negative set
         // definition of Eq. (5).
-        let mut scores = self.generator.score_all(positive, side);
-        scores[positive.entity_at(side) as usize] = f64::NEG_INFINITY;
-        let probs = softmax(&scores);
+        let mut probs = std::mem::take(&mut self.spare_probs);
+        self.generator.score_all_into(positive, side, &mut probs);
+        probs[positive.entity_at(side) as usize] = f64::NEG_INFINITY;
+        softmax_in_place(&mut probs);
         let chosen = sample_one_weighted(rng, &probs);
         self.pending = Some(PendingChoice {
             positive: *positive,
@@ -144,6 +151,7 @@ impl NegativeSampler for IganSampler {
             || pending.side != negative.side
             || pending.chosen as u32 != negative.entity
         {
+            self.spare_probs = pending.probs;
             return;
         }
         self.reinforce(pending, reward);
@@ -161,11 +169,23 @@ mod tests {
     use nscaching_models::{build_model, ModelConfig, ModelKind};
 
     fn generator(n: usize) -> Box<dyn KgeModel> {
-        build_model(&ModelConfig::new(ModelKind::DistMult).with_dim(4).with_seed(2), n, 2)
+        build_model(
+            &ModelConfig::new(ModelKind::DistMult)
+                .with_dim(4)
+                .with_seed(2),
+            n,
+            2,
+        )
     }
 
     fn discriminator(n: usize) -> Box<dyn KgeModel> {
-        build_model(&ModelConfig::new(ModelKind::ComplEx).with_dim(4).with_seed(8), n, 2)
+        build_model(
+            &ModelConfig::new(ModelKind::ComplEx)
+                .with_dim(4)
+                .with_seed(8),
+            n,
+            2,
+        )
     }
 
     #[test]
@@ -180,7 +200,11 @@ mod tests {
             assert!(neg.entity < 25);
             seen.insert(neg.entity);
         }
-        assert!(seen.len() > 10, "generator starts near-uniform, saw {}", seen.len());
+        assert!(
+            seen.len() > 10,
+            "generator starts near-uniform, saw {}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -200,8 +224,8 @@ mod tests {
 
     #[test]
     fn fanout_limit_still_learns_to_prefer_rewarded_entities() {
-        let mut s = IganSampler::new(generator(12), 0.1, CorruptionPolicy::Uniform)
-            .with_gradient_fanout(4);
+        let mut s =
+            IganSampler::new(generator(12), 0.1, CorruptionPolicy::Uniform).with_gradient_fanout(4);
         let d = discriminator(12);
         let mut rng = seeded_rng(3);
         let pos = Triple::new(0, 0, 1);

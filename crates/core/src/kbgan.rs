@@ -11,7 +11,7 @@
 use crate::corruption::CorruptionPolicy;
 use crate::sampler::{NegativeSampler, SampledNegative};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
-use nscaching_math::{sample_distinct_uniform, sample_one_weighted, softmax};
+use nscaching_math::{sample_distinct_uniform_into, sample_one_weighted, softmax_in_place};
 use nscaching_models::{GradientBuffer, KgeModel};
 use nscaching_optim::{build_optimizer, Optimizer, OptimizerConfig};
 use rand::rngs::StdRng;
@@ -36,6 +36,12 @@ pub struct KbGanSampler {
     baseline_decay: f64,
     pending: Option<PendingChoice>,
     feedback_steps: u64,
+    /// Scratch for drawing distinct candidate indices without allocating.
+    idx_scratch: Vec<usize>,
+    /// Buffers recycled between consecutive `PendingChoice`s so the
+    /// steady-state sample → feedback cycle reuses its allocations.
+    spare_candidates: Vec<EntityId>,
+    spare_probs: Vec<f64>,
 }
 
 impl KbGanSampler {
@@ -64,6 +70,9 @@ impl KbGanSampler {
             baseline_decay: 0.99,
             pending: None,
             feedback_steps: 0,
+            idx_scratch: Vec::new(),
+            spare_candidates: Vec::new(),
+            spare_probs: Vec::new(),
         }
     }
 
@@ -86,10 +95,10 @@ impl KbGanSampler {
     fn reinforce(&mut self, pending: PendingChoice, reward: f64) {
         // Advantage with moving-average baseline.
         let advantage = reward - self.baseline;
-        self.baseline =
-            self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
+        self.baseline = self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
         self.feedback_steps += 1;
         if advantage == 0.0 {
+            self.recycle(pending);
             return;
         }
         // ∂ log p(chosen) / ∂ score_i = δ_{i = chosen} − p_i. We *maximise*
@@ -107,6 +116,13 @@ impl KbGanSampler {
         }
         let touched = self.optimizer.step(self.generator.as_mut(), &grads);
         self.generator.apply_constraints(&touched);
+        self.recycle(pending);
+    }
+
+    /// Return a pending choice's buffers to the spare pool for reuse.
+    fn recycle(&mut self, pending: PendingChoice) {
+        self.spare_candidates = pending.candidates;
+        self.spare_probs = pending.probs;
     }
 }
 
@@ -123,25 +139,30 @@ impl NegativeSampler for KbGanSampler {
     ) -> SampledNegative {
         let side = self.policy.choose(positive, rng);
         // Uniform candidate set Neg, excluding the positive's own entity so a
-        // candidate can never reproduce the positive triple (Eq. (5)).
+        // candidate can never reproduce the positive triple (Eq. (5)). The
+        // candidate and probability buffers are recycled from the previous
+        // draw, and scoring goes through the batched fast path.
         let excluded = positive.entity_at(side);
-        let candidates: Vec<EntityId> =
-            sample_distinct_uniform(rng, self.num_entities, self.candidate_size)
-                .into_iter()
-                .map(|e| e as EntityId)
-                .map(|e| {
-                    if e == excluded {
-                        (e + 1) % self.num_entities as EntityId
-                    } else {
-                        e
-                    }
-                })
-                .collect();
-        let scores: Vec<f64> = candidates
-            .iter()
-            .map(|&e| self.generator.score(&positive.corrupted(side, e)))
-            .collect();
-        let probs = softmax(&scores);
+        sample_distinct_uniform_into(
+            rng,
+            self.num_entities,
+            self.candidate_size,
+            &mut self.idx_scratch,
+        );
+        let mut candidates = std::mem::take(&mut self.spare_candidates);
+        candidates.clear();
+        candidates.extend(self.idx_scratch.iter().map(|&e| {
+            let e = e as EntityId;
+            if e == excluded {
+                (e + 1) % self.num_entities as EntityId
+            } else {
+                e
+            }
+        }));
+        let mut probs = std::mem::take(&mut self.spare_probs);
+        self.generator
+            .score_candidates(positive, side, &candidates, &mut probs);
+        softmax_in_place(&mut probs);
         let chosen = sample_one_weighted(rng, &probs);
         let entity = candidates[chosen];
         self.pending = Some(PendingChoice {
@@ -170,6 +191,7 @@ impl NegativeSampler for KbGanSampler {
             || pending.side != negative.side
             || pending.candidates[pending.chosen] != negative.entity
         {
+            self.recycle(pending);
             return;
         }
         self.reinforce(pending, reward);
@@ -187,11 +209,19 @@ mod tests {
     use nscaching_models::{build_model, ModelConfig, ModelKind};
 
     fn generator(n: usize) -> Box<dyn KgeModel> {
-        build_model(&ModelConfig::new(ModelKind::TransE).with_dim(6).with_seed(3), n, 2)
+        build_model(
+            &ModelConfig::new(ModelKind::TransE).with_dim(6).with_seed(3),
+            n,
+            2,
+        )
     }
 
     fn discriminator(n: usize) -> Box<dyn KgeModel> {
-        build_model(&ModelConfig::new(ModelKind::TransD).with_dim(6).with_seed(9), n, 2)
+        build_model(
+            &ModelConfig::new(ModelKind::TransD).with_dim(6).with_seed(9),
+            n,
+            2,
+        )
     }
 
     #[test]
@@ -233,7 +263,9 @@ mod tests {
         // over the full entity set should assign entity 7 more than the
         // uniform 1/20 share on both corruption sides.
         let gen = build_model(
-            &ModelConfig::new(ModelKind::DistMult).with_dim(6).with_seed(3),
+            &ModelConfig::new(ModelKind::DistMult)
+                .with_dim(6)
+                .with_seed(3),
             20,
             2,
         );

@@ -7,12 +7,35 @@ use crate::sampler::{NegativeSampler, SampledNegative};
 use crate::strategy::{SampleStrategy, UpdateStrategy};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::{
-    sample_distinct_uniform, sample_one_weighted, sample_without_replacement_weighted, softmax,
-    top_k_indices,
+    argmax, sample_distinct_uniform_into, sample_one_weighted,
+    sample_without_replacement_weighted_into, softmax_in_place, top_k_indices_into,
 };
 use nscaching_models::KgeModel;
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Reusable working storage for the sampler's hot paths.
+///
+/// Every buffer grows to its high-water mark on the first few positives and
+/// is reused afterwards, so steady-state `sample`/`update` calls perform no
+/// heap allocation (verified by the allocation counter in the
+/// `sampler_throughput` bench).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Masked copy of a cache entry (positive's own entity filtered out).
+    candidates: Vec<EntityId>,
+    /// Candidate pool for Algorithm 3 (cache entry ∪ N2 random entities).
+    pool: Vec<EntityId>,
+    /// Batched candidate scores / softmax weights, in `pool` order.
+    scores: Vec<f64>,
+    /// Indices into `pool` kept by the update strategy.
+    kept: Vec<usize>,
+    /// Distinct random indices drawn when extending the pool (Algorithm 3
+    /// step 2).
+    random: Vec<usize>,
+    /// The refreshed cache entry before it is copied over the old one.
+    refreshed: Vec<EntityId>,
+}
 
 /// Cache-based negative sampler.
 ///
@@ -38,6 +61,8 @@ pub struct NsCachingSampler {
     /// Number of cache refresh operations performed (two per `update` call
     /// when updates are enabled).
     refresh_count: u64,
+    /// Reusable buffers for the batched scoring fast path.
+    scratch: Scratch,
 }
 
 impl NsCachingSampler {
@@ -50,6 +75,7 @@ impl NsCachingSampler {
             num_entities,
             updates_enabled: true,
             refresh_count: 0,
+            scratch: Scratch::default(),
             config,
         }
     }
@@ -90,89 +116,101 @@ impl NsCachingSampler {
         self.updates_enabled
     }
 
+    /// Draw one negative from a cache entry (step 6 of Algorithm 2).
+    ///
+    /// A free-standing function (rather than `&self`) so callers can lend out
+    /// disjoint scratch buffers; all candidate scoring goes through the
+    /// batched [`KgeModel::score_candidates`] fast path with `scores` as the
+    /// reused output buffer.
+    #[allow(clippy::too_many_arguments)]
     fn pick_from_cache(
-        &self,
+        config: &NsCachingConfig,
+        num_entities: usize,
         candidates: &[EntityId],
+        scores: &mut Vec<f64>,
         positive: &Triple,
         side: CorruptionSide,
         model: &dyn KgeModel,
         rng: &mut StdRng,
     ) -> EntityId {
-        debug_assert!(!candidates.is_empty());
-        // The cache may contain the positive's own entity (it is, after all, a
-        // very high-scoring candidate); drawing it would reproduce the positive
-        // triple, so it is masked here. If the whole cache entry is the
-        // positive entity, fall back to a uniform draw over the rest of E.
-        let excluded = positive.entity_at(side);
-        let candidates: Vec<EntityId> = candidates
-            .iter()
-            .copied()
-            .filter(|&e| e != excluded)
-            .collect();
+        // `candidates` has already been masked: the positive's own entity (a
+        // very high-scoring cache resident) is filtered out by the caller. If
+        // masking emptied the entry, fall back to a uniform draw over E.
         if candidates.is_empty() {
-            let mut e = rng.gen_range(0..self.num_entities as EntityId);
+            let excluded = positive.entity_at(side);
+            let mut e = rng.gen_range(0..num_entities as EntityId);
             if e == excluded {
-                e = (e + 1) % self.num_entities as EntityId;
+                e = (e + 1) % num_entities as EntityId;
             }
             return e;
         }
-        let candidates = candidates.as_slice();
-        match self.config.sample_strategy {
+        match config.sample_strategy {
             SampleStrategy::Uniform => candidates[rng.gen_range(0..candidates.len())],
             SampleStrategy::Importance => {
-                let scores: Vec<f64> = candidates
-                    .iter()
-                    .map(|&e| model.score(&positive.corrupted(side, e)))
-                    .collect();
-                let probs = softmax(&scores);
-                candidates[sample_one_weighted(rng, &probs)]
+                model.score_candidates(positive, side, candidates, scores);
+                softmax_in_place(scores);
+                candidates[sample_one_weighted(rng, scores)]
             }
             SampleStrategy::Top => {
-                let scores: Vec<f64> = candidates
-                    .iter()
-                    .map(|&e| model.score(&positive.corrupted(side, e)))
-                    .collect();
-                candidates[top_k_indices(&scores, 1)[0]]
+                model.score_candidates(positive, side, candidates, scores);
+                candidates[argmax(scores).expect("candidates are non-empty")]
             }
         }
     }
 
-    /// Algorithm 3 applied to one cache entry; returns the refreshed entry.
+    /// Algorithm 3 applied to one cache entry, writing the refreshed entry
+    /// back in place. Scoring the `N1 + N2` candidate pool goes through the
+    /// batched fast path, and every intermediate lives in `self.scratch`, so
+    /// a steady-state refresh performs no heap allocation.
     fn refresh_entry(
-        &self,
-        current: &[EntityId],
+        &mut self,
         positive: &Triple,
         side: CorruptionSide,
         model: &dyn KgeModel,
         rng: &mut StdRng,
-    ) -> Vec<EntityId> {
+    ) {
+        let (cache, key) = match side {
+            CorruptionSide::Head => (&mut self.head_cache, positive.relation_tail()),
+            CorruptionSide::Tail => (&mut self.tail_cache, positive.head_relation()),
+        };
+        let scratch = &mut self.scratch;
         let n1 = self.config.cache_size;
         let n2 = self.config.random_size.min(self.num_entities);
         // Step 2-3: candidate pool = cache ∪ N2 uniformly random entities.
-        let mut pool: Vec<EntityId> = Vec::with_capacity(current.len() + n2);
-        pool.extend_from_slice(current);
-        pool.extend(
-            sample_distinct_uniform(rng, self.num_entities, n2)
-                .into_iter()
-                .map(|e| e as EntityId),
-        );
-        // Step 4: score every candidate.
-        let scores: Vec<f64> = pool
-            .iter()
-            .map(|&e| model.score(&positive.corrupted(side, e)))
-            .collect();
+        scratch.pool.clear();
+        scratch.pool.extend_from_slice(cache.get_or_init(key, rng));
+        sample_distinct_uniform_into(rng, self.num_entities, n2, &mut scratch.random);
+        scratch
+            .pool
+            .extend(scratch.random.iter().map(|&e| e as EntityId));
+        // Step 4: score every candidate in one batched call.
+        model.score_candidates(positive, side, &scratch.pool, &mut scratch.scores);
         // Steps 5-9: keep N1 of them.
-        let kept: Vec<usize> = match self.config.update_strategy {
+        match self.config.update_strategy {
             UpdateStrategy::Importance => {
                 // Probability ∝ exp(score) — Equation (6); softmax keeps the
                 // exponentials finite.
-                let weights = softmax(&scores);
-                sample_without_replacement_weighted(rng, &weights, n1)
+                softmax_in_place(&mut scratch.scores);
+                sample_without_replacement_weighted_into(
+                    rng,
+                    &mut scratch.scores,
+                    n1,
+                    &mut scratch.kept,
+                );
             }
-            UpdateStrategy::Top => top_k_indices(&scores, n1),
-            UpdateStrategy::Uniform => sample_distinct_uniform(rng, pool.len(), n1.min(pool.len())),
-        };
-        kept.into_iter().map(|i| pool[i]).collect()
+            UpdateStrategy::Top => top_k_indices_into(&scratch.scores, n1, &mut scratch.kept),
+            UpdateStrategy::Uniform => sample_distinct_uniform_into(
+                rng,
+                scratch.pool.len(),
+                n1.min(scratch.pool.len()),
+                &mut scratch.kept,
+            ),
+        }
+        scratch.refreshed.clear();
+        scratch
+            .refreshed
+            .extend(scratch.kept.iter().map(|&i| scratch.pool[i]));
+        cache.replace_from_slice(key, &scratch.refreshed);
     }
 }
 
@@ -187,42 +225,63 @@ impl NegativeSampler for NsCachingSampler {
         model: &dyn KgeModel,
         rng: &mut StdRng,
     ) -> SampledNegative {
-        // Step 5: index the caches.
-        let head_candidates = self
-            .head_cache
-            .get_or_init(positive.relation_tail(), rng)
-            .to_vec();
-        let tail_candidates = self
-            .tail_cache
-            .get_or_init(positive.head_relation(), rng)
-            .to_vec();
-        // Step 6: draw one candidate from each cache.
-        let head_pick =
-            self.pick_from_cache(&head_candidates, positive, CorruptionSide::Head, model, rng);
-        let tail_pick =
-            self.pick_from_cache(&tail_candidates, positive, CorruptionSide::Tail, model, rng);
-        // Step 7: pick the corruption side.
+        // Step 7 first: picking the corruption side does not depend on the
+        // drawn candidates, so only the chosen side's cache needs scoring —
+        // half the candidate-scoring work of a draw-both-then-choose order,
+        // with an identical sampling distribution. Step 5 still materialises
+        // both caches (Algorithm 2 keeps `H(r, t)` and `T(h, r)` warm on
+        // every positive): the unchosen side is warmed here, the chosen side
+        // by the `get_or_init` below — two hash probes per positive in total.
         let side = self.policy.choose(positive, rng);
-        match side {
-            CorruptionSide::Head => SampledNegative::new(positive, side, head_pick),
-            CorruptionSide::Tail => SampledNegative::new(positive, side, tail_pick),
-        }
+        let (cache, other, key, other_key) = match side {
+            CorruptionSide::Head => (
+                &mut self.head_cache,
+                &mut self.tail_cache,
+                positive.relation_tail(),
+                positive.head_relation(),
+            ),
+            CorruptionSide::Tail => (
+                &mut self.tail_cache,
+                &mut self.head_cache,
+                positive.head_relation(),
+                positive.relation_tail(),
+            ),
+        };
+        other.get_or_init(other_key, rng);
+        // Step 6: draw one candidate from the chosen cache. The entry is
+        // copied into a reusable scratch buffer with the positive's own
+        // entity masked out in the same pass (it may legitimately sit in the
+        // cache as a top-scoring candidate, but drawing it would reproduce
+        // the positive triple).
+        let excluded = positive.entity_at(side);
+        self.scratch.candidates.clear();
+        self.scratch.candidates.extend(
+            cache
+                .get_or_init(key, rng)
+                .iter()
+                .copied()
+                .filter(|&e| e != excluded),
+        );
+        let pick = Self::pick_from_cache(
+            &self.config,
+            self.num_entities,
+            &self.scratch.candidates,
+            &mut self.scratch.scores,
+            positive,
+            side,
+            model,
+            rng,
+        );
+        SampledNegative::new(positive, side, pick)
     }
 
     fn update(&mut self, positive: &Triple, model: &dyn KgeModel, rng: &mut StdRng) {
         if !self.updates_enabled {
             return;
         }
-        // Head cache H(r, t).
-        let key = positive.relation_tail();
-        let current = self.head_cache.get_or_init(key, rng).to_vec();
-        let refreshed = self.refresh_entry(&current, positive, CorruptionSide::Head, model, rng);
-        self.head_cache.replace(key, refreshed);
-        // Tail cache T(h, r).
-        let key = positive.head_relation();
-        let current = self.tail_cache.get_or_init(key, rng).to_vec();
-        let refreshed = self.refresh_entry(&current, positive, CorruptionSide::Tail, model, rng);
-        self.tail_cache.replace(key, refreshed);
+        // Head cache H(r, t), then tail cache T(h, r) — Algorithm 3 twice.
+        self.refresh_entry(positive, CorruptionSide::Head, model, rng);
+        self.refresh_entry(positive, CorruptionSide::Tail, model, rng);
         self.refresh_count += 2;
     }
 
@@ -230,7 +289,7 @@ impl NegativeSampler for NsCachingSampler {
         // Lazy update: with period n, the cache is refreshed only every
         // (n + 1)-th epoch; n = 0 refreshes every epoch (the paper's default).
         let period = self.config.lazy_update_epochs + 1;
-        self.updates_enabled = (epoch + 1) % period == 0;
+        self.updates_enabled = (epoch + 1).is_multiple_of(period);
     }
 
     fn take_changed_elements(&mut self) -> u64 {
@@ -253,7 +312,11 @@ mod tests {
     use nscaching_models::{build_model, ModelConfig, ModelKind};
 
     fn model(n: usize) -> Box<dyn KgeModel> {
-        build_model(&ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(5), n, 3)
+        build_model(
+            &ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(5),
+            n,
+            3,
+        )
     }
 
     fn sampler(n1: usize, n2: usize) -> NsCachingSampler {
@@ -316,9 +379,7 @@ mod tests {
         let cache = s.probe_head_cache(0, 9).entities;
         assert_eq!(cache.len(), 5);
         // every cached entity must score at least as high as the median entity
-        let all_scores: Vec<f64> = (0..40u32)
-            .map(|e| m.score(&pos.with_head(e)))
-            .collect();
+        let all_scores: Vec<f64> = (0..40u32).map(|e| m.score(&pos.with_head(e))).collect();
         let mut sorted = all_scores.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[20];

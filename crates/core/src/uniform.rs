@@ -30,7 +30,7 @@ impl UniformSampler {
             num_entities: num_entities as u32,
             policy: CorruptionPolicy::Uniform,
             train: None,
-            max_rejects: 32,
+            max_rejects: 64,
         }
     }
 

@@ -11,7 +11,9 @@ use proptest::prelude::*;
 
 fn small_model(num_entities: usize, num_relations: usize, seed: u64) -> Box<dyn KgeModel> {
     build_model(
-        &ModelConfig::new(ModelKind::TransE).with_dim(4).with_seed(seed),
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(4)
+            .with_seed(seed),
         num_entities,
         num_relations,
     )

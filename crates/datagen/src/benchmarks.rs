@@ -65,8 +65,9 @@ impl BenchmarkFamily {
         let num_relations = (((relations as f64) * scale_rel).round() as usize).clamp(6, relations);
         // Inverse partners are added on top of the base count, so subtract
         // them from the base to keep the total close to the real count.
-        let base_relations =
-            ((num_relations as f64) / (1.0 + inverse_fraction)).round().max(4.0) as usize;
+        let base_relations = ((num_relations as f64) / (1.0 + inverse_fraction))
+            .round()
+            .max(4.0) as usize;
         GeneratorConfig {
             name: format!("{}-synthetic", self.name()),
             num_entities: ((entities as f64 * scale).round() as usize).max(64),
@@ -140,7 +141,12 @@ mod tests {
     fn small_scale_generation_works_for_all_families() {
         for family in BenchmarkFamily::ALL {
             let ds = family.generate(0.005, 7).unwrap();
-            assert!(ds.train.len() >= 400, "{}: {}", family.name(), ds.train.len());
+            assert!(
+                ds.train.len() >= 400,
+                "{}: {}",
+                family.name(),
+                ds.train.len()
+            );
             assert!(!ds.valid.is_empty());
             assert!(!ds.test.is_empty());
             assert!(ds.name.contains(family.name()));

@@ -121,7 +121,11 @@ mod tests {
         let sets = generate_classification_sets(&ds, 4);
         for lt in sets.valid.iter().chain(&sets.test) {
             if !lt.label {
-                assert!(!filter.contains(&lt.triple), "false negative {:?}", lt.triple);
+                assert!(
+                    !filter.contains(&lt.triple),
+                    "false negative {:?}",
+                    lt.triple
+                );
             }
         }
     }

@@ -53,8 +53,8 @@ impl CardinalityMix {
     pub fn assign(&self, n: usize) -> Vec<usize> {
         let fractions = self.normalised();
         let mut assignment = Vec::with_capacity(n);
-        for class in 0..4 {
-            let count = (fractions[class] * n as f64).round() as usize;
+        for (class, fraction) in fractions.iter().enumerate() {
+            let count = (fraction * n as f64).round() as usize;
             for _ in 0..count {
                 if assignment.len() < n {
                     assignment.push(class);

@@ -52,7 +52,9 @@ fn class_profile(class: usize, num_entities: usize) -> ClassProfile {
 
 /// Zipf weights `1 / rank^s` over `n` ranks.
 fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
-    (1..=n).map(|rank| 1.0 / (rank as f64).powf(exponent)).collect()
+    (1..=n)
+        .map(|rank| 1.0 / (rank as f64).powf(exponent))
+        .collect()
 }
 
 /// Generate a dataset from a configuration.
@@ -84,8 +86,18 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset, KgError> {
     let mut temperatures: Vec<f64> = Vec::with_capacity(num_base);
     for &class in &classes {
         let profile = class_profile(class, num_entities);
-        head_pools.push(sample_pool(&mut rng, &popularity_table, num_entities, profile.head_pool));
-        tail_pools.push(sample_pool(&mut rng, &popularity_table, num_entities, profile.tail_pool));
+        head_pools.push(sample_pool(
+            &mut rng,
+            &popularity_table,
+            num_entities,
+            profile.head_pool,
+        ));
+        tail_pools.push(sample_pool(
+            &mut rng,
+            &popularity_table,
+            num_entities,
+            profile.tail_pool,
+        ));
         temperatures.push(profile.temperature);
     }
 
@@ -129,7 +141,13 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset, KgError> {
                 .map(|i| tail_pool[i])
                 .collect()
         };
-        let tail = latent.choose_tail(&mut rng, head, relation, &candidates, temperatures[relation]);
+        let tail = latent.choose_tail(
+            &mut rng,
+            head,
+            relation,
+            &candidates,
+            temperatures[relation],
+        );
         if head == tail {
             continue;
         }
@@ -142,7 +160,8 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset, KgError> {
         // Mirror into the inverse-duplicate partner, mimicking how WN18 and
         // FB15K leak test answers through reciprocal relations.
         if let Some(partner) = inverse_partner[relation] {
-            if triples.len() < total_target && rng.gen::<f64>() < config.inverse_mirror_probability {
+            if triples.len() < total_target && rng.gen::<f64>() < config.inverse_mirror_probability
+            {
                 let mirrored = Triple::new(tail as u32, partner, head as u32);
                 if seen.insert(mirrored) {
                     triples.push(mirrored);
@@ -272,10 +291,18 @@ mod tests {
         c.num_train = 3_000;
         let ds = generate(&c).unwrap();
         let stats = BernoulliStats::from_train(&ds.train, ds.num_relations());
-        let tphs: Vec<f64> = stats.all().iter().filter(|s| s.count > 0).map(|s| s.tph).collect();
+        let tphs: Vec<f64> = stats
+            .all()
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| s.tph)
+            .collect();
         let max = tphs.iter().cloned().fold(f64::MIN, f64::max);
         let min = tphs.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max > 1.5, "expected at least one *-to-many relation, max tph {max}");
+        assert!(
+            max > 1.5,
+            "expected at least one *-to-many relation, max tph {max}"
+        );
         assert!(min < max, "tph should vary across relations");
     }
 
@@ -297,7 +324,10 @@ mod tests {
                 }
             }
         }
-        assert!(mirrored > 50, "expected many mirrored pairs, got {mirrored}");
+        assert!(
+            mirrored > 50,
+            "expected many mirrored pairs, got {mirrored}"
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= 48, "latent structure should be informative, wins = {wins}");
+        assert!(
+            wins >= 48,
+            "latent structure should be informative, wins = {wins}"
+        );
     }
 
     #[test]

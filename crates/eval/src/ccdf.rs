@@ -76,7 +76,9 @@ mod tests {
 
     fn model(n: usize, seed: u64) -> Box<dyn KgeModel> {
         build_model(
-            &ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(seed),
+            &ModelConfig::new(ModelKind::TransE)
+                .with_dim(8)
+                .with_seed(seed),
             n,
             2,
         )
@@ -95,7 +97,8 @@ mod tests {
     fn filter_removes_known_true_triples() {
         let m = model(20, 2);
         let pos = Triple::new(0, 0, 1);
-        let filter = FilterIndex::from_triples(vec![pos, Triple::new(0, 0, 5), Triple::new(0, 0, 9)]);
+        let filter =
+            FilterIndex::from_triples(vec![pos, Triple::new(0, 0, 5), Triple::new(0, 0, 9)]);
         let unfiltered = negative_distance_samples(m.as_ref(), &pos, CorruptionSide::Tail, None);
         let filtered =
             negative_distance_samples(m.as_ref(), &pos, CorruptionSide::Tail, Some(&filter));

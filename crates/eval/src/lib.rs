@@ -6,7 +6,7 @@
 //!   head and the tail are each ranked against all entities; MRR, MR and
 //!   Hits@k are computed in the *filtered* setting (corruptions that are
 //!   known true triples are removed from the candidate list) or the raw
-//!   setting. Ranking is parallelised over test triples with crossbeam.
+//!   setting. Ranking is parallelised over test triples with scoped threads.
 //! * **Triplet classification** (Table V): per-relation score thresholds are
 //!   tuned on a labeled validation set and accuracy is reported on the test
 //!   set.
@@ -22,6 +22,8 @@ pub mod protocol;
 
 pub use ccdf::{negative_distance_ccdf, negative_distance_samples};
 pub use classification::{evaluate_classification, ClassificationReport};
-pub use link_prediction::{evaluate_link_prediction, LinkPredictionReport};
+pub use link_prediction::{
+    evaluate_link_prediction, rank_one, rank_one_with, LinkPredictionReport,
+};
 pub use metrics::{RankAccumulator, RankingMetrics};
 pub use protocol::EvalProtocol;

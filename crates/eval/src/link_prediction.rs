@@ -38,16 +38,15 @@ pub fn evaluate_link_prediction(
     if triples.is_empty() {
         partials.push((RankAccumulator::new(), RankAccumulator::new()));
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in triples.chunks(chunk_size) {
-                handles.push(scope.spawn(move |_| rank_chunk(model, chunk, filter, protocol)));
+                handles.push(scope.spawn(move || rank_chunk(model, chunk, filter, protocol)));
             }
             for handle in handles {
                 partials.push(handle.join().expect("ranking worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
     }
 
     let mut head = RankAccumulator::new();
@@ -74,14 +73,32 @@ fn rank_chunk(
 ) -> (RankAccumulator, RankAccumulator) {
     let mut head_acc = RankAccumulator::new();
     let mut tail_acc = RankAccumulator::new();
+    // One score buffer per worker, reused across every query in the chunk.
+    let mut scores = Vec::with_capacity(model.num_entities());
     for triple in triples {
-        head_acc.push(rank_one(model, triple, CorruptionSide::Head, filter, protocol));
-        tail_acc.push(rank_one(model, triple, CorruptionSide::Tail, filter, protocol));
+        head_acc.push(rank_one_with(
+            model,
+            triple,
+            CorruptionSide::Head,
+            filter,
+            protocol,
+            &mut scores,
+        ));
+        tail_acc.push(rank_one_with(
+            model,
+            triple,
+            CorruptionSide::Tail,
+            filter,
+            protocol,
+            &mut scores,
+        ));
     }
     (head_acc, tail_acc)
 }
 
 /// Rank of the true entity for one query direction.
+///
+/// Allocating convenience wrapper around [`rank_one_with`].
 pub fn rank_one(
     model: &dyn KgeModel,
     triple: &Triple,
@@ -89,8 +106,24 @@ pub fn rank_one(
     filter: &FilterIndex,
     protocol: &EvalProtocol,
 ) -> f64 {
+    let mut scores = Vec::with_capacity(model.num_entities());
+    rank_one_with(model, triple, side, filter, protocol, &mut scores)
+}
+
+/// Rank of the true entity for one query direction, scoring all candidates
+/// through the batched `score_all_into` fast path into a caller-provided
+/// buffer (cleared and refilled; reuse it across calls to avoid per-query
+/// allocations).
+pub fn rank_one_with(
+    model: &dyn KgeModel,
+    triple: &Triple,
+    side: CorruptionSide,
+    filter: &FilterIndex,
+    protocol: &EvalProtocol,
+    scores: &mut Vec<f64>,
+) -> f64 {
     let true_entity = triple.entity_at(side);
-    let scores = model.score_all(triple, side);
+    model.score_all_into(triple, side, scores);
     let true_score = scores[true_entity as usize];
     let mut greater = 0usize;
     let mut ties = 0usize;
@@ -176,8 +209,7 @@ mod tests {
         // (3, 0, 4) is exactly what the toy model prefers
         let test = vec![Triple::new(3, 0, 4)];
         let filter = filter_of(&test);
-        let report =
-            evaluate_link_prediction(&model, &test, &filter, &EvalProtocol::filtered());
+        let report = evaluate_link_prediction(&model, &test, &filter, &EvalProtocol::filtered());
         assert_eq!(report.combined.count, 2);
         assert!((report.tail.mrr - 1.0).abs() < 1e-12);
         assert!((report.head.mrr - 1.0).abs() < 1e-12);
@@ -198,8 +230,7 @@ mod tests {
         let filter = filter_of(&all);
 
         let raw = evaluate_link_prediction(&model, &test, &filter, &EvalProtocol::raw());
-        let filtered =
-            evaluate_link_prediction(&model, &test, &filter, &EvalProtocol::filtered());
+        let filtered = evaluate_link_prediction(&model, &test, &filter, &EvalProtocol::filtered());
         assert!(filtered.tail.mean_rank < raw.tail.mean_rank);
         assert!((filtered.tail.mean_rank - 2.5).abs() < 1e-12);
         assert!((raw.tail.mean_rank - 4.5).abs() < 1e-12);
@@ -245,8 +276,7 @@ mod tests {
     fn empty_test_set_reports_zero_counts() {
         let model = ToyModel::new(5);
         let filter = FilterIndex::default();
-        let report =
-            evaluate_link_prediction(&model, &[], &filter, &EvalProtocol::filtered());
+        let report = evaluate_link_prediction(&model, &[], &filter, &EvalProtocol::filtered());
         assert_eq!(report.combined.count, 0);
     }
 
@@ -256,8 +286,18 @@ mod tests {
         // through the ranking path on a tiny dataset.
         let entities = Vocab::synthetic("e", 12);
         let relations = Vocab::synthetic("r", 2);
-        let train: Vec<Triple> = (0..10u32).map(|i| Triple::new(i, i % 2, (i + 1) % 12)).collect();
-        let ds = Dataset::new("tiny", entities, relations, train, vec![], vec![Triple::new(0, 0, 5)]).unwrap();
+        let train: Vec<Triple> = (0..10u32)
+            .map(|i| Triple::new(i, i % 2, (i + 1) % 12))
+            .collect();
+        let ds = Dataset::new(
+            "tiny",
+            entities,
+            relations,
+            train,
+            vec![],
+            vec![Triple::new(0, 0, 5)],
+        )
+        .unwrap();
         let model = build_model(
             &nscaching_models::ModelConfig::new(ModelKind::ComplEx).with_dim(4),
             ds.num_entities(),

@@ -112,7 +112,10 @@ impl Dataset {
 
     /// Iterate over every triple in every split.
     pub fn all_triples(&self) -> impl Iterator<Item = &Triple> {
-        self.train.iter().chain(self.valid.iter()).chain(self.test.iter())
+        self.train
+            .iter()
+            .chain(self.valid.iter())
+            .chain(self.test.iter())
     }
 
     /// Build the indexed training graph used by samplers.
@@ -292,7 +295,10 @@ mod tests {
         let g = ds.train_graph();
         assert_eq!(g.len(), 3);
         assert!(g.contains(&Triple::new(0, 0, 1)));
-        assert!(!g.contains(&Triple::new(1, 0, 2)), "valid triple must not leak");
+        assert!(
+            !g.contains(&Triple::new(1, 0, 2)),
+            "valid triple must not leak"
+        );
     }
 
     #[test]
@@ -300,8 +306,14 @@ mod tests {
         let ds = tiny_dataset();
         let idx = ds.filter_index();
         assert_eq!(idx.len(), 5);
-        assert!(idx.contains(&Triple::new(1, 0, 2)), "valid triples are filtered");
-        assert!(idx.contains(&Triple::new(2, 1, 5)), "test triples are filtered");
+        assert!(
+            idx.contains(&Triple::new(1, 0, 2)),
+            "valid triples are filtered"
+        );
+        assert!(
+            idx.contains(&Triple::new(2, 1, 5)),
+            "test triples are filtered"
+        );
         assert!(!idx.contains(&Triple::new(5, 0, 0)));
     }
 
@@ -320,10 +332,7 @@ mod tests {
 
     #[test]
     fn filter_index_deduplicates() {
-        let idx = FilterIndex::from_triples(vec![
-            Triple::new(0, 0, 1),
-            Triple::new(0, 0, 1),
-        ]);
+        let idx = FilterIndex::from_triples(vec![Triple::new(0, 0, 1), Triple::new(0, 0, 1)]);
         assert_eq!(idx.len(), 1);
         assert!(!idx.is_empty());
     }

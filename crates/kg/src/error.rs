@@ -78,8 +78,12 @@ mod tests {
             message: "expected 3 columns".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(KgError::UnknownName("foo".into()).to_string().contains("foo"));
-        assert!(KgError::Invalid("empty".into()).to_string().contains("empty"));
+        assert!(KgError::UnknownName("foo".into())
+            .to_string()
+            .contains("foo"));
+        assert!(KgError::Invalid("empty".into())
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]

@@ -73,8 +73,14 @@ impl BernoulliStats {
         let mut heads: HashMap<(u32, u32), HashSet<u32>> = HashMap::new();
         let mut counts = vec![0usize; num_relations];
         for t in triples {
-            tails.entry((t.head, t.relation)).or_default().insert(t.tail);
-            heads.entry((t.relation, t.tail)).or_default().insert(t.head);
+            tails
+                .entry((t.head, t.relation))
+                .or_default()
+                .insert(t.tail);
+            heads
+                .entry((t.relation, t.tail))
+                .or_default()
+                .insert(t.head);
             counts[t.relation as usize] += 1;
         }
         let mut tph_sum = vec![0usize; num_relations];
@@ -254,11 +260,23 @@ mod tests {
 
     #[test]
     fn one_to_one_and_many_to_many_categories() {
-        let one_one = RelationStats { tph: 1.0, hpt: 1.0, count: 5 };
+        let one_one = RelationStats {
+            tph: 1.0,
+            hpt: 1.0,
+            count: 5,
+        };
         assert_eq!(one_one.category(), RelationCategory::OneToOne);
-        let many_many = RelationStats { tph: 3.2, hpt: 2.7, count: 5 };
+        let many_many = RelationStats {
+            tph: 3.2,
+            hpt: 2.7,
+            count: 5,
+        };
         assert_eq!(many_many.category(), RelationCategory::ManyToMany);
-        let degenerate = RelationStats { tph: 0.0, hpt: 0.0, count: 0 };
+        let degenerate = RelationStats {
+            tph: 0.0,
+            hpt: 0.0,
+            count: 0,
+        };
         assert!((degenerate.head_corruption_probability() - 0.5).abs() < 1e-12);
     }
 

@@ -58,7 +58,8 @@ impl Vocab {
 
     /// Look up the id of `name`, returning an error naming the missing entry.
     pub fn require(&self, name: &str) -> Result<u32, KgError> {
-        self.id(name).ok_or_else(|| KgError::UnknownName(name.to_owned()))
+        self.id(name)
+            .ok_or_else(|| KgError::UnknownName(name.to_owned()))
     }
 
     /// The name of `id`, if it exists.

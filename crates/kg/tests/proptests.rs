@@ -1,6 +1,8 @@
 //! Property-based tests for the knowledge-graph substrate.
 
-use nscaching_kg::{io, BernoulliStats, CorruptionSide, FilterIndex, KnowledgeGraph, Triple, Vocab};
+use nscaching_kg::{
+    io, BernoulliStats, CorruptionSide, FilterIndex, KnowledgeGraph, Triple, Vocab,
+};
 use proptest::prelude::*;
 use std::io::Cursor;
 

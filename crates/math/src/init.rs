@@ -12,7 +12,10 @@ use rand::Rng;
 ///
 /// Entries are drawn from `U(-a, a)` with `a = sqrt(6 / (rows + cols))`.
 pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Vec<f64> {
-    assert!(rows > 0 && cols > 0, "xavier_uniform needs a non-empty shape");
+    assert!(
+        rows > 0 && cols > 0,
+        "xavier_uniform needs a non-empty shape"
+    );
     let a = (6.0 / (rows + cols) as f64).sqrt();
     (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect()
 }

@@ -22,13 +22,14 @@ pub mod vecops;
 pub use init::{constant_init, uniform_init, xavier_uniform};
 pub use rng::{seeded_rng, split_seed, SeedStream};
 pub use sample::{
-    sample_distinct_uniform, sample_one_weighted, sample_without_replacement_weighted,
-    AliasTable, ReservoirSampler, WeightedIndex,
+    sample_distinct_uniform, sample_distinct_uniform_into, sample_one_weighted,
+    sample_without_replacement_weighted, sample_without_replacement_weighted_into, AliasTable,
+    ReservoirSampler, WeightedIndex,
 };
 pub use softmax::{log_sum_exp, softmax, softmax_in_place};
 pub use stats::{Ccdf, Histogram, OnlineStats, Quantiles};
-pub use topk::{argmax, top_k_indices};
+pub use topk::{argmax, top_k_indices, top_k_indices_into};
 pub use vecops::{
-    add, add_scaled, dot, hadamard, l1_distance, l1_norm, l2_distance, l2_norm, normalize_l2,
-    scale, sub,
+    add, add_scaled, dot, hadamard, l1_combine, l1_distance, l1_norm, l2_distance, l2_norm,
+    normalize_l2, scale, sub,
 };

@@ -22,20 +22,36 @@ use rand::Rng;
 /// Uses Floyd's algorithm, which performs exactly `k` RNG draws and needs
 /// `O(k)` memory. Panics if `k > n`.
 pub fn sample_distinct_uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
-    assert!(k <= n, "cannot sample {k} distinct values from a pool of {n}");
+    let mut chosen = Vec::with_capacity(k);
+    sample_distinct_uniform_into(rng, n, k, &mut chosen);
+    chosen
+}
+
+/// In-place variant of [`sample_distinct_uniform`]: clears `out` and fills it
+/// with `k` distinct indices from `0..n`, allocating nothing once `out` has
+/// grown to capacity `k`. Panics if `k > n`.
+pub fn sample_distinct_uniform_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    out: &mut Vec<usize>,
+) {
+    assert!(
+        k <= n,
+        "cannot sample {k} distinct values from a pool of {n}"
+    );
+    out.clear();
     // Floyd's algorithm produces a set; we then shuffle lightly by insertion
     // order which is already random enough for our callers (order does not
     // matter for cache candidates).
-    let mut chosen: Vec<usize> = Vec::with_capacity(k);
     for j in (n - k)..n {
         let t = rng.gen_range(0..=j);
-        if chosen.contains(&t) {
-            chosen.push(j);
+        if out.contains(&t) {
+            out.push(j);
         } else {
-            chosen.push(t);
+            out.push(t);
         }
     }
-    chosen
 }
 
 /// Draw one index from `0..weights.len()` with probability proportional to
@@ -75,35 +91,71 @@ pub fn sample_without_replacement_weighted<R: Rng + ?Sized>(
     weights: &[f64],
     k: usize,
 ) -> Vec<usize> {
+    let mut scratch = weights.to_vec();
+    let mut out = Vec::with_capacity(k.min(weights.len()));
+    sample_without_replacement_weighted_into(rng, &mut scratch, k, &mut out);
+    out
+}
+
+/// In-place variant of [`sample_without_replacement_weighted`].
+///
+/// `weights` is consumed as working storage: non-finite and negative entries
+/// are zeroed up front and picked entries are marked with a negative
+/// sentinel, so the call performs no heap allocation once `out` has grown to
+/// capacity `k`. This is what the NSCaching cache refresh uses on its hot
+/// path, where the weights buffer is a reusable scratch anyway.
+pub fn sample_without_replacement_weighted_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &mut [f64],
+    k: usize,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     let n = weights.len();
     let k = k.min(n);
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut w: Vec<f64> = weights
-        .iter()
-        .map(|x| if x.is_finite() && *x > 0.0 { *x } else { 0.0 })
-        .collect();
-    let mut out = Vec::with_capacity(k);
+    for w in weights.iter_mut() {
+        if !w.is_finite() || *w <= 0.0 {
+            *w = 0.0;
+        }
+    }
+    // Picked entries are flagged with -1 so "remaining" = non-negative.
+    const PICKED: f64 = -1.0;
     for _ in 0..k {
-        let total: f64 = remaining.iter().map(|&i| w[i]).sum();
-        let pick_pos = if total > 0.0 {
+        let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+        let idx = if total > 0.0 {
             let mut u = rng.gen_range(0.0..total);
-            let mut chosen = remaining.len() - 1;
-            for (pos, &i) in remaining.iter().enumerate() {
-                if u < w[i] {
-                    chosen = pos;
-                    break;
+            let mut chosen = None;
+            for (i, &w) in weights.iter().enumerate() {
+                if w > 0.0 {
+                    if u < w {
+                        chosen = Some(i);
+                        break;
+                    }
+                    u -= w;
                 }
-                u -= w[i];
             }
-            chosen
+            // Floating-point slack: fall back to the last positive weight.
+            chosen.unwrap_or_else(|| {
+                weights
+                    .iter()
+                    .rposition(|w| *w > 0.0)
+                    .expect("total > 0 implies a positive weight")
+            })
         } else {
-            rng.gen_range(0..remaining.len())
+            // Uniform among the not-yet-picked indices.
+            let remaining = weights.iter().filter(|w| **w >= 0.0).count();
+            let target = rng.gen_range(0..remaining);
+            weights
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| **w >= 0.0)
+                .nth(target)
+                .map(|(i, _)| i)
+                .expect("remaining count matches filter")
         };
-        let idx = remaining.swap_remove(pick_pos);
-        w[idx] = 0.0;
+        weights[idx] = PICKED;
         out.push(idx);
     }
-    out
 }
 
 /// A cumulative-sum weighted index for repeated draws from a *fixed*
@@ -354,7 +406,7 @@ mod tests {
     #[test]
     fn without_replacement_returns_distinct_and_prefers_heavy() {
         let mut rng = seeded_rng(16);
-        let mut first_counts = vec![0usize; 4];
+        let mut first_counts = [0usize; 4];
         for _ in 0..20_000 {
             let picks = sample_without_replacement_weighted(&mut rng, &[1.0, 1.0, 1.0, 10.0], 2);
             assert_eq!(picks.len(), 2);

@@ -20,7 +20,8 @@ pub fn argmax(xs: &[f64]) -> Option<usize> {
             _ => {}
         }
     }
-    best.map(|(i, _)| i).or(if xs.is_empty() { None } else { Some(0) })
+    best.map(|(i, _)| i)
+        .or(if xs.is_empty() { None } else { Some(0) })
 }
 
 /// Indices of the `k` largest values, ordered from largest to smallest.
@@ -28,14 +29,23 @@ pub fn argmax(xs: &[f64]) -> Option<usize> {
 /// Ties are broken towards the lower index so the result is deterministic.
 /// If `k >= xs.len()` the result is a full argsort by descending value.
 pub fn top_k_indices(xs: &[f64], k: usize) -> Vec<usize> {
+    let mut idx = Vec::new();
+    top_k_indices_into(xs, k, &mut idx);
+    idx
+}
+
+/// In-place variant of [`top_k_indices`]: clears `out`, fills it with the
+/// indices of the `k` largest values (largest first, ties towards the lower
+/// index) and allocates nothing once `out` has grown to `xs.len()` capacity.
+pub fn top_k_indices_into(xs: &[f64], k: usize, out: &mut Vec<usize>) {
+    out.clear();
     let k = k.min(xs.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| cmp_desc(xs[a], xs[b]).then(a.cmp(&b)));
-    idx.truncate(k);
-    idx
+    out.extend(0..xs.len());
+    out.sort_unstable_by(|&a, &b| cmp_desc(xs[a], xs[b]).then(a.cmp(&b)));
+    out.truncate(k);
 }
 
 /// Number of entries strictly greater than `value`, plus the number of earlier

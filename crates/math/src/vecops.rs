@@ -5,10 +5,30 @@
 //! errors, not runtime conditions.
 
 /// Dot product `x · y`.
+///
+/// Sixteen independent accumulator lanes (two full AVX-512 vectors, or four
+/// AVX2 ones) break the add dependency chain so the loop saturates the FPU
+/// pipelines; this is the innermost kernel of the batched candidate-scoring
+/// fast path. The fixed-size `try_into` views let LLVM keep the whole lane
+/// block in vector registers.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    let mut xc = x.chunks_exact(16);
+    let mut yc = y.chunks_exact(16);
+    let mut acc = [0.0f64; 16];
+    for (a, b) in (&mut xc).zip(&mut yc) {
+        let a: &[f64; 16] = a.try_into().expect("exact chunk");
+        let b: &[f64; 16] = b.try_into().expect("exact chunk");
+        for i in 0..16 {
+            acc[i] += a[i] * b[i];
+        }
+    }
+    let mut sum = acc.iter().sum::<f64>();
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        sum += a * b;
+    }
+    sum
 }
 
 /// Element-wise sum `x + y` into a new vector.
@@ -62,10 +82,62 @@ pub fn l2_norm(x: &[f64]) -> f64 {
 }
 
 /// L1 distance `‖x − y‖₁`.
+///
+/// Unrolled like [`dot`]; the per-candidate kernel of the translational
+/// models' batched scoring path.
 #[inline]
 pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+    let mut xc = x.chunks_exact(16);
+    let mut yc = y.chunks_exact(16);
+    let mut acc = [0.0f64; 16];
+    for (a, b) in (&mut xc).zip(&mut yc) {
+        let a: &[f64; 16] = a.try_into().expect("exact chunk");
+        let b: &[f64; 16] = b.try_into().expect("exact chunk");
+        for i in 0..16 {
+            acc[i] += (a[i] - b[i]).abs();
+        }
+    }
+    let mut sum = acc.iter().sum::<f64>();
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        sum += (a - b).abs();
+    }
+    sum
+}
+
+/// Fused translational residual norm `Σᵢ |q_i + sign·e_i + c·w_i|`.
+///
+/// The per-candidate kernel of the batched TransH/TransD fast paths: with a
+/// precomputed query vector `q`, the hyperplane / dynamic-projection residual
+/// of a candidate row `e` has exactly this shape (`sign = ∓1` for tail/head
+/// corruption, `c` folding the candidate's projection scalar). Unrolled to
+/// sixteen lanes like [`dot`].
+#[inline]
+pub fn l1_combine(q: &[f64], e: &[f64], w: &[f64], sign: f64, c: f64) -> f64 {
+    debug_assert_eq!(q.len(), e.len());
+    debug_assert_eq!(q.len(), w.len());
+    let mut qc = q.chunks_exact(16);
+    let mut ec = e.chunks_exact(16);
+    let mut wc = w.chunks_exact(16);
+    let mut acc = [0.0f64; 16];
+    for ((a, b), ww) in (&mut qc).zip(&mut ec).zip(&mut wc) {
+        let a: &[f64; 16] = a.try_into().expect("exact chunk");
+        let b: &[f64; 16] = b.try_into().expect("exact chunk");
+        let ww: &[f64; 16] = ww.try_into().expect("exact chunk");
+        for i in 0..16 {
+            acc[i] += (a[i] + sign * b[i] + c * ww[i]).abs();
+        }
+    }
+    let mut sum = acc.iter().sum::<f64>();
+    for ((a, b), ww) in qc
+        .remainder()
+        .iter()
+        .zip(ec.remainder())
+        .zip(wc.remainder())
+    {
+        sum += (a + sign * b + c * ww).abs();
+    }
+    sum
 }
 
 /// L2 distance `‖x − y‖₂`.

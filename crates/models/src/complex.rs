@@ -4,10 +4,12 @@
 //! Each embedding row stores the real part in components `0..d` and the
 //! imaginary part in components `d..2d`, so the table dimension is `2d`.
 
+use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
-use nscaching_kg::Triple;
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::vecops::dot;
 use rand::Rng;
 
 /// ComplEx with the real/imaginary split-storage layout.
@@ -31,6 +33,39 @@ impl ComplEx {
             entities: EmbeddingTable::xavier("entity", num_entities, 2 * dim, rng),
             relations: EmbeddingTable::xavier("relation", num_relations, 2 * dim, rng),
             dim,
+        }
+    }
+
+    /// The score is linear in the candidate's `2d` real parameters, so the
+    /// whole query side collapses into one vector `q` laid out like an entity
+    /// row; each candidate then scores `q · e`.
+    ///
+    /// Tail corruption (`h = a+bi`, `r = c+di` fixed):
+    /// `q[i] = a·c − b·d`, `q[d+i] = a·d + b·c`.
+    /// Head corruption (`r = c+di`, `t = e+fi` fixed):
+    /// `q[i] = c·e + d·f`, `q[d+i] = −d·e + c·f`.
+    fn fill_query(&self, t: &Triple, side: CorruptionSide, q: &mut [f64]) {
+        let r = self.relations.row(t.relation as usize);
+        let d = self.dim;
+        match side {
+            CorruptionSide::Tail => {
+                let h = self.entities.row(t.head as usize);
+                for i in 0..d {
+                    let (a, b) = (h[i], h[d + i]);
+                    let (c, dd) = (r[i], r[d + i]);
+                    q[i] = a * c - b * dd;
+                    q[d + i] = a * dd + b * c;
+                }
+            }
+            CorruptionSide::Head => {
+                let tl = self.entities.row(t.tail as usize);
+                for i in 0..d {
+                    let (c, dd) = (r[i], r[d + i]);
+                    let (e, f) = (tl[i], tl[d + i]);
+                    q[i] = c * e + dd * f;
+                    q[d + i] = -dd * e + c * f;
+                }
+            }
         }
     }
 }
@@ -59,13 +94,42 @@ impl KgeModel for ComplEx {
         let d = self.dim;
         let mut score = 0.0;
         for i in 0..d {
-            let (a, b) = (h[i], h[d + i]); // h = a + bi
-            let (c, dd) = (r[i], r[d + i]); // r = c + di
-            let (e, f) = (tl[i], tl[d + i]); // t = e + fi
+            // h = a + bi, r = c + di, t = e + fi;
             // Re((a+bi)(c+di)(e−fi)) = e(ac − bd) + f(ad + bc)
+            let (a, b) = (h[i], h[d + i]);
+            let (c, dd) = (r[i], r[d + i]);
+            let (e, f) = (tl[i], tl[d + i]);
             score += e * (a * c - b * dd) + f * (a * dd + b * c);
         }
         score
+    }
+
+    fn score_candidates(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        with_query_scratch(2 * self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                out.push(dot(q, self.entities.row(e as usize)));
+            }
+        });
+    }
+
+    fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.entities.rows());
+        with_query_scratch(2 * self.dim, |q| {
+            self.fill_query(t, side, q);
+            for row in self.entities.rows_iter() {
+                out.push(dot(q, row));
+            }
+        });
     }
 
     fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
@@ -159,11 +223,12 @@ mod tests {
     fn score_matches_hand_computed_complex_product() {
         let mut m = tiny_model();
         // single complex dimension: use 3-dim model but set other dims to zero
-        m.tables_mut()[ENTITY_TABLE].set_row(0, &[1.0, 0.0, 0.0, 2.0, 0.0, 0.0]); // h = 1 + 2i
-        m.tables_mut()[RELATION_TABLE].set_row(1, &[3.0, 0.0, 0.0, -1.0, 0.0, 0.0]); // r = 3 − i
-        m.tables_mut()[ENTITY_TABLE].set_row(2, &[0.5, 0.0, 0.0, 4.0, 0.0, 0.0]); // t = 0.5 + 4i
+        // h = 1 + 2i, r = 3 − i, t = 0.5 + 4i:
         // h·r = (1·3 − 2·(−1)) + (1·(−1) + 2·3) i = 5 + 5i
         // (5 + 5i)(0.5 − 4i) = 2.5 − 20i + 2.5i + 20 = 22.5 − 17.5i ⇒ Re = 22.5
+        m.tables_mut()[ENTITY_TABLE].set_row(0, &[1.0, 0.0, 0.0, 2.0, 0.0, 0.0]);
+        m.tables_mut()[RELATION_TABLE].set_row(1, &[3.0, 0.0, 0.0, -1.0, 0.0, 0.0]);
+        m.tables_mut()[ENTITY_TABLE].set_row(2, &[0.5, 0.0, 0.0, 4.0, 0.0, 0.0]);
         assert!((m.score(&Triple::new(0, 1, 2)) - 22.5).abs() < 1e-12);
     }
 }

@@ -1,10 +1,11 @@
 //! DistMult (Yang et al., ICLR 2015): `f(h,r,t) = Σ_i h_i r_i t_i`.
 
+use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
-use nscaching_kg::Triple;
-use nscaching_math::vecops::hadamard;
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::vecops::{dot, hadamard};
 use rand::Rng;
 
 /// DistMult — a bilinear model with a diagonal relation matrix.
@@ -27,6 +28,19 @@ impl DistMult {
             entities: EmbeddingTable::xavier("entity", num_entities, dim, rng),
             relations: EmbeddingTable::xavier("relation", num_relations, dim, rng),
             dim,
+        }
+    }
+
+    /// Candidate-independent query vector `q = h ∘ r` (tail corruption) or
+    /// `q = r ∘ t` (head corruption); each candidate then scores `q · e`.
+    fn fill_query(&self, t: &Triple, side: CorruptionSide, q: &mut [f64]) {
+        let r = self.relations.row(t.relation as usize);
+        let fixed = match side {
+            CorruptionSide::Tail => self.entities.row(t.head as usize),
+            CorruptionSide::Head => self.entities.row(t.tail as usize),
+        };
+        for ((qi, fi), ri) in q.iter_mut().zip(fixed).zip(r) {
+            *qi = fi * ri;
         }
     }
 }
@@ -53,6 +67,34 @@ impl KgeModel for DistMult {
         let r = self.relations.row(t.relation as usize);
         let tl = self.entities.row(t.tail as usize);
         h.iter().zip(r).zip(tl).map(|((a, b), c)| a * b * c).sum()
+    }
+
+    fn score_candidates(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                out.push(dot(q, self.entities.row(e as usize)));
+            }
+        });
+    }
+
+    fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.entities.rows());
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for row in self.entities.rows_iter() {
+                out.push(dot(q, row));
+            }
+        });
     }
 
     fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {

@@ -86,6 +86,16 @@ impl EmbeddingTable {
         self.row_mut(i).copy_from_slice(values);
     }
 
+    /// Iterate over all rows in index order.
+    ///
+    /// Streams the backing buffer contiguously, which is what the batched
+    /// `score_all_into` fast path wants (no per-row index arithmetic, perfect
+    /// prefetching).
+    #[inline]
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim.max(1))
+    }
+
     /// Whole backing buffer (row-major).
     pub fn data(&self) -> &[f64] {
         &self.data
@@ -180,7 +190,10 @@ mod tests {
         p.project_row(0);
         p.project_row(1);
         assert!((p.row_norm(0) - 1.0).abs() < 1e-12);
-        assert!((p.row_norm(1) - 0.5).abs() < 1e-12, "small rows are untouched");
+        assert!(
+            (p.row_norm(1) - 0.5).abs() < 1e-12,
+            "small rows are untouched"
+        );
     }
 
     #[test]

@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn same_seed_gives_identical_models() {
-        let config = ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(77);
+        let config = ModelConfig::new(ModelKind::TransE)
+            .with_dim(8)
+            .with_seed(77);
         let a = build_model(&config, 20, 3);
         let b = build_model(&config, 20, 3);
         let t = Triple::new(3, 1, 7);
@@ -104,7 +106,9 @@ mod tests {
 
     #[test]
     fn builder_setters_apply() {
-        let c = ModelConfig::new(ModelKind::ComplEx).with_dim(12).with_seed(9);
+        let c = ModelConfig::new(ModelKind::ComplEx)
+            .with_dim(12)
+            .with_seed(9);
         assert_eq!(c.dim, 12);
         assert_eq!(c.seed, 9);
         assert_eq!(c.kind, ModelKind::ComplEx);

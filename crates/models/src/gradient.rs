@@ -41,7 +41,14 @@ impl GradientBuffer {
 
     /// Accumulate `coeff` into a single component of `(table, row)`, resizing
     /// the row gradient to `dim` if it does not exist yet.
-    pub fn add_component(&mut self, table: TableId, row: usize, dim: usize, idx: usize, coeff: f64) {
+    pub fn add_component(
+        &mut self,
+        table: TableId,
+        row: usize,
+        dim: usize,
+        idx: usize,
+        coeff: f64,
+    ) {
         if coeff == 0.0 {
             return;
         }

@@ -9,6 +9,10 @@
 //! * `score(h, r, t)` — the plausibility of a triple (larger = more
 //!   plausible; translational models return the *negative* distance so the
 //!   convention is uniform);
+//! * `score_candidates` / `score_all_into` — the batched candidate-scoring
+//!   fast path: query-side work is computed once per call and each candidate
+//!   then costs one fused, allocation-free pass over the dimension (see the
+//!   [`batch`] module docs for the invariants);
 //! * `accumulate_score_gradient` — adds `coeff · ∂score/∂θ` into a sparse
 //!   [`GradientBuffer`], which the optimizers in `nscaching-optim` consume;
 //! * parameter access as a list of [`EmbeddingTable`]s so that optimizers and
@@ -17,6 +21,7 @@
 //! No autodiff framework is used; every gradient is hand-derived and verified
 //! against central finite differences in the test-suite (`tests/grad_check.rs`).
 
+pub mod batch;
 pub mod complex;
 pub mod distmult;
 pub mod embedding;

@@ -180,8 +180,10 @@ mod tests {
         let eps = 1e-6;
         for &(fp, fn_) in &[(0.3, -0.2), (-1.5, 2.0), (4.0, 4.0)] {
             let g = l.evaluate(fp, fn_);
-            let num_dp = (l.evaluate(fp + eps, fn_).loss - l.evaluate(fp - eps, fn_).loss) / (2.0 * eps);
-            let num_dn = (l.evaluate(fp, fn_ + eps).loss - l.evaluate(fp, fn_ - eps).loss) / (2.0 * eps);
+            let num_dp =
+                (l.evaluate(fp + eps, fn_).loss - l.evaluate(fp - eps, fn_).loss) / (2.0 * eps);
+            let num_dn =
+                (l.evaluate(fp, fn_ + eps).loss - l.evaluate(fp, fn_ - eps).loss) / (2.0 * eps);
             assert!((g.d_positive - num_dp).abs() < 1e-6);
             assert!((g.d_negative - num_dn).abs() < 1e-6);
         }
@@ -199,7 +201,10 @@ mod tests {
             default_loss(LossType::MarginRanking, 2.0).kind(),
             LossKind::MarginRanking { margin: 2.0 }
         );
-        assert_eq!(default_loss(LossType::Logistic, 2.0).kind(), LossKind::Logistic);
+        assert_eq!(
+            default_loss(LossType::Logistic, 2.0).kind(),
+            LossKind::Logistic
+        );
         assert_eq!(LossKind::Logistic.loss_type(), LossType::Logistic);
         assert_eq!(
             LossKind::MarginRanking { margin: 1.0 }.loss_type(),

@@ -1,10 +1,11 @@
 //! RESCAL (Nickel et al., ICML 2011): `f(h,r,t) = hᵀ M_r t` with a full
 //! relation matrix `M_r ∈ ℝ^{d×d}`.
 
+use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE};
-use nscaching_kg::Triple;
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::dot;
 use rand::Rng;
 
@@ -35,6 +36,31 @@ impl Rescal {
             dim,
         }
     }
+
+    /// The bilinear form is linear in the candidate, so the whole query side
+    /// collapses into one vector: `q = hᵀ·M_r` for tail corruption,
+    /// `q = M_r·t` for head corruption; each candidate then scores `q · e`.
+    fn fill_query(&self, t: &Triple, side: CorruptionSide, q: &mut [f64]) {
+        let m = self.matrices.row(t.relation as usize);
+        let d = self.dim;
+        match side {
+            CorruptionSide::Tail => {
+                let h = self.entities.row(t.head as usize);
+                for (i, &hi) in h.iter().enumerate() {
+                    let mi = &m[i * d..(i + 1) * d];
+                    for (qj, mij) in q.iter_mut().zip(mi) {
+                        *qj += hi * mij;
+                    }
+                }
+            }
+            CorruptionSide::Head => {
+                let tl = self.entities.row(t.tail as usize);
+                for (i, qi) in q.iter_mut().enumerate() {
+                    *qi = dot(&m[i * d..(i + 1) * d], tl);
+                }
+            }
+        }
+    }
 }
 
 impl KgeModel for Rescal {
@@ -59,9 +85,35 @@ impl KgeModel for Rescal {
         let tl = self.entities.row(t.tail as usize);
         let m = self.matrices.row(t.relation as usize);
         let d = self.dim;
-        (0..d)
-            .map(|i| h[i] * dot(&m[i * d..(i + 1) * d], tl))
-            .sum()
+        (0..d).map(|i| h[i] * dot(&m[i * d..(i + 1) * d], tl)).sum()
+    }
+
+    fn score_candidates(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                out.push(dot(q, self.entities.row(e as usize)));
+            }
+        });
+    }
+
+    fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.entities.rows());
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for row in self.entities.rows_iter() {
+                out.push(dot(q, row));
+            }
+        });
     }
 
     fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {

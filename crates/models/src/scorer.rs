@@ -2,7 +2,7 @@
 
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
-use nscaching_kg::{CorruptionSide, Triple};
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use serde::{Deserialize, Serialize};
 
 /// Index of the entity-embedding table in every model's `tables()` list.
@@ -132,15 +132,63 @@ pub trait KgeModel: Send + Sync {
         self.kind().loss_type()
     }
 
+    /// Score each entity in `candidates` substituted at `side` of `triple`,
+    /// appending one score per candidate to `out` (which is cleared first).
+    ///
+    /// This is the batched fast path used by the NSCaching sampler, the
+    /// KBGAN/IGAN generators and the link-prediction ranker. Every model in
+    /// this crate overrides it to hoist the query-side work (everything that
+    /// depends only on the two fixed elements of `triple`) out of the
+    /// candidate loop, so each candidate costs one fused, allocation-free
+    /// pass over the embedding dimension.
+    ///
+    /// # Invariants
+    ///
+    /// * `out.len() == candidates.len()` on return, in candidate order.
+    /// * Each score equals `self.score(&triple.corrupted(side, e))` up to
+    ///   floating-point reassociation (within `1e-12` — enforced by the
+    ///   equivalence proptests in `tests/batch_equivalence.rs`).
+    /// * Candidate lists may be empty, contain duplicates, or contain the
+    ///   positive's own entity; no deduplication or masking happens here.
+    /// * Steady-state calls perform no heap allocation beyond growing `out`
+    ///   and a thread-local query-context buffer to their high-water marks.
+    fn score_candidates(
+        &self,
+        triple: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        for &e in candidates {
+            out.push(self.score(&triple.corrupted(side, e)));
+        }
+    }
+
+    /// Score *every* entity substituted at `side` of `triple` into `out`
+    /// (cleared first; `out.len() == num_entities()` on return).
+    ///
+    /// Semantically identical to calling [`Self::score_candidates`] with
+    /// `0..num_entities()`, but models override it to stream the entity table
+    /// row-by-row instead of gathering through an index list. Same
+    /// equivalence and allocation invariants as [`Self::score_candidates`].
+    fn score_all_into(&self, triple: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.num_entities());
+        for e in 0..self.num_entities() as u32 {
+            out.push(self.score(&triple.corrupted(side, e)));
+        }
+    }
+
     /// Score every entity substituted at `side` of `triple`.
     ///
-    /// The default implementation simply loops; models may override it with a
-    /// vectorised version. Used by the link-prediction ranker and by the
-    /// IGAN-style full-softmax generator.
+    /// Allocating convenience wrapper around [`Self::score_all_into`]; hot
+    /// paths should call the `_into` variant with a reused buffer instead.
     fn score_all(&self, triple: &Triple, side: CorruptionSide) -> Vec<f64> {
-        (0..self.num_entities() as u32)
-            .map(|e| self.score(&triple.corrupted(side, e)))
-            .collect()
+        let mut out = Vec::with_capacity(self.num_entities());
+        self.score_all_into(triple, side, &mut out);
+        out
     }
 
     /// Total number of scalar parameters.

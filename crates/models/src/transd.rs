@@ -6,11 +6,12 @@
 //! to equal entity/relation dimensions, which is the configuration the paper
 //! (and the original TransD code) uses.
 
+use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
-use nscaching_kg::Triple;
-use nscaching_math::vecops::{dot, signum};
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::vecops::{dot, l1_combine, signum};
 use rand::Rng;
 
 /// Index of the per-entity projection table `w_e` in [`TransD::tables`].
@@ -65,6 +66,52 @@ impl TransD {
             .collect();
         Residual { u, wh_h, wt_t }
     }
+
+    /// Project the query side once.
+    ///
+    /// Tail corruption: `q_i = h_i + (w_h·h)·w_{r,i} + r_i`, residual of
+    /// candidate `t` is `q − t − (w_t·t)·w_r`. Head corruption:
+    /// `q_i = r_i − t_i − (w_t·t)·w_{r,i}`, residual of candidate `h` is
+    /// `h + (w_h·h)·w_r + q`.
+    fn fill_query(&self, t: &Triple, side: CorruptionSide, q: &mut [f64]) {
+        let r = self.relations.row(t.relation as usize);
+        let wr = self.relation_proj.row(t.relation as usize);
+        match side {
+            CorruptionSide::Tail => {
+                let h = self.entities.row(t.head as usize);
+                let wh = self.entity_proj.row(t.head as usize);
+                let wh_h = dot(wh, h);
+                for i in 0..q.len() {
+                    q[i] = h[i] + wh_h * wr[i] + r[i];
+                }
+            }
+            CorruptionSide::Head => {
+                let tl = self.entities.row(t.tail as usize);
+                let wt = self.entity_proj.row(t.tail as usize);
+                let wt_t = dot(wt, tl);
+                for i in 0..q.len() {
+                    q[i] = r[i] - tl[i] - wt_t * wr[i];
+                }
+            }
+        }
+    }
+
+    /// Fused per-candidate kernel: one dot with the candidate's projection
+    /// vector, then one vectorised residual pass.
+    #[inline]
+    fn candidate_score(
+        q: &[f64],
+        wr: &[f64],
+        row: &[f64],
+        proj: &[f64],
+        side: CorruptionSide,
+    ) -> f64 {
+        let s = dot(proj, row);
+        match side {
+            CorruptionSide::Tail => -l1_combine(q, row, wr, -1.0, -s),
+            CorruptionSide::Head => -l1_combine(q, row, wr, 1.0, s),
+        }
+    }
 }
 
 struct Residual {
@@ -92,6 +139,38 @@ impl KgeModel for TransD {
 
     fn score(&self, t: &Triple) -> f64 {
         -self.residual(t).u.iter().map(|v| v.abs()).sum::<f64>()
+    }
+
+    fn score_candidates(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        let wr = self.relation_proj.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                let row = self.entities.row(e as usize);
+                let proj = self.entity_proj.row(e as usize);
+                out.push(Self::candidate_score(q, wr, row, proj, side));
+            }
+        });
+    }
+
+    fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.entities.rows());
+        let wr = self.relation_proj.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for (row, proj) in self.entities.rows_iter().zip(self.entity_proj.rows_iter()) {
+                out.push(Self::candidate_score(q, wr, row, proj, side));
+            }
+        });
     }
 
     fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {

@@ -1,10 +1,11 @@
 //! TransE (Bordes et al., NIPS 2013): `f(h,r,t) = −‖h + r − t‖₁`.
 
+use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
-use nscaching_kg::Triple;
-use nscaching_math::vecops::signum;
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::vecops::{l1_distance, signum};
 use rand::Rng;
 
 /// TransE with the L1 dissimilarity used throughout the paper.
@@ -46,6 +47,27 @@ impl TransE {
             .map(|((hv, rv), tv)| hv + rv - tv)
             .collect()
     }
+
+    /// Candidate-independent query vector: once `q` is filled, the score of
+    /// a candidate row `e` is `−‖e − q‖₁` on either corruption side
+    /// (`q = h + r` when corrupting the tail, `q = t − r` for the head).
+    fn fill_query(&self, t: &Triple, side: CorruptionSide, q: &mut [f64]) {
+        let r = self.relations.row(t.relation as usize);
+        match side {
+            CorruptionSide::Tail => {
+                let h = self.entities.row(t.head as usize);
+                for ((qi, hi), ri) in q.iter_mut().zip(h).zip(r) {
+                    *qi = hi + ri;
+                }
+            }
+            CorruptionSide::Head => {
+                let tl = self.entities.row(t.tail as usize);
+                for ((qi, ti), ri) in q.iter_mut().zip(tl).zip(r) {
+                    *qi = ti - ri;
+                }
+            }
+        }
+    }
 }
 
 impl KgeModel for TransE {
@@ -67,6 +89,34 @@ impl KgeModel for TransE {
 
     fn score(&self, t: &Triple) -> f64 {
         -self.residual(t).iter().map(|v| v.abs()).sum::<f64>()
+    }
+
+    fn score_candidates(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                out.push(-l1_distance(self.entities.row(e as usize), q));
+            }
+        });
+    }
+
+    fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.entities.rows());
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for row in self.entities.rows_iter() {
+                out.push(-l1_distance(row, q));
+            }
+        });
     }
 
     fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {

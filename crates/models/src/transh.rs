@@ -2,11 +2,12 @@
 //! `f(h,r,t) = −‖(h − wᵣᵀh·wᵣ) + r − (t − wᵣᵀt·wᵣ)‖₁`,
 //! i.e. TransE on the hyperplane with unit normal `wᵣ`.
 
+use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
-use nscaching_kg::Triple;
-use nscaching_math::vecops::{dot, signum};
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::vecops::{dot, l1_combine, signum};
 use rand::Rng;
 
 /// Index of the relation-normal table `wᵣ` in [`TransH::tables`].
@@ -63,6 +64,45 @@ impl TransH {
             .collect();
         (u, x, wx)
     }
+
+    /// Candidate-independent part of the hyperplane residual.
+    ///
+    /// Corrupting the tail: `q_i = h_i + r_i − (w·h)·w_i` and the residual of
+    /// candidate `t` is `q − t + (w·t)·w`. Corrupting the head:
+    /// `q_i = r_i − t_i + (w·t)·w_i` and the residual of candidate `h` is
+    /// `h + q − (w·h)·w`.
+    fn fill_query(&self, t: &Triple, side: CorruptionSide, q: &mut [f64]) {
+        let r = self.relations.row(t.relation as usize);
+        let w = self.normals.row(t.relation as usize);
+        match side {
+            CorruptionSide::Tail => {
+                let h = self.entities.row(t.head as usize);
+                let wh = dot(w, h);
+                for i in 0..q.len() {
+                    q[i] = h[i] + r[i] - wh * w[i];
+                }
+            }
+            CorruptionSide::Head => {
+                let tl = self.entities.row(t.tail as usize);
+                let wt = dot(w, tl);
+                for i in 0..q.len() {
+                    q[i] = r[i] - tl[i] + wt * w[i];
+                }
+            }
+        }
+    }
+
+    /// Fused per-candidate kernel shared by the two batched entry points:
+    /// one dot with the hyperplane normal, then one vectorised residual pass
+    /// (`sign` folds the tail/head orientation, `c` the projection scalar).
+    #[inline]
+    fn candidate_score(q: &[f64], w: &[f64], row: &[f64], side: CorruptionSide) -> f64 {
+        let wc = dot(w, row);
+        match side {
+            CorruptionSide::Tail => -l1_combine(q, row, w, -1.0, wc),
+            CorruptionSide::Head => -l1_combine(q, row, w, 1.0, -wc),
+        }
+    }
 }
 
 impl KgeModel for TransH {
@@ -85,6 +125,37 @@ impl KgeModel for TransH {
     fn score(&self, t: &Triple) -> f64 {
         let (u, _, _) = self.residual(t);
         -u.iter().map(|v| v.abs()).sum::<f64>()
+    }
+
+    fn score_candidates(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        let w = self.normals.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                let row = self.entities.row(e as usize);
+                out.push(Self::candidate_score(q, w, row, side));
+            }
+        });
+    }
+
+    fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.entities.rows());
+        let w = self.normals.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for row in self.entities.rows_iter() {
+                out.push(Self::candidate_score(q, w, row, side));
+            }
+        });
     }
 
     fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {

@@ -6,10 +6,11 @@
 //! listed among the translational models in its Section II-C; it is included
 //! here as an extension and exercised by the ablation benches.
 
+use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
-use nscaching_kg::Triple;
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::{dot, signum};
 use rand::Rng;
 
@@ -74,6 +75,51 @@ impl TransR {
         let tp = self.project(t.relation, tl);
         (0..self.dim).map(|i| hp[i] + r[i] - tp[i]).collect()
     }
+
+    /// Project the query side once: `q = M_r·h + r` for tail corruption,
+    /// `q = r − M_r·t` for head corruption. The candidate still needs its own
+    /// `M_r·e` product, so the per-candidate kernel stays `O(d²)` but fuses
+    /// the matrix-vector product with the L1 accumulation and skips the
+    /// query-side projection entirely.
+    fn fill_query(&self, t: &Triple, side: CorruptionSide, q: &mut [f64]) {
+        let m = self.matrices.row(t.relation as usize);
+        let r = self.relations.row(t.relation as usize);
+        let d = self.dim;
+        match side {
+            CorruptionSide::Tail => {
+                let h = self.entities.row(t.head as usize);
+                for i in 0..d {
+                    q[i] = dot(&m[i * d..(i + 1) * d], h) + r[i];
+                }
+            }
+            CorruptionSide::Head => {
+                let tl = self.entities.row(t.tail as usize);
+                for i in 0..d {
+                    q[i] = r[i] - dot(&m[i * d..(i + 1) * d], tl);
+                }
+            }
+        }
+    }
+
+    /// Fused `O(d²)` per-candidate kernel.
+    #[inline]
+    fn candidate_score(q: &[f64], m: &[f64], row: &[f64], side: CorruptionSide) -> f64 {
+        let d = q.len();
+        let mut dist = 0.0;
+        match side {
+            CorruptionSide::Tail => {
+                for i in 0..d {
+                    dist += (q[i] - dot(&m[i * d..(i + 1) * d], row)).abs();
+                }
+            }
+            CorruptionSide::Head => {
+                for i in 0..d {
+                    dist += (dot(&m[i * d..(i + 1) * d], row) + q[i]).abs();
+                }
+            }
+        }
+        -dist
+    }
 }
 
 impl KgeModel for TransR {
@@ -95,6 +141,37 @@ impl KgeModel for TransR {
 
     fn score(&self, t: &Triple) -> f64 {
         -self.residual(t).iter().map(|v| v.abs()).sum::<f64>()
+    }
+
+    fn score_candidates(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        let m = self.matrices.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                let row = self.entities.row(e as usize);
+                out.push(Self::candidate_score(q, m, row, side));
+            }
+        });
+    }
+
+    fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.entities.rows());
+        let m = self.matrices.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for row in self.entities.rows_iter() {
+                out.push(Self::candidate_score(q, m, row, side));
+            }
+        });
     }
 
     fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {

@@ -14,7 +14,13 @@ use nscaching_models::{build_model, GradientBuffer, KgeModel, ModelConfig, Model
 const EPS: f64 = 1e-6;
 const TOL: f64 = 1e-4;
 
-fn numeric_gradient(model: &mut Box<dyn KgeModel>, triple: &Triple, table: usize, row: usize, col: usize) -> f64 {
+fn numeric_gradient(
+    model: &mut Box<dyn KgeModel>,
+    triple: &Triple,
+    table: usize,
+    row: usize,
+    col: usize,
+) -> f64 {
     let original = model.tables()[table].row(row)[col];
 
     model.tables_mut()[table].row_mut(row)[col] = original + EPS;
@@ -38,7 +44,10 @@ fn check_model(kind: ModelKind, seed: u64) {
     for triple in &triples {
         let mut grads = GradientBuffer::new();
         model.accumulate_score_gradient(triple, 1.0, &mut grads);
-        assert!(!grads.is_empty(), "{kind:?} produced no gradient for {triple}");
+        assert!(
+            !grads.is_empty(),
+            "{kind:?} produced no gradient for {triple}"
+        );
 
         // Check every component of every row the model says participates.
         for (table, row) in model.parameter_rows(triple) {
@@ -112,7 +121,10 @@ fn gradient_coefficient_scales_linearly() {
         for (key, grad) in g1.iter() {
             let scaled = g3.get(key.0, key.1).expect("same rows touched");
             for (a, b) in grad.iter().zip(scaled) {
-                assert!((3.0 * a - b).abs() < 1e-9, "{kind:?} gradient not linear in coeff");
+                assert!(
+                    (3.0 * a - b).abs() < 1e-9,
+                    "{kind:?} gradient not linear in coeff"
+                );
             }
         }
     }

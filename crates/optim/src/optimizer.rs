@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn build_dispatches_on_kind() {
-        for kind in [OptimizerKind::Sgd, OptimizerKind::AdaGrad, OptimizerKind::Adam] {
+        for kind in [
+            OptimizerKind::Sgd,
+            OptimizerKind::AdaGrad,
+            OptimizerKind::Adam,
+        ] {
             let opt = build_optimizer(&OptimizerConfig {
                 kind,
                 learning_rate: 0.123,

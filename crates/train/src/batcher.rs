@@ -38,11 +38,28 @@ impl Batcher {
         self.triples.len().div_ceil(self.batch_size)
     }
 
-    /// Shuffle and return the epoch's batches as slices into the internal
-    /// buffer.
-    pub fn epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> impl Iterator<Item = &[Triple]> {
+    /// Reshuffle the triples for a new epoch without borrowing them.
+    ///
+    /// Together with [`Self::batch_range`] and [`Self::get`] this lets the
+    /// training loop walk an epoch by index, copying each (16-byte) triple
+    /// out by value instead of holding a borrow (or cloning the whole
+    /// training split) across the loop body.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.triples.shuffle(rng);
-        self.triples.chunks(self.batch_size)
+    }
+
+    /// Index range of the `batch`-th mini-batch of the current shuffle
+    /// (clamped to the number of triples; empty when out of range).
+    pub fn batch_range(&self, batch: usize) -> std::ops::Range<usize> {
+        let start = (batch * self.batch_size).min(self.triples.len());
+        let end = (start + self.batch_size).min(self.triples.len());
+        start..end
+    }
+
+    /// Copy out the triple at `index` under the current shuffle.
+    #[inline]
+    pub fn get(&self, index: usize) -> Triple {
+        self.triples[index]
     }
 }
 
@@ -55,15 +72,22 @@ mod tests {
         (0..n).map(|i| Triple::new(i, 0, i + 1)).collect()
     }
 
+    fn epoch_of(b: &mut Batcher, rng: &mut rand::rngs::StdRng) -> Vec<Vec<Triple>> {
+        b.shuffle(rng);
+        (0..b.batches_per_epoch())
+            .map(|batch| b.batch_range(batch).map(|i| b.get(i)).collect())
+            .collect()
+    }
+
     #[test]
     fn batches_cover_every_triple_exactly_once() {
         let mut b = Batcher::new(triples(10), 3);
         let mut rng = seeded_rng(1);
         let mut seen: Vec<Triple> = Vec::new();
         let mut batch_count = 0;
-        for batch in b.epoch(&mut rng) {
+        for batch in epoch_of(&mut b, &mut rng) {
             assert!(batch.len() <= 3);
-            seen.extend_from_slice(batch);
+            seen.extend_from_slice(&batch);
             batch_count += 1;
         }
         assert_eq!(batch_count, 4);
@@ -78,9 +102,18 @@ mod tests {
     fn epochs_reshuffle() {
         let mut b = Batcher::new(triples(50), 50);
         let mut rng = seeded_rng(2);
-        let first: Vec<Triple> = b.epoch(&mut rng).flatten().copied().collect();
-        let second: Vec<Triple> = b.epoch(&mut rng).flatten().copied().collect();
+        let first: Vec<Triple> = epoch_of(&mut b, &mut rng).concat();
+        let second: Vec<Triple> = epoch_of(&mut b, &mut rng).concat();
         assert_ne!(first, second, "two epochs should see different orders");
+    }
+
+    #[test]
+    fn batch_ranges_are_clamped_and_contiguous() {
+        let b = Batcher::new(triples(10), 4);
+        assert_eq!(b.batch_range(0), 0..4);
+        assert_eq!(b.batch_range(1), 4..8);
+        assert_eq!(b.batch_range(2), 8..10, "last batch is short");
+        assert!(b.batch_range(3).is_empty(), "out of range is empty");
     }
 
     #[test]

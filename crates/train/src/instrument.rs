@@ -106,9 +106,7 @@ impl RepeatTracker {
                 // what Figure 7 reads off, and that is preserved.
                 let evicted_draws: u64 = evicted.values().sum();
                 self.draws_in_window = self.draws_in_window.saturating_sub(evicted_draws);
-                self.repeats_in_window = self
-                    .repeats_in_window
-                    .min(self.draws_in_window);
+                self.repeats_in_window = self.repeats_in_window.min(self.draws_in_window);
             }
         }
     }
@@ -253,7 +251,10 @@ mod tests {
     fn tsv_row_has_the_documented_columns() {
         let stats = EpochAccumulator::new().finish(3, 0.5, 7, 0.25);
         let row = stats.tsv_row();
-        assert_eq!(row.split('\t').count(), EpochStats::tsv_header().split('\t').count());
+        assert_eq!(
+            row.split('\t').count(),
+            EpochStats::tsv_header().split('\t').count()
+        );
         assert!(row.starts_with("3\t"));
     }
 }

@@ -21,7 +21,11 @@ pub fn pretrain_model(
     train_config: &TrainConfig,
     epochs: usize,
 ) -> (Box<dyn KgeModel>, f64) {
-    let model = build_model(model_config, dataset.num_entities(), dataset.num_relations());
+    let model = build_model(
+        model_config,
+        dataset.num_entities(),
+        dataset.num_relations(),
+    );
     if epochs == 0 {
         return (model, 0.0);
     }
@@ -69,18 +73,22 @@ mod tests {
     #[test]
     fn pretraining_improves_over_random_initialisation() {
         let ds = dataset();
-        let model_config = ModelConfig::new(ModelKind::TransE).with_dim(16).with_seed(3);
+        let model_config = ModelConfig::new(ModelKind::TransE)
+            .with_dim(16)
+            .with_seed(3);
         let train_config = TrainConfig::new(1).with_batch_size(128).with_seed(4);
         let protocol = EvalProtocol::filtered().with_max_triples(40);
         let filter = ds.filter_index();
 
         let fresh = build_model(&model_config, ds.num_entities(), ds.num_relations());
-        let fresh_mrr =
-            evaluate_link_prediction(fresh.as_ref(), &ds.test, &filter, &protocol).combined.mrr;
+        let fresh_mrr = evaluate_link_prediction(fresh.as_ref(), &ds.test, &filter, &protocol)
+            .combined
+            .mrr;
 
         let (warm, seconds) = pretrain_model(&model_config, &ds, &train_config, 6);
-        let warm_mrr =
-            evaluate_link_prediction(warm.as_ref(), &ds.test, &filter, &protocol).combined.mrr;
+        let warm_mrr = evaluate_link_prediction(warm.as_ref(), &ds.test, &filter, &protocol)
+            .combined
+            .mrr;
 
         assert!(seconds > 0.0);
         assert!(

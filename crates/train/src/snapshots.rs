@@ -135,7 +135,8 @@ mod tests {
     #[test]
     fn epochs_tsv_has_header_plus_rows() {
         let mut h = TrainingHistory::default();
-        h.epochs.push(crate::instrument::EpochAccumulator::new().finish(0, 0.0, 0, 0.1));
+        h.epochs
+            .push(crate::instrument::EpochAccumulator::new().finish(0, 0.0, 0, 0.1));
         let tsv = h.epochs_tsv();
         assert_eq!(tsv.lines().count(), 2);
     }

@@ -8,9 +8,7 @@ use nscaching::{NegativeSampler, SampledNegative};
 use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
 use nscaching_kg::{Dataset, FilterIndex, Triple};
 use nscaching_math::seeded_rng;
-use nscaching_models::{
-    default_loss, GradientBuffer, KgeModel, L2Regularizer, Loss, LossType,
-};
+use nscaching_models::{default_loss, GradientBuffer, KgeModel, L2Regularizer, Loss, LossType};
 use nscaching_optim::{build_optimizer, Optimizer};
 use rand::rngs::StdRng;
 use std::time::Instant;
@@ -111,18 +109,14 @@ impl Trainer {
         let mut acc = EpochAccumulator::new();
         let mut grads = GradientBuffer::new();
 
-        // The batcher borrows `self.batcher` mutably for the whole epoch; the
-        // batches are cloned out per iteration so the rest of `self` stays
-        // available inside the loop.
-        let batches: Vec<Vec<Triple>> = self
-            .batcher
-            .epoch(&mut self.rng)
-            .map(|b| b.to_vec())
-            .collect();
-
-        for batch in batches {
+        // Walk the epoch by index: triples are copied out of the batcher by
+        // value (16 bytes each), so no borrow is held across the loop body
+        // and the training split is never cloned.
+        self.batcher.shuffle(&mut self.rng);
+        for batch in 0..self.batcher.batches_per_epoch() {
             grads.clear();
-            for positive in &batch {
+            for index in self.batcher.batch_range(batch) {
+                let positive = &self.batcher.get(index);
                 let negative = self
                     .sampler
                     .sample(positive, self.model.as_ref(), &mut self.rng);
@@ -146,8 +140,11 @@ impl Trainer {
                         &mut grads,
                     );
                     if self.regularizer.is_active() {
-                        self.regularizer
-                            .accumulate_gradient(self.model.as_ref(), positive, &mut grads);
+                        self.regularizer.accumulate_gradient(
+                            self.model.as_ref(),
+                            positive,
+                            &mut grads,
+                        );
                         self.regularizer.accumulate_gradient(
                             self.model.as_ref(),
                             &negative.triple,
@@ -207,7 +204,8 @@ impl Trainer {
     pub fn run(&mut self) -> &TrainingHistory {
         for _ in 0..self.config.epochs {
             self.train_epoch();
-            if self.config.eval_every > 0 && self.epochs_done % self.config.eval_every == 0 {
+            if self.config.eval_every > 0 && self.epochs_done.is_multiple_of(self.config.eval_every)
+            {
                 self.snapshot();
             }
         }
@@ -266,8 +264,12 @@ mod tests {
             t.train_epoch();
         }
         let last = t.history().epochs.last().copied().unwrap();
-        assert!(last.mean_loss < first.mean_loss,
-            "loss should drop: {} -> {}", first.mean_loss, last.mean_loss);
+        assert!(
+            last.mean_loss < first.mean_loss,
+            "loss should drop: {} -> {}",
+            first.mean_loss,
+            last.mean_loss
+        );
         assert_eq!(t.epochs_done(), 6);
         assert!(last.seconds >= 0.0);
         assert_eq!(last.examples, ds.train.len());
@@ -283,7 +285,10 @@ mod tests {
             0,
         );
         let stats = t.train_epoch();
-        assert!(stats.changed_cache_elements > 0, "cache must churn in epoch 0");
+        assert!(
+            stats.changed_cache_elements > 0,
+            "cache must churn in epoch 0"
+        );
         assert!(stats.repeat_ratio >= 0.0 && stats.repeat_ratio <= 1.0);
         assert_eq!(t.sampler().name(), "NSCaching");
     }

@@ -44,7 +44,9 @@ fn main() {
     );
     for (name, sampler_config) in methods {
         let model = build_model(
-            &ModelConfig::new(ModelKind::TransE).with_dim(24).with_seed(5),
+            &ModelConfig::new(ModelKind::TransE)
+                .with_dim(24)
+                .with_seed(5),
             dataset.num_entities(),
             dataset.num_relations(),
         );

@@ -77,7 +77,11 @@ impl KgeModel for TransEL2 {
         vec![&mut self.entities, &mut self.relations]
     }
     fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {
-        vec![(0, t.head as usize), (1, t.relation as usize), (0, t.tail as usize)]
+        vec![
+            (0, t.head as usize),
+            (1, t.relation as usize),
+            (0, t.tail as usize),
+        ]
     }
     fn apply_constraints(&mut self, touched: &[(TableId, usize)]) {
         for &(table, row) in touched {

@@ -36,7 +36,9 @@ fn main() {
     println!("{}\n", dataset.summary());
 
     let model = build_model(
-        &ModelConfig::new(ModelKind::ComplEx).with_dim(32).with_seed(4),
+        &ModelConfig::new(ModelKind::ComplEx)
+            .with_dim(32)
+            .with_seed(4),
         dataset.num_entities(),
         dataset.num_relations(),
     );
@@ -94,7 +96,10 @@ fn main() {
         println!(
             "  ({}, {}, ?) -> top predictions {:?}, true answer {truth} at raw rank {rank}",
             dataset.entities.name(query.head).unwrap_or("<unknown>"),
-            dataset.relations.name(query.relation).unwrap_or("<unknown>"),
+            dataset
+                .relations
+                .name(query.relation)
+                .unwrap_or("<unknown>"),
             top
         );
     }

@@ -25,7 +25,9 @@ fn main() {
 
     // 2. A scoring function: TransE with 32-dimensional embeddings.
     let model = build_model(
-        &ModelConfig::new(ModelKind::TransE).with_dim(32).with_seed(1),
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(32)
+            .with_seed(1),
         dataset.num_entities(),
         dataset.num_relations(),
     );

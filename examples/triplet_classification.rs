@@ -23,7 +23,10 @@ fn main() {
     // the released WN18RR/FB15K237 `*_neg.txt` files.
     let labeled = generate_classification_sets(&dataset, 123);
     let to_examples = |labels: &[nscaching_suite::datagen::LabeledTriple]| -> Vec<Example> {
-        labels.iter().map(|l| Example::new(l.triple, l.label)).collect()
+        labels
+            .iter()
+            .map(|l| Example::new(l.triple, l.label))
+            .collect()
     };
     let valid = to_examples(&labeled.valid);
     let test = to_examples(&labeled.test);
@@ -42,7 +45,9 @@ fn main() {
         ),
     ] {
         let model = build_model(
-            &ModelConfig::new(ModelKind::ComplEx).with_dim(24).with_seed(2),
+            &ModelConfig::new(ModelKind::ComplEx)
+                .with_dim(24)
+                .with_seed(2),
             dataset.num_entities(),
             dataset.num_relations(),
         );

@@ -1,0 +1,307 @@
+//! Offline mini-implementation of the `criterion` API subset this workspace's
+//! benches use: `Criterion`, `benchmark_group`/`bench_function`,
+//! `BenchmarkId::from_parameter`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: a warm-up phase estimates the per-iteration cost, then
+//! `sample_size` samples are taken, each timing a batch sized to run for
+//! roughly [`TARGET_SAMPLE_NANOS`]. The median per-iteration time is reported
+//! on stdout as both a human line and a machine-readable `BENCH_JSON` line so
+//! scripts can scrape results. Honouring `--bench`-style CLI filters: any
+//! non-flag argument is treated as a substring filter on `group/id` names
+//! (matching cargo-bench's behaviour closely enough for smoke runs).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of a single measured sample.
+const TARGET_SAMPLE_NANOS: f64 = 2_000_000.0;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier; only the `from_parameter` constructor is provided.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by a displayable parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimate {
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, calling it in timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & calibration: run until ~50ms or 10k iters to estimate cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) && warmup_iters < 10_000 {
+            std_black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let batch = ((TARGET_SAMPLE_NANOS / per_iter.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / batch as f64);
+        }
+    }
+
+    fn estimate(&self) -> Estimate {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median_ns = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let mean_ns = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+        Estimate {
+            median_ns,
+            mean_ns,
+            min_ns: sorted.first().copied().unwrap_or(0.0),
+            max_ns: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Self {
+            sample_size: 100,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> Option<Estimate> {
+        let sample_size = self.sample_size;
+        self.run_one("", &id.into(), sample_size, f)
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: &str,
+        id: &BenchmarkId,
+        sample_size: usize,
+        mut f: F,
+    ) -> Option<Estimate> {
+        let full_name = if group.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{group}/{}", id.id)
+        };
+        if !self.matches_filter(&full_name) {
+            return None;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        f(&mut bencher);
+        let est = bencher.estimate();
+        println!(
+            "{full_name:<50} time: [{} {} {}]",
+            format_time(est.min_ns),
+            format_time(est.median_ns),
+            format_time(est.max_ns),
+        );
+        println!(
+            "BENCH_JSON {{\"name\":\"{full_name}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            est.median_ns, est.mean_ns, est.min_ns, est.max_ns
+        );
+        Some(est)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional sample-size
+/// override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in the group, returning its estimate (`None` when it
+    /// was filtered out on the command line).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> Option<Estimate> {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let name = self.name.clone();
+        self.criterion.run_one(&name, &id.into(), sample_size, f)
+    }
+
+    /// Finish the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group, with or without a custom
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_sane_estimates() {
+        let mut c = Criterion::default().sample_size(5);
+        // unit tests receive a test-filter argv; neutralise CLI filtering
+        c.filters.clear();
+        let est = c
+            .bench_function(BenchmarkId::from_parameter("noop"), |b| {
+                b.iter(|| black_box(1 + 1))
+            })
+            .expect("not filtered");
+        assert!(est.median_ns >= 0.0);
+        assert!(est.min_ns <= est.max_ns);
+
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(4);
+        let est = group
+            .bench_function(BenchmarkId::from_parameter("sum"), |b| {
+                b.iter(|| (0..100u64).sum::<u64>())
+            })
+            .expect("not filtered");
+        group.finish();
+        assert!(est.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn format_time_picks_units() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(2.5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and data
+//! types but never serialises anything through serde itself (reports are
+//! written as hand-rolled JSON in `nscaching-bench`). Since the build
+//! environment cannot reach crates.io, this crate provides the two traits as
+//! blanket-implemented markers and re-exports no-op derive macros, keeping
+//! every `#[derive(Serialize, Deserialize)]` in the tree compiling unchanged.
+//! Swapping in the real serde later is a one-line change in the workspace
+//! manifest and requires no source edits.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Derivable {
+        _x: u32,
+    }
+
+    fn assert_traits<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_traits_are_satisfied() {
+        assert_traits::<Derivable>();
+        assert_traits::<Vec<f64>>();
+    }
+}
