@@ -27,12 +27,16 @@ fn main() {
                     dataset.num_relations(),
                 );
                 let sampler = nscaching::build_sampler(&SamplerConfig::Bernoulli, &dataset, 17);
+                // Calibration tunes the paper's sequential algorithm, so the
+                // shard count is pinned rather than inherited from the
+                // NSC_SHARDS test-matrix environment.
                 let train_config = TrainConfig::new(15)
                     .with_batch_size(256)
                     .with_optimizer(OptimizerConfig::adam(lr))
                     .with_margin(3.0)
                     .with_lambda(lambda)
-                    .with_seed(23);
+                    .with_seed(23)
+                    .with_shards(1);
                 let mut trainer = Trainer::new(model, sampler, &dataset, train_config);
                 let history = trainer.run();
                 let mrr = history.final_report.unwrap().combined.mrr;

@@ -8,16 +8,17 @@
 //! worst (Fig. 6(a)); IS update clearly beats top update (Fig. 6(b)).
 
 use nscaching::{NsCachingConfig, SampleStrategy, SamplerConfig, UpdateStrategy};
-use nscaching_bench::runner::train_with_sampler;
+use nscaching_bench::runner::{train_with_sampler, BenchDataset};
 use nscaching_bench::{runner::scaled_cache_size, ExperimentSettings, TsvReport};
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
 
 fn main() {
     let settings = ExperimentSettings::from_env();
-    let dataset = BenchmarkFamily::Wn18
+    let dataset: BenchDataset = BenchmarkFamily::Wn18
         .generate(settings.scale, settings.seed)
-        .expect("dataset generation succeeds");
+        .expect("dataset generation succeeds")
+        .into();
     println!("dataset: {}", dataset.summary());
     let cache = scaled_cache_size(dataset.num_entities());
     let eval_every = (settings.epochs / 10).max(1);
@@ -67,7 +68,7 @@ fn run_variant(
     panel: &str,
     label: &str,
     sampler: SamplerConfig,
-    dataset: &nscaching_kg::Dataset,
+    dataset: &BenchDataset,
     settings: &ExperimentSettings,
     eval_every: usize,
 ) {

@@ -11,16 +11,17 @@
 //! uniform sampling giving the best balance.
 
 use nscaching::{NsCachingConfig, SampleStrategy, SamplerConfig};
-use nscaching_bench::runner::{scaled_cache_size, train_with_sampler};
+use nscaching_bench::runner::{scaled_cache_size, train_with_sampler, BenchDataset};
 use nscaching_bench::{ExperimentSettings, TsvReport};
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
 
 fn main() {
     let settings = ExperimentSettings::from_env();
-    let dataset = BenchmarkFamily::Wn18
+    let dataset: BenchDataset = BenchmarkFamily::Wn18
         .generate(settings.scale, settings.seed)
-        .expect("dataset generation succeeds");
+        .expect("dataset generation succeeds")
+        .into();
     println!("dataset: {}", dataset.summary());
     let cache = scaled_cache_size(dataset.num_entities());
 

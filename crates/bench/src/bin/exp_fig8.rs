@@ -10,16 +10,17 @@
 //! uniform update explores but loses exploitation (lower NZL than IS).
 
 use nscaching::{NsCachingConfig, SamplerConfig, UpdateStrategy};
-use nscaching_bench::runner::{scaled_cache_size, train_with_sampler};
+use nscaching_bench::runner::{scaled_cache_size, train_with_sampler, BenchDataset};
 use nscaching_bench::{ExperimentSettings, TsvReport};
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
 
 fn main() {
     let settings = ExperimentSettings::from_env();
-    let dataset = BenchmarkFamily::Wn18
+    let dataset: BenchDataset = BenchmarkFamily::Wn18
         .generate(settings.scale, settings.seed)
-        .expect("dataset generation succeeds");
+        .expect("dataset generation succeeds")
+        .into();
     println!("dataset: {}", dataset.summary());
     let cache = scaled_cache_size(dataset.num_entities());
 

@@ -11,16 +11,17 @@
 //! small N2 hurts (the cache cannot refresh).
 
 use nscaching::{NsCachingConfig, SamplerConfig};
-use nscaching_bench::runner::{scaled_cache_size, train_with_sampler};
+use nscaching_bench::runner::{scaled_cache_size, train_with_sampler, BenchDataset};
 use nscaching_bench::{ExperimentSettings, TsvReport};
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
 
 fn main() {
     let settings = ExperimentSettings::from_env();
-    let dataset = BenchmarkFamily::Wn18
+    let dataset: BenchDataset = BenchmarkFamily::Wn18
         .generate(settings.scale, settings.seed)
-        .expect("dataset generation succeeds");
+        .expect("dataset generation succeeds")
+        .into();
     println!("dataset: {}", dataset.summary());
 
     // The paper's sweep {10, 30, 50, 70, 90} corresponds to 0.2×..1.8× of the
@@ -74,7 +75,7 @@ fn run_point(
     panel: &str,
     n1: usize,
     n2: usize,
-    dataset: &nscaching_kg::Dataset,
+    dataset: &BenchDataset,
     settings: &ExperimentSettings,
     eval_every: usize,
 ) {

@@ -13,7 +13,7 @@
 //! scoring function, and the `--datasets`/`--models` filters of `run_all`
 //! select subsets.
 
-use nscaching_bench::{train_once, ExperimentSettings, Method, TsvReport};
+use nscaching_bench::{train_once, BenchDataset, ExperimentSettings, Method, TsvReport};
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
 
@@ -45,9 +45,10 @@ fn main() {
     let pretrain_epochs = (settings.epochs / 2).max(1);
 
     for family in &families {
-        let dataset = family
+        let dataset: BenchDataset = family
             .generate(settings.scale, settings.seed)
-            .expect("dataset generation succeeds");
+            .expect("dataset generation succeeds")
+            .into();
         println!("# {}", dataset.summary());
         for &model in &models {
             // The "pretrained" reference row: the Bernoulli model after only the

@@ -5,7 +5,7 @@
 //! NSCaching (either start) gives the best accuracy; KBGAN can fall below the
 //! Bernoulli baseline, especially for ComplEx.
 
-use nscaching_bench::{train_once, ExperimentSettings, Method, TsvReport};
+use nscaching_bench::{train_once, BenchDataset, ExperimentSettings, Method, TsvReport};
 use nscaching_datagen::{generate_classification_sets, BenchmarkFamily};
 use nscaching_eval::classification::{evaluate_classification, Example};
 use nscaching_models::ModelKind;
@@ -43,9 +43,10 @@ fn main() {
     );
 
     for family in &families {
-        let dataset = family
+        let dataset: BenchDataset = family
             .generate(settings.scale, settings.seed)
-            .expect("dataset generation succeeds");
+            .expect("dataset generation succeeds")
+            .into();
         println!("# {}", dataset.summary());
         let labeled = generate_classification_sets(&dataset, settings.seed + 101);
         let valid: Vec<Example> = labeled

@@ -3,7 +3,7 @@
 //! benchmark analogues and sampling methods.
 
 use crate::report::TsvReport;
-use crate::runner::{train_once, Method};
+use crate::runner::{train_once, BenchDataset, Method};
 use crate::settings::ExperimentSettings;
 use nscaching_datagen::BenchmarkFamily;
 use nscaching_models::ModelKind;
@@ -26,9 +26,11 @@ pub fn run_convergence(kind: ModelKind, report_name: &str, settings: &Experiment
     );
 
     for family in &families {
-        let dataset = family
-            .generate(settings.scale, settings.seed)
-            .expect("dataset generation succeeds");
+        let dataset = BenchDataset::new(
+            family
+                .generate(settings.scale, settings.seed)
+                .expect("dataset generation succeeds"),
+        );
         println!("# {} ({})", dataset.summary(), kind.name());
         for method in Method::TABLE4 {
             let outcome = train_once(

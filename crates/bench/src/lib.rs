@@ -19,5 +19,5 @@ pub mod settings;
 
 pub use convergence::run_convergence;
 pub use report::TsvReport;
-pub use runner::{standard_train_config, train_once, Method, RunOutcome};
+pub use runner::{standard_train_config, train_once, BenchDataset, Method, RunOutcome};
 pub use settings::ExperimentSettings;

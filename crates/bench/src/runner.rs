@@ -8,7 +8,50 @@ use nscaching_eval::{EvalProtocol, LinkPredictionReport};
 use nscaching_kg::Dataset;
 use nscaching_models::{KgeModel, ModelConfig, ModelKind};
 use nscaching_optim::OptimizerConfig;
-use nscaching_train::{pretrain_model, TrainConfig, Trainer, TrainingHistory};
+use nscaching_train::{pretrain_model, TrainConfig, TrainData, Trainer, TrainingHistory};
+
+/// A dataset bundled with its shared [`TrainData`] view, built once so every
+/// run of a (model, sampler) grid reuses the same `Arc`'d splits and filter
+/// index instead of copying FB15K-sized vectors per run.
+///
+/// Dereferences to the wrapped [`Dataset`], so existing read-only call sites
+/// (`summary()`, `num_entities()`, split access) are unaffected.
+pub struct BenchDataset {
+    dataset: Dataset,
+    data: TrainData,
+}
+
+impl BenchDataset {
+    /// Wrap a dataset, snapshotting its splits into shared storage once.
+    pub fn new(dataset: Dataset) -> Self {
+        let data = TrainData::from_dataset(&dataset);
+        Self { dataset, data }
+    }
+
+    /// The wrapped dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The shared split view handed to every trainer.
+    pub fn data(&self) -> &TrainData {
+        &self.data
+    }
+}
+
+impl From<Dataset> for BenchDataset {
+    fn from(dataset: Dataset) -> Self {
+        Self::new(dataset)
+    }
+}
+
+impl std::ops::Deref for BenchDataset {
+    type Target = Dataset;
+
+    fn deref(&self) -> &Dataset {
+        &self.dataset
+    }
+}
 
 /// The negative-sampling methods compared in Table IV (IGAN rows are copied
 /// from its paper there; the IGAN-style sampler is exercised separately by
@@ -81,7 +124,9 @@ pub fn scaled_cache_size(num_entities: usize) -> usize {
 
 /// The canonical training configuration for a scoring function, following
 /// Section IV-A2: Adam, margin γ for the translational models, penalty λ for
-/// the semantic-matching models.
+/// the semantic-matching models. `--threads` (when given) sets both the
+/// trainer's shard count and the evaluation protocols' worker threads,
+/// overriding the `NSC_SHARDS` / available-parallelism defaults.
 pub fn standard_train_config(kind: ModelKind, settings: &ExperimentSettings) -> TrainConfig {
     let learning_rate = match kind {
         ModelKind::TransE | ModelKind::TransH | ModelKind::TransD | ModelKind::TransR => 0.02,
@@ -99,6 +144,18 @@ pub fn standard_train_config(kind: ModelKind, settings: &ExperimentSettings) -> 
         Some(max) => EvalProtocol::filtered().with_max_triples(max),
         None => EvalProtocol::filtered(),
     };
+    match settings.threads {
+        Some(threads) => {
+            config = config.with_shards(threads);
+            config.snapshot_protocol = config.snapshot_protocol.with_threads(threads);
+            config.final_protocol = config.final_protocol.with_threads(threads);
+        }
+        // Without an explicit --threads the experiment binaries always run
+        // the sequential paper-exact trainer, even when the test-matrix
+        // variable NSC_SHARDS is exported in the environment: the paper's
+        // tables and figures must not change because of ambient env.
+        None => config = config.with_shards(1),
+    }
     config
 }
 
@@ -123,7 +180,7 @@ pub struct RunOutcome {
 ///   use `epochs / 2`).
 /// * `eval_every` — snapshot period in epochs (0 disables snapshots).
 pub fn train_once(
-    dataset: &Dataset,
+    dataset: &BenchDataset,
     kind: ModelKind,
     method: Method,
     settings: &ExperimentSettings,
@@ -149,7 +206,7 @@ pub fn train_once(
 /// Train with an explicit sampler configuration (used by the ablation
 /// figures, which need non-default strategies and cache sizes).
 pub fn train_with_sampler(
-    dataset: &Dataset,
+    dataset: &BenchDataset,
     kind: ModelKind,
     sampler: SamplerConfig,
     label: String,
@@ -163,7 +220,13 @@ pub fn train_with_sampler(
     let mut train_config = standard_train_config(kind, settings).with_eval_every(eval_every);
 
     let (model, pretrain_seconds) = if pretrain_epochs > 0 {
-        pretrain_model(&model_config, dataset, &train_config, pretrain_epochs)
+        pretrain_model(
+            &model_config,
+            dataset.dataset(),
+            dataset.data(),
+            &train_config,
+            pretrain_epochs,
+        )
     } else {
         (
             nscaching_models::build_model(
@@ -179,8 +242,9 @@ pub fn train_with_sampler(
     // or not they were pretrained; the pretraining epochs are charged to the
     // reported wall-clock time in the convergence figures.
     train_config.seed = settings.seed.wrapping_add(1);
-    let sampler = nscaching::build_sampler(&sampler, dataset, settings.seed.wrapping_add(2));
-    let mut trainer = Trainer::new(model, sampler, dataset, train_config);
+    let sampler =
+        nscaching::build_sampler(&sampler, dataset.dataset(), settings.seed.wrapping_add(2));
+    let mut trainer = Trainer::new(model, sampler, dataset.data(), train_config);
     trainer.run();
     let history = trainer.history().clone();
     let report = history
@@ -196,15 +260,16 @@ pub fn train_with_sampler(
     }
 }
 
-/// Generate the four benchmark datasets at the configured scale.
-pub fn benchmark_datasets(settings: &ExperimentSettings) -> Vec<(BenchmarkFamily, Dataset)> {
+/// Generate the four benchmark datasets at the configured scale, each wrapped
+/// with its shared split view.
+pub fn benchmark_datasets(settings: &ExperimentSettings) -> Vec<(BenchmarkFamily, BenchDataset)> {
     BenchmarkFamily::ALL
         .iter()
         .map(|family| {
             let ds = family
                 .generate(settings.scale, settings.seed)
                 .expect("benchmark generation succeeds");
-            (*family, ds)
+            (*family, BenchDataset::new(ds))
         })
         .collect()
 }
@@ -252,9 +317,11 @@ mod tests {
     #[test]
     fn train_once_runs_every_method_in_smoke_mode() {
         let settings = smoke_settings();
-        let dataset = BenchmarkFamily::Wn18rr
-            .generate(settings.scale, settings.seed)
-            .unwrap();
+        let dataset = BenchDataset::new(
+            BenchmarkFamily::Wn18rr
+                .generate(settings.scale, settings.seed)
+                .unwrap(),
+        );
         for method in [
             Method::Bernoulli,
             Method::NsCachingScratch,

@@ -11,6 +11,8 @@ use std::path::{Path, PathBuf};
 /// --seed <n>       master seed (default 0)
 /// --out <dir>      output directory for TSV results (default results)
 /// --eval-max <n>   cap on evaluated test triples (default: all)
+/// --threads <n>    training shards and eval worker threads (default:
+///                  NSC_SHARDS for training, available parallelism for eval)
 /// --smoke          tiny configuration used by CI / integration tests
 /// ```
 #[derive(Debug, Clone)]
@@ -27,6 +29,9 @@ pub struct ExperimentSettings {
     pub out_dir: PathBuf,
     /// Cap on evaluated test triples (None = all).
     pub eval_max: Option<usize>,
+    /// Worker count threaded into `TrainConfig::shards` and
+    /// `EvalProtocol::threads` (None = each component's own default).
+    pub threads: Option<usize>,
     /// Smoke mode: shrink everything so the binary finishes in seconds.
     pub smoke: bool,
     /// Restrict grid experiments to these dataset families (comma-separated
@@ -46,6 +51,7 @@ impl Default for ExperimentSettings {
             seed: 0,
             out_dir: PathBuf::from("results"),
             eval_max: None,
+            threads: None,
             smoke: false,
             datasets: None,
             models: None,
@@ -97,6 +103,15 @@ impl ExperimentSettings {
                             .parse()
                             .map_err(|e| format!("invalid --eval-max: {e}"))?,
                     )
+                }
+                "--threads" => {
+                    let threads: usize = next_value(arg)?
+                        .parse()
+                        .map_err(|e| format!("invalid --threads: {e}"))?;
+                    if threads == 0 {
+                        return Err("--threads must be positive".to_owned());
+                    }
+                    settings.threads = Some(threads);
                 }
                 "--datasets" => {
                     settings.datasets = Some(
@@ -154,7 +169,7 @@ impl ExperimentSettings {
     /// Usage string shown for `--help` and argument errors.
     pub fn usage() -> &'static str {
         "usage: <experiment> [--scale F] [--epochs N] [--dim N] [--seed N] [--out DIR] \
-         [--eval-max N] [--datasets a,b] [--models A,B] [--smoke]"
+         [--eval-max N] [--threads N] [--datasets a,b] [--models A,B] [--smoke]"
     }
 
     /// Filter a default list of benchmark families by `--datasets`.
@@ -228,6 +243,8 @@ mod tests {
             "tmpout",
             "--eval-max",
             "100",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(s.scale, 0.05);
@@ -236,6 +253,7 @@ mod tests {
         assert_eq!(s.seed, 9);
         assert_eq!(s.out_dir, PathBuf::from("tmpout"));
         assert_eq!(s.eval_max, Some(100));
+        assert_eq!(s.threads, Some(4));
     }
 
     #[test]
@@ -253,6 +271,8 @@ mod tests {
         assert!(ExperimentSettings::parse(["--bogus"]).is_err());
         assert!(ExperimentSettings::parse(["--epochs"]).is_err());
         assert!(ExperimentSettings::parse(["--epochs", "0"]).is_err());
+        assert!(ExperimentSettings::parse(["--threads", "0"]).is_err());
+        assert!(ExperimentSettings::parse(["--threads", "x"]).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Bernoulli negative sampling (Wang et al., 2014) — the paper's baseline.
 
 use crate::corruption::CorruptionPolicy;
-use crate::sampler::{NegativeSampler, SampledNegative};
+use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
 use crate::uniform::UniformSampler;
 use nscaching_kg::{KnowledgeGraph, Triple};
 use nscaching_models::KgeModel;
@@ -45,6 +45,18 @@ impl NegativeSampler for BernoulliSampler {
         rng: &mut StdRng,
     ) -> SampledNegative {
         self.inner.sample(positive, model, rng)
+    }
+
+    fn prepare_shards(&mut self, shards: usize) {
+        self.inner.prepare_shards(shards);
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {
+        self.inner.shard_workers()
     }
 }
 

@@ -8,9 +8,14 @@
 //! NSCaching and IGAN papers (two-layer generator replaced by an embedding
 //! generator, which preserves the complexity and training behaviour that the
 //! comparison relies on).
+//!
+//! Sharded training mirrors KBGAN: the generator is scored read-only by the
+//! shard workers, REINFORCE contributions accumulate per shard against the
+//! batch-start baseline, and `merge_batch` applies one deterministic
+//! generator step per mini-batch.
 
 use crate::corruption::CorruptionPolicy;
-use crate::sampler::{NegativeSampler, SampledNegative};
+use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_kg::{CorruptionSide, Triple};
 use nscaching_math::{sample_one_weighted, softmax_in_place};
 use nscaching_models::{GradientBuffer, KgeModel};
@@ -24,6 +29,18 @@ struct PendingChoice {
     chosen: usize,
 }
 
+/// One shard's private workspace: pending draw, buffered REINFORCE feedback
+/// and the recycled `O(|E|)` probability buffer.
+#[derive(Default)]
+struct IganShardSlot {
+    pending: Option<PendingChoice>,
+    grads: GradientBuffer,
+    rewards: Vec<f64>,
+    /// Probability buffer recycled between consecutive `PendingChoice`s so
+    /// the O(|E|) softmax reuses its allocation across positives.
+    spare_probs: Vec<f64>,
+}
+
 /// IGAN-style sampler: full-softmax generator over all entities.
 pub struct IganSampler {
     generator: Box<dyn KgeModel>,
@@ -31,15 +48,15 @@ pub struct IganSampler {
     policy: CorruptionPolicy,
     baseline: f64,
     baseline_decay: f64,
-    pending: Option<PendingChoice>,
     feedback_steps: u64,
-    /// Probability buffer recycled between consecutive `PendingChoice`s so
-    /// the O(|E|) softmax reuses its allocation across positives.
-    spare_probs: Vec<f64>,
     /// Cap on how many entities receive a REINFORCE gradient per step (the
     /// chosen entity always does). `usize::MAX` means the faithful full
     /// update; smaller values trade fidelity for speed in smoke tests.
     gradient_fanout: usize,
+    /// Per-shard workspaces; slot 0 doubles as the sequential path's state.
+    slots: Vec<IganShardSlot>,
+    /// Recycled reduction buffer for `merge_batch`.
+    merge_scratch: GradientBuffer,
 }
 
 impl IganSampler {
@@ -51,10 +68,10 @@ impl IganSampler {
             policy,
             baseline: 0.0,
             baseline_decay: 0.99,
-            pending: None,
             feedback_steps: 0,
-            spare_probs: Vec::new(),
             gradient_fanout: usize::MAX,
+            slots: vec![IganShardSlot::default()],
+            merge_scratch: GradientBuffer::new(),
         }
     }
 
@@ -75,19 +92,64 @@ impl IganSampler {
         self.generator.as_ref()
     }
 
-    fn reinforce(&mut self, pending: PendingChoice, reward: f64) {
-        let advantage = reward - self.baseline;
-        self.baseline = self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
-        self.feedback_steps += 1;
-        if advantage == 0.0 {
-            self.spare_probs = pending.probs;
-            return;
+    /// Draw from the full-softmax generator distribution — shared by the
+    /// sequential hook and the shard workers.
+    fn sample_in_slot(
+        generator: &dyn KgeModel,
+        policy: &CorruptionPolicy,
+        slot: &mut IganShardSlot,
+        positive: &Triple,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        let side = policy.choose(positive, rng);
+        // Full distribution over every entity — the O(|E|·d) step, streamed
+        // through the batched fast path into a recycled buffer. The
+        // positive's own entity is masked out, matching the negative set
+        // definition of Eq. (5).
+        let mut probs = std::mem::take(&mut slot.spare_probs);
+        generator.score_all_into(positive, side, &mut probs);
+        probs[positive.entity_at(side) as usize] = f64::NEG_INFINITY;
+        softmax_in_place(&mut probs);
+        let chosen = sample_one_weighted(rng, &probs);
+        slot.pending = Some(PendingChoice {
+            positive: *positive,
+            side,
+            probs,
+            chosen,
+        });
+        SampledNegative::new(positive, side, chosen as u32)
+    }
+
+    /// Take the slot's pending choice if it matches the reported draw.
+    fn matching_pending(
+        slot: &mut IganShardSlot,
+        positive: &Triple,
+        negative: &SampledNegative,
+    ) -> Option<PendingChoice> {
+        let pending = slot.pending.take()?;
+        if pending.positive != *positive
+            || pending.side != negative.side
+            || pending.chosen as u32 != negative.entity
+        {
+            slot.spare_probs = pending.probs;
+            return None;
         }
-        let mut grads = GradientBuffer::new();
+        Some(pending)
+    }
+
+    /// Accumulate the (optionally fanout-limited) REINFORCE gradient of a
+    /// recorded choice into `grads`.
+    fn accumulate_reinforce(
+        generator: &dyn KgeModel,
+        gradient_fanout: usize,
+        pending: &PendingChoice,
+        advantage: f64,
+        grads: &mut GradientBuffer,
+    ) {
         let mut order: Vec<usize> = (0..pending.probs.len()).collect();
-        if self.gradient_fanout < pending.probs.len() {
+        if gradient_fanout < pending.probs.len() {
             order.sort_by(|&a, &b| pending.probs[b].partial_cmp(&pending.probs[a]).unwrap());
-            order.truncate(self.gradient_fanout);
+            order.truncate(gradient_fanout);
             if !order.contains(&pending.chosen) {
                 order.push(pending.chosen);
             }
@@ -97,13 +159,77 @@ impl IganSampler {
             let coeff = -advantage * (indicator - pending.probs[i]);
             if coeff != 0.0 {
                 let triple = pending.positive.corrupted(pending.side, i as u32);
-                self.generator
-                    .accumulate_score_gradient(&triple, coeff, &mut grads);
+                generator.accumulate_score_gradient(&triple, coeff, grads);
             }
         }
+    }
+
+    /// Sequential-path REINFORCE: immediate baseline update and one optimizer
+    /// step per positive, the original IGAN schedule.
+    fn reinforce_now(&mut self, pending: PendingChoice, reward: f64) {
+        let advantage = reward - self.baseline;
+        self.baseline = self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
+        self.feedback_steps += 1;
+        if advantage == 0.0 {
+            self.slots[0].spare_probs = pending.probs;
+            return;
+        }
+        let mut grads = GradientBuffer::new();
+        Self::accumulate_reinforce(
+            self.generator.as_ref(),
+            self.gradient_fanout,
+            &pending,
+            advantage,
+            &mut grads,
+        );
         let touched = self.optimizer.step(self.generator.as_mut(), &grads);
         self.generator.apply_constraints(&touched);
-        self.spare_probs = pending.probs;
+        self.slots[0].spare_probs = pending.probs;
+    }
+}
+
+/// Worker view over one IGAN shard.
+struct IganShardWorker<'a> {
+    generator: &'a dyn KgeModel,
+    policy: &'a CorruptionPolicy,
+    gradient_fanout: usize,
+    /// Baseline snapshotted at batch start (see the KBGAN worker).
+    baseline: f64,
+    slot: &'a mut IganShardSlot,
+}
+
+impl ShardSampler for IganShardWorker<'_> {
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        _model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        IganSampler::sample_in_slot(self.generator, self.policy, self.slot, positive, rng)
+    }
+
+    fn feedback(
+        &mut self,
+        positive: &Triple,
+        negative: &SampledNegative,
+        reward: f64,
+        _rng: &mut StdRng,
+    ) {
+        let Some(pending) = IganSampler::matching_pending(self.slot, positive, negative) else {
+            return;
+        };
+        self.slot.rewards.push(reward);
+        let advantage = reward - self.baseline;
+        if advantage != 0.0 {
+            IganSampler::accumulate_reinforce(
+                self.generator,
+                self.gradient_fanout,
+                &pending,
+                advantage,
+                &mut self.slot.grads,
+            );
+        }
+        self.slot.spare_probs = pending.probs;
     }
 }
 
@@ -118,23 +244,13 @@ impl NegativeSampler for IganSampler {
         _model: &dyn KgeModel,
         rng: &mut StdRng,
     ) -> SampledNegative {
-        let side = self.policy.choose(positive, rng);
-        // Full distribution over every entity — the O(|E|·d) step, streamed
-        // through the batched fast path into a recycled buffer. The
-        // positive's own entity is masked out, matching the negative set
-        // definition of Eq. (5).
-        let mut probs = std::mem::take(&mut self.spare_probs);
-        self.generator.score_all_into(positive, side, &mut probs);
-        probs[positive.entity_at(side) as usize] = f64::NEG_INFINITY;
-        softmax_in_place(&mut probs);
-        let chosen = sample_one_weighted(rng, &probs);
-        self.pending = Some(PendingChoice {
-            positive: *positive,
-            side,
-            probs,
-            chosen,
-        });
-        SampledNegative::new(positive, side, chosen as u32)
+        Self::sample_in_slot(
+            self.generator.as_ref(),
+            &self.policy,
+            &mut self.slots[0],
+            positive,
+            rng,
+        )
     }
 
     fn feedback(
@@ -144,17 +260,60 @@ impl NegativeSampler for IganSampler {
         reward: f64,
         _rng: &mut StdRng,
     ) {
-        let Some(pending) = self.pending.take() else {
+        let Some(pending) = Self::matching_pending(&mut self.slots[0], positive, negative) else {
             return;
         };
-        if pending.positive != *positive
-            || pending.side != negative.side
-            || pending.chosen as u32 != negative.entity
-        {
-            self.spare_probs = pending.probs;
-            return;
+        self.reinforce_now(pending, reward);
+    }
+
+    fn prepare_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        if self.slots.len() != shards {
+            self.slots = (0..shards).map(|_| IganShardSlot::default()).collect();
         }
-        self.reinforce(pending, reward);
+    }
+
+    fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {
+        let generator = self.generator.as_ref();
+        let policy = &self.policy;
+        let gradient_fanout = self.gradient_fanout;
+        let baseline = self.baseline;
+        self.slots
+            .iter_mut()
+            .map(|slot| {
+                Box::new(IganShardWorker {
+                    generator,
+                    policy,
+                    gradient_fanout,
+                    baseline,
+                    slot,
+                }) as Box<dyn ShardSampler>
+            })
+            .collect()
+    }
+
+    fn merge_batch(&mut self) {
+        let mut merged = std::mem::take(&mut self.merge_scratch);
+        merged.clear();
+        for slot in self.slots.iter_mut() {
+            for &reward in &slot.rewards {
+                self.baseline =
+                    self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
+                self.feedback_steps += 1;
+            }
+            slot.rewards.clear();
+            merged.merge(&slot.grads);
+            slot.grads.clear();
+        }
+        if !merged.is_empty() {
+            let touched = self.optimizer.step(self.generator.as_mut(), &merged);
+            self.generator.apply_constraints(&touched);
+        }
+        self.merge_scratch = merged;
     }
 
     fn extra_parameters(&self) -> usize {
@@ -250,5 +409,33 @@ mod tests {
         let other_pos = Triple::new(2, 1, 3);
         s.feedback(&other_pos, &neg, 1.0, &mut rng);
         assert_eq!(s.feedback_steps(), 0);
+    }
+
+    #[test]
+    fn sharded_feedback_merges_deterministically() {
+        let run = || {
+            let mut s = IganSampler::new(generator(20), 0.05, CorruptionPolicy::Uniform);
+            let d = discriminator(20);
+            s.prepare_shards(2);
+            let positives = [Triple::new(0, 0, 1), Triple::new(3, 1, 7)];
+            {
+                let mut workers = s.shard_workers();
+                for (w, pos) in workers.iter_mut().zip(&positives) {
+                    let mut rng = seeded_rng(6);
+                    let neg = w.sample(pos, d.as_ref(), &mut rng);
+                    w.feedback(pos, &neg, d.score(&neg.triple), &mut rng);
+                }
+            }
+            s.merge_batch();
+            (
+                s.feedback_steps(),
+                s.generator().score(&Triple::new(0, 0, 1)),
+            )
+        };
+        let (steps_a, score_a) = run();
+        let (steps_b, score_b) = run();
+        assert_eq!(steps_a, 2);
+        assert_eq!(steps_a, steps_b);
+        assert_eq!(score_a, score_b, "merge must be bit-reproducible");
     }
 }

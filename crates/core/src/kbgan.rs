@@ -7,9 +7,15 @@
 //! that score is the generator's reward, and the generator is updated with
 //! the REINFORCE estimator using a moving-average baseline for variance
 //! reduction — exactly the setup the paper compares NSCaching against.
+//!
+//! Under sharded training the generator is shared read-only across the
+//! shard workers (scoring is `&self`); each worker buffers its REINFORCE
+//! gradient contributions and rewards in its own shard slot against the
+//! batch-start baseline, and [`NegativeSampler::merge_batch`] folds them back
+//! in ascending shard order with one generator optimizer step per mini-batch.
 
 use crate::corruption::CorruptionPolicy;
-use crate::sampler::{NegativeSampler, SampledNegative};
+use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::{sample_distinct_uniform_into, sample_one_weighted, softmax_in_place};
 use nscaching_models::{GradientBuffer, KgeModel};
@@ -25,6 +31,31 @@ struct PendingChoice {
     chosen: usize,
 }
 
+/// One shard's private REINFORCE workspace: the pending draw, buffered
+/// gradients/rewards and the recycled sampling buffers.
+#[derive(Default)]
+struct KbGanShardSlot {
+    pending: Option<PendingChoice>,
+    /// Gradient contributions accumulated against the batch-start baseline.
+    grads: GradientBuffer,
+    /// Rewards observed this batch, in processing order.
+    rewards: Vec<f64>,
+    /// Scratch for drawing distinct candidate indices without allocating.
+    idx_scratch: Vec<usize>,
+    /// Buffers recycled between consecutive `PendingChoice`s so the
+    /// steady-state sample → feedback cycle reuses its allocations.
+    spare_candidates: Vec<EntityId>,
+    spare_probs: Vec<f64>,
+}
+
+impl KbGanShardSlot {
+    /// Return a pending choice's buffers to the spare pool for reuse.
+    fn recycle(&mut self, pending: PendingChoice) {
+        self.spare_candidates = pending.candidates;
+        self.spare_probs = pending.probs;
+    }
+}
+
 /// KBGAN negative sampler: candidate-set generator trained with REINFORCE.
 pub struct KbGanSampler {
     generator: Box<dyn KgeModel>,
@@ -34,14 +65,11 @@ pub struct KbGanSampler {
     policy: CorruptionPolicy,
     baseline: f64,
     baseline_decay: f64,
-    pending: Option<PendingChoice>,
     feedback_steps: u64,
-    /// Scratch for drawing distinct candidate indices without allocating.
-    idx_scratch: Vec<usize>,
-    /// Buffers recycled between consecutive `PendingChoice`s so the
-    /// steady-state sample → feedback cycle reuses its allocations.
-    spare_candidates: Vec<EntityId>,
-    spare_probs: Vec<f64>,
+    /// Per-shard workspaces; slot 0 doubles as the sequential path's state.
+    slots: Vec<KbGanShardSlot>,
+    /// Recycled reduction buffer for `merge_batch`.
+    merge_scratch: GradientBuffer,
 }
 
 impl KbGanSampler {
@@ -68,11 +96,9 @@ impl KbGanSampler {
             policy,
             baseline: 0.0,
             baseline_decay: 0.99,
-            pending: None,
             feedback_steps: 0,
-            idx_scratch: Vec::new(),
-            spare_candidates: Vec::new(),
-            spare_probs: Vec::new(),
+            slots: vec![KbGanShardSlot::default()],
+            merge_scratch: GradientBuffer::new(),
         }
     }
 
@@ -91,38 +117,160 @@ impl KbGanSampler {
         self.generator.as_ref()
     }
 
-    /// Apply the REINFORCE update for a recorded choice.
-    fn reinforce(&mut self, pending: PendingChoice, reward: f64) {
-        // Advantage with moving-average baseline.
-        let advantage = reward - self.baseline;
-        self.baseline = self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
-        self.feedback_steps += 1;
-        if advantage == 0.0 {
-            self.recycle(pending);
-            return;
+    /// Draw a candidate set, score it with the generator and sample the
+    /// negative — shared by the sequential hook and the shard workers.
+    fn sample_in_slot(
+        generator: &dyn KgeModel,
+        candidate_size: usize,
+        num_entities: usize,
+        policy: &CorruptionPolicy,
+        slot: &mut KbGanShardSlot,
+        positive: &Triple,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        let side = policy.choose(positive, rng);
+        // Uniform candidate set Neg, excluding the positive's own entity so a
+        // candidate can never reproduce the positive triple (Eq. (5)). The
+        // candidate and probability buffers are recycled from the previous
+        // draw, and scoring goes through the batched fast path.
+        let excluded = positive.entity_at(side);
+        sample_distinct_uniform_into(rng, num_entities, candidate_size, &mut slot.idx_scratch);
+        let mut candidates = std::mem::take(&mut slot.spare_candidates);
+        candidates.clear();
+        candidates.extend(slot.idx_scratch.iter().map(|&e| {
+            let e = e as EntityId;
+            if e == excluded {
+                (e + 1) % num_entities as EntityId
+            } else {
+                e
+            }
+        }));
+        let mut probs = std::mem::take(&mut slot.spare_probs);
+        generator.score_candidates(positive, side, &candidates, &mut probs);
+        softmax_in_place(&mut probs);
+        let chosen = sample_one_weighted(rng, &probs);
+        let entity = candidates[chosen];
+        slot.pending = Some(PendingChoice {
+            positive: *positive,
+            side,
+            candidates,
+            probs,
+            chosen,
+        });
+        SampledNegative::new(positive, side, entity)
+    }
+
+    /// Take the slot's pending choice if it matches the reported draw.
+    fn matching_pending(
+        slot: &mut KbGanShardSlot,
+        positive: &Triple,
+        negative: &SampledNegative,
+    ) -> Option<PendingChoice> {
+        let pending = slot.pending.take()?;
+        // Only apply the update if the feedback matches the recorded draw
+        // (the trainer always calls sample → feedback in lockstep).
+        if pending.positive != *positive
+            || pending.side != negative.side
+            || pending.candidates[pending.chosen] != negative.entity
+        {
+            slot.recycle(pending);
+            return None;
         }
-        // ∂ log p(chosen) / ∂ score_i = δ_{i = chosen} − p_i. We *maximise*
-        // advantage · log p(chosen), so we hand the minimising optimizer the
-        // negated gradient.
-        let mut grads = GradientBuffer::new();
+        Some(pending)
+    }
+
+    /// Accumulate `advantage · ∂ log p(chosen)/∂θ` for a recorded choice.
+    ///
+    /// `∂ log p(chosen) / ∂ score_i = δ_{i = chosen} − p_i`. We *maximise*
+    /// advantage · log p(chosen), so the minimising optimizer receives the
+    /// negated gradient.
+    fn accumulate_reinforce(
+        generator: &dyn KgeModel,
+        pending: &PendingChoice,
+        advantage: f64,
+        grads: &mut GradientBuffer,
+    ) {
         for (i, (&entity, &p)) in pending.candidates.iter().zip(&pending.probs).enumerate() {
             let indicator = if i == pending.chosen { 1.0 } else { 0.0 };
             let coeff = -advantage * (indicator - p);
             if coeff != 0.0 {
                 let triple = pending.positive.corrupted(pending.side, entity);
-                self.generator
-                    .accumulate_score_gradient(&triple, coeff, &mut grads);
+                generator.accumulate_score_gradient(&triple, coeff, grads);
             }
         }
-        let touched = self.optimizer.step(self.generator.as_mut(), &grads);
-        self.generator.apply_constraints(&touched);
-        self.recycle(pending);
     }
 
-    /// Return a pending choice's buffers to the spare pool for reuse.
-    fn recycle(&mut self, pending: PendingChoice) {
-        self.spare_candidates = pending.candidates;
-        self.spare_probs = pending.probs;
+    /// Sequential-path REINFORCE: immediate baseline update and one optimizer
+    /// step per positive, exactly the original KBGAN schedule.
+    fn reinforce_now(&mut self, pending: PendingChoice, reward: f64) {
+        let advantage = reward - self.baseline;
+        self.baseline = self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
+        self.feedback_steps += 1;
+        if advantage == 0.0 {
+            self.slots[0].recycle(pending);
+            return;
+        }
+        let mut grads = GradientBuffer::new();
+        Self::accumulate_reinforce(self.generator.as_ref(), &pending, advantage, &mut grads);
+        let touched = self.optimizer.step(self.generator.as_mut(), &grads);
+        self.generator.apply_constraints(&touched);
+        self.slots[0].recycle(pending);
+    }
+}
+
+/// Worker view over one KBGAN shard: shared read-only generator, private
+/// REINFORCE accumulation against the batch-start baseline.
+struct KbGanShardWorker<'a> {
+    generator: &'a dyn KgeModel,
+    policy: &'a CorruptionPolicy,
+    candidate_size: usize,
+    num_entities: usize,
+    /// The moving-average baseline snapshotted when the batch started; all of
+    /// the batch's advantages are computed against it so the result does not
+    /// depend on cross-shard interleaving.
+    baseline: f64,
+    slot: &'a mut KbGanShardSlot,
+}
+
+impl ShardSampler for KbGanShardWorker<'_> {
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        _model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        KbGanSampler::sample_in_slot(
+            self.generator,
+            self.candidate_size,
+            self.num_entities,
+            self.policy,
+            self.slot,
+            positive,
+            rng,
+        )
+    }
+
+    fn feedback(
+        &mut self,
+        positive: &Triple,
+        negative: &SampledNegative,
+        reward: f64,
+        _rng: &mut StdRng,
+    ) {
+        let Some(pending) = KbGanSampler::matching_pending(self.slot, positive, negative) else {
+            return;
+        };
+        self.slot.rewards.push(reward);
+        let advantage = reward - self.baseline;
+        if advantage != 0.0 {
+            KbGanSampler::accumulate_reinforce(
+                self.generator,
+                &pending,
+                advantage,
+                &mut self.slot.grads,
+            );
+        }
+        self.slot.recycle(pending);
     }
 }
 
@@ -137,42 +285,15 @@ impl NegativeSampler for KbGanSampler {
         _model: &dyn KgeModel,
         rng: &mut StdRng,
     ) -> SampledNegative {
-        let side = self.policy.choose(positive, rng);
-        // Uniform candidate set Neg, excluding the positive's own entity so a
-        // candidate can never reproduce the positive triple (Eq. (5)). The
-        // candidate and probability buffers are recycled from the previous
-        // draw, and scoring goes through the batched fast path.
-        let excluded = positive.entity_at(side);
-        sample_distinct_uniform_into(
-            rng,
-            self.num_entities,
+        Self::sample_in_slot(
+            self.generator.as_ref(),
             self.candidate_size,
-            &mut self.idx_scratch,
-        );
-        let mut candidates = std::mem::take(&mut self.spare_candidates);
-        candidates.clear();
-        candidates.extend(self.idx_scratch.iter().map(|&e| {
-            let e = e as EntityId;
-            if e == excluded {
-                (e + 1) % self.num_entities as EntityId
-            } else {
-                e
-            }
-        }));
-        let mut probs = std::mem::take(&mut self.spare_probs);
-        self.generator
-            .score_candidates(positive, side, &candidates, &mut probs);
-        softmax_in_place(&mut probs);
-        let chosen = sample_one_weighted(rng, &probs);
-        let entity = candidates[chosen];
-        self.pending = Some(PendingChoice {
-            positive: *positive,
-            side,
-            candidates,
-            probs,
-            chosen,
-        });
-        SampledNegative::new(positive, side, entity)
+            self.num_entities,
+            &self.policy,
+            &mut self.slots[0],
+            positive,
+            rng,
+        )
     }
 
     fn feedback(
@@ -182,19 +303,65 @@ impl NegativeSampler for KbGanSampler {
         reward: f64,
         _rng: &mut StdRng,
     ) {
-        let Some(pending) = self.pending.take() else {
+        let Some(pending) = Self::matching_pending(&mut self.slots[0], positive, negative) else {
             return;
         };
-        // Only apply the update if the feedback matches the recorded draw
-        // (the trainer always calls sample → feedback in lockstep).
-        if pending.positive != *positive
-            || pending.side != negative.side
-            || pending.candidates[pending.chosen] != negative.entity
-        {
-            self.recycle(pending);
-            return;
+        self.reinforce_now(pending, reward);
+    }
+
+    fn prepare_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        if self.slots.len() != shards {
+            self.slots = (0..shards).map(|_| KbGanShardSlot::default()).collect();
         }
-        self.reinforce(pending, reward);
+    }
+
+    fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {
+        let generator = self.generator.as_ref();
+        let policy = &self.policy;
+        let candidate_size = self.candidate_size;
+        let num_entities = self.num_entities;
+        let baseline = self.baseline;
+        self.slots
+            .iter_mut()
+            .map(|slot| {
+                Box::new(KbGanShardWorker {
+                    generator,
+                    policy,
+                    candidate_size,
+                    num_entities,
+                    baseline,
+                    slot,
+                }) as Box<dyn ShardSampler>
+            })
+            .collect()
+    }
+
+    fn merge_batch(&mut self) {
+        // Deterministic reduction: rewards update the baseline and gradients
+        // merge in ascending shard order, then one optimizer step applies the
+        // whole batch's REINFORCE update to the shared generator.
+        let mut merged = std::mem::take(&mut self.merge_scratch);
+        merged.clear();
+        for slot in self.slots.iter_mut() {
+            for &reward in &slot.rewards {
+                self.baseline =
+                    self.baseline_decay * self.baseline + (1.0 - self.baseline_decay) * reward;
+                self.feedback_steps += 1;
+            }
+            slot.rewards.clear();
+            merged.merge(&slot.grads);
+            slot.grads.clear();
+        }
+        if !merged.is_empty() {
+            let touched = self.optimizer.step(self.generator.as_mut(), &merged);
+            self.generator.apply_constraints(&touched);
+        }
+        self.merge_scratch = merged;
     }
 
     fn extra_parameters(&self) -> usize {
@@ -309,6 +476,31 @@ mod tests {
         // feedback without a pending draw is also a no-op
         s.feedback(&pos, &neg, 1.0, &mut rng);
         assert_eq!(s.feedback_steps(), 0);
+    }
+
+    #[test]
+    fn sharded_feedback_is_deferred_until_merge() {
+        let mut s = KbGanSampler::new(generator(40), 6, 0.05, CorruptionPolicy::Uniform);
+        let d = discriminator(40);
+        s.prepare_shards(2);
+        assert_eq!(s.shard_count(), 2);
+        let positives = [Triple::new(0, 0, 1), Triple::new(5, 1, 9)];
+        {
+            let mut workers = s.shard_workers();
+            assert_eq!(workers.len(), 2);
+            for (w, pos) in workers.iter_mut().zip(&positives) {
+                let mut rng = seeded_rng(5);
+                let neg = w.sample(pos, d.as_ref(), &mut rng);
+                w.feedback(pos, &neg, d.score(&neg.triple), &mut rng);
+            }
+        }
+        assert_eq!(s.feedback_steps(), 0, "feedback is buffered in the shards");
+        s.merge_batch();
+        assert_eq!(s.feedback_steps(), 2, "merge folds both shards' rewards");
+        assert!(s.baseline().abs() > 0.0);
+        // a second merge with no new feedback is a no-op
+        s.merge_batch();
+        assert_eq!(s.feedback_steps(), 2);
     }
 
     #[test]

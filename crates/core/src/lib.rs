@@ -41,6 +41,6 @@ pub use corruption::CorruptionPolicy;
 pub use igan::IganSampler;
 pub use kbgan::KbGanSampler;
 pub use nscaching::NsCachingSampler;
-pub use sampler::{NegativeSampler, SampledNegative};
+pub use sampler::{shard_of_key, NegativeSampler, SampledNegative, ShardSampler};
 pub use strategy::{SampleStrategy, UpdateStrategy};
 pub use uniform::UniformSampler;

@@ -3,7 +3,7 @@
 use crate::cache::{CacheProbe, NegativeCache};
 use crate::config::NsCachingConfig;
 use crate::corruption::CorruptionPolicy;
-use crate::sampler::{NegativeSampler, SampledNegative};
+use crate::sampler::{shard_of_key, NegativeSampler, SampledNegative, ShardSampler};
 use crate::strategy::{SampleStrategy, UpdateStrategy};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::{
@@ -37,6 +37,30 @@ struct Scratch {
     refreshed: Vec<EntityId>,
 }
 
+/// One shard's exclusively-owned slice of the NSCaching state: a head cache,
+/// a tail cache and the scratch buffers of its worker. Shards are disjoint by
+/// construction — positives are routed to shards by their `(h, r)` key, and
+/// every cache entry a shard materialises belongs to positives routed to it —
+/// so a batch's shard workers never contend.
+#[derive(Debug)]
+struct NsCachingShard {
+    head_cache: NegativeCache,
+    tail_cache: NegativeCache,
+    scratch: Scratch,
+    refresh_count: u64,
+}
+
+impl NsCachingShard {
+    fn new(config: &NsCachingConfig, num_entities: usize) -> Self {
+        Self {
+            head_cache: NegativeCache::new(config.cache_size, num_entities),
+            tail_cache: NegativeCache::new(config.cache_size, num_entities),
+            scratch: Scratch::default(),
+            refresh_count: 0,
+        }
+    }
+}
+
 /// Cache-based negative sampler.
 ///
 /// Maintains a head cache `H` indexed by `(r, t)` and a tail cache `T`
@@ -50,32 +74,30 @@ struct Scratch {
 /// 3. on [`update`](NegativeSampler::update), refreshes both cache entries by
 ///    scoring `cache ∪ N2 random entities` and keeping `N1` of them according
 ///    to the configured [`UpdateStrategy`] (Algorithm 3).
+///
+/// For parallel training the caches are partitioned into `S` shards keyed by
+/// the positive's `(h, r)` index ([`shard_of_key`]); each shard owns its own
+/// `H`/`T` pair, giving the workers lock-free exclusive access. With one
+/// shard (the default, and the sequential trainer's configuration) the layout
+/// and behaviour are identical to the unsharded sampler.
 pub struct NsCachingSampler {
     config: NsCachingConfig,
-    head_cache: NegativeCache,
-    tail_cache: NegativeCache,
     policy: CorruptionPolicy,
     num_entities: usize,
     /// Whether cache updates run in the current epoch (lazy update).
     updates_enabled: bool,
-    /// Number of cache refresh operations performed (two per `update` call
-    /// when updates are enabled).
-    refresh_count: u64,
-    /// Reusable buffers for the batched scoring fast path.
-    scratch: Scratch,
+    /// Disjoint cache shards; always at least one.
+    shards: Vec<NsCachingShard>,
 }
 
 impl NsCachingSampler {
     /// Create a sampler for a vocabulary of `num_entities` entities.
     pub fn new(config: NsCachingConfig, num_entities: usize, policy: CorruptionPolicy) -> Self {
         Self {
-            head_cache: NegativeCache::new(config.cache_size, num_entities),
-            tail_cache: NegativeCache::new(config.cache_size, num_entities),
+            shards: vec![NsCachingShard::new(&config, num_entities)],
             policy,
             num_entities,
             updates_enabled: true,
-            refresh_count: 0,
-            scratch: Scratch::default(),
             config,
         }
     }
@@ -86,34 +108,66 @@ impl NsCachingSampler {
     }
 
     /// Snapshot of the head cache for `(r, t)` (Table VI probing).
+    ///
+    /// Head-cache entries live in the shard of the positives that touch them
+    /// (shards are routed by the *tail*-cache key `(h, r)`), so at
+    /// `shards > 1` the same `(r, t)` key can be materialised independently —
+    /// with different contents — in several shards; the probe returns the
+    /// entry of the lowest-indexed shard that has one. The Table VI probing
+    /// experiment runs on the sequential (1-shard) trainer, where the entry
+    /// is unique.
     pub fn probe_head_cache(&self, relation: u32, tail: u32) -> CacheProbe {
-        self.head_cache.probe((relation, tail))
+        let key = (relation, tail);
+        for shard in &self.shards {
+            if let Some(entities) = shard.head_cache.peek(key) {
+                return CacheProbe {
+                    key,
+                    entities: entities.to_vec(),
+                };
+            }
+        }
+        CacheProbe {
+            key,
+            entities: Vec::new(),
+        }
     }
 
     /// Snapshot of the tail cache for `(h, r)` (Table VI probing).
     pub fn probe_tail_cache(&self, head: u32, relation: u32) -> CacheProbe {
-        self.tail_cache.probe((head, relation))
+        self.shards[shard_of_key(head, relation, self.shards.len())]
+            .tail_cache
+            .probe((head, relation))
     }
 
     /// Changed cache elements since the last call (the CE measure of Fig. 8),
-    /// summed over both caches.
+    /// summed over both caches of every shard.
     pub fn take_changed_elements(&mut self) -> u64 {
-        self.head_cache.take_changed_elements() + self.tail_cache.take_changed_elements()
+        self.shards
+            .iter_mut()
+            .map(|s| s.head_cache.take_changed_elements() + s.tail_cache.take_changed_elements())
+            .sum()
     }
 
-    /// Total approximate memory used by both caches, in bytes (Table I).
+    /// Total approximate memory used by all cache shards, in bytes (Table I).
     pub fn cache_memory_bytes(&self) -> usize {
-        self.head_cache.memory_bytes() + self.tail_cache.memory_bytes()
+        self.shards
+            .iter()
+            .map(|s| s.head_cache.memory_bytes() + s.tail_cache.memory_bytes())
+            .sum()
     }
 
-    /// Number of cache refresh operations performed so far.
+    /// Number of cache refresh operations performed so far, over all shards.
     pub fn refresh_count(&self) -> u64 {
-        self.refresh_count
+        self.shards.iter().map(|s| s.refresh_count).sum()
     }
 
     /// Whether the lazy-update schedule enables cache refreshes this epoch.
     pub fn updates_enabled(&self) -> bool {
         self.updates_enabled
+    }
+
+    fn shard_index(&self, positive: &Triple) -> usize {
+        shard_of_key(positive.head, positive.relation, self.shards.len())
     }
 
     /// Draw one negative from a cache entry (step 6 of Algorithm 2).
@@ -158,35 +212,100 @@ impl NsCachingSampler {
         }
     }
 
-    /// Algorithm 3 applied to one cache entry, writing the refreshed entry
-    /// back in place. Scoring the `N1 + N2` candidate pool goes through the
-    /// batched fast path, and every intermediate lives in `self.scratch`, so
-    /// a steady-state refresh performs no heap allocation.
+    /// Step 5–7 of Algorithm 2 on one shard's caches. Free-standing so both
+    /// the legacy per-triple hook and the shard workers share one hot path
+    /// (and one RNG consumption order).
+    fn sample_in_shard(
+        config: &NsCachingConfig,
+        policy: &CorruptionPolicy,
+        num_entities: usize,
+        shard: &mut NsCachingShard,
+        positive: &Triple,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        // Step 7 first: picking the corruption side does not depend on the
+        // drawn candidates, so only the chosen side's cache needs scoring —
+        // half the candidate-scoring work of a draw-both-then-choose order,
+        // with an identical sampling distribution. Step 5 still materialises
+        // both caches (Algorithm 2 keeps `H(r, t)` and `T(h, r)` warm on
+        // every positive): the unchosen side is warmed here, the chosen side
+        // by the `get_or_init` below — two hash probes per positive in total.
+        let side = policy.choose(positive, rng);
+        let (cache, other, key, other_key) = match side {
+            CorruptionSide::Head => (
+                &mut shard.head_cache,
+                &mut shard.tail_cache,
+                positive.relation_tail(),
+                positive.head_relation(),
+            ),
+            CorruptionSide::Tail => (
+                &mut shard.tail_cache,
+                &mut shard.head_cache,
+                positive.head_relation(),
+                positive.relation_tail(),
+            ),
+        };
+        other.get_or_init(other_key, rng);
+        // Step 6: draw one candidate from the chosen cache. The entry is
+        // copied into a reusable scratch buffer with the positive's own
+        // entity masked out in the same pass (it may legitimately sit in the
+        // cache as a top-scoring candidate, but drawing it would reproduce
+        // the positive triple).
+        let excluded = positive.entity_at(side);
+        shard.scratch.candidates.clear();
+        shard.scratch.candidates.extend(
+            cache
+                .get_or_init(key, rng)
+                .iter()
+                .copied()
+                .filter(|&e| e != excluded),
+        );
+        let pick = Self::pick_from_cache(
+            config,
+            num_entities,
+            &shard.scratch.candidates,
+            &mut shard.scratch.scores,
+            positive,
+            side,
+            model,
+            rng,
+        );
+        SampledNegative::new(positive, side, pick)
+    }
+
+    /// Algorithm 3 applied to one cache entry of one shard, writing the
+    /// refreshed entry back in place. Scoring the `N1 + N2` candidate pool
+    /// goes through the batched fast path, and every intermediate lives in
+    /// the shard's scratch, so a steady-state refresh performs no heap
+    /// allocation.
     fn refresh_entry(
-        &mut self,
+        config: &NsCachingConfig,
+        num_entities: usize,
+        shard: &mut NsCachingShard,
         positive: &Triple,
         side: CorruptionSide,
         model: &dyn KgeModel,
         rng: &mut StdRng,
     ) {
         let (cache, key) = match side {
-            CorruptionSide::Head => (&mut self.head_cache, positive.relation_tail()),
-            CorruptionSide::Tail => (&mut self.tail_cache, positive.head_relation()),
+            CorruptionSide::Head => (&mut shard.head_cache, positive.relation_tail()),
+            CorruptionSide::Tail => (&mut shard.tail_cache, positive.head_relation()),
         };
-        let scratch = &mut self.scratch;
-        let n1 = self.config.cache_size;
-        let n2 = self.config.random_size.min(self.num_entities);
+        let scratch = &mut shard.scratch;
+        let n1 = config.cache_size;
+        let n2 = config.random_size.min(num_entities);
         // Step 2-3: candidate pool = cache ∪ N2 uniformly random entities.
         scratch.pool.clear();
         scratch.pool.extend_from_slice(cache.get_or_init(key, rng));
-        sample_distinct_uniform_into(rng, self.num_entities, n2, &mut scratch.random);
+        sample_distinct_uniform_into(rng, num_entities, n2, &mut scratch.random);
         scratch
             .pool
             .extend(scratch.random.iter().map(|&e| e as EntityId));
         // Step 4: score every candidate in one batched call.
         model.score_candidates(positive, side, &scratch.pool, &mut scratch.scores);
         // Steps 5-9: keep N1 of them.
-        match self.config.update_strategy {
+        match config.update_strategy {
             UpdateStrategy::Importance => {
                 // Probability ∝ exp(score) — Equation (6); softmax keeps the
                 // exponentials finite.
@@ -212,6 +331,80 @@ impl NsCachingSampler {
             .extend(scratch.kept.iter().map(|&i| scratch.pool[i]));
         cache.replace_from_slice(key, &scratch.refreshed);
     }
+
+    /// Algorithm 3 on both caches of one shard (head `H(r, t)` first, then
+    /// tail `T(h, r)`) — the body of the `update` hook.
+    fn update_in_shard(
+        config: &NsCachingConfig,
+        num_entities: usize,
+        shard: &mut NsCachingShard,
+        positive: &Triple,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) {
+        Self::refresh_entry(
+            config,
+            num_entities,
+            shard,
+            positive,
+            CorruptionSide::Head,
+            model,
+            rng,
+        );
+        Self::refresh_entry(
+            config,
+            num_entities,
+            shard,
+            positive,
+            CorruptionSide::Tail,
+            model,
+            rng,
+        );
+        shard.refresh_count += 2;
+    }
+}
+
+/// Worker view over one NSCaching shard, handed out by
+/// [`NegativeSampler::shard_workers`].
+struct NsCachingShardWorker<'a> {
+    config: &'a NsCachingConfig,
+    policy: &'a CorruptionPolicy,
+    num_entities: usize,
+    updates_enabled: bool,
+    shard: &'a mut NsCachingShard,
+}
+
+impl ShardSampler for NsCachingShardWorker<'_> {
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        NsCachingSampler::sample_in_shard(
+            self.config,
+            self.policy,
+            self.num_entities,
+            self.shard,
+            positive,
+            model,
+            rng,
+        )
+    }
+
+    fn update(&mut self, positive: &Triple, model: &dyn KgeModel, rng: &mut StdRng) {
+        if !self.updates_enabled {
+            return;
+        }
+        NsCachingSampler::update_in_shard(
+            self.config,
+            self.num_entities,
+            self.shard,
+            positive,
+            model,
+            rng,
+        );
+    }
 }
 
 impl NegativeSampler for NsCachingSampler {
@@ -225,64 +418,68 @@ impl NegativeSampler for NsCachingSampler {
         model: &dyn KgeModel,
         rng: &mut StdRng,
     ) -> SampledNegative {
-        // Step 7 first: picking the corruption side does not depend on the
-        // drawn candidates, so only the chosen side's cache needs scoring —
-        // half the candidate-scoring work of a draw-both-then-choose order,
-        // with an identical sampling distribution. Step 5 still materialises
-        // both caches (Algorithm 2 keeps `H(r, t)` and `T(h, r)` warm on
-        // every positive): the unchosen side is warmed here, the chosen side
-        // by the `get_or_init` below — two hash probes per positive in total.
-        let side = self.policy.choose(positive, rng);
-        let (cache, other, key, other_key) = match side {
-            CorruptionSide::Head => (
-                &mut self.head_cache,
-                &mut self.tail_cache,
-                positive.relation_tail(),
-                positive.head_relation(),
-            ),
-            CorruptionSide::Tail => (
-                &mut self.tail_cache,
-                &mut self.head_cache,
-                positive.head_relation(),
-                positive.relation_tail(),
-            ),
-        };
-        other.get_or_init(other_key, rng);
-        // Step 6: draw one candidate from the chosen cache. The entry is
-        // copied into a reusable scratch buffer with the positive's own
-        // entity masked out in the same pass (it may legitimately sit in the
-        // cache as a top-scoring candidate, but drawing it would reproduce
-        // the positive triple).
-        let excluded = positive.entity_at(side);
-        self.scratch.candidates.clear();
-        self.scratch.candidates.extend(
-            cache
-                .get_or_init(key, rng)
-                .iter()
-                .copied()
-                .filter(|&e| e != excluded),
-        );
-        let pick = Self::pick_from_cache(
+        let shard = self.shard_index(positive);
+        Self::sample_in_shard(
             &self.config,
+            &self.policy,
             self.num_entities,
-            &self.scratch.candidates,
-            &mut self.scratch.scores,
+            &mut self.shards[shard],
             positive,
-            side,
             model,
             rng,
-        );
-        SampledNegative::new(positive, side, pick)
+        )
     }
 
     fn update(&mut self, positive: &Triple, model: &dyn KgeModel, rng: &mut StdRng) {
         if !self.updates_enabled {
             return;
         }
-        // Head cache H(r, t), then tail cache T(h, r) — Algorithm 3 twice.
-        self.refresh_entry(positive, CorruptionSide::Head, model, rng);
-        self.refresh_entry(positive, CorruptionSide::Tail, model, rng);
-        self.refresh_count += 2;
+        let shard = self.shard_index(positive);
+        Self::update_in_shard(
+            &self.config,
+            self.num_entities,
+            &mut self.shards[shard],
+            positive,
+            model,
+            rng,
+        );
+    }
+
+    fn prepare_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        if self.shards.len() == shards {
+            return;
+        }
+        // Re-partitioning drops the cached entries: entries are owned by the
+        // shard their positives route to, and that routing changes with the
+        // shard count. Caches re-materialise lazily with random entries —
+        // the same "easy samples first" state as a fresh epoch 0.
+        self.shards = (0..shards)
+            .map(|_| NsCachingShard::new(&self.config, self.num_entities))
+            .collect();
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {
+        let config = &self.config;
+        let policy = &self.policy;
+        let num_entities = self.num_entities;
+        let updates_enabled = self.updates_enabled;
+        self.shards
+            .iter_mut()
+            .map(|shard| {
+                Box::new(NsCachingShardWorker {
+                    config,
+                    policy,
+                    num_entities,
+                    updates_enabled,
+                    shard,
+                }) as Box<dyn ShardSampler>
+            })
+            .collect()
     }
 
     fn epoch_finished(&mut self, epoch: usize) {
@@ -293,15 +490,21 @@ impl NegativeSampler for NsCachingSampler {
     }
 
     fn take_changed_elements(&mut self) -> u64 {
-        self.head_cache.take_changed_elements() + self.tail_cache.take_changed_elements()
+        NsCachingSampler::take_changed_elements(self)
     }
 
     fn tail_cache_contents(&self, positive: &Triple) -> Option<Vec<u32>> {
-        Some(self.tail_cache.probe(positive.head_relation()).entities)
+        Some(
+            self.probe_tail_cache(positive.head, positive.relation)
+                .entities,
+        )
     }
 
     fn head_cache_contents(&self, positive: &Triple) -> Option<Vec<u32>> {
-        Some(self.head_cache.probe(positive.relation_tail()).entities)
+        Some(
+            self.probe_head_cache(positive.relation, positive.tail)
+                .entities,
+        )
     }
 }
 
@@ -440,9 +643,9 @@ mod tests {
         let mut rng = seeded_rng(6);
         let pos = Triple::new(5, 2, 8);
         s.update(&pos, m.as_ref(), &mut rng);
-        let ce = s.take_changed_elements();
+        let ce = NsCachingSampler::take_changed_elements(&mut s);
         assert!(ce > 0, "a fresh cache must change on the first update");
-        assert_eq!(s.take_changed_elements(), 0);
+        assert_eq!(NsCachingSampler::take_changed_elements(&mut s), 0);
     }
 
     #[test]
@@ -458,5 +661,62 @@ mod tests {
         assert_eq!(s.cache_memory_bytes(), 10 * 10 * 4);
         assert_eq!(s.name(), "NSCaching");
         assert_eq!(s.extra_parameters(), 0);
+    }
+
+    #[test]
+    fn prepare_shards_partitions_and_preserves_single_shard_state() {
+        let mut s = sampler(8, 8);
+        let m = model(60);
+        let mut rng = seeded_rng(8);
+        let pos = Triple::new(4, 1, 9);
+        let _ = s.sample(&pos, m.as_ref(), &mut rng);
+        let before = s.probe_tail_cache(4, 1).entities;
+        assert!(!before.is_empty());
+
+        // Same shard count: a no-op that keeps the cached entries.
+        s.prepare_shards(1);
+        assert_eq!(s.shard_count(), 1);
+        assert_eq!(s.probe_tail_cache(4, 1).entities, before);
+
+        // Re-partitioning resets the caches (ownership changes with S).
+        s.prepare_shards(4);
+        assert_eq!(s.shard_count(), 4);
+        assert!(s.probe_tail_cache(4, 1).entities.is_empty());
+        assert_eq!(s.cache_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn shard_workers_touch_only_their_own_shard() {
+        let mut s = sampler(6, 6);
+        let m = model(60);
+        s.prepare_shards(3);
+        let shards = s.shard_count();
+        // Route a handful of positives through the workers of their shard.
+        let positives: Vec<Triple> = (0..12u32).map(|i| Triple::new(i, i % 3, i + 20)).collect();
+        let mut assignment = vec![Vec::new(); shards];
+        for &p in &positives {
+            assignment[NegativeSampler::shard_of(&s, &p, shards)].push(p);
+        }
+        {
+            let mut workers = s.shard_workers();
+            assert_eq!(workers.len(), shards);
+            for (worker, task) in workers.iter_mut().zip(&assignment) {
+                let mut rng = seeded_rng(9);
+                for p in task {
+                    let _ = worker.sample(p, m.as_ref(), &mut rng);
+                    worker.update(p, m.as_ref(), &mut rng);
+                }
+            }
+        }
+        s.merge_batch();
+        // Every positive's tail-cache entry is materialised in its own shard.
+        for &p in &positives {
+            assert_eq!(
+                s.probe_tail_cache(p.head, p.relation).entities.len(),
+                6,
+                "entry for {p:?} must live in its assigned shard"
+            );
+        }
+        assert!(s.refresh_count() >= 2 * positives.len() as u64);
     }
 }

@@ -1,7 +1,7 @@
 //! Uniform negative sampling (the original TransE scheme).
 
 use crate::corruption::CorruptionPolicy;
-use crate::sampler::{NegativeSampler, SampledNegative};
+use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_kg::{KnowledgeGraph, Triple};
 use nscaching_models::KgeModel;
 use rand::rngs::StdRng;
@@ -20,6 +20,9 @@ pub struct UniformSampler {
     policy: CorruptionPolicy,
     train: Option<Arc<KnowledgeGraph>>,
     max_rejects: usize,
+    /// Shard count recorded by `prepare_shards`. The sampler keeps no keyed
+    /// state, so shards only read the shared configuration.
+    prepared_shards: usize,
 }
 
 impl UniformSampler {
@@ -31,6 +34,7 @@ impl UniformSampler {
             policy: CorruptionPolicy::Uniform,
             train: None,
             max_rejects: 64,
+            prepared_shards: 1,
         }
     }
 
@@ -67,6 +71,23 @@ impl UniformSampler {
     }
 }
 
+/// Worker view over a stateless draw-only sampler: every shard reads the same
+/// shared configuration, so a worker is just an immutable borrow.
+struct UniformShardWorker<'a> {
+    inner: &'a UniformSampler,
+}
+
+impl ShardSampler for UniformShardWorker<'_> {
+    fn sample(
+        &mut self,
+        positive: &Triple,
+        _model: &dyn KgeModel,
+        rng: &mut StdRng,
+    ) -> SampledNegative {
+        self.inner.draw(positive, rng)
+    }
+}
+
 impl NegativeSampler for UniformSampler {
     fn name(&self) -> &'static str {
         "Uniform"
@@ -79,6 +100,21 @@ impl NegativeSampler for UniformSampler {
         rng: &mut StdRng,
     ) -> SampledNegative {
         self.draw(positive, rng)
+    }
+
+    fn prepare_shards(&mut self, shards: usize) {
+        self.prepared_shards = shards.max(1);
+    }
+
+    fn shard_count(&self) -> usize {
+        self.prepared_shards
+    }
+
+    fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {
+        let inner = &*self;
+        (0..self.prepared_shards)
+            .map(|_| Box::new(UniformShardWorker { inner }) as Box<dyn ShardSampler>)
+            .collect()
     }
 }
 

@@ -102,4 +102,60 @@ proptest! {
             sampler.update(pos, model.as_ref(), &mut rng);
         }
     }
+
+    #[test]
+    fn sharding_a_batch_covers_every_positive_with_disjoint_cache_keys(
+        seed in any::<u64>(),
+        shards in 1usize..8,
+        batch_len in 1usize..150,
+    ) {
+        use std::collections::HashSet;
+
+        // A random mini-batch (duplicates allowed, as in a real epoch).
+        let mut rng = seeded_rng(seed);
+        let positives: Vec<Triple> = (0..batch_len)
+            .map(|_| {
+                Triple::new(
+                    rand::Rng::gen_range(&mut rng, 0..60u32),
+                    rand::Rng::gen_range(&mut rng, 0..6u32),
+                    rand::Rng::gen_range(&mut rng, 0..60u32),
+                )
+            })
+            .collect();
+        let mut sampler =
+            NsCachingSampler::new(NsCachingConfig::new(5, 5), 60, CorruptionPolicy::Uniform);
+        sampler.prepare_shards(shards);
+        prop_assert_eq!(NegativeSampler::shard_count(&sampler), shards);
+
+        // Stage-1 partition exactly as the parallel trainer performs it.
+        let mut tasks: Vec<Vec<Triple>> = vec![Vec::new(); shards];
+        for &p in &positives {
+            let s = NegativeSampler::shard_of(&sampler, &p, shards);
+            prop_assert!(s < shards, "assignment in range");
+            prop_assert!(
+                s == NegativeSampler::shard_of(&sampler, &p, shards),
+                "assignment is a pure function"
+            );
+            tasks[s].push(p);
+        }
+        // Every positive lands in exactly one shard.
+        prop_assert_eq!(
+            tasks.iter().map(|t| t.len()).sum::<usize>(),
+            positives.len()
+        );
+        // The tail-cache keys (h, r) owned by different shards are disjoint,
+        // so concurrent Algorithm 3 refreshes can never touch the same entry.
+        let key_sets: Vec<HashSet<(u32, u32)>> = tasks
+            .iter()
+            .map(|t| t.iter().map(|p| p.head_relation()).collect())
+            .collect();
+        for i in 0..shards {
+            for j in (i + 1)..shards {
+                prop_assert!(
+                    key_sets[i].is_disjoint(&key_sets[j]),
+                    "shards {i} and {j} share a cache key"
+                );
+            }
+        }
+    }
 }

@@ -23,7 +23,7 @@ pub mod protocol;
 pub use ccdf::{negative_distance_ccdf, negative_distance_samples};
 pub use classification::{evaluate_classification, ClassificationReport};
 pub use link_prediction::{
-    evaluate_link_prediction, rank_one, rank_one_with, LinkPredictionReport,
+    evaluate_link_prediction, rank_one, rank_one_with, LinkPredictionReport, RankScratch,
 };
 pub use metrics::{RankAccumulator, RankingMetrics};
 pub use protocol::EvalProtocol;

@@ -3,7 +3,17 @@
 use crate::metrics::{RankAccumulator, RankingMetrics};
 use crate::protocol::EvalProtocol;
 use nscaching_kg::{CorruptionSide, FilterIndex, Triple};
+use nscaching_math::rank_contenders_into;
 use nscaching_models::KgeModel;
+
+/// Reusable buffers for the ranking hot loop: the full score vector and the
+/// contender index list of the top-k early-termination path. Keep one per
+/// worker thread and reuse it across queries to avoid per-query allocations.
+#[derive(Debug, Default)]
+pub struct RankScratch {
+    scores: Vec<f64>,
+    contenders: Vec<usize>,
+}
 
 /// Per-side and combined link-prediction metrics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,8 +83,9 @@ fn rank_chunk(
 ) -> (RankAccumulator, RankAccumulator) {
     let mut head_acc = RankAccumulator::new();
     let mut tail_acc = RankAccumulator::new();
-    // One score buffer per worker, reused across every query in the chunk.
-    let mut scores = Vec::with_capacity(model.num_entities());
+    // One scratch (score + contender buffers) per worker, reused across
+    // every query in the chunk.
+    let mut scratch = RankScratch::default();
     for triple in triples {
         head_acc.push(rank_one_with(
             model,
@@ -82,7 +93,7 @@ fn rank_chunk(
             CorruptionSide::Head,
             filter,
             protocol,
-            &mut scores,
+            &mut scratch,
         ));
         tail_acc.push(rank_one_with(
             model,
@@ -90,7 +101,7 @@ fn rank_chunk(
             CorruptionSide::Tail,
             filter,
             protocol,
-            &mut scores,
+            &mut scratch,
         ));
     }
     (head_acc, tail_acc)
@@ -106,28 +117,63 @@ pub fn rank_one(
     filter: &FilterIndex,
     protocol: &EvalProtocol,
 ) -> f64 {
-    let mut scores = Vec::with_capacity(model.num_entities());
-    rank_one_with(model, triple, side, filter, protocol, &mut scores)
+    let mut scratch = RankScratch::default();
+    rank_one_with(model, triple, side, filter, protocol, &mut scratch)
 }
 
 /// Rank of the true entity for one query direction, scoring all candidates
-/// through the batched `score_all_into` fast path into a caller-provided
-/// buffer (cleared and refilled; reuse it across calls to avoid per-query
-/// allocations).
+/// through the batched `score_all_into` fast path into caller-provided
+/// scratch buffers (cleared and refilled; reuse them across calls to avoid
+/// per-query allocations).
+///
+/// With [`EvalProtocol::early_termination`] (the default), the rank is
+/// resolved from the *contender set* — candidates scoring at or above the
+/// true entity, collected in one pass by
+/// [`nscaching_math::rank_contenders_into`]. Candidates below the true score
+/// can never change a competition rank, so the filtered protocol's
+/// false-negative hash probe runs only on the contenders (for a trained model
+/// a handful of entities) instead of all `|E|` candidates; the scan over the
+/// rest of the entity set terminates at a single float compare. The result is
+/// exactly the full-scan rank — property-tested in
+/// `tests/topk_equivalence.rs`.
 pub fn rank_one_with(
     model: &dyn KgeModel,
     triple: &Triple,
     side: CorruptionSide,
     filter: &FilterIndex,
     protocol: &EvalProtocol,
-    scores: &mut Vec<f64>,
+    scratch: &mut RankScratch,
 ) -> f64 {
     let true_entity = triple.entity_at(side);
-    model.score_all_into(triple, side, scores);
-    let true_score = scores[true_entity as usize];
+    model.score_all_into(triple, side, &mut scratch.scores);
+    let true_score = scratch.scores[true_entity as usize];
+
+    if protocol.early_termination {
+        let scan = rank_contenders_into(
+            &scratch.scores,
+            true_score,
+            true_entity as usize,
+            &mut scratch.contenders,
+        );
+        let (mut greater, mut ties) = (scan.greater, scan.ties);
+        if protocol.filtered {
+            for &entity in &scratch.contenders {
+                if filter.is_false_negative(triple, side, entity as u32) {
+                    if scratch.scores[entity] > true_score {
+                        greater -= 1;
+                    } else {
+                        ties -= 1;
+                    }
+                }
+            }
+        }
+        return 1.0 + greater as f64 + ties as f64 / 2.0;
+    }
+
+    // Reference full scan: one filter probe per candidate.
     let mut greater = 0usize;
     let mut ties = 0usize;
-    for (entity, &score) in scores.iter().enumerate() {
+    for (entity, &score) in scratch.scores.iter().enumerate() {
         let entity = entity as u32;
         if entity == true_entity {
             continue;
@@ -270,6 +316,37 @@ mod tests {
         assert_eq!(single.combined.count, multi.combined.count);
         assert!((single.combined.mrr - multi.combined.mrr).abs() < 1e-12);
         assert!((single.combined.mean_rank - multi.combined.mean_rank).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_termination_matches_the_full_scan_on_the_toy_model() {
+        let model = ToyModel::new(12);
+        let test: Vec<Triple> = (0..8).map(|i| Triple::new(i, 0, (i + 2) % 12)).collect();
+        let train: Vec<Triple> = (0..12u32)
+            .map(|i| Triple::new(i, 0, (i + 1) % 12))
+            .collect();
+        let mut all = test.clone();
+        all.extend(&train);
+        let filter = filter_of(&all);
+        for filtered in [false, true] {
+            let base = if filtered {
+                EvalProtocol::filtered()
+            } else {
+                EvalProtocol::raw()
+            };
+            let fast = evaluate_link_prediction(&model, &test, &filter, &base);
+            let full = evaluate_link_prediction(
+                &model,
+                &test,
+                &filter,
+                &base.with_early_termination(false),
+            );
+            assert_eq!(
+                fast.combined.mean_rank, full.combined.mean_rank,
+                "filtered={filtered}: ranks must be identical"
+            );
+            assert_eq!(fast.combined.mrr, full.combined.mrr);
+        }
     }
 
     #[test]

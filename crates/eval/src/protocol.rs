@@ -14,6 +14,13 @@ pub struct EvalProtocol {
     /// periodic convergence snapshots of Figures 2–5 where evaluating the
     /// full test set every few epochs would dominate the run time.
     pub max_triples: Option<usize>,
+    /// Top-k early termination: resolve each query's rank from the contender
+    /// set (candidates scoring at or above the true entity) so the filtered
+    /// protocol probes the false-negative index only for contenders instead
+    /// of all `|E|` candidates. Produces *exactly* the same ranks as the full
+    /// scan (property-tested); disable only to benchmark against the full
+    /// path.
+    pub early_termination: bool,
 }
 
 impl EvalProtocol {
@@ -23,6 +30,7 @@ impl EvalProtocol {
             filtered: true,
             threads: default_threads(),
             max_triples: None,
+            early_termination: true,
         }
     }
 
@@ -32,6 +40,7 @@ impl EvalProtocol {
             filtered: false,
             threads: default_threads(),
             max_triples: None,
+            early_termination: true,
         }
     }
 
@@ -44,6 +53,12 @@ impl EvalProtocol {
     /// Set the number of worker threads (clamped to ≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the top-k early-termination ranking path.
+    pub fn with_early_termination(mut self, enabled: bool) -> Self {
+        self.early_termination = enabled;
         self
     }
 }
@@ -79,5 +94,7 @@ mod tests {
         assert!(!p.filtered);
         assert_eq!(p.max_triples, Some(100));
         assert_eq!(p.threads, 1, "threads clamp to at least one");
+        assert!(p.early_termination, "the fast exact path is the default");
+        assert!(!p.with_early_termination(false).early_termination);
     }
 }

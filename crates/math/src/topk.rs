@@ -48,6 +48,60 @@ pub fn top_k_indices_into(xs: &[f64], k: usize, out: &mut Vec<usize>) {
     out.truncate(k);
 }
 
+/// Counts produced by one [`rank_contenders_into`] scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankScan {
+    /// Entries strictly greater than the reference value.
+    pub greater: usize,
+    /// Entries exactly equal to the reference value.
+    pub ties: usize,
+}
+
+impl RankScan {
+    /// The 1-based competition rank implied by the counts, with half-credit
+    /// ties (the ranking convention of the link-prediction protocol).
+    pub fn rank(&self) -> f64 {
+        1.0 + self.greater as f64 + self.ties as f64 / 2.0
+    }
+}
+
+/// One-pass competition-rank scan: count the entries of `xs` that can affect
+/// the rank of `value` — strictly greater entries and ties — and collect
+/// those *contender* indices into `out` (cleared first, in ascending index
+/// order). The entry at index `skip` (the true entity's own score) and NaNs
+/// are ignored.
+///
+/// This is the heart of the ranker's top-k early-termination path: any
+/// downstream per-candidate work that cannot change the rank — in the
+/// filtered protocol, the false-negative hash probe — only needs to run on
+/// the contenders, so the scan over the remaining `|E| − |out|` entities
+/// terminates at a float compare. The counts (and therefore
+/// [`RankScan::rank`]) are exactly those of a full scan.
+pub fn rank_contenders_into(xs: &[f64], value: f64, skip: usize, out: &mut Vec<usize>) -> RankScan {
+    out.clear();
+    let mut scan = RankScan {
+        greater: 0,
+        ties: 0,
+    };
+    // A NaN reference value compares false against everything, so a full scan
+    // would count no competitors: rank 1 with no contenders.
+    if value.is_nan() {
+        return scan;
+    }
+    for (i, &x) in xs.iter().enumerate() {
+        if i == skip || x.is_nan() || x < value {
+            continue;
+        }
+        if x > value {
+            scan.greater += 1;
+        } else {
+            scan.ties += 1;
+        }
+        out.push(i);
+    }
+    scan
+}
+
 /// Number of entries strictly greater than `value`, plus the number of earlier
 /// ties — i.e. the 1-based competition rank of `value` among `xs ∪ {value}`
 /// when `value` itself is *not* a member of `xs`.
@@ -108,6 +162,31 @@ mod tests {
     fn top_k_tie_break_is_deterministic() {
         let xs = [1.0, 1.0, 1.0];
         assert_eq!(top_k_indices(&xs, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn rank_contenders_matches_rank_against_and_collects_indices() {
+        let xs = [0.5, 2.0, 1.0, 3.0, f64::NAN, 1.0];
+        let mut out = Vec::new();
+        // skip index 2 (pretend it is the true entity holding value 1.0)
+        let scan = rank_contenders_into(&xs, 1.0, 2, &mut out);
+        assert_eq!(scan.greater, 2, "2.0 and 3.0 beat the value");
+        assert_eq!(scan.ties, 1, "index 5 ties");
+        assert_eq!(out, vec![1, 3, 5]);
+        assert_eq!(scan.rank(), 1.0 + 2.0 + 0.5);
+        // counts agree with the full-scan helper once the skipped entry and
+        // its tie handling are accounted for
+        let without_skip: Vec<f64> = [0.5, 2.0, 3.0, f64::NAN, 1.0].to_vec();
+        assert_eq!(scan.rank(), rank_against(&without_skip, 1.0));
+    }
+
+    #[test]
+    fn rank_contenders_with_no_contenders_is_rank_one() {
+        let xs = [0.1, 0.2, 9.0];
+        let mut out = Vec::new();
+        let scan = rank_contenders_into(&xs, 9.0, 2, &mut out);
+        assert_eq!(scan.rank(), 1.0);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -89,12 +89,33 @@ impl GradientBuffer {
         self.grads.clear();
     }
 
+    /// Add every entry of `other` into this buffer.
+    ///
+    /// This is the reduction step of the sharded trainer: each shard worker
+    /// accumulates into its own buffer, and the main thread merges the
+    /// per-shard buffers in ascending shard order. Because each `(table,
+    /// row)` entry is summed independently (`self[k] += other[k]`
+    /// element-wise), the merged values depend only on the order in which
+    /// *buffers* are merged — fixed by the caller — and not on hash-map
+    /// iteration order, so the reduction is bit-reproducible.
+    pub fn merge(&mut self, other: &GradientBuffer) {
+        for (&(table, row), grad) in other.iter() {
+            self.add(table, row, grad, 1.0);
+        }
+    }
+
     /// Sum of squared components across all entries — the squared L2 norm of
     /// the full sparse gradient. Used by the Figure 10 instrumentation.
+    ///
+    /// Entries are summed in sorted `(table, row)` key order so the result is
+    /// independent of hash-map iteration order (floating-point addition is
+    /// not associative; an unordered sum would wobble in the last bits from
+    /// run to run).
     pub fn squared_norm(&self) -> f64 {
-        self.grads
-            .values()
-            .map(|g| g.iter().map(|x| x * x).sum::<f64>())
+        let mut keys: Vec<&(TableId, usize)> = self.grads.keys().collect();
+        keys.sort_unstable();
+        keys.iter()
+            .map(|k| self.grads[*k].iter().map(|x| x * x).sum::<f64>())
             .sum()
     }
 
@@ -151,6 +172,22 @@ mod tests {
         g.add(1, 1, &[4.0], 1.0);
         assert!((g.squared_norm() - 25.0).abs() < 1e-12);
         assert!((g.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_entries_pairwise_and_keeps_disjoint_ones() {
+        let mut a = GradientBuffer::new();
+        a.add(0, 0, &[1.0, 2.0], 1.0);
+        a.add(0, 1, &[3.0], 1.0);
+        let mut b = GradientBuffer::new();
+        b.add(0, 0, &[10.0, 20.0], 1.0);
+        b.add(1, 5, &[7.0], 1.0);
+        a.merge(&b);
+        assert_eq!(a.get(0, 0), Some(&[11.0, 22.0][..]));
+        assert_eq!(a.get(0, 1), Some(&[3.0][..]));
+        assert_eq!(a.get(1, 5), Some(&[7.0][..]));
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2, "merge borrows the source");
     }
 
     #[test]

@@ -3,21 +3,39 @@
 use nscaching_kg::Triple;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Shuffles the training triples once per epoch and yields contiguous
 /// mini-batches of (at most) the configured size.
+///
+/// The triples themselves live in shared `Arc<[Triple]>` storage (one copy
+/// per dataset, not per trainer — see [`TrainData`](crate::TrainData));
+/// shuffling permutes a private index vector instead of the shared slice.
+/// The permutation applies exactly the same Fisher–Yates swap sequence the
+/// in-place shuffle used to apply to the triples, so epoch orders (and the
+/// RNG draws producing them) are unchanged.
 #[derive(Debug, Clone)]
 pub struct Batcher {
-    triples: Vec<Triple>,
+    triples: Arc<[Triple]>,
+    /// Current epoch's permutation: position `i` reads `triples[order[i]]`.
+    order: Vec<u32>,
     batch_size: usize,
 }
 
 impl Batcher {
-    /// Create a batcher over the training triples.
-    pub fn new(triples: Vec<Triple>, batch_size: usize) -> Self {
+    /// Create a batcher over the training triples. Accepts shared
+    /// `Arc<[Triple]>` storage directly or any owned collection convertible
+    /// into it (e.g. a `Vec<Triple>`).
+    pub fn new(triples: impl Into<Arc<[Triple]>>, batch_size: usize) -> Self {
+        let triples = triples.into();
         assert!(batch_size > 0, "batch size must be positive");
         assert!(!triples.is_empty(), "cannot batch an empty training split");
+        assert!(
+            triples.len() <= u32::MAX as usize,
+            "training split exceeds the u32 index space"
+        );
         Self {
+            order: (0..triples.len() as u32).collect(),
             triples,
             batch_size,
         }
@@ -38,14 +56,14 @@ impl Batcher {
         self.triples.len().div_ceil(self.batch_size)
     }
 
-    /// Reshuffle the triples for a new epoch without borrowing them.
+    /// Reshuffle the epoch order without borrowing (or copying) the triples.
     ///
     /// Together with [`Self::batch_range`] and [`Self::get`] this lets the
     /// training loop walk an epoch by index, copying each (16-byte) triple
     /// out by value instead of holding a borrow (or cloning the whole
     /// training split) across the loop body.
     pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        self.triples.shuffle(rng);
+        self.order.shuffle(rng);
     }
 
     /// Index range of the `batch`-th mini-batch of the current shuffle
@@ -59,7 +77,7 @@ impl Batcher {
     /// Copy out the triple at `index` under the current shuffle.
     #[inline]
     pub fn get(&self, index: usize) -> Triple {
-        self.triples[index]
+        self.triples[self.order[index] as usize]
     }
 }
 
@@ -108,6 +126,15 @@ mod tests {
     }
 
     #[test]
+    fn shared_storage_is_not_copied() {
+        let shared: Arc<[Triple]> = triples(20).into();
+        let a = Batcher::new(shared.clone(), 4);
+        let b = Batcher::new(shared.clone(), 8);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(Arc::strong_count(&shared), 3, "both batchers share it");
+    }
+
+    #[test]
     fn batch_ranges_are_clamped_and_contiguous() {
         let b = Batcher::new(triples(10), 4);
         assert_eq!(b.batch_range(0), 0..4);
@@ -127,6 +154,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty training split")]
     fn empty_training_split_is_rejected() {
-        let _ = Batcher::new(vec![], 4);
+        let _ = Batcher::new(Vec::<Triple>::new(), 4);
     }
 }

@@ -34,6 +34,33 @@ pub struct TrainConfig {
     pub repeat_window: usize,
     /// Master RNG seed for shuffling and sampling.
     pub seed: u64,
+    /// Number of training shards (worker threads per mini-batch).
+    ///
+    /// `1` (the default) runs the sequential, paper-exact trainer on the
+    /// master RNG stream. Larger values run the sharded parallel pipeline:
+    /// each mini-batch is partitioned by cache key across `shards` workers
+    /// with decorrelated per-shard RNG streams, and gradients are reduced in
+    /// shard order — deterministic for a fixed `(seed, shards)` pair, but a
+    /// *different* (equally valid) trajectory than `shards = 1`. The default
+    /// honours the `NSC_SHARDS` environment variable so the CI matrix can run
+    /// the whole test suite at several shard counts.
+    pub shards: usize,
+}
+
+/// Default shard count: `NSC_SHARDS` when set (panicking on malformed values
+/// so a CI-matrix typo cannot silently fall back to the sequential engine),
+/// else 1 (sequential). The paper experiment binaries pin their shard count
+/// from `--threads` instead of this default — see
+/// `nscaching_bench::standard_train_config` — so exported test-matrix
+/// environment never changes published table trajectories.
+fn default_shards() -> usize {
+    match std::env::var("NSC_SHARDS") {
+        Ok(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|e| panic!("NSC_SHARDS must be a positive integer, got {v:?}: {e}"))
+            .max(1),
+        Err(_) => 1,
+    }
 }
 
 impl TrainConfig {
@@ -53,6 +80,7 @@ impl TrainConfig {
             final_protocol: EvalProtocol::filtered(),
             repeat_window: 20,
             seed: 0,
+            shards: default_shards(),
         }
     }
 
@@ -92,6 +120,12 @@ impl TrainConfig {
         self.seed = seed;
         self
     }
+
+    /// Set the number of training shards (clamped to ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +141,13 @@ mod tests {
         assert!(c.lambda >= 0.0);
         assert_eq!(c.repeat_window, 20);
         assert!(c.final_protocol.filtered);
+        assert!(c.shards >= 1);
+    }
+
+    #[test]
+    fn shards_builder_clamps_to_one() {
+        assert_eq!(TrainConfig::new(1).with_shards(4).shards, 4);
+        assert_eq!(TrainConfig::new(1).with_shards(0).shards, 1);
     }
 
     #[test]

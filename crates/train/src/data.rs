@@ -1,0 +1,89 @@
+//! Shared, immutable views of a dataset's splits.
+//!
+//! A benchmark grid trains many (model, sampler) pairs on the same dataset.
+//! Handing each [`Trainer`](crate::Trainer) its own `Vec<Triple>` copies of
+//! the splits — and its own freshly-built filter index — duplicates
+//! FB15K-sized allocations per run. [`TrainData`] wraps the training and test
+//! splits in `Arc<[Triple]>` and the filtered-evaluation index in
+//! `Arc<FilterIndex>`, so building it once per dataset and cloning it per run
+//! shares one allocation across the whole grid.
+
+use nscaching_kg::{Dataset, FilterIndex, Triple};
+use std::sync::Arc;
+
+/// The slices of a dataset a trainer needs, shared by reference count.
+///
+/// Build one per dataset with [`TrainData::from_dataset`] and pass `&data`
+/// (or a clone — both are cheap) to every
+/// [`Trainer::new`](crate::Trainer::new) of a grid. A `&Dataset` also
+/// converts directly for one-off runs.
+#[derive(Debug, Clone)]
+pub struct TrainData {
+    /// Training triples (feeds the [`Batcher`](crate::Batcher)).
+    pub train: Arc<[Triple]>,
+    /// Test triples (feeds the link-prediction evaluation).
+    pub test: Arc<[Triple]>,
+    /// Filter index over all splits for the filtered protocol.
+    pub filter: Arc<FilterIndex>,
+}
+
+impl TrainData {
+    /// Snapshot a dataset's splits into shared storage. This is the one copy;
+    /// every subsequent clone is a reference-count bump.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self {
+            train: Arc::from(dataset.train.as_slice()),
+            test: Arc::from(dataset.test.as_slice()),
+            filter: Arc::new(dataset.filter_index()),
+        }
+    }
+}
+
+impl From<&Dataset> for TrainData {
+    fn from(dataset: &Dataset) -> Self {
+        Self::from_dataset(dataset)
+    }
+}
+
+impl From<&TrainData> for TrainData {
+    fn from(data: &TrainData) -> Self {
+        data.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_kg::Vocab;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            "shared",
+            Vocab::synthetic("e", 5),
+            Vocab::synthetic("r", 1),
+            vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)],
+            vec![],
+            vec![Triple::new(2, 0, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conversion_captures_all_splits_and_the_filter() {
+        let ds = dataset();
+        let data = TrainData::from_dataset(&ds);
+        assert_eq!(&data.train[..], &ds.train[..]);
+        assert_eq!(&data.test[..], &ds.test[..]);
+        assert_eq!(data.filter.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_same_allocations() {
+        let ds = dataset();
+        let data = TrainData::from_dataset(&ds);
+        let clone = TrainData::from(&data);
+        assert!(Arc::ptr_eq(&data.train, &clone.train));
+        assert!(Arc::ptr_eq(&data.test, &clone.test));
+        assert!(Arc::ptr_eq(&data.filter, &clone.filter));
+    }
+}

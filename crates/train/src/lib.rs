@@ -13,9 +13,44 @@
 //!   (Figures 2–5);
 //! * the pretrain-then-continue protocol used for the "+ pretrain" rows of
 //!   Table IV.
+//!
+//! # Concurrency model
+//!
+//! With [`TrainConfig::shards`] > 1, [`Trainer::train_epoch`] runs each
+//! mini-batch as a staged pipeline — **shard → parallel sample/score/grad →
+//! merge → apply** — built on three invariants:
+//!
+//! 1. **Shard ownership.** The batch is partitioned by the positive's
+//!    `(h, r)` cache key ([`nscaching::shard_of_key`]); each of the `S`
+//!    shards owns a disjoint slice of the sampler's keyed state (NSCaching's
+//!    `H`/`T` caches, the GAN samplers' REINFORCE accumulators) plus its own
+//!    scratch buffers, so the scoped worker threads
+//!    (`std::thread::scope`, one per non-empty shard) share nothing mutable
+//!    and need no locks. The embedding model is shared read-only through the
+//!    thread-safe batched scoring API (`&self` + thread-local scratch).
+//! 2. **RNG streams.** The master stream (seeded from
+//!    [`TrainConfig::seed`]) keeps its historical role — epoch shuffling,
+//!    and *all* sampling when `shards = 1`. Each worker draws from its own
+//!    stream seeded by SplitMix64 from `(seed, epoch, shard)`
+//!    ([`nscaching_math::split_seed`]), so a fixed `(seed, shards)` pair
+//!    replays bit-for-bit and no worker ever consumes another's draws.
+//! 3. **Reduction order.** After the workers join, per-shard gradients,
+//!    loss records and buffered sampler feedback are folded in **ascending
+//!    shard order** ([`nscaching_models::GradientBuffer::merge`], then the
+//!    sampler's `merge_batch`), and a single optimizer step applies the
+//!    batch — floating-point summation order is fixed, making the parallel
+//!    trajectory deterministic.
+//!
+//! `shards = 1` (the default) is the sequential trainer of the paper: the
+//! single shard runs inline on the master stream with per-positive sampler
+//! feedback, reproducing the pre-sharding trainer's loss trajectory exactly.
+//! `shards > 1` is an equally valid but *different* deterministic trajectory
+//! (per-shard cache ownership, batch-end REINFORCE merge), so the paper's
+//! tables and figures are always produced at `shards = 1`.
 
 pub mod batcher;
 pub mod config;
+pub mod data;
 pub mod instrument;
 pub mod pretrain;
 pub mod snapshots;
@@ -23,6 +58,7 @@ pub mod trainer;
 
 pub use batcher::Batcher;
 pub use config::TrainConfig;
+pub use data::TrainData;
 pub use instrument::{EpochStats, RepeatTracker};
 pub use pretrain::pretrain_model;
 pub use snapshots::{Snapshot, TrainingHistory};

@@ -8,6 +8,7 @@
 //! it, ready to be handed to a second [`Trainer`] with any sampler.
 
 use crate::config::TrainConfig;
+use crate::data::TrainData;
 use crate::trainer::Trainer;
 use nscaching::SamplerConfig;
 use nscaching_kg::Dataset;
@@ -15,9 +16,17 @@ use nscaching_models::{build_model, KgeModel, ModelConfig};
 
 /// Train a fresh model with Bernoulli sampling for `epochs` epochs and return
 /// the warm-started model together with the wall-clock seconds spent.
+///
+/// `data` is the dataset's shared split view ([`TrainData`]); grid callers
+/// build it once per dataset so neither the pretraining trainer nor the main
+/// trainer copies the splits. A `&Dataset` converts directly for one-off use.
+/// **`data` must be a view of `dataset`** (the sampler statistics come from
+/// `dataset`, the trainer's batches from `data`) — debug builds assert the
+/// training splits match.
 pub fn pretrain_model(
     model_config: &ModelConfig,
     dataset: &Dataset,
+    data: impl Into<TrainData>,
     train_config: &TrainConfig,
     epochs: usize,
 ) -> (Box<dyn KgeModel>, f64) {
@@ -29,11 +38,17 @@ pub fn pretrain_model(
     if epochs == 0 {
         return (model, 0.0);
     }
+    let data = data.into();
+    debug_assert_eq!(
+        &data.train[..],
+        &dataset.train[..],
+        "TrainData must be the shared view of the same dataset"
+    );
     let sampler = nscaching::build_sampler(&SamplerConfig::Bernoulli, dataset, train_config.seed);
     let mut config = train_config.clone();
     config.epochs = epochs;
     config.eval_every = 0;
-    let mut trainer = Trainer::new(model, sampler, dataset, config);
+    let mut trainer = Trainer::new(model, sampler, data, config);
     for _ in 0..epochs {
         trainer.train_epoch();
     }
@@ -63,6 +78,7 @@ mod tests {
         let (model, seconds) = pretrain_model(
             &ModelConfig::new(ModelKind::TransE).with_dim(8),
             &ds,
+            &ds,
             &TrainConfig::new(1),
             0,
         );
@@ -85,7 +101,8 @@ mod tests {
             .combined
             .mrr;
 
-        let (warm, seconds) = pretrain_model(&model_config, &ds, &train_config, 6);
+        let data = TrainData::from_dataset(&ds);
+        let (warm, seconds) = pretrain_model(&model_config, &ds, &data, &train_config, 6);
         let warm_mrr = evaluate_link_prediction(warm.as_ref(), &ds.test, &filter, &protocol)
             .combined
             .mrr;

@@ -1,17 +1,82 @@
-//! The training loop (Algorithms 1 and 2 of the paper).
+//! The training loop (Algorithms 1 and 2 of the paper), sequential and
+//! sharded-parallel.
+//!
+//! See the crate-level documentation for the concurrency model of the
+//! parallel pipeline (shard ownership, RNG streams, reduction order).
 
 use crate::batcher::Batcher;
 use crate::config::TrainConfig;
+use crate::data::TrainData;
 use crate::instrument::{EpochAccumulator, EpochStats, RepeatTracker};
 use crate::snapshots::{Snapshot, TrainingHistory};
-use nscaching::{NegativeSampler, SampledNegative};
+use nscaching::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
-use nscaching_kg::{Dataset, FilterIndex, Triple};
-use nscaching_math::seeded_rng;
+use nscaching_kg::{FilterIndex, Triple};
+use nscaching_math::{seeded_rng, split_seed};
 use nscaching_models::{default_loss, GradientBuffer, KgeModel, L2Regularizer, Loss, LossType};
 use nscaching_optim::{build_optimizer, Optimizer};
 use rand::rngs::StdRng;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Stream tag that decorrelates the per-shard worker RNG streams from the
+/// master stream (which keeps its historical role: shuffling, and all
+/// sampling when `shards = 1`).
+const SHARD_STREAM_TAG: u64 = 0xA11E1;
+
+/// Everything one shard worker produces for one mini-batch, buffered so the
+/// main thread can fold the results in ascending shard order. Buffers are
+/// cleared and reused across batches.
+#[derive(Default)]
+struct ShardOutput {
+    /// Score gradients accumulated by this shard's positives, in batch order.
+    grads: GradientBuffer,
+    /// `(loss, nonzero)` per processed example, in batch order.
+    examples: Vec<(f64, bool)>,
+    /// Sampled negative triples, in batch order (repeat-ratio tracking).
+    negatives: Vec<Triple>,
+}
+
+/// Stage 2 of the pipeline: drive one shard worker over its slice of a
+/// mini-batch. Runs on a scoped worker thread; everything it touches is
+/// either shared read-only (`model`, `loss`, `regularizer`) or exclusively
+/// owned by this shard (`worker` state, `rng` stream, `out` buffers).
+///
+/// The per-positive order of operations mirrors the sequential loop exactly:
+/// sample → score → feedback → loss/gradients → cache update.
+fn run_shard_task(
+    model: &dyn KgeModel,
+    loss: &dyn Loss,
+    regularizer: &L2Regularizer,
+    worker: &mut dyn ShardSampler,
+    positives: &[Triple],
+    rng: &mut StdRng,
+    out: &mut ShardOutput,
+) {
+    for positive in positives {
+        let negative = worker.sample(positive, model, rng);
+        let f_pos = model.score(positive);
+        let f_neg = model.score(&negative.triple);
+        // The generator-based samplers use the discriminator's score of the
+        // sampled negative as their REINFORCE reward; shard workers buffer it
+        // for the batch-end merge.
+        worker.feedback(positive, &negative, f_neg, rng);
+        let pair = loss.evaluate(f_pos, f_neg);
+        out.examples.push((pair.loss, !pair.is_zero()));
+        out.negatives.push(negative.triple);
+        if !pair.is_zero() {
+            model.accumulate_score_gradient(positive, pair.d_positive, &mut out.grads);
+            model.accumulate_score_gradient(&negative.triple, pair.d_negative, &mut out.grads);
+            if regularizer.is_active() {
+                regularizer.accumulate_gradient(model, positive, &mut out.grads);
+                regularizer.accumulate_gradient(model, &negative.triple, &mut out.grads);
+            }
+        }
+        // Algorithm 2, step 8: refresh the shard's cache entries before the
+        // embedding update of step 9.
+        worker.update(positive, model, rng);
+    }
+}
 
 /// Drives one (model, sampler) pair through stochastic training and records
 /// the history needed by the paper's tables and figures.
@@ -23,8 +88,8 @@ pub struct Trainer {
     regularizer: L2Regularizer,
     config: TrainConfig,
     batcher: Batcher,
-    test: Vec<Triple>,
-    filter: FilterIndex,
+    test: Arc<[Triple]>,
+    filter: Arc<FilterIndex>,
     repeat_tracker: RepeatTracker,
     rng: StdRng,
     history: TrainingHistory,
@@ -35,23 +100,27 @@ pub struct Trainer {
 impl Trainer {
     /// Assemble a trainer.
     ///
+    /// `data` is anything convertible into the shared [`TrainData`] view: a
+    /// `&Dataset` for one-off runs, or a `&TrainData` built once per dataset
+    /// so grid runs share one copy of the splits and filter index.
+    ///
     /// The loss follows the model's family (margin ranking for translational
     /// models, logistic for semantic matching, as in the paper's Eq. (1)/(2));
     /// the L2 penalty is applied only to the logistic family.
     pub fn new(
         model: Box<dyn KgeModel>,
         sampler: Box<dyn NegativeSampler>,
-        dataset: &Dataset,
+        data: impl Into<TrainData>,
         config: TrainConfig,
     ) -> Self {
+        let data = data.into();
         let loss = default_loss(model.loss_type(), config.margin);
         let regularizer = match model.loss_type() {
             LossType::Logistic => L2Regularizer::new(config.lambda),
             LossType::MarginRanking => L2Regularizer::none(),
         };
         let optimizer = build_optimizer(&config.optimizer);
-        let batcher = Batcher::new(dataset.train.clone(), config.batch_size);
-        let filter = dataset.filter_index();
+        let batcher = Batcher::new(data.train, config.batch_size);
         let rng = seeded_rng(config.seed);
         let repeat_tracker = RepeatTracker::new(config.repeat_window);
         Self {
@@ -62,8 +131,8 @@ impl Trainer {
             regularizer,
             config,
             batcher,
-            test: dataset.test.clone(),
-            filter,
+            test: data.test,
+            filter: data.filter,
             repeat_tracker,
             rng,
             history: TrainingHistory::new(),
@@ -104,7 +173,26 @@ impl Trainer {
     }
 
     /// Train a single epoch and return its statistics.
+    ///
+    /// The epoch runs as a staged pipeline — shard the mini-batch, run
+    /// sample/score/gradient per shard, merge in shard order, apply one
+    /// optimizer step. With `shards = 1` (the default) the single shard is
+    /// driven inline on the master RNG stream with immediate sampler
+    /// feedback, which is exactly the sequential trainer of Algorithms 1
+    /// and 2 — bit-for-bit, so the paper's tables and figures are unaffected.
+    /// With `shards > 1` the shard stage runs on scoped worker threads.
     pub fn train_epoch(&mut self) -> EpochStats {
+        let shards = self.config.shards.max(1);
+        if shards == 1 {
+            self.train_epoch_sequential()
+        } else {
+            self.train_epoch_parallel(shards)
+        }
+    }
+
+    /// The sequential pipeline: one shard, master RNG stream, per-positive
+    /// sampler feedback — the paper-exact path.
+    fn train_epoch_sequential(&mut self) -> EpochStats {
         let started = Instant::now();
         let mut acc = EpochAccumulator::new();
         let mut grads = GradientBuffer::new();
@@ -166,6 +254,108 @@ impl Trainer {
             }
         }
 
+        self.finish_epoch(acc, started)
+    }
+
+    /// The parallel pipeline: shard → parallel sample/score/grad → ordered
+    /// merge → apply.
+    fn train_epoch_parallel(&mut self, shards: usize) -> EpochStats {
+        let started = Instant::now();
+        let mut acc = EpochAccumulator::new();
+        let mut grads = GradientBuffer::new();
+
+        self.sampler.prepare_shards(shards);
+        self.batcher.shuffle(&mut self.rng);
+        // Per-shard RNG streams for this epoch, derived from (seed, epoch,
+        // shard) through SplitMix64 — decorrelated from each other and from
+        // the master stream, and a pure function of the configuration, so a
+        // fixed (seed, shards) pair replays bit-for-bit.
+        let epoch_seed = split_seed(self.config.seed ^ SHARD_STREAM_TAG, self.epochs_done as u64);
+        let mut shard_rngs: Vec<StdRng> = (0..shards)
+            .map(|s| seeded_rng(split_seed(epoch_seed, s as u64)))
+            .collect();
+        let mut tasks: Vec<Vec<Triple>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut outputs: Vec<ShardOutput> = (0..shards).map(|_| ShardOutput::default()).collect();
+
+        for batch in 0..self.batcher.batches_per_epoch() {
+            // Stage 1 — shard: partition the mini-batch by cache key,
+            // preserving batch order within each shard.
+            for task in &mut tasks {
+                task.clear();
+            }
+            for index in self.batcher.batch_range(batch) {
+                let positive = self.batcher.get(index);
+                tasks[self.sampler.shard_of(&positive, shards)].push(positive);
+            }
+
+            // Stage 2 — parallel sample/score/grad: one scoped worker per
+            // shard, each owning its shard's sampler state, RNG stream and
+            // output buffers; the model is shared read-only through the
+            // thread-safe batched scoring API.
+            let model = self.model.as_ref();
+            let loss = self.loss.as_ref();
+            let regularizer = &self.regularizer;
+            {
+                let mut workers = self.sampler.shard_workers();
+                debug_assert_eq!(workers.len(), shards, "one worker per shard");
+                std::thread::scope(|scope| {
+                    for (((worker, task), rng), out) in workers
+                        .iter_mut()
+                        .zip(&tasks)
+                        .zip(&mut shard_rngs)
+                        .zip(&mut outputs)
+                    {
+                        if task.is_empty() {
+                            continue;
+                        }
+                        scope.spawn(move || {
+                            run_shard_task(
+                                model,
+                                loss,
+                                regularizer,
+                                worker.as_mut(),
+                                task,
+                                rng,
+                                out,
+                            )
+                        });
+                    }
+                });
+            }
+            // Workers have been dropped; fold buffered sampler feedback (GAN
+            // generator REINFORCE) back in, in shard order.
+            self.sampler.merge_batch();
+
+            // Stage 3 — merge: fold shard outputs in ascending shard order so
+            // the floating-point reduction is deterministic.
+            grads.clear();
+            for out in &mut outputs {
+                for &(example_loss, nonzero) in &out.examples {
+                    acc.record_example(example_loss, nonzero);
+                }
+                out.examples.clear();
+                for &negative in &out.negatives {
+                    self.repeat_tracker.record(negative);
+                }
+                out.negatives.clear();
+                grads.merge(&out.grads);
+                out.grads.clear();
+            }
+
+            // Stage 4 — apply: one optimizer step per mini-batch.
+            if !grads.is_empty() {
+                acc.record_batch_gradient(grads.norm());
+                let touched = self.optimizer.step(self.model.as_mut(), &grads);
+                self.model.apply_constraints(&touched);
+            }
+        }
+
+        self.finish_epoch(acc, started)
+    }
+
+    /// Epoch epilogue shared by both pipelines: close out the statistics and
+    /// notify the sampler.
+    fn finish_epoch(&mut self, acc: EpochAccumulator, started: Instant) -> EpochStats {
         let seconds = started.elapsed().as_secs_f64();
         self.train_seconds += seconds;
         let repeat_ratio = self.repeat_tracker.ratio();
@@ -227,6 +417,7 @@ mod tests {
     use super::*;
     use nscaching::{NsCachingConfig, SamplerConfig};
     use nscaching_datagen::GeneratorConfig;
+    use nscaching_kg::Dataset;
     use nscaching_models::{build_model, ModelConfig, ModelKind};
     use nscaching_optim::OptimizerConfig;
 
@@ -354,6 +545,65 @@ mod tests {
         assert_eq!(run(3), run(3));
         // different shuffling seed gives a (very likely) different result
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic_for_fixed_seed_and_shards() {
+        let ds = dataset(8);
+        let run = |shards: usize| {
+            let model = build_model(
+                &ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(1),
+                ds.num_entities(),
+                ds.num_relations(),
+            );
+            let sampler = nscaching::build_sampler(
+                &SamplerConfig::NsCaching(NsCachingConfig::new(5, 5)),
+                &ds,
+                2,
+            );
+            let config = TrainConfig::new(2)
+                .with_seed(3)
+                .with_batch_size(64)
+                .with_shards(shards);
+            let mut t = Trainer::new(model, sampler, &ds, config);
+            let losses: Vec<f64> = (0..2).map(|_| t.train_epoch().mean_loss).collect();
+            let mrr = t
+                .evaluate(&EvalProtocol::filtered().with_max_triples(20))
+                .combined
+                .mrr;
+            (losses, mrr)
+        };
+        assert_eq!(run(4), run(4), "fixed (seed, shards) must replay exactly");
+        assert_eq!(run(2), run(2));
+        // different shard counts use different RNG partitions
+        assert_ne!(run(2).1, run(4).1);
+    }
+
+    #[test]
+    fn parallel_training_reduces_the_loss_for_every_sampler() {
+        let ds = dataset(9);
+        for sampler in [
+            SamplerConfig::Uniform,
+            SamplerConfig::Bernoulli,
+            SamplerConfig::NsCaching(NsCachingConfig::new(8, 8)),
+            SamplerConfig::kbgan_default(),
+        ] {
+            let mut t = trainer(&ds, sampler.clone(), ModelKind::TransE, 0);
+            t.config.shards = 4;
+            let first = t.train_epoch();
+            for _ in 0..4 {
+                t.train_epoch();
+            }
+            let last = t.history().epochs.last().copied().unwrap();
+            assert!(
+                last.mean_loss < first.mean_loss,
+                "{}: loss should drop under 4 shards: {} -> {}",
+                sampler.display_name(),
+                first.mean_loss,
+                last.mean_loss
+            );
+            assert_eq!(last.examples, ds.train.len(), "no positive may be lost");
+        }
     }
 
     #[test]
