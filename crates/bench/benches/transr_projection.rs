@@ -1,0 +1,148 @@
+//! Criterion bench: TransR candidate scoring through the relation-projection
+//! cache vs the retired dense per-candidate path.
+//!
+//! Run with `cargo bench -p nscaching-bench --bench transr_projection`.
+//!
+//! The ISSUE's acceptance bar — warm projection-cached `score_candidates` is
+//! **≥3×** the uncached `O(d²)` path at `d = 64`, `|C| = 512` — is asserted
+//! here (override with `NSC_TRANSR_PROJ_SPEEDUP_MIN`) and the measured
+//! numbers land in the `transr_projection` section of `BENCH_pool.json`.
+//! The cold-fill cost (first scoring call after an embedding update) is
+//! recorded alongside for context: it pays the same `O(d²)` products as the
+//! uncached path once, plus the store into the cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nscaching_kg::{CorruptionSide, EntityId, Triple};
+use nscaching_math::seeded_rng;
+use nscaching_models::{KgeModel, TransD, TransR};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DIM: usize = 64;
+const NUM_ENTITIES: usize = 2_000;
+const NUM_RELATIONS: usize = 16;
+const CANDIDATES: usize = 512;
+
+fn candidates() -> Vec<EntityId> {
+    // 512 distinct entities, striding the table like a cache entry ∪ random
+    // pool would.
+    (0..CANDIDATES as u32)
+        .map(|i| (i * 3 + 1) % NUM_ENTITIES as u32)
+        .collect()
+}
+
+/// Best-of-N seconds for one `score_candidates`-shaped call.
+fn best_of<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn bench_scoring_paths(c: &mut Criterion) {
+    let mut rng = seeded_rng(17);
+    let transr = TransR::new(NUM_ENTITIES, NUM_RELATIONS, DIM, &mut rng);
+    let transd = TransD::new(NUM_ENTITIES, NUM_RELATIONS, DIM, &mut rng);
+    let cands = candidates();
+    let t = Triple::new(5, 2, 9);
+    let mut out = Vec::new();
+
+    let mut group = c.benchmark_group("transr_candidates");
+    group.bench_function(BenchmarkId::from_parameter("cached_warm"), |b| {
+        transr.score_candidates(&t, CorruptionSide::Tail, &cands, &mut out); // warm
+        b.iter(|| transr.score_candidates(&t, CorruptionSide::Tail, black_box(&cands), &mut out))
+    });
+    group.bench_function(BenchmarkId::from_parameter("uncached"), |b| {
+        b.iter(|| {
+            transr.score_candidates_uncached(&t, CorruptionSide::Tail, black_box(&cands), &mut out)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("transd_candidates");
+    group.bench_function(BenchmarkId::from_parameter("cached_warm"), |b| {
+        transd.score_candidates(&t, CorruptionSide::Tail, &cands, &mut out);
+        b.iter(|| transd.score_candidates(&t, CorruptionSide::Tail, black_box(&cands), &mut out))
+    });
+    group.bench_function(BenchmarkId::from_parameter("uncached"), |b| {
+        b.iter(|| {
+            transd.score_candidates_uncached(&t, CorruptionSide::Tail, black_box(&cands), &mut out)
+        })
+    });
+    group.finish();
+}
+
+/// The acceptance gate: warm cached TransR candidate scoring ≥3× the
+/// uncached path, recorded in `BENCH_pool.json`.
+fn assert_projection_speedup(_c: &mut Criterion) {
+    let mut rng = seeded_rng(17);
+    let mut transr = TransR::new(NUM_ENTITIES, NUM_RELATIONS, DIM, &mut rng);
+    let cands = candidates();
+    let t = Triple::new(5, 2, 9);
+    let mut out = Vec::new();
+
+    // Cold fill: invalidate via a parameter touch, then time the first call.
+    let mut cold = f64::INFINITY;
+    for _ in 0..5 {
+        transr.tables_mut()[0].row_mut(0)[0] += 0.0; // version bump only
+        let start = Instant::now();
+        transr.score_candidates(&t, CorruptionSide::Tail, &cands, &mut out);
+        cold = cold.min(start.elapsed().as_secs_f64());
+    }
+
+    let samples = 7;
+    let iters = 50;
+    transr.score_candidates(&t, CorruptionSide::Tail, &cands, &mut out); // warm
+    let warm = best_of(samples, iters, || {
+        transr.score_candidates(&t, CorruptionSide::Tail, black_box(&cands), &mut out)
+    });
+    let uncached = best_of(samples, iters, || {
+        transr.score_candidates_uncached(&t, CorruptionSide::Tail, black_box(&cands), &mut out)
+    });
+    let speedup = uncached / warm;
+
+    let required: f64 = std::env::var("NSC_TRANSR_PROJ_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    println!(
+        "transr_projection d={DIM} |C|={CANDIDATES} |E|={NUM_ENTITIES}: \
+         uncached {:.1} µs, cached warm {:.1} µs ({speedup:.1}x, required ≥{required}x), \
+         cold fill {:.1} µs",
+        uncached * 1e6,
+        warm * 1e6,
+        cold * 1e6,
+    );
+
+    let section = format!(
+        "{{\n  \"workload\": {{\n    \"model\": \"TransR\",\n    \"dim\": {DIM},\n    \"num_entities\": {NUM_ENTITIES},\n    \"candidates\": {CANDIDATES}\n  }},\n  \"seconds_per_call\": {{\n    \"uncached\": {uncached:.9},\n    \"cached_warm\": {warm:.9},\n    \"cold_fill\": {cold:.9}\n  }},\n  \"warm_speedup\": {speedup:.2},\n  \"required_speedup\": {required},\n  \"note\": \"warm cached batched TransR candidate scoring vs the retired dense O(d^2)-per-candidate path; gate overridable with NSC_TRANSR_PROJ_SPEEDUP_MIN\"\n}}"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pool.json");
+    if let Err(e) =
+        nscaching_bench::update_bench_section(&path, "pool", "transr_projection", &section)
+    {
+        eprintln!("could not record BENCH_pool.json at {path:?}: {e}");
+    }
+
+    assert!(
+        speedup >= required,
+        "projection-cached TransR candidate scoring must be ≥{required}x the uncached \
+         path at d={DIM}, |C|={CANDIDATES} (got {speedup:.2}x; override with \
+         NSC_TRANSR_PROJ_SPEEDUP_MIN)"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = assert_projection_speedup, bench_scoring_paths
+}
+criterion_main!(benches);

@@ -12,11 +12,13 @@
 //! * [`report`] — TSV writers that mirror every result to stdout and to
 //!   `results/<experiment>.tsv`.
 
+pub mod bench_json;
 pub mod convergence;
 pub mod report;
 pub mod runner;
 pub mod settings;
 
+pub use bench_json::update_bench_section;
 pub use convergence::run_convergence;
 pub use report::TsvReport;
 pub use runner::{standard_train_config, train_once, BenchDataset, Method, RunOutcome};

@@ -158,7 +158,11 @@ pub fn build_sampler(
             BernoulliSampler::new(&dataset.train, num_entities, num_relations)
                 .with_false_negative_filter(Arc::new(dataset.train_graph())),
         ),
-        SamplerConfig::NsCaching(ns) => Box::new(NsCachingSampler::new(*ns, num_entities, policy)),
+        SamplerConfig::NsCaching(ns) => Box::new(
+            // Observing the training key frequencies lets prepare_shards
+            // build a load-balanced shard partition for parallel training.
+            NsCachingSampler::new(*ns, num_entities, policy).with_observed_keys(&dataset.train),
+        ),
         SamplerConfig::KbGan {
             generator,
             generator_dim,

@@ -30,6 +30,7 @@ pub mod corruption;
 pub mod igan;
 pub mod kbgan;
 pub mod nscaching;
+pub mod partition;
 pub mod sampler;
 pub mod strategy;
 pub mod uniform;
@@ -41,6 +42,7 @@ pub use corruption::CorruptionPolicy;
 pub use igan::IganSampler;
 pub use kbgan::KbGanSampler;
 pub use nscaching::NsCachingSampler;
+pub use partition::{PartitionKey, ShardPartition};
 pub use sampler::{shard_of_key, NegativeSampler, SampledNegative, ShardSampler};
 pub use strategy::{SampleStrategy, UpdateStrategy};
 pub use uniform::UniformSampler;

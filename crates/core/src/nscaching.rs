@@ -3,6 +3,7 @@
 use crate::cache::{CacheProbe, NegativeCache};
 use crate::config::NsCachingConfig;
 use crate::corruption::CorruptionPolicy;
+use crate::partition::{PartitionKey, ShardPartition};
 use crate::sampler::{shard_of_key, NegativeSampler, SampledNegative, ShardSampler};
 use crate::strategy::{SampleStrategy, UpdateStrategy};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
@@ -76,10 +77,14 @@ impl NsCachingShard {
 ///    to the configured [`UpdateStrategy`] (Algorithm 3).
 ///
 /// For parallel training the caches are partitioned into `S` shards keyed by
-/// the positive's `(h, r)` index ([`shard_of_key`]); each shard owns its own
-/// `H`/`T` pair, giving the workers lock-free exclusive access. With one
-/// shard (the default, and the sequential trainer's configuration) the layout
-/// and behaviour are identical to the unsharded sampler.
+/// the positive's `(h, r)` index; each shard owns its own `H`/`T` pair,
+/// giving the workers lock-free exclusive access. The key → shard routing is
+/// frequency-aware when the training key frequencies have been observed
+/// ([`with_observed_keys`](Self::with_observed_keys) — a load-balanced
+/// [`ShardPartition`] built in `prepare_shards`), and falls back to the
+/// uniform [`shard_of_key`] hash otherwise. With one shard (the default, and
+/// the sequential trainer's configuration) the layout and behaviour are
+/// identical to the unsharded sampler.
 pub struct NsCachingSampler {
     config: NsCachingConfig,
     policy: CorruptionPolicy,
@@ -88,6 +93,12 @@ pub struct NsCachingSampler {
     updates_enabled: bool,
     /// Disjoint cache shards; always at least one.
     shards: Vec<NsCachingShard>,
+    /// Observed `(h, r)` key frequencies of the training split, in
+    /// deterministic (sorted-key) order; `None` until observed.
+    key_counts: Option<Vec<(PartitionKey, u64)>>,
+    /// Load-balanced routing built from `key_counts` by `prepare_shards`;
+    /// `None` when unobserved or single-sharded.
+    partition: Option<ShardPartition>,
 }
 
 impl NsCachingSampler {
@@ -99,7 +110,44 @@ impl NsCachingSampler {
             num_entities,
             updates_enabled: true,
             config,
+            key_counts: None,
+            partition: None,
         }
+    }
+
+    /// Record the `(h, r)` key frequencies of `triples` (normally the
+    /// training split) so that `prepare_shards` can build a load-balanced
+    /// partition instead of the uniform hash routing. The counts are stored
+    /// sorted by key, so the resulting partition is a pure function of
+    /// `(training split, shard count)`.
+    pub fn with_observed_keys(mut self, triples: &[Triple]) -> Self {
+        let mut counts: std::collections::BTreeMap<PartitionKey, u64> =
+            std::collections::BTreeMap::new();
+        for t in triples {
+            *counts.entry((t.head, t.relation)).or_insert(0) += 1;
+        }
+        self.key_counts = Some(counts.into_iter().collect());
+        self.partition = None;
+        self
+    }
+
+    /// Route a cache key to its shard under `shards` shards: through the
+    /// balanced partition when one is built for this shard count, else the
+    /// uniform hash. Must stay consistent across `shard_of`, the per-triple
+    /// hooks and the probes — every key has exactly one owning shard.
+    #[inline]
+    fn route_key(&self, key: PartitionKey, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        if let Some(partition) = &self.partition {
+            if partition.shards() == shards {
+                if let Some(s) = partition.shard_of(key) {
+                    return s;
+                }
+            }
+        }
+        shard_of_key(key.0, key.1, shards)
     }
 
     /// The configuration in use.
@@ -134,7 +182,7 @@ impl NsCachingSampler {
 
     /// Snapshot of the tail cache for `(h, r)` (Table VI probing).
     pub fn probe_tail_cache(&self, head: u32, relation: u32) -> CacheProbe {
-        self.shards[shard_of_key(head, relation, self.shards.len())]
+        self.shards[self.route_key((head, relation), self.shards.len())]
             .tail_cache
             .probe((head, relation))
     }
@@ -167,7 +215,7 @@ impl NsCachingSampler {
     }
 
     fn shard_index(&self, positive: &Triple) -> usize {
-        shard_of_key(positive.head, positive.relation, self.shards.len())
+        self.route_key((positive.head, positive.relation), self.shards.len())
     }
 
     /// Draw one negative from a cache entry (step 6 of Algorithm 2).
@@ -447,6 +495,16 @@ impl NegativeSampler for NsCachingSampler {
 
     fn prepare_shards(&mut self, shards: usize) {
         let shards = shards.max(1);
+        // (Re)build the load-balanced routing for this shard count. Cheap
+        // when already built: one comparison per epoch.
+        if shards == 1 {
+            self.partition = None;
+        } else if self.partition.as_ref().is_none_or(|p| p.shards() != shards) {
+            self.partition = self
+                .key_counts
+                .as_deref()
+                .map(|counts| ShardPartition::balanced(counts, shards));
+        }
         if self.shards.len() == shards {
             return;
         }
@@ -461,6 +519,14 @@ impl NegativeSampler for NsCachingSampler {
 
     fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Frequency-aware routing: the balanced partition built by
+    /// `prepare_shards` when key frequencies were observed, else the uniform
+    /// hash. Still a pure function of `(positive, shards)` for a fixed
+    /// training split, so batch partitions replay exactly.
+    fn shard_of(&self, positive: &Triple, shards: usize) -> usize {
+        self.route_key((positive.head, positive.relation), shards)
     }
 
     fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {

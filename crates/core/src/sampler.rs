@@ -148,9 +148,14 @@ pub trait NegativeSampler: Send {
     fn shard_count(&self) -> usize;
 
     /// The shard that must process `positive` when running with `shards`
-    /// shards. Must be a pure function of `(positive, shards)` so the batch
-    /// partition is reproducible. The default shards by the tail-cache key
-    /// `(h, r)` — the index NSCaching already uses.
+    /// shards. Must be a *key-based* pure function of `(positive, shards)`
+    /// and the sampler's construction-time inputs (e.g. observed key
+    /// frequencies), so the batch partition is reproducible and positives
+    /// sharing a cache key always land on one shard. The default shards by
+    /// the tail-cache key `(h, r)` through the uniform SplitMix64 hash;
+    /// NSCaching overrides it with a load-balanced
+    /// [`ShardPartition`](crate::partition::ShardPartition) when the
+    /// training key frequencies have been observed.
     fn shard_of(&self, positive: &Triple, shards: usize) -> usize {
         shard_of_key(positive.head, positive.relation, shards)
     }

@@ -158,4 +158,73 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn frequency_aware_partition_is_deterministic_disjoint_and_balanced(
+        seed in any::<u64>(),
+        shards in 2usize..8,
+        num_keys in 1usize..80,
+        hub_weight in 1u64..200,
+    ) {
+        use std::collections::HashSet;
+
+        // A skewed synthetic training split: one hub (h, r) key with
+        // `hub_weight` positives plus a tail of single-positive keys.
+        let mut rng = seeded_rng(seed);
+        let mut train: Vec<Triple> = Vec::new();
+        for _ in 0..hub_weight {
+            train.push(Triple::new(0, 0, rand::Rng::gen_range(&mut rng, 1..50u32)));
+        }
+        for k in 0..num_keys as u32 {
+            train.push(Triple::new(k % 60, 1 + k % 5, rand::Rng::gen_range(&mut rng, 0..60u32)));
+        }
+
+        let build = || {
+            let mut s = NsCachingSampler::new(
+                NsCachingConfig::new(5, 5),
+                60,
+                CorruptionPolicy::Uniform,
+            )
+            .with_observed_keys(&train);
+            NegativeSampler::prepare_shards(&mut s, shards);
+            s
+        };
+        let a = build();
+        let b = build();
+
+        let mut loads = vec![0u64; shards];
+        let mut key_owner: Vec<HashSet<(u32, u32)>> = vec![HashSet::new(); shards];
+        for p in &train {
+            let s = NegativeSampler::shard_of(&a, p, shards);
+            prop_assert!(s < shards, "assignment in range");
+            // Deterministic: an independently built sampler agrees.
+            prop_assert_eq!(s, NegativeSampler::shard_of(&b, p, shards));
+            // Stable: asking twice agrees.
+            prop_assert_eq!(s, NegativeSampler::shard_of(&a, p, shards));
+            loads[s] += 1;
+            key_owner[s].insert(p.head_relation());
+        }
+        // Key-based ⇒ cache keys stay disjoint across shards.
+        for i in 0..shards {
+            for j in (i + 1)..shards {
+                prop_assert!(
+                    key_owner[i].is_disjoint(&key_owner[j]),
+                    "shards {i} and {j} share a cache key"
+                );
+            }
+        }
+        // LPT balance bound: no shard exceeds average + heaviest key.
+        let total: u64 = loads.iter().sum();
+        let mut key_weights: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
+        for p in &train {
+            *key_weights.entry(p.head_relation()).or_insert(0) += 1;
+        }
+        let heaviest = *key_weights.values().max().unwrap();
+        let max = *loads.iter().max().unwrap();
+        prop_assert!(
+            max <= total / shards as u64 + heaviest,
+            "load {max} exceeds the LPT bound (loads {loads:?}, heaviest {heaviest})"
+        );
+    }
 }

@@ -3,28 +3,112 @@
 //! All binary operations assert that the operands have equal length; the
 //! embedding dimension is fixed per model so mismatches are programming
 //! errors, not runtime conditions.
+//!
+//! # Kernel layout
+//!
+//! The hot reduction kernels ([`dot`], [`l1_distance`], [`l1_sum`],
+//! [`l1_combine`]) are written against explicit fixed-width 8-lane blocks
+//! (`[f64; 8]`, one AVX-512 vector or two AVX2 ones — see [`lanes`]). Each
+//! loop iteration carries **two** independent blocks, so sixteen accumulator
+//! lanes break the add dependency chain and the loop saturates the FPU
+//! pipelines; the fixed-size block views let LLVM keep whole blocks in vector
+//! registers. The horizontal sum folds the lanes in ascending index order and
+//! the tail elements sequentially, so results are a deterministic
+//! reassociation of the scalar reference (the proptests in
+//! `tests/proptests.rs` pin the agreement to 1e-12).
 
-/// Dot product `x · y`.
+/// Scalar lanes per explicit SIMD block.
+pub const LANES: usize = 8;
+
+/// Fixed-width 8-lane building blocks of the unrolled kernels.
 ///
-/// Sixteen independent accumulator lanes (two full AVX-512 vectors, or four
-/// AVX2 ones) break the add dependency chain so the loop saturates the FPU
-/// pipelines; this is the innermost kernel of the batched candidate-scoring
-/// fast path. The fixed-size `try_into` views let LLVM keep the whole lane
-/// block in vector registers.
-#[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
-    let mut xc = x.chunks_exact(16);
-    let mut yc = y.chunks_exact(16);
-    let mut acc = [0.0f64; 16];
-    for (a, b) in (&mut xc).zip(&mut yc) {
-        let a: &[f64; 16] = a.try_into().expect("exact chunk");
-        let b: &[f64; 16] = b.try_into().expect("exact chunk");
-        for i in 0..16 {
+/// Every operation is a straight-line pass over a `[f64; LANES]` block —
+/// exactly the shape auto-vectorisers turn into a single vector instruction
+/// (or two on AVX2). Keeping the blocks explicit pins the lane count, and
+/// therefore the floating-point summation order, independently of what the
+/// compiler would pick on its own.
+mod lanes {
+    use super::LANES;
+
+    /// View a slice of exactly `LANES` elements as a fixed-width block.
+    #[inline(always)]
+    pub(super) fn block(x: &[f64]) -> &[f64; LANES] {
+        x.try_into().expect("exact 8-lane block")
+    }
+
+    /// `acc[i] += a[i] * b[i]` over one block.
+    #[inline(always)]
+    pub(super) fn mul_acc(acc: &mut [f64; LANES], a: &[f64; LANES], b: &[f64; LANES]) {
+        for i in 0..LANES {
             acc[i] += a[i] * b[i];
         }
     }
-    let mut sum = acc.iter().sum::<f64>();
+
+    /// `acc[i] += |a[i] - b[i]|` over one block.
+    #[inline(always)]
+    pub(super) fn abs_diff_acc(acc: &mut [f64; LANES], a: &[f64; LANES], b: &[f64; LANES]) {
+        for i in 0..LANES {
+            acc[i] += (a[i] - b[i]).abs();
+        }
+    }
+
+    /// `acc[i] += |a[i] + b[i]|` over one block.
+    #[inline(always)]
+    pub(super) fn abs_sum_acc(acc: &mut [f64; LANES], a: &[f64; LANES], b: &[f64; LANES]) {
+        for i in 0..LANES {
+            acc[i] += (a[i] + b[i]).abs();
+        }
+    }
+
+    /// `acc[i] += |q[i] + sign·e[i] + c·w[i]|` over one block.
+    #[inline(always)]
+    pub(super) fn abs_combine_acc(
+        acc: &mut [f64; LANES],
+        q: &[f64; LANES],
+        e: &[f64; LANES],
+        w: &[f64; LANES],
+        sign: f64,
+        c: f64,
+    ) {
+        for i in 0..LANES {
+            acc[i] += (q[i] + sign * e[i] + c * w[i]).abs();
+        }
+    }
+
+    /// Horizontal sum of two accumulator blocks, lanes folded in ascending
+    /// index order (block 0 first) — the deterministic reduction the kernels'
+    /// bit-reproducibility contract depends on.
+    #[inline(always)]
+    pub(super) fn hsum(acc0: &[f64; LANES], acc1: &[f64; LANES]) -> f64 {
+        acc0.iter().chain(acc1.iter()).sum()
+    }
+}
+
+/// Dot product `x · y`.
+///
+/// Two explicit 8-lane blocks per iteration (sixteen independent accumulator
+/// lanes); this is the innermost kernel of the batched candidate-scoring
+/// fast path and of the TransR projection fill.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut xc = x.chunks_exact(2 * LANES);
+    let mut yc = y.chunks_exact(2 * LANES);
+    let mut acc0 = [0.0f64; LANES];
+    let mut acc1 = [0.0f64; LANES];
+    for (a, b) in (&mut xc).zip(&mut yc) {
+        lanes::mul_acc(
+            &mut acc0,
+            lanes::block(&a[..LANES]),
+            lanes::block(&b[..LANES]),
+        );
+        lanes::mul_acc(
+            &mut acc1,
+            lanes::block(&a[LANES..]),
+            lanes::block(&b[LANES..]),
+        );
+    }
+    let mut sum = lanes::hsum(&acc0, &acc1);
     for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
         sum += a * b;
     }
@@ -84,23 +168,62 @@ pub fn l2_norm(x: &[f64]) -> f64 {
 /// L1 distance `‖x − y‖₁`.
 ///
 /// Unrolled like [`dot`]; the per-candidate kernel of the translational
-/// models' batched scoring path.
+/// models' batched scoring path and of the warm tail-corruption path of the
+/// TransR/TransD projection cache.
 #[inline]
 pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
-    let mut xc = x.chunks_exact(16);
-    let mut yc = y.chunks_exact(16);
-    let mut acc = [0.0f64; 16];
+    let mut xc = x.chunks_exact(2 * LANES);
+    let mut yc = y.chunks_exact(2 * LANES);
+    let mut acc0 = [0.0f64; LANES];
+    let mut acc1 = [0.0f64; LANES];
     for (a, b) in (&mut xc).zip(&mut yc) {
-        let a: &[f64; 16] = a.try_into().expect("exact chunk");
-        let b: &[f64; 16] = b.try_into().expect("exact chunk");
-        for i in 0..16 {
-            acc[i] += (a[i] - b[i]).abs();
-        }
+        lanes::abs_diff_acc(
+            &mut acc0,
+            lanes::block(&a[..LANES]),
+            lanes::block(&b[..LANES]),
+        );
+        lanes::abs_diff_acc(
+            &mut acc1,
+            lanes::block(&a[LANES..]),
+            lanes::block(&b[LANES..]),
+        );
     }
-    let mut sum = acc.iter().sum::<f64>();
+    let mut sum = lanes::hsum(&acc0, &acc1);
     for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
         sum += (a - b).abs();
+    }
+    sum
+}
+
+/// Translational sum norm `Σᵢ |x_i + y_i|`.
+///
+/// The head-corruption dual of [`l1_distance`]: with a cached projection
+/// `p = M_r·e` (or TransD's `e + (w_e·e)·w_r`) and a precomputed query
+/// `q = r − M_r·t`, a candidate head scores `−Σᵢ |p_i + q_i|`. Same explicit
+/// 8-lane block layout as the other kernels.
+#[inline]
+pub fn l1_sum(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut xc = x.chunks_exact(2 * LANES);
+    let mut yc = y.chunks_exact(2 * LANES);
+    let mut acc0 = [0.0f64; LANES];
+    let mut acc1 = [0.0f64; LANES];
+    for (a, b) in (&mut xc).zip(&mut yc) {
+        lanes::abs_sum_acc(
+            &mut acc0,
+            lanes::block(&a[..LANES]),
+            lanes::block(&b[..LANES]),
+        );
+        lanes::abs_sum_acc(
+            &mut acc1,
+            lanes::block(&a[LANES..]),
+            lanes::block(&b[LANES..]),
+        );
+    }
+    let mut sum = lanes::hsum(&acc0, &acc1);
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        sum += (a + b).abs();
     }
     sum
 }
@@ -116,19 +239,30 @@ pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
 pub fn l1_combine(q: &[f64], e: &[f64], w: &[f64], sign: f64, c: f64) -> f64 {
     debug_assert_eq!(q.len(), e.len());
     debug_assert_eq!(q.len(), w.len());
-    let mut qc = q.chunks_exact(16);
-    let mut ec = e.chunks_exact(16);
-    let mut wc = w.chunks_exact(16);
-    let mut acc = [0.0f64; 16];
+    let mut qc = q.chunks_exact(2 * LANES);
+    let mut ec = e.chunks_exact(2 * LANES);
+    let mut wc = w.chunks_exact(2 * LANES);
+    let mut acc0 = [0.0f64; LANES];
+    let mut acc1 = [0.0f64; LANES];
     for ((a, b), ww) in (&mut qc).zip(&mut ec).zip(&mut wc) {
-        let a: &[f64; 16] = a.try_into().expect("exact chunk");
-        let b: &[f64; 16] = b.try_into().expect("exact chunk");
-        let ww: &[f64; 16] = ww.try_into().expect("exact chunk");
-        for i in 0..16 {
-            acc[i] += (a[i] + sign * b[i] + c * ww[i]).abs();
-        }
+        lanes::abs_combine_acc(
+            &mut acc0,
+            lanes::block(&a[..LANES]),
+            lanes::block(&b[..LANES]),
+            lanes::block(&ww[..LANES]),
+            sign,
+            c,
+        );
+        lanes::abs_combine_acc(
+            &mut acc1,
+            lanes::block(&a[LANES..]),
+            lanes::block(&b[LANES..]),
+            lanes::block(&ww[LANES..]),
+            sign,
+            c,
+        );
     }
-    let mut sum = acc.iter().sum::<f64>();
+    let mut sum = lanes::hsum(&acc0, &acc1);
     for ((a, b), ww) in qc
         .remainder()
         .iter()
@@ -249,6 +383,37 @@ mod tests {
     fn distances_on_known_vectors() {
         assert!((l1_distance(&[1.0, 1.0], &[4.0, -3.0]) - 7.0).abs() < 1e-12);
         assert!((l2_distance(&[1.0, 1.0], &[4.0, 5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_sum_on_known_vectors() {
+        assert!((l1_sum(&[1.0, -1.0], &[2.0, -3.0]) - 7.0).abs() < 1e-12);
+        // l1_sum(x, -y) == l1_distance(x, y) on a remainder-exercising length
+        let x: Vec<f64> = (0..37).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let y: Vec<f64> = (0..37).map(|i| (i as f64) * -0.11 + 2.0).collect();
+        let neg_y: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((l1_sum(&x, &neg_y) - l1_distance(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_cover_block_and_remainder_lengths() {
+        // 0 | <8 | =8 | 8..16 | =16 | 16..32 | =32 | >32: every chunking path.
+        for len in [0usize, 3, 8, 11, 16, 23, 32, 41] {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+            let y: Vec<f64> = (0..len).map(|i| (i as f64).cos()).collect();
+            let dot_ref: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot(&x, &y) - dot_ref).abs() < 1e-12, "dot at len {len}");
+            let l1_ref: f64 = x.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum();
+            assert!(
+                (l1_distance(&x, &y) - l1_ref).abs() < 1e-12,
+                "l1_distance at len {len}"
+            );
+            let sum_ref: f64 = x.iter().zip(&y).map(|(a, b)| (a + b).abs()).sum();
+            assert!(
+                (l1_sum(&x, &y) - sum_ref).abs() < 1e-12,
+                "l1_sum at len {len}"
+            );
+        }
     }
 
     #[test]

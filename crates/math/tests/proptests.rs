@@ -113,4 +113,60 @@ proptest! {
         prop_assert!(s.mean() <= s.max() + 1e-9);
         prop_assert!(s.variance() >= 0.0);
     }
+
+    // ---- 8-lane kernel equivalence vs the scalar reference -----------------
+    //
+    // The unrolled kernels reassociate the reduction (16 accumulator lanes
+    // folded in ascending order, then a sequential tail); on embedding-scale
+    // operands they must agree with the naive left-to-right scalar loop to
+    // 1e-12. Lengths 0..96 cover every chunking path: empty, sub-block,
+    // exact blocks and remainders.
+
+    #[test]
+    fn dot_matches_the_scalar_reference(
+        pairs in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 0..96),
+    ) {
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let reference: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        prop_assert!((dot(&x, &y) - reference).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn l1_distance_matches_the_scalar_reference(
+        pairs in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 0..96),
+    ) {
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let reference: f64 = x.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum();
+        prop_assert!((l1_distance(&x, &y) - reference).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn l1_sum_matches_the_scalar_reference(
+        pairs in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 0..96),
+    ) {
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let reference: f64 = x.iter().zip(&y).map(|(a, b)| (a + b).abs()).sum();
+        prop_assert!((l1_sum(&x, &y) - reference).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn l1_combine_matches_the_scalar_reference(
+        triples in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 0..96),
+        head_side in any::<bool>(),
+        c in -2.0f64..2.0,
+    ) {
+        let sign = if head_side { 1.0 } else { -1.0 };
+        let mut q = Vec::new();
+        let mut e = Vec::new();
+        let mut w = Vec::new();
+        for (a, b, ww) in triples {
+            q.push(a);
+            e.push(b);
+            w.push(ww);
+        }
+        let reference: f64 = (0..q.len())
+            .map(|i| (q[i] + sign * e[i] + c * w[i]).abs())
+            .sum();
+        prop_assert!((l1_combine(&q, &e, &w, sign, c) - reference).abs() <= 1e-12);
+    }
 }

@@ -10,12 +10,26 @@ use serde::{Deserialize, Serialize};
 ///
 /// This is the only parameter container in the workspace; optimizers address
 /// parameters as `(table, row)` pairs and mutate rows in place.
+///
+/// # Versioning
+///
+/// The table carries a monotone [`version`](Self::version) counter, bumped on
+/// every mutable data access (`row_mut`, `data_mut` and everything built on
+/// them). Derived caches — the TransR/TransD relation-projection cache in
+/// `projcache` — stamp their entries with the versions of the tables they
+/// were computed from and treat any mismatch as an invalidation, so a cache
+/// can never serve values from before an optimizer step. The counter is
+/// deliberately coarse (any mutation invalidates everything derived from the
+/// table): precision would need per-row dirty tracking on the optimizer's
+/// hottest write path, while the coarse bump is a single integer increment
+/// and still leaves batches, and the whole of evaluation, fully warm.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EmbeddingTable {
     name: String,
     rows: usize,
     dim: usize,
     data: Vec<f64>,
+    version: u64,
 }
 
 impl EmbeddingTable {
@@ -27,6 +41,7 @@ impl EmbeddingTable {
             rows,
             dim,
             data: vec![0.0; rows * dim],
+            version: 1,
         }
     }
 
@@ -48,6 +63,7 @@ impl EmbeddingTable {
             rows,
             dim,
             data,
+            version: 1,
         }
     }
 
@@ -73,9 +89,18 @@ impl EmbeddingTable {
         &self.data[start..start + self.dim]
     }
 
-    /// Mutably borrow row `i`.
+    /// Data version: starts at 1 and increases on every mutable data access.
+    /// Caches derived from this table compare against it to detect staleness
+    /// (see the struct-level docs).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Mutably borrow row `i` (bumps the version).
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        self.version += 1;
         let start = i * self.dim;
         &mut self.data[start..start + self.dim]
     }
@@ -101,8 +126,9 @@ impl EmbeddingTable {
         &self.data
     }
 
-    /// Mutable backing buffer (row-major).
+    /// Mutable backing buffer, row-major (bumps the version).
     pub fn data_mut(&mut self) -> &mut [f64] {
+        self.version += 1;
         &mut self.data
     }
 
@@ -194,6 +220,32 @@ mod tests {
             (p.row_norm(1) - 0.5).abs() < 1e-12,
             "small rows are untouched"
         );
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutable_access() {
+        let mut t = EmbeddingTable::zeros("v", 2, 3);
+        let v0 = t.version();
+        assert!(
+            v0 >= 1,
+            "versions start positive so a zero stamp never matches"
+        );
+        t.row_mut(0)[0] = 1.0;
+        let v1 = t.version();
+        assert!(v1 > v0);
+        t.set_row(1, &[1.0, 2.0, 3.0]);
+        let v2 = t.version();
+        assert!(v2 > v1);
+        t.data_mut()[0] = 2.0;
+        assert!(t.version() > v2);
+        t.project_row(0);
+        assert!(t.version() > v2, "constraint application also invalidates");
+        // Read-only access never moves the version.
+        let frozen = t.version();
+        let _ = t.row(0);
+        let _ = t.data();
+        let _ = t.rows_iter().count();
+        assert_eq!(t.version(), frozen);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * `score_candidates` / `score_all_into` — the batched candidate-scoring
 //!   fast path: query-side work is computed once per call and each candidate
 //!   then costs one fused, allocation-free pass over the dimension (see the
-//!   [`batch`] module docs for the invariants);
+//!   [`batch`] module docs for the invariants). The projection models
+//!   (TransR, TransD) additionally memoise their per-`(relation, entity)`
+//!   projections in the generation-stamped [`projcache`], turning the
+//!   per-candidate cost from `O(d²)` into a warm `O(d)` lookup;
 //! * `accumulate_score_gradient` — adds `coeff · ∂score/∂θ` into a sparse
 //!   [`GradientBuffer`], which the optimizers in `nscaching-optim` consume;
 //! * parameter access as a list of [`EmbeddingTable`]s so that optimizers and
@@ -28,6 +31,7 @@ pub mod embedding;
 pub mod factory;
 pub mod gradient;
 pub mod loss;
+pub mod projcache;
 pub mod regularizer;
 pub mod rescal;
 pub mod scorer;

@@ -1,0 +1,375 @@
+//! Epoch-scoped relation-projection cache for the matrix/vector-projection
+//! models (TransR, TransD).
+//!
+//! TransR's candidate kernel needs `M_r·e` for every candidate entity `e` —
+//! a dense `O(d²)` matrix-vector product that defeats the batched fast path's
+//! "one cheap pass per candidate" economics. But within an epoch the same
+//! `(relation, entity)` pairs are projected over and over: the NSCaching
+//! sampler re-scores its cache residents on every positive sharing a
+//! relation, and the link-prediction ranker projects the whole entity table
+//! once per test triple. This module memoises those projections per thread:
+//!
+//! * **Keying.** Entries are keyed by `(model instance, relation)`; each
+//!   entry holds one projected vector slot per entity plus a per-entity
+//!   stamp. Model instances are identified by an id drawn from a global
+//!   counter ([`next_projection_model_id`]) so two models can never alias
+//!   each other's projections (model clones take a fresh id).
+//! * **Invalidation.** Every entry records the *combined version* of the
+//!   source [`EmbeddingTable`]s it was computed from (the sum of their
+//!   monotone version counters — any table mutation strictly increases it).
+//!   A per-entity slot is warm iff its stamp equals the entry's version and
+//!   the entry's version equals the tables' current combined version;
+//!   bumping the version therefore lazily invalidates every slot in `O(1)`,
+//!   with no clearing pass. During training this makes the cache
+//!   batch-scoped (the optimizer step touches the tables), during
+//!   evaluation it is effectively immortal.
+//! * **Value transparency.** Cold slots are filled with exactly the
+//!   arithmetic a cache-less implementation would use, and scoring always
+//!   reads the slot, so results are bit-for-bit independent of the cache's
+//!   warm/cold history — a requirement for the trainer's reproducibility
+//!   contract.
+//! * **Thread locality.** The map is thread-local: the sharded trainer's
+//!   workers each warm their own projections without locks, mirroring the
+//!   query-scratch design in [`crate::batch`]. Nesting
+//!   [`with_projection_cache`] calls on one thread is not supported (and
+//!   never happens — model kernels do not call back into batched scoring).
+//! * **Memory bound.** A soft per-thread budget caps the resident entries;
+//!   exceeding it evicts other models' (possibly dead) entries first, then
+//!   the inserting model's own entries in deterministic key order until the
+//!   newcomer fits — no LRU tracking, and transparent by the point above.
+//!
+//! [`EmbeddingTable`]: crate::embedding::EmbeddingTable
+
+use nscaching_kg::{CorruptionSide, EntityId};
+use nscaching_math::vecops::{l1_distance, l1_sum};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Soft per-thread budget for cached projections (64 MiB). One entry costs
+/// `num_entities · (dim + 1) · 8` bytes, so at FB15K-bench scale
+/// (1.5k entities, d = 64) every relation of the synthetic benchmarks fits.
+const MAX_BYTES_PER_THREAD: usize = 64 << 20;
+
+static NEXT_MODEL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Draw a process-unique model id for projection-cache keying. Called once
+/// per model construction *and* once per clone.
+pub fn next_projection_model_id() -> u64 {
+    NEXT_MODEL_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One relation's projected-entity table: a `num_entities × dim` slot matrix
+/// plus per-entity warmth stamps.
+#[derive(Debug)]
+pub struct ProjectionEntry {
+    /// Combined source-table version the warm slots were computed at.
+    version: u64,
+    dim: usize,
+    /// `stamps[e] == version` ⇔ slot `e` is warm. Slots start at 0, which
+    /// never matches (table versions start at 1, so `version ≥ 1`).
+    stamps: Vec<u64>,
+    /// Row-major projected vectors, one `dim`-slot per entity.
+    data: Vec<f64>,
+}
+
+impl ProjectionEntry {
+    fn new(num_entities: usize, dim: usize, version: u64) -> Self {
+        debug_assert!(version > 0, "table versions start at 1");
+        Self {
+            version,
+            dim,
+            stamps: vec![0; num_entities],
+            data: vec![0.0; num_entities * dim],
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        (self.stamps.len() + self.data.len()) * std::mem::size_of::<f64>()
+    }
+
+    /// Whether `entity`'s projection is valid at the entry's version.
+    #[inline]
+    pub fn is_warm(&self, entity: usize) -> bool {
+        self.stamps[entity] == self.version
+    }
+
+    /// The cached projection of `entity`. Must only be called on warm slots.
+    #[inline]
+    pub fn row(&self, entity: usize) -> &[f64] {
+        debug_assert!(self.is_warm(entity), "reading a cold projection slot");
+        &self.data[entity * self.dim..(entity + 1) * self.dim]
+    }
+
+    /// Mutable view of `entity`'s slot for filling. The slot stays cold
+    /// until [`mark_warm`](Self::mark_warm) — fillers that write a slot over
+    /// several passes (the blocked `M_r`-panel fill) stamp once at the end.
+    #[inline]
+    pub fn slot_mut(&mut self, entity: usize) -> &mut [f64] {
+        &mut self.data[entity * self.dim..(entity + 1) * self.dim]
+    }
+
+    /// Stamp `entity`'s slot warm at the entry's version.
+    #[inline]
+    pub fn mark_warm(&mut self, entity: usize) {
+        self.stamps[entity] = self.version;
+    }
+
+    /// Score warm candidates against a precomputed query context with the
+    /// translational L1 form shared by TransR and TransD: a candidate with
+    /// projection `p` scores `−‖q − p‖₁` under tail corruption and
+    /// `−Σᵢ |p_i + q_i|` under head corruption. Appends one score per
+    /// entity to `out`, in iteration order; every entity must be warm.
+    #[inline]
+    pub fn score_translational_into(
+        &self,
+        side: CorruptionSide,
+        q: &[f64],
+        entities: impl IntoIterator<Item = usize>,
+        out: &mut Vec<f64>,
+    ) {
+        for e in entities {
+            let p = self.row(e);
+            out.push(match side {
+                CorruptionSide::Tail => -l1_distance(q, p),
+                CorruptionSide::Head => -l1_sum(p, q),
+            });
+        }
+    }
+}
+
+/// Build the query context from the query side's warm projection `p` and the
+/// relation embedding `r`: `q = p + r` for tail corruption, `q = r − p` for
+/// head corruption — the combination both TransR (`p = M_r·e`) and TransD
+/// (`p = e⊥`) use.
+#[inline]
+pub fn query_from_projection(side: CorruptionSide, p: &[f64], r: &[f64], q: &mut [f64]) {
+    match side {
+        CorruptionSide::Tail => {
+            for i in 0..q.len() {
+                q[i] = p[i] + r[i];
+            }
+        }
+        CorruptionSide::Head => {
+            for i in 0..q.len() {
+                q[i] = r[i] - p[i];
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct ThreadCache {
+    entries: HashMap<(u64, u32), ProjectionEntry>,
+    bytes: usize,
+}
+
+/// Make room for an `incoming` -byte entry of `model` under `budget`.
+///
+/// Model ids are never reused, so other models' entries are either dead (the
+/// model was dropped — its projections can never be read again) or will
+/// lazily refill; they go first. If the inserting model's own entries still
+/// bust the budget, they are evicted one at a time in ascending key order
+/// until the new entry fits — so a working set one entry over budget sheds
+/// exactly one relation instead of the whole map, and the surviving entries
+/// keep their allocations warm. Eviction order is deterministic (sorted
+/// keys, no map-iteration-order dependence) and harmless for correctness
+/// because the cache is value-transparent. A single entry larger than the
+/// whole budget is still admitted (the cache would be useless otherwise);
+/// it just evicts everything else.
+fn evict_for(cache: &mut ThreadCache, model: u64, incoming: usize, budget: usize) {
+    if cache.bytes + incoming <= budget || cache.entries.is_empty() {
+        return;
+    }
+    let mut freed = 0usize;
+    cache.entries.retain(|&(owner, _), entry| {
+        if owner == model {
+            true
+        } else {
+            freed += entry.bytes();
+            false
+        }
+    });
+    cache.bytes -= freed;
+    if cache.bytes + incoming > budget {
+        let mut keys: Vec<(u64, u32)> = cache.entries.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            if cache.bytes + incoming <= budget {
+                break;
+            }
+            if let Some(entry) = cache.entries.remove(&key) {
+                cache.bytes -= entry.bytes();
+            }
+        }
+    }
+}
+
+thread_local! {
+    static PROJECTIONS: RefCell<ThreadCache> = RefCell::new(ThreadCache::default());
+}
+
+/// Run `f` with the projection entry for `(model, relation)` and a cleared
+/// cold-candidate scratch list.
+///
+/// The entry is created on first use and lazily invalidated whenever
+/// `version` (the combined version of the source tables) moves; `f` receives
+/// it with whatever slots are still warm plus a reusable `Vec<EntityId>` for
+/// collecting the candidates that need filling.
+pub fn with_projection_cache<R>(
+    model: u64,
+    relation: u32,
+    num_entities: usize,
+    dim: usize,
+    version: u64,
+    f: impl FnOnce(&mut ProjectionEntry, &mut Vec<EntityId>) -> R,
+) -> R {
+    PROJECTIONS.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        let key = (model, relation);
+        if let Some(entry) = cache.entries.get(&key) {
+            // Geometry can only change if a distinct model re-used an id,
+            // which next_projection_model_id rules out — but a debug check
+            // is cheap insurance against future constructors forgetting it.
+            debug_assert_eq!(entry.dim, dim, "projection entry dim changed");
+            debug_assert_eq!(
+                entry.stamps.len(),
+                num_entities,
+                "projection entry entity count changed"
+            );
+        } else {
+            let entry = ProjectionEntry::new(num_entities, dim, version);
+            let bytes = entry.bytes();
+            evict_for(&mut cache, model, bytes, MAX_BYTES_PER_THREAD);
+            cache.bytes += bytes;
+            cache.entries.insert(key, entry);
+        }
+        let cache = &mut *cache;
+        let entry = cache.entries.get_mut(&key).expect("entry just ensured");
+        if entry.version != version {
+            // Source tables moved: adopting the new version orphans every
+            // old stamp (versions are strictly increasing), no clearing pass.
+            entry.version = version;
+        }
+        COLD_SCRATCH.with(|scratch| {
+            let mut cold = scratch.borrow_mut();
+            cold.clear();
+            f(entry, &mut cold)
+        })
+    })
+}
+
+thread_local! {
+    static COLD_SCRATCH: RefCell<Vec<EntityId>> = const { RefCell::new(Vec::new()) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_start_cold_and_warm_after_marking() {
+        let model = next_projection_model_id();
+        with_projection_cache(model, 0, 4, 2, 7, |entry, cold| {
+            assert!(cold.is_empty());
+            assert!(!entry.is_warm(2));
+            entry.slot_mut(2).copy_from_slice(&[1.0, 2.0]);
+            assert!(!entry.is_warm(2), "filling does not stamp");
+            entry.mark_warm(2);
+            assert!(entry.is_warm(2));
+            assert_eq!(entry.row(2), &[1.0, 2.0]);
+        });
+        // Same version: the slot survives the round trip.
+        with_projection_cache(model, 0, 4, 2, 7, |entry, _| {
+            assert!(entry.is_warm(2));
+            assert_eq!(entry.row(2), &[1.0, 2.0]);
+        });
+    }
+
+    #[test]
+    fn version_bump_invalidates_without_clearing() {
+        let model = next_projection_model_id();
+        with_projection_cache(model, 3, 3, 2, 10, |entry, _| {
+            entry.slot_mut(1).copy_from_slice(&[5.0, 6.0]);
+            entry.mark_warm(1);
+        });
+        with_projection_cache(model, 3, 3, 2, 11, |entry, _| {
+            assert!(!entry.is_warm(1), "new version orphans old stamps");
+            entry.slot_mut(1).copy_from_slice(&[7.0, 8.0]);
+            entry.mark_warm(1);
+            assert_eq!(entry.row(1), &[7.0, 8.0]);
+        });
+    }
+
+    #[test]
+    fn models_and_relations_do_not_alias() {
+        let a = next_projection_model_id();
+        let b = next_projection_model_id();
+        with_projection_cache(a, 0, 2, 1, 3, |entry, _| {
+            entry.slot_mut(0)[0] = 1.0;
+            entry.mark_warm(0);
+        });
+        with_projection_cache(b, 0, 2, 1, 3, |entry, _| {
+            assert!(!entry.is_warm(0), "other model's entry must be cold");
+        });
+        with_projection_cache(a, 1, 2, 1, 3, |entry, _| {
+            assert!(!entry.is_warm(0), "other relation's entry must be cold");
+        });
+        with_projection_cache(a, 0, 2, 1, 3, |entry, _| {
+            assert!(entry.is_warm(0));
+        });
+    }
+
+    #[test]
+    fn model_ids_are_unique() {
+        let a = next_projection_model_id();
+        let b = next_projection_model_id();
+        assert_ne!(a, b);
+        assert!(b > 0);
+    }
+
+    #[test]
+    fn eviction_drops_other_models_before_the_live_one() {
+        let live = next_projection_model_id();
+        let dead = next_projection_model_id();
+        let mut cache = ThreadCache::default();
+        for relation in 0..3u32 {
+            let entry = ProjectionEntry::new(4, 2, 5); // 96 bytes each
+            cache.bytes += entry.bytes();
+            cache.entries.insert((dead, relation), entry);
+        }
+        let own = ProjectionEntry::new(4, 2, 5);
+        cache.bytes += own.bytes();
+        cache.entries.insert((live, 0), own);
+
+        // Budget forces eviction; the dead model's entries go, ours stays.
+        evict_for(&mut cache, live, 96, 2 * 96);
+        assert_eq!(cache.entries.len(), 1);
+        assert!(cache.entries.contains_key(&(live, 0)));
+        assert_eq!(cache.bytes, 96);
+
+        // If the live model alone busts the budget, everything goes.
+        evict_for(&mut cache, live, 96, 96);
+        assert!(cache.entries.is_empty());
+        assert_eq!(cache.bytes, 0);
+    }
+
+    #[test]
+    fn live_model_eviction_sheds_only_enough_entries() {
+        let live = next_projection_model_id();
+        let mut cache = ThreadCache::default();
+        for relation in 0..3u32 {
+            let entry = ProjectionEntry::new(4, 2, 5); // 96 bytes each
+            cache.bytes += entry.bytes();
+            cache.entries.insert((live, relation), entry);
+        }
+        // 288 resident + 96 incoming over a 288 budget: exactly one entry
+        // must go, and it is the lowest-keyed one (deterministic order).
+        evict_for(&mut cache, live, 96, 3 * 96);
+        assert_eq!(cache.entries.len(), 2);
+        assert!(!cache.entries.contains_key(&(live, 0)));
+        assert!(cache.entries.contains_key(&(live, 1)));
+        assert!(cache.entries.contains_key(&(live, 2)));
+        assert_eq!(cache.bytes, 2 * 96);
+    }
+}

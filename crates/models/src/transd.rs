@@ -5,10 +5,20 @@
 //! This is the dynamic-mapping-matrix model `M_rh = w_r w_hᵀ + I` specialised
 //! to equal entity/relation dimensions, which is the configuration the paper
 //! (and the original TransD code) uses.
+//!
+//! Batched scoring memoises the projected entity `e⊥ = e + (w_e·e)·w_r` per
+//! `(relation, entity)` in [`crate::projcache`] under the same
+//! generation-stamped invalidation contract as TransR (see the module docs
+//! in [`crate::transr`]): the entry version is the sum of the entity,
+//! entity-projection and relation-projection table versions, so any
+//! parameter update lazily invalidates every cached vector.
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
+use crate::projcache::{
+    next_projection_model_id, query_from_projection, with_projection_cache, ProjectionEntry,
+};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::{dot, l1_combine, signum};
@@ -20,13 +30,30 @@ pub const ENTITY_PROJ_TABLE: TableId = 2;
 pub const RELATION_PROJ_TABLE: TableId = 3;
 
 /// TransD with L1 dissimilarity.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransD {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
     entity_proj: EmbeddingTable,
     relation_proj: EmbeddingTable,
     dim: usize,
+    /// Projection-cache identity; unique per instance (clones re-draw it).
+    cache_id: u64,
+}
+
+impl Clone for TransD {
+    fn clone(&self) -> Self {
+        Self {
+            entities: self.entities.clone(),
+            relations: self.relations.clone(),
+            entity_proj: self.entity_proj.clone(),
+            relation_proj: self.relation_proj.clone(),
+            dim: self.dim,
+            // A clone diverges from the original on its first update, so it
+            // must never share cached projections with it.
+            cache_id: next_projection_model_id(),
+        }
+    }
 }
 
 impl TransD {
@@ -43,6 +70,7 @@ impl TransD {
             entity_proj: EmbeddingTable::xavier("entity_proj", num_entities, dim, rng),
             relation_proj: EmbeddingTable::xavier("relation_proj", num_relations, dim, rng),
             dim,
+            cache_id: next_projection_model_id(),
         };
         for i in 0..num_entities {
             model.entities.project_row(i);
@@ -96,10 +124,11 @@ impl TransD {
         }
     }
 
-    /// Fused per-candidate kernel: one dot with the candidate's projection
-    /// vector, then one vectorised residual pass.
+    /// Fused per-candidate kernel of the uncached reference path: one dot
+    /// with the candidate's projection vector, then one vectorised residual
+    /// pass.
     #[inline]
-    fn candidate_score(
+    fn candidate_score_uncached(
         q: &[f64],
         wr: &[f64],
         row: &[f64],
@@ -111,6 +140,50 @@ impl TransD {
             CorruptionSide::Tail => -l1_combine(q, row, wr, -1.0, -s),
             CorruptionSide::Head => -l1_combine(q, row, wr, 1.0, s),
         }
+    }
+
+    /// Combined source-table version the projection cache stamps against.
+    /// The relation-embedding table is excluded on purpose: `r` enters the
+    /// query side only, never the cached `e⊥`.
+    #[inline]
+    fn projection_version(&self) -> u64 {
+        self.entities.version() + self.entity_proj.version() + self.relation_proj.version()
+    }
+
+    /// Fill every cold slot listed in `cold` with `e⊥ = e + (w_e·e)·w_r`.
+    fn fill_cold_projections(&self, wr: &[f64], cold: &[EntityId], entry: &mut ProjectionEntry) {
+        for &e in cold {
+            let row = self.entities.row(e as usize);
+            let proj = self.entity_proj.row(e as usize);
+            let s = dot(proj, row);
+            let slot = entry.slot_mut(e as usize);
+            for i in 0..slot.len() {
+                slot[i] = row[i] + s * wr[i];
+            }
+            entry.mark_warm(e as usize);
+        }
+    }
+
+    /// The retired fused batched path, kept as the equivalence oracle for
+    /// the projection cache's tests.
+    pub fn score_candidates_uncached(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        let wr = self.relation_proj.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                let row = self.entities.row(e as usize);
+                let proj = self.entity_proj.row(e as usize);
+                out.push(Self::candidate_score_uncached(q, wr, row, proj, side));
+            }
+        });
     }
 }
 
@@ -151,25 +224,65 @@ impl KgeModel for TransD {
         out.clear();
         out.reserve(candidates.len());
         let wr = self.relation_proj.row(t.relation as usize);
+        let query_entity = match side {
+            CorruptionSide::Tail => t.head,
+            CorruptionSide::Head => t.tail,
+        };
         with_query_scratch(self.dim, |q| {
-            self.fill_query(t, side, q);
-            for &e in candidates {
-                let row = self.entities.row(e as usize);
-                let proj = self.entity_proj.row(e as usize);
-                out.push(Self::candidate_score(q, wr, row, proj, side));
-            }
+            with_projection_cache(
+                self.cache_id,
+                t.relation,
+                self.entities.rows(),
+                self.dim,
+                self.projection_version(),
+                |entry, cold| {
+                    if !entry.is_warm(query_entity as usize) {
+                        cold.push(query_entity);
+                    }
+                    cold.extend(
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&e| !entry.is_warm(e as usize)),
+                    );
+                    self.fill_cold_projections(wr, cold, entry);
+                    let r = self.relations.row(t.relation as usize);
+                    query_from_projection(side, entry.row(query_entity as usize), r, q);
+                    entry.score_translational_into(
+                        side,
+                        q,
+                        candidates.iter().map(|&e| e as usize),
+                        out,
+                    );
+                },
+            );
         });
     }
 
     fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
         out.clear();
-        out.reserve(self.entities.rows());
+        let n = self.entities.rows();
+        out.reserve(n);
         let wr = self.relation_proj.row(t.relation as usize);
+        let query_entity = match side {
+            CorruptionSide::Tail => t.head,
+            CorruptionSide::Head => t.tail,
+        };
         with_query_scratch(self.dim, |q| {
-            self.fill_query(t, side, q);
-            for (row, proj) in self.entities.rows_iter().zip(self.entity_proj.rows_iter()) {
-                out.push(Self::candidate_score(q, wr, row, proj, side));
-            }
+            with_projection_cache(
+                self.cache_id,
+                t.relation,
+                n,
+                self.dim,
+                self.projection_version(),
+                |entry, cold| {
+                    cold.extend((0..n as EntityId).filter(|&e| !entry.is_warm(e as usize)));
+                    self.fill_cold_projections(wr, cold, entry);
+                    let r = self.relations.row(t.relation as usize);
+                    query_from_projection(side, entry.row(query_entity as usize), r, q);
+                    entry.score_translational_into(side, q, 0..n, out);
+                },
+            );
         });
     }
 
@@ -307,5 +420,52 @@ mod tests {
     #[test]
     fn kind_is_transd() {
         assert_eq!(tiny_model().kind(), ModelKind::TransD);
+    }
+
+    #[test]
+    fn cached_scoring_matches_the_uncached_reference() {
+        let m = tiny_model();
+        let candidates: Vec<u32> = vec![0, 2, 2, 5, 1];
+        let mut cached = Vec::new();
+        let mut reference = Vec::new();
+        for side in [CorruptionSide::Tail, CorruptionSide::Head] {
+            for pass in 0..2 {
+                let t = Triple::new(0, 1, 3);
+                m.score_candidates(&t, side, &candidates, &mut cached);
+                m.score_candidates_uncached(&t, side, &candidates, &mut reference);
+                for (i, (c, r)) in cached.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (c - r).abs() <= 1e-12,
+                        "pass {pass} {side:?} candidate {i}: cached {c} vs uncached {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_update_invalidates_cached_projections() {
+        let mut m = tiny_model();
+        let t = Triple::new(0, 0, 1);
+        let candidates: Vec<u32> = (0..6).collect();
+        let mut before = Vec::new();
+        m.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut before);
+
+        // w_e and w_r feed the cached e⊥ but live in tables of their own —
+        // the invalidation must fire for them too, not only for entities.
+        let dim = m.dim();
+        m.tables_mut()[ENTITY_PROJ_TABLE].set_row(4, &vec![0.3; dim]);
+        m.tables_mut()[RELATION_PROJ_TABLE].set_row(0, &vec![-0.2; dim]);
+
+        let mut after = Vec::new();
+        m.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut after);
+        assert_ne!(before, after, "stale projections must not survive updates");
+        for (&e, score) in candidates.iter().zip(&after) {
+            let scalar = m.score(&t.corrupted(CorruptionSide::Tail, e));
+            assert!(
+                (score - scalar).abs() <= 1e-12,
+                "candidate {e}: cached {score} vs scalar {scalar}"
+            );
+        }
     }
 }

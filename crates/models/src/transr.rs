@@ -5,10 +5,37 @@
 //! TransR is not part of the paper's five evaluated scoring functions but is
 //! listed among the translational models in its Section II-C; it is included
 //! here as an extension and exercised by the ablation benches.
+//!
+//! # Projection cache
+//!
+//! Batched scoring goes through the relation-projection cache of
+//! [`crate::projcache`]: `M_r·e` is memoised per `(relation, entity)` on the
+//! scoring thread, so a warm candidate costs one `O(d)` L1 pass instead of
+//! the dense `O(d²)` matrix-vector product. The **invalidation contract**:
+//!
+//! * every cache entry is stamped with
+//!   `entities.version() + matrices.version()` at fill time;
+//! * both versions increase on *any* mutable access to the respective table
+//!   (optimizer steps through `row_mut`, constraint projection, `set_row`,
+//!   `data_mut`), so after an embedding update every stamp mismatches and
+//!   the next scoring call refills what it touches — there is no code path
+//!   that mutates parameters without moving a version;
+//! * cold entries are filled with exactly the arithmetic of the uncached
+//!   kernel ([`TransR::score_candidates_uncached`]), so scores are
+//!   bit-for-bit independent of warm/cold history, and the batched scores
+//!   agree with the scalar [`KgeModel::score`] within the usual `1e-12`
+//!   reassociation bound (pinned by `tests/batch_equivalence.rs`).
+//!
+//! Cold candidates are filled through a blocked `M_r`-panel loop
+//! ([`PANEL_ROWS`] matrix rows at a time across all cold candidates) so the
+//! matrix panel stays cache-resident while candidate rows stream past it.
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientBuffer, TableId};
+use crate::projcache::{
+    next_projection_model_id, query_from_projection, with_projection_cache, ProjectionEntry,
+};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::{dot, signum};
@@ -17,13 +44,33 @@ use rand::Rng;
 /// Index of the relation-matrix table (each row is a flattened `d×d` matrix).
 pub const MATRIX_TABLE: TableId = 2;
 
+/// Matrix rows per panel of the blocked cold-candidate fill: 8 rows × d
+/// doubles stay L1-resident across the entire cold-candidate sweep.
+const PANEL_ROWS: usize = 8;
+
 /// TransR with L1 dissimilarity.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransR {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
     matrices: EmbeddingTable,
     dim: usize,
+    /// Projection-cache identity; unique per instance (clones re-draw it).
+    cache_id: u64,
+}
+
+impl Clone for TransR {
+    fn clone(&self) -> Self {
+        Self {
+            entities: self.entities.clone(),
+            relations: self.relations.clone(),
+            matrices: self.matrices.clone(),
+            dim: self.dim,
+            // A clone diverges from the original on its first update, so it
+            // must never share cached projections with it.
+            cache_id: next_projection_model_id(),
+        }
+    }
 }
 
 impl TransR {
@@ -53,6 +100,7 @@ impl TransR {
             relations,
             matrices,
             dim,
+            cache_id: next_projection_model_id(),
         };
         for i in 0..num_entities {
             model.entities.project_row(i);
@@ -101,9 +149,9 @@ impl TransR {
         }
     }
 
-    /// Fused `O(d²)` per-candidate kernel.
+    /// Fused `O(d²)` per-candidate kernel of the uncached reference path.
     #[inline]
-    fn candidate_score(q: &[f64], m: &[f64], row: &[f64], side: CorruptionSide) -> f64 {
+    fn candidate_score_uncached(q: &[f64], m: &[f64], row: &[f64], side: CorruptionSide) -> f64 {
         let d = q.len();
         let mut dist = 0.0;
         match side {
@@ -119,6 +167,57 @@ impl TransR {
             }
         }
         -dist
+    }
+
+    /// Combined source-table version the projection cache stamps against.
+    #[inline]
+    fn projection_version(&self) -> u64 {
+        self.entities.version() + self.matrices.version()
+    }
+
+    /// Fill every cold slot listed in `cold` with `M_r·e`, blocked by
+    /// `M_r`-panel: the outer loop walks [`PANEL_ROWS`] matrix rows at a
+    /// time and the inner loop sweeps all cold candidates, so a panel is
+    /// loaded once per sweep instead of once per candidate. Each dot product
+    /// is exactly the uncached kernel's, keeping the cache value-transparent.
+    fn fill_cold_projections(&self, m: &[f64], cold: &[EntityId], entry: &mut ProjectionEntry) {
+        let d = self.dim;
+        for i0 in (0..d).step_by(PANEL_ROWS) {
+            let i1 = (i0 + PANEL_ROWS).min(d);
+            for &e in cold {
+                let row = self.entities.row(e as usize);
+                let slot = entry.slot_mut(e as usize);
+                for i in i0..i1 {
+                    slot[i] = dot(&m[i * d..(i + 1) * d], row);
+                }
+            }
+        }
+        for &e in cold {
+            entry.mark_warm(e as usize);
+        }
+    }
+
+    /// The retired fused batched path, kept as the measured baseline of the
+    /// `transr_projection` bench and the equivalence oracle of the projection
+    /// cache's tests: query-side projection hoisted, but every candidate
+    /// still pays the dense `O(d²)` matrix-vector product.
+    pub fn score_candidates_uncached(
+        &self,
+        t: &Triple,
+        side: CorruptionSide,
+        candidates: &[EntityId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        let m = self.matrices.row(t.relation as usize);
+        with_query_scratch(self.dim, |q| {
+            self.fill_query(t, side, q);
+            for &e in candidates {
+                let row = self.entities.row(e as usize);
+                out.push(Self::candidate_score_uncached(q, m, row, side));
+            }
+        });
     }
 }
 
@@ -153,24 +252,68 @@ impl KgeModel for TransR {
         out.clear();
         out.reserve(candidates.len());
         let m = self.matrices.row(t.relation as usize);
+        let query_entity = match side {
+            CorruptionSide::Tail => t.head,
+            CorruptionSide::Head => t.tail,
+        };
         with_query_scratch(self.dim, |q| {
-            self.fill_query(t, side, q);
-            for &e in candidates {
-                let row = self.entities.row(e as usize);
-                out.push(Self::candidate_score(q, m, row, side));
-            }
+            with_projection_cache(
+                self.cache_id,
+                t.relation,
+                self.entities.rows(),
+                self.dim,
+                self.projection_version(),
+                |entry, cold| {
+                    // One blocked fill warms the query-side entity and every
+                    // cold candidate together (duplicates just refill the
+                    // same slot with identical values).
+                    if !entry.is_warm(query_entity as usize) {
+                        cold.push(query_entity);
+                    }
+                    cold.extend(
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&e| !entry.is_warm(e as usize)),
+                    );
+                    self.fill_cold_projections(m, cold, entry);
+                    let r = self.relations.row(t.relation as usize);
+                    query_from_projection(side, entry.row(query_entity as usize), r, q);
+                    entry.score_translational_into(
+                        side,
+                        q,
+                        candidates.iter().map(|&e| e as usize),
+                        out,
+                    );
+                },
+            );
         });
     }
 
     fn score_all_into(&self, t: &Triple, side: CorruptionSide, out: &mut Vec<f64>) {
         out.clear();
-        out.reserve(self.entities.rows());
+        let n = self.entities.rows();
+        out.reserve(n);
         let m = self.matrices.row(t.relation as usize);
+        let query_entity = match side {
+            CorruptionSide::Tail => t.head,
+            CorruptionSide::Head => t.tail,
+        };
         with_query_scratch(self.dim, |q| {
-            self.fill_query(t, side, q);
-            for row in self.entities.rows_iter() {
-                out.push(Self::candidate_score(q, m, row, side));
-            }
+            with_projection_cache(
+                self.cache_id,
+                t.relation,
+                n,
+                self.dim,
+                self.projection_version(),
+                |entry, cold| {
+                    cold.extend((0..n as EntityId).filter(|&e| !entry.is_warm(e as usize)));
+                    self.fill_cold_projections(m, cold, entry);
+                    let r = self.relations.row(t.relation as usize);
+                    query_from_projection(side, entry.row(query_entity as usize), r, q);
+                    entry.score_translational_into(side, q, 0..n, out);
+                },
+            );
         });
     }
 
@@ -278,5 +421,87 @@ mod tests {
         let m = tiny_model();
         let rows = m.parameter_rows(&Triple::new(0, 1, 2));
         assert!(rows.contains(&(MATRIX_TABLE, 1)));
+    }
+
+    #[test]
+    fn cached_scoring_matches_the_uncached_reference() {
+        let m = {
+            let mut rng = seeded_rng(29);
+            TransR::new(12, 3, 7, &mut rng)
+        };
+        let candidates: Vec<u32> = vec![0, 3, 3, 11, 5, 0, 7];
+        let mut cached = Vec::new();
+        let mut reference = Vec::new();
+        for side in [CorruptionSide::Tail, CorruptionSide::Head] {
+            for pass in 0..2 {
+                let t = Triple::new(1, 2, 4);
+                m.score_candidates(&t, side, &candidates, &mut cached);
+                m.score_candidates_uncached(&t, side, &candidates, &mut reference);
+                for (i, (c, r)) in cached.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (c - r).abs() <= 1e-12,
+                        "pass {pass} {side:?} candidate {i}: cached {c} vs uncached {r}"
+                    );
+                }
+                // A warm second pass must return bit-identical scores.
+                if pass == 1 {
+                    let mut again = Vec::new();
+                    m.score_candidates(&t, side, &candidates, &mut again);
+                    assert_eq!(cached, again, "warm path must be bit-stable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_update_invalidates_cached_projections() {
+        let mut m = {
+            let mut rng = seeded_rng(31);
+            TransR::new(8, 2, 5, &mut rng)
+        };
+        let t = Triple::new(0, 1, 2);
+        let candidates: Vec<u32> = (0..8).collect();
+        let mut before = Vec::new();
+        m.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut before);
+
+        // Mutate one candidate's embedding and the relation matrix.
+        let dim = m.dim();
+        m.tables_mut()[ENTITY_TABLE].set_row(5, &vec![0.21; dim]);
+        m.tables_mut()[MATRIX_TABLE].set_row(1, &vec![0.12; dim * dim]);
+
+        let mut after = Vec::new();
+        m.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut after);
+        assert_ne!(before, after, "stale projections must not survive updates");
+        // The refreshed scores must agree with the scalar oracle.
+        for (&e, score) in candidates.iter().zip(&after) {
+            let scalar = m.score(&t.corrupted(CorruptionSide::Tail, e));
+            assert!(
+                (score - scalar).abs() <= 1e-12,
+                "candidate {e}: cached {score} vs scalar {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn clones_do_not_share_cached_projections() {
+        let m = {
+            let mut rng = seeded_rng(37);
+            TransR::new(6, 2, 4, &mut rng)
+        };
+        let t = Triple::new(0, 0, 1);
+        let candidates: Vec<u32> = (0..6).collect();
+        let mut original = Vec::new();
+        m.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut original);
+
+        // Diverge the clone; its scores must reflect its own parameters even
+        // though the original just warmed the same (relation, entity) keys.
+        let mut c = m.clone();
+        let dim = c.dim();
+        c.tables_mut()[ENTITY_TABLE].set_row(3, &vec![0.4; dim]);
+        let mut cloned = Vec::new();
+        c.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut cloned);
+        let scalar = c.score(&t.corrupted(CorruptionSide::Tail, 3));
+        assert!((cloned[3] - scalar).abs() <= 1e-12);
+        assert_ne!(original[3], cloned[3]);
     }
 }

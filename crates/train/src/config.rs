@@ -45,6 +45,41 @@ pub struct TrainConfig {
     /// honours the `NSC_SHARDS` environment variable so the CI matrix can run
     /// the whole test suite at several shard counts.
     pub shards: usize,
+    /// Which epoch engine drives the shards (see [`TrainRuntime`]).
+    pub runtime: TrainRuntime,
+}
+
+/// Which engine [`Trainer::train_epoch`](crate::Trainer::train_epoch) uses.
+///
+/// There are two *pipelines* — sequential (master RNG stream, per-positive
+/// sampler feedback: the paper-exact path) and sharded-parallel (per-shard
+/// RNG streams, batch-end feedback merge) — and each produces its own
+/// deterministic trajectory. The runtime selects the engine, and thereby
+/// which pipeline runs at `shards = 1`:
+///
+/// * the **parallel pipeline's** trajectory for a fixed `(seed, shards)` is
+///   engine-independent — the pool executes exactly what the retired
+///   `thread::scope` engine executed (asserted bit-for-bit in
+///   `tests/parallel_equivalence.rs`);
+/// * but [`Pool`](TrainRuntime::Pool) at `shards = 1` runs the *parallel*
+///   pipeline where [`Auto`](TrainRuntime::Auto) would run the *sequential*
+///   one, and those two trajectories differ. Keep `Auto` whenever the
+///   paper-exact path matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainRuntime {
+    /// `shards = 1` → the inline sequential engine (the paper-exact path);
+    /// `shards > 1` → the persistent worker-pool engine. The default.
+    Auto,
+    /// Always the inline sequential engine. Requires `shards = 1` (the
+    /// sequential engine cannot honour a sharded configuration).
+    Sequential,
+    /// Always the worker-pool engine, even at `shards = 1` — i.e. the
+    /// sharded-parallel pipeline with one shard, which draws from the
+    /// decorrelated shard streams and therefore trains a *different*
+    /// (equally valid) trajectory than `Auto`/`Sequential` at one shard.
+    /// Used by the `pool_overhead` bench to price the pool runtime against
+    /// the sequential engine on an identically-shaped workload.
+    Pool,
 }
 
 /// Default shard count: `NSC_SHARDS` when set (panicking on malformed values
@@ -81,6 +116,7 @@ impl TrainConfig {
             repeat_window: 20,
             seed: 0,
             shards: default_shards(),
+            runtime: TrainRuntime::Auto,
         }
     }
 
@@ -126,6 +162,12 @@ impl TrainConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Select the epoch engine.
+    pub fn with_runtime(mut self, runtime: TrainRuntime) -> Self {
+        self.runtime = runtime;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +190,15 @@ mod tests {
     fn shards_builder_clamps_to_one() {
         assert_eq!(TrainConfig::new(1).with_shards(4).shards, 4);
         assert_eq!(TrainConfig::new(1).with_shards(0).shards, 1);
+    }
+
+    #[test]
+    fn runtime_defaults_to_auto_and_is_settable() {
+        assert_eq!(TrainConfig::new(1).runtime, TrainRuntime::Auto);
+        assert_eq!(
+            TrainConfig::new(1).with_runtime(TrainRuntime::Pool).runtime,
+            TrainRuntime::Pool
+        );
     }
 
     #[test]

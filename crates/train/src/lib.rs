@@ -21,25 +21,52 @@
 //! merge → apply** — built on three invariants:
 //!
 //! 1. **Shard ownership.** The batch is partitioned by the positive's
-//!    `(h, r)` cache key ([`nscaching::shard_of_key`]); each of the `S`
-//!    shards owns a disjoint slice of the sampler's keyed state (NSCaching's
-//!    `H`/`T` caches, the GAN samplers' REINFORCE accumulators) plus its own
-//!    scratch buffers, so the scoped worker threads
-//!    (`std::thread::scope`, one per non-empty shard) share nothing mutable
-//!    and need no locks. The embedding model is shared read-only through the
-//!    thread-safe batched scoring API (`&self` + thread-local scratch).
+//!    `(h, r)` cache key (the sampler's `shard_of` — a load-balanced
+//!    [`nscaching::ShardPartition`] over observed key frequencies for
+//!    NSCaching, the uniform [`nscaching::shard_of_key`] hash otherwise);
+//!    each of the `S` shards owns a disjoint slice of the sampler's keyed
+//!    state (NSCaching's `H`/`T` caches, the GAN samplers' REINFORCE
+//!    accumulators) plus its own scratch buffers, so the pool workers share
+//!    nothing mutable and need no locks. The embedding model is shared
+//!    read-only through the thread-safe batched scoring API (`&self` +
+//!    thread-local scratch; the TransR/TransD projection caches are also
+//!    per-thread).
 //! 2. **RNG streams.** The master stream (seeded from
 //!    [`TrainConfig::seed`]) keeps its historical role — epoch shuffling,
 //!    and *all* sampling when `shards = 1`. Each worker draws from its own
 //!    stream seeded by SplitMix64 from `(seed, epoch, shard)`
-//!    ([`nscaching_math::split_seed`]), so a fixed `(seed, shards)` pair
-//!    replays bit-for-bit and no worker ever consumes another's draws.
-//! 3. **Reduction order.** After the workers join, per-shard gradients,
+//!    ([`nscaching_math::split_seed`] under [`trainer::SHARD_STREAM_TAG`]),
+//!    so a fixed `(seed, shards)` pair replays bit-for-bit and no worker
+//!    ever consumes another's draws.
+//! 3. **Reduction order.** After the round completes, per-shard gradients,
 //!    loss records and buffered sampler feedback are folded in **ascending
 //!    shard order** ([`nscaching_models::GradientBuffer::merge`], then the
 //!    sampler's `merge_batch`), and a single optimizer step applies the
 //!    batch — floating-point summation order is fixed, making the parallel
 //!    trajectory deterministic.
+//!
+//! ## Pool lifecycle
+//!
+//! The shard stage executes on a persistent [`WorkerPool`] owned by the
+//! [`Trainer`]:
+//!
+//! * **Spawn point.** The pool's `S` threads are spawned lazily on the first
+//!   pooled epoch and reused for the trainer's lifetime; only a change of
+//!   shard count replaces them. (PR 2 spawned a `std::thread::scope` per
+//!   mini-batch instead; the pool reclaims that spawn/join cost — see
+//!   `BENCH_pool.json` — and is bit-for-bit equivalent, asserted against a
+//!   scoped reference in `tests/parallel_equivalence.rs`.)
+//! * **Round protocol.** One pool *round* per mini-batch: the main thread
+//!   sends shard `i`'s job to worker `i` over its channel (empty shards
+//!   dispatch nothing) and then blocks until every dispatched job has sent
+//!   its completion message back — the channel pair acts as the per-batch
+//!   barrier, giving the same happens-before edges `thread::scope`'s join
+//!   provided. Between rounds the workers are parked in `recv()`.
+//! * **Shutdown.** Dropping the trainer (or resizing the pool) closes the
+//!   job channels; every worker's `recv()` errors, the thread exits, and
+//!   the pool's `Drop` joins them all. A panicking shard job is caught on
+//!   the worker, re-thrown on the main thread after the round drains, and
+//!   leaves the pool reusable. See [`pool`] for the full protocol.
 //!
 //! `shards = 1` (the default) is the sequential trainer of the paper: the
 //! single shard runs inline on the master stream with per-positive sampler
@@ -47,19 +74,27 @@
 //! `shards > 1` is an equally valid but *different* deterministic trajectory
 //! (per-shard cache ownership, batch-end REINFORCE merge), so the paper's
 //! tables and figures are always produced at `shards = 1`.
+//! [`TrainRuntime`] pins the engine explicitly when needed (e.g. the
+//! `pool_overhead` bench forces the pool at one shard). For a fixed
+//! pipeline the engine is transparent — the pool replays the retired scoped
+//! engine bit-for-bit — but forcing `Pool` at `shards = 1` selects the
+//! *parallel* pipeline (shard RNG streams), not the paper-exact sequential
+//! one; see [`TrainRuntime`] for the exact contract.
 
 pub mod batcher;
 pub mod config;
 pub mod data;
 pub mod instrument;
+pub mod pool;
 pub mod pretrain;
 pub mod snapshots;
 pub mod trainer;
 
 pub use batcher::Batcher;
-pub use config::TrainConfig;
+pub use config::{TrainConfig, TrainRuntime};
 pub use data::TrainData;
 pub use instrument::{EpochStats, RepeatTracker};
+pub use pool::WorkerPool;
 pub use pretrain::pretrain_model;
 pub use snapshots::{Snapshot, TrainingHistory};
-pub use trainer::Trainer;
+pub use trainer::{Trainer, SHARD_STREAM_TAG};

@@ -5,9 +5,10 @@
 //! parallel pipeline (shard ownership, RNG streams, reduction order).
 
 use crate::batcher::Batcher;
-use crate::config::TrainConfig;
+use crate::config::{TrainConfig, TrainRuntime};
 use crate::data::TrainData;
 use crate::instrument::{EpochAccumulator, EpochStats, RepeatTracker};
+use crate::pool::WorkerPool;
 use crate::snapshots::{Snapshot, TrainingHistory};
 use nscaching::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
@@ -22,7 +23,13 @@ use std::time::Instant;
 /// Stream tag that decorrelates the per-shard worker RNG streams from the
 /// master stream (which keeps its historical role: shuffling, and all
 /// sampling when `shards = 1`).
-const SHARD_STREAM_TAG: u64 = 0xA11E1;
+///
+/// Public because it is part of the parallel trainer's reproducibility
+/// contract: the shard-`s` stream of epoch `e` is
+/// `seeded_rng(split_seed(split_seed(seed ^ SHARD_STREAM_TAG, e), s))`, and
+/// the equivalence suite re-derives the streams from this constant to check
+/// the pool engine against an independent `thread::scope` reference.
+pub const SHARD_STREAM_TAG: u64 = 0xA11E1;
 
 /// Everything one shard worker produces for one mini-batch, buffered so the
 /// main thread can fold the results in ascending shard order. Buffers are
@@ -95,6 +102,10 @@ pub struct Trainer {
     history: TrainingHistory,
     epochs_done: usize,
     train_seconds: f64,
+    /// Persistent worker pool of the parallel engine. Spawned lazily on the
+    /// first pooled epoch, reused for the trainer's lifetime (resized only if
+    /// the shard count changes), joined on drop.
+    pool: Option<WorkerPool>,
 }
 
 impl Trainer {
@@ -138,6 +149,7 @@ impl Trainer {
             history: TrainingHistory::new(),
             epochs_done: 0,
             train_seconds: 0.0,
+            pool: None,
         }
     }
 
@@ -180,13 +192,23 @@ impl Trainer {
     /// driven inline on the master RNG stream with immediate sampler
     /// feedback, which is exactly the sequential trainer of Algorithms 1
     /// and 2 — bit-for-bit, so the paper's tables and figures are unaffected.
-    /// With `shards > 1` the shard stage runs on scoped worker threads.
+    /// With `shards > 1` the shard stage runs on the trainer's persistent
+    /// [`WorkerPool`]. [`TrainRuntime`] can pin either engine explicitly —
+    /// note that `Pool` at `shards = 1` runs the parallel pipeline (shard
+    /// RNG streams), a *different* trajectory than the sequential engine;
+    /// see [`TrainRuntime`] for the contract.
     pub fn train_epoch(&mut self) -> EpochStats {
         let shards = self.config.shards.max(1);
-        if shards == 1 {
-            self.train_epoch_sequential()
-        } else {
-            self.train_epoch_parallel(shards)
+        match self.config.runtime {
+            TrainRuntime::Sequential => {
+                assert_eq!(
+                    shards, 1,
+                    "TrainRuntime::Sequential cannot honour a sharded configuration"
+                );
+                self.train_epoch_sequential()
+            }
+            TrainRuntime::Auto if shards == 1 => self.train_epoch_sequential(),
+            TrainRuntime::Auto | TrainRuntime::Pool => self.train_epoch_parallel(shards),
         }
     }
 
@@ -258,11 +280,21 @@ impl Trainer {
     }
 
     /// The parallel pipeline: shard → parallel sample/score/grad → ordered
-    /// merge → apply.
+    /// merge → apply. The shard stage runs on the trainer's persistent
+    /// [`WorkerPool`] (shard `i` always executes on pool worker `i`), which
+    /// replaces the retired per-batch `std::thread::scope` — same work, same
+    /// RNG streams, same reduction order, so the produced trajectory is
+    /// bit-for-bit identical (asserted in `tests/parallel_equivalence.rs`),
+    /// but the threads are spawned once instead of once per mini-batch.
     fn train_epoch_parallel(&mut self, shards: usize) -> EpochStats {
         let started = Instant::now();
         let mut acc = EpochAccumulator::new();
         let mut grads = GradientBuffer::new();
+
+        if self.pool.as_ref().is_none_or(|p| p.workers() != shards) {
+            self.pool = Some(WorkerPool::new(shards));
+        }
+        let pool = self.pool.as_mut().expect("pool just ensured");
 
         self.sampler.prepare_shards(shards);
         self.batcher.shuffle(&mut self.rng);
@@ -288,27 +320,27 @@ impl Trainer {
                 tasks[self.sampler.shard_of(&positive, shards)].push(positive);
             }
 
-            // Stage 2 — parallel sample/score/grad: one scoped worker per
-            // shard, each owning its shard's sampler state, RNG stream and
-            // output buffers; the model is shared read-only through the
-            // thread-safe batched scoring API.
+            // Stage 2 — parallel sample/score/grad: one pool round per
+            // mini-batch, shard `i` on worker `i`, each job owning its
+            // shard's sampler state, RNG stream and output buffers; the
+            // model is shared read-only through the thread-safe batched
+            // scoring API. Empty shards dispatch no job and their worker
+            // stays parked.
             let model = self.model.as_ref();
             let loss = self.loss.as_ref();
             let regularizer = &self.regularizer;
             {
                 let mut workers = self.sampler.shard_workers();
                 debug_assert_eq!(workers.len(), shards, "one worker per shard");
-                std::thread::scope(|scope| {
-                    for (((worker, task), rng), out) in workers
-                        .iter_mut()
-                        .zip(&tasks)
-                        .zip(&mut shard_rngs)
-                        .zip(&mut outputs)
-                    {
-                        if task.is_empty() {
-                            continue;
-                        }
-                        scope.spawn(move || {
+                let jobs = workers
+                    .iter_mut()
+                    .zip(&tasks)
+                    .zip(&mut shard_rngs)
+                    .zip(&mut outputs)
+                    .enumerate()
+                    .filter(|(_, (((_, task), _), _))| !task.is_empty())
+                    .map(|(shard, (((worker, task), rng), out))| {
+                        let job = Box::new(move || {
                             run_shard_task(
                                 model,
                                 loss,
@@ -318,9 +350,10 @@ impl Trainer {
                                 rng,
                                 out,
                             )
-                        });
-                    }
-                });
+                        }) as Box<dyn FnOnce() + Send + '_>;
+                        (shard, job)
+                    });
+                pool.run_round(jobs);
             }
             // Workers have been dropped; fold buffered sampler feedback (GAN
             // generator REINFORCE) back in, in shard order.
@@ -604,6 +637,43 @@ mod tests {
             );
             assert_eq!(last.examples, ds.train.len(), "no positive may be lost");
         }
+    }
+
+    #[test]
+    fn pooled_one_shard_engine_matches_auto_parallel_trajectories() {
+        // TrainRuntime::Pool at shards = 1 must produce exactly the same
+        // trajectory as the parallel pipeline would (the engine is a pure
+        // performance knob), and the pool must survive the whole run.
+        let ds = dataset(10);
+        let run = |runtime: TrainRuntime, shards: usize| {
+            let mut t = trainer(
+                &ds,
+                SamplerConfig::NsCaching(NsCachingConfig::new(8, 8)),
+                ModelKind::TransE,
+                0,
+            );
+            t.config.shards = shards;
+            t.config.runtime = runtime;
+            (0..3)
+                .map(|_| t.train_epoch().mean_loss)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(TrainRuntime::Pool, 1), run(TrainRuntime::Pool, 1));
+        assert_eq!(run(TrainRuntime::Auto, 4), run(TrainRuntime::Pool, 4));
+        // The pooled 1-shard pipeline uses the decorrelated worker streams,
+        // not the master stream, so it is a different trajectory from the
+        // sequential engine.
+        assert_ne!(run(TrainRuntime::Pool, 1), run(TrainRuntime::Auto, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot honour a sharded configuration")]
+    fn sequential_runtime_rejects_sharded_configs() {
+        let ds = dataset(11);
+        let mut t = trainer(&ds, SamplerConfig::Bernoulli, ModelKind::TransE, 0);
+        t.config.shards = 2;
+        t.config.runtime = TrainRuntime::Sequential;
+        t.train_epoch();
     }
 
     #[test]
