@@ -176,12 +176,12 @@ pub fn build_sampler(
                 num_entities,
                 num_relations,
             );
-            Box::new(KbGanSampler::new(
-                gen_model,
-                *candidate_size,
-                *generator_lr,
-                policy,
-            ))
+            Box::new(
+                // The generator is keyless, so the observed keys only steer
+                // parallel shard routing onto the balanced partition.
+                KbGanSampler::new(gen_model, *candidate_size, *generator_lr, policy)
+                    .with_observed_keys(&dataset.train),
+            )
         }
         SamplerConfig::Igan {
             generator,
@@ -195,7 +195,10 @@ pub fn build_sampler(
                 num_entities,
                 num_relations,
             );
-            Box::new(IganSampler::new(gen_model, *generator_lr, policy))
+            Box::new(
+                IganSampler::new(gen_model, *generator_lr, policy)
+                    .with_observed_keys(&dataset.train),
+            )
         }
     }
 }

@@ -15,10 +15,11 @@
 //! generator step per mini-batch.
 
 use crate::corruption::CorruptionPolicy;
+use crate::partition::ObservedPartition;
 use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_kg::{CorruptionSide, Triple};
 use nscaching_math::{sample_one_weighted, softmax_in_place};
-use nscaching_models::{GradientBuffer, KgeModel};
+use nscaching_models::{GradientArena, KgeModel};
 use nscaching_optim::{build_optimizer, Optimizer, OptimizerConfig};
 use rand::rngs::StdRng;
 
@@ -34,7 +35,7 @@ struct PendingChoice {
 #[derive(Default)]
 struct IganShardSlot {
     pending: Option<PendingChoice>,
-    grads: GradientBuffer,
+    grads: GradientArena,
     rewards: Vec<f64>,
     /// Probability buffer recycled between consecutive `PendingChoice`s so
     /// the O(|E|) softmax reuses its allocation across positives.
@@ -55,24 +56,40 @@ pub struct IganSampler {
     gradient_fanout: usize,
     /// Per-shard workspaces; slot 0 doubles as the sequential path's state.
     slots: Vec<IganShardSlot>,
-    /// Recycled reduction buffer for `merge_batch`.
-    merge_scratch: GradientBuffer,
+    /// Recycled gradient arena for `merge_batch` (and the sequential path's
+    /// per-positive REINFORCE step).
+    merge_scratch: GradientArena,
+    /// Shard routing: balanced when key frequencies were observed, uniform
+    /// hash otherwise (IGAN is keyless; see the KBGAN field of the same
+    /// name).
+    routing: ObservedPartition,
 }
 
 impl IganSampler {
     /// Create an IGAN-style sampler with a full `O(|E|)` REINFORCE update.
     pub fn new(generator: Box<dyn KgeModel>, generator_lr: f64, policy: CorruptionPolicy) -> Self {
+        let mut optimizer = build_optimizer(&OptimizerConfig::adam(generator_lr));
+        optimizer.bind(generator.as_ref());
         Self {
             generator,
-            optimizer: build_optimizer(&OptimizerConfig::adam(generator_lr)),
+            optimizer,
             policy,
             baseline: 0.0,
             baseline_decay: 0.99,
             feedback_steps: 0,
             gradient_fanout: usize::MAX,
             slots: vec![IganShardSlot::default()],
-            merge_scratch: GradientBuffer::new(),
+            merge_scratch: GradientArena::new(),
+            routing: ObservedPartition::default(),
         }
+    }
+
+    /// Record the `(h, r)` key frequencies of `triples` so `prepare_shards`
+    /// builds the load-balanced partition instead of routing shards by the
+    /// uniform hash (see [`ObservedPartition`]).
+    pub fn with_observed_keys(mut self, triples: &[Triple]) -> Self {
+        self.routing.observe(triples);
+        self
     }
 
     /// Limit the REINFORCE update to the `fanout` highest-probability
@@ -144,7 +161,7 @@ impl IganSampler {
         gradient_fanout: usize,
         pending: &PendingChoice,
         advantage: f64,
-        grads: &mut GradientBuffer,
+        grads: &mut GradientArena,
     ) {
         let mut order: Vec<usize> = (0..pending.probs.len()).collect();
         if gradient_fanout < pending.probs.len() {
@@ -174,7 +191,10 @@ impl IganSampler {
             self.slots[0].spare_probs = pending.probs;
             return;
         }
-        let mut grads = GradientBuffer::new();
+        // The merge arena is idle on the sequential path; reuse it so the
+        // O(|E|)-row REINFORCE step allocates nothing in steady state.
+        let mut grads = std::mem::take(&mut self.merge_scratch);
+        grads.clear();
         Self::accumulate_reinforce(
             self.generator.as_ref(),
             self.gradient_fanout,
@@ -182,8 +202,9 @@ impl IganSampler {
             advantage,
             &mut grads,
         );
-        let touched = self.optimizer.step(self.generator.as_mut(), &grads);
-        self.generator.apply_constraints(&touched);
+        self.optimizer.step(self.generator.as_mut(), &mut grads);
+        self.generator.apply_constraints(grads.touched());
+        self.merge_scratch = grads;
         self.slots[0].spare_probs = pending.probs;
     }
 }
@@ -268,6 +289,7 @@ impl NegativeSampler for IganSampler {
 
     fn prepare_shards(&mut self, shards: usize) {
         let shards = shards.max(1);
+        self.routing.prepare(shards);
         if self.slots.len() != shards {
             self.slots = (0..shards).map(|_| IganShardSlot::default()).collect();
         }
@@ -275,6 +297,13 @@ impl NegativeSampler for IganSampler {
 
     fn shard_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Balanced `(h, r)` routing when key frequencies were observed, uniform
+    /// hash otherwise (IGAN is keyless; see the KBGAN override).
+    fn shard_of(&self, positive: &Triple, shards: usize) -> usize {
+        self.routing
+            .shard_of((positive.head, positive.relation), shards)
     }
 
     fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {
@@ -306,12 +335,12 @@ impl NegativeSampler for IganSampler {
                 self.feedback_steps += 1;
             }
             slot.rewards.clear();
-            merged.merge(&slot.grads);
+            merged.merge(&mut slot.grads);
             slot.grads.clear();
         }
         if !merged.is_empty() {
-            let touched = self.optimizer.step(self.generator.as_mut(), &merged);
-            self.generator.apply_constraints(&touched);
+            self.optimizer.step(self.generator.as_mut(), &mut merged);
+            self.generator.apply_constraints(merged.touched());
         }
         self.merge_scratch = merged;
     }

@@ -15,10 +15,11 @@
 //! in ascending shard order with one generator optimizer step per mini-batch.
 
 use crate::corruption::CorruptionPolicy;
+use crate::partition::ObservedPartition;
 use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::{sample_distinct_uniform_into, sample_one_weighted, softmax_in_place};
-use nscaching_models::{GradientBuffer, KgeModel};
+use nscaching_models::{GradientArena, KgeModel};
 use nscaching_optim::{build_optimizer, Optimizer, OptimizerConfig};
 use rand::rngs::StdRng;
 
@@ -37,7 +38,7 @@ struct PendingChoice {
 struct KbGanShardSlot {
     pending: Option<PendingChoice>,
     /// Gradient contributions accumulated against the batch-start baseline.
-    grads: GradientBuffer,
+    grads: GradientArena,
     /// Rewards observed this batch, in processing order.
     rewards: Vec<f64>,
     /// Scratch for drawing distinct candidate indices without allocating.
@@ -68,8 +69,14 @@ pub struct KbGanSampler {
     feedback_steps: u64,
     /// Per-shard workspaces; slot 0 doubles as the sequential path's state.
     slots: Vec<KbGanShardSlot>,
-    /// Recycled reduction buffer for `merge_batch`.
-    merge_scratch: GradientBuffer,
+    /// Recycled gradient arena for `merge_batch` (and the sequential path's
+    /// per-positive REINFORCE step, which is otherwise idle while sharded).
+    merge_scratch: GradientArena,
+    /// Shard routing. KBGAN keeps no keyed state, so *any* deterministic
+    /// partition routes it correctly — observing the training key
+    /// frequencies lets it reuse the trainer's load-balanced partition
+    /// instead of the uniform hash.
+    routing: ObservedPartition,
 }
 
 impl KbGanSampler {
@@ -88,9 +95,13 @@ impl KbGanSampler {
     ) -> Self {
         assert!(candidate_size > 0, "candidate set must be non-empty");
         let num_entities = generator.num_entities();
+        let mut optimizer = build_optimizer(&OptimizerConfig::adam(generator_lr));
+        // Pre-size the generator optimizer's state slabs: REINFORCE steps
+        // then never allocate optimizer state mid-epoch.
+        optimizer.bind(generator.as_ref());
         Self {
             generator,
-            optimizer: build_optimizer(&OptimizerConfig::adam(generator_lr)),
+            optimizer,
             candidate_size: candidate_size.min(num_entities),
             num_entities,
             policy,
@@ -98,8 +109,18 @@ impl KbGanSampler {
             baseline_decay: 0.99,
             feedback_steps: 0,
             slots: vec![KbGanShardSlot::default()],
-            merge_scratch: GradientBuffer::new(),
+            merge_scratch: GradientArena::new(),
+            routing: ObservedPartition::default(),
         }
+    }
+
+    /// Record the `(h, r)` key frequencies of `triples` (normally the
+    /// training split) so `prepare_shards` builds the load-balanced
+    /// partition the trainer also uses for NSCaching, instead of the uniform
+    /// hash routing (see [`ObservedPartition`]).
+    pub fn with_observed_keys(mut self, triples: &[Triple]) -> Self {
+        self.routing.observe(triples);
+        self
     }
 
     /// The generator's current moving-average reward baseline.
@@ -188,7 +209,7 @@ impl KbGanSampler {
         generator: &dyn KgeModel,
         pending: &PendingChoice,
         advantage: f64,
-        grads: &mut GradientBuffer,
+        grads: &mut GradientArena,
     ) {
         for (i, (&entity, &p)) in pending.candidates.iter().zip(&pending.probs).enumerate() {
             let indicator = if i == pending.chosen { 1.0 } else { 0.0 };
@@ -210,10 +231,14 @@ impl KbGanSampler {
             self.slots[0].recycle(pending);
             return;
         }
-        let mut grads = GradientBuffer::new();
+        // The merge arena is idle on the sequential path; reusing it keeps
+        // the per-positive REINFORCE step allocation-free in steady state.
+        let mut grads = std::mem::take(&mut self.merge_scratch);
+        grads.clear();
         Self::accumulate_reinforce(self.generator.as_ref(), &pending, advantage, &mut grads);
-        let touched = self.optimizer.step(self.generator.as_mut(), &grads);
-        self.generator.apply_constraints(&touched);
+        self.optimizer.step(self.generator.as_mut(), &mut grads);
+        self.generator.apply_constraints(grads.touched());
+        self.merge_scratch = grads;
         self.slots[0].recycle(pending);
     }
 }
@@ -311,6 +336,7 @@ impl NegativeSampler for KbGanSampler {
 
     fn prepare_shards(&mut self, shards: usize) {
         let shards = shards.max(1);
+        self.routing.prepare(shards);
         if self.slots.len() != shards {
             self.slots = (0..shards).map(|_| KbGanShardSlot::default()).collect();
         }
@@ -318,6 +344,15 @@ impl NegativeSampler for KbGanSampler {
 
     fn shard_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Load-balanced `(h, r)` routing when key frequencies were observed,
+    /// uniform hash otherwise. KBGAN keeps no keyed state, so the partition
+    /// only has to be a deterministic pure function of `(positive, shards)`
+    /// — which both [`ObservedPartition`] paths are.
+    fn shard_of(&self, positive: &Triple, shards: usize) -> usize {
+        self.routing
+            .shard_of((positive.head, positive.relation), shards)
     }
 
     fn shard_workers(&mut self) -> Vec<Box<dyn ShardSampler + '_>> {
@@ -354,12 +389,12 @@ impl NegativeSampler for KbGanSampler {
                 self.feedback_steps += 1;
             }
             slot.rewards.clear();
-            merged.merge(&slot.grads);
+            merged.merge(&mut slot.grads);
             slot.grads.clear();
         }
         if !merged.is_empty() {
-            let touched = self.optimizer.step(self.generator.as_mut(), &merged);
-            self.generator.apply_constraints(&touched);
+            self.optimizer.step(self.generator.as_mut(), &mut merged);
+            self.generator.apply_constraints(merged.touched());
         }
         self.merge_scratch = merged;
     }

@@ -42,7 +42,7 @@ pub use corruption::CorruptionPolicy;
 pub use igan::IganSampler;
 pub use kbgan::KbGanSampler;
 pub use nscaching::NsCachingSampler;
-pub use partition::{PartitionKey, ShardPartition};
+pub use partition::{ObservedPartition, PartitionKey, ShardPartition};
 pub use sampler::{shard_of_key, NegativeSampler, SampledNegative, ShardSampler};
 pub use strategy::{SampleStrategy, UpdateStrategy};
 pub use uniform::UniformSampler;

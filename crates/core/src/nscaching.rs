@@ -3,8 +3,8 @@
 use crate::cache::{CacheProbe, NegativeCache};
 use crate::config::NsCachingConfig;
 use crate::corruption::CorruptionPolicy;
-use crate::partition::{PartitionKey, ShardPartition};
-use crate::sampler::{shard_of_key, NegativeSampler, SampledNegative, ShardSampler};
+use crate::partition::{ObservedPartition, PartitionKey};
+use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
 use crate::strategy::{SampleStrategy, UpdateStrategy};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::{
@@ -93,12 +93,12 @@ pub struct NsCachingSampler {
     updates_enabled: bool,
     /// Disjoint cache shards; always at least one.
     shards: Vec<NsCachingShard>,
-    /// Observed `(h, r)` key frequencies of the training split, in
-    /// deterministic (sorted-key) order; `None` until observed.
-    key_counts: Option<Vec<(PartitionKey, u64)>>,
-    /// Load-balanced routing built from `key_counts` by `prepare_shards`;
-    /// `None` when unobserved or single-sharded.
-    partition: Option<ShardPartition>,
+    /// Load-balanced `(h, r)` key routing when the training frequencies were
+    /// observed, uniform hash otherwise. Must stay consistent across
+    /// `shard_of`, the per-triple hooks and the probes — every key has
+    /// exactly one owning shard, which [`ObservedPartition`]'s key-based
+    /// purity guarantees.
+    routing: ObservedPartition,
 }
 
 impl NsCachingSampler {
@@ -110,44 +110,23 @@ impl NsCachingSampler {
             num_entities,
             updates_enabled: true,
             config,
-            key_counts: None,
-            partition: None,
+            routing: ObservedPartition::default(),
         }
     }
 
     /// Record the `(h, r)` key frequencies of `triples` (normally the
     /// training split) so that `prepare_shards` can build a load-balanced
-    /// partition instead of the uniform hash routing. The counts are stored
-    /// sorted by key, so the resulting partition is a pure function of
-    /// `(training split, shard count)`.
+    /// partition instead of the uniform hash routing (see
+    /// [`ObservedPartition`]).
     pub fn with_observed_keys(mut self, triples: &[Triple]) -> Self {
-        let mut counts: std::collections::BTreeMap<PartitionKey, u64> =
-            std::collections::BTreeMap::new();
-        for t in triples {
-            *counts.entry((t.head, t.relation)).or_insert(0) += 1;
-        }
-        self.key_counts = Some(counts.into_iter().collect());
-        self.partition = None;
+        self.routing.observe(triples);
         self
     }
 
-    /// Route a cache key to its shard under `shards` shards: through the
-    /// balanced partition when one is built for this shard count, else the
-    /// uniform hash. Must stay consistent across `shard_of`, the per-triple
-    /// hooks and the probes — every key has exactly one owning shard.
+    /// Route a cache key to its shard under `shards` shards.
     #[inline]
     fn route_key(&self, key: PartitionKey, shards: usize) -> usize {
-        if shards <= 1 {
-            return 0;
-        }
-        if let Some(partition) = &self.partition {
-            if partition.shards() == shards {
-                if let Some(s) = partition.shard_of(key) {
-                    return s;
-                }
-            }
-        }
-        shard_of_key(key.0, key.1, shards)
+        self.routing.shard_of(key, shards)
     }
 
     /// The configuration in use.
@@ -495,16 +474,7 @@ impl NegativeSampler for NsCachingSampler {
 
     fn prepare_shards(&mut self, shards: usize) {
         let shards = shards.max(1);
-        // (Re)build the load-balanced routing for this shard count. Cheap
-        // when already built: one comparison per epoch.
-        if shards == 1 {
-            self.partition = None;
-        } else if self.partition.as_ref().is_none_or(|p| p.shards() != shards) {
-            self.partition = self
-                .key_counts
-                .as_deref()
-                .map(|counts| ShardPartition::balanced(counts, shards));
-        }
+        self.routing.prepare(shards);
         if self.shards.len() == shards {
             return;
         }

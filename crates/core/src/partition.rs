@@ -19,8 +19,10 @@
 //! trainer needs — and the assignment stays *key-based*, so the shard-
 //! disjointness of keyed sampler state is preserved by construction.
 
+use crate::sampler::shard_of_key;
+use nscaching_kg::Triple;
 use nscaching_math::split_seed;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A cache key: the `(h, r)` (or `(r, t)`) index pair of the paper's caches.
 pub type PartitionKey = (u32, u32);
@@ -77,6 +79,70 @@ impl ShardPartition {
     /// Total observed weight assigned to each shard.
     pub fn loads(&self) -> &[u64] {
         &self.loads
+    }
+}
+
+/// Frequency-observed `(h, r) → shard` routing with uniform-hash fallback —
+/// the one piece of partition state every sampler shares.
+///
+/// Samplers call [`observe`](Self::observe) once with the training split,
+/// [`prepare`](Self::prepare) from their `prepare_shards` hook, and
+/// [`shard_of`](Self::shard_of) from their `shard_of` hook. When frequencies
+/// were observed and a partition is built for the current shard count, keys
+/// route through the balanced [`ShardPartition`]; otherwise (unobserved keys,
+/// hand-constructed samplers, `shards = 1`) they fall back to the uniform
+/// [`shard_of_key`] hash. Both paths are pure functions of
+/// `(key, shards, observed split)`, preserving the bit-reproducibility
+/// contract of the parallel trainer.
+#[derive(Debug, Clone, Default)]
+pub struct ObservedPartition {
+    /// Observed key frequencies, sorted by key; `None` until observed.
+    counts: Option<Vec<(PartitionKey, u64)>>,
+    /// Balanced routing built from `counts` by [`prepare`](Self::prepare).
+    partition: Option<ShardPartition>,
+}
+
+impl ObservedPartition {
+    /// Record the `(h, r)` key frequencies of `triples` (normally the
+    /// training split), sorted by key so later partitions are pure functions
+    /// of `(split, shard count)`. Drops any previously built partition.
+    pub fn observe(&mut self, triples: &[Triple]) {
+        let mut counts: BTreeMap<PartitionKey, u64> = BTreeMap::new();
+        for t in triples {
+            *counts.entry((t.head, t.relation)).or_insert(0) += 1;
+        }
+        self.counts = Some(counts.into_iter().collect());
+        self.partition = None;
+    }
+
+    /// (Re)build the balanced partition for `shards`. Cheap when the shard
+    /// count is unchanged: one comparison per epoch.
+    pub fn prepare(&mut self, shards: usize) {
+        if shards <= 1 {
+            self.partition = None;
+        } else if self.partition.as_ref().is_none_or(|p| p.shards() != shards) {
+            self.partition = self
+                .counts
+                .as_deref()
+                .map(|counts| ShardPartition::balanced(counts, shards));
+        }
+    }
+
+    /// Route `key` under `shards` shards: balanced partition when one is
+    /// built for this shard count, else the uniform hash.
+    #[inline]
+    pub fn shard_of(&self, key: PartitionKey, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        if let Some(partition) = &self.partition {
+            if partition.shards() == shards {
+                if let Some(s) = partition.shard_of(key) {
+                    return s;
+                }
+            }
+        }
+        shard_of_key(key.0, key.1, shards)
     }
 }
 
@@ -139,5 +205,35 @@ mod tests {
         let p = ShardPartition::balanced(&skewed_counts(), 1);
         assert_eq!(p.shard_of((0, 0)), Some(0));
         assert_eq!(p.loads().len(), 1);
+    }
+
+    #[test]
+    fn observed_routing_is_balanced_when_observed_and_hashed_otherwise() {
+        let triples: Vec<Triple> = (0..40u32).map(|h| Triple::new(h, h % 3, h + 50)).collect();
+        let mut observed = ObservedPartition::default();
+        let unobserved = ObservedPartition::default();
+        observed.observe(&triples);
+        observed.prepare(4);
+
+        for t in &triples {
+            let key = (t.head, t.relation);
+            let s = observed.shard_of(key, 4);
+            assert!(s < 4);
+            assert_eq!(s, observed.shard_of(key, 4), "routing is pure");
+            // The unobserved router must agree with the raw uniform hash.
+            assert_eq!(unobserved.shard_of(key, 4), shard_of_key(key.0, key.1, 4));
+            // Single shard always routes to 0.
+            assert_eq!(observed.shard_of(key, 1), 0);
+        }
+        // Keys outside the observed split fall back to the uniform hash.
+        assert_eq!(observed.shard_of((999, 7), 4), shard_of_key(999, 7, 4));
+
+        // Re-preparing for a new shard count rebuilds; shards = 1 drops it.
+        observed.prepare(2);
+        assert!(triples
+            .iter()
+            .all(|t| observed.shard_of((t.head, t.relation), 2) < 2));
+        observed.prepare(1);
+        assert_eq!(observed.shard_of((0, 0), 1), 0);
     }
 }

@@ -194,7 +194,7 @@ pub fn rank_one_with(
 mod tests {
     use super::*;
     use nscaching_kg::{Dataset, Vocab};
-    use nscaching_models::{build_model, EmbeddingTable, GradientBuffer, ModelKind, TableId};
+    use nscaching_models::{build_model, EmbeddingTable, GradientSink, ModelKind, TableId};
 
     /// A deterministic toy model whose score is `-(|h - candidate| )` style:
     /// it ranks entities by their numeric distance to a target id, which makes
@@ -232,7 +232,7 @@ mod tests {
             let target_head = t.tail as f64 - 1.0;
             -((t.tail as f64 - target_tail).abs() + (t.head as f64 - target_head).abs())
         }
-        fn accumulate_score_gradient(&self, _t: &Triple, _c: f64, _g: &mut GradientBuffer) {}
+        fn accumulate_score_gradient(&self, _t: &Triple, _c: f64, _g: &mut dyn GradientSink) {}
         fn tables(&self) -> Vec<&EmbeddingTable> {
             self.tables.iter().collect()
         }

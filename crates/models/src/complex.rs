@@ -6,7 +6,7 @@
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
-use crate::gradient::{GradientBuffer, TableId};
+use crate::gradient::{GradientSink, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::dot;
@@ -132,7 +132,7 @@ impl KgeModel for ComplEx {
         });
     }
 
-    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut dyn GradientSink) {
         let h = self.entities.row(t.head as usize);
         let r = self.relations.row(t.relation as usize);
         let tl = self.entities.row(t.tail as usize);
@@ -163,6 +163,14 @@ impl KgeModel for ComplEx {
 
     fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable> {
         vec![&mut self.entities, &mut self.relations]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut EmbeddingTable {
+        match table {
+            ENTITY_TABLE => &mut self.entities,
+            RELATION_TABLE => &mut self.relations,
+            _ => panic!("ComplEx has no table {table}"),
+        }
     }
 
     fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {

@@ -6,11 +6,45 @@
 //! accumulated sparsely as `(table, row) → dense gradient` and applied by the
 //! optimizers in `nscaching-optim` without ever materialising a full-model
 //! gradient.
+//!
+//! Two accumulators implement the [`GradientSink`] contract:
+//!
+//! * [`GradientArena`](crate::arena::GradientArena) — the production engine:
+//!   touched rows live in contiguous per-table slabs with a sorted
+//!   `(table, row)` slot index, reused across batches (see the
+//!   [`arena`](crate::arena) module);
+//! * [`GradientBuffer`] (this module) — the original `HashMap`-backed
+//!   accumulator, kept as the scalar reference that the arena engine is
+//!   proven bit-identical against (`parallel_equivalence.rs`, the
+//!   `arena_equivalence` proptests) and as the baseline of the
+//!   `gradient_apply` bench.
 
 use std::collections::HashMap;
 
 /// Index of a parameter table inside a model's `tables()` list.
 pub type TableId = usize;
+
+/// Destination for sparse per-row gradient contributions.
+///
+/// The models' hand-derived `accumulate_score_gradient` implementations (and
+/// the L2 regularizer) write through this trait, so the same emission code
+/// drives both the slab-backed [`GradientArena`](crate::arena::GradientArena)
+/// hot path and the `HashMap`-backed [`GradientBuffer`] reference.
+///
+/// Implementations must treat a row's contributions as an ordered sequence of
+/// `grad[i] += coeff * value[i]` updates starting from zero: the arena/buffer
+/// bit-for-bit equivalence contract relies on both sides performing the same
+/// floating-point operations in the same per-row order.
+pub trait GradientSink {
+    /// Accumulate `coeff * values` into the gradient of `(table, row)`.
+    /// A zero `coeff` must be a no-op (no row is created).
+    fn add(&mut self, table: TableId, row: usize, values: &[f64], coeff: f64);
+
+    /// Accumulate `coeff` into component `idx` of `(table, row)`, creating
+    /// the row gradient with dimension `dim` if it does not exist yet.
+    /// A zero `coeff` must be a no-op.
+    fn add_component(&mut self, table: TableId, row: usize, dim: usize, idx: usize, coeff: f64);
+}
 
 /// A sparse gradient: dense per-row gradients keyed by `(table, row)`.
 #[derive(Debug, Clone, Default)]
@@ -122,6 +156,16 @@ impl GradientBuffer {
     /// L2 norm of the full sparse gradient.
     pub fn norm(&self) -> f64 {
         self.squared_norm().sqrt()
+    }
+}
+
+impl GradientSink for GradientBuffer {
+    fn add(&mut self, table: TableId, row: usize, values: &[f64], coeff: f64) {
+        GradientBuffer::add(self, table, row, values, coeff);
+    }
+
+    fn add_component(&mut self, table: TableId, row: usize, dim: usize, idx: usize, coeff: f64) {
+        GradientBuffer::add_component(self, table, row, dim, idx, coeff);
     }
 }
 

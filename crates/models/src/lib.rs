@@ -17,13 +17,17 @@
 //!   projections in the generation-stamped [`projcache`], turning the
 //!   per-candidate cost from `O(d²)` into a warm `O(d)` lookup;
 //! * `accumulate_score_gradient` — adds `coeff · ∂score/∂θ` into a sparse
-//!   [`GradientBuffer`], which the optimizers in `nscaching-optim` consume;
+//!   [`GradientSink`]: the slab-backed [`GradientArena`] on the training hot
+//!   path (its sorted-slot view is what the optimizers in `nscaching-optim`
+//!   consume), or the `HashMap`-backed [`GradientBuffer`] reference in the
+//!   equivalence suites;
 //! * parameter access as a list of [`EmbeddingTable`]s so that optimizers and
 //!   serialisation stay model-agnostic.
 //!
 //! No autodiff framework is used; every gradient is hand-derived and verified
 //! against central finite differences in the test-suite (`tests/grad_check.rs`).
 
+pub mod arena;
 pub mod batch;
 pub mod complex;
 pub mod distmult;
@@ -40,11 +44,12 @@ pub mod transe;
 pub mod transh;
 pub mod transr;
 
+pub use arena::{GradientArena, SparseRows};
 pub use complex::ComplEx;
 pub use distmult::DistMult;
 pub use embedding::EmbeddingTable;
 pub use factory::{build_model, ModelConfig};
-pub use gradient::{GradientBuffer, TableId};
+pub use gradient::{GradientBuffer, GradientSink, TableId};
 pub use loss::{default_loss, LogisticLoss, Loss, LossKind, MarginRankingLoss, PairGradient};
 pub use regularizer::L2Regularizer;
 pub use rescal::Rescal;

@@ -5,7 +5,7 @@
 //! per training example to the embedding rows that the example touches, which
 //! is the standard sparse approximation of the full-parameter L2 term.
 
-use crate::gradient::GradientBuffer;
+use crate::gradient::GradientSink;
 use crate::scorer::KgeModel;
 use nscaching_kg::Triple;
 use nscaching_math::vecops::sq_l2_norm;
@@ -54,7 +54,7 @@ impl L2Regularizer {
         &self,
         model: &dyn KgeModel,
         triple: &Triple,
-        grads: &mut GradientBuffer,
+        grads: &mut dyn GradientSink,
     ) {
         if !self.is_active() {
             return;
@@ -70,6 +70,7 @@ impl L2Regularizer {
 mod tests {
     use super::*;
     use crate::distmult::DistMult;
+    use crate::gradient::GradientBuffer;
     use crate::scorer::{ENTITY_TABLE, RELATION_TABLE};
     use nscaching_math::seeded_rng;
 

@@ -3,7 +3,7 @@
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
-use crate::gradient::{GradientBuffer, TableId};
+use crate::gradient::{GradientSink, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::dot;
@@ -116,7 +116,7 @@ impl KgeModel for Rescal {
         });
     }
 
-    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut dyn GradientSink) {
         // f = hᵀ M t ⇒ ∂f/∂h = M t, ∂f/∂t = Mᵀ h, ∂f/∂M = h tᵀ.
         let h = self.entities.row(t.head as usize);
         let tl = self.entities.row(t.tail as usize);
@@ -145,6 +145,14 @@ impl KgeModel for Rescal {
 
     fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable> {
         vec![&mut self.entities, &mut self.matrices]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut EmbeddingTable {
+        match table {
+            ENTITY_TABLE => &mut self.entities,
+            1 => &mut self.matrices,
+            _ => panic!("RESCAL has no table {table}"),
+        }
     }
 
     fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {

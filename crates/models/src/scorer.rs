@@ -1,7 +1,7 @@
 //! The scoring-function trait every embedding model implements.
 
 use crate::embedding::EmbeddingTable;
-use crate::gradient::{GradientBuffer, TableId};
+use crate::gradient::{GradientSink, TableId};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use serde::{Deserialize, Serialize};
 
@@ -109,8 +109,9 @@ pub trait KgeModel: Send + Sync {
     /// Plausibility score `f(h, r, t)`.
     fn score(&self, triple: &Triple) -> f64;
 
-    /// Accumulate `coeff · ∂f(h,r,t)/∂θ` into `grads`.
-    fn accumulate_score_gradient(&self, triple: &Triple, coeff: f64, grads: &mut GradientBuffer);
+    /// Accumulate `coeff · ∂f(h,r,t)/∂θ` into `grads` (the training engine
+    /// passes a `GradientArena`; the equivalence suites a `GradientBuffer`).
+    fn accumulate_score_gradient(&self, triple: &Triple, coeff: f64, grads: &mut dyn GradientSink);
 
     /// The parameter tables, in a fixed order starting with
     /// `[ENTITY_TABLE, RELATION_TABLE, ...]`.
@@ -118,6 +119,16 @@ pub trait KgeModel: Send + Sync {
 
     /// Mutable access to the parameter tables, same order as [`Self::tables`].
     fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable>;
+
+    /// Mutable access to a single parameter table.
+    ///
+    /// The optimizers' apply walk resolves each touched `(table, row)` pair
+    /// through this instead of materialising the whole [`Self::tables_mut`]
+    /// list, keeping the per-batch optimizer step free of heap allocation.
+    /// Models override the default with a direct field match.
+    fn table_mut(&mut self, table: TableId) -> &mut EmbeddingTable {
+        self.tables_mut().swap_remove(table)
+    }
 
     /// Parameter rows `(table, row)` involved in scoring `triple`; used for
     /// per-example L2 regularisation and constraint application.

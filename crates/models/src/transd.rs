@@ -15,7 +15,7 @@
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
-use crate::gradient::{GradientBuffer, TableId};
+use crate::gradient::{GradientSink, TableId};
 use crate::projcache::{
     next_projection_model_id, query_from_projection, with_projection_cache, ProjectionEntry,
 };
@@ -286,7 +286,7 @@ impl KgeModel for TransD {
         });
     }
 
-    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut dyn GradientSink) {
         // f = −‖u‖₁ with u = h + (w_h·h) w_r + r − t − (w_t·t) w_r.
         // Let s = sign(u); ∂f/∂u = −s.
         //   ∂u/∂h   = I + w_r w_hᵀ        ⇒ ∂f/∂h   = −(s + (w_r·s) w_h)
@@ -335,6 +335,16 @@ impl KgeModel for TransD {
             &mut self.entity_proj,
             &mut self.relation_proj,
         ]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut EmbeddingTable {
+        match table {
+            ENTITY_TABLE => &mut self.entities,
+            RELATION_TABLE => &mut self.relations,
+            ENTITY_PROJ_TABLE => &mut self.entity_proj,
+            RELATION_PROJ_TABLE => &mut self.relation_proj,
+            _ => panic!("TransD has no table {table}"),
+        }
     }
 
     fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {

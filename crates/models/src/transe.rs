@@ -2,7 +2,7 @@
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
-use crate::gradient::{GradientBuffer, TableId};
+use crate::gradient::{GradientSink, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::{l1_distance, signum};
@@ -119,7 +119,7 @@ impl KgeModel for TransE {
         });
     }
 
-    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut dyn GradientSink) {
         // f = −‖u‖₁ with u = h + r − t ⇒ ∂f/∂u = −sign(u).
         let u = self.residual(t);
         let s = signum(&u);
@@ -134,6 +134,14 @@ impl KgeModel for TransE {
 
     fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable> {
         vec![&mut self.entities, &mut self.relations]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut EmbeddingTable {
+        match table {
+            ENTITY_TABLE => &mut self.entities,
+            RELATION_TABLE => &mut self.relations,
+            _ => panic!("TransE has no table {table}"),
+        }
     }
 
     fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {

@@ -4,7 +4,7 @@
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
-use crate::gradient::{GradientBuffer, TableId};
+use crate::gradient::{GradientSink, TableId};
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::vecops::{dot, l1_combine, signum};
@@ -158,7 +158,7 @@ impl KgeModel for TransH {
         });
     }
 
-    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut dyn GradientSink) {
         // f = −‖u‖₁, u = x + r − (w·x)·w with x = h − t.
         // ∂f/∂u = −s (s = sign(u)).
         // ∂u/∂h = I − w wᵀ           ⇒ ∂f/∂h = −(s − (w·s) w)
@@ -190,6 +190,15 @@ impl KgeModel for TransH {
 
     fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable> {
         vec![&mut self.entities, &mut self.relations, &mut self.normals]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut EmbeddingTable {
+        match table {
+            ENTITY_TABLE => &mut self.entities,
+            RELATION_TABLE => &mut self.relations,
+            NORMAL_TABLE => &mut self.normals,
+            _ => panic!("TransH has no table {table}"),
+        }
     }
 
     fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {

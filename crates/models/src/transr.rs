@@ -32,7 +32,7 @@
 
 use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
-use crate::gradient::{GradientBuffer, TableId};
+use crate::gradient::{GradientSink, TableId};
 use crate::projcache::{
     next_projection_model_id, query_from_projection, with_projection_cache, ProjectionEntry,
 };
@@ -317,7 +317,7 @@ impl KgeModel for TransR {
         });
     }
 
-    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut dyn GradientSink) {
         // f = −‖u‖₁, u = M_r(h − t) + r, s = sign(u).
         //   ∂f/∂h   = −M_rᵀ s
         //   ∂f/∂t   = +M_rᵀ s
@@ -354,6 +354,15 @@ impl KgeModel for TransR {
 
     fn tables_mut(&mut self) -> Vec<&mut EmbeddingTable> {
         vec![&mut self.entities, &mut self.relations, &mut self.matrices]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut EmbeddingTable {
+        match table {
+            ENTITY_TABLE => &mut self.entities,
+            RELATION_TABLE => &mut self.relations,
+            MATRIX_TABLE => &mut self.matrices,
+            _ => panic!("TransR has no table {table}"),
+        }
     }
 
     fn parameter_rows(&self, t: &Triple) -> Vec<(TableId, usize)> {

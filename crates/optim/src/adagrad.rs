@@ -1,16 +1,53 @@
-//! AdaGrad (Duchi et al., 2011) with sparse per-row accumulators.
+//! AdaGrad (Duchi et al., 2011) with dense per-table accumulator slabs.
+//!
+//! The per-component sum of squared gradients `G` lives in one contiguous
+//! `rows × dim` slab per parameter table (see the crate docs for the layout
+//! rationale); a touched row's accumulator is an array index away instead of
+//! a hash-map lookup, and [`Optimizer::bind`] pre-sizes the slabs so `step`
+//! never allocates.
 
 use crate::optimizer::Optimizer;
-use nscaching_models::{GradientBuffer, KgeModel, TableId};
-use std::collections::HashMap;
+use nscaching_models::{GradientArena, KgeModel};
+
+/// One table's accumulator slab.
+#[derive(Debug, Clone, Default)]
+struct TableAcc {
+    dim: usize,
+    /// `rows × dim` squared-gradient sums, row-major.
+    acc: Vec<f64>,
+    /// Which rows have ever received a gradient (drives `state_rows`).
+    seen: Vec<bool>,
+}
+
+/// Grow (if needed) and return the slab for `table`, able to hold `row`.
+///
+/// A bound optimizer never grows here — `bind` sized every slab to its
+/// table — so the steady-state step stays allocation-free.
+fn slab_for(tables: &mut Vec<TableAcc>, table: usize, row: usize, dim: usize) -> &mut TableAcc {
+    if table >= tables.len() {
+        tables.resize_with(table + 1, TableAcc::default);
+    }
+    let slab = &mut tables[table];
+    if slab.dim == 0 {
+        slab.dim = dim;
+    }
+    debug_assert_eq!(slab.dim, dim, "gradient dimension mismatch");
+    if slab.seen.len() <= row {
+        let rows = (row + 1).next_power_of_two().max(8);
+        slab.acc.resize(rows * dim, 0.0);
+        slab.seen.resize(rows, false);
+    }
+    slab
+}
 
 /// `θ ← θ − η·g / (√G + ε)` with `G` the per-component sum of squared
-/// gradients. State is stored only for rows that have ever been updated.
+/// gradients, stored in dense per-table slabs.
 #[derive(Debug, Clone)]
 pub struct AdaGrad {
     learning_rate: f64,
     epsilon: f64,
-    accumulators: HashMap<(TableId, usize), Vec<f64>>,
+    tables: Vec<TableAcc>,
+    live_rows: usize,
 }
 
 impl AdaGrad {
@@ -20,35 +57,51 @@ impl AdaGrad {
         Self {
             learning_rate,
             epsilon: 1e-10,
-            accumulators: HashMap::new(),
+            tables: Vec::new(),
+            live_rows: 0,
         }
     }
 
     /// Number of rows with live state (used in tests and memory reports).
     pub fn state_rows(&self) -> usize {
-        self.accumulators.len()
+        self.live_rows
     }
 }
 
 impl Optimizer for AdaGrad {
-    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)> {
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &mut GradientArena) {
         let lr = self.learning_rate;
         let eps = self.epsilon;
-        let mut tables = model.tables_mut();
-        let mut touched = Vec::with_capacity(grads.len());
-        for (&(table, row), grad) in grads.iter() {
-            let acc = self
-                .accumulators
-                .entry((table, row))
-                .or_insert_with(|| vec![0.0; grad.len()]);
-            let params = tables[table].row_mut(row);
+        for (table, row, grad) in grads.rows().iter() {
+            let slab = slab_for(&mut self.tables, table, row, grad.len());
+            if !slab.seen[row] {
+                slab.seen[row] = true;
+                self.live_rows += 1;
+            }
+            let base = row * slab.dim;
+            let acc = &mut slab.acc[base..base + slab.dim];
+            let params = model.table_mut(table).row_mut(row);
             for ((p, g), a) in params.iter_mut().zip(grad).zip(acc.iter_mut()) {
                 *a += g * g;
                 *p -= lr * g / (a.sqrt() + eps);
             }
-            touched.push((table, row));
         }
-        touched
+    }
+
+    fn bind(&mut self, model: &dyn KgeModel) {
+        for (table, t) in model.tables().iter().enumerate() {
+            if table >= self.tables.len() {
+                self.tables.resize_with(table + 1, TableAcc::default);
+            }
+            let slab = &mut self.tables[table];
+            if slab.dim == 0 {
+                slab.dim = t.dim();
+            }
+            if slab.seen.len() < t.rows() {
+                slab.acc.resize(t.rows() * t.dim(), 0.0);
+                slab.seen.resize(t.rows(), false);
+            }
+        }
     }
 
     fn learning_rate(&self) -> f64 {
@@ -56,7 +109,11 @@ impl Optimizer for AdaGrad {
     }
 
     fn reset(&mut self) {
-        self.accumulators.clear();
+        for slab in &mut self.tables {
+            slab.acc.fill(0.0);
+            slab.seen.fill(false);
+        }
+        self.live_rows = 0;
     }
 }
 
@@ -76,10 +133,10 @@ mod tests {
     #[test]
     fn first_step_is_learning_rate_sized() {
         let mut m = model();
-        let mut grads = GradientBuffer::new();
+        let mut grads = GradientArena::new();
         grads.add(0, 0, &[2.0, -4.0], 1.0);
         let mut opt = AdaGrad::new(0.1);
-        opt.step(&mut m, &grads);
+        opt.step(&mut m, &mut grads);
         // each component: -lr * g/|g| = ∓lr (sign of g)
         let row = m.tables()[0].row(0);
         assert!((row[0] + 0.1).abs() < 1e-6);
@@ -89,12 +146,12 @@ mod tests {
     #[test]
     fn repeated_gradients_shrink_the_effective_step() {
         let mut m = model();
-        let mut grads = GradientBuffer::new();
+        let mut grads = GradientArena::new();
         grads.add(0, 0, &[1.0, 1.0], 1.0);
         let mut opt = AdaGrad::new(0.1);
-        opt.step(&mut m, &grads);
+        opt.step(&mut m, &mut grads);
         let after_first = m.tables()[0].row(0)[0];
-        opt.step(&mut m, &grads);
+        opt.step(&mut m, &mut grads);
         let after_second = m.tables()[0].row(0)[0];
         let first_step = (0.0 - after_first).abs();
         let second_step = (after_first - after_second).abs();
@@ -104,12 +161,33 @@ mod tests {
     #[test]
     fn state_grows_only_for_touched_rows_and_reset_clears_it() {
         let mut m = model();
-        let mut grads = GradientBuffer::new();
+        let mut grads = GradientArena::new();
         grads.add(0, 1, &[1.0, 1.0], 1.0);
         let mut opt = AdaGrad::new(0.1);
-        opt.step(&mut m, &grads);
+        opt.bind(&m);
+        opt.step(&mut m, &mut grads);
         assert_eq!(opt.state_rows(), 1);
         opt.reset();
         assert_eq!(opt.state_rows(), 0);
+    }
+
+    #[test]
+    fn bound_and_unbound_states_apply_identical_updates() {
+        let mut bound_model = model();
+        let mut lazy_model = model();
+        let mut grads = GradientArena::new();
+        grads.add(0, 0, &[0.7, -0.3], 1.0);
+        grads.add(1, 0, &[0.2, 0.9], -0.5);
+        let mut bound = AdaGrad::new(0.1);
+        bound.bind(&bound_model);
+        let mut lazy = AdaGrad::new(0.1);
+        for _ in 0..3 {
+            bound.step(&mut bound_model, &mut grads);
+            lazy.step(&mut lazy_model, &mut grads);
+        }
+        for (a, b) in bound_model.tables().iter().zip(lazy_model.tables()) {
+            assert_eq!(a.data(), b.data());
+        }
+        assert_eq!(bound.state_rows(), lazy.state_rows());
     }
 }

@@ -1,29 +1,66 @@
-//! Adam (Kingma & Ba, 2015) with sparse, lazily-updated per-row moments.
+//! Adam (Kingma & Ba, 2015) with sparse, lazily-updated per-row moments in
+//! dense per-table slabs.
 //!
 //! The paper uses Adam "with its default settings, except for the learning
-//! rate" (Section IV-A2). Moments are maintained only for rows that receive
+//! rate" (Section IV-A2). Moments are updated only for rows that receive
 //! gradients, and bias correction uses a per-row step counter — the standard
-//! "lazy Adam" variant for sparse embedding training.
+//! "lazy Adam" variant for sparse embedding training. The first/second
+//! moments live in one contiguous `rows × dim` slab per parameter table and
+//! the step counters in one `rows` slab (see the crate docs), so a touched
+//! row's state is two array indexes — no hashing, and, once
+//! [`Optimizer::bind`] has pre-sized the slabs, no allocation inside `step`
+//! (the `HashMap` predecessor allocated two fresh `Vec<f64>`s on the first
+//! touch of every row mid-epoch).
 
 use crate::optimizer::Optimizer;
-use nscaching_models::{GradientBuffer, KgeModel, TableId};
-use std::collections::HashMap;
+use nscaching_models::{GradientArena, KgeModel};
 
-#[derive(Debug, Clone)]
-struct RowState {
+/// One table's moment slabs.
+#[derive(Debug, Clone, Default)]
+struct TableMoments {
+    dim: usize,
+    /// First moments, `rows × dim` row-major.
     m: Vec<f64>,
+    /// Second moments, `rows × dim` row-major.
     v: Vec<f64>,
-    t: u64,
+    /// Per-row step counters for the bias correction (0 = never touched).
+    t: Vec<u64>,
 }
 
-/// Adam with per-row first/second moments.
+/// Grow (if needed) and return the slab for `table`, able to hold `row`.
+/// A bound optimizer never grows here.
+fn slab_for(
+    tables: &mut Vec<TableMoments>,
+    table: usize,
+    row: usize,
+    dim: usize,
+) -> &mut TableMoments {
+    if table >= tables.len() {
+        tables.resize_with(table + 1, TableMoments::default);
+    }
+    let slab = &mut tables[table];
+    if slab.dim == 0 {
+        slab.dim = dim;
+    }
+    debug_assert_eq!(slab.dim, dim, "gradient dimension mismatch");
+    if slab.t.len() <= row {
+        let rows = (row + 1).next_power_of_two().max(8);
+        slab.m.resize(rows * dim, 0.0);
+        slab.v.resize(rows * dim, 0.0);
+        slab.t.resize(rows, 0);
+    }
+    slab
+}
+
+/// Adam with per-row first/second moments in dense per-table slabs.
 #[derive(Debug, Clone)]
 pub struct Adam {
     learning_rate: f64,
     beta1: f64,
     beta2: f64,
     epsilon: f64,
-    state: HashMap<(TableId, usize), RowState>,
+    tables: Vec<TableMoments>,
+    live_rows: usize,
 }
 
 impl Adam {
@@ -43,42 +80,67 @@ impl Adam {
             beta1,
             beta2,
             epsilon: 1e-8,
-            state: HashMap::new(),
+            tables: Vec::new(),
+            live_rows: 0,
         }
     }
 
     /// Number of rows with live moment state.
     pub fn state_rows(&self) -> usize {
-        self.state.len()
+        self.live_rows
     }
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)> {
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &mut GradientArena) {
         let (lr, b1, b2, eps) = (self.learning_rate, self.beta1, self.beta2, self.epsilon);
-        let mut tables = model.tables_mut();
-        let mut touched = Vec::with_capacity(grads.len());
-        for (&(table, row), grad) in grads.iter() {
-            let state = self.state.entry((table, row)).or_insert_with(|| RowState {
-                m: vec![0.0; grad.len()],
-                v: vec![0.0; grad.len()],
-                t: 0,
-            });
-            state.t += 1;
-            let bias1 = 1.0 - b1.powi(state.t as i32);
-            let bias2 = 1.0 - b2.powi(state.t as i32);
-            let params = tables[table].row_mut(row);
-            for i in 0..grad.len() {
-                let g = grad[i];
-                state.m[i] = b1 * state.m[i] + (1.0 - b1) * g;
-                state.v[i] = b2 * state.v[i] + (1.0 - b2) * g * g;
-                let m_hat = state.m[i] / bias1;
-                let v_hat = state.v[i] / bias2;
-                params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        for (table, row, grad) in grads.rows().iter() {
+            let slab = slab_for(&mut self.tables, table, row, grad.len());
+            slab.t[row] += 1;
+            let steps = slab.t[row];
+            if steps == 1 {
+                self.live_rows += 1;
             }
-            touched.push((table, row));
+            let bias1 = 1.0 - b1.powi(steps as i32);
+            let bias2 = 1.0 - b2.powi(steps as i32);
+            let base = row * slab.dim;
+            let m = &mut slab.m[base..base + slab.dim];
+            let v = &mut slab.v[base..base + slab.dim];
+            let params = model.table_mut(table).row_mut(row);
+            // Zipped (bounds-check-free) walk so the sqrt/div chain
+            // vectorises; per-element operations and their order are exactly
+            // the retired HashMap engine's, so the parameters stay
+            // bit-identical (asserted by the arena_equivalence proptests).
+            for (((p, &g), m), v) in params
+                .iter_mut()
+                .zip(grad)
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let m_hat = *m / bias1;
+                let v_hat = *v / bias2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
         }
-        touched
+    }
+
+    fn bind(&mut self, model: &dyn KgeModel) {
+        for (table, t) in model.tables().iter().enumerate() {
+            if table >= self.tables.len() {
+                self.tables.resize_with(table + 1, TableMoments::default);
+            }
+            let slab = &mut self.tables[table];
+            if slab.dim == 0 {
+                slab.dim = t.dim();
+            }
+            if slab.t.len() < t.rows() {
+                slab.m.resize(t.rows() * t.dim(), 0.0);
+                slab.v.resize(t.rows() * t.dim(), 0.0);
+                slab.t.resize(t.rows(), 0);
+            }
+        }
     }
 
     fn learning_rate(&self) -> f64 {
@@ -86,7 +148,12 @@ impl Optimizer for Adam {
     }
 
     fn reset(&mut self) {
-        self.state.clear();
+        for slab in &mut self.tables {
+            slab.m.fill(0.0);
+            slab.v.fill(0.0);
+            slab.t.fill(0);
+        }
+        self.live_rows = 0;
     }
 }
 
@@ -106,10 +173,10 @@ mod tests {
     #[test]
     fn first_step_size_is_close_to_learning_rate() {
         let mut m = model();
-        let mut grads = GradientBuffer::new();
+        let mut grads = GradientArena::new();
         grads.add(0, 0, &[10.0, -0.001], 1.0);
         let mut opt = Adam::new(0.01);
-        opt.step(&mut m, &grads);
+        opt.step(&mut m, &mut grads);
         let row = m.tables()[0].row(0);
         // Adam's first bias-corrected step is ≈ lr regardless of magnitude,
         // in the direction opposite to the gradient.
@@ -123,11 +190,13 @@ mod tests {
         let mut m = model();
         m.tables_mut()[0].set_row(1, &[1.0, 1.0]);
         let mut opt = Adam::new(0.05);
+        opt.bind(&m);
+        let mut grads = GradientArena::new();
         for _ in 0..200 {
             let x = m.tables()[0].row(1).to_vec();
-            let mut grads = GradientBuffer::new();
+            grads.clear();
             grads.add(0, 1, &[2.0 * x[0], 2.0 * x[1]], 1.0);
-            opt.step(&mut m, &grads);
+            opt.step(&mut m, &mut grads);
         }
         let x = m.tables()[0].row(1);
         assert!(x[0].abs() < 0.05, "x[0] = {}", x[0]);
@@ -137,11 +206,11 @@ mod tests {
     #[test]
     fn lazy_state_and_reset() {
         let mut m = model();
-        let mut grads = GradientBuffer::new();
+        let mut grads = GradientArena::new();
         grads.add(0, 2, &[1.0, 1.0], 1.0);
         grads.add(1, 0, &[1.0, 1.0], 1.0);
         let mut opt = Adam::new(0.01);
-        opt.step(&mut m, &grads);
+        opt.step(&mut m, &mut grads);
         assert_eq!(opt.state_rows(), 2);
         opt.reset();
         assert_eq!(opt.state_rows(), 0);
@@ -154,14 +223,34 @@ mod tests {
     }
 
     #[test]
-    fn touched_rows_are_reported() {
+    fn touched_rows_walk_in_sorted_order() {
         let mut m = model();
-        let mut grads = GradientBuffer::new();
-        grads.add(0, 0, &[1.0, 1.0], 1.0);
+        let mut grads = GradientArena::new();
         grads.add(0, 1, &[1.0, 1.0], 1.0);
+        grads.add(0, 0, &[1.0, 1.0], 1.0);
         let mut opt = Adam::new(0.01);
-        let mut touched = opt.step(&mut m, &grads);
-        touched.sort_unstable();
-        assert_eq!(touched, vec![(0, 0), (0, 1)]);
+        opt.step(&mut m, &mut grads);
+        assert_eq!(grads.touched(), &[(0, 0), (0, 1)]);
+        assert_eq!(opt.state_rows(), 2);
+    }
+
+    #[test]
+    fn bound_and_unbound_states_apply_identical_updates() {
+        let mut bound_model = model();
+        let mut lazy_model = model();
+        let mut grads = GradientArena::new();
+        grads.add(0, 0, &[0.7, -0.3], 1.0);
+        grads.add(1, 0, &[0.2, 0.9], -0.5);
+        let mut bound = Adam::new(0.01);
+        bound.bind(&bound_model);
+        let mut lazy = Adam::new(0.01);
+        for _ in 0..3 {
+            bound.step(&mut bound_model, &mut grads);
+            lazy.step(&mut lazy_model, &mut grads);
+        }
+        for (a, b) in bound_model.tables().iter().zip(lazy_model.tables()) {
+            assert_eq!(a.data(), b.data());
+        }
+        assert_eq!(bound.state_rows(), lazy.state_rows());
     }
 }

@@ -1,12 +1,60 @@
 //! Sparse first-order optimizers for embedding tables.
 //!
-//! A KG-embedding SGD step only touches a handful of parameter rows, so all
-//! optimizer state (AdaGrad accumulators, Adam moments) is kept sparsely per
-//! `(table, row)` and updated lazily — exactly the "lazy Adam" behaviour of
-//! the PyTorch sparse optimizers the paper's reference implementation relies
-//! on. The paper trains every model with Adam at its default hyper-parameters
-//! except the learning rate (Section IV-A2); plain SGD and AdaGrad are
-//! provided for the ablation benches.
+//! A KG-embedding SGD step only touches a handful of parameter rows, so
+//! gradients arrive sparsely — as a
+//! [`GradientArena`](nscaching_models::GradientArena) of touched rows — and
+//! the stateful optimizers update their moments lazily per row, exactly the
+//! "lazy Adam" behaviour of the PyTorch sparse optimizers the paper's
+//! reference implementation relies on. The paper trains every model with Adam
+//! at its default hyper-parameters except the learning rate (Section IV-A2);
+//! plain SGD and AdaGrad are provided for the ablation benches.
+//!
+//! # State layout: dense per-table slabs
+//!
+//! [`AdaGrad`] and [`Adam`] keep their per-row state (squared-gradient
+//! accumulators; first/second moments plus the per-row step counter of the
+//! bias correction) in **dense per-table slabs indexed by row id**: one
+//! `Vec<f64>` of `rows × dim` values per parameter table, plus one counter
+//! per row for Adam. Reaching row `r`'s state is `&slab[r·dim .. (r+1)·dim]`
+//! — an array index instead of the `HashMap<(TableId, usize), Vec<f64>>`
+//! lookup (hash + probe + pointer chase to a scattered heap row) the previous
+//! engine paid on every touched row of every batch. The slabs cost the same
+//! memory as the model's own tables (twice for Adam), which is the standard
+//! trade of production embedding trainers.
+//!
+//! Call [`Optimizer::bind`] once at construction time (the trainer and the
+//! GAN samplers do) to pre-size every slab from the model's table dimensions;
+//! after that a [`step`](Optimizer::step) performs **no heap allocation** —
+//! previously Adam allocated two `Vec<f64>`s on the first touch of every row
+//! mid-epoch. Unbound optimizers still work (slabs grow on demand), they just
+//! lose the no-allocation guarantee.
+//!
+//! # Determinism: the sorted-slot contract
+//!
+//! [`Optimizer::step`] applies updates by walking the arena's **sorted
+//! `(table, row)` slot list** (`GradientArena::rows`). Each row's update
+//! touches only that row's parameters and state, so the result is independent
+//! of walk order — but fixing the order anyway makes the whole apply stage a
+//! pure function of the accumulated gradient values, with no dependence on
+//! hash-map iteration order, across runs and platforms. Together with the
+//! arena's ordered shard merge this is what makes parallel training
+//! trajectories bit-reproducible (see `nscaching-train`'s concurrency model).
+//!
+//! # Plugging in a new optimizer
+//!
+//! Implement [`Optimizer`]:
+//!
+//! 1. in `step`, iterate `grads.rows().iter()` — ascending `(table, row)`
+//!    order, one contiguous gradient slice per row — and update
+//!    `model.table_mut(table).row_mut(row)` in place; keep the per-row math
+//!    self-contained so the order-independence argument above holds;
+//! 2. keep any per-row state in dense per-table slabs sized in
+//!    [`bind`](Optimizer::bind) (see `AdaGrad` for the minimal template) so
+//!    `step` stays allocation-free;
+//! 3. leave constraint application to the caller: the trainer follows every
+//!    step with `model.apply_constraints(grads.touched())`, which replays the
+//!    same sorted slot list;
+//! 4. add a variant to [`OptimizerKind`] and wire it in [`build_optimizer`].
 
 pub mod adagrad;
 pub mod adam;

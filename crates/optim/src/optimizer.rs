@@ -3,17 +3,24 @@
 use crate::adagrad::AdaGrad;
 use crate::adam::Adam;
 use crate::sgd::Sgd;
-use nscaching_models::{GradientBuffer, KgeModel, TableId};
+use nscaching_models::{GradientArena, KgeModel};
 use serde::{Deserialize, Serialize};
 
 /// A sparse first-order optimizer.
 ///
-/// `step` applies one descent update for every `(table, row)` gradient in the
-/// buffer and returns the list of touched rows so the caller can re-impose
-/// model constraints ([`KgeModel::apply_constraints`]).
+/// `step` applies one descent update for every touched `(table, row)` slot of
+/// the arena, walking the sorted slot list (see the crate docs for the
+/// determinism contract). The caller re-imposes model constraints afterwards
+/// with `model.apply_constraints(grads.touched())` — the same sorted list, so
+/// no separate touched-row vector is materialised.
 pub trait Optimizer: Send {
     /// Apply one descent step of the given sparse gradient.
-    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)>;
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &mut GradientArena);
+
+    /// Pre-size the per-row state slabs from `model`'s table dimensions so
+    /// that [`step`](Self::step) never allocates. Called once at construction
+    /// by the trainer and the GAN samplers; stateless optimizers ignore it.
+    fn bind(&mut self, _model: &dyn KgeModel) {}
 
     /// The (base) learning rate.
     fn learning_rate(&self) -> f64;

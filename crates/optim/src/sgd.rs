@@ -1,7 +1,7 @@
 //! Plain stochastic gradient descent.
 
 use crate::optimizer::Optimizer;
-use nscaching_models::{GradientBuffer, KgeModel, TableId};
+use nscaching_models::{GradientArena, KgeModel};
 
 /// `θ ← θ − η·g` with no state.
 #[derive(Debug, Clone)]
@@ -18,18 +18,14 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)> {
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &mut GradientArena) {
         let lr = self.learning_rate;
-        let mut tables = model.tables_mut();
-        let mut touched = Vec::with_capacity(grads.len());
-        for (&(table, row), grad) in grads.iter() {
-            let params = tables[table].row_mut(row);
+        for (table, row, grad) in grads.rows().iter() {
+            let params = model.table_mut(table).row_mut(row);
             for (p, g) in params.iter_mut().zip(grad) {
                 *p -= lr * g;
             }
-            touched.push((table, row));
         }
-        touched
     }
 
     fn learning_rate(&self) -> f64 {
@@ -50,11 +46,11 @@ mod tests {
         let mut rng = seeded_rng(1);
         let mut model = DistMult::new(3, 1, 2, &mut rng);
         model.tables_mut()[0].set_row(0, &[1.0, 1.0]);
-        let mut grads = GradientBuffer::new();
+        let mut grads = GradientArena::new();
         grads.add(0, 0, &[0.5, -0.5], 1.0);
         let mut opt = Sgd::new(0.1);
-        let touched = opt.step(&mut model, &grads);
-        assert_eq!(touched, vec![(0, 0)]);
+        opt.step(&mut model, &mut grads);
+        assert_eq!(grads.touched(), &[(0, 0)]);
         let row = model.tables()[0].row(0);
         assert!((row[0] - 0.95).abs() < 1e-12);
         assert!((row[1] - 1.05).abs() < 1e-12);
@@ -65,9 +61,9 @@ mod tests {
         let mut rng = seeded_rng(2);
         let mut model = DistMult::new(3, 1, 2, &mut rng);
         let before = model.tables()[0].row(2).to_vec();
-        let mut grads = GradientBuffer::new();
+        let mut grads = GradientArena::new();
         grads.add(0, 0, &[1.0, 1.0], 1.0);
-        Sgd::new(0.1).step(&mut model, &grads);
+        Sgd::new(0.1).step(&mut model, &mut grads);
         assert_eq!(model.tables()[0].row(2), before.as_slice());
     }
 

@@ -96,7 +96,14 @@ impl RepeatTracker {
     }
 
     /// Close the current epoch; evicts epochs that fall out of the window.
+    ///
+    /// The per-epoch maps are recycled: the current map is snapshotted into
+    /// the history by swap, and the oldest evicted epoch's map (cleared, its
+    /// table allocation intact) becomes the new current map. In steady state
+    /// an epoch boundary therefore moves allocations around instead of
+    /// rebuilding a fresh `HashMap` from empty every epoch.
     pub fn end_epoch(&mut self) {
+        let mut recycled = HashMap::new();
         self.history.push_back(std::mem::take(&mut self.current));
         while self.history.len() > self.window {
             if let Some(evicted) = self.history.pop_front() {
@@ -107,8 +114,11 @@ impl RepeatTracker {
                 let evicted_draws: u64 = evicted.values().sum();
                 self.draws_in_window = self.draws_in_window.saturating_sub(evicted_draws);
                 self.repeats_in_window = self.repeats_in_window.min(self.draws_in_window);
+                recycled = evicted;
             }
         }
+        recycled.clear();
+        std::mem::swap(&mut self.current, &mut recycled);
     }
 }
 

@@ -40,9 +40,11 @@
 //!    ever consumes another's draws.
 //! 3. **Reduction order.** After the round completes, per-shard gradients,
 //!    loss records and buffered sampler feedback are folded in **ascending
-//!    shard order** ([`nscaching_models::GradientBuffer::merge`], then the
-//!    sampler's `merge_batch`), and a single optimizer step applies the
-//!    batch — floating-point summation order is fixed, making the parallel
+//!    shard order** ([`nscaching_models::GradientArena::merge`], which walks
+//!    each shard's sorted `(table, row)` slot list, then the sampler's
+//!    `merge_batch`), and a single optimizer step applies the batch by
+//!    walking the merged arena's sorted slots — floating-point summation and
+//!    update order come from the slab layout itself, making the parallel
 //!    trajectory deterministic.
 //!
 //! ## Pool lifecycle

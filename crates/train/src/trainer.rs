@@ -14,7 +14,7 @@ use nscaching::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
 use nscaching_kg::{FilterIndex, Triple};
 use nscaching_math::{seeded_rng, split_seed};
-use nscaching_models::{default_loss, GradientBuffer, KgeModel, L2Regularizer, Loss, LossType};
+use nscaching_models::{default_loss, GradientArena, KgeModel, L2Regularizer, Loss, LossType};
 use nscaching_optim::{build_optimizer, Optimizer};
 use rand::rngs::StdRng;
 use std::sync::Arc;
@@ -37,7 +37,7 @@ pub const SHARD_STREAM_TAG: u64 = 0xA11E1;
 #[derive(Default)]
 struct ShardOutput {
     /// Score gradients accumulated by this shard's positives, in batch order.
-    grads: GradientBuffer,
+    grads: GradientArena,
     /// `(loss, nonzero)` per processed example, in batch order.
     examples: Vec<(f64, bool)>,
     /// Sampled negative triples, in batch order (repeat-ratio tracking).
@@ -106,6 +106,13 @@ pub struct Trainer {
     /// first pooled epoch, reused for the trainer's lifetime (resized only if
     /// the shard count changes), joined on drop.
     pool: Option<WorkerPool>,
+    /// The batch gradient arena, reused across batches *and* epochs so the
+    /// zero-allocation steady state spans the whole run.
+    grads: GradientArena,
+    /// Per-shard worker outputs of the parallel engine, likewise reused.
+    shard_outputs: Vec<ShardOutput>,
+    /// Per-shard positive lists of the parallel engine's batch partition.
+    shard_tasks: Vec<Vec<Triple>>,
 }
 
 impl Trainer {
@@ -130,7 +137,10 @@ impl Trainer {
             LossType::Logistic => L2Regularizer::new(config.lambda),
             LossType::MarginRanking => L2Regularizer::none(),
         };
-        let optimizer = build_optimizer(&config.optimizer);
+        let mut optimizer = build_optimizer(&config.optimizer);
+        // Pre-size the optimizer's per-table state slabs so no step ever
+        // allocates (see the nscaching-optim crate docs).
+        optimizer.bind(model.as_ref());
         let batcher = Batcher::new(data.train, config.batch_size);
         let rng = seeded_rng(config.seed);
         let repeat_tracker = RepeatTracker::new(config.repeat_window);
@@ -150,6 +160,9 @@ impl Trainer {
             epochs_done: 0,
             train_seconds: 0.0,
             pool: None,
+            grads: GradientArena::new(),
+            shard_outputs: Vec::new(),
+            shard_tasks: Vec::new(),
         }
     }
 
@@ -217,7 +230,9 @@ impl Trainer {
     fn train_epoch_sequential(&mut self) -> EpochStats {
         let started = Instant::now();
         let mut acc = EpochAccumulator::new();
-        let mut grads = GradientBuffer::new();
+        // Borrow the trainer-owned arena for the epoch (returned below), so
+        // its slabs persist across epochs at their high-water marks.
+        let mut grads = std::mem::take(&mut self.grads);
 
         // Walk the epoch by index: triples are copied out of the batcher by
         // value (16 bytes each), so no borrow is held across the loop body
@@ -271,11 +286,13 @@ impl Trainer {
 
             if !grads.is_empty() {
                 acc.record_batch_gradient(grads.norm());
-                let touched = self.optimizer.step(self.model.as_mut(), &grads);
-                self.model.apply_constraints(&touched);
+                self.optimizer.step(self.model.as_mut(), &mut grads);
+                self.model.apply_constraints(grads.touched());
             }
         }
 
+        grads.clear();
+        self.grads = grads;
         self.finish_epoch(acc, started)
     }
 
@@ -289,7 +306,10 @@ impl Trainer {
     fn train_epoch_parallel(&mut self, shards: usize) -> EpochStats {
         let started = Instant::now();
         let mut acc = EpochAccumulator::new();
-        let mut grads = GradientBuffer::new();
+        // Borrow the trainer-owned buffers for the epoch (returned below);
+        // arenas, per-shard outputs and task lists all keep their high-water
+        // allocations across batches and epochs.
+        let mut grads = std::mem::take(&mut self.grads);
 
         if self.pool.as_ref().is_none_or(|p| p.workers() != shards) {
             self.pool = Some(WorkerPool::new(shards));
@@ -306,8 +326,10 @@ impl Trainer {
         let mut shard_rngs: Vec<StdRng> = (0..shards)
             .map(|s| seeded_rng(split_seed(epoch_seed, s as u64)))
             .collect();
-        let mut tasks: Vec<Vec<Triple>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut outputs: Vec<ShardOutput> = (0..shards).map(|_| ShardOutput::default()).collect();
+        let mut tasks = std::mem::take(&mut self.shard_tasks);
+        tasks.resize_with(shards, Vec::new);
+        let mut outputs = std::mem::take(&mut self.shard_outputs);
+        outputs.resize_with(shards, ShardOutput::default);
 
         for batch in 0..self.batcher.batches_per_epoch() {
             // Stage 1 — shard: partition the mini-batch by cache key,
@@ -360,7 +382,8 @@ impl Trainer {
             self.sampler.merge_batch();
 
             // Stage 3 — merge: fold shard outputs in ascending shard order so
-            // the floating-point reduction is deterministic.
+            // the floating-point reduction is deterministic (each shard's
+            // arena is walked in sorted slot order; see GradientArena::merge).
             grads.clear();
             for out in &mut outputs {
                 for &(example_loss, nonzero) in &out.examples {
@@ -371,18 +394,22 @@ impl Trainer {
                     self.repeat_tracker.record(negative);
                 }
                 out.negatives.clear();
-                grads.merge(&out.grads);
+                grads.merge(&mut out.grads);
                 out.grads.clear();
             }
 
             // Stage 4 — apply: one optimizer step per mini-batch.
             if !grads.is_empty() {
                 acc.record_batch_gradient(grads.norm());
-                let touched = self.optimizer.step(self.model.as_mut(), &grads);
-                self.model.apply_constraints(&touched);
+                self.optimizer.step(self.model.as_mut(), &mut grads);
+                self.model.apply_constraints(grads.touched());
             }
         }
 
+        grads.clear();
+        self.grads = grads;
+        self.shard_tasks = tasks;
+        self.shard_outputs = outputs;
         self.finish_epoch(acc, started)
     }
 

@@ -6,24 +6,33 @@
 //!    path being unchanged;
 //! 2. with `shards > 1`, the persistent worker-pool engine must reproduce
 //!    the retired per-batch `std::thread::scope` engine bit-for-bit — the
-//!    pool replaces *where* the shard stage runs, never *what* it computes.
+//!    pool replaces *where* the shard stage runs, never *what* it computes;
+//! 3. the slab-backed `GradientArena` + dense-slab-optimizer engine must
+//!    reproduce the retired `HashMap` gradient engine bit-for-bit: both
+//!    references below accumulate into a genuine
+//!    `HashMap<(TableId, usize), Vec<f64>>` [`GradientBuffer`] and apply it
+//!    with [`ReferenceAdam`] — a line-for-line copy of the retired
+//!    `HashMap`-state Adam — so every trajectory equality in this file is
+//!    simultaneously an arena-vs-HashMap proof.
 //!
-//! The references below are line-for-line re-implementations of both
-//! retired engines (sequential: sample → score → feedback → loss/gradients →
-//! cache update per positive, one optimizer step per mini-batch; parallel:
-//! shard → scoped workers → ascending-shard-order merge → apply) built from
-//! the same public pieces the trainer composes.
+//! The references below are line-for-line re-implementations of the retired
+//! engines (sequential: sample → score → feedback → loss/gradients → cache
+//! update per positive, one optimizer step per mini-batch; parallel: shard →
+//! scoped workers → ascending-shard-order merge → apply) built from the same
+//! public pieces the trainer composes.
 
 use nscaching::{build_sampler, NsCachingConfig, SamplerConfig, ShardSampler};
 use nscaching_datagen::GeneratorConfig;
 use nscaching_kg::{Dataset, Triple};
 use nscaching_math::{seeded_rng, split_seed};
 use nscaching_models::{
-    build_model, default_loss, GradientBuffer, L2Regularizer, LossType, ModelConfig, ModelKind,
+    build_model, default_loss, GradientBuffer, KgeModel, L2Regularizer, LossType, ModelConfig,
+    ModelKind, TableId,
 };
-use nscaching_optim::{build_optimizer, OptimizerConfig};
+use nscaching_optim::OptimizerConfig;
 use nscaching_train::{Batcher, TrainConfig, Trainer, SHARD_STREAM_TAG};
 use rand::rngs::StdRng;
+use std::collections::HashMap;
 
 const MODEL_SEED: u64 = 7;
 const SAMPLER_SEED: u64 = 11;
@@ -53,6 +62,68 @@ fn train_config() -> TrainConfig {
         .with_seed(TRAIN_SEED)
 }
 
+/// The retired `HashMap`-state lazy Adam, verbatim: per-row `RowState`
+/// allocated on first touch, updates applied in `GradientBuffer` hash-map
+/// iteration order. This is the optimizer half of the retired gradient
+/// engine that the arena trainer is proven against — per-row updates are
+/// independent, so hash-order application and the arena's sorted-slot walk
+/// must land on identical parameter bits.
+struct ReferenceAdam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    state: HashMap<(TableId, usize), ReferenceRowState>,
+}
+
+struct ReferenceRowState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl ReferenceAdam {
+    fn new(learning_rate: f64) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+
+    fn step(&mut self, model: &mut dyn KgeModel, grads: &GradientBuffer) -> Vec<(TableId, usize)> {
+        let (lr, b1, b2, eps) = (self.learning_rate, self.beta1, self.beta2, self.epsilon);
+        let mut tables = model.tables_mut();
+        let mut touched = Vec::with_capacity(grads.len());
+        for (&(table, row), grad) in grads.iter() {
+            let state = self
+                .state
+                .entry((table, row))
+                .or_insert_with(|| ReferenceRowState {
+                    m: vec![0.0; grad.len()],
+                    v: vec![0.0; grad.len()],
+                    t: 0,
+                });
+            state.t += 1;
+            let bias1 = 1.0 - b1.powi(state.t as i32);
+            let bias2 = 1.0 - b2.powi(state.t as i32);
+            let params = tables[table].row_mut(row);
+            for i in 0..grad.len() {
+                let g = grad[i];
+                state.m[i] = b1 * state.m[i] + (1.0 - b1) * g;
+                state.v[i] = b2 * state.v[i] + (1.0 - b2) * g * g;
+                let m_hat = state.m[i] / bias1;
+                let v_hat = state.v[i] / bias2;
+                params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            touched.push((table, row));
+        }
+        touched
+    }
+}
+
 /// Per-epoch mean losses of the original sequential training loop.
 fn reference_epoch_losses(ds: &Dataset, kind: ModelKind, sampler: &SamplerConfig) -> Vec<f64> {
     let mut model = build_model(
@@ -66,7 +137,7 @@ fn reference_epoch_losses(ds: &Dataset, kind: ModelKind, sampler: &SamplerConfig
         LossType::Logistic => L2Regularizer::new(LAMBDA),
         LossType::MarginRanking => L2Regularizer::none(),
     };
-    let mut optimizer = build_optimizer(&OptimizerConfig::adam(0.02));
+    let mut optimizer = ReferenceAdam::new(0.02);
     let mut batcher = Batcher::new(ds.train.clone(), BATCH);
     let mut rng = seeded_rng(TRAIN_SEED);
 
@@ -142,7 +213,7 @@ fn reference_parallel_epoch_losses(
         LossType::Logistic => L2Regularizer::new(LAMBDA),
         LossType::MarginRanking => L2Regularizer::none(),
     };
-    let mut optimizer = build_optimizer(&OptimizerConfig::adam(0.02));
+    let mut optimizer = ReferenceAdam::new(0.02);
     let mut batcher = Batcher::new(ds.train.clone(), BATCH);
     let mut rng = seeded_rng(TRAIN_SEED);
 

@@ -11,7 +11,7 @@
 
 use nscaching_suite::datagen::GeneratorConfig;
 use nscaching_suite::kg::Triple;
-use nscaching_suite::models::{EmbeddingTable, GradientBuffer, KgeModel, ModelKind, TableId};
+use nscaching_suite::models::{EmbeddingTable, GradientSink, KgeModel, ModelKind, TableId};
 use nscaching_suite::optim::OptimizerConfig;
 use nscaching_suite::sampling::{build_sampler, NsCachingConfig, SamplerConfig};
 use nscaching_suite::train::{TrainConfig, Trainer};
@@ -58,7 +58,7 @@ impl KgeModel for TransEL2 {
     fn score(&self, t: &Triple) -> f64 {
         -self.residual(t).iter().map(|v| v * v).sum::<f64>().sqrt()
     }
-    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut GradientBuffer) {
+    fn accumulate_score_gradient(&self, t: &Triple, coeff: f64, grads: &mut dyn GradientSink) {
         // f = −‖u‖₂  ⇒  ∂f/∂u = −u / ‖u‖₂ (zero at the origin).
         let u = self.residual(t);
         let norm = u.iter().map(|v| v * v).sum::<f64>().sqrt();
