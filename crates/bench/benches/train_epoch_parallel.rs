@@ -134,15 +134,20 @@ fn assert_parallel_epoch_speedup(_c: &mut Criterion) {
         secs_4 * 1e3,
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"train_epoch_parallel\",\n  \"workload\": {{\n    \"model\": \"TransE\",\n    \"dim\": 64,\n    \"sampler\": \"NSCaching(N1=50, N2=50)\",\n    \"num_entities\": {},\n    \"num_train\": {},\n    \"batch_size\": 256\n  }},\n  \"cores\": {cores},\n  \"epoch_seconds\": {{\n    \"shards_1\": {secs_1:.6},\n    \"shards_2\": {secs_2:.6},\n    \"shards_4\": {secs_4:.6}\n  }},\n  \"speedup_2_shards\": {speedup_2:.3},\n  \"speedup_4_shards\": {speedup_4:.3},\n  \"required_speedup\": {required},\n  \"note\": \"acceptance bar is >=2x at 4 shards on hosts with >=4 cores; narrower hosts record the ratio and assert only a no-collapse bound (override with NSC_PARALLEL_SPEEDUP_MIN)\"\n}}\n",
+    let section = format!(
+        "{{\n  \"workload\": {{\n    \"model\": \"TransE\",\n    \"dim\": 64,\n    \"sampler\": \"NSCaching(N1=50, N2=50)\",\n    \"num_entities\": {},\n    \"num_train\": {},\n    \"batch_size\": 256\n  }},\n  \"cores\": {cores},\n  \"epoch_seconds\": {{\n    \"shards_1\": {secs_1:.6},\n    \"shards_2\": {secs_2:.6},\n    \"shards_4\": {secs_4:.6}\n  }},\n  \"speedup_2_shards\": {speedup_2:.3},\n  \"speedup_4_shards\": {speedup_4:.3},\n  \"required_speedup\": {required},\n  \"note\": \"acceptance bar is >=2x at 4 shards on hosts with >=4 cores; narrower hosts record the ratio and assert only a no-collapse bound (override with NSC_PARALLEL_SPEEDUP_MIN)\"\n}}",
         dataset.num_entities(),
         dataset.train.len(),
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_parallel.json");
-    if let Err(e) = std::fs::write(&path, &json) {
+    if let Err(e) = nscaching_bench::update_bench_section(
+        &path,
+        "train_epoch_parallel",
+        "train_epoch_parallel",
+        &section,
+    ) {
         eprintln!("could not record BENCH_parallel.json at {path:?}: {e}");
     }
 

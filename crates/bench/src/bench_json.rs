@@ -19,6 +19,13 @@
 //! reader is a tiny scanner (string- and escape-aware brace counting), which
 //! is all a machine-written file needs. An unreadable or malformed file is
 //! simply started over — bench records are derived data.
+//!
+//! Every section written through [`update_bench_section`] additionally gets
+//! an `"available_parallelism"` field recording the writing host's core
+//! count, so numbers recorded on narrow containers (this repo's history has
+//! a 1-core 0.95× parallel-speedup entry) are self-describing instead of
+//! silently misleading readers on wider hardware. Sections written by other
+//! hosts keep the value of *their* writer.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -26,14 +33,17 @@ use std::path::Path;
 
 /// Insert or replace `section` in the bench file at `path`, preserving every
 /// other section. `body` must be a JSON object (`{...}`); `bench` names the
-/// file's `"bench"` field.
+/// file's `"bench"` field. The writing host's [`available_parallelism`]
+/// is recorded as the section's first field (replacing any value the caller
+/// supplied).
 pub fn update_bench_section(path: &Path, bench: &str, section: &str, body: &str) -> io::Result<()> {
     debug_assert!(body.trim_start().starts_with('{'), "body must be an object");
     let mut sections = std::fs::read_to_string(path)
         .ok()
         .map(|text| extract_sections(&text))
         .unwrap_or_default();
-    sections.insert(section.to_string(), body.trim().to_string());
+    let body = inject_parallelism(body.trim(), available_parallelism());
+    sections.insert(section.to_string(), body);
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -64,6 +74,59 @@ pub fn update_bench_section(path: &Path, bench: &str, section: &str, body: &str)
     }
     out.push_str("  }\n}\n");
     std::fs::write(path, out)
+}
+
+/// Core count of the writing host (what the recorded ratios could have used).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Rewrite `body` (a JSON object) so its first field is
+/// `"available_parallelism": cores`, dropping any existing field of that
+/// name (idempotent across read-modify-write cycles).
+fn inject_parallelism(body: &str, cores: usize) -> String {
+    let without = strip_field(body, "available_parallelism");
+    let open = without.find('{').map(|i| i + 1).unwrap_or(0);
+    let rest = without[open..].trim_start();
+    let mut out = String::with_capacity(without.len() + 40);
+    out.push_str(&without[..open]);
+    out.push_str(&format!("\n  \"available_parallelism\": {cores}"));
+    if !rest.starts_with('}') {
+        out.push(',');
+    }
+    out.push('\n');
+    out.push_str(without[open..].trim_start_matches('\n'));
+    out
+}
+
+/// Remove one scalar `"name": value` field (and its trailing comma) from a
+/// JSON object body, if present at the top level.
+fn strip_field(body: &str, name: &str) -> String {
+    let needle = format!("\"{name}\"");
+    let Some(start) = body.find(&needle) else {
+        return body.to_string();
+    };
+    let bytes = body.as_bytes();
+    // Scan past the colon and the scalar value to the next comma or brace.
+    let mut end = start + needle.len();
+    while end < bytes.len() && bytes[end] != b',' && bytes[end] != b'}' {
+        end += 1;
+    }
+    if end < bytes.len() && bytes[end] == b',' {
+        end += 1;
+    }
+    // Also swallow the line's trailing newline + indentation.
+    while end < bytes.len() && (bytes[end] == b'\n' || bytes[end] == b' ') {
+        end += 1;
+    }
+    let mut head = body[..start].to_string();
+    let trimmed = head.trim_end_matches([' ', '\n']).len();
+    head.truncate(trimmed);
+    head.push('\n');
+    // Re-indent what follows.
+    format!("{head}  {}", &body[end..])
 }
 
 /// Pull the `"sections"` object out of an existing bench file as raw
@@ -203,6 +266,47 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("a } brace"), "{text}");
         assert!(text.contains("\"n\": 3"), "{text}");
+    }
+
+    #[test]
+    fn every_written_section_records_available_parallelism() {
+        let path = tempfile("cores.json");
+        let _ = std::fs::remove_file(&path);
+        update_bench_section(&path, "pool", "alpha", "{\n  \"x\": 1\n}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let expected = format!("\"available_parallelism\": {}", available_parallelism());
+        assert!(text.contains(&expected), "{text}");
+        assert!(text.contains("\"x\": 1"), "{text}");
+    }
+
+    #[test]
+    fn parallelism_injection_is_idempotent() {
+        let path = tempfile("cores-idem.json");
+        let _ = std::fs::remove_file(&path);
+        // A body that already carries a (stale) value gets exactly one fresh
+        // field, not two.
+        update_bench_section(
+            &path,
+            "pool",
+            "alpha",
+            "{\n  \"available_parallelism\": 999,\n  \"x\": 1\n}",
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("available_parallelism").count(), 1, "{text}");
+        assert!(!text.contains("999"), "{text}");
+        assert!(text.contains("\"x\": 1"), "{text}");
+        // Rewriting the same section keeps it single.
+        update_bench_section(
+            &path,
+            "pool",
+            "alpha",
+            "{\n  \"available_parallelism\": 999,\n  \"x\": 2\n}",
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("available_parallelism").count(), 1, "{text}");
+        assert!(text.contains("\"x\": 2"), "{text}");
     }
 
     #[test]

@@ -203,8 +203,106 @@ pub fn train_once(
     )
 }
 
+/// The per-run checkpoint file name under a checkpoint directory: label,
+/// scoring function and dataset shape, so grid runs (same binary, several
+/// datasets × models) never collide.
+fn checkpoint_file_name(label: &str, kind: ModelKind, dataset: &BenchDataset) -> String {
+    let slug: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!(
+        "{slug}-{}-e{}-t{}.ckpt",
+        kind.name().to_lowercase(),
+        dataset.num_entities(),
+        dataset.train.len()
+    )
+}
+
+/// Resolve where this run's checkpoint lives for `--resume`: a directory
+/// resolves through the per-run naming scheme, a file is taken verbatim.
+fn resume_path(
+    resume: &std::path::Path,
+    label: &str,
+    kind: ModelKind,
+    dataset: &BenchDataset,
+) -> std::path::PathBuf {
+    if resume.is_dir() {
+        resume.join(checkpoint_file_name(label, kind, dataset))
+    } else {
+        resume.to_path_buf()
+    }
+}
+
+/// Try to resume this run from `--resume`. Any failure — no file, wrong
+/// dataset, configuration drift, corruption — falls back to a fresh run with
+/// a note on stderr: resumption is an optimisation, never a correctness
+/// requirement, but a *matching* checkpoint continues the interrupted
+/// trajectory bit-for-bit (see `nscaching_serve`).
+fn try_resume(
+    dataset: &BenchDataset,
+    kind: ModelKind,
+    sampler: &SamplerConfig,
+    label: &str,
+    settings: &ExperimentSettings,
+    train_config: &TrainConfig,
+) -> Option<Trainer> {
+    let resume = settings.resume.as_deref()?;
+    let path = resume_path(resume, label, kind, dataset);
+    if !path.exists() {
+        return None;
+    }
+    let attempt = nscaching_serve::load_checkpoint(&path).and_then(|checkpoint| {
+        if checkpoint.model.kind != kind
+            || checkpoint.model.dim != settings.dim
+            || checkpoint.model.num_entities != dataset.num_entities()
+            || checkpoint.model.num_relations != dataset.num_relations()
+        {
+            return Err(nscaching_serve::SnapshotError::SchemaMismatch(format!(
+                "checkpoint holds {:?} d={} |E|={} |R|={}, run wants {:?} d={} |E|={} |R|={}",
+                checkpoint.model.kind,
+                checkpoint.model.dim,
+                checkpoint.model.num_entities,
+                checkpoint.model.num_relations,
+                kind,
+                settings.dim,
+                dataset.num_entities(),
+                dataset.num_relations()
+            )));
+        }
+        let sampler =
+            nscaching::build_sampler(sampler, dataset.dataset(), settings.seed.wrapping_add(2));
+        nscaching_serve::resume_trainer(checkpoint, sampler, dataset.data(), train_config.clone())
+    });
+    match attempt {
+        Ok(trainer) => {
+            eprintln!(
+                "[{label}] resumed from {path:?} at epoch {}",
+                trainer.epochs_done()
+            );
+            Some(trainer)
+        }
+        Err(e) => {
+            eprintln!("[{label}] not resuming from {path:?}: {e}");
+            None
+        }
+    }
+}
+
 /// Train with an explicit sampler configuration (used by the ablation
 /// figures, which need non-default strategies and cache sizes).
+///
+/// Honours the checkpoint flags: with `--resume` the run continues from its
+/// per-run checkpoint when one matches (skipping pretraining — the
+/// checkpointed tables already embody it), and with `--checkpoint-every N`
+/// the trainer saves a resumable checkpoint to `--checkpoint-dir` every `N`
+/// finished epochs through [`Trainer::run_with`]'s epoch hook.
 pub fn train_with_sampler(
     dataset: &BenchDataset,
     kind: ModelKind,
@@ -218,34 +316,62 @@ pub fn train_with_sampler(
         .with_dim(settings.dim)
         .with_seed(settings.seed ^ 0x5eed);
     let mut train_config = standard_train_config(kind, settings).with_eval_every(eval_every);
-
-    let (model, pretrain_seconds) = if pretrain_epochs > 0 {
-        pretrain_model(
-            &model_config,
-            dataset.dataset(),
-            dataset.data(),
-            &train_config,
-            pretrain_epochs,
-        )
-    } else {
-        (
-            nscaching_models::build_model(
-                &model_config,
-                dataset.num_entities(),
-                dataset.num_relations(),
-            ),
-            0.0,
-        )
-    };
-
     // The paper evaluates KBGAN/NSCaching within a fixed epoch budget whether
     // or not they were pretrained; the pretraining epochs are charged to the
     // reported wall-clock time in the convergence figures.
     train_config.seed = settings.seed.wrapping_add(1);
-    let sampler =
-        nscaching::build_sampler(&sampler, dataset.dataset(), settings.seed.wrapping_add(2));
-    let mut trainer = Trainer::new(model, sampler, dataset.data(), train_config);
-    trainer.run();
+
+    let (mut trainer, pretrain_seconds) =
+        match try_resume(dataset, kind, &sampler, &label, settings, &train_config) {
+            Some(trainer) => (trainer, 0.0),
+            None => {
+                let (model, pretrain_seconds) = if pretrain_epochs > 0 {
+                    pretrain_model(
+                        &model_config,
+                        dataset.dataset(),
+                        dataset.data(),
+                        &train_config,
+                        pretrain_epochs,
+                    )
+                } else {
+                    (
+                        nscaching_models::build_model(
+                            &model_config,
+                            dataset.num_entities(),
+                            dataset.num_relations(),
+                        ),
+                        0.0,
+                    )
+                };
+                let sampler = nscaching::build_sampler(
+                    &sampler,
+                    dataset.dataset(),
+                    settings.seed.wrapping_add(2),
+                );
+                (
+                    Trainer::new(model, sampler, dataset.data(), train_config),
+                    pretrain_seconds,
+                )
+            }
+        };
+
+    if settings.checkpoint_every > 0 {
+        let dir = settings.checkpoint_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("[{label}] cannot create checkpoint dir {dir:?}: {e}");
+        }
+        let path = dir.join(checkpoint_file_name(&label, kind, dataset));
+        let every = settings.checkpoint_every;
+        trainer.run_with(&mut |t| {
+            if t.epochs_done() % every == 0 {
+                if let Err(e) = nscaching_serve::save_checkpoint(&path, t) {
+                    eprintln!("[{label}] checkpoint to {path:?} failed: {e}");
+                }
+            }
+        });
+    } else {
+        trainer.run();
+    }
     let history = trainer.history().clone();
     let report = history
         .final_report
@@ -337,6 +463,87 @@ mod tests {
                 assert_eq!(outcome.pretrain_seconds, 0.0);
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_every_writes_files_and_resume_continues_bit_for_bit() {
+        let dir =
+            std::env::temp_dir().join(format!("nscaching-runner-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut settings = smoke_settings();
+        settings.epochs = 3;
+        let dataset = BenchDataset::new(
+            BenchmarkFamily::Wn18rr
+                .generate(settings.scale, settings.seed)
+                .unwrap(),
+        );
+
+        // Reference: straight through, no checkpointing.
+        let reference = train_with_sampler(
+            &dataset,
+            ModelKind::TransE,
+            SamplerConfig::Bernoulli,
+            "ckpt-test".into(),
+            0,
+            &settings,
+            0,
+        );
+
+        // Same run with per-epoch checkpoints: the final checkpoint is from
+        // epoch 3, so re-checkpoint at epoch 2 by interrupting the budget.
+        settings.checkpoint_every = 1;
+        settings.checkpoint_dir = Some(dir.clone());
+        let mut short = settings.clone();
+        short.epochs = 2;
+        let _ = train_with_sampler(
+            &dataset,
+            ModelKind::TransE,
+            SamplerConfig::Bernoulli,
+            "ckpt-test".into(),
+            0,
+            &short,
+            0,
+        );
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1, "one per-run checkpoint file");
+
+        // Resume the interrupted run to the full budget.
+        settings.resume = Some(dir.clone());
+        settings.checkpoint_every = 0;
+        let resumed = train_with_sampler(
+            &dataset,
+            ModelKind::TransE,
+            SamplerConfig::Bernoulli,
+            "ckpt-test".into(),
+            0,
+            &settings,
+            0,
+        );
+        assert_eq!(
+            resumed.history.epochs.len(),
+            1,
+            "only the remaining epoch runs"
+        );
+        assert_eq!(
+            resumed.report.combined.mrr.to_bits(),
+            reference.report.combined.mrr.to_bits(),
+            "resumed grid run must land on the uninterrupted metrics"
+        );
+
+        // A non-matching run ignores the checkpoint and starts fresh.
+        let fresh = train_with_sampler(
+            &dataset,
+            ModelKind::DistMult,
+            SamplerConfig::Bernoulli,
+            "ckpt-test".into(),
+            0,
+            &settings,
+            0,
+        );
+        assert_eq!(fresh.history.epochs.len(), settings.epochs);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

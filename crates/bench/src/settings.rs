@@ -13,6 +13,13 @@ use std::path::{Path, PathBuf};
 /// --eval-max <n>   cap on evaluated test triples (default: all)
 /// --threads <n>    training shards and eval worker threads (default:
 ///                  NSC_SHARDS for training, available parallelism for eval)
+/// --checkpoint-every <n>  save a training checkpoint every n epochs
+///                  (default 0 = off; files land in --checkpoint-dir)
+/// --checkpoint-dir <dir>  where per-run checkpoints are written
+///                  (default <out>/checkpoints)
+/// --resume <path>  resume interrupted runs: a checkpoint file (single-run
+///                  binaries) or a directory of per-run checkpoints (grids);
+///                  runs without a matching checkpoint start fresh
 /// --smoke          tiny configuration used by CI / integration tests
 /// ```
 #[derive(Debug, Clone)]
@@ -40,6 +47,13 @@ pub struct ExperimentSettings {
     /// Restrict grid experiments to these scoring functions (comma-separated
     /// `--models TransE,ComplEx`); None = the experiment's default.
     pub models: Option<Vec<String>>,
+    /// Save a checkpoint every this many epochs (0 = never).
+    pub checkpoint_every: usize,
+    /// Directory for per-run checkpoint files (None = `<out>/checkpoints`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume source: a checkpoint file or a directory of per-run
+    /// checkpoints (None = always start fresh).
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for ExperimentSettings {
@@ -55,6 +69,9 @@ impl Default for ExperimentSettings {
             smoke: false,
             datasets: None,
             models: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: None,
         }
     }
 }
@@ -131,6 +148,15 @@ impl ExperimentSettings {
                             .collect(),
                     )
                 }
+                "--checkpoint-every" => {
+                    settings.checkpoint_every = next_value(arg)?
+                        .parse()
+                        .map_err(|e| format!("invalid --checkpoint-every: {e}"))?
+                }
+                "--checkpoint-dir" => {
+                    settings.checkpoint_dir = Some(PathBuf::from(next_value(arg)?))
+                }
+                "--resume" => settings.resume = Some(PathBuf::from(next_value(arg)?)),
                 "--smoke" => settings.smoke = true,
                 "--help" | "-h" => return Err(Self::usage().to_owned()),
                 other => return Err(format!("unknown argument {other}\n{}", Self::usage())),
@@ -169,7 +195,15 @@ impl ExperimentSettings {
     /// Usage string shown for `--help` and argument errors.
     pub fn usage() -> &'static str {
         "usage: <experiment> [--scale F] [--epochs N] [--dim N] [--seed N] [--out DIR] \
-         [--eval-max N] [--threads N] [--datasets a,b] [--models A,B] [--smoke]"
+         [--eval-max N] [--threads N] [--datasets a,b] [--models A,B] \
+         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume PATH] [--smoke]"
+    }
+
+    /// Directory where per-run checkpoints are written.
+    pub fn checkpoint_dir(&self) -> PathBuf {
+        self.checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| self.out_dir.join("checkpoints"))
     }
 
     /// Filter a default list of benchmark families by `--datasets`.
@@ -279,6 +313,28 @@ mod tests {
     fn results_path_joins_out_dir() {
         let s = ExperimentSettings::parse(["--out", "x"]).unwrap();
         assert_eq!(s.results_path("table4"), PathBuf::from("x/table4.tsv"));
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_default() {
+        let s = ExperimentSettings::parse([
+            "--checkpoint-every",
+            "5",
+            "--resume",
+            "ckpts/run.ckpt",
+            "--out",
+            "o",
+        ])
+        .unwrap();
+        assert_eq!(s.checkpoint_every, 5);
+        assert_eq!(s.resume, Some(PathBuf::from("ckpts/run.ckpt")));
+        assert_eq!(s.checkpoint_dir(), PathBuf::from("o/checkpoints"));
+        let s = ExperimentSettings::parse(["--checkpoint-dir", "elsewhere"]).unwrap();
+        assert_eq!(s.checkpoint_dir(), PathBuf::from("elsewhere"));
+        assert_eq!(s.checkpoint_every, 0, "checkpointing defaults to off");
+        assert!(s.resume.is_none());
+        assert!(ExperimentSettings::parse(["--checkpoint-every", "x"]).is_err());
+        assert!(ExperimentSettings::parse(["--resume"]).is_err());
     }
 }
 

@@ -20,7 +20,7 @@ pub mod topk;
 pub mod vecops;
 
 pub use init::{constant_init, uniform_init, xavier_uniform};
-pub use rng::{seeded_rng, split_seed, SeedStream};
+pub use rng::{rng_from_state, rng_state, seeded_rng, split_seed, SeedStream};
 pub use sample::{
     sample_distinct_uniform, sample_distinct_uniform_into, sample_one_weighted,
     sample_without_replacement_weighted, sample_without_replacement_weighted_into, AliasTable,

@@ -15,6 +15,20 @@ pub fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Capture the raw resumable state of a [`StdRng`] (checkpoint side).
+///
+/// [`rng_from_state`] rebuilds a generator that continues the stream exactly
+/// where the captured one would have — the foundation of the trainer's
+/// exact-resume guarantee (see `nscaching_serve`).
+pub fn rng_state(rng: &StdRng) -> [u64; 4] {
+    rng.state()
+}
+
+/// Rebuild a [`StdRng`] from a state captured by [`rng_state`] (resume side).
+pub fn rng_from_state(state: [u64; 4]) -> StdRng {
+    StdRng::from_state(state)
+}
+
 /// Derive a decorrelated child seed from `(seed, stream)`.
 ///
 /// Uses the SplitMix64 finaliser, which is the standard way to expand one
@@ -108,5 +122,17 @@ mod tests {
     #[test]
     fn seed_stream_reports_master() {
         assert_eq!(SeedStream::new(5).master(), 5);
+    }
+
+    #[test]
+    fn rng_state_round_trip_continues_the_stream() {
+        let mut original = seeded_rng(42);
+        for _ in 0..9 {
+            let _ = original.gen::<u64>();
+        }
+        let mut resumed = rng_from_state(rng_state(&original));
+        for _ in 0..32 {
+            assert_eq!(original.gen::<u64>(), resumed.gen::<u64>());
+        }
     }
 }

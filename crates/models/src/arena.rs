@@ -301,6 +301,87 @@ impl<'a> SparseRows<'a> {
             (table, row, &slab.grads[base..base + slab.dim])
         })
     }
+
+    /// Iterate the touched rows grouped into per-table runs, in ascending
+    /// table order (rows ascending within each run).
+    ///
+    /// Because the slot index is sorted by `(table, row)`, each table's rows
+    /// form one contiguous run of it — so grouping costs nothing. This is the
+    /// view the optimizers walk: resolving the parameter table once per *run*
+    /// instead of once per row hoists the virtual `KgeModel::table_mut`
+    /// dispatch out of the per-row apply loop.
+    pub fn by_table(&self) -> TableRuns<'a> {
+        TableRuns {
+            arena: self.arena,
+            pos: 0,
+        }
+    }
+}
+
+/// Iterator over the per-table runs of a [`SparseRows`] view; see
+/// [`SparseRows::by_table`].
+pub struct TableRuns<'a> {
+    arena: &'a GradientArena,
+    pos: usize,
+}
+
+impl<'a> Iterator for TableRuns<'a> {
+    type Item = (TableId, TableRun<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let sorted = &self.arena.sorted;
+        let start = self.pos;
+        let (table, _) = *sorted.get(start)?;
+        let mut end = start + 1;
+        while sorted.get(end).is_some_and(|&(t, _)| t == table) {
+            end += 1;
+        }
+        self.pos = end;
+        Some((
+            table,
+            TableRun {
+                arena: self.arena,
+                start,
+                end,
+            },
+        ))
+    }
+}
+
+/// One table's contiguous run of touched rows (ascending row order).
+pub struct TableRun<'a> {
+    arena: &'a GradientArena,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> TableRun<'a> {
+    /// Number of touched rows in this run.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the run is empty (never produced by [`TableRuns`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Gradient dimension of this table's rows.
+    pub fn dim(&self) -> usize {
+        let (table, _) = self.arena.sorted[self.start];
+        self.arena.tables[table].dim
+    }
+
+    /// Iterate `(row, gradient)` in ascending row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a [f64])> + '_ {
+        self.arena.sorted[self.start..self.end]
+            .iter()
+            .map(|&(table, row)| {
+                let slab = &self.arena.tables[table];
+                let base = slab.slot_of_row[row] as usize * slab.dim;
+                (row, &slab.grads[base..base + slab.dim])
+            })
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +502,33 @@ mod tests {
             }
         }
         assert_eq!(arena.len(), buffer.len());
+    }
+
+    #[test]
+    fn by_table_groups_the_sorted_rows_into_runs() {
+        let mut a = GradientArena::new();
+        a.add(2, 1, &[9.0], 1.0);
+        a.add(0, 5, &[1.0, 2.0], 1.0);
+        a.add(0, 2, &[3.0, 4.0], 1.0);
+        a.add(2, 0, &[8.0], 1.0);
+        let runs: Vec<(TableId, Vec<usize>, usize)> = a
+            .rows()
+            .by_table()
+            .map(|(t, run)| (t, run.iter().map(|(r, _)| r).collect(), run.dim()))
+            .collect();
+        assert_eq!(runs, vec![(0, vec![2, 5], 2), (2, vec![0, 1], 1)]);
+        // The grouped walk visits exactly the rows of the flat sorted walk,
+        // in the same order.
+        let flat: Vec<(TableId, usize)> = a.rows().iter().map(|(t, r, _)| (t, r)).collect();
+        let grouped: Vec<(TableId, usize)> = a
+            .rows()
+            .by_table()
+            .flat_map(|(t, run)| run.iter().map(move |(r, _)| (t, r)).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(flat, grouped);
+        let (_, first_run) = a.rows().by_table().next().unwrap();
+        assert_eq!(first_run.len(), 2);
+        assert!(!first_run.is_empty());
     }
 
     #[test]

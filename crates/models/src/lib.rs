@@ -44,7 +44,7 @@ pub mod transe;
 pub mod transh;
 pub mod transr;
 
-pub use arena::{GradientArena, SparseRows};
+pub use arena::{GradientArena, SparseRows, TableRun, TableRuns};
 pub use complex::ComplEx;
 pub use distmult::DistMult;
 pub use embedding::EmbeddingTable;

@@ -6,7 +6,7 @@
 //! a hash-map lookup, and [`Optimizer::bind`] pre-sizes the slabs so `step`
 //! never allocates.
 
-use crate::optimizer::Optimizer;
+use crate::optimizer::{AdaGradTableState, Optimizer, OptimizerState};
 use nscaching_models::{GradientArena, KgeModel};
 
 /// One table's accumulator slab.
@@ -19,11 +19,24 @@ struct TableAcc {
     seen: Vec<bool>,
 }
 
-/// Grow (if needed) and return the slab for `table`, able to hold `row`.
-///
-/// A bound optimizer never grows here — `bind` sized every slab to its
-/// table — so the steady-state step stays allocation-free.
-fn slab_for(tables: &mut Vec<TableAcc>, table: usize, row: usize, dim: usize) -> &mut TableAcc {
+impl TableAcc {
+    /// Grow the slab (if needed) to hold `row`.
+    ///
+    /// A bound optimizer never grows here — `bind` sized every slab to its
+    /// table — so the steady-state step stays allocation-free.
+    #[inline]
+    fn ensure_row(&mut self, row: usize) {
+        if self.seen.len() <= row {
+            let rows = (row + 1).next_power_of_two().max(8);
+            self.acc.resize(rows * self.dim, 0.0);
+            self.seen.resize(rows, false);
+        }
+    }
+}
+
+/// Resolve (growing if needed) the slab for `table`, fixing its dimension on
+/// first touch. Called once per table *run* of the grouped apply walk.
+fn slab_for(tables: &mut Vec<TableAcc>, table: usize, dim: usize) -> &mut TableAcc {
     if table >= tables.len() {
         tables.resize_with(table + 1, TableAcc::default);
     }
@@ -32,11 +45,6 @@ fn slab_for(tables: &mut Vec<TableAcc>, table: usize, row: usize, dim: usize) ->
         slab.dim = dim;
     }
     debug_assert_eq!(slab.dim, dim, "gradient dimension mismatch");
-    if slab.seen.len() <= row {
-        let rows = (row + 1).next_power_of_two().max(8);
-        slab.acc.resize(rows * dim, 0.0);
-        slab.seen.resize(rows, false);
-    }
     slab
 }
 
@@ -72,18 +80,25 @@ impl Optimizer for AdaGrad {
     fn step(&mut self, model: &mut dyn KgeModel, grads: &mut GradientArena) {
         let lr = self.learning_rate;
         let eps = self.epsilon;
-        for (table, row, grad) in grads.rows().iter() {
-            let slab = slab_for(&mut self.tables, table, row, grad.len());
-            if !slab.seen[row] {
-                slab.seen[row] = true;
-                self.live_rows += 1;
-            }
-            let base = row * slab.dim;
-            let acc = &mut slab.acc[base..base + slab.dim];
-            let params = model.table_mut(table).row_mut(row);
-            for ((p, g), a) in params.iter_mut().zip(grad).zip(acc.iter_mut()) {
-                *a += g * g;
-                *p -= lr * g / (a.sqrt() + eps);
+        // Grouped per-table walk: slab and parameter table (a virtual
+        // `table_mut` dispatch) resolved once per table run; row order and
+        // arithmetic unchanged, so trajectories stay bit-identical.
+        for (table_id, run) in grads.rows().by_table() {
+            let slab = slab_for(&mut self.tables, table_id, run.dim());
+            let table = model.table_mut(table_id);
+            for (row, grad) in run.iter() {
+                slab.ensure_row(row);
+                if !slab.seen[row] {
+                    slab.seen[row] = true;
+                    self.live_rows += 1;
+                }
+                let base = row * slab.dim;
+                let acc = &mut slab.acc[base..base + slab.dim];
+                let params = table.row_mut(row);
+                for ((p, g), a) in params.iter_mut().zip(grad).zip(acc.iter_mut()) {
+                    *a += g * g;
+                    *p -= lr * g / (a.sqrt() + eps);
+                }
             }
         }
     }
@@ -114,6 +129,53 @@ impl Optimizer for AdaGrad {
             slab.seen.fill(false);
         }
         self.live_rows = 0;
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::AdaGrad {
+            tables: self
+                .tables
+                .iter()
+                .map(|slab| AdaGradTableState {
+                    dim: slab.dim,
+                    acc: slab.acc.clone(),
+                    seen: slab.seen.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String> {
+        let OptimizerState::AdaGrad { tables } = state else {
+            return Err(format!(
+                "cannot import {:?} state into AdaGrad",
+                state.kind()
+            ));
+        };
+        for (i, slab) in tables.iter().enumerate() {
+            if slab.acc.len() != slab.seen.len() * slab.dim {
+                return Err(format!(
+                    "AdaGrad table {i}: accumulator length {} does not match {} rows × dim {}",
+                    slab.acc.len(),
+                    slab.seen.len(),
+                    slab.dim
+                ));
+            }
+        }
+        self.live_rows = tables
+            .iter()
+            .flat_map(|slab| slab.seen.iter())
+            .filter(|&&seen| seen)
+            .count();
+        self.tables = tables
+            .into_iter()
+            .map(|slab| TableAcc {
+                dim: slab.dim,
+                acc: slab.acc,
+                seen: slab.seen,
+            })
+            .collect();
+        Ok(())
     }
 }
 
@@ -189,5 +251,21 @@ mod tests {
             assert_eq!(a.data(), b.data());
         }
         assert_eq!(bound.state_rows(), lazy.state_rows());
+    }
+
+    #[test]
+    fn state_export_import_round_trips_and_rejects_foreign_kinds() {
+        let mut m = model();
+        let mut grads = GradientArena::new();
+        grads.add(0, 1, &[0.5, -0.5], 1.0);
+        let mut opt = AdaGrad::new(0.1);
+        opt.bind(&m);
+        opt.step(&mut m, &mut grads);
+        let state = opt.export_state();
+        let mut fresh = AdaGrad::new(0.1);
+        fresh.import_state(state.clone()).unwrap();
+        assert_eq!(fresh.export_state(), state);
+        assert_eq!(fresh.state_rows(), 1);
+        assert!(fresh.import_state(OptimizerState::Sgd).is_err());
     }
 }

@@ -12,7 +12,7 @@
 //! (the `HashMap` predecessor allocated two fresh `Vec<f64>`s on the first
 //! touch of every row mid-epoch).
 
-use crate::optimizer::Optimizer;
+use crate::optimizer::{AdamTableState, Optimizer, OptimizerState};
 use nscaching_models::{GradientArena, KgeModel};
 
 /// One table's moment slabs.
@@ -27,14 +27,23 @@ struct TableMoments {
     t: Vec<u64>,
 }
 
-/// Grow (if needed) and return the slab for `table`, able to hold `row`.
-/// A bound optimizer never grows here.
-fn slab_for(
-    tables: &mut Vec<TableMoments>,
-    table: usize,
-    row: usize,
-    dim: usize,
-) -> &mut TableMoments {
+impl TableMoments {
+    /// Grow the slab (if needed) to hold `row`. A bound optimizer never grows
+    /// here.
+    #[inline]
+    fn ensure_row(&mut self, row: usize) {
+        if self.t.len() <= row {
+            let rows = (row + 1).next_power_of_two().max(8);
+            self.m.resize(rows * self.dim, 0.0);
+            self.v.resize(rows * self.dim, 0.0);
+            self.t.resize(rows, 0);
+        }
+    }
+}
+
+/// Resolve (growing if needed) the slab for `table`, fixing its dimension on
+/// first touch. Called once per table *run* of the grouped apply walk.
+fn slab_for(tables: &mut Vec<TableMoments>, table: usize, dim: usize) -> &mut TableMoments {
     if table >= tables.len() {
         tables.resize_with(table + 1, TableMoments::default);
     }
@@ -43,12 +52,6 @@ fn slab_for(
         slab.dim = dim;
     }
     debug_assert_eq!(slab.dim, dim, "gradient dimension mismatch");
-    if slab.t.len() <= row {
-        let rows = (row + 1).next_power_of_two().max(8);
-        slab.m.resize(rows * dim, 0.0);
-        slab.v.resize(rows * dim, 0.0);
-        slab.t.resize(rows, 0);
-    }
     slab
 }
 
@@ -94,34 +97,44 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, model: &mut dyn KgeModel, grads: &mut GradientArena) {
         let (lr, b1, b2, eps) = (self.learning_rate, self.beta1, self.beta2, self.epsilon);
-        for (table, row, grad) in grads.rows().iter() {
-            let slab = slab_for(&mut self.tables, table, row, grad.len());
-            slab.t[row] += 1;
-            let steps = slab.t[row];
-            if steps == 1 {
-                self.live_rows += 1;
-            }
-            let bias1 = 1.0 - b1.powi(steps as i32);
-            let bias2 = 1.0 - b2.powi(steps as i32);
-            let base = row * slab.dim;
-            let m = &mut slab.m[base..base + slab.dim];
-            let v = &mut slab.v[base..base + slab.dim];
-            let params = model.table_mut(table).row_mut(row);
-            // Zipped (bounds-check-free) walk so the sqrt/div chain
-            // vectorises; per-element operations and their order are exactly
-            // the retired HashMap engine's, so the parameters stay
-            // bit-identical (asserted by the arena_equivalence proptests).
-            for (((p, &g), m), v) in params
-                .iter_mut()
-                .zip(grad)
-                .zip(m.iter_mut())
-                .zip(v.iter_mut())
-            {
-                *m = b1 * *m + (1.0 - b1) * g;
-                *v = b2 * *v + (1.0 - b2) * g * g;
-                let m_hat = *m / bias1;
-                let v_hat = *v / bias2;
-                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        // Grouped per-table walk over the sorted slot list: the moment slab
+        // and the parameter table (a virtual `table_mut` dispatch) are
+        // resolved once per table run instead of once per row. Row visit
+        // order and per-element arithmetic are unchanged, so trajectories
+        // stay bit-identical to the flat walk.
+        for (table_id, run) in grads.rows().by_table() {
+            let slab = slab_for(&mut self.tables, table_id, run.dim());
+            let table = model.table_mut(table_id);
+            for (row, grad) in run.iter() {
+                slab.ensure_row(row);
+                slab.t[row] += 1;
+                let steps = slab.t[row];
+                if steps == 1 {
+                    self.live_rows += 1;
+                }
+                let bias1 = 1.0 - b1.powi(steps as i32);
+                let bias2 = 1.0 - b2.powi(steps as i32);
+                let base = row * slab.dim;
+                let m = &mut slab.m[base..base + slab.dim];
+                let v = &mut slab.v[base..base + slab.dim];
+                let params = table.row_mut(row);
+                // Zipped (bounds-check-free) walk so the sqrt/div chain
+                // vectorises; per-element operations and their order are
+                // exactly the retired HashMap engine's, so the parameters
+                // stay bit-identical (asserted by the arena_equivalence
+                // proptests).
+                for (((p, &g), m), v) in params
+                    .iter_mut()
+                    .zip(grad)
+                    .zip(m.iter_mut())
+                    .zip(v.iter_mut())
+                {
+                    *m = b1 * *m + (1.0 - b1) * g;
+                    *v = b2 * *v + (1.0 - b2) * g * g;
+                    let m_hat = *m / bias1;
+                    let v_hat = *v / bias2;
+                    *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
             }
         }
     }
@@ -154,6 +167,54 @@ impl Optimizer for Adam {
             slab.t.fill(0);
         }
         self.live_rows = 0;
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::Adam {
+            tables: self
+                .tables
+                .iter()
+                .map(|slab| AdamTableState {
+                    dim: slab.dim,
+                    m: slab.m.clone(),
+                    v: slab.v.clone(),
+                    t: slab.t.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String> {
+        let OptimizerState::Adam { tables } = state else {
+            return Err(format!("cannot import {:?} state into Adam", state.kind()));
+        };
+        for (i, slab) in tables.iter().enumerate() {
+            let expected = slab.t.len() * slab.dim;
+            if slab.m.len() != expected || slab.v.len() != expected {
+                return Err(format!(
+                    "Adam table {i}: moment slab lengths ({}, {}) do not match {} rows × dim {}",
+                    slab.m.len(),
+                    slab.v.len(),
+                    slab.t.len(),
+                    slab.dim
+                ));
+            }
+        }
+        self.live_rows = tables
+            .iter()
+            .flat_map(|slab| slab.t.iter())
+            .filter(|&&t| t > 0)
+            .count();
+        self.tables = tables
+            .into_iter()
+            .map(|slab| TableMoments {
+                dim: slab.dim,
+                m: slab.m,
+                v: slab.v,
+                t: slab.t,
+            })
+            .collect();
+        Ok(())
     }
 }
 
@@ -252,5 +313,54 @@ mod tests {
             assert_eq!(a.data(), b.data());
         }
         assert_eq!(bound.state_rows(), lazy.state_rows());
+    }
+
+    #[test]
+    fn exported_state_resumes_the_update_sequence_exactly() {
+        let mut original_model = model();
+        let mut resumed_model = model();
+        let mut grads = GradientArena::new();
+        grads.add(0, 0, &[0.4, -0.8], 1.0);
+        grads.add(1, 0, &[0.1, 0.6], 1.0);
+        let mut original = Adam::new(0.01);
+        original.bind(&original_model);
+        for _ in 0..4 {
+            original.step(&mut original_model, &mut grads);
+        }
+        // Capture mid-run, import into a fresh optimizer, continue both.
+        let state = original.export_state();
+        let mut resumed = Adam::new(0.01);
+        resumed.import_state(state.clone()).unwrap();
+        resumed.bind(&original_model);
+        assert_eq!(resumed.state_rows(), original.state_rows());
+        assert_eq!(resumed.export_state(), state, "export/import round-trips");
+        for (a, b) in original_model
+            .tables()
+            .iter()
+            .zip(resumed_model.tables_mut())
+        {
+            b.data_mut().copy_from_slice(a.data());
+        }
+        for _ in 0..4 {
+            original.step(&mut original_model, &mut grads);
+            resumed.step(&mut resumed_model, &mut grads);
+        }
+        for (a, b) in original_model.tables().iter().zip(resumed_model.tables()) {
+            assert!(
+                a.data()
+                    .iter()
+                    .zip(b.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "resumed Adam diverged on {}",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn importing_foreign_state_is_rejected() {
+        let mut opt = Adam::new(0.01);
+        let err = opt.import_state(OptimizerState::Sgd).unwrap_err();
+        assert!(err.contains("Adam"), "{err}");
     }
 }

@@ -44,17 +44,24 @@
 //!
 //! Implement [`Optimizer`]:
 //!
-//! 1. in `step`, iterate `grads.rows().iter()` — ascending `(table, row)`
-//!    order, one contiguous gradient slice per row — and update
-//!    `model.table_mut(table).row_mut(row)` in place; keep the per-row math
-//!    self-contained so the order-independence argument above holds;
+//! 1. in `step`, iterate `grads.rows().by_table()` — per-table runs of the
+//!    ascending `(table, row)` order, one contiguous gradient slice per row —
+//!    resolve the parameter table once per run (`model.table_mut(table)`,
+//!    hoisting the virtual dispatch out of the row loop) and update
+//!    `table.row_mut(row)` in place; keep the per-row math self-contained so
+//!    the order-independence argument above holds;
 //! 2. keep any per-row state in dense per-table slabs sized in
 //!    [`bind`](Optimizer::bind) (see `AdaGrad` for the minimal template) so
 //!    `step` stays allocation-free;
 //! 3. leave constraint application to the caller: the trainer follows every
 //!    step with `model.apply_constraints(grads.touched())`, which replays the
 //!    same sorted slot list;
-//! 4. add a variant to [`OptimizerKind`] and wire it in [`build_optimizer`].
+//! 4. add a variant to [`OptimizerKind`] and wire it in [`build_optimizer`];
+//! 5. implement [`Optimizer::export_state`] / [`Optimizer::import_state`]
+//!    (add an [`OptimizerState`] variant if the optimizer is stateful) so the
+//!    checkpoint store in `nscaching-serve` can round-trip the slabs — the
+//!    export must capture everything `step` reads, or resumed runs lose the
+//!    exact-resume guarantee.
 
 pub mod adagrad;
 pub mod adam;
@@ -63,5 +70,8 @@ pub mod sgd;
 
 pub use adagrad::AdaGrad;
 pub use adam::Adam;
-pub use optimizer::{build_optimizer, Optimizer, OptimizerConfig, OptimizerKind};
+pub use optimizer::{
+    build_optimizer, AdaGradTableState, AdamTableState, Optimizer, OptimizerConfig, OptimizerKind,
+    OptimizerState,
+};
 pub use sgd::Sgd;

@@ -27,6 +27,81 @@ pub trait Optimizer: Send {
 
     /// Reset all accumulated state (moments, step counters).
     fn reset(&mut self);
+
+    /// Copy out the per-row state slabs for checkpointing.
+    ///
+    /// The exported slabs are exactly the optimizer's live state: importing
+    /// them into a freshly built optimizer of the same kind (then re-`bind`ing
+    /// it) continues the update sequence bit-for-bit, which is half of the
+    /// trainer's exact-resume guarantee (the other half is the RNG state).
+    fn export_state(&self) -> OptimizerState;
+
+    /// Replace the per-row state with slabs captured by
+    /// [`export_state`](Self::export_state).
+    ///
+    /// Fails (with a description) when `state` belongs to a different
+    /// optimizer kind. Callers should re-`bind` afterwards so slab sizes are
+    /// re-padded to the model's tables.
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String>;
+}
+
+/// A checkpointable copy of an optimizer's per-row state slabs.
+///
+/// The variants mirror the dense per-table slab layout of the concrete
+/// optimizers (see the crate docs): one entry per parameter table, indexed by
+/// table id, each holding `rows × dim` row-major value slabs plus the per-row
+/// bookkeeping (`seen` flags, step counters). [`Optimizer::export_state`] /
+/// [`Optimizer::import_state`] round-trip it; `nscaching_serve` serialises it
+/// into the snapshot format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerState {
+    /// SGD carries no state.
+    Sgd,
+    /// AdaGrad: squared-gradient accumulators plus touched-row flags.
+    AdaGrad {
+        /// One slab per parameter table, in table-id order.
+        tables: Vec<AdaGradTableState>,
+    },
+    /// Adam: first/second moments plus per-row step counters.
+    Adam {
+        /// One slab per parameter table, in table-id order.
+        tables: Vec<AdamTableState>,
+    },
+}
+
+impl OptimizerState {
+    /// The optimizer kind this state belongs to.
+    pub fn kind(&self) -> OptimizerKind {
+        match self {
+            OptimizerState::Sgd => OptimizerKind::Sgd,
+            OptimizerState::AdaGrad { .. } => OptimizerKind::AdaGrad,
+            OptimizerState::Adam { .. } => OptimizerKind::Adam,
+        }
+    }
+}
+
+/// One table's exported AdaGrad state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaGradTableState {
+    /// Row dimension (0 for a table that was never touched).
+    pub dim: usize,
+    /// `rows × dim` squared-gradient sums, row-major.
+    pub acc: Vec<f64>,
+    /// Which rows have ever received a gradient.
+    pub seen: Vec<bool>,
+}
+
+/// One table's exported Adam state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdamTableState {
+    /// Row dimension (0 for a table that was never touched).
+    pub dim: usize,
+    /// First moments, `rows × dim` row-major.
+    pub m: Vec<f64>,
+    /// Second moments, `rows × dim` row-major.
+    pub v: Vec<f64>,
+    /// Per-row step counters (0 = never touched).
+    pub t: Vec<u64>,
 }
 
 /// Which optimizer to build.

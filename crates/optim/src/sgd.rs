@@ -1,6 +1,6 @@
 //! Plain stochastic gradient descent.
 
-use crate::optimizer::Optimizer;
+use crate::optimizer::{Optimizer, OptimizerState};
 use nscaching_models::{GradientArena, KgeModel};
 
 /// `θ ← θ − η·g` with no state.
@@ -20,10 +20,15 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, model: &mut dyn KgeModel, grads: &mut GradientArena) {
         let lr = self.learning_rate;
-        for (table, row, grad) in grads.rows().iter() {
-            let params = model.table_mut(table).row_mut(row);
-            for (p, g) in params.iter_mut().zip(grad) {
-                *p -= lr * g;
+        // Grouped per-table walk: one virtual `table_mut` dispatch per table
+        // run of the sorted slot list instead of one per row.
+        for (table, run) in grads.rows().by_table() {
+            let table = model.table_mut(table);
+            for (row, grad) in run.iter() {
+                let params = table.row_mut(row);
+                for (p, g) in params.iter_mut().zip(grad) {
+                    *p -= lr * g;
+                }
             }
         }
     }
@@ -33,6 +38,17 @@ impl Optimizer for Sgd {
     }
 
     fn reset(&mut self) {}
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::Sgd
+    }
+
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String> {
+        match state {
+            OptimizerState::Sgd => Ok(()),
+            other => Err(format!("cannot import {:?} state into Sgd", other.kind())),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -78,5 +94,16 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         opt.reset();
         assert!((opt.learning_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_is_empty_and_rejects_foreign_kinds() {
+        use crate::optimizer::OptimizerState;
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.export_state(), OptimizerState::Sgd);
+        assert!(opt.import_state(OptimizerState::Sgd).is_ok());
+        assert!(opt
+            .import_state(OptimizerState::Adam { tables: Vec::new() })
+            .is_err());
     }
 }

@@ -1,0 +1,117 @@
+//! Typed errors of the snapshot store.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong reading or writing a snapshot.
+///
+/// Corruption is always reported as a typed error, never a panic: a truncated
+/// download, a flipped bit or a file from the wrong tool must not take a
+/// serving process down (asserted by the corruption tests in
+/// `tests/snapshot_roundtrip.rs`).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic — not a snapshot, or
+    /// mangled beyond recognition.
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        found: [u8; 8],
+    },
+    /// The file was written by a newer (or unknown) format revision.
+    UnsupportedVersion {
+        /// The version tag found in the header.
+        found: u32,
+    },
+    /// The file ends before the declared content does.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+        /// How many bytes the reader needed.
+        needed: usize,
+        /// How many bytes were left.
+        available: usize,
+    },
+    /// The payload bytes do not hash to the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        found: u64,
+    },
+    /// The snapshot is internally consistent but does not fit what the
+    /// caller asked for (wrong table shapes, different training
+    /// configuration, missing section).
+    SchemaMismatch(String),
+    /// The payload passed the checksum but violates a structural invariant
+    /// (defensive; unreachable for files written by this crate).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot file (magic bytes {found:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot format version {found}")
+            }
+            SnapshotError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "snapshot truncated while reading {context}: needed {needed} bytes, {available} left"
+            ),
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: recorded {expected:#018x}, computed {found:#018x}"
+            ),
+            SnapshotError::SchemaMismatch(what) => write!(f, "snapshot schema mismatch: {what}"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = SnapshotError::BadMagic { found: [0; 8] };
+        assert!(e.to_string().contains("magic"));
+        let e = SnapshotError::Truncated {
+            context: "table slab",
+            needed: 16,
+            available: 3,
+        };
+        assert!(e.to_string().contains("table slab"));
+        let e = SnapshotError::ChecksumMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let io = SnapshotError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

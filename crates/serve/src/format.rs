@@ -1,0 +1,493 @@
+//! Byte-level snapshot framing: magic, version, payload, checksum.
+//!
+//! Every snapshot file is one frame:
+//!
+//! ```text
+//! offset  size  content
+//! 0       8     magic  b"NSCSNP\x01\n"
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      8     payload length L, u64 LE
+//! 20      L     payload (sections; see `snapshot`)
+//! 20+L    8     FNV-1a 64 checksum of the payload bytes, u64 LE
+//! ```
+//!
+//! All multi-byte integers and floats are little-endian; `f64` slabs are raw
+//! IEEE-754 bit patterns, so tables round-trip **bit-for-bit** (including
+//! NaNs and signed zeros — the exact-resume guarantee needs the bits, not the
+//! values). [`Writer`] builds the payload and [`write_frame`] adds the
+//! framing; [`read_frame`] validates magic → version → length → checksum
+//! (in that order, with a typed [`SnapshotError`] per failure mode) before
+//! any parsing happens, and [`Reader`] then cursors over the verified
+//! payload, reporting premature ends as [`SnapshotError::Truncated`].
+
+use crate::error::SnapshotError;
+use std::path::Path;
+
+/// Leading magic of every snapshot file. The trailing `\x01\n` pair catches
+/// text-mode newline mangling the way the PNG magic does.
+pub const MAGIC: [u8; 8] = *b"NSCSNP\x01\n";
+
+/// Current format revision. Readers reject anything newer.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Bytes of framing around the payload (magic + version + length + checksum).
+const FRAME_BYTES: usize = 8 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit over `bytes` — small, fast, and plenty for catching the
+/// truncation/bit-rot class of corruption (cryptographic integrity is out of
+/// scope for a local checkpoint store).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Payload builder: append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and return the raw payload bytes.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32` LE.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` LE.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw LE bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string (`u32` length + bytes).
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `f64` slab (`u64` count + raw LE values).
+    pub fn f64_slice(&mut self, values: &[f64]) {
+        self.u64(values.len() as u64);
+        self.buf.reserve(values.len() * 8);
+        for v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `u64` slab.
+    pub fn u64_slice(&mut self, values: &[u64]) {
+        self.u64(values.len() as u64);
+        self.buf.reserve(values.len() * 8);
+        for v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `u32` slab.
+    pub fn u32_slice(&mut self, values: &[u32]) {
+        self.u64(values.len() as u64);
+        self.buf.reserve(values.len() * 4);
+        for v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed bool slab (one byte each).
+    pub fn bool_slice(&mut self, values: &[bool]) {
+        self.u64(values.len() as u64);
+        self.buf.extend(values.iter().map(|&b| b as u8));
+    }
+
+    /// Append raw bytes verbatim (section bodies).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Frame `payload` and write it to `path` (magic + version + length +
+/// payload + checksum), atomically via a sibling temp file so a crashed
+/// writer can never leave a half-written snapshot under the final name.
+pub fn write_frame(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
+    let mut frame = Vec::with_capacity(FRAME_BYTES + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+
+    let tmp = path.with_extension("tmp-snapshot");
+    std::fs::write(&tmp, &frame)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read, validate and unwrap the frame at `path`, returning the verified
+/// payload bytes.
+pub fn read_frame(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < FRAME_BYTES {
+        // Too short to even hold the framing; if the start looks like our
+        // magic it is a truncated snapshot, otherwise it is not one at all.
+        if bytes.len() >= 8 && bytes[..8] == MAGIC {
+            return Err(SnapshotError::Truncated {
+                context: "frame header",
+                needed: FRAME_BYTES,
+                available: bytes.len(),
+            });
+        }
+        let mut found = [0u8; 8];
+        found[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+        return Err(SnapshotError::BadMagic { found });
+    }
+    if bytes[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(SnapshotError::BadMagic { found });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let expected_total = FRAME_BYTES + payload_len;
+    if bytes.len() < expected_total {
+        return Err(SnapshotError::Truncated {
+            context: "payload",
+            needed: expected_total,
+            available: bytes.len(),
+        });
+    }
+    if bytes.len() > expected_total {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after the checksum",
+            bytes.len() - expected_total
+        )));
+    }
+    let payload = &bytes[20..20 + payload_len];
+    let expected = u64::from_le_bytes(bytes[20 + payload_len..].try_into().expect("8 bytes"));
+    let found = fnv1a64(payload);
+    if expected != found {
+        return Err(SnapshotError::ChecksumMismatch { expected, found });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Cursor over a verified payload. Every read reports running out of bytes
+/// as a typed [`SnapshotError::Truncated`] (defence in depth — the checksum
+/// already vouches for files written by this crate).
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor consumed everything.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Skip `n` bytes (section skipping).
+    pub fn skip(&mut self, n: usize, context: &'static str) -> Result<(), SnapshotError> {
+        self.take(n, context).map(|_| ())
+    }
+
+    /// Consume `n` bytes and return a cursor over just them (section bodies).
+    pub fn sub_reader(
+        &mut self,
+        n: usize,
+        context: &'static str,
+    ) -> Result<Reader<'a>, SnapshotError> {
+        Ok(Reader::new(self.take(n, context)?))
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Read a `u32` LE.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a `u64` LE.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<String, SnapshotError> {
+        let len = self.u32(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt(format!("non-UTF-8 string in {context}")))
+    }
+
+    /// Read a length-prefixed `f64` slab.
+    pub fn f64_slice(&mut self, context: &'static str) -> Result<Vec<f64>, SnapshotError> {
+        let len = self.checked_len(8, context)?;
+        let bytes = self.take(len * 8, context)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Read a length-prefixed `u64` slab.
+    pub fn u64_slice(&mut self, context: &'static str) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.checked_len(8, context)?;
+        let bytes = self.take(len * 8, context)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Read a length-prefixed `u32` slab.
+    pub fn u32_slice(&mut self, context: &'static str) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.checked_len(4, context)?;
+        let bytes = self.take(len * 4, context)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Read a length-prefixed bool slab.
+    pub fn bool_slice(&mut self, context: &'static str) -> Result<Vec<bool>, SnapshotError> {
+        let len = self.checked_len(1, context)?;
+        let bytes = self.take(len, context)?;
+        Ok(bytes.iter().map(|&b| b != 0).collect())
+    }
+
+    /// Read a slab length prefix and sanity-bound it against the remaining
+    /// bytes, so a corrupt length cannot drive a huge allocation.
+    fn checked_len(
+        &mut self,
+        elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, SnapshotError> {
+        let len = self.u64(context)? as usize;
+        if len
+            .checked_mul(elem_bytes)
+            .is_none_or(|b| b > self.remaining())
+        {
+            return Err(SnapshotError::Truncated {
+                context,
+                needed: len.saturating_mul(elem_bytes),
+                available: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nscaching-serve-format-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn scalar_and_slab_round_trip_bitwise() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.0);
+        w.str("entity_table");
+        w.f64_slice(&[1.5, f64::NAN, f64::INFINITY, -3.25]);
+        w.u64_slice(&[0, 1, u64::MAX]);
+        w.u32_slice(&[9, 8, 7]);
+        w.bool_slice(&[true, false, true]);
+        let payload = w.into_payload();
+
+        let mut r = Reader::new(&payload);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str("e").unwrap(), "entity_table");
+        let f = r.f64_slice("f").unwrap();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], 1.5);
+        assert!(f[1].is_nan());
+        assert_eq!(f[1].to_bits(), f64::NAN.to_bits(), "NaN bits survive");
+        assert_eq!(r.u64_slice("g").unwrap(), vec![0, 1, u64::MAX]);
+        assert_eq!(r.u32_slice("h").unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.bool_slice("i").unwrap(), vec![true, false, true]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_file() {
+        let path = tempfile("frame.snap");
+        let payload = b"hello snapshot".to_vec();
+        write_frame(&path, &payload).unwrap();
+        assert_eq!(read_frame(&path).unwrap(), payload);
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let path = tempfile("badmagic.snap");
+        std::fs::write(&path, b"definitely not a snapshot file").unwrap();
+        assert!(matches!(
+            read_frame(&path),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = tempfile("trunc.snap");
+        write_frame(&path, b"0123456789").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [full.len() - 1, full.len() - 9, 21, 10] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = read_frame(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let path = tempfile("flip.snap");
+        write_frame(&path, b"some payload worth protecting").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[25] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_frame(&path),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let path = tempfile("future.snap");
+        write_frame(&path, b"payload").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_frame(&path),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_reports_truncation_with_context() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.u64("epoch counter").unwrap_err();
+        match err {
+            SnapshotError::Truncated {
+                context,
+                needed,
+                available,
+            } => {
+                assert_eq!(context, "epoch counter");
+                assert_eq!(needed, 8);
+                assert_eq!(available, 2);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_slab_lengths_cannot_drive_allocation() {
+        // A u64 length prefix claiming 2^60 elements must error, not reserve.
+        let mut w = Writer::new();
+        w.u64(1 << 60);
+        let payload = w.into_payload();
+        let mut r = Reader::new(&payload);
+        assert!(matches!(
+            r.f64_slice("slab"),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Known FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,83 @@
+//! Checkpoint store and online serving engine for trained KGE models.
+//!
+//! Everything upstream of this crate trains; nothing survived the process.
+//! `nscaching_serve` adds the two missing production layers:
+//!
+//! 1. a **snapshot store** — a versioned, checksummed binary format that
+//!    persists a model's embedding tables, the optimizer's dense state slabs
+//!    and the trainer's RNG/epoch counters, giving
+//!    [`Trainer`](nscaching_train::Trainer) working `checkpoint()`/resume
+//!    semantics with a provable exact-resume guarantee; and
+//! 2. a **query engine** — [`KnowledgeServer`], which loads a snapshot behind
+//!    an `Arc` and answers top-k link-prediction, rank and
+//!    triplet-classification queries through the workspace's batched scoring
+//!    fast paths, fronted by a version-invalidated LRU result cache and
+//!    fanned out over the existing worker pool for batch traffic.
+//!
+//! # On-disk format
+//!
+//! One frame per file (all integers little-endian):
+//!
+//! ```text
+//! ┌──────────┬─────────────┬──────────────┬───────────┬──────────────┐
+//! │ magic 8B │ version u32 │ length  u64  │  payload  │ checksum u64 │
+//! │ NSCSNP␁␊ │      1      │ = |payload|  │ sections… │  FNV-1a 64   │
+//! └──────────┴─────────────┴──────────────┴───────────┴──────────────┘
+//! ```
+//!
+//! The payload is a sequence of tagged, length-prefixed sections (so readers
+//! skip what they do not understand): **model** (scoring-function kind,
+//! dimensions, every [`EmbeddingTable`](nscaching_models::EmbeddingTable) as
+//! a dimension-strided `f64`-LE slab), **trainer** (epoch counter, wall-clock
+//! seconds, raw master-RNG state, the batcher's epoch permutation, and a
+//! seed/shards/optimizer fingerprint validated at resume), and **optimizer**
+//! (the dense per-table state slabs of `nscaching_optim` — Adam `m`/`v`
+//! moments and step counters, AdaGrad accumulators and seen flags). A
+//! model-only snapshot ([`save_model`]) is the serving artifact; a full
+//! checkpoint ([`save_checkpoint`]) is a superset, and [`KnowledgeServer`]
+//! accepts either. Readers validate magic → version → length → checksum
+//! before parsing a byte, and every failure is a typed [`SnapshotError`] —
+//! corruption never panics.
+//!
+//! # Exact-resume guarantee
+//!
+//! A run interrupted at an epoch boundary and resumed from its checkpoint
+//! ([`load_checkpoint`] → [`resume_trainer`]) produces **bit-for-bit** the
+//! same embeddings, optimizer state and evaluation metrics as the
+//! uninterrupted run. The argument: the trajectory is a pure function of
+//! (model tables, optimizer slabs, master-RNG state, batch permutation,
+//! epoch counter, configuration) — the first five are in the checkpoint, and
+//! the per-epoch shard streams of the parallel engine are re-derived from
+//! `(seed, epoch, shard)` through SplitMix64, so restoring the epoch counter
+//! restores them exactly. The guarantee holds for samplers whose state is a
+//! pure function of `(dataset, sampler seed)` — Uniform and Bernoulli; the
+//! stateful samplers (NSCaching's caches, the GAN generators) resume to a
+//! *valid* but not bitwise-identical trajectory, since their evolving state
+//! is not part of the snapshot. `tests/exact_resume.rs` proves the guarantee
+//! for all 7 models × 3 optimizers at shards ∈ {1, 4}.
+//!
+//! # Query-cache contract
+//!
+//! The serving cache is keyed by the full query `(relation, entity,
+//! direction, k)` and every entry carries the server's *model stamp* — load
+//! generation mixed with the sum of all `EmbeddingTable::version()` counters,
+//! captured under the same lock the answer was computed under. Any model
+//! mutation bumps at least one table version, any reload bumps the
+//! generation; a lookup whose entry stamp mismatches drops the entry and
+//! recomputes. See [`server`] for the full reasoning.
+
+pub mod error;
+pub mod format;
+pub mod lru;
+pub mod server;
+pub mod snapshot;
+
+pub use error::SnapshotError;
+pub use lru::{CacheStats, LruCache};
+pub use server::{
+    BatchScratch, KnowledgeServer, QueryError, QueryScratch, RankedEntity, TopKQuery,
+};
+pub use snapshot::{
+    load_checkpoint, load_model, resume_trainer, save_checkpoint, save_model, Checkpoint,
+    CheckpointMeta, ModelSnapshot, TableData,
+};

@@ -1,0 +1,310 @@
+//! Capacity-bounded LRU map backing the query-result cache.
+//!
+//! A classic slot-arena LRU (the `cache-rs` family of eviction libraries is
+//! the reference point): a `HashMap` from key to slot index plus an intrusive
+//! doubly-linked recency list threaded through a `Vec` of nodes. Everything
+//! is pre-allocated to `capacity` up front, and an eviction recycles its slot
+//! in place, so the **steady state — hits, and misses that evict — performs
+//! no heap allocation**; that property is what lets the serving engine's
+//! warm-cache path stay allocation-free (asserted by the `serve_throughput`
+//! bench).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Niche index marking "no slot".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// Running hit/miss/eviction counters of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found a live entry.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Entries displaced by inserts into a full cache.
+    pub evictions: u64,
+}
+
+/// A fixed-capacity least-recently-used map.
+///
+/// `get` promotes the entry to most-recently-used; `insert` into a full
+/// cache evicts the least-recently-used entry. Capacity 0 is allowed and
+/// turns the cache into a no-op (every `insert` is dropped).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, u32>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<u32>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot.
+    tail: u32,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Copy, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries, with every internal
+    /// structure pre-sized so steady-state operation never allocates.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity < NIL as usize,
+            "capacity must fit the u32 slot index"
+        );
+        Self {
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit/miss/eviction counters since construction (or the last
+    /// [`clear`](Self::clear)).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up `key`, promoting the entry to most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(&self.nodes[slot as usize].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) `key`, evicting the least-recently-used entry if
+    /// the cache is full. The new entry becomes most-recently-used.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.map.get(&key).copied() {
+            self.nodes[slot as usize].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        let slot = if self.map.len() == self.capacity {
+            // Recycle the least-recently-used slot in place.
+            let victim = self.tail;
+            self.detach(victim);
+            let node = &mut self.nodes[victim as usize];
+            self.map.remove(&node.key);
+            node.key = key;
+            node.value = value;
+            self.stats.evictions += 1;
+            victim
+        } else if let Some(slot) = self.free.pop() {
+            let node = &mut self.nodes[slot as usize];
+            node.key = key;
+            node.value = value;
+            slot
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Remove `key` (explicit invalidation), returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        V: Default,
+    {
+        let slot = self.map.remove(key)?;
+        self.detach(slot);
+        self.free.push(slot);
+        Some(std::mem::take(&mut self.nodes[slot as usize].value))
+    }
+
+    /// Drop every entry and reset the counters (keeps the allocations).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.stats = CacheStats::default();
+    }
+
+    /// Unlink `slot` from the recency list (no-op if not linked).
+    fn detach(&mut self, slot: u32) {
+        let (prev, next) = {
+            let node = &self.nodes[slot as usize];
+            (node.prev, node.next)
+        };
+        match prev {
+            NIL => {
+                if self.head == slot {
+                    self.head = next;
+                }
+            }
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == slot {
+                    self.tail = prev;
+                }
+            }
+            n => self.nodes[n as usize].prev = prev,
+        }
+        let node = &mut self.nodes[slot as usize];
+        node.prev = NIL;
+        node.next = NIL;
+    }
+
+    /// Link `slot` in as most-recently-used.
+    fn attach_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.nodes[slot as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_and_hits() {
+        let mut c: LruCache<u32, &str> = LruCache::new(4);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_drops_the_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(&1).is_some());
+        c.insert(4, 40);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&2), None, "2 was evicted");
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        assert!(c.get(&4).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_promotes() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None, "2 was the LRU after 1's promotion");
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn eviction_order_is_exact_under_churn() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..64 {
+            c.insert(i, i);
+            // The live window is always the last 8 keys.
+            for j in 0..=i {
+                let expect_live = j + 8 > i;
+                assert_eq!(c.map.contains_key(&j), expect_live, "key {j} at step {i}");
+            }
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.stats().evictions, 56);
+    }
+
+    #[test]
+    fn remove_frees_the_slot_for_reuse() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.len(), 1);
+        c.insert(3, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0, "removal made room without evicting");
+        assert_eq!(c.remove(&99), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_noop_cache() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 10);
+        let _ = c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), CacheStats::default());
+        c.insert(2, 20);
+        assert_eq!(c.get(&2), Some(&20));
+    }
+}

@@ -1,0 +1,728 @@
+//! The online query engine: a read-mostly model behind an `Arc`, a bounded
+//! LRU result cache in front of it, and batched fan-out over a worker pool.
+//!
+//! # Query model
+//!
+//! A [`KnowledgeServer`] answers three query shapes against one loaded
+//! [`KgeModel`]:
+//!
+//! * **Top-k link prediction** ([`TopKQuery`]): given `(entity, relation)`
+//!   and a direction, the `k` most plausible entities for the open slot —
+//!   `(h, r, ?)` for [`CorruptionSide::Tail`], `(?, r, t)` for
+//!   [`CorruptionSide::Head`]. Scoring streams the whole entity table through
+//!   the batched `score_all_into` fast path (which for TransR/TransD rides
+//!   the relation-projection cache), then selects with
+//!   `top_k_indices_into` — all into caller-owned [`QueryScratch`], so the
+//!   uncached steady state allocates nothing.
+//! * **Rank** ([`KnowledgeServer::rank`]): the competition rank of a known
+//!   triple among all corruptions of one side, resolved from the contender
+//!   set by `rank_contenders_into` (the evaluation protocol's
+//!   early-termination path).
+//! * **Triplet classification** ([`KnowledgeServer::score`] /
+//!   [`KnowledgeServer::classify`]): the scalar score of one triple, compared
+//!   against a caller-supplied threshold (thresholds are tuned per relation
+//!   by `nscaching_eval`'s classification protocol).
+//!
+//! # Cache contract
+//!
+//! Top-k answers are memoised in a capacity-bounded LRU keyed by the full
+//! query `(relation, entity, direction, k)`. Every entry is stamped with the
+//! server's *model stamp* — a mix of a load generation counter and the sum of
+//! every `EmbeddingTable::version()` — captured **under the same model lock
+//! the answer was computed under**. Mutations go through
+//! [`KnowledgeServer::update_model`] / [`KnowledgeServer::reload`], which
+//! hold the write lock while they bump table versions and refresh the stamp;
+//! a later lookup whose entry stamp no longer matches treats the entry as
+//! dead, drops it, and recomputes. A stale answer can therefore never be
+//! served: the stamp an entry carries is provably the stamp of the tables it
+//! was computed from.
+//!
+//! # Threading
+//!
+//! The server is `Sync` and cheap to clone (`Arc` inside); concurrent callers
+//! share the model under a read lock and the cache under a mutex.
+//! [`KnowledgeServer::top_k_batch`] / [`KnowledgeServer::score_batch`] fan a
+//! query set out across an existing [`WorkerPool`] in contiguous chunks, one
+//! per worker, each worker reusing its own scratch from the caller's
+//! [`BatchScratch`].
+
+use crate::error::SnapshotError;
+use crate::lru::{CacheStats, LruCache};
+use crate::snapshot::load_model;
+use nscaching_kg::{CorruptionSide, EntityId, RelationId, Triple};
+use nscaching_math::{rank_contenders_into, split_seed, top_k_indices_into};
+use nscaching_models::{KgeModel, ModelKind};
+use nscaching_train::WorkerPool;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One top-k link-prediction query: the `k` best candidates for the open
+/// slot of `(entity, relation)` in the given direction.
+///
+/// `direction` names the side being *predicted*: [`CorruptionSide::Tail`]
+/// asks for tails of `(entity, relation, ?)`, [`CorruptionSide::Head`] for
+/// heads of `(?, relation, entity)`. The struct is the cache key, so it is
+/// small, `Copy` and hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TopKQuery {
+    /// The relation of the query pattern.
+    pub relation: RelationId,
+    /// The known entity (head for tail prediction, tail for head prediction).
+    pub entity: EntityId,
+    /// Which side to predict.
+    pub direction: CorruptionSide,
+    /// How many candidates to return.
+    pub k: u32,
+}
+
+impl TopKQuery {
+    /// Tails of `(head, relation, ?)`.
+    pub fn tails(head: EntityId, relation: RelationId, k: u32) -> Self {
+        Self {
+            relation,
+            entity: head,
+            direction: CorruptionSide::Tail,
+            k,
+        }
+    }
+
+    /// Heads of `(?, relation, tail)`.
+    pub fn heads(tail: EntityId, relation: RelationId, k: u32) -> Self {
+        Self {
+            relation,
+            entity: tail,
+            direction: CorruptionSide::Head,
+            k,
+        }
+    }
+
+    /// The anchor triple whose `direction` side is scanned over all entities.
+    fn anchor(&self) -> Triple {
+        match self.direction {
+            CorruptionSide::Tail => Triple::new(self.entity, self.relation, 0),
+            CorruptionSide::Head => Triple::new(0, self.relation, self.entity),
+        }
+    }
+}
+
+/// One ranked answer entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedEntity {
+    /// The candidate entity.
+    pub entity: EntityId,
+    /// Its model score (larger = more plausible).
+    pub score: f64,
+}
+
+/// A query referencing ids outside the served model's vocabularies.
+///
+/// Serving traffic is untrusted: a single malformed id must produce a typed
+/// rejection, never a slice-out-of-bounds panic on the scoring path (which,
+/// through the batch fan-out, would take the whole caller down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// An entity id at or beyond `num_entities`.
+    EntityOutOfRange {
+        /// The offending id.
+        entity: EntityId,
+        /// The served vocabulary size.
+        num_entities: usize,
+    },
+    /// A relation id at or beyond `num_relations`.
+    RelationOutOfRange {
+        /// The offending id.
+        relation: RelationId,
+        /// The served vocabulary size.
+        num_relations: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::EntityOutOfRange {
+                entity,
+                num_entities,
+            } => write!(f, "entity {entity} out of range (|E| = {num_entities})"),
+            QueryError::RelationOutOfRange {
+                relation,
+                num_relations,
+            } => write!(
+                f,
+                "relation {relation} out of range (|R| = {num_relations})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Validate one `(entity, relation)` pair against a model's vocabularies.
+fn validate_ids(
+    model: &dyn KgeModel,
+    entity: EntityId,
+    relation: RelationId,
+) -> Result<(), QueryError> {
+    if entity as usize >= model.num_entities() {
+        return Err(QueryError::EntityOutOfRange {
+            entity,
+            num_entities: model.num_entities(),
+        });
+    }
+    if relation as usize >= model.num_relations() {
+        return Err(QueryError::RelationOutOfRange {
+            relation,
+            num_relations: model.num_relations(),
+        });
+    }
+    Ok(())
+}
+
+/// Validate every id of a triple.
+fn validate_triple(model: &dyn KgeModel, triple: &Triple) -> Result<(), QueryError> {
+    validate_ids(model, triple.head, triple.relation)?;
+    validate_ids(model, triple.tail, triple.relation)
+}
+
+/// Per-caller reusable query buffers. All hot paths write into these instead
+/// of allocating; after the first few queries establish the high-water marks,
+/// a steady-state query performs no heap allocation (asserted in the
+/// `serve_throughput` bench).
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// All-entity score buffer (`score_all_into` target).
+    scores: Vec<f64>,
+    /// Index buffer of the top-k selection.
+    order: Vec<usize>,
+    /// Contender buffer of the rank scan.
+    contenders: Vec<usize>,
+}
+
+/// Per-batch worker scratch: one [`QueryScratch`] per pool worker, reused
+/// across batches.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    scratches: Vec<QueryScratch>,
+}
+
+/// A cached top-k answer plus the model stamp it was computed under.
+#[derive(Debug, Clone, Default)]
+struct CachedAnswer {
+    stamp: u64,
+    answer: Arc<[RankedEntity]>,
+}
+
+struct ServerInner {
+    model: RwLock<Box<dyn KgeModel>>,
+    cache: Mutex<LruCache<TopKQuery, CachedAnswer>>,
+    /// Current model stamp; see the module docs for the invalidation
+    /// contract. Written only under the model write lock.
+    stamp: AtomicU64,
+    /// Bumped on every load/update so stamps from different loaded models
+    /// can never collide even if their version sums do.
+    generation: AtomicU64,
+}
+
+/// The serving engine. Clones share one model and one cache (`Arc` inside).
+#[derive(Clone)]
+pub struct KnowledgeServer {
+    inner: Arc<ServerInner>,
+}
+
+impl KnowledgeServer {
+    /// Serve an already-built model with an LRU result cache of
+    /// `cache_capacity` entries (0 disables caching).
+    pub fn new(model: Box<dyn KgeModel>, cache_capacity: usize) -> Self {
+        let stamp = stamp_of(model.as_ref(), 1);
+        Self {
+            inner: Arc::new(ServerInner {
+                model: RwLock::new(model),
+                cache: Mutex::new(LruCache::new(cache_capacity)),
+                stamp: AtomicU64::new(stamp),
+                generation: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Load a model from a snapshot (or full checkpoint) file and serve it.
+    pub fn load(path: &Path, cache_capacity: usize) -> Result<Self, SnapshotError> {
+        Ok(Self::new(load_model(path)?.into_model()?, cache_capacity))
+    }
+
+    /// Swap in a model from a snapshot file. Existing cache entries become
+    /// unreachable (their stamps can no longer match) and are recycled lazily
+    /// by the LRU as fresh answers displace them.
+    pub fn reload(&self, path: &Path) -> Result<(), SnapshotError> {
+        let model = load_model(path)?.into_model()?;
+        let mut guard = self.inner.model.write().expect("model lock");
+        let generation = self.inner.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        *guard = model;
+        self.inner
+            .stamp
+            .store(stamp_of(guard.as_ref(), generation), Ordering::Release);
+        Ok(())
+    }
+
+    /// Mutate the served model in place (e.g. apply an online fine-tuning
+    /// step), refreshing the cache stamp so every prior answer is invalidated
+    /// by the tables' bumped versions.
+    pub fn update_model(&self, update: impl FnOnce(&mut dyn KgeModel)) {
+        let mut guard = self.inner.model.write().expect("model lock");
+        let generation = self.inner.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        update(guard.as_mut());
+        self.inner
+            .stamp
+            .store(stamp_of(guard.as_ref(), generation), Ordering::Release);
+    }
+
+    /// The served scoring function.
+    pub fn kind(&self) -> ModelKind {
+        self.inner.model.read().expect("model lock").kind()
+    }
+
+    /// Entity vocabulary size of the served model.
+    pub fn num_entities(&self) -> usize {
+        self.inner.model.read().expect("model lock").num_entities()
+    }
+
+    /// Relation vocabulary size of the served model.
+    pub fn num_relations(&self) -> usize {
+        self.inner.model.read().expect("model lock").num_relations()
+    }
+
+    /// The current model stamp (diagnostics; changes on every reload/update).
+    pub fn stamp(&self) -> u64 {
+        self.inner.stamp.load(Ordering::Acquire)
+    }
+
+    /// Cache hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Current number of cached answers.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.lock().expect("cache lock").len()
+    }
+
+    /// Answer a top-k query without touching the cache, writing the ranked
+    /// candidates into `out` (cleared first; `min(k, |E|)` entries, best
+    /// first, ties broken towards the lower entity id). Rejects out-of-range
+    /// ids with a typed [`QueryError`] — serving traffic is untrusted and
+    /// must not be able to panic the scoring path.
+    ///
+    /// This is the allocation-free hot path: all intermediate state lives in
+    /// `scratch` and `out`, both reused across calls.
+    pub fn top_k_into(
+        &self,
+        query: &TopKQuery,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<RankedEntity>,
+    ) -> Result<(), QueryError> {
+        let model = self.inner.model.read().expect("model lock");
+        validate_ids(model.as_ref(), query.entity, query.relation)?;
+        self.top_k_with_model(model.as_ref(), query, scratch, out);
+        Ok(())
+    }
+
+    /// Answer a top-k query through the LRU cache: a warm hit is an `Arc`
+    /// clone (no scoring, no allocation); a miss computes through
+    /// [`Self::top_k_into`] and caches the shared answer under the current
+    /// model stamp. Out-of-range ids are rejected before the cache is
+    /// touched.
+    pub fn top_k(
+        &self,
+        query: &TopKQuery,
+        scratch: &mut QueryScratch,
+    ) -> Result<Arc<[RankedEntity]>, QueryError> {
+        // Hold the model read lock across lookup, compute and insert: the
+        // stamp cannot move while we hold it (writers take the write lock),
+        // so the entry we insert is provably stamped with the tables it was
+        // computed from. Lock order is always model → cache.
+        let model = self.inner.model.read().expect("model lock");
+        validate_ids(model.as_ref(), query.entity, query.relation)?;
+        let stamp = self.inner.stamp.load(Ordering::Acquire);
+        {
+            let mut cache = self.inner.cache.lock().expect("cache lock");
+            if let Some(entry) = cache.get(query) {
+                if entry.stamp == stamp {
+                    return Ok(Arc::clone(&entry.answer));
+                }
+                // Version-invalidated: drop the corpse so it cannot be
+                // promoted over live entries, then recompute.
+                cache.remove(query);
+            }
+        }
+        let mut ranked = Vec::with_capacity(query.k as usize);
+        self.top_k_with_model(model.as_ref(), query, scratch, &mut ranked);
+        let answer: Arc<[RankedEntity]> = ranked.into();
+        self.inner.cache.lock().expect("cache lock").insert(
+            *query,
+            CachedAnswer {
+                stamp,
+                answer: Arc::clone(&answer),
+            },
+        );
+        Ok(answer)
+    }
+
+    fn top_k_with_model(
+        &self,
+        model: &dyn KgeModel,
+        query: &TopKQuery,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<RankedEntity>,
+    ) {
+        let anchor = query.anchor();
+        model.score_all_into(&anchor, query.direction, &mut scratch.scores);
+        top_k_indices_into(&scratch.scores, query.k as usize, &mut scratch.order);
+        out.clear();
+        out.extend(scratch.order.iter().map(|&i| RankedEntity {
+            entity: i as EntityId,
+            score: scratch.scores[i],
+        }));
+    }
+
+    /// The model score of one triple (larger = more plausible).
+    pub fn score(&self, triple: &Triple) -> Result<f64, QueryError> {
+        let model = self.inner.model.read().expect("model lock");
+        validate_triple(model.as_ref(), triple)?;
+        Ok(model.score(triple))
+    }
+
+    /// Triplet classification against a caller-tuned threshold.
+    pub fn classify(&self, triple: &Triple, threshold: f64) -> Result<bool, QueryError> {
+        Ok(self.score(triple)? >= threshold)
+    }
+
+    /// Competition rank (1-based, half-credit ties) of `triple` among all
+    /// corruptions of `side`, via the contender-scan early-termination path.
+    pub fn rank(
+        &self,
+        triple: &Triple,
+        side: CorruptionSide,
+        scratch: &mut QueryScratch,
+    ) -> Result<f64, QueryError> {
+        let model = self.inner.model.read().expect("model lock");
+        validate_triple(model.as_ref(), triple)?;
+        model.score_all_into(triple, side, &mut scratch.scores);
+        let true_entity = triple.entity_at(side) as usize;
+        Ok(rank_contenders_into(
+            &scratch.scores,
+            scratch.scores[true_entity],
+            true_entity,
+            &mut scratch.contenders,
+        )
+        .rank())
+    }
+
+    /// Answer a batch of top-k queries across `pool`, one contiguous chunk
+    /// per worker, through the shared LRU cache. `out[i]` receives the answer
+    /// to `queries[i]` — per-query, so one malformed query in a batch yields
+    /// one `Err` slot and every other answer still lands.
+    pub fn top_k_batch(
+        &self,
+        pool: &mut WorkerPool,
+        queries: &[TopKQuery],
+        batch: &mut BatchScratch,
+        out: &mut Vec<Result<Arc<[RankedEntity]>, QueryError>>,
+    ) {
+        let workers = pool.workers();
+        batch.scratches.resize_with(workers, QueryScratch::default);
+        let empty: Arc<[RankedEntity]> = Arc::new([]);
+        out.clear();
+        out.resize(queries.len(), Ok(empty));
+        let chunk = queries.len().div_ceil(workers).max(1);
+        let jobs = queries
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .zip(&mut batch.scratches)
+            .enumerate()
+            .map(|(worker, ((queries, slots), scratch))| {
+                let server = self;
+                let job = Box::new(move || {
+                    for (query, slot) in queries.iter().zip(slots) {
+                        *slot = server.top_k(query, scratch);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>;
+                (worker, job)
+            });
+        pool.run_round(jobs);
+    }
+
+    /// Score a batch of triples across `pool` (the bulk half of triplet
+    /// classification). `out[i]` receives the score of `triples[i]`, per
+    /// triple, so malformed ids fail their own slot only.
+    pub fn score_batch(
+        &self,
+        pool: &mut WorkerPool,
+        triples: &[Triple],
+        out: &mut Vec<Result<f64, QueryError>>,
+    ) {
+        let workers = pool.workers();
+        out.clear();
+        out.resize(triples.len(), Ok(0.0));
+        let chunk = triples.len().div_ceil(workers).max(1);
+        let jobs = triples
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+            .map(|(worker, (triples, slots))| {
+                let server = self;
+                let job = Box::new(move || {
+                    let model = server.inner.model.read().expect("model lock");
+                    for (triple, slot) in triples.iter().zip(slots) {
+                        *slot =
+                            validate_triple(model.as_ref(), triple).map(|()| model.score(triple));
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>;
+                (worker, job)
+            });
+        pool.run_round(jobs);
+    }
+}
+
+/// The model stamp: load generation mixed with the sum of all table
+/// versions. Any optimizer step or constraint application bumps at least one
+/// table version (monotonically), and every reload bumps the generation, so
+/// the stamp of a mutated or replaced model never equals a prior stamp.
+fn stamp_of(model: &dyn KgeModel, generation: u64) -> u64 {
+    let version_sum: u64 = model.tables().iter().map(|t| t.version()).sum();
+    split_seed(generation, version_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_math::seeded_rng;
+    use nscaching_models::{build_model, ModelConfig};
+    use rand::Rng;
+
+    fn server(kind: ModelKind, cache: usize) -> KnowledgeServer {
+        let model = build_model(&ModelConfig::new(kind).with_dim(8).with_seed(5), 40, 6);
+        KnowledgeServer::new(model, cache)
+    }
+
+    fn reference_top_k(server: &KnowledgeServer, query: &TopKQuery) -> Vec<RankedEntity> {
+        // Naive oracle: score every candidate through the scalar path.
+        let n = server.num_entities() as u32;
+        let mut scored: Vec<RankedEntity> = (0..n)
+            .map(|e| {
+                let anchor = query.anchor();
+                RankedEntity {
+                    entity: e,
+                    score: server.score(&anchor.corrupted(query.direction, e)).unwrap(),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.entity.cmp(&b.entity))
+        });
+        scored.truncate(query.k as usize);
+        scored
+    }
+
+    #[test]
+    fn top_k_matches_the_naive_oracle_for_every_model() {
+        for kind in ModelKind::ALL {
+            let server = server(kind, 0);
+            let mut scratch = QueryScratch::default();
+            let mut out = Vec::new();
+            for query in [TopKQuery::tails(3, 1, 5), TopKQuery::heads(7, 2, 5)] {
+                server.top_k_into(&query, &mut scratch, &mut out).unwrap();
+                let oracle = reference_top_k(&server, &query);
+                assert_eq!(out.len(), 5, "{kind:?}");
+                for (got, want) in out.iter().zip(&oracle) {
+                    assert_eq!(got.entity, want.entity, "{kind:?} {query:?}");
+                    assert!(
+                        (got.score - want.score).abs() <= 1e-12,
+                        "{kind:?} {query:?}: {} vs {}",
+                        got.score,
+                        want.score
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_the_vocabulary_returns_everything() {
+        let server = server(ModelKind::TransE, 0);
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        server
+            .top_k_into(&TopKQuery::tails(0, 0, 1000), &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), server.num_entities());
+    }
+
+    #[test]
+    fn cached_and_uncached_answers_agree() {
+        let server = server(ModelKind::DistMult, 64);
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        let query = TopKQuery::tails(2, 3, 7);
+        server.top_k_into(&query, &mut scratch, &mut out).unwrap();
+        let cold = server.top_k(&query, &mut scratch).unwrap();
+        let warm = server.top_k(&query, &mut scratch).unwrap();
+        assert_eq!(&*cold, out.as_slice());
+        assert!(Arc::ptr_eq(&cold, &warm), "warm hit shares the answer");
+        let stats = server.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn model_updates_invalidate_cached_answers() {
+        let server = server(ModelKind::TransE, 64);
+        let mut scratch = QueryScratch::default();
+        let query = TopKQuery::tails(1, 0, 4);
+        let before = server.top_k(&query, &mut scratch).unwrap();
+        let stamp_before = server.stamp();
+        // Nudge one embedding row; the table version bump must retire the
+        // cached answer even though the cache never saw the mutation.
+        server.update_model(|model| {
+            let mut rng = seeded_rng(9);
+            for table in model.tables_mut() {
+                let row = table.row_mut(0);
+                for v in row {
+                    *v += rng.gen::<f64>() * 0.5;
+                }
+            }
+        });
+        assert_ne!(server.stamp(), stamp_before);
+        let after = server.top_k(&query, &mut scratch).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "stale answer was not served");
+        assert_ne!(
+            before.iter().map(|r| r.score.to_bits()).collect::<Vec<_>>(),
+            after.iter().map(|r| r.score.to_bits()).collect::<Vec<_>>(),
+            "recomputed answer reflects the mutated model"
+        );
+        assert_eq!(
+            server.cache_stats().hits,
+            1,
+            "the stale probe counts as a hit then dies"
+        );
+    }
+
+    #[test]
+    fn rank_is_consistent_with_top_k() {
+        let server = server(ModelKind::ComplEx, 0);
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        let query = TopKQuery::tails(4, 2, 1);
+        server.top_k_into(&query, &mut scratch, &mut out).unwrap();
+        let best = out[0].entity;
+        let triple = Triple::new(4, 2, best);
+        let rank = server
+            .rank(&triple, CorruptionSide::Tail, &mut scratch)
+            .unwrap();
+        assert_eq!(rank, 1.0, "the top-1 entity must rank first");
+    }
+
+    #[test]
+    fn classification_respects_the_threshold() {
+        let server = server(ModelKind::TransE, 0);
+        let triple = Triple::new(0, 0, 1);
+        let score = server.score(&triple).unwrap();
+        assert!(server.classify(&triple, score - 1.0).unwrap());
+        assert!(!server.classify(&triple, score + 1.0).unwrap());
+    }
+
+    #[test]
+    fn batch_fan_out_matches_sequential_answers() {
+        let server = server(ModelKind::TransH, 256);
+        let mut pool = WorkerPool::new(4);
+        let queries: Vec<TopKQuery> = (0..23)
+            .map(|i| {
+                if i % 2 == 0 {
+                    TopKQuery::tails(i % 7, (i % 5) as RelationId, 4)
+                } else {
+                    TopKQuery::heads(i % 11, (i % 5) as RelationId, 4)
+                }
+            })
+            .collect();
+        let mut batch = BatchScratch::default();
+        let mut out = Vec::new();
+        server.top_k_batch(&mut pool, &queries, &mut batch, &mut out);
+        assert_eq!(out.len(), queries.len());
+        let mut scratch = QueryScratch::default();
+        let mut expected = Vec::new();
+        for (query, got) in queries.iter().zip(&out) {
+            server
+                .top_k_into(query, &mut scratch, &mut expected)
+                .unwrap();
+            assert_eq!(&**got.as_ref().unwrap(), expected.as_slice(), "{query:?}");
+        }
+        // Scores fan out too.
+        let triples: Vec<Triple> = (0..13)
+            .map(|i| Triple::new(i, i % 5, (i + 3) % 11))
+            .collect();
+        let mut scores = Vec::new();
+        server.score_batch(&mut pool, &triples, &mut scores);
+        for (triple, score) in triples.iter().zip(&scores) {
+            assert_eq!(score.as_ref().unwrap(), &server.score(triple).unwrap());
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected_not_panics() {
+        let server = server(ModelKind::TransE, 16);
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        let n = server.num_entities() as u32;
+        let r = server.num_relations() as u32;
+        assert_eq!(
+            server.top_k_into(&TopKQuery::tails(n, 0, 3), &mut scratch, &mut out),
+            Err(QueryError::EntityOutOfRange {
+                entity: n,
+                num_entities: n as usize
+            })
+        );
+        assert!(matches!(
+            server.top_k(&TopKQuery::heads(0, r, 3), &mut scratch),
+            Err(QueryError::RelationOutOfRange { .. })
+        ));
+        assert!(server.score(&Triple::new(0, 0, n)).is_err());
+        assert!(server.classify(&Triple::new(n, 0, 0), 0.0).is_err());
+        assert!(server
+            .rank(&Triple::new(0, r, 1), CorruptionSide::Tail, &mut scratch)
+            .is_err());
+        assert_eq!(server.cache_len(), 0, "rejected queries are never cached");
+
+        // In a batch, one bad query fails its own slot only.
+        let mut pool = WorkerPool::new(2);
+        let queries = vec![
+            TopKQuery::tails(0, 0, 3),
+            TopKQuery::tails(n, 0, 3),
+            TopKQuery::tails(1, 0, 3),
+        ];
+        let mut batch = BatchScratch::default();
+        let mut answers = Vec::new();
+        server.top_k_batch(&mut pool, &queries, &mut batch, &mut answers);
+        assert!(answers[0].is_ok());
+        assert!(answers[1].is_err());
+        assert!(answers[2].is_ok());
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(0, r, 1)];
+        let mut scores = Vec::new();
+        server.score_batch(&mut pool, &triples, &mut scores);
+        assert!(scores[0].is_ok());
+        assert!(scores[1].is_err());
+    }
+
+    #[test]
+    fn clones_share_the_model_and_cache() {
+        let server = server(ModelKind::TransE, 16);
+        let clone = server.clone();
+        let mut scratch = QueryScratch::default();
+        let query = TopKQuery::tails(0, 0, 3);
+        let a = server.top_k(&query, &mut scratch).unwrap();
+        let b = clone.top_k(&query, &mut scratch).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "clone hits the shared cache");
+        assert_eq!(clone.cache_stats().hits, 1);
+    }
+}

@@ -79,6 +79,38 @@ impl Batcher {
     pub fn get(&self, index: usize) -> Triple {
         self.triples[self.order[index] as usize]
     }
+
+    /// The current epoch permutation (checkpoint side).
+    ///
+    /// Each epoch's Fisher–Yates shuffle permutes the *previous* epoch's
+    /// order in place, so the permutation is part of the training state: an
+    /// exact resume must restore it (via [`Self::set_order`]) alongside the
+    /// RNG, or the resumed epoch would shuffle the identity order instead.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Replace the epoch permutation with one captured by [`Self::order`]
+    /// (resume side). Rejects anything that is not a permutation of
+    /// `0..len()`.
+    pub fn set_order(&mut self, order: Vec<u32>) -> Result<(), String> {
+        if order.len() != self.triples.len() {
+            return Err(format!(
+                "batch order length {} does not match {} training triples",
+                order.len(),
+                self.triples.len()
+            ));
+        }
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            match seen.get_mut(i as usize) {
+                Some(slot) if !*slot => *slot = true,
+                _ => return Err(format!("batch order is not a permutation (index {i})")),
+            }
+        }
+        self.order = order;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -99,4 +99,4 @@ pub use instrument::{EpochStats, RepeatTracker};
 pub use pool::WorkerPool;
 pub use pretrain::pretrain_model;
 pub use snapshots::{Snapshot, TrainingHistory};
-pub use trainer::{Trainer, SHARD_STREAM_TAG};
+pub use trainer::{Trainer, TrainerState, SHARD_STREAM_TAG};

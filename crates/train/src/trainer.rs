@@ -13,9 +13,9 @@ use crate::snapshots::{Snapshot, TrainingHistory};
 use nscaching::{NegativeSampler, SampledNegative, ShardSampler};
 use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
 use nscaching_kg::{FilterIndex, Triple};
-use nscaching_math::{seeded_rng, split_seed};
+use nscaching_math::{rng_from_state, rng_state, seeded_rng, split_seed};
 use nscaching_models::{default_loss, GradientArena, KgeModel, L2Regularizer, Loss, LossType};
-use nscaching_optim::{build_optimizer, Optimizer};
+use nscaching_optim::{build_optimizer, Optimizer, OptimizerState};
 use rand::rngs::StdRng;
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,6 +30,50 @@ use std::time::Instant;
 /// the equivalence suite re-derives the streams from this constant to check
 /// the pool engine against an independent `thread::scope` reference.
 pub const SHARD_STREAM_TAG: u64 = 0xA11E1;
+
+/// A checkpoint of a [`Trainer`]'s mutable training state, captured at an
+/// epoch boundary by [`Trainer::checkpoint`] and re-applied by
+/// [`Trainer::restore`].
+///
+/// Together with the model's embedding tables (reachable through
+/// [`Trainer::model`]) this is *everything* the training trajectory depends
+/// on:
+///
+/// * `epochs_done` — drives the per-epoch shard RNG streams
+///   (`split_seed(seed ^ SHARD_STREAM_TAG, epoch)`) of the parallel engine;
+/// * `rng` — the master stream's raw state (epoch shuffling, and all
+///   sampling at `shards = 1`);
+/// * `batch_order` — the batcher's epoch permutation (each epoch's shuffle
+///   permutes the previous epoch's order in place, so the permutation is
+///   cumulative state, not a pure function of the RNG);
+/// * `optimizer` — the dense per-table state slabs (Adam moments + step
+///   counters, AdaGrad accumulators).
+///
+/// A trainer rebuilt with the same configuration, dataset, sampler and model
+/// tables and then [`restore`](Trainer::restore)d from this state continues
+/// the run **bit-for-bit** as if it had never stopped — provided the sampler's
+/// own state is a pure function of `(dataset, sampler seed)` (Uniform and
+/// Bernoulli; NSCaching's caches and the GAN generators carry evolving state
+/// that is *not* part of this checkpoint, so their resumed trajectories are
+/// valid but not bitwise-identical). The binary on-disk encoding lives in
+/// `nscaching_serve`, which also checkpoints the model tables.
+///
+/// Not captured (by design): the training history and the repeat-ratio
+/// tracker window — they feed reports, not the trajectory. A resumed
+/// trainer's history starts at the resume point.
+#[derive(Debug, Clone)]
+pub struct TrainerState {
+    /// Number of finished epochs.
+    pub epochs_done: u64,
+    /// Accumulated training wall-clock seconds (reported in snapshots).
+    pub train_seconds: f64,
+    /// Raw master-RNG state.
+    pub rng: [u64; 4],
+    /// The batcher's current epoch permutation over the training split.
+    pub batch_order: Vec<u32>,
+    /// Exported optimizer state slabs.
+    pub optimizer: OptimizerState,
+}
 
 /// Everything one shard worker produces for one mini-batch, buffered so the
 /// main thread can fold the results in ascending shard order. Buffers are
@@ -195,6 +239,47 @@ impl Trainer {
     /// pretrain-then-continue protocol).
     pub fn into_model(self) -> Box<dyn KgeModel> {
         self.model
+    }
+
+    /// Capture the trainer's mutable training state at an epoch boundary.
+    ///
+    /// Pair it with the model tables (via [`Self::model`]) to persist a full
+    /// resumable checkpoint — `nscaching_serve::save_checkpoint` does both
+    /// and adds the on-disk format. See [`TrainerState`] for the exact-resume
+    /// contract.
+    pub fn checkpoint(&self) -> TrainerState {
+        TrainerState {
+            epochs_done: self.epochs_done as u64,
+            train_seconds: self.train_seconds,
+            rng: rng_state(&self.rng),
+            batch_order: self.batcher.order().to_vec(),
+            optimizer: self.optimizer.export_state(),
+        }
+    }
+
+    /// Re-apply a [`TrainerState`] captured by [`Self::checkpoint`].
+    ///
+    /// The trainer must have been built with the same configuration and a
+    /// model whose tables already hold the checkpointed values (the snapshot
+    /// store restores them before constructing the trainer). Fails when the
+    /// optimizer state belongs to a different optimizer kind than the
+    /// configured one.
+    pub fn restore(&mut self, state: TrainerState) -> Result<(), String> {
+        // The all-zero state is the one invalid xoshiro256** fixed point; a
+        // real trainer can never produce it, and the RNG constructor would
+        // panic on it, so reject it as an error here.
+        if state.rng.iter().all(|&word| word == 0) {
+            return Err("all-zero master-RNG state".into());
+        }
+        self.optimizer.import_state(state.optimizer)?;
+        // Re-pad the imported slabs to the model's table sizes so the
+        // no-allocation guarantee of the bound optimizer still holds.
+        self.optimizer.bind(self.model.as_ref());
+        self.batcher.set_order(state.batch_order)?;
+        self.rng = rng_from_state(state.rng);
+        self.epochs_done = state.epochs_done as usize;
+        self.train_seconds = state.train_seconds;
+        Ok(())
     }
 
     /// Train a single epoch and return its statistics.
@@ -449,15 +534,31 @@ impl Trainer {
         snap
     }
 
-    /// Run the configured number of epochs, taking periodic snapshots, then
-    /// run the final evaluation.
+    /// Run up to the configured number of epochs, taking periodic snapshots,
+    /// then run the final evaluation.
+    ///
+    /// Counts against [`Trainer::epochs_done`], so a trainer restored from a
+    /// checkpoint runs only the *remaining* epochs of its budget.
     pub fn run(&mut self) -> &TrainingHistory {
-        for _ in 0..self.config.epochs {
+        self.run_with(&mut |_| {})
+    }
+
+    /// Like [`Self::run`], invoking `after_epoch` after every finished epoch
+    /// (after the periodic snapshot, when one is due).
+    ///
+    /// The hook receives the trainer by shared reference — enough for
+    /// observation and checkpointing (`nscaching_serve::save_checkpoint`
+    /// needs only `&Trainer`), which is how the experiment binaries implement
+    /// `--checkpoint-every` without this crate depending on the snapshot
+    /// store.
+    pub fn run_with(&mut self, after_epoch: &mut dyn FnMut(&Trainer)) -> &TrainingHistory {
+        while self.epochs_done < self.config.epochs {
             self.train_epoch();
             if self.config.eval_every > 0 && self.epochs_done.is_multiple_of(self.config.eval_every)
             {
                 self.snapshot();
             }
+            after_epoch(self);
         }
         let final_report = self.evaluate(&self.config.final_protocol.clone());
         self.history.final_report = Some(final_report);
@@ -701,6 +802,79 @@ mod tests {
         t.config.shards = 2;
         t.config.runtime = TrainRuntime::Sequential;
         t.train_epoch();
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_for_bit() {
+        let ds = dataset(12);
+        let build = || {
+            let model = build_model(
+                &ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(1),
+                ds.num_entities(),
+                ds.num_relations(),
+            );
+            let sampler = nscaching::build_sampler(&SamplerConfig::Bernoulli, &ds, 2);
+            let config = TrainConfig::new(4).with_seed(3).with_batch_size(64);
+            Trainer::new(model, sampler, &ds, config)
+        };
+
+        // Uninterrupted reference: 4 epochs straight through.
+        let mut reference = build();
+        for _ in 0..4 {
+            reference.train_epoch();
+        }
+
+        // Interrupted run: 2 epochs, checkpoint, rebuild, restore, 2 more.
+        let mut first_half = build();
+        first_half.train_epoch();
+        first_half.train_epoch();
+        let state = first_half.checkpoint();
+        assert_eq!(state.epochs_done, 2);
+        let tables: Vec<Vec<f64>> = first_half
+            .model()
+            .tables()
+            .iter()
+            .map(|t| t.data().to_vec())
+            .collect();
+
+        let mut resumed = build();
+        for (table, data) in resumed.model.tables_mut().into_iter().zip(&tables) {
+            table.data_mut().copy_from_slice(data);
+        }
+        resumed.restore(state).unwrap();
+        assert_eq!(resumed.epochs_done(), 2);
+        resumed.train_epoch();
+        resumed.train_epoch();
+
+        for (a, b) in reference
+            .model()
+            .tables()
+            .iter()
+            .zip(resumed.model().tables())
+        {
+            assert!(
+                a.data()
+                    .iter()
+                    .zip(b.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "resumed trajectory diverged on table {}",
+                a.name()
+            );
+        }
+        // run() honours the restored epoch count: the budget is exhausted.
+        let history = resumed.run();
+        assert!(history.epochs.is_empty() || resumed.epochs_done() == 4);
+        assert_eq!(resumed.epochs_done(), 4);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_optimizer_state() {
+        let ds = dataset(13);
+        let mut t = trainer(&ds, SamplerConfig::Bernoulli, ModelKind::TransE, 1);
+        let mut state = t.checkpoint();
+        state.optimizer = nscaching_optim::OptimizerState::Sgd;
+        // the trainer above is built with Adam
+        assert!(t.restore(state).is_err());
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! * [`optim`] — sparse optimizers (SGD, AdaGrad, Adam);
 //! * [`sampling`] — negative samplers, including the paper's NSCaching;
 //! * [`train`] — training loop, pretraining and instrumentation;
-//! * [`eval`] — link prediction and triplet classification protocols.
+//! * [`eval`] — link prediction and triplet classification protocols;
+//! * [`serve`] — checkpoint store and online link-prediction serving engine.
 //!
 //! See the `examples/` directory for end-to-end usage, starting with
-//! `examples/quickstart.rs`.
+//! `examples/quickstart.rs` (training) and `examples/serve_queries.rs`
+//! (checkpointing + serving).
 
 pub use nscaching as sampling;
 pub use nscaching_datagen as datagen;
@@ -26,4 +28,5 @@ pub use nscaching_kg as kg;
 pub use nscaching_math as math;
 pub use nscaching_models as models;
 pub use nscaching_optim as optim;
+pub use nscaching_serve as serve;
 pub use nscaching_train as train;
