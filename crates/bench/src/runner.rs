@@ -240,23 +240,43 @@ fn resume_path(
     }
 }
 
-/// Try to resume this run from `--resume`. Any failure — no file, wrong
-/// dataset, configuration drift, corruption — falls back to a fresh run with
-/// a note on stderr: resumption is an optimisation, never a correctness
-/// requirement, but a *matching* checkpoint continues the interrupted
-/// trajectory bit-for-bit (see `nscaching_serve`).
-fn try_resume(
+/// What a resume attempt concluded — separated from its stderr reporting so
+/// the fallback policy is directly testable. The crucial distinction is
+/// [`ResumeOutcome::NoCheckpoint`] (the expected cold-start case: nothing to
+/// resume, nothing to warn about) versus [`ResumeOutcome::Unusable`] (a file
+/// *was* there but could not be used — corruption, truncation, schema drift —
+/// which an operator monitoring a long grid run wants to hear about loudly,
+/// with the typed [`nscaching_serve::SnapshotError`] saying exactly why).
+enum ResumeOutcome {
+    /// `--resume` was not given.
+    Disabled,
+    /// No checkpoint file exists at the resolved path (normal cold start).
+    NoCheckpoint(std::path::PathBuf),
+    /// A matching checkpoint resumed the run.
+    Resumed(Box<Trainer>),
+    /// A checkpoint file exists but is unusable; the typed error says why.
+    Unusable {
+        path: std::path::PathBuf,
+        error: nscaching_serve::SnapshotError,
+    },
+}
+
+/// Attempt to resume this run from `--resume` (no I/O to stderr — see
+/// [`try_resume`] for the reporting policy).
+fn resume_outcome(
     dataset: &BenchDataset,
     kind: ModelKind,
     sampler: &SamplerConfig,
     label: &str,
     settings: &ExperimentSettings,
     train_config: &TrainConfig,
-) -> Option<Trainer> {
-    let resume = settings.resume.as_deref()?;
+) -> ResumeOutcome {
+    let Some(resume) = settings.resume.as_deref() else {
+        return ResumeOutcome::Disabled;
+    };
     let path = resume_path(resume, label, kind, dataset);
     if !path.exists() {
-        return None;
+        return ResumeOutcome::NoCheckpoint(path);
     }
     let attempt = nscaching_serve::load_checkpoint(&path).and_then(|checkpoint| {
         if checkpoint.model.kind != kind
@@ -281,15 +301,44 @@ fn try_resume(
         nscaching_serve::resume_trainer(checkpoint, sampler, dataset.data(), train_config.clone())
     });
     match attempt {
-        Ok(trainer) => {
+        Ok(trainer) => ResumeOutcome::Resumed(Box::new(trainer)),
+        Err(error) => ResumeOutcome::Unusable { path, error },
+    }
+}
+
+/// Try to resume this run from `--resume`. Any failure falls back to a fresh
+/// run — resumption is an optimisation, never a correctness requirement —
+/// but the two failure modes report differently on stderr: a missing
+/// checkpoint is a routine cold start (one informational line), while an
+/// unusable checkpoint (corrupt, truncated, schema drift) is surfaced as a
+/// warning carrying the typed [`nscaching_serve::SnapshotError`]. A
+/// *matching* checkpoint continues the interrupted trajectory bit-for-bit
+/// (see `nscaching_serve`).
+fn try_resume(
+    dataset: &BenchDataset,
+    kind: ModelKind,
+    sampler: &SamplerConfig,
+    label: &str,
+    settings: &ExperimentSettings,
+    train_config: &TrainConfig,
+) -> Option<Trainer> {
+    match resume_outcome(dataset, kind, sampler, label, settings, train_config) {
+        ResumeOutcome::Disabled => None,
+        ResumeOutcome::NoCheckpoint(path) => {
+            eprintln!("[{label}] no checkpoint at {path:?}; starting fresh");
+            None
+        }
+        ResumeOutcome::Resumed(trainer) => {
             eprintln!(
-                "[{label}] resumed from {path:?} at epoch {}",
+                "[{label}] resumed from checkpoint at epoch {}",
                 trainer.epochs_done()
             );
-            Some(trainer)
+            Some(*trainer)
         }
-        Err(e) => {
-            eprintln!("[{label}] not resuming from {path:?}: {e}");
+        ResumeOutcome::Unusable { path, error } => {
+            eprintln!(
+                "[{label}] WARNING: checkpoint at {path:?} is unusable ({error}); starting fresh"
+            );
             None
         }
     }
@@ -542,6 +591,111 @@ mod tests {
             0,
         );
         assert_eq!(fresh.history.epochs.len(), settings.epochs);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_distinguishes_missing_from_corrupt_checkpoints() {
+        let dir =
+            std::env::temp_dir().join(format!("nscaching-runner-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut settings = smoke_settings();
+        settings.epochs = 1;
+        settings.resume = Some(dir.clone());
+        let dataset = BenchDataset::new(
+            BenchmarkFamily::Wn18rr
+                .generate(settings.scale, settings.seed)
+                .unwrap(),
+        );
+        let mut train_config = standard_train_config(ModelKind::TransE, &settings);
+        // Match train_with_sampler's seed derivation so a good checkpoint
+        // written by it is resumable through this config.
+        train_config.seed = settings.seed.wrapping_add(1);
+        let outcome = |settings: &ExperimentSettings| {
+            resume_outcome(
+                &dataset,
+                ModelKind::TransE,
+                &SamplerConfig::Bernoulli,
+                "resume-test",
+                settings,
+                &train_config,
+            )
+        };
+
+        // Disabled: no --resume flag at all.
+        let mut disabled = settings.clone();
+        disabled.resume = None;
+        assert!(matches!(outcome(&disabled), ResumeOutcome::Disabled));
+
+        // Missing: the directory exists but holds no checkpoint — a routine
+        // cold start, reported as NoCheckpoint with the path it looked at.
+        match outcome(&settings) {
+            ResumeOutcome::NoCheckpoint(path) => {
+                assert_eq!(path.parent(), Some(dir.as_path()));
+                assert!(!path.exists());
+            }
+            _ => panic!("expected NoCheckpoint for an empty resume dir"),
+        }
+
+        // Corrupt: a file *is* there but is garbage — the typed
+        // SnapshotError must surface so the operator learns the difference.
+        let path = dir.join(checkpoint_file_name(
+            "resume-test",
+            ModelKind::TransE,
+            &dataset,
+        ));
+        std::fs::write(&path, b"this is not a checkpoint").unwrap();
+        match outcome(&settings) {
+            ResumeOutcome::Unusable { path: p, error } => {
+                assert_eq!(p, path);
+                assert!(
+                    matches!(error, nscaching_serve::SnapshotError::BadMagic { .. }),
+                    "garbage bytes should fail the magic check, got: {error}"
+                );
+            }
+            _ => panic!("expected Unusable for a corrupt checkpoint"),
+        }
+
+        // Truncated: a checkpoint torn mid-write is unusable too, with the
+        // checksum/truncation family of errors rather than BadMagic.
+        let good = {
+            settings.checkpoint_every = 1;
+            settings.checkpoint_dir = Some(dir.clone());
+            settings.resume = None;
+            let _ = train_with_sampler(
+                &dataset,
+                ModelKind::TransE,
+                SamplerConfig::Bernoulli,
+                "resume-test".into(),
+                0,
+                &settings,
+                0,
+            );
+            settings.resume = Some(dir.clone());
+            settings.checkpoint_every = 0;
+            std::fs::read(&path).unwrap()
+        };
+        std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+        match outcome(&settings) {
+            ResumeOutcome::Unusable { error, .. } => {
+                assert!(
+                    matches!(
+                        error,
+                        nscaching_serve::SnapshotError::Truncated { .. }
+                            | nscaching_serve::SnapshotError::ChecksumMismatch { .. }
+                    ),
+                    "torn checkpoint should be typed truncation/checksum, got: {error}"
+                );
+            }
+            _ => panic!("expected Unusable for a truncated checkpoint"),
+        }
+
+        // Restore the good bytes: the same path must now actually resume.
+        std::fs::write(&path, &good).unwrap();
+        assert!(matches!(outcome(&settings), ResumeOutcome::Resumed(_)));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,411 @@
+//! A blocking client for the front door, with deadline-aware I/O and a
+//! retry policy that only ever re-sends what is safe to re-send.
+//!
+//! # Retry policy
+//!
+//! A request is retried only when **both** gates pass:
+//!
+//! 1. the failure is *transient*: a retryable wire code
+//!    ([`ErrorCode::is_retryable`] — `Overloaded`, `ShuttingDown`,
+//!    `DeadlineExceeded`) or a transport failure (torn connection, socket
+//!    timeout), **and**
+//! 2. the request is *idempotent* ([`Request::idempotent`]) — a transport
+//!    failure leaves the client unsure whether the server executed the
+//!    request, so anything with effects must surface the error instead.
+//!
+//! Non-retryable typed errors (`Malformed`, `EntityOutOfRange`, …) come back
+//! immediately: retrying a request the server rejected *by its content*
+//! cannot succeed and only adds load exactly when the server least wants it.
+//!
+//! Between attempts the client sleeps a capped exponential backoff with
+//! multiplicative jitter in `[0.5, 1.0)` — jitter is what keeps a thousand
+//! clients that were all shed by the same overloaded server from
+//! re-converging on it in lockstep.
+
+use crate::wire::{ErrorCode, Request, Response, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side knobs. Defaults suit an interactive caller; batch loaders
+/// usually raise `max_attempts` and the backoff cap.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Socket read deadline per response.
+    pub read_timeout: Duration,
+    /// Socket write deadline per request.
+    pub write_timeout: Duration,
+    /// Total attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(2),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+            seed: 0x5ca1ab1e,
+        }
+    }
+}
+
+/// A successful call: the answer plus the degradation level the server was
+/// at when it answered (0 = full service).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Server degradation level (see the server's degradation ladder).
+    pub degradation: u8,
+    /// The decoded answer.
+    pub answer: crate::wire::Answer,
+}
+
+/// Why a call failed after the retry policy gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read or write).
+    Io(io::Error),
+    /// The server answered with a typed wire error.
+    Server {
+        /// The wire error code.
+        code: ErrorCode,
+        /// Human-readable server detail.
+        detail: String,
+        /// Degradation level the server reported.
+        degradation: u8,
+    },
+    /// The server's bytes did not decode as a response.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, detail, .. } => {
+                write!(f, "server error: {code}: {detail}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Counters of what the retry layer actually did — load generators read
+/// these to report shed/retry rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Calls that returned an answer.
+    pub ok: u64,
+    /// Calls that gave up with an error.
+    pub failed: u64,
+    /// Individual retries performed (attempts beyond the first).
+    pub retries: u64,
+    /// Typed retryable rejections observed (before any retry succeeded).
+    pub rejected: u64,
+    /// Reconnections after transport failures.
+    pub reconnects: u64,
+}
+
+/// A blocking connection to one server, with lazy reconnect.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    rng: StdRng,
+    stats: ClientStats,
+    buf: Vec<u8>,
+    frame: Vec<u8>,
+}
+
+impl NetClient {
+    /// Create a client for `addr`. No connection is made until the first
+    /// call (and a broken connection re-dials transparently).
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> Self {
+        Self {
+            addr,
+            config,
+            stream: None,
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: ClientStats::default(),
+            buf: Vec::new(),
+            frame: Vec::new(),
+        }
+    }
+
+    /// What the retry layer has done so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Issue one request, applying the retry policy described in the module
+    /// docs. Returns the first conclusive outcome.
+    pub fn call(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.call_once(request) {
+                Ok(Response {
+                    degradation,
+                    result: Ok(answer),
+                }) => {
+                    self.stats.ok += 1;
+                    return Ok(Reply {
+                        degradation,
+                        answer,
+                    });
+                }
+                Ok(Response {
+                    degradation,
+                    result: Err((code, detail)),
+                }) => {
+                    attempt += 1;
+                    if code.is_retryable() {
+                        self.stats.rejected += 1;
+                        if request.idempotent() && attempt < self.config.max_attempts {
+                            self.stats.retries += 1;
+                            self.backoff(attempt - 1);
+                            continue;
+                        }
+                    }
+                    self.stats.failed += 1;
+                    return Err(ClientError::Server {
+                        code,
+                        detail,
+                        degradation,
+                    });
+                }
+                Err(ClientError::Io(e)) => {
+                    // The connection is in an unknown state; never reuse it.
+                    self.stream = None;
+                    attempt += 1;
+                    if request.idempotent() && attempt < self.config.max_attempts {
+                        self.stats.retries += 1;
+                        self.backoff(attempt - 1);
+                        continue;
+                    }
+                    self.stats.failed += 1;
+                    return Err(ClientError::Io(e));
+                }
+                Err(e) => {
+                    self.stream = None;
+                    self.stats.failed += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One attempt: (re)connect if needed, write the frame, read the reply.
+    fn call_once(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+                .map_err(ClientError::Io)?;
+            stream
+                .set_read_timeout(Some(self.config.read_timeout))
+                .map_err(ClientError::Io)?;
+            stream
+                .set_write_timeout(Some(self.config.write_timeout))
+                .map_err(ClientError::Io)?;
+            if self.stats.ok + self.stats.failed + self.stats.retries > 0 {
+                self.stats.reconnects += 1;
+            }
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+
+        request.encode(&mut self.buf);
+        self.frame.clear();
+        self.frame
+            .extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        self.frame.extend_from_slice(&self.buf);
+        stream.write_all(&self.frame).map_err(ClientError::Io)?;
+
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        stream.read_exact(&mut header).map_err(ClientError::Io)?;
+        let len = u32::from_le_bytes(header);
+        if len > MAX_FRAME_LEN {
+            return Err(ClientError::Protocol("oversized response frame"));
+        }
+        self.buf.clear();
+        self.buf.resize(len as usize, 0);
+        stream.read_exact(&mut self.buf).map_err(ClientError::Io)?;
+        Response::decode(&self.buf, request)
+            .map_err(|_| ClientError::Protocol("undecodable response body"))
+    }
+
+    /// Sleep `min(cap, base · 2^attempt)` scaled by jitter in `[0.5, 1.0)`.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self.config.backoff_base.as_secs_f64();
+        let cap = self.config.backoff_cap.as_secs_f64();
+        let exp = base * f64::from(2u32.saturating_pow(attempt.min(20)));
+        let jitter = self.rng.gen_range(0.5f64..1.0);
+        std::thread::sleep(Duration::from_secs_f64(exp.min(cap) * jitter));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Answer;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A hand-rolled one-connection server that replies from a script:
+    /// each entry is a full response to encode, or `None` to slam the
+    /// connection shut mid-exchange.
+    fn scripted_server(script: Vec<Option<Response>>) -> (SocketAddr, Arc<AtomicU64>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let requests_seen = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&requests_seen);
+        std::thread::spawn(move || {
+            let mut script = script.into_iter();
+            'conns: loop {
+                let Ok((mut socket, _)) = listener.accept() else {
+                    return;
+                };
+                loop {
+                    let mut header = [0u8; 4];
+                    if socket.read_exact(&mut header).is_err() {
+                        continue 'conns;
+                    }
+                    let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+                    if socket.read_exact(&mut body).is_err() {
+                        continue 'conns;
+                    }
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    match script.next() {
+                        Some(Some(response)) => {
+                            let mut buf = Vec::new();
+                            response.encode(&mut buf);
+                            let mut frame = (buf.len() as u32).to_le_bytes().to_vec();
+                            frame.extend_from_slice(&buf);
+                            socket.write_all(&frame).unwrap();
+                        }
+                        Some(None) => {
+                            drop(socket);
+                            continue 'conns;
+                        }
+                        None => return,
+                    }
+                }
+            }
+        });
+        (addr, requests_seen)
+    }
+
+    fn fast_config() -> ClientConfig {
+        ClientConfig {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(1),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn retries_overloaded_until_success() {
+        let (addr, seen) = scripted_server(vec![
+            Some(Response::error(1, ErrorCode::Overloaded, "queue full")),
+            Some(Response::error(2, ErrorCode::Overloaded, "queue full")),
+            Some(Response::ok(0, Answer::Pong)),
+        ]);
+        let mut client = NetClient::new(addr, fast_config());
+        let reply = client.call(&Request::Ping).unwrap();
+        assert_eq!(reply.answer, Answer::Pong);
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
+        let stats = client.stats();
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.rejected, 2);
+    }
+
+    #[test]
+    fn non_retryable_errors_surface_immediately() {
+        let (addr, seen) = scripted_server(vec![Some(Response::error(
+            0,
+            ErrorCode::EntityOutOfRange,
+            "entity 999 out of range",
+        ))]);
+        let mut client = NetClient::new(addr, fast_config());
+        match client.call(&Request::Ping) {
+            Err(ClientError::Server { code, detail, .. }) => {
+                assert_eq!(code, ErrorCode::EntityOutOfRange);
+                assert!(detail.contains("999"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Exactly one request hit the wire: no retry of a content error.
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        assert_eq!(client.stats().retries, 0);
+    }
+
+    #[test]
+    fn transport_failures_reconnect_and_retry_idempotent_requests() {
+        let (addr, seen) = scripted_server(vec![
+            None, // accept the request, then cut the connection
+            Some(Response::ok(0, Answer::Pong)),
+        ]);
+        let mut client = NetClient::new(addr, fast_config());
+        let reply = client.call(&Request::Ping).unwrap();
+        assert_eq!(reply.answer, Answer::Pong);
+        assert_eq!(seen.load(Ordering::SeqCst), 2);
+        assert_eq!(client.stats().reconnects, 1);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let script = (0..4)
+            .map(|_| Some(Response::error(2, ErrorCode::Overloaded, "still full")))
+            .collect();
+        let (addr, seen) = scripted_server(script);
+        let mut client = NetClient::new(addr, fast_config());
+        match client.call(&Request::Ping) {
+            Err(ClientError::Server {
+                code, degradation, ..
+            }) => {
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert_eq!(degradation, 2);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 4);
+        let stats = client.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.retries, 3);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let mut client = NetClient::new(
+            "127.0.0.1:1".parse().unwrap(),
+            ClientConfig {
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(8),
+                ..fast_config()
+            },
+        );
+        // Even a huge attempt index must not sleep longer than the cap.
+        let start = std::time::Instant::now();
+        client.backoff(30);
+        let elapsed = start.elapsed();
+        assert!(elapsed < Duration::from_millis(100), "{elapsed:?}");
+    }
+}

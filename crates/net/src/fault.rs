@@ -1,0 +1,397 @@
+//! Deterministic fault injection between the server and its streams.
+//!
+//! A [`FaultPlan`] is a seeded description of *how often* each fault class
+//! fires; [`FaultPlan::script_for`] derives an independent per-connection
+//! [`FaultScript`] (SplitMix-style seed split on the connection id), so a
+//! chaos run is reproducible from `(plan seed, connection id, operation
+//! sequence)` alone — rerunning a failing seed replays the exact fault
+//! timeline.
+//!
+//! Faults are strictly *transport-level*: truncated reads, torn writes,
+//! stalls, mid-frame disconnects and injected `io::Error`s. The layer never
+//! corrupts bytes in flight — silent corruption is the checksum layer's
+//! department (snapshots); the network layer's failure model is the socket
+//! dying at the worst possible moment, which is what these faults simulate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The byte-stream surface the server and client speak through.
+///
+/// [`TcpStream`] is the production implementation; [`FaultyStream`] wraps any
+/// transport and applies a [`FaultScript`]. Keeping the surface minimal
+/// (reads may be partial, writes are all-or-error) is what lets a fault layer
+/// sit in the middle without the server knowing.
+pub trait Transport: Send {
+    /// Read into `buf`, returning the number of bytes read (0 = EOF). May
+    /// return fewer bytes than requested; `WouldBlock`/`TimedOut` signal a
+    /// read-timeout tick, every other error is connection death.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Write all of `buf` or fail. A failure may have written a prefix (a
+    /// torn write) — the connection is dead either way.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Bound every subsequent [`read`](Self::read) call.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Bound every subsequent [`write_all`](Self::write_all) call.
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Tear the connection down (both directions, best-effort).
+    fn shutdown(&mut self);
+}
+
+impl Transport for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, buf)
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+
+    fn shutdown(&mut self) {
+        let _ = TcpStream::shutdown(self, std::net::Shutdown::Both);
+    }
+}
+
+/// Seeded description of a fault mix. All rates are per-operation
+/// probabilities in `[0, 1]`; the default plan injects nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Master seed; per-connection scripts split off it.
+    pub seed: u64,
+    /// Probability a read is truncated to a single byte (exercises partial
+    /// frame reassembly).
+    pub short_read: f64,
+    /// Probability a write delivers only a prefix and then fails (the peer
+    /// sees a torn, undecodable frame).
+    pub torn_write: f64,
+    /// Probability of an injected stall before an operation.
+    pub stall: f64,
+    /// Upper bound on an injected stall.
+    pub max_stall: Duration,
+    /// Probability the connection dies mid-operation (socket torn down, the
+    /// op reports EOF or `ConnectionReset`).
+    pub disconnect: f64,
+    /// Probability of a spurious `io::Error` without tearing the socket.
+    pub io_error: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the identity layer).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            short_read: 0.0,
+            torn_write: 0.0,
+            stall: 0.0,
+            max_stall: Duration::ZERO,
+            disconnect: 0.0,
+            io_error: 0.0,
+        }
+    }
+
+    /// The chaos-suite mix: every fault class armed at `rate`, stalls capped
+    /// at `max_stall`.
+    pub fn chaos(seed: u64, rate: f64, max_stall: Duration) -> Self {
+        Self {
+            seed,
+            short_read: (rate * 4.0).min(1.0), // frequent: cheap, always survivable
+            torn_write: rate,
+            stall: rate,
+            max_stall,
+            disconnect: rate,
+            io_error: rate,
+        }
+    }
+
+    /// Whether any fault class can fire.
+    pub fn is_armed(&self) -> bool {
+        self.short_read > 0.0
+            || self.torn_write > 0.0
+            || self.stall > 0.0
+            || self.disconnect > 0.0
+            || self.io_error > 0.0
+    }
+
+    /// The deterministic per-connection fault timeline.
+    pub fn script_for(&self, conn_id: u64) -> FaultScript {
+        FaultScript {
+            plan: *self,
+            rng: StdRng::seed_from_u64(self.seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            dead: false,
+        }
+    }
+}
+
+/// One connection's deterministic fault sequence (see [`FaultPlan`]).
+#[derive(Debug)]
+pub struct FaultScript {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Once a disconnect fired, every later operation fails too.
+    dead: bool,
+}
+
+/// Which transport operation a verdict is for.
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    Read,
+    Write,
+}
+
+/// What the script decided for one operation.
+enum Verdict {
+    Clean,
+    /// Read only: truncate to one byte.
+    Short,
+    /// Write only: deliver a prefix, then die.
+    Torn,
+    Disconnect,
+    IoError,
+}
+
+impl FaultScript {
+    fn stall(&mut self) {
+        if self.plan.stall > 0.0 && self.rng.gen_bool(self.plan.stall) {
+            let nanos = self.plan.max_stall.as_nanos() as u64;
+            if nanos > 0 {
+                std::thread::sleep(Duration::from_nanos(self.rng.gen_range(0..nanos)));
+            }
+        }
+    }
+
+    fn verdict(&mut self, op: Op) -> Verdict {
+        if self.dead {
+            return Verdict::Disconnect;
+        }
+        self.stall();
+        if self.plan.disconnect > 0.0 && self.rng.gen_bool(self.plan.disconnect) {
+            self.dead = true;
+            return Verdict::Disconnect;
+        }
+        if self.plan.io_error > 0.0 && self.rng.gen_bool(self.plan.io_error) {
+            return Verdict::IoError;
+        }
+        let partial_rate = match op {
+            Op::Read => self.plan.short_read,
+            Op::Write => self.plan.torn_write,
+        };
+        if partial_rate > 0.0 && self.rng.gen_bool(partial_rate) {
+            return match op {
+                Op::Read => Verdict::Short,
+                Op::Write => Verdict::Torn,
+            };
+        }
+        Verdict::Clean
+    }
+}
+
+/// A [`Transport`] wrapper applying a [`FaultScript`] to every operation.
+pub struct FaultyStream<T: Transport> {
+    inner: T,
+    script: FaultScript,
+}
+
+impl<T: Transport> FaultyStream<T> {
+    /// Wrap `inner`, driving faults from `script`.
+    pub fn new(inner: T, script: FaultScript) -> Self {
+        Self { inner, script }
+    }
+}
+
+fn injected_error() -> io::Error {
+    io::Error::other("injected io fault")
+}
+
+fn reset_error() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "injected disconnect")
+}
+
+impl<T: Transport> Transport for FaultyStream<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.script.verdict(Op::Read) {
+            Verdict::Disconnect => {
+                self.inner.shutdown();
+                Err(reset_error())
+            }
+            Verdict::IoError => Err(injected_error()),
+            Verdict::Short if buf.len() > 1 => self.inner.read(&mut buf[..1]),
+            _ => self.inner.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.script.verdict(Op::Write) {
+            Verdict::Disconnect => {
+                self.inner.shutdown();
+                Err(reset_error())
+            }
+            Verdict::IoError => Err(injected_error()),
+            Verdict::Torn if buf.len() > 1 => {
+                // Deliver a strict prefix, then tear the connection: the peer
+                // holds half a frame it can never complete.
+                let cut = 1 + self.script.rng.gen_range(0..buf.len() - 1);
+                let _ = self.inner.write_all(&buf[..cut]);
+                self.script.dead = true;
+                self.inner.shutdown();
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected torn write",
+                ))
+            }
+            _ => self.inner.write_all(buf),
+        }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(timeout)
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory transport recording what reached it.
+    #[derive(Default)]
+    struct MemStream {
+        incoming: Vec<u8>,
+        pos: usize,
+        written: Vec<u8>,
+        shutdowns: usize,
+    }
+
+    impl Transport for MemStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.incoming.len() - self.pos);
+            buf[..n].copy_from_slice(&self.incoming[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+
+        fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+            self.written.extend_from_slice(buf);
+            Ok(())
+        }
+
+        fn set_read_timeout(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn set_write_timeout(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn shutdown(&mut self) {
+            self.shutdowns += 1;
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_connection() {
+        let plan = FaultPlan::chaos(7, 0.2, Duration::ZERO);
+        for conn in 0..4u64 {
+            let mut a = plan.script_for(conn);
+            let mut b = plan.script_for(conn);
+            for i in 0..64 {
+                let op = if i % 2 == 0 { Op::Read } else { Op::Write };
+                assert_eq!(
+                    matches!(a.verdict(op), Verdict::Clean),
+                    matches!(b.verdict(op), Verdict::Clean),
+                    "same (seed, conn, op) must decide identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let mut s = FaultyStream::new(
+            MemStream {
+                incoming: vec![1, 2, 3, 4],
+                ..Default::default()
+            },
+            FaultPlan::none(1).script_for(0),
+        );
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf).unwrap(), 4);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        s.write_all(&[9, 9]).unwrap();
+        assert_eq!(s.inner.written, vec![9, 9]);
+    }
+
+    #[test]
+    fn short_reads_truncate_to_one_byte() {
+        let plan = FaultPlan {
+            short_read: 1.0,
+            ..FaultPlan::none(3)
+        };
+        let mut s = FaultyStream::new(
+            MemStream {
+                incoming: vec![1, 2, 3, 4],
+                ..Default::default()
+            },
+            plan.script_for(0),
+        );
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf).unwrap(), 1, "read was truncated");
+        assert_eq!(buf[0], 1);
+    }
+
+    #[test]
+    fn torn_writes_deliver_a_strict_prefix_then_kill_the_connection() {
+        let plan = FaultPlan {
+            torn_write: 1.0,
+            ..FaultPlan::none(5)
+        };
+        let mut s = FaultyStream::new(MemStream::default(), plan.script_for(0));
+        let payload = [7u8; 32];
+        let err = s.write_all(&payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(!s.inner.written.is_empty(), "a prefix was delivered");
+        assert!(s.inner.written.len() < payload.len(), "but not all of it");
+        assert_eq!(s.inner.shutdowns, 1, "the socket was torn down");
+        // The connection stays dead afterwards.
+        assert!(s.write_all(&payload).is_err());
+        let mut buf = [0u8; 4];
+        assert!(s.read(&mut buf).is_err());
+    }
+
+    #[test]
+    fn disconnects_are_sticky() {
+        let plan = FaultPlan {
+            disconnect: 1.0,
+            ..FaultPlan::none(9)
+        };
+        let mut s = FaultyStream::new(MemStream::default(), plan.script_for(0));
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert!(s.write_all(&[1]).is_err());
+        assert!(s.inner.shutdowns >= 1);
+    }
+}

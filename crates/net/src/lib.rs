@@ -1,0 +1,86 @@
+//! The fault-tolerant network front door for the NSCaching serving engine:
+//! a TCP server over a length-prefixed binary protocol, a retrying client,
+//! and a deterministic fault-injection harness for proving the whole stack
+//! survives a hostile network.
+//!
+//! The serving engine ([`nscaching_serve::KnowledgeServer`]) answers top-k /
+//! score / rank queries in-process; this crate puts it behind a socket
+//! without giving up its typed error surface — every
+//! [`nscaching_serve::QueryError`] maps onto a stable wire code
+//! ([`wire::ErrorCode`]), so remote callers dispatch on errors exactly as
+//! in-process callers match on enums.
+//!
+//! # Operator's guide
+//!
+//! ## Deadline knobs ([`NetServerConfig`])
+//!
+//! | knob | guards against | default |
+//! |------|----------------|---------|
+//! | `read_timeout` | slow-loris frames: once a frame starts it must finish | 2 s |
+//! | `write_timeout` | clients that stop draining their socket | 2 s |
+//! | `idle_timeout` | silent connections pinning threads (idle reaper) | 30 s |
+//! | `queue_deadline` | executing work nobody is waiting for any more | 1 s |
+//! | `reply_deadline` | a connection waiting forever on a wedged worker | 5 s |
+//! | `drain_grace` | a drain held hostage by chatty connections | 1 s |
+//!
+//! ## Queueing and load shedding
+//!
+//! `workers × queue_depth` bounds everything the server will hold. Admission
+//! is `try_send` across the per-worker queues — when all are full the
+//! request is **shed** with [`wire::ErrorCode::Overloaded`] in microseconds.
+//! There is no unbounded backlog anywhere: under overload, clients see fast
+//! typed rejections (which their retry layer spreads with jittered backoff)
+//! instead of collapsing tail latency for everyone. Size `queue_depth` so
+//! that `queue_depth × typical_service_time ≲ queue_deadline`, otherwise
+//! admitted requests can expire in the queue.
+//!
+//! ## The degradation ladder
+//!
+//! Queue occupancy drives service levels, reported in every response header
+//! (so clients and load balancers can see pressure *before* the shedding
+//! starts):
+//!
+//! | level | meaning | operator signal |
+//! |-------|---------|-----------------|
+//! | 0 | full service | — |
+//! | 1 | top-k `k` clamped to `degraded_k_clamp` | sustained l1 → add workers |
+//! | 2 | cache-only: LRU hits served, everything else shed | capacity incident |
+//!
+//! ## Wire error codes
+//!
+//! See [`wire`] for the full table; the short version: codes 5–7
+//! (`Overloaded`, `ShuttingDown`, `DeadlineExceeded`) mean "not executed,
+//! retry elsewhere/later" and everything else means "the request itself is
+//! wrong — do not retry". The numbering is pinned by a golden-bytes test;
+//! treat it as a deployment contract.
+//!
+//! ## Drain semantics
+//!
+//! [`NetServer::shutdown`] = stop accepting → finish every request already
+//! received (socket-buffered frames included) → flush worker queues → stop.
+//! Zero accepted requests are dropped: the counters satisfy
+//! `decoded + protocol_errors == written + write_failures` across a drain,
+//! and the chaos suite enforces it. Budget
+//! `drain_grace + queue_deadline + reply_deadline` as the worst-case drain
+//! time when orchestrating rolling restarts.
+//!
+//! # Fault injection
+//!
+//! [`fault::FaultPlan`] sits between the server and its sockets and injects
+//! short reads, torn writes, stalls, mid-frame disconnects and I/O errors —
+//! deterministically from a seed, per connection. `tests/chaos.rs` drives
+//! thousands of requests through a faulty transport and asserts the
+//! accounting above; `benches/net_load.rs` (in `nscaching-bench`) measures
+//! p50/p99, saturation QPS and shed behaviour.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod fault;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientError, ClientStats, NetClient, Reply};
+pub use fault::{FaultPlan, FaultyStream, Transport};
+pub use server::{NetServer, NetServerConfig, NetStatsSnapshot};
+pub use wire::{code_of_query_error, Answer, ErrorCode, Request, Response};

@@ -1,0 +1,1125 @@
+//! The TCP front door: accept loop, per-connection deadlines, bounded
+//! per-worker queues with admission control, a degradation ladder, an idle
+//! reaper and graceful drain.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                 ┌──────────────┐    bounded sync queues (depth = queue_depth)
+//!   accept loop ─▶│ conn thread  │──▶ worker 0 ─┐ KnowledgeServer clone
+//!   (1 thread)    │ (1 / socket) │──▶ worker 1 ─┤ + per-worker QueryScratch
+//!                 │ read frame   │──▶ …         ┘
+//!                 │ write frame  │◀── rendezvous reply channel
+//!                 └──────────────┘
+//!                    ▲ idle reaper (1 thread) tears down silent sockets
+//! ```
+//!
+//! Connection threads do only I/O and admission; all model work happens on
+//! the fixed worker pool, each worker reusing one [`QueryScratch`]. A request
+//! that cannot be queued is **shed immediately** with a typed
+//! [`ErrorCode::Overloaded`] — the queues are the only buffer, and they are
+//! bounded, so overload turns into fast rejections instead of an unbounded
+//! backlog and latency collapse.
+//!
+//! # Degradation ladder
+//!
+//! Queue occupancy (`in-flight / (workers × queue_depth)`) drives three
+//! service levels, reported in every response header:
+//!
+//! | level | trigger | behaviour |
+//! |-------|---------|-----------|
+//! | 0     | occupancy < `clamp_threshold` | full service |
+//! | 1     | occupancy ≥ `clamp_threshold` | top-k `k` clamped to `degraded_k_clamp` |
+//! | 2     | occupancy ≥ `cache_only_threshold` | top-k served **only** from the LRU (an `Arc` clone, no model work); cold top-k and all score/rank queries shed as `Overloaded` |
+//!
+//! The ladder degrades *before* it sheds: clamping bounds per-request work,
+//! cache-only keeps absorbing the hot head of a skewed stream at near-zero
+//! cost, and only what is left over is rejected.
+//!
+//! # Deadlines
+//!
+//! * **read**: once the first byte of a frame arrives the whole frame must
+//!   complete within `read_timeout`, or the connection is answered with
+//!   [`ErrorCode::DeadlineExceeded`] and closed (a slow-loris client cannot
+//!   pin a connection thread).
+//! * **write**: `write_timeout` on the socket; a blocked writer fails the
+//!   write and the connection is closed.
+//! * **queue**: a job older than `queue_deadline` when a worker picks it up
+//!   is answered `DeadlineExceeded` *without being executed* (it is
+//!   retryable precisely because it never ran).
+//! * **idle**: the reaper closes sockets silent for `idle_timeout`.
+//!
+//! # Graceful drain
+//!
+//! [`NetServer::shutdown`] stops the accept loop, lets every connection
+//! finish the requests it has already received (including frames buffered in
+//! the socket when the drain began), waits for the workers to empty their
+//! queues, and only then tears the threads down. Every request the server
+//! decoded receives exactly one response — the chaos suite asserts the
+//! ledger: `decoded + protocol_errors == written + write_failures`, drain
+//! included. Connections that keep streaming during a drain are cut off
+//! after `drain_grace` with [`ErrorCode::ShuttingDown`].
+
+use crate::fault::{FaultPlan, FaultyStream, Transport};
+use crate::wire::{
+    code_of_query_error, Answer, ErrorCode, Request, Response, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
+use nscaching_kg::Triple;
+use nscaching_serve::{KnowledgeServer, QueryScratch, TopKQuery};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Every knob of the front door. See the module docs for how they interact;
+/// the defaults are production-shaped (seconds-scale deadlines), tests dial
+/// them down to milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Worker threads executing queries (each owns a [`QueryScratch`]).
+    pub workers: usize,
+    /// Bounded queue depth per worker — the only buffering in the server.
+    pub queue_depth: usize,
+    /// Frame-completion deadline once a frame's first byte arrived.
+    pub read_timeout: Duration,
+    /// Socket write deadline per response frame.
+    pub write_timeout: Duration,
+    /// Idle sockets are reaped after this long without a frame.
+    pub idle_timeout: Duration,
+    /// Poll tick bounding drain/idle reaction latency.
+    pub poll_interval: Duration,
+    /// A job older than this when a worker picks it up is dropped with
+    /// `DeadlineExceeded` instead of executed.
+    pub queue_deadline: Duration,
+    /// How long a connection thread waits for its worker reply before
+    /// answering `DeadlineExceeded` itself.
+    pub reply_deadline: Duration,
+    /// During a drain, connections that keep sending are cut off with
+    /// `ShuttingDown` after this grace period.
+    pub drain_grace: Duration,
+    /// Frames declaring a longer body are rejected before allocation.
+    pub max_frame_len: u32,
+    /// Concurrent connection cap; excess accepts are closed immediately.
+    pub max_connections: usize,
+    /// Level-1 degradation clamps top-k `k` to this.
+    pub degraded_k_clamp: u32,
+    /// Queue occupancy at which level 1 (k-clamp) engages.
+    pub clamp_threshold: f64,
+    /// Queue occupancy at which level 2 (cache-only) engages.
+    pub cache_only_threshold: f64,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4),
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(20),
+            queue_deadline: Duration::from_secs(1),
+            reply_deadline: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(1),
+            max_frame_len: MAX_FRAME_LEN,
+            max_connections: 1024,
+            degraded_k_clamp: 16,
+            clamp_threshold: 0.5,
+            cache_only_threshold: 0.8,
+        }
+    }
+}
+
+/// Monotonic counters of everything the server did. All counters are
+/// cumulative since bind; [`NetStatsSnapshot`] is the readable copy.
+#[derive(Debug, Default)]
+struct NetStats {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    reaped: AtomicU64,
+    decoded: AtomicU64,
+    protocol_errors: AtomicU64,
+    written: AtomicU64,
+    ok: AtomicU64,
+    typed_errors: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    degraded_l1: AtomicU64,
+    degraded_l2: AtomicU64,
+    write_failures: AtomicU64,
+    read_failures: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed immediately (over `max_connections`).
+    pub rejected: u64,
+    /// Connections torn down by the idle reaper.
+    pub reaped: u64,
+    /// Requests fully received and decoded.
+    pub decoded: u64,
+    /// Frames that failed to decode (malformed / unsupported opcode).
+    pub protocol_errors: u64,
+    /// Response frames fully written.
+    pub written: u64,
+    /// …of which successes.
+    pub ok: u64,
+    /// …of which typed errors.
+    pub typed_errors: u64,
+    /// Requests shed by admission control (`Overloaded` responses).
+    pub shed: u64,
+    /// Requests dropped on a deadline (`DeadlineExceeded` responses).
+    pub deadline_exceeded: u64,
+    /// Responses served at degradation level 1 (k-clamp).
+    pub degraded_l1: u64,
+    /// Responses served at degradation level 2 (cache-only).
+    pub degraded_l2: u64,
+    /// Response writes that failed (connection died mid-write).
+    pub write_failures: u64,
+    /// Connections that died mid-read (torn frames, resets).
+    pub read_failures: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Responses the server attempted (every decoded or undecodable frame
+    /// produces exactly one).
+    pub fn attempted(&self) -> u64 {
+        self.written + self.write_failures
+    }
+
+    /// Shed responses as a fraction of decoded requests.
+    pub fn shed_rate(&self) -> f64 {
+        if self.decoded == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.decoded as f64
+        }
+    }
+
+    /// Fraction of written responses served degraded (level ≥ 1).
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.written == 0 {
+            0.0
+        } else {
+            (self.degraded_l1 + self.degraded_l2) as f64 / self.written as f64
+        }
+    }
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            decoded: self.decoded.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            written: self.written.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            typed_errors: self.typed_errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            degraded_l1: self.degraded_l1.load(Ordering::Relaxed),
+            degraded_l2: self.degraded_l2.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            read_failures: self.read_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: Request,
+    degradation: u8,
+    enqueued: Instant,
+    reply: SyncSender<Response>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    engine: KnowledgeServer,
+    config: NetServerConfig,
+    stats: NetStats,
+    draining: AtomicBool,
+    /// Millis since `epoch` at which the drain started (0 = not draining).
+    drain_since_ms: AtomicU64,
+    epoch: Instant,
+    in_flight: AtomicUsize,
+    active_connections: AtomicUsize,
+    /// Reaper registry: conn id → (socket handle, last-active millis).
+    registry: Mutex<HashMap<u64, (TcpStream, Arc<AtomicU64>)>>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn drain_expired(&self) -> bool {
+        let since = self.drain_since_ms.load(Ordering::Acquire);
+        since != 0
+            && self.now_ms().saturating_sub(since) > self.config.drain_grace.as_millis() as u64
+    }
+
+    /// Current degradation level from queue occupancy.
+    fn degradation_level(&self) -> u8 {
+        let capacity = (self.config.workers * self.config.queue_depth).max(1);
+        let occupancy = self.in_flight.load(Ordering::Relaxed) as f64 / capacity as f64;
+        if occupancy >= self.config.cache_only_threshold {
+            2
+        } else if occupancy >= self.config.clamp_threshold {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// A running front door. Bind with [`NetServer::bind`]; stop with
+/// [`NetServer::shutdown`] (graceful drain). Dropping the server without
+/// calling `shutdown` drains it too.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    queues: Vec<SyncSender<Job>>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind on `addr` (use port 0 for an ephemeral port) and start serving
+    /// `engine`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: KnowledgeServer,
+        config: NetServerConfig,
+    ) -> io::Result<Self> {
+        Self::bind_with_faults(addr, engine, config, None)
+    }
+
+    /// [`bind`](Self::bind), with a [`FaultPlan`] layered between the server
+    /// and every accepted stream (the chaos harness entry point).
+    pub fn bind_with_faults(
+        addr: impl ToSocketAddrs,
+        engine: KnowledgeServer,
+        config: NetServerConfig,
+        faults: Option<FaultPlan>,
+    ) -> io::Result<Self> {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_depth >= 1, "queues must hold at least one job");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            stats: NetStats::default(),
+            draining: AtomicBool::new(false),
+            drain_since_ms: AtomicU64::new(0),
+            epoch: Instant::now(),
+            in_flight: AtomicUsize::new(0),
+            active_connections: AtomicUsize::new(0),
+            registry: Mutex::new(HashMap::new()),
+        });
+
+        let mut queues = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+            queues.push(tx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("nsc-net-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, rx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            let queues = queues.clone();
+            std::thread::Builder::new()
+                .name("nsc-net-accept".into())
+                .spawn(move || accept_loop(&shared, &listener, &queues, &conns, faults))
+                .expect("spawn accept loop")
+        };
+
+        let reaper = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nsc-net-reaper".into())
+                .spawn(move || reaper_loop(&shared))
+                .expect("spawn reaper")
+        };
+
+        Ok(Self {
+            shared,
+            queues,
+            addr: local,
+            accept: Some(accept),
+            workers,
+            reaper: Some(reaper),
+            conns,
+        })
+    }
+
+    /// The bound address (resolved port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// The current degradation level (diagnostics; responses carry it too).
+    pub fn degradation_level(&self) -> u8 {
+        self.shared.degradation_level()
+    }
+
+    /// Graceful drain: stop accepting, finish every request already
+    /// received, flush the queues, then stop all threads. Returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> NetStatsSnapshot {
+        self.shutdown_inner();
+        self.shared.stats.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.shared
+            .drain_since_ms
+            .store(self.shared.now_ms().max(1), Ordering::Release);
+        self.shared.draining.store(true, Ordering::Release);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connections drain themselves once they see the flag; join them all
+        // (no new ones can appear — the accept loop is gone).
+        loop {
+            let handle = self.conns.lock().expect("conn registry").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        // With every producer gone, closing the queues stops the workers
+        // after they finish what was enqueued.
+        self.queues.clear();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accept connections until the drain flag rises.
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    queues: &[SyncSender<Job>],
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    faults: Option<FaultPlan>,
+) {
+    let mut next_conn_id: u64 = 0;
+    loop {
+        let socket = match listener.accept() {
+            Ok((socket, _)) => socket,
+            Err(_) => {
+                if shared.draining() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.draining() {
+            // The wake-up connection (or a late client); refuse silently.
+            drop(socket);
+            break;
+        }
+        if shared.active_connections.load(Ordering::Relaxed) >= shared.config.max_connections {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(socket);
+            continue;
+        }
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.active_connections.fetch_add(1, Ordering::Relaxed);
+
+        let last_active = Arc::new(AtomicU64::new(shared.now_ms()));
+        if let Ok(clone) = socket.try_clone() {
+            shared
+                .registry
+                .lock()
+                .expect("reaper registry")
+                .insert(conn_id, (clone, Arc::clone(&last_active)));
+        }
+        let transport: Box<dyn Transport> = match &faults {
+            Some(plan) if plan.is_armed() => {
+                Box::new(FaultyStream::new(socket, plan.script_for(conn_id)))
+            }
+            _ => Box::new(socket),
+        };
+        let shared = Arc::clone(shared);
+        let queues = queues.to_vec();
+        let handle = std::thread::Builder::new()
+            .name(format!("nsc-net-conn-{conn_id}"))
+            .spawn(move || {
+                serve_connection(&shared, &queues, transport, &last_active);
+                shared
+                    .registry
+                    .lock()
+                    .expect("reaper registry")
+                    .remove(&conn_id);
+                shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn connection thread");
+        conns.lock().expect("conn registry").push(handle);
+    }
+}
+
+/// Tear down sockets that have been silent past the idle deadline.
+fn reaper_loop(shared: &Arc<Shared>) {
+    let tick = shared
+        .config
+        .poll_interval
+        .max(Duration::from_millis(5))
+        .min(shared.config.idle_timeout / 2 + Duration::from_millis(1));
+    let budget = shared.config.idle_timeout.as_millis() as u64;
+    while !shared.draining() {
+        std::thread::sleep(tick);
+        let now = shared.now_ms();
+        let mut registry = shared.registry.lock().expect("reaper registry");
+        registry.retain(|_, (socket, last_active)| {
+            if now.saturating_sub(last_active.load(Ordering::Relaxed)) > budget {
+                let _ = TcpStream::shutdown(socket, std::net::Shutdown::Both);
+                shared.stats.reaped.fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// Outcome of one frame-read attempt.
+enum FrameOutcome {
+    /// A complete body is in the buffer.
+    Frame,
+    /// Clean EOF at a frame boundary.
+    Closed,
+    /// The connection died (reset, injected fault, EOF mid-frame).
+    Dead,
+    /// The frame started but missed the read deadline.
+    Deadline,
+    /// The declared body length exceeds the configured bound.
+    TooLarge(u32),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame. Between frames this returns to the caller every
+/// `poll_interval` via the transport's read timeout so drain and idle checks
+/// stay responsive; once a frame begins it must finish within `read_timeout`.
+fn read_frame(
+    transport: &mut dyn Transport,
+    shared: &Shared,
+    body: &mut Vec<u8>,
+    last_active: &AtomicU64,
+) -> FrameOutcome {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut got = 0usize;
+    let mut frame_deadline: Option<Instant> = None;
+    while got < FRAME_HEADER_LEN {
+        match transport.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    FrameOutcome::Closed
+                } else {
+                    FrameOutcome::Dead
+                };
+            }
+            Ok(n) => {
+                if frame_deadline.is_none() {
+                    frame_deadline = Some(Instant::now() + shared.config.read_timeout);
+                }
+                got += n;
+            }
+            Err(e) if is_timeout(&e) => match frame_deadline {
+                // Idle tick: nothing started. Drain and idle policy live in
+                // the caller; just report the boundary.
+                None => {
+                    if shared.draining() {
+                        return FrameOutcome::Closed;
+                    }
+                    continue;
+                }
+                Some(d) if Instant::now() >= d => return FrameOutcome::Deadline,
+                Some(_) => continue,
+            },
+            Err(_) => return FrameOutcome::Dead,
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > shared.config.max_frame_len {
+        return FrameOutcome::TooLarge(len);
+    }
+    let deadline = frame_deadline.unwrap_or_else(|| Instant::now() + shared.config.read_timeout);
+    body.clear();
+    body.resize(len as usize, 0);
+    let mut got = 0usize;
+    while got < body.len() {
+        match transport.read(&mut body[got..]) {
+            Ok(0) => return FrameOutcome::Dead,
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if Instant::now() >= deadline {
+                    return FrameOutcome::Deadline;
+                }
+            }
+            Err(_) => return FrameOutcome::Dead,
+        }
+    }
+    last_active.store(shared.now_ms(), Ordering::Relaxed);
+    FrameOutcome::Frame
+}
+
+/// Encode `response` and write it as one frame, maintaining the response
+/// ledger (`written`/`write_failures` and the per-class counters).
+fn write_response(
+    transport: &mut dyn Transport,
+    shared: &Shared,
+    response: &Response,
+    scratch: &mut Vec<u8>,
+    frame: &mut Vec<u8>,
+) -> bool {
+    response.encode(scratch);
+    frame.clear();
+    frame.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+    frame.extend_from_slice(scratch);
+    let stats = &shared.stats;
+    match transport.write_all(frame) {
+        Ok(()) => {
+            stats.written.fetch_add(1, Ordering::Relaxed);
+            match &response.result {
+                Ok(_) => {
+                    stats.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Err((code, _)) => {
+                    stats.typed_errors.fetch_add(1, Ordering::Relaxed);
+                    match code {
+                        ErrorCode::Overloaded => {
+                            stats.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ErrorCode::DeadlineExceeded => {
+                            stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            match response.degradation {
+                0 => {}
+                1 => {
+                    stats.degraded_l1.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    stats.degraded_l2.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            true
+        }
+        Err(_) => {
+            stats.write_failures.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// One connection's life: read frames, admit, dispatch, respond — until the
+/// socket dies, the client leaves, the reaper strikes, or a drain finishes.
+fn serve_connection(
+    shared: &Arc<Shared>,
+    queues: &[SyncSender<Job>],
+    mut transport: Box<dyn Transport>,
+    last_active: &AtomicU64,
+) {
+    let _ = transport.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = transport.set_write_timeout(Some(shared.config.write_timeout));
+    let mut body = Vec::new();
+    let mut scratch = Vec::new();
+    let mut frame = Vec::new();
+    let mut next_worker = 0usize;
+    loop {
+        match read_frame(transport.as_mut(), shared, &mut body, last_active) {
+            FrameOutcome::Frame => {}
+            FrameOutcome::Closed => break,
+            FrameOutcome::Dead => {
+                shared.stats.read_failures.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            FrameOutcome::Deadline => {
+                // The slow client gets a typed, retryable goodbye (ledger:
+                // no decoded request, so this write is not counted against
+                // the request ledger — it is a connection-level notice).
+                let notice = Response::error(
+                    shared.degradation_level(),
+                    ErrorCode::DeadlineExceeded,
+                    "frame read deadline exceeded",
+                );
+                response_bytes(&notice, &mut scratch, &mut frame);
+                let _ = transport.write_all(&frame);
+                shared.stats.read_failures.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            FrameOutcome::TooLarge(len) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(
+                    shared.degradation_level(),
+                    ErrorCode::Malformed,
+                    format!("frame length {len} exceeds limit"),
+                );
+                write_response(
+                    transport.as_mut(),
+                    shared,
+                    &response,
+                    &mut scratch,
+                    &mut frame,
+                );
+                break; // framing cannot be trusted any more
+            }
+        }
+
+        if shared.draining() && shared.drain_expired() {
+            let response = Response::error(
+                0,
+                ErrorCode::ShuttingDown,
+                "server draining; connection grace expired",
+            );
+            shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                transport.as_mut(),
+                shared,
+                &response,
+                &mut scratch,
+                &mut frame,
+            );
+            break;
+        }
+
+        let request = match Request::decode(&body) {
+            Ok(request) => request,
+            Err(code) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let response =
+                    Response::error(shared.degradation_level(), code, "undecodable request");
+                let written = write_response(
+                    transport.as_mut(),
+                    shared,
+                    &response,
+                    &mut scratch,
+                    &mut frame,
+                );
+                if !written || code == ErrorCode::Malformed {
+                    // Malformed framing: resynchronisation is impossible.
+                    break;
+                }
+                continue;
+            }
+        };
+        shared.stats.decoded.fetch_add(1, Ordering::Relaxed);
+
+        let response = handle_request(shared, queues, &mut next_worker, request);
+        if !write_response(
+            transport.as_mut(),
+            shared,
+            &response,
+            &mut scratch,
+            &mut frame,
+        ) {
+            break;
+        }
+    }
+    transport.shutdown();
+}
+
+/// Encode a response frame without touching the ledger (connection-level
+/// notices).
+fn response_bytes(response: &Response, scratch: &mut Vec<u8>, frame: &mut Vec<u8>) {
+    response.encode(scratch);
+    frame.clear();
+    frame.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+    frame.extend_from_slice(scratch);
+}
+
+/// Admission control + degradation ladder + dispatch. Always produces
+/// exactly one response.
+fn handle_request(
+    shared: &Arc<Shared>,
+    queues: &[SyncSender<Job>],
+    next_worker: &mut usize,
+    request: Request,
+) -> Response {
+    let level = shared.degradation_level();
+    // Pings answer inline: the liveness probe must work precisely when the
+    // queues are in trouble.
+    if matches!(request, Request::Ping) {
+        return Response::ok(level, Answer::Pong);
+    }
+
+    if level >= 2 {
+        // Cache-only mode: serve LRU hits (both the full-k and the clamped
+        // key — traffic clamped at level 1 warmed the latter), shed the rest.
+        if let Request::TopK(query) = &request {
+            let clamped = TopKQuery {
+                k: query.k.min(shared.config.degraded_k_clamp),
+                ..*query
+            };
+            for candidate in [query, &clamped] {
+                match shared.engine.top_k_cached(candidate) {
+                    Ok(Some(answer)) => {
+                        return Response::ok(2, Answer::TopK(answer.to_vec()));
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Response::error(2, code_of_query_error(&e), e.to_string());
+                    }
+                }
+            }
+        }
+        return Response::error(
+            2,
+            ErrorCode::Overloaded,
+            "cache-only degradation: cold query shed",
+        );
+    }
+
+    let request = match (&request, level) {
+        (Request::TopK(query), 1) if query.k > shared.config.degraded_k_clamp => {
+            Request::TopK(TopKQuery {
+                k: shared.config.degraded_k_clamp,
+                ..*query
+            })
+        }
+        _ => request,
+    };
+
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+    let mut job = Job {
+        request,
+        degradation: level,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    let workers = queues.len();
+    let start = *next_worker;
+    *next_worker = (*next_worker + 1) % workers;
+    for probe in 0..workers {
+        let target = &queues[(start + probe) % workers];
+        match target.try_send(job) {
+            Ok(()) => {
+                shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                return match reply_rx.recv_timeout(shared.config.reply_deadline) {
+                    Ok(response) => response,
+                    Err(mpsc::RecvTimeoutError::Timeout) => Response::error(
+                        level,
+                        ErrorCode::DeadlineExceeded,
+                        "reply deadline exceeded",
+                    ),
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        Response::error(level, ErrorCode::Internal, "worker vanished")
+                    }
+                };
+            }
+            Err(TrySendError::Full(j)) => job = j,
+            Err(TrySendError::Disconnected(_)) => {
+                return Response::error(level, ErrorCode::ShuttingDown, "worker queues closed");
+            }
+        }
+    }
+    Response::error(level, ErrorCode::Overloaded, "all worker queues full")
+}
+
+/// Worker thread: execute jobs, enforcing the queue deadline.
+fn worker_loop(shared: &Arc<Shared>, queue: mpsc::Receiver<Job>) {
+    let mut scratch = QueryScratch::default();
+    while let Ok(job) = queue.recv() {
+        let response = if job.enqueued.elapsed() > shared.config.queue_deadline {
+            Response::error(
+                job.degradation,
+                ErrorCode::DeadlineExceeded,
+                "queue wait exceeded deadline",
+            )
+        } else {
+            execute(&shared.engine, &mut scratch, &job.request, job.degradation)
+        };
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // The connection may have died while we worked; that is its problem.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Run one request against the engine. Panics are converted into typed
+/// `Internal` errors — untrusted traffic must never take a worker down.
+fn execute(
+    engine: &KnowledgeServer,
+    scratch: &mut QueryScratch,
+    request: &Request,
+    degradation: u8,
+) -> Response {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match request {
+        Request::Ping => Ok(Answer::Pong),
+        Request::TopK(query) => engine
+            .top_k(query, scratch)
+            .map(|answer| Answer::TopK(answer.to_vec())),
+        Request::Score {
+            head,
+            relation,
+            tail,
+        } => engine
+            .score(&Triple::new(*head, *relation, *tail))
+            .map(Answer::Score),
+        Request::Rank {
+            head,
+            relation,
+            tail,
+            side,
+        } => engine
+            .rank(&Triple::new(*head, *relation, *tail), *side, scratch)
+            .map(Answer::Rank),
+    }));
+    match outcome {
+        Ok(Ok(answer)) => Response::ok(degradation, answer),
+        Ok(Err(e)) => Response::error(degradation, code_of_query_error(&e), e.to_string()),
+        Err(_) => Response::error(degradation, ErrorCode::Internal, "query execution panicked"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscaching_models::{build_model, ModelConfig, ModelKind};
+    use std::io::Read;
+
+    fn engine() -> KnowledgeServer {
+        let model = build_model(
+            &ModelConfig::new(ModelKind::TransE).with_dim(8).with_seed(5),
+            40,
+            6,
+        );
+        KnowledgeServer::new(model, 64)
+    }
+
+    fn test_config() -> NetServerConfig {
+        NetServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_millis(500),
+            idle_timeout: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(5),
+            queue_deadline: Duration::from_millis(500),
+            reply_deadline: Duration::from_secs(2),
+            drain_grace: Duration::from_millis(500),
+            ..NetServerConfig::default()
+        }
+    }
+
+    fn send_raw(stream: &mut TcpStream, body: &[u8]) {
+        io::Write::write_all(stream, &(body.len() as u32).to_le_bytes()).unwrap();
+        io::Write::write_all(stream, body).unwrap();
+    }
+
+    fn recv_raw(stream: &mut TcpStream) -> Vec<u8> {
+        let mut header = [0u8; 4];
+        stream.read_exact(&mut header).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+        stream.read_exact(&mut body).unwrap();
+        body
+    }
+
+    fn call(stream: &mut TcpStream, request: &Request) -> Response {
+        let mut buf = Vec::new();
+        request.encode(&mut buf);
+        send_raw(stream, &buf);
+        Response::decode(&recv_raw(stream), request).expect("decodable response")
+    }
+
+    #[test]
+    fn ping_and_queries_round_trip_over_tcp() {
+        let engine = engine();
+        let server = NetServer::bind("127.0.0.1:0", engine.clone(), test_config()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+        let pong = call(&mut stream, &Request::Ping);
+        assert_eq!(pong.result, Ok(Answer::Pong));
+        assert_eq!(pong.degradation, 0);
+
+        let query = TopKQuery::tails(3, 1, 5);
+        let response = call(&mut stream, &Request::TopK(query));
+        let mut scratch = QueryScratch::default();
+        let expected = engine.top_k(&query, &mut scratch).unwrap();
+        match response.result {
+            Ok(Answer::TopK(got)) => assert_eq!(got.as_slice(), &*expected),
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        let score = call(
+            &mut stream,
+            &Request::Score {
+                head: 1,
+                relation: 2,
+                tail: 3,
+            },
+        );
+        let expected = engine.score(&Triple::new(1, 2, 3)).unwrap();
+        assert_eq!(score.result, Ok(Answer::Score(expected)));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.decoded, 3);
+        assert_eq!(stats.written, 3);
+        assert_eq!(stats.ok, 3);
+        assert_eq!(stats.write_failures, 0);
+    }
+
+    #[test]
+    fn out_of_range_ids_come_back_as_typed_wire_errors() {
+        let server = NetServer::bind("127.0.0.1:0", engine(), test_config()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let response = call(&mut stream, &Request::TopK(TopKQuery::tails(9999, 0, 3)));
+        match response.result {
+            Err((ErrorCode::EntityOutOfRange, detail)) => {
+                assert!(detail.contains("out of range"), "{detail}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // The connection survives a typed rejection.
+        assert_eq!(call(&mut stream, &Request::Ping).result, Ok(Answer::Pong));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_oversized_frames_are_rejected() {
+        let server = NetServer::bind("127.0.0.1:0", engine(), test_config()).unwrap();
+
+        // Unknown opcode: typed error, connection survives.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        send_raw(&mut stream, &[200]);
+        let response = Response::decode(&recv_raw(&mut stream), &Request::Ping).unwrap();
+        assert!(matches!(
+            response.result,
+            Err((ErrorCode::UnsupportedOp, _))
+        ));
+        assert_eq!(call(&mut stream, &Request::Ping).result, Ok(Answer::Pong));
+
+        // Truncated body: malformed, connection closed after the response.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        send_raw(&mut stream, &[crate::wire::opcode::TOP_K, 1, 2]);
+        let response = Response::decode(&recv_raw(&mut stream), &Request::Ping).unwrap();
+        assert!(matches!(response.result, Err((ErrorCode::Malformed, _))));
+
+        // Oversized length prefix: malformed before any allocation.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        io::Write::write_all(&mut stream, &(MAX_FRAME_LEN + 1).to_le_bytes()).unwrap();
+        let response = Response::decode(&recv_raw(&mut stream), &Request::Ping).unwrap();
+        assert!(matches!(response.result, Err((ErrorCode::Malformed, _))));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let config = NetServerConfig {
+            idle_timeout: Duration::from_millis(60),
+            ..test_config()
+        };
+        let server = NetServer::bind("127.0.0.1:0", engine(), config).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(call(&mut stream, &Request::Ping).result, Ok(Answer::Pong));
+        // Go silent; the reaper must cut us off.
+        let mut buf = [0u8; 4];
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let outcome = io::Read::read(&mut stream, &mut buf);
+        assert!(
+            matches!(outcome, Ok(0)) || outcome.is_err(),
+            "socket should be closed by the reaper, got {outcome:?}"
+        );
+        let stats = server.shutdown();
+        assert!(stats.reaped >= 1, "reaper recorded the kill: {stats:?}");
+    }
+
+    #[test]
+    fn slow_loris_hits_the_read_deadline() {
+        let server = NetServer::bind("127.0.0.1:0", engine(), test_config()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // First half of a frame header, then silence.
+        io::Write::write_all(&mut stream, &[5, 0]).unwrap();
+        let mut header = [0u8; 4];
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.read_exact(&mut header).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+        stream.read_exact(&mut body).unwrap();
+        let response = Response::decode(&body, &Request::Ping).unwrap();
+        assert!(matches!(
+            response.result,
+            Err((ErrorCode::DeadlineExceeded, _))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_without_traffic_shuts_down_cleanly() {
+        let server = NetServer::bind("127.0.0.1:0", engine(), test_config()).unwrap();
+        let addr = server.addr();
+        let _idle = TcpStream::connect(addr).unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.write_failures, 0);
+        // The port is released: a fresh bind on the same address works.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "{rebind:?}");
+    }
+}

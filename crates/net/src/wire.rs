@@ -1,0 +1,600 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  content
+//! 0       4     body length L, u32 LE (L ≤ MAX_FRAME_LEN)
+//! 4       L     body
+//! ```
+//!
+//! All multi-byte integers are little-endian; `f64` values travel as raw
+//! IEEE-754 bit patterns (the same convention as the snapshot format, so
+//! scores round-trip bit-for-bit).
+//!
+//! # Request bodies
+//!
+//! | opcode | request | body after the opcode byte |
+//! |--------|---------|----------------------------|
+//! | 1      | Ping    | *(empty)* |
+//! | 2      | TopK    | `u32` relation, `u32` entity, `u8` direction (0 = tail, 1 = head), `u32` k |
+//! | 3      | Score   | `u32` head, `u32` relation, `u32` tail |
+//! | 4      | Rank    | `u32` head, `u32` relation, `u32` tail, `u8` side (0 = tail, 1 = head) |
+//!
+//! # Response bodies
+//!
+//! `u8` status ([`ErrorCode`]; 0 = OK) + `u8` degradation level, then:
+//!
+//! * on success — the opcode-specific payload: TopK is `u32` count followed
+//!   by `count × (u32 entity, u64 score bits)`; Score and Rank are one `u64`
+//!   of `f64` bits; Ping is empty;
+//! * on error — a length-prefixed UTF-8 detail string (`u32` length + bytes).
+//!
+//! # Error codes
+//!
+//! The numbering is a **wire contract** — deployed clients dispatch on it —
+//! and is pinned by `tests/wire_golden.rs`:
+//!
+//! | code | name | retryable |
+//! |------|------|-----------|
+//! | 1 | `Malformed` | no |
+//! | 2 | `UnsupportedOp` | no |
+//! | 3 | `EntityOutOfRange` | no |
+//! | 4 | `RelationOutOfRange` | no |
+//! | 5 | `Overloaded` | **yes** |
+//! | 6 | `ShuttingDown` | **yes** |
+//! | 7 | `DeadlineExceeded` | **yes** |
+//! | 8 | `Internal` | no |
+//!
+//! Only codes 5–7 are retryable: they mean "the request was *not* executed,
+//! try elsewhere/later". Everything else is a property of the request itself
+//! and retrying verbatim can never succeed. All four request kinds are
+//! idempotent reads, so a client may also retry a transport failure (torn
+//! connection, timeout) without risking double effects — see
+//! [`Request::idempotent`].
+
+use nscaching_kg::CorruptionSide;
+use nscaching_serve::{QueryError, RankedEntity, TopKQuery};
+
+/// Hard upper bound on a frame body. An untrusted length prefix beyond this
+/// is rejected as [`ErrorCode::Malformed`] before any allocation happens.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Bytes of the length prefix in front of every body.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Request opcodes (wire contract, pinned by the golden-bytes test).
+pub mod opcode {
+    /// Liveness probe.
+    pub const PING: u8 = 1;
+    /// Top-k link prediction.
+    pub const TOP_K: u8 = 2;
+    /// Scalar triple score.
+    pub const SCORE: u8 = 3;
+    /// Competition rank of a triple.
+    pub const RANK: u8 = 4;
+}
+
+/// Stable wire error codes. `0` on the wire means success and has no enum
+/// variant; see the module docs for the full table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame could not be decoded (bad length, bad opcode body, length
+    /// prefix over [`MAX_FRAME_LEN`]).
+    Malformed = 1,
+    /// The opcode is unknown to this server (a newer client).
+    UnsupportedOp = 2,
+    /// An entity id beyond the served vocabulary.
+    EntityOutOfRange = 3,
+    /// A relation id beyond the served vocabulary.
+    RelationOutOfRange = 4,
+    /// Admission control shed the request (bounded queues were full, or the
+    /// degradation ladder is in cache-only mode and the answer was cold).
+    Overloaded = 5,
+    /// The server is draining; it will not accept new work.
+    ShuttingDown = 6,
+    /// The server gave up on the request's processing deadline.
+    DeadlineExceeded = 7,
+    /// An unexpected server-side failure.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decode a wire status byte (`0` = success = `None`).
+    pub fn from_wire(code: u8) -> Option<Result<(), ErrorCode>> {
+        Some(match code {
+            0 => Ok(()),
+            1 => Err(ErrorCode::Malformed),
+            2 => Err(ErrorCode::UnsupportedOp),
+            3 => Err(ErrorCode::EntityOutOfRange),
+            4 => Err(ErrorCode::RelationOutOfRange),
+            5 => Err(ErrorCode::Overloaded),
+            6 => Err(ErrorCode::ShuttingDown),
+            7 => Err(ErrorCode::DeadlineExceeded),
+            8 => Err(ErrorCode::Internal),
+            _ => return None,
+        })
+    }
+
+    /// Whether a client may retry the request verbatim. Only the transient
+    /// "not executed" codes qualify; request-shaped failures never do.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::DeadlineExceeded
+        )
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed request",
+            ErrorCode::UnsupportedOp => "unsupported opcode",
+            ErrorCode::EntityOutOfRange => "entity out of range",
+            ErrorCode::RelationOutOfRange => "relation out of range",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::DeadlineExceeded => "deadline exceeded",
+            ErrorCode::Internal => "internal error",
+        };
+        write!(f, "{name} (code {})", *self as u8)
+    }
+}
+
+/// Map the serving engine's typed [`QueryError`] onto its wire code.
+pub fn code_of_query_error(e: &QueryError) -> ErrorCode {
+    match e {
+        QueryError::EntityOutOfRange { .. } => ErrorCode::EntityOutOfRange,
+        QueryError::RelationOutOfRange { .. } => ErrorCode::RelationOutOfRange,
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered without touching the model.
+    Ping,
+    /// Top-k link prediction (the cacheable query shape).
+    TopK(TopKQuery),
+    /// Scalar score of one triple.
+    Score {
+        /// Head entity id.
+        head: u32,
+        /// Relation id.
+        relation: u32,
+        /// Tail entity id.
+        tail: u32,
+    },
+    /// Competition rank of one triple among corruptions of `side`.
+    Rank {
+        /// Head entity id.
+        head: u32,
+        /// Relation id.
+        relation: u32,
+        /// Tail entity id.
+        tail: u32,
+        /// Which side is corrupted.
+        side: CorruptionSide,
+    },
+}
+
+impl Request {
+    /// Whether executing this request twice is indistinguishable from once.
+    /// The retry layer refuses to re-send non-idempotent requests after a
+    /// transport failure (today every request is a read and qualifies; the
+    /// gate exists so a future mutating opcode cannot be retried by
+    /// accident).
+    pub fn idempotent(&self) -> bool {
+        match self {
+            Request::Ping | Request::TopK(_) | Request::Score { .. } | Request::Rank { .. } => true,
+        }
+    }
+
+    /// Encode into a frame body (no length prefix).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        match self {
+            Request::Ping => buf.push(opcode::PING),
+            Request::TopK(q) => {
+                buf.push(opcode::TOP_K);
+                buf.extend_from_slice(&q.relation.to_le_bytes());
+                buf.extend_from_slice(&q.entity.to_le_bytes());
+                buf.push(side_to_wire(q.direction));
+                buf.extend_from_slice(&q.k.to_le_bytes());
+            }
+            Request::Score {
+                head,
+                relation,
+                tail,
+            } => {
+                buf.push(opcode::SCORE);
+                buf.extend_from_slice(&head.to_le_bytes());
+                buf.extend_from_slice(&relation.to_le_bytes());
+                buf.extend_from_slice(&tail.to_le_bytes());
+            }
+            Request::Rank {
+                head,
+                relation,
+                tail,
+                side,
+            } => {
+                buf.push(opcode::RANK);
+                buf.extend_from_slice(&head.to_le_bytes());
+                buf.extend_from_slice(&relation.to_le_bytes());
+                buf.extend_from_slice(&tail.to_le_bytes());
+                buf.push(side_to_wire(*side));
+            }
+        }
+    }
+
+    /// Decode a frame body. A structurally broken body is
+    /// [`ErrorCode::Malformed`]; an unknown opcode is
+    /// [`ErrorCode::UnsupportedOp`] (so old servers reject new opcodes with a
+    /// typed, non-retryable error instead of closing the connection).
+    pub fn decode(body: &[u8]) -> Result<Self, ErrorCode> {
+        let mut c = Cursor::new(body);
+        let op = c.u8().ok_or(ErrorCode::Malformed)?;
+        let request = match op {
+            opcode::PING => Request::Ping,
+            opcode::TOP_K => {
+                let relation = c.u32().ok_or(ErrorCode::Malformed)?;
+                let entity = c.u32().ok_or(ErrorCode::Malformed)?;
+                let direction = side_from_wire(c.u8().ok_or(ErrorCode::Malformed)?)?;
+                let k = c.u32().ok_or(ErrorCode::Malformed)?;
+                Request::TopK(TopKQuery {
+                    relation,
+                    entity,
+                    direction,
+                    k,
+                })
+            }
+            opcode::SCORE => Request::Score {
+                head: c.u32().ok_or(ErrorCode::Malformed)?,
+                relation: c.u32().ok_or(ErrorCode::Malformed)?,
+                tail: c.u32().ok_or(ErrorCode::Malformed)?,
+            },
+            opcode::RANK => Request::Rank {
+                head: c.u32().ok_or(ErrorCode::Malformed)?,
+                relation: c.u32().ok_or(ErrorCode::Malformed)?,
+                tail: c.u32().ok_or(ErrorCode::Malformed)?,
+                side: side_from_wire(c.u8().ok_or(ErrorCode::Malformed)?)?,
+            },
+            _ => return Err(ErrorCode::UnsupportedOp),
+        };
+        if !c.is_exhausted() {
+            return Err(ErrorCode::Malformed);
+        }
+        Ok(request)
+    }
+}
+
+/// A successful response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// Ping reply.
+    Pong,
+    /// Ranked top-k candidates, best first.
+    TopK(Vec<RankedEntity>),
+    /// One scalar score.
+    Score(f64),
+    /// One competition rank.
+    Rank(f64),
+}
+
+/// A decoded response: degradation level plus either an answer or a typed
+/// error with its detail string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Degradation level the server was at when it answered (0 = full
+    /// service; see the server's degradation ladder).
+    pub degradation: u8,
+    /// The answer, or the wire error plus its human-readable detail.
+    pub result: Result<Answer, (ErrorCode, String)>,
+}
+
+impl Response {
+    /// A success at the given degradation level.
+    pub fn ok(degradation: u8, answer: Answer) -> Self {
+        Self {
+            degradation,
+            result: Ok(answer),
+        }
+    }
+
+    /// A typed error at the given degradation level.
+    pub fn error(degradation: u8, code: ErrorCode, detail: impl Into<String>) -> Self {
+        Self {
+            degradation,
+            result: Err((code, detail.into())),
+        }
+    }
+
+    /// Encode into a frame body (no length prefix).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        match &self.result {
+            Ok(answer) => {
+                buf.push(0);
+                buf.push(self.degradation);
+                match answer {
+                    Answer::Pong => {}
+                    Answer::TopK(ranked) => {
+                        buf.extend_from_slice(&(ranked.len() as u32).to_le_bytes());
+                        for r in ranked {
+                            buf.extend_from_slice(&r.entity.to_le_bytes());
+                            buf.extend_from_slice(&r.score.to_bits().to_le_bytes());
+                        }
+                    }
+                    Answer::Score(v) | Answer::Rank(v) => {
+                        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            Err((code, detail)) => {
+                buf.push(*code as u8);
+                buf.push(self.degradation);
+                buf.extend_from_slice(&(detail.len() as u32).to_le_bytes());
+                buf.extend_from_slice(detail.as_bytes());
+            }
+        }
+    }
+
+    /// Decode a frame body. The expected answer shape comes from the request
+    /// that elicited the response (the protocol is strictly
+    /// request/response in order, so the client always knows it).
+    pub fn decode(body: &[u8], request: &Request) -> Result<Self, ErrorCode> {
+        let mut c = Cursor::new(body);
+        let status = c.u8().ok_or(ErrorCode::Malformed)?;
+        let degradation = c.u8().ok_or(ErrorCode::Malformed)?;
+        let outcome = ErrorCode::from_wire(status).ok_or(ErrorCode::Malformed)?;
+        let result = match outcome {
+            Err(code) => {
+                let len = c.u32().ok_or(ErrorCode::Malformed)? as usize;
+                let bytes = c.take(len).ok_or(ErrorCode::Malformed)?;
+                let detail = String::from_utf8(bytes.to_vec()).map_err(|_| ErrorCode::Malformed)?;
+                Err((code, detail))
+            }
+            Ok(()) => Ok(match request {
+                Request::Ping => Answer::Pong,
+                Request::TopK(_) => {
+                    let count = c.u32().ok_or(ErrorCode::Malformed)? as usize;
+                    if count.saturating_mul(12) > c.remaining() {
+                        return Err(ErrorCode::Malformed);
+                    }
+                    let mut ranked = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let entity = c.u32().ok_or(ErrorCode::Malformed)?;
+                        let bits = c.u64().ok_or(ErrorCode::Malformed)?;
+                        ranked.push(RankedEntity {
+                            entity,
+                            score: f64::from_bits(bits),
+                        });
+                    }
+                    Answer::TopK(ranked)
+                }
+                Request::Score { .. } => {
+                    Answer::Score(f64::from_bits(c.u64().ok_or(ErrorCode::Malformed)?))
+                }
+                Request::Rank { .. } => {
+                    Answer::Rank(f64::from_bits(c.u64().ok_or(ErrorCode::Malformed)?))
+                }
+            }),
+        };
+        if !c.is_exhausted() {
+            return Err(ErrorCode::Malformed);
+        }
+        Ok(Response {
+            degradation,
+            result,
+        })
+    }
+}
+
+fn side_to_wire(side: CorruptionSide) -> u8 {
+    match side {
+        CorruptionSide::Tail => 0,
+        CorruptionSide::Head => 1,
+    }
+}
+
+fn side_from_wire(byte: u8) -> Result<CorruptionSide, ErrorCode> {
+    match byte {
+        0 => Ok(CorruptionSide::Tail),
+        1 => Ok(CorruptionSide::Head),
+        _ => Err(ErrorCode::Malformed),
+    }
+}
+
+/// Minimal bounds-checked body cursor.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let mut buf = Vec::new();
+        request.encode(&mut buf);
+        assert_eq!(Request::decode(&buf), Ok(request));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::TopK(TopKQuery::tails(7, 3, 10)));
+        round_trip_request(Request::TopK(TopKQuery::heads(u32::MAX, 0, 1)));
+        round_trip_request(Request::Score {
+            head: 1,
+            relation: 2,
+            tail: 3,
+        });
+        round_trip_request(Request::Rank {
+            head: 4,
+            relation: 5,
+            tail: 6,
+            side: CorruptionSide::Head,
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let request = Request::TopK(TopKQuery::tails(1, 1, 2));
+        let response = Response::ok(
+            1,
+            Answer::TopK(vec![
+                RankedEntity {
+                    entity: 9,
+                    score: -1.25,
+                },
+                RankedEntity {
+                    entity: 3,
+                    score: f64::NEG_INFINITY,
+                },
+            ]),
+        );
+        let mut buf = Vec::new();
+        response.encode(&mut buf);
+        assert_eq!(Response::decode(&buf, &request), Ok(response));
+
+        let err = Response::error(2, ErrorCode::Overloaded, "queue full");
+        err.encode(&mut buf);
+        assert_eq!(Response::decode(&buf, &request), Ok(err));
+
+        let score = Response::ok(0, Answer::Score(3.5));
+        score.encode(&mut buf);
+        assert_eq!(
+            Response::decode(
+                &buf,
+                &Request::Score {
+                    head: 0,
+                    relation: 0,
+                    tail: 0
+                }
+            ),
+            Ok(score)
+        );
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_malformed() {
+        let mut buf = Vec::new();
+        Request::TopK(TopKQuery::tails(1, 1, 2)).encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                Request::decode(&buf[..cut]),
+                Err(ErrorCode::Malformed),
+                "cut at {cut}"
+            );
+        }
+        buf.push(0);
+        assert_eq!(Request::decode(&buf), Err(ErrorCode::Malformed));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_unsupported_not_malformed() {
+        assert_eq!(Request::decode(&[99]), Err(ErrorCode::UnsupportedOp));
+    }
+
+    #[test]
+    fn bad_direction_bytes_are_malformed() {
+        let mut buf = Vec::new();
+        Request::TopK(TopKQuery::tails(1, 1, 2)).encode(&mut buf);
+        buf[9] = 7; // direction byte
+        assert_eq!(Request::decode(&buf), Err(ErrorCode::Malformed));
+    }
+
+    #[test]
+    fn only_transient_codes_are_retryable() {
+        let retryable = [
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::DeadlineExceeded,
+        ];
+        let fatal = [
+            ErrorCode::Malformed,
+            ErrorCode::UnsupportedOp,
+            ErrorCode::EntityOutOfRange,
+            ErrorCode::RelationOutOfRange,
+            ErrorCode::Internal,
+        ];
+        for code in retryable {
+            assert!(code.is_retryable(), "{code}");
+        }
+        for code in fatal {
+            assert!(!code.is_retryable(), "{code}");
+        }
+    }
+
+    #[test]
+    fn query_errors_map_onto_their_codes() {
+        assert_eq!(
+            code_of_query_error(&QueryError::EntityOutOfRange {
+                entity: 9,
+                num_entities: 5
+            }),
+            ErrorCode::EntityOutOfRange
+        );
+        assert_eq!(
+            code_of_query_error(&QueryError::RelationOutOfRange {
+                relation: 9,
+                num_relations: 5
+            }),
+            ErrorCode::RelationOutOfRange
+        );
+    }
+
+    #[test]
+    fn topk_count_cannot_drive_allocation() {
+        // A response claiming 2^30 entries with a 2-byte payload must be
+        // rejected before `Vec::with_capacity` sees the count.
+        let mut buf = vec![0u8, 0];
+        buf.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        buf.extend_from_slice(&[1, 2]);
+        assert_eq!(
+            Response::decode(&buf, &Request::TopK(TopKQuery::tails(0, 0, 1))),
+            Err(ErrorCode::Malformed)
+        );
+    }
+}

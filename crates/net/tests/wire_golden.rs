@@ -1,0 +1,131 @@
+//! Golden-bytes pins for the wire protocol.
+//!
+//! These tests freeze the exact byte layout of every frame kind and the
+//! error-code numbering. They are a **deployment contract**: clients built
+//! against today's protocol must keep working against tomorrow's server. If
+//! one of these assertions fails, the change is a wire break — bump a
+//! protocol version, don't update the constants.
+
+use nscaching_kg::CorruptionSide;
+use nscaching_net::wire::{opcode, Answer, ErrorCode, Request, Response};
+use nscaching_serve::{RankedEntity, TopKQuery};
+
+fn encoded_request(request: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    request.encode(&mut buf);
+    buf
+}
+
+fn encoded_response(response: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    response.encode(&mut buf);
+    buf
+}
+
+#[test]
+fn request_bytes_are_pinned() {
+    assert_eq!(encoded_request(&Request::Ping), [1]);
+
+    // TopK: opcode, relation u32, entity u32, direction u8, k u32 — all LE.
+    assert_eq!(
+        encoded_request(&Request::TopK(TopKQuery::tails(7, 2, 5))),
+        [2, 2, 0, 0, 0, 7, 0, 0, 0, 0, 5, 0, 0, 0]
+    );
+    // heads() flips the direction byte to 1.
+    assert_eq!(
+        encoded_request(&Request::TopK(TopKQuery::heads(7, 2, 5)))[9],
+        1
+    );
+
+    assert_eq!(
+        encoded_request(&Request::Score {
+            head: 1,
+            relation: 2,
+            tail: 3
+        }),
+        [3, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0]
+    );
+
+    assert_eq!(
+        encoded_request(&Request::Rank {
+            head: 4,
+            relation: 5,
+            tail: 6,
+            side: CorruptionSide::Head
+        }),
+        [4, 4, 0, 0, 0, 5, 0, 0, 0, 6, 0, 0, 0, 1]
+    );
+}
+
+#[test]
+fn response_bytes_are_pinned() {
+    // Success: status 0, degradation, payload.
+    assert_eq!(encoded_response(&Response::ok(0, Answer::Pong)), [0, 0]);
+
+    // TopK payload: count u32, then (entity u32, score f64 bits) pairs.
+    // 1.5f64 == 0x3FF8_0000_0000_0000.
+    assert_eq!(
+        encoded_response(&Response::ok(
+            1,
+            Answer::TopK(vec![RankedEntity {
+                entity: 9,
+                score: 1.5
+            }])
+        )),
+        [0, 1, 1, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xF8, 0x3F]
+    );
+
+    // Score payload: one f64 as raw bits. -2.0f64 == 0xC000_0000_0000_0000.
+    assert_eq!(
+        encoded_response(&Response::ok(0, Answer::Score(-2.0))),
+        [0, 0, 0, 0, 0, 0, 0, 0, 0, 0xC0]
+    );
+
+    // Error: status = code, degradation, u32 detail length, UTF-8 bytes.
+    assert_eq!(
+        encoded_response(&Response::error(2, ErrorCode::Overloaded, "full")),
+        [5, 2, 4, 0, 0, 0, b'f', b'u', b'l', b'l']
+    );
+}
+
+#[test]
+fn opcodes_are_pinned() {
+    assert_eq!(opcode::PING, 1);
+    assert_eq!(opcode::TOP_K, 2);
+    assert_eq!(opcode::SCORE, 3);
+    assert_eq!(opcode::RANK, 4);
+}
+
+#[test]
+fn error_code_numbering_is_pinned() {
+    let table: [(ErrorCode, u8, bool); 8] = [
+        (ErrorCode::Malformed, 1, false),
+        (ErrorCode::UnsupportedOp, 2, false),
+        (ErrorCode::EntityOutOfRange, 3, false),
+        (ErrorCode::RelationOutOfRange, 4, false),
+        (ErrorCode::Overloaded, 5, true),
+        (ErrorCode::ShuttingDown, 6, true),
+        (ErrorCode::DeadlineExceeded, 7, true),
+        (ErrorCode::Internal, 8, false),
+    ];
+    for (code, wire, retryable) in table {
+        assert_eq!(code as u8, wire, "{code}");
+        assert_eq!(ErrorCode::from_wire(wire), Some(Err(code)));
+        assert_eq!(code.is_retryable(), retryable, "{code}");
+    }
+    // 0 is success, everything past the table is undecodable.
+    assert_eq!(ErrorCode::from_wire(0), Some(Ok(())));
+    for unknown in 9..=255u8 {
+        assert_eq!(ErrorCode::from_wire(unknown), None, "{unknown}");
+    }
+}
+
+#[test]
+fn frame_prefix_is_little_endian_u32() {
+    // A framed ping: length 1, then the body. The prefix layout is what
+    // every client implementation hard-codes first.
+    let body = encoded_request(&Request::Ping);
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    assert_eq!(frame, [1, 0, 0, 0, 1]);
+}

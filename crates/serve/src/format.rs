@@ -137,10 +137,26 @@ impl Writer {
     }
 }
 
+/// The sibling temp file a snapshot is staged in before the atomic rename.
+fn staging_path(path: &Path) -> std::path::PathBuf {
+    path.with_extension("tmp-snapshot")
+}
+
 /// Frame `payload` and write it to `path` (magic + version + length +
-/// payload + checksum), atomically via a sibling temp file so a crashed
-/// writer can never leave a half-written snapshot under the final name.
+/// payload + checksum), atomically and durably:
+///
+/// 1. write the frame to a sibling temp file and `fsync` it, so the bytes
+///    are on the platter before the final name can ever point at them;
+/// 2. `rename` over `path` (atomic on POSIX — readers see the old snapshot
+///    or the new one, never a mixture);
+/// 3. `fsync` the parent directory, so the rename itself survives a power
+///    cut (a directory entry is data too, and it lives in the directory).
+///
+/// A writer killed at any point leaves either the previous snapshot intact
+/// or a stale temp file next to it; [`read_frame`] sweeps such leftovers.
 pub fn write_frame(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
+    use std::io::Write as _;
+
     let mut frame = Vec::with_capacity(FRAME_BYTES + payload.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -148,15 +164,35 @@ pub fn write_frame(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
     frame.extend_from_slice(payload);
     frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
 
-    let tmp = path.with_extension("tmp-snapshot");
-    std::fs::write(&tmp, &frame)?;
+    let tmp = staging_path(path);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(&frame)?;
+    file.sync_all()?;
+    drop(file);
     std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        // Directory fsync can legitimately fail on filesystems that do not
+        // support opening directories (e.g. some network mounts); the write
+        // itself is still atomic there, so don't fail the checkpoint.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(())
 }
 
 /// Read, validate and unwrap the frame at `path`, returning the verified
 /// payload bytes.
+///
+/// As a side effect this sweeps a stale staging file (`*.tmp-snapshot`) left
+/// by a writer that died before its atomic rename: the torn temp is ignored
+/// for reading (the final name always holds a complete frame or nothing) and
+/// deleted so it cannot accumulate.
 pub fn read_frame(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    let tmp = staging_path(path);
+    if tmp.exists() {
+        let _ = std::fs::remove_file(&tmp);
+    }
     let bytes = std::fs::read(path)?;
     if bytes.len() < FRAME_BYTES {
         // Too short to even hold the framing; if the start looks like our
@@ -482,6 +518,35 @@ mod tests {
             r.f64_slice("slab"),
             Err(SnapshotError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn torn_temp_file_from_a_killed_writer_is_ignored_and_swept() {
+        // Crash simulation: a writer died after staging half a frame but
+        // before the atomic rename. The final name still holds the previous
+        // good snapshot; loading must succeed from it and sweep the corpse.
+        let path = tempfile("torn.snap");
+        write_frame(&path, b"good snapshot").unwrap();
+        let tmp = staging_path(&path);
+        let good = std::fs::read(&path).unwrap();
+        std::fs::write(&tmp, &good[..good.len() / 2]).unwrap();
+
+        assert_eq!(read_frame(&path).unwrap(), b"good snapshot");
+        assert!(!tmp.exists(), "stale staging file must be swept on load");
+    }
+
+    #[test]
+    fn torn_temp_without_a_final_snapshot_is_not_promoted() {
+        // Crash simulation: the very first checkpoint died mid-stage. There
+        // is nothing valid to load — the torn temp must never be read as a
+        // snapshot, and it must still be cleaned up.
+        let path = tempfile("firstcrash.snap");
+        let _ = std::fs::remove_file(&path);
+        let tmp = staging_path(&path);
+        std::fs::write(&tmp, &MAGIC[..4]).unwrap();
+
+        assert!(matches!(read_frame(&path), Err(SnapshotError::Io(_))));
+        assert!(!tmp.exists(), "torn first-checkpoint temp must be swept");
     }
 
     #[test]

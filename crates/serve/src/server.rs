@@ -367,6 +367,32 @@ impl KnowledgeServer {
         Ok(answer)
     }
 
+    /// Answer a top-k query **only if a live cached answer exists** — the
+    /// graceful-degradation hook of the network front door: under pressure a
+    /// server can keep absorbing the hot head of its traffic (an `Arc` clone,
+    /// no scoring work) while shedding cold queries instead of queueing them.
+    ///
+    /// Returns `Ok(None)` on a cold or version-invalidated key (the stale
+    /// entry is dropped, exactly as [`Self::top_k`] would, but nothing is
+    /// recomputed). Out-of-range ids are rejected first, like every other
+    /// query path.
+    pub fn top_k_cached(
+        &self,
+        query: &TopKQuery,
+    ) -> Result<Option<Arc<[RankedEntity]>>, QueryError> {
+        let model = self.inner.model.read().expect("model lock");
+        validate_ids(model.as_ref(), query.entity, query.relation)?;
+        let stamp = self.inner.stamp.load(Ordering::Acquire);
+        let mut cache = self.inner.cache.lock().expect("cache lock");
+        if let Some(entry) = cache.get(query) {
+            if entry.stamp == stamp {
+                return Ok(Some(Arc::clone(&entry.answer)));
+            }
+            cache.remove(query);
+        }
+        Ok(None)
+    }
+
     fn top_k_with_model(
         &self,
         model: &dyn KgeModel,
@@ -712,6 +738,27 @@ mod tests {
         server.score_batch(&mut pool, &triples, &mut scores);
         assert!(scores[0].is_ok());
         assert!(scores[1].is_err());
+    }
+
+    #[test]
+    fn cache_peek_serves_hits_and_never_stale_answers() {
+        let server = server(ModelKind::TransE, 16);
+        let mut scratch = QueryScratch::default();
+        let query = TopKQuery::tails(2, 1, 4);
+        assert_eq!(server.top_k_cached(&query), Ok(None), "cold key is a miss");
+        let computed = server.top_k(&query, &mut scratch).unwrap();
+        let peeked = server.top_k_cached(&query).unwrap().expect("warm hit");
+        assert!(Arc::ptr_eq(&computed, &peeked), "peek shares the answer");
+        server.update_model(|model| {
+            model.tables_mut()[0].row_mut(0)[0] += 1.0;
+        });
+        assert_eq!(
+            server.top_k_cached(&query),
+            Ok(None),
+            "a version-invalidated entry must not be served by the peek path"
+        );
+        let n = server.num_entities() as u32;
+        assert!(server.top_k_cached(&TopKQuery::tails(n, 0, 1)).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`sampling`] — negative samplers, including the paper's NSCaching;
 //! * [`train`] — training loop, pretraining and instrumentation;
 //! * [`eval`] — link prediction and triplet classification protocols;
-//! * [`serve`] — checkpoint store and online link-prediction serving engine.
+//! * [`serve`] — checkpoint store and online link-prediction serving engine;
+//! * [`net`] — fault-tolerant TCP front door (wire protocol, server, client,
+//!   fault-injection harness).
 //!
 //! See the `examples/` directory for end-to-end usage, starting with
 //! `examples/quickstart.rs` (training) and `examples/serve_queries.rs`
@@ -27,6 +29,7 @@ pub use nscaching_eval as eval;
 pub use nscaching_kg as kg;
 pub use nscaching_math as math;
 pub use nscaching_models as models;
+pub use nscaching_net as net;
 pub use nscaching_optim as optim;
 pub use nscaching_serve as serve;
 pub use nscaching_train as train;
