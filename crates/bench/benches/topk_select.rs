@@ -1,0 +1,164 @@
+//! Criterion bench: the serve-path top-k selection kernel — partial
+//! selection (`select_nth_unstable_by` introselect + k-prefix sort) against
+//! the retained full-sort oracle.
+//!
+//! Run with `cargo bench -p nscaching-bench --bench topk_select`.
+//!
+//! This is the cache-*miss* half of the serving latency story: every miss
+//! pays one `score_all_into` scan plus one top-k selection over all |E|
+//! candidate scores. The old kernel sorted the full index range — O(|E|
+//! log |E|) for k ≪ |E|; the partial-selection kernel is O(|E| + k log k)
+//! and **bit-identical** (same indices, same order; the comparator is a
+//! strict total order, proven by `crates/math/tests/topk_equivalence.rs`).
+//!
+//! Records into the `topk_miss_path` section of `BENCH_serve.json`:
+//!
+//! * a (|E|, k) sweep of quickselect-vs-sort wall-clock ratios;
+//! * the gated headline (`NSC_TOPK_MIN`, ≥ 3× locally at the serving design
+//!   point |E| = 20 000, k = 10; CI relaxes it on shared runners like the
+//!   other bench gates).
+//!
+//! Every measured pass also re-asserts bit-identical outputs on the bench's
+//! own inputs — the speed claim and the equivalence claim ride the same data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nscaching_math::{top_k_indices_into, top_k_indices_sort_into};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The serving design point: |E| entities scored per miss, k answers kept.
+const HEADLINE_N: usize = 20_000;
+const HEADLINE_K: usize = 10;
+/// Sweep grid recorded alongside the headline.
+const SWEEP: [(usize, usize); 6] = [
+    (2_000, 10),
+    (20_000, 1),
+    (20_000, 10),
+    (20_000, 100),
+    (200_000, 10),
+    (20_000, 19_999),
+];
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// Best-of-`samples` seconds for `passes` kernel invocations.
+fn best_seconds(samples: usize, passes: usize, mut call: impl FnMut()) -> f64 {
+    call(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..passes {
+            call();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measured speedup of partial selection over the full sort at one (n, k),
+/// asserting bit-identical output first.
+fn speedup_at(n: usize, k: usize, samples: usize) -> f64 {
+    let xs = scores(n, 7 + n as u64 + k as u64);
+    let mut select = Vec::new();
+    let mut sort = Vec::new();
+    top_k_indices_into(&xs, k, &mut select);
+    top_k_indices_sort_into(&xs, k, &mut sort);
+    assert_eq!(
+        select, sort,
+        "partial selection must be bit-identical to the sort oracle at n={n} k={k}"
+    );
+    // Scale pass counts so every measurement covers comparable work.
+    let passes = (2_000_000 / n).max(1);
+    let secs_select = best_seconds(samples, passes, || {
+        top_k_indices_into(black_box(&xs), black_box(k), &mut select);
+        black_box(select.len());
+    });
+    let secs_sort = best_seconds(samples, passes, || {
+        top_k_indices_sort_into(black_box(&xs), black_box(k), &mut sort);
+        black_box(sort.len());
+    });
+    secs_sort / secs_select
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let xs = scores(HEADLINE_N, 42);
+    let mut out = Vec::new();
+    let mut group = c.benchmark_group("topk_select");
+    group.sample_size(20);
+    group.bench_function("partial_select_20k_k10", |b| {
+        b.iter(|| {
+            top_k_indices_into(black_box(&xs), black_box(HEADLINE_K), &mut out);
+            black_box(out.len());
+        })
+    });
+    group.bench_function("full_sort_20k_k10", |b| {
+        b.iter(|| {
+            top_k_indices_sort_into(black_box(&xs), black_box(HEADLINE_K), &mut out);
+            black_box(out.len());
+        })
+    });
+    group.finish();
+}
+
+/// Acceptance gate: partial selection ≥ `NSC_TOPK_MIN`× the full sort at the
+/// serving design point. Records `BENCH_serve.json`.
+fn assert_topk_select(_c: &mut Criterion) {
+    let samples = 5;
+    let sweep: Vec<(usize, usize, f64)> = SWEEP
+        .iter()
+        .map(|&(n, k)| (n, k, speedup_at(n, k, samples)))
+        .collect();
+    let headline = sweep
+        .iter()
+        .find(|&&(n, k, _)| n == HEADLINE_N && k == HEADLINE_K)
+        .map(|&(_, _, s)| s)
+        .expect("headline point is in the sweep");
+    let min_speedup: f64 = std::env::var("NSC_TOPK_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    let mut rows = String::new();
+    for (i, (n, k, s)) in sweep.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"num_candidates\": {n}, \"k\": {k}, \"select_over_sort_speedup\": {s:.2} }}"
+        ));
+        println!("topk_select n={n} k={k}: partial selection {s:.2}x the full sort");
+    }
+    println!(
+        "topk_select headline |E|={HEADLINE_N} k={HEADLINE_K}: {headline:.2}x (min {min_speedup}x)"
+    );
+
+    let section = format!(
+        "{{\n  \"kernel\": \"select_nth_unstable_by introselect + k-prefix sort vs full sort_unstable_by\",\n  \"sweep\": [\n{rows}\n  ],\n  \"headline\": {{\n    \"num_candidates\": {HEADLINE_N},\n    \"k\": {HEADLINE_K},\n    \"select_over_sort_speedup\": {headline:.2},\n    \"min_required_speedup\": {min_speedup}\n  }},\n  \"note\": \"cache-miss half of the serve-path latency campaign: every top-k miss pays one selection over all |E| scores; outputs are asserted bit-identical to the retained sort oracle on the bench inputs, and proptested against it in crates/math/tests/topk_equivalence.rs. Gate NSC_TOPK_MIN (relaxed in CI; k ~ |E| rows are expected near 1x — there is nothing to skip)\"\n}}"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    if let Err(e) =
+        nscaching_bench::update_bench_section(&path, "serve", "topk_miss_path", &section)
+    {
+        eprintln!("could not record BENCH_serve.json at {path:?}: {e}");
+    }
+
+    assert!(
+        headline >= min_speedup,
+        "partial selection must be ≥{min_speedup}x the full sort at |E|={HEADLINE_N} k={HEADLINE_K} \
+         (got {headline:.2}x; override with NSC_TOPK_MIN)"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = assert_topk_select, bench_kernels
+}
+criterion_main!(benches);

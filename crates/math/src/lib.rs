@@ -28,7 +28,10 @@ pub use sample::{
 };
 pub use softmax::{log_sum_exp, softmax, softmax_in_place};
 pub use stats::{Ccdf, Histogram, OnlineStats, Quantiles};
-pub use topk::{argmax, rank_contenders_into, top_k_indices, top_k_indices_into, RankScan};
+pub use topk::{
+    argmax, cmp_desc, rank_contenders_into, top_k_indices, top_k_indices_into,
+    top_k_indices_sort_into, RankScan,
+};
 pub use vecops::{
     add, add_scaled, dot, hadamard, l1_combine, l1_distance, l1_norm, l1_sum, l2_distance, l2_norm,
     normalize_l2, scale, sub,

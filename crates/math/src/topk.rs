@@ -1,7 +1,27 @@
 //! Top-k selection over score slices.
 //!
-//! Used by the "top sampling" / "top update" ablations of Section IV-C and by
-//! the link-prediction ranker.
+//! Used by the "top sampling" / "top update" ablations of Section IV-C, by
+//! the link-prediction ranker, and by the serving engine's top-k miss path.
+//!
+//! # The partial-selection kernel
+//!
+//! [`top_k_indices_into`] is the serving miss path's selection kernel. It
+//! used to be a full argsort (`O(|E| log |E|)` per query) truncated to `k`;
+//! it is now **partial selection**: an introselect
+//! (`select_nth_unstable_by`, quickselect with a median-of-medians fallback)
+//! partitions the index buffer so the `k` winners occupy the prefix in
+//! `O(|E|)` expected time, and only that prefix is sorted — `O(|E| + k log
+//! k)` overall. For the serving workload (`|E|` in the tens of thousands,
+//! `k` around 10) the selection, not the scoring scan, dominated the miss
+//! path; see the `topk_miss_path` section of `BENCH_serve.json`.
+//!
+//! The tie contract is **bit-identical** to the old sort: largest value
+//! first, ties broken towards the lower index. The comparator
+//! ([`cmp_desc`]`.then(index)`) is a strict total order over indices, so the
+//! top-`k` set and its order are unique — partial selection cannot disagree
+//! with the sort. [`top_k_indices_sort_into`] retains the sort-based kernel
+//! as the equivalence oracle (property-tested in `tests/topk_equivalence.rs`)
+//! and as the bench baseline.
 
 use std::cmp::Ordering;
 
@@ -37,7 +57,31 @@ pub fn top_k_indices(xs: &[f64], k: usize) -> Vec<usize> {
 /// In-place variant of [`top_k_indices`]: clears `out`, fills it with the
 /// indices of the `k` largest values (largest first, ties towards the lower
 /// index) and allocates nothing once `out` has grown to `xs.len()` capacity.
+///
+/// Partial selection, `O(|xs| + k log k)`: when `k < xs.len()` the index
+/// buffer is partitioned around the `k`-th order statistic first and only
+/// the winning prefix is sorted. Output is bit-identical to
+/// [`top_k_indices_sort_into`] (the comparator is a strict total order, so
+/// the answer is unique; proptested in `tests/topk_equivalence.rs`).
 pub fn top_k_indices_into(xs: &[f64], k: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let k = k.min(xs.len());
+    if k == 0 {
+        return;
+    }
+    out.extend(0..xs.len());
+    if k < out.len() {
+        out.select_nth_unstable_by(k - 1, |&a, &b| cmp_desc(xs[a], xs[b]).then(a.cmp(&b)));
+        out.truncate(k);
+    }
+    out.sort_unstable_by(|&a, &b| cmp_desc(xs[a], xs[b]).then(a.cmp(&b)));
+}
+
+/// The retired full-sort top-k kernel, kept as the equivalence oracle for
+/// [`top_k_indices_into`] and as the miss-path bench baseline: sort every
+/// index by descending value (ties towards the lower index), truncate to
+/// `k`. `O(|xs| log |xs|)` regardless of `k`.
+pub fn top_k_indices_sort_into(xs: &[f64], k: usize, out: &mut Vec<usize>) {
     out.clear();
     let k = k.min(xs.len());
     if k == 0 {
@@ -125,8 +169,22 @@ pub fn rank_against(xs: &[f64], value: f64) -> f64 {
     1.0 + greater as f64 + ties as f64 / 2.0
 }
 
-fn cmp_desc(a: f64, b: f64) -> Ordering {
-    b.partial_cmp(&a).unwrap_or(Ordering::Equal)
+/// Descending score comparator shared by every top-k consumer (the selection
+/// kernels here, the serve-side ranking helpers, the eval ranker oracles):
+/// larger values order first. This is a strict **total** order — NaNs form
+/// their own equivalence class ordered after every real number (a NaN score
+/// can therefore never displace a real candidate) — which partial selection
+/// requires: `select_nth_unstable_by` and `sort_unstable_by` must see
+/// consistent answers or the partition and the sort could disagree. For
+/// NaN-free inputs it is exactly `b.partial_cmp(&a)`.
+pub fn cmp_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.partial_cmp(&a).expect("both are non-NaN"),
+        (true, true) => Ordering::Equal,
+        // NaN sorts after (is "smaller than") every real value.
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +220,39 @@ mod tests {
     fn top_k_tie_break_is_deterministic() {
         let xs = [1.0, 1.0, 1.0];
         assert_eq!(top_k_indices(&xs, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_matches_the_sort_oracle_on_dense_ties() {
+        // A handful of distinct values over a longer slice: the partial
+        // selection must cut tie groups at exactly the same indices as the
+        // full sort.
+        let xs: Vec<f64> = (0..97).map(|i| ((i * 7) % 5) as f64).collect();
+        let mut fast = Vec::new();
+        let mut oracle = Vec::new();
+        for k in [0, 1, 2, 5, 31, 96, 97, 200] {
+            top_k_indices_into(&xs, k, &mut fast);
+            top_k_indices_sort_into(&xs, k, &mut oracle);
+            assert_eq!(fast, oracle, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_never_selects_nan_over_a_real_value() {
+        let xs = [f64::NAN, 1.0, f64::NAN, 3.0, 2.0];
+        assert_eq!(top_k_indices(&xs, 3), vec![3, 4, 1]);
+        // With k beyond the real values, NaNs fill the tail in index order.
+        assert_eq!(top_k_indices(&xs, 5), vec![3, 4, 1, 0, 2]);
+    }
+
+    #[test]
+    fn cmp_desc_is_a_total_order_over_nan() {
+        assert_eq!(cmp_desc(2.0, 1.0), Ordering::Less, "larger orders first");
+        assert_eq!(cmp_desc(1.0, 2.0), Ordering::Greater);
+        assert_eq!(cmp_desc(1.0, 1.0), Ordering::Equal);
+        assert_eq!(cmp_desc(f64::NAN, f64::NEG_INFINITY), Ordering::Greater);
+        assert_eq!(cmp_desc(f64::NEG_INFINITY, f64::NAN), Ordering::Less);
+        assert_eq!(cmp_desc(f64::NAN, f64::NAN), Ordering::Equal);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Equivalence proptests for the partial-selection top-k kernel.
+//!
+//! [`top_k_indices_into`] (introselect partition + prefix sort) must be
+//! **bit-identical** — same index set, same order, same tie-breaks — to the
+//! retained full-sort oracle [`top_k_indices_sort_into`] for every `(xs, k)`,
+//! including the adversarial regimes where a partial-selection bug would
+//! hide:
+//!
+//! * ragged `k` vs `|xs|` (`k = 0`, `k = |xs|`, `k > |xs|`, `k = |xs| − 1`);
+//! * *tie storms* — values drawn from a tiny discrete set so the selection
+//!   boundary almost always falls inside a tie group and only the
+//!   lower-index-first contract decides who survives;
+//! * duplicated extremes (every element equal).
+
+use nscaching_math::{top_k_indices_into, top_k_indices_sort_into};
+use proptest::prelude::*;
+
+fn assert_identical(xs: &[f64], k: usize) -> Result<(), TestCaseError> {
+    let mut fast = Vec::new();
+    let mut oracle = Vec::new();
+    top_k_indices_into(xs, k, &mut fast);
+    top_k_indices_sort_into(xs, k, &mut oracle);
+    prop_assert_eq!(&fast, &oracle);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quickselect_equals_the_sort_oracle_on_continuous_scores(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..300),
+        k in 0usize..350,
+    ) {
+        assert_identical(&xs, k)?;
+    }
+
+    #[test]
+    fn quickselect_equals_the_sort_oracle_under_tie_storms(
+        // 2–4 distinct values over up to 300 slots: almost every selection
+        // boundary lands inside a tie group.
+        raw in prop::collection::vec(0u32..4, 1..300),
+        k in 0usize..350,
+    ) {
+        let xs: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        assert_identical(&xs, k)?;
+    }
+
+    #[test]
+    fn quickselect_equals_the_sort_oracle_at_the_ragged_edges(
+        xs in prop::collection::vec(-10.0f64..10.0, 1..64),
+    ) {
+        for k in [0, 1, xs.len().saturating_sub(1), xs.len(), xs.len() + 1, 2 * xs.len()] {
+            assert_identical(&xs, k)?;
+        }
+    }
+
+    #[test]
+    fn quickselect_is_exact_on_all_equal_values(
+        len in 1usize..200,
+        k in 0usize..220,
+        value in -5.0f64..5.0,
+    ) {
+        // The degenerate single-tie-group case: the answer must be the first
+        // min(k, len) indices in ascending order.
+        let xs = vec![value; len];
+        let mut fast = Vec::new();
+        top_k_indices_into(&xs, k, &mut fast);
+        let expect: Vec<usize> = (0..k.min(len)).collect();
+        prop_assert_eq!(fast, expect);
+        assert_identical(&xs, k)?;
+    }
+}

@@ -44,7 +44,7 @@
 //! |-------|---------|-----------------|
 //! | 0 | full service | — |
 //! | 1 | top-k `k` clamped to `degraded_k_clamp` | sustained l1 → add workers |
-//! | 2 | cache-only: LRU hits served, everything else shed | capacity incident |
+//! | 2 | cache-only: live result-cache hits served, everything else shed | capacity incident |
 //!
 //! ## Wire error codes
 //!

@@ -30,11 +30,16 @@
 //! |-------|---------|-----------|
 //! | 0     | occupancy < `clamp_threshold` | full service |
 //! | 1     | occupancy ≥ `clamp_threshold` | top-k `k` clamped to `degraded_k_clamp` |
-//! | 2     | occupancy ≥ `cache_only_threshold` | top-k served **only** from the LRU (an `Arc` clone, no model work); cold top-k and all score/rank queries shed as `Overloaded` |
+//! | 2     | occupancy ≥ `cache_only_threshold` | top-k served **only** from the result cache (an `Arc` clone, no model work); cold top-k and all score/rank queries shed as `Overloaded` |
 //!
 //! The ladder degrades *before* it sheds: clamping bounds per-request work,
 //! cache-only keeps absorbing the hot head of a skewed stream at near-zero
-//! cost, and only what is left over is rejected.
+//! cost, and only what is left over is rejected. The result cache behind
+//! `top_k_cached` is the serving engine's sharded, policy-pluggable cache
+//! (`nscaching_serve::CacheConfig`): sharding widens the cache-only path's
+//! concurrency under fan-out, the eviction policy shapes *which* hot head
+//! survives to be servable at level 2, and version-stamp invalidation means
+//! a stale entry is dropped — never served — even mid-incident.
 //!
 //! # Deadlines
 //!

@@ -1,0 +1,386 @@
+//! Capacity-bounded slot-arena cache, generic over its eviction policy.
+//!
+//! [`PolicyCache`] is the storage half of the serving cache (the `cache-rs`
+//! family of eviction libraries is the reference point): a `HashMap` from
+//! key to slot index plus a `Vec` slot arena of keys and values. All
+//! *ordering* decisions — who is promoted on a hit, who dies when the cache
+//! is full — are delegated to an [`EvictionPolicy`]
+//! (see [`crate::policy`] for the catalog and the plug-in recipe).
+//! Everything is pre-allocated to `capacity` up front, and an eviction
+//! recycles its slot in place, so the **steady state — hits, and misses that
+//! evict — performs no heap allocation**; that property is what lets the
+//! serving engine's warm-cache path stay allocation-free (asserted by the
+//! `serve_throughput` bench).
+//!
+//! [`LruCache`] is the backwards-compatible alias (`PolicyCache` over
+//! [`LruPolicy`], statically dispatched): same API, same eviction decisions,
+//! bit-for-bit, as the pre-policy-trait serving cache — the `lru_invariants`
+//! proptest suite pins it against a brute-force reference model. Runtime
+//! policy selection (the sharded cache, the simulator) goes through
+//! `PolicyCache<K, V, Box<dyn EvictionPolicy + Send>>` instead.
+
+use crate::policy::{EvictionPolicy, LruPolicy, PolicyInit, PolicyKind};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Niche index marking "no slot".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+}
+
+/// Running hit/miss/eviction counters of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found a live entry.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Entries displaced by inserts into a full cache.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Counter-wise sum (shard aggregation).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// The original fixed-capacity least-recently-used map: [`PolicyCache`]
+/// statically dispatched over [`LruPolicy`]. `get` promotes the entry to
+/// most-recently-used; `insert` into a full cache evicts the
+/// least-recently-used entry.
+pub type LruCache<K, V> = PolicyCache<K, V, LruPolicy>;
+
+/// A fixed-capacity map whose eviction order is decided by a pluggable
+/// [`EvictionPolicy`].
+///
+/// `get` reports the access to the policy (recency/frequency promotion);
+/// `insert` into a full cache evicts the policy's chosen victim. Capacity 0
+/// is allowed and turns the cache into a no-op (every `insert` is dropped).
+#[derive(Debug)]
+pub struct PolicyCache<K, V, P: EvictionPolicy = LruPolicy> {
+    map: HashMap<K, u32>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<u32>,
+    capacity: usize,
+    stats: CacheStats,
+    policy: P,
+}
+
+impl<K: Hash + Eq + Copy, V, P: EvictionPolicy + PolicyInit> PolicyCache<K, V, P> {
+    /// An empty cache holding at most `capacity` entries, its policy built
+    /// fresh via [`PolicyInit`], with every internal structure pre-sized so
+    /// steady-state operation never allocates.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, P::for_capacity(capacity))
+    }
+}
+
+impl<K: Hash + Eq + Copy, V, P: EvictionPolicy> PolicyCache<K, V, P> {
+    /// An empty cache holding at most `capacity` entries, ordered by
+    /// `policy` (which must have been sized for at least `capacity` slots).
+    pub fn with_policy(capacity: usize, policy: P) -> Self {
+        assert!(
+            capacity < NIL as usize,
+            "capacity must fit the u32 slot index"
+        );
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            capacity,
+            stats: CacheStats::default(),
+            policy,
+        }
+    }
+
+    /// Which eviction policy orders this cache.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit/miss/eviction counters since construction (or the last
+    /// [`clear`](Self::clear)).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `key` currently lives in the cache, without touching the
+    /// policy's books or the counters.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Look up `key`, reporting the access to the eviction policy.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.policy.on_hit(slot);
+                Some(&self.slots[slot as usize].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) `key`, evicting the policy's victim if the cache
+    /// is full. A replaced key counts as an access, not an insert.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.map.get(&key).copied() {
+            self.slots[slot as usize].value = value;
+            self.policy.on_hit(slot);
+            return;
+        }
+        let slot = if self.map.len() == self.capacity {
+            // Recycle the victim's slot in place.
+            let victim = self.policy.victim();
+            let slot = &mut self.slots[victim as usize];
+            self.map.remove(&slot.key);
+            slot.key = key;
+            slot.value = value;
+            self.stats.evictions += 1;
+            victim
+        } else if let Some(slot) = self.free.pop() {
+            let node = &mut self.slots[slot as usize];
+            node.key = key;
+            node.value = value;
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot { key, value });
+            slot
+        };
+        self.map.insert(key, slot);
+        self.policy.on_insert(slot);
+    }
+
+    /// Remove `key` (explicit invalidation), returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        V: Default,
+    {
+        let slot = self.map.remove(key)?;
+        self.policy.on_remove(slot);
+        self.free.push(slot);
+        Some(std::mem::take(&mut self.slots[slot as usize].value))
+    }
+
+    /// Drop every entry and reset the counters (keeps the allocations).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.policy.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{LfuPolicy, LfudaPolicy, SlruPolicy};
+
+    #[test]
+    fn inserts_and_hits() {
+        let mut c: LruCache<u32, &str> = LruCache::new(4);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_drops_the_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(&1).is_some());
+        c.insert(4, 40);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&2), None, "2 was evicted");
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        assert!(c.get(&4).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_promotes() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None, "2 was the LRU after 1's promotion");
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn eviction_order_is_exact_under_churn() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..64 {
+            c.insert(i, i);
+            // The live window is always the last 8 keys.
+            for j in 0..=i {
+                let expect_live = j + 8 > i;
+                assert_eq!(c.contains(&j), expect_live, "key {j} at step {i}");
+            }
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.stats().evictions, 56);
+    }
+
+    #[test]
+    fn remove_frees_the_slot_for_reuse() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.len(), 1);
+        c.insert(3, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0, "removal made room without evicting");
+        assert_eq!(c.remove(&99), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_noop_cache() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 10);
+        let _ = c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), CacheStats::default());
+        c.insert(2, 20);
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    /// The storage layer honours whatever the policy decides: the same churn
+    /// produces policy-specific survivor sets.
+    #[test]
+    fn policies_shape_the_survivor_set() {
+        fn survivors<P: EvictionPolicy + PolicyInit>() -> Vec<u32> {
+            let mut c: PolicyCache<u32, u32, P> = PolicyCache::new(3);
+            for key in [1, 2, 3] {
+                c.insert(key, key);
+            }
+            // 1 is hot (hit twice), 2 warm (once), 3 cold; then 4 arrives.
+            c.get(&1);
+            c.get(&1);
+            c.get(&2);
+            c.insert(4, 4);
+            let mut live: Vec<u32> = (1..=4).filter(|k| c.contains(k)).collect();
+            live.sort_unstable();
+            live
+        }
+        assert_eq!(survivors::<LruPolicy>(), vec![1, 2, 4], "LRU drops 3");
+        assert_eq!(survivors::<SlruPolicy>(), vec![1, 2, 4], "SLRU drops 3");
+        assert_eq!(survivors::<LfuPolicy>(), vec![1, 2, 4], "LFU drops 3");
+        assert_eq!(survivors::<LfudaPolicy>(), vec![1, 2, 4], "LFUDA drops 3");
+        // Scan resistance separates the families: after warming a working
+        // set, stream one-touch keys through.
+        fn scan_survivor_count<P: EvictionPolicy + PolicyInit>() -> usize {
+            let mut c: PolicyCache<u32, u32, P> = PolicyCache::new(4);
+            for key in [1, 2, 3, 4] {
+                c.insert(key, key);
+            }
+            for _ in 0..3 {
+                for key in [1, 2, 3, 4] {
+                    c.get(&key);
+                }
+            }
+            for key in 100..120 {
+                c.insert(key, key);
+            }
+            (1..=4u32).filter(|k| c.contains(k)).count()
+        }
+        assert_eq!(
+            scan_survivor_count::<LruPolicy>(),
+            0,
+            "LRU loses everything"
+        );
+        // The first scan insert must evict *someone* hot, but every later
+        // one-touch key displaces the previous one-touch key, never the
+        // frequently-used (LFU) or protected (SLRU) set.
+        assert_eq!(
+            scan_survivor_count::<LfuPolicy>(),
+            3,
+            "LFU gives up one slot to the scan, then holds"
+        );
+        assert_eq!(
+            scan_survivor_count::<SlruPolicy>(),
+            3,
+            "SLRU protects the re-referenced set"
+        );
+    }
+
+    #[test]
+    fn boxed_policy_dispatch_matches_static_dispatch() {
+        let mut boxed: PolicyCache<u32, u32, Box<dyn EvictionPolicy + Send>> =
+            PolicyCache::with_policy(3, PolicyKind::Lru.build(3));
+        let mut fixed: LruCache<u32, u32> = LruCache::new(3);
+        assert_eq!(boxed.policy_kind(), PolicyKind::Lru);
+        for (key, value) in [(1, 1), (2, 2), (3, 3), (1, 10), (4, 4), (5, 5)] {
+            boxed.insert(key, value);
+            fixed.insert(key, value);
+        }
+        for key in 0..6 {
+            assert_eq!(boxed.contains(&key), fixed.contains(&key), "key {key}");
+        }
+        assert_eq!(boxed.stats(), fixed.stats());
+    }
+}

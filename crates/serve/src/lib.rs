@@ -11,8 +11,15 @@
 //! 2. a **query engine** — [`KnowledgeServer`], which loads a snapshot behind
 //!    an `Arc` and answers top-k link-prediction, rank and
 //!    triplet-classification queries through the workspace's batched scoring
-//!    fast paths, fronted by a version-invalidated LRU result cache and
-//!    fanned out over the existing worker pool for batch traffic.
+//!    fast paths, fronted by a version-invalidated, hash-**sharded** result
+//!    cache with a pluggable eviction policy ([`PolicyKind`]: LRU, SLRU,
+//!    LFU, LFUDA — selected from trace-driven simulation, see [`policy`])
+//!    and fanned out over the existing worker pool for batch traffic. The
+//!    cache-miss path selects its top-k via an O(|E| + k log k) partial
+//!    selection kernel (`nscaching_math::top_k_indices_into`) instead of a
+//!    full sort; an optional score cache memoises scalar triple scores,
+//!    **including typed negative answers**, for classification-heavy
+//!    traffic ([`CacheConfig::score_capacity`]).
 //!
 //! # On-disk format
 //!
@@ -64,19 +71,30 @@
 //! captured under the same lock the answer was computed under. Any model
 //! mutation bumps at least one table version, any reload bumps the
 //! generation; a lookup whose entry stamp mismatches drops the entry and
-//! recomputes. See [`server`] for the full reasoning.
+//! recomputes. The stamp lives in the cached *values*, so neither the
+//! eviction policy nor the shard count can affect the staleness guarantee —
+//! `tests/policy_invariants.rs` re-proves it for every [`PolicyKind`] at
+//! 1 and 4 shards, score cache included. See [`server`] for the full
+//! reasoning and [`sharded`] for what hash-splitting does (and provably
+//! does not) change.
 
+pub mod cache;
 pub mod error;
 pub mod format;
-pub mod lru;
+pub mod policy;
 pub mod server;
+pub mod sharded;
 pub mod snapshot;
 
+pub use cache::{CacheStats, LruCache, PolicyCache};
 pub use error::SnapshotError;
-pub use lru::{CacheStats, LruCache};
-pub use server::{
-    BatchScratch, KnowledgeServer, QueryError, QueryScratch, RankedEntity, TopKQuery,
+pub use policy::{
+    EvictionPolicy, LfuPolicy, LfudaPolicy, LruPolicy, PolicyInit, PolicyKind, SlruPolicy,
 };
+pub use server::{
+    BatchScratch, CacheConfig, KnowledgeServer, QueryError, QueryScratch, RankedEntity, TopKQuery,
+};
+pub use sharded::ShardedCache;
 pub use snapshot::{
     load_checkpoint, load_model, resume_trainer, save_checkpoint, save_model, Checkpoint,
     CheckpointMeta, ModelSnapshot, TableData,

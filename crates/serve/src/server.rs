@@ -25,29 +25,46 @@
 //!
 //! # Cache contract
 //!
-//! Top-k answers are memoised in a capacity-bounded LRU keyed by the full
-//! query `(relation, entity, direction, k)`. Every entry is stamped with the
-//! server's *model stamp* — a mix of a load generation counter and the sum of
-//! every `EmbeddingTable::version()` — captured **under the same model lock
-//! the answer was computed under**. Mutations go through
-//! [`KnowledgeServer::update_model`] / [`KnowledgeServer::reload`], which
-//! hold the write lock while they bump table versions and refresh the stamp;
-//! a later lookup whose entry stamp no longer matches treats the entry as
-//! dead, drops it, and recomputes. A stale answer can therefore never be
-//! served: the stamp an entry carries is provably the stamp of the tables it
-//! was computed from.
+//! Top-k answers are memoised in a capacity-bounded, hash-**sharded**,
+//! policy-**pluggable** cache ([`ShardedCache`]) keyed by the full query
+//! `(relation, entity, direction, k)`; [`CacheConfig`] picks the eviction
+//! policy ([`PolicyKind`]: LRU / SLRU / LFU / LFUDA — see [`crate::policy`]
+//! for the simulator-driven selection guidance) and the shard count. Every
+//! entry is stamped with the server's *model stamp* — a mix of a load
+//! generation counter and the sum of every `EmbeddingTable::version()` —
+//! captured **under the same model lock the answer was computed under**.
+//! Mutations go through [`KnowledgeServer::update_model`] /
+//! [`KnowledgeServer::reload`], which hold the write lock while they bump
+//! table versions and refresh the stamp; a later lookup whose entry stamp no
+//! longer matches treats the entry as dead, drops it, and recomputes. A
+//! stale answer can therefore never be served, **whatever the policy or
+//! shard count**: the stamp lives in the entry, not in the cache structure,
+//! so neither the eviction order nor the shard split can detach an answer
+//! from the tables it was computed from (re-proven for every policy × shard
+//! combination in `tests/policy_invariants.rs`).
+//!
+//! Classification-heavy traffic gets the same treatment through an optional
+//! **score cache** ([`CacheConfig::score_capacity`]): scalar triple scores
+//! are memoised under the same stamp scheme, *including typed
+//! [`QueryError`]s* — negative caching, so a hot malformed triple (a bad id
+//! replayed by a buggy client across a batch) is answered from the cache
+//! instead of re-validating against the model on every slot.
 //!
 //! # Threading
 //!
-//! The server is `Sync` and cheap to clone (`Arc` inside); concurrent callers
-//! share the model under a read lock and the cache under a mutex.
+//! The server is `Sync` and cheap to clone (`Arc` inside); concurrent
+//! callers share the model under a read lock and the caches under per-shard
+//! mutexes — with `shards > 1`, queries for different keys no longer
+//! serialise on one cache lock.
 //! [`KnowledgeServer::top_k_batch`] / [`KnowledgeServer::score_batch`] fan a
 //! query set out across an existing [`WorkerPool`] in contiguous chunks, one
 //! per worker, each worker reusing its own scratch from the caller's
 //! [`BatchScratch`].
 
+use crate::cache::CacheStats;
 use crate::error::SnapshotError;
-use crate::lru::{CacheStats, LruCache};
+use crate::policy::PolicyKind;
+use crate::sharded::ShardedCache;
 use crate::snapshot::load_model;
 use nscaching_kg::{CorruptionSide, EntityId, RelationId, Triple};
 use nscaching_math::{rank_contenders_into, split_seed, top_k_indices_into};
@@ -55,7 +72,7 @@ use nscaching_models::{KgeModel, ModelKind};
 use nscaching_train::WorkerPool;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
 /// One top-k link-prediction query: the `k` best candidates for the open
 /// slot of `(entity, relation)` in the given direction.
@@ -213,9 +230,107 @@ struct CachedAnswer {
     answer: Arc<[RankedEntity]>,
 }
 
+/// A cached scalar score — positive (`Ok`) or **negative** (`Err`, a typed
+/// rejection) — plus the model stamp it was computed under.
+#[derive(Debug, Clone)]
+struct CachedScore {
+    stamp: u64,
+    result: Result<f64, QueryError>,
+}
+
+impl Default for CachedScore {
+    fn default() -> Self {
+        Self {
+            stamp: 0,
+            result: Ok(0.0),
+        }
+    }
+}
+
+/// Serving-cache configuration: how many answers to hold, under which
+/// eviction policy, split over how many shards, and whether to memoise
+/// scalar scores too.
+///
+/// `Default` is the **simulator's pick**: the `cache_sim` bench (section
+/// `cache_sim` of `BENCH_serve.json`) replays Zipf / scan / shifting
+/// -popularity traces through every [`PolicyKind`], and SLRU posts the
+/// highest minimum and mean hit rate across all three shapes — within
+/// ~0.2 pp of the per-trace winner on the stationary-Zipf and scan traces
+/// and ~1 pp on popularity drift, with none of the catastrophic cases
+/// (plain LFU collapses ~13 pp on drift, plain LRU gives up ~4 pp to scan
+/// pollution). The legacy [`KnowledgeServer::new`] constructor instead
+/// pins `{policy: Lru, shards: 1}` — bit-compatible with the pre-policy
+/// serving cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total cached top-k answers across all shards (0 disables caching).
+    pub capacity: usize,
+    /// Eviction policy every shard runs.
+    pub policy: PolicyKind,
+    /// Independent policy instances behind per-shard locks (clamped ≥ 1).
+    pub shards: usize,
+    /// Capacity of the scalar score cache — positive scores *and* typed
+    /// negative entries — for classification-heavy traffic (0 disables it).
+    pub score_capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 256,
+            policy: PolicyKind::Slru,
+            shards: 1,
+            score_capacity: 0,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// The simulator-default policy at `capacity` answers.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// The pre-policy-trait cache, bit-for-bit: one LRU shard, no score
+    /// cache (what [`KnowledgeServer::new`] uses).
+    pub fn legacy_lru(capacity: usize) -> Self {
+        Self {
+            capacity,
+            policy: PolicyKind::Lru,
+            shards: 1,
+            score_capacity: 0,
+        }
+    }
+
+    /// Set the eviction policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enable the scalar score cache at `capacity` entries.
+    pub fn score_capacity(mut self, capacity: usize) -> Self {
+        self.score_capacity = capacity;
+        self
+    }
+}
+
 struct ServerInner {
     model: RwLock<Box<dyn KgeModel>>,
-    cache: Mutex<LruCache<TopKQuery, CachedAnswer>>,
+    cache: ShardedCache<TopKQuery, CachedAnswer>,
+    /// Scalar score memoisation incl. negative (typed-error) entries;
+    /// `None` when `score_capacity` is 0 so the disabled configuration adds
+    /// zero overhead to the scoring path.
+    scores: Option<ShardedCache<Triple, CachedScore>>,
     /// Current model stamp; see the module docs for the invalidation
     /// contract. Written only under the model write lock.
     stamp: AtomicU64,
@@ -232,13 +347,24 @@ pub struct KnowledgeServer {
 
 impl KnowledgeServer {
     /// Serve an already-built model with an LRU result cache of
-    /// `cache_capacity` entries (0 disables caching).
+    /// `cache_capacity` entries (0 disables caching). Bit-compatible with
+    /// the pre-policy-trait server: [`CacheConfig::legacy_lru`], i.e. one
+    /// LRU shard and no score cache.
     pub fn new(model: Box<dyn KgeModel>, cache_capacity: usize) -> Self {
+        Self::with_cache(model, CacheConfig::legacy_lru(cache_capacity))
+    }
+
+    /// Serve an already-built model with a fully specified [`CacheConfig`]
+    /// — eviction policy, shard count, and optional scalar score cache.
+    pub fn with_cache(model: Box<dyn KgeModel>, config: CacheConfig) -> Self {
         let stamp = stamp_of(model.as_ref(), 1);
+        let scores = (config.score_capacity > 0)
+            .then(|| ShardedCache::new(config.score_capacity, config.policy, config.shards));
         Self {
             inner: Arc::new(ServerInner {
                 model: RwLock::new(model),
-                cache: Mutex::new(LruCache::new(cache_capacity)),
+                cache: ShardedCache::new(config.capacity, config.policy, config.shards),
+                scores,
                 stamp: AtomicU64::new(stamp),
                 generation: AtomicU64::new(1),
             }),
@@ -248,6 +374,12 @@ impl KnowledgeServer {
     /// Load a model from a snapshot (or full checkpoint) file and serve it.
     pub fn load(path: &Path, cache_capacity: usize) -> Result<Self, SnapshotError> {
         Ok(Self::new(load_model(path)?.into_model()?, cache_capacity))
+    }
+
+    /// Load a model from a snapshot file and serve it with a fully specified
+    /// [`CacheConfig`].
+    pub fn load_with_cache(path: &Path, config: CacheConfig) -> Result<Self, SnapshotError> {
+        Ok(Self::with_cache(load_model(path)?.into_model()?, config))
     }
 
     /// Swap in a model from a snapshot file. Existing cache entries become
@@ -296,14 +428,25 @@ impl KnowledgeServer {
         self.inner.stamp.load(Ordering::Acquire)
     }
 
-    /// Cache hit/miss/eviction counters.
+    /// Result-cache hit/miss/eviction counters, aggregated across shards.
     pub fn cache_stats(&self) -> CacheStats {
-        self.inner.cache.lock().expect("cache lock").stats()
+        self.inner.cache.stats()
     }
 
-    /// Current number of cached answers.
+    /// Current number of cached answers across shards.
     pub fn cache_len(&self) -> usize {
-        self.inner.cache.lock().expect("cache lock").len()
+        self.inner.cache.len()
+    }
+
+    /// Score-cache counters, aggregated across shards; `None` when the score
+    /// cache is disabled (`score_capacity` 0).
+    pub fn score_cache_stats(&self) -> Option<CacheStats> {
+        self.inner.scores.as_ref().map(ShardedCache::stats)
+    }
+
+    /// The eviction policy every cache shard runs.
+    pub fn cache_policy(&self) -> PolicyKind {
+        self.inner.cache.policy_kind()
     }
 
     /// Answer a top-k query without touching the cache, writing the ranked
@@ -326,7 +469,7 @@ impl KnowledgeServer {
         Ok(())
     }
 
-    /// Answer a top-k query through the LRU cache: a warm hit is an `Arc`
+    /// Answer a top-k query through the result cache: a warm hit is an `Arc`
     /// clone (no scoring, no allocation); a miss computes through
     /// [`Self::top_k_into`] and caches the shared answer under the current
     /// model stamp. Out-of-range ids are rejected before the cache is
@@ -339,25 +482,22 @@ impl KnowledgeServer {
         // Hold the model read lock across lookup, compute and insert: the
         // stamp cannot move while we hold it (writers take the write lock),
         // so the entry we insert is provably stamped with the tables it was
-        // computed from. Lock order is always model → cache.
+        // computed from. Lock order is always model → shard.
         let model = self.inner.model.read().expect("model lock");
         validate_ids(model.as_ref(), query.entity, query.relation)?;
         let stamp = self.inner.stamp.load(Ordering::Acquire);
-        {
-            let mut cache = self.inner.cache.lock().expect("cache lock");
-            if let Some(entry) = cache.get(query) {
-                if entry.stamp == stamp {
-                    return Ok(Arc::clone(&entry.answer));
-                }
-                // Version-invalidated: drop the corpse so it cannot be
-                // promoted over live entries, then recompute.
-                cache.remove(query);
+        if let Some(entry) = self.inner.cache.get(query) {
+            if entry.stamp == stamp {
+                return Ok(entry.answer);
             }
+            // Version-invalidated: drop the corpse so it cannot be
+            // promoted over live entries, then recompute.
+            self.inner.cache.remove(query);
         }
         let mut ranked = Vec::with_capacity(query.k as usize);
         self.top_k_with_model(model.as_ref(), query, scratch, &mut ranked);
         let answer: Arc<[RankedEntity]> = ranked.into();
-        self.inner.cache.lock().expect("cache lock").insert(
+        self.inner.cache.insert(
             *query,
             CachedAnswer {
                 stamp,
@@ -383,12 +523,11 @@ impl KnowledgeServer {
         let model = self.inner.model.read().expect("model lock");
         validate_ids(model.as_ref(), query.entity, query.relation)?;
         let stamp = self.inner.stamp.load(Ordering::Acquire);
-        let mut cache = self.inner.cache.lock().expect("cache lock");
-        if let Some(entry) = cache.get(query) {
+        if let Some(entry) = self.inner.cache.get(query) {
             if entry.stamp == stamp {
-                return Ok(Some(Arc::clone(&entry.answer)));
+                return Ok(Some(entry.answer));
             }
-            cache.remove(query);
+            self.inner.cache.remove(query);
         }
         Ok(None)
     }
@@ -410,11 +549,35 @@ impl KnowledgeServer {
         }));
     }
 
-    /// The model score of one triple (larger = more plausible).
+    /// The model score of one triple (larger = more plausible). With a score
+    /// cache configured ([`CacheConfig::score_capacity`]), both outcomes are
+    /// memoised under the current model stamp — including the **negative**
+    /// one: a malformed triple's typed [`QueryError`] is served from cache on
+    /// repeat, so classification-heavy traffic that replays bad ids never
+    /// re-validates them.
     pub fn score(&self, triple: &Triple) -> Result<f64, QueryError> {
         let model = self.inner.model.read().expect("model lock");
-        validate_triple(model.as_ref(), triple)?;
-        Ok(model.score(triple))
+        self.score_with_model(model.as_ref(), triple)
+    }
+
+    /// Scoring body shared by [`Self::score`] and [`Self::score_batch`]:
+    /// must be called under the model read lock (so the stamp cannot move
+    /// between lookup, compute and insert).
+    fn score_with_model(&self, model: &dyn KgeModel, triple: &Triple) -> Result<f64, QueryError> {
+        let Some(scores) = &self.inner.scores else {
+            validate_triple(model, triple)?;
+            return Ok(model.score(triple));
+        };
+        let stamp = self.inner.stamp.load(Ordering::Acquire);
+        if let Some(entry) = scores.get(triple) {
+            if entry.stamp == stamp {
+                return entry.result;
+            }
+            scores.remove(triple);
+        }
+        let result = validate_triple(model, triple).map(|()| model.score(triple));
+        scores.insert(*triple, CachedScore { stamp, result });
+        result
     }
 
     /// Triplet classification against a caller-tuned threshold.
@@ -499,8 +662,7 @@ impl KnowledgeServer {
                 let job = Box::new(move || {
                     let model = server.inner.model.read().expect("model lock");
                     for (triple, slot) in triples.iter().zip(slots) {
-                        *slot =
-                            validate_triple(model.as_ref(), triple).map(|()| model.score(triple));
+                        *slot = server.score_with_model(model.as_ref(), triple);
                     }
                 }) as Box<dyn FnOnce() + Send + '_>;
                 (worker, job)
@@ -542,11 +704,10 @@ mod tests {
                 }
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap()
-                .then(a.entity.cmp(&b.entity))
+        // Same total order as the production kernel: NaN-tolerant
+        // descending score, ties toward the lower entity id.
+        scored.sort_unstable_by(|a, b| {
+            nscaching_math::cmp_desc(a.score, b.score).then(a.entity.cmp(&b.entity))
         });
         scored.truncate(query.k as usize);
         scored
@@ -771,5 +932,78 @@ mod tests {
         let b = clone.top_k(&query, &mut scratch).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "clone hits the shared cache");
         assert_eq!(clone.cache_stats().hits, 1);
+    }
+
+    fn server_with_cache(kind: ModelKind, config: CacheConfig) -> KnowledgeServer {
+        let model = build_model(&ModelConfig::new(kind).with_dim(8).with_seed(5), 40, 6);
+        KnowledgeServer::with_cache(model, config)
+    }
+
+    #[test]
+    fn every_policy_and_shard_count_answers_identically() {
+        let mut scratch = QueryScratch::default();
+        let mut oracle = Vec::new();
+        let baseline = server(ModelKind::DistMult, 0);
+        for policy in PolicyKind::ALL {
+            for shards in [1, 4] {
+                let server = server_with_cache(
+                    ModelKind::DistMult,
+                    CacheConfig::with_capacity(32).policy(policy).shards(shards),
+                );
+                assert_eq!(server.cache_policy(), policy);
+                for query in [TopKQuery::tails(2, 3, 5), TopKQuery::heads(9, 1, 4)] {
+                    baseline
+                        .top_k_into(&query, &mut scratch, &mut oracle)
+                        .unwrap();
+                    let cold = server.top_k(&query, &mut scratch).unwrap();
+                    let warm = server.top_k(&query, &mut scratch).unwrap();
+                    assert_eq!(&*cold, oracle.as_slice(), "{policy:?}/{shards}");
+                    assert!(Arc::ptr_eq(&cold, &warm), "{policy:?}/{shards} warm hit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_cache_memoises_positive_and_negative_answers() {
+        let server = server_with_cache(
+            ModelKind::TransE,
+            CacheConfig::with_capacity(16).score_capacity(64),
+        );
+        let good = Triple::new(1, 2, 3);
+        let bad = Triple::new(1, 2, server.num_entities() as u32);
+        let first = server.score(&good).unwrap();
+        assert_eq!(server.score(&good).unwrap(), first);
+        let rejection = server.score(&bad).unwrap_err();
+        assert_eq!(
+            server.score(&bad).unwrap_err(),
+            rejection,
+            "the typed rejection is replayed from the negative cache"
+        );
+        let stats = server.score_cache_stats().expect("score cache enabled");
+        assert_eq!(stats.hits, 2, "one warm positive + one warm negative");
+        assert_eq!(stats.misses, 2);
+
+        // Disabled configuration exposes no stats and still answers.
+        let plain = server_with_cache(ModelKind::TransE, CacheConfig::legacy_lru(16));
+        assert!(plain.score_cache_stats().is_none());
+        assert_eq!(plain.score(&good).unwrap(), first);
+    }
+
+    #[test]
+    fn score_cache_entries_die_with_the_model_stamp() {
+        let server = server_with_cache(
+            ModelKind::DistMult,
+            CacheConfig::with_capacity(16).score_capacity(64),
+        );
+        let triple = Triple::new(4, 1, 7);
+        let before = server.score(&triple).unwrap();
+        assert_eq!(server.score(&triple).unwrap(), before, "warm hit");
+        server.update_model(|model| {
+            model.tables_mut()[0].row_mut(4)[0] += 2.0;
+        });
+        let after = server.score(&triple).unwrap();
+        assert_ne!(before, after, "stale score must be recomputed, not served");
+        assert_eq!(server.score(&triple).unwrap(), after);
     }
 }

@@ -1,0 +1,399 @@
+//! Property tests for the pluggable eviction policies and their serving
+//! integration.
+//!
+//! Two layers, mirroring `lru_invariants.rs`:
+//!
+//! 1. Every [`PolicyKind`] (through `PolicyCache`) against a brute-force
+//!    reference model under random insert/get/remove churn. The references
+//!    re-state each policy's *specification* in the dumbest possible terms —
+//!    linear scans over `(key, freq, priority, last-touch)` tuples — so a
+//!    divergence means the intrusive-list implementation broke the spec, not
+//!    that two copies of the same code agree with each other.
+//! 2. [`KnowledgeServer`] staleness under interleaved queries, scores and
+//!    model updates, for **every policy at 1 and 4 shards**: no combination
+//!    of eviction policy and shard count may ever serve an answer computed
+//!    against retired model tables. A cacheless twin server receiving the
+//!    identical update stream provides the ground truth for the score cache
+//!    (including its negative entries).
+
+// The vendored proptest macro is expansion-hungry at this op-tuple width.
+#![recursion_limit = "512"]
+
+use nscaching_kg::Triple;
+use nscaching_models::{build_model, ModelConfig, ModelKind};
+use nscaching_serve::{
+    CacheConfig, EvictionPolicy, KnowledgeServer, PolicyCache, PolicyKind, QueryScratch, TopKQuery,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Brute-force reference models
+// ---------------------------------------------------------------------------
+
+/// One live key in a reference model, with every book any policy needs.
+#[derive(Debug, Clone, Copy)]
+struct RefEntry {
+    key: u32,
+    value: u64,
+    /// Access count (LFU/LFUDA).
+    freq: u64,
+    /// LFUDA priority (`age-at-last-access + freq`).
+    priority: u64,
+    /// Monotone stamp of the last bucket (re-)attachment — the LRU
+    /// tie-breaker inside a frequency/priority bucket.
+    touch: u64,
+    /// SLRU segment flag.
+    protected: bool,
+}
+
+/// A reference cache: the policy specification executed by linear scans.
+struct RefCache {
+    kind: PolicyKind,
+    entries: Vec<RefEntry>,
+    capacity: usize,
+    /// SLRU protected-segment cap (⌈4/5⌉ of capacity, as implemented).
+    protected_capacity: usize,
+    /// LFUDA aging factor.
+    age: u64,
+    /// Monotone event clock.
+    clock: u64,
+}
+
+impl RefCache {
+    fn new(kind: PolicyKind, capacity: usize) -> Self {
+        Self {
+            kind,
+            entries: Vec::new(),
+            capacity,
+            protected_capacity: capacity * 4 / 5,
+            age: 0,
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn position(&self, key: u32) -> Option<usize> {
+        self.entries.iter().position(|e| e.key == key)
+    }
+
+    /// The specification of each policy's victim, as a linear argmin.
+    fn victim_index(&self) -> usize {
+        let candidates: Box<dyn Iterator<Item = (usize, &RefEntry)>> = match self.kind {
+            // SLRU victimises probation first; only an all-protected cache
+            // falls back to the protected list.
+            PolicyKind::Slru if self.entries.iter().any(|e| !e.protected) => Box::new(
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| !e.protected),
+            ),
+            _ => Box::new(self.entries.iter().enumerate()),
+        };
+        let (index, _) = candidates
+            .min_by_key(|(_, e)| match self.kind {
+                // Recency only: the least recently touched.
+                PolicyKind::Lru | PolicyKind::Slru => (0, e.touch),
+                // Least frequent, least recently touched within the tie.
+                PolicyKind::Lfu => (e.freq, e.touch),
+                // Least priority, least recently touched within the tie.
+                PolicyKind::Lfuda => (e.priority, e.touch),
+            })
+            .expect("victim on an empty reference cache");
+        index
+    }
+
+    /// The access bookkeeping shared by `get`-hit and replace-`insert`.
+    fn on_hit(&mut self, index: usize) {
+        let touch = self.tick();
+        let age = self.age;
+        let entry = &mut self.entries[index];
+        entry.freq += 1;
+        entry.priority = age + entry.freq;
+        entry.touch = touch;
+        if self.kind == PolicyKind::Slru {
+            self.entries[index].protected = true;
+            let protected = self.entries.iter().filter(|e| e.protected).count();
+            if protected > self.protected_capacity {
+                // Demote the least recently touched protected entry; it
+                // re-enters probation at the most-recent position. (With a
+                // zero protected capacity the just-promoted entry is its own
+                // demotion victim, exactly like the real policy's
+                // attach-then-demote sequence.)
+                let touch = self.tick();
+                let demoted = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.protected)
+                    .min_by_key(|(_, e)| e.touch)
+                    .map(|(i, _)| i)
+                    .expect("overflowing protected segment is non-empty");
+                self.entries[demoted].protected = false;
+                self.entries[demoted].touch = touch;
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u32, value: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(index) = self.position(key) {
+            self.entries[index].value = value;
+            self.on_hit(index);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let victim = self.victim_index();
+            if self.kind == PolicyKind::Lfuda {
+                self.age = self.entries[victim].priority;
+            }
+            self.entries.swap_remove(victim);
+        }
+        let touch = self.tick();
+        self.entries.push(RefEntry {
+            key,
+            value,
+            freq: 1,
+            priority: self.age + 1,
+            touch,
+            protected: false,
+        });
+    }
+
+    fn get(&mut self, key: u32) -> Option<u64> {
+        let index = self.position(key)?;
+        let value = self.entries[index].value;
+        self.on_hit(index);
+        Some(value)
+    }
+
+    fn remove(&mut self, key: u32) -> Option<u64> {
+        let index = self.position(key)?;
+        Some(self.entries.swap_remove(index).value)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+fn policy_cache(
+    kind: PolicyKind,
+    capacity: usize,
+) -> PolicyCache<u32, u64, Box<dyn EvictionPolicy + Send>> {
+    PolicyCache::with_policy(capacity, kind.build(capacity))
+}
+
+/// Body of the churn proptest (a plain fn keeps the macro expansion small —
+/// the vendored `proptest!` tt-munches its body and hits the recursion limit
+/// on large ones).
+fn churn_case(
+    kind: PolicyKind,
+    capacity: usize,
+    ops: Vec<(u32, u32, u64)>,
+) -> Result<(), TestCaseError> {
+    let mut real = policy_cache(kind, capacity);
+    let mut model = RefCache::new(kind, capacity);
+    for (op, key, value) in ops {
+        match op {
+            // Inserts dominate the mix so eviction churn actually happens.
+            0 | 1 => {
+                real.insert(key, value);
+                model.insert(key, value);
+            }
+            2 => {
+                prop_assert_eq!(real.get(&key).copied(), model.get(key));
+            }
+            _ => {
+                prop_assert_eq!(real.remove(&key), model.remove(key));
+            }
+        }
+        // Capacity is a hard bound at every step, not just at the end.
+        prop_assert!(real.len() <= capacity);
+        prop_assert_eq!(real.len(), model.len());
+    }
+    // Final sweep: both caches hold exactly the same key set — every key
+    // the reference evicted is really gone, every live key really lives.
+    // `contains` does not touch the policy books, so the walk order
+    // cannot perturb the comparison.
+    for key in 0..24u32 {
+        let live = model.position(key).is_some();
+        prop_assert_eq!(real.contains(&key), live);
+    }
+    // And value-for-value (promoting identically on both sides).
+    for key in 0..24u32 {
+        prop_assert_eq!(real.get(&key).copied(), model.get(key));
+    }
+    Ok(())
+}
+
+/// Body of the LFU regression proptest: statically dispatched `LfuPolicy`
+/// (the exact type the `LruCache` alias family uses) against the same
+/// reference — the cache-rs empty-bucket bug would surface here as a wrong
+/// victim after heavy hit churn.
+fn lfu_churn_case(capacity: usize, ops: Vec<(u32, u32)>) -> Result<(), TestCaseError> {
+    use nscaching_serve::LfuPolicy;
+    let mut cache: PolicyCache<u32, u64, LfuPolicy> = PolicyCache::new(capacity);
+    let mut model = RefCache::new(PolicyKind::Lfu, capacity);
+    for (op, key) in ops {
+        match op {
+            0 | 1 => {
+                cache.insert(key, key as u64);
+                model.insert(key, key as u64);
+            }
+            2 => {
+                prop_assert_eq!(cache.get(&key).copied(), model.get(key));
+            }
+            _ => {
+                prop_assert_eq!(cache.remove(&key), model.remove(key));
+            }
+        }
+        prop_assert_eq!(cache.len(), model.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_policy_matches_its_reference_model_under_churn(
+        policy_index in 0usize..4,
+        capacity in 0usize..10,
+        ops in prop::collection::vec((0u32..4, 0u32..24, 0u64..1000), 1..200),
+    ) {
+        churn_case(PolicyKind::ALL[policy_index], capacity, ops)?;
+    }
+
+    #[test]
+    fn lfu_books_stay_tight_under_churn(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u32..4, 0u32..12), 1..300),
+    ) {
+        lfu_churn_case(capacity, ops)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving staleness across every policy × shard count
+// ---------------------------------------------------------------------------
+
+fn serving_engine(config: CacheConfig) -> KnowledgeServer {
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(8)
+            .with_seed(17),
+        24,
+        4,
+    );
+    KnowledgeServer::with_cache(model, config)
+}
+
+/// Body of the staleness proptest: a cached server (the given policy and
+/// shard count, score cache on) against a cacheless twin fed the identical
+/// update stream — the twin's answers are the ground truth the cached server
+/// must match bit-for-bit at every step.
+fn staleness_case(
+    policy: PolicyKind,
+    shards: usize,
+    ops: Vec<(u32, u32, u32, u32)>,
+) -> Result<(), TestCaseError> {
+    let server = serving_engine(
+        CacheConfig::with_capacity(16)
+            .policy(policy)
+            .shards(shards)
+            .score_capacity(32),
+    );
+    let plain = serving_engine(CacheConfig {
+        capacity: 0,
+        score_capacity: 0,
+        ..CacheConfig::default()
+    });
+    let mut scratch = QueryScratch::default();
+    let mut fresh = Vec::new();
+    let mut update_seed = 0u64;
+    for (op, entity, relation, k) in ops {
+        match op {
+            0 => {
+                // Mutate one embedding row on both servers; the stamp
+                // bump must retire every cached answer and score.
+                update_seed += 1;
+                let row = (update_seed % 4) as usize;
+                let bump = 0.25 + update_seed as f64 * 1e-3;
+                for engine in [&server, &plain] {
+                    engine.update_model(|model| {
+                        for table in model.tables_mut() {
+                            for v in table.row_mut(row) {
+                                *v += bump;
+                            }
+                        }
+                    });
+                }
+            }
+            1 => {
+                // Score probe, including out-of-range tails so the
+                // negative cache is exercised: a memoised rejection must
+                // also die with the stamp.
+                let tail = entity * 2 % 26; // 24, 25 are out of range
+                let triple = Triple::new(entity, relation, tail);
+                let cached = server.score(&triple);
+                let truth = plain.score(&triple);
+                match (cached, truth) {
+                    (Ok(c), Ok(t)) => prop_assert_eq!(c.to_bits(), t.to_bits()),
+                    (c, t) => prop_assert_eq!(c, t),
+                }
+            }
+            op => {
+                let query = if op % 2 == 1 {
+                    TopKQuery::heads(entity, relation, k)
+                } else {
+                    TopKQuery::tails(entity, relation, k)
+                };
+                // The cache-only peek must agree with the full path
+                // *before* the full path repopulates this exact entry.
+                let peeked = server.top_k_cached(&query).unwrap();
+                let answer = server.top_k(&query, &mut scratch).unwrap();
+                plain.top_k_into(&query, &mut scratch, &mut fresh).unwrap();
+                prop_assert_eq!(answer.len(), fresh.len());
+                for (cached, computed) in answer.iter().zip(&fresh) {
+                    prop_assert_eq!(cached.entity, computed.entity);
+                    prop_assert_eq!(cached.score.to_bits(), computed.score.to_bits());
+                }
+                if let Some(peeked) = peeked {
+                    prop_assert_eq!(peeked.len(), fresh.len());
+                    for (p, computed) in peeked.iter().zip(&fresh) {
+                        prop_assert_eq!(p.entity, computed.entity);
+                        // A mismatch here means the peek served stale.
+                        prop_assert_eq!(p.score.to_bits(), computed.score.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_policy_or_shard_count_ever_serves_a_stale_answer(
+        policy_index in 0usize..4,
+        four_shards in any::<bool>(),
+        ops in prop::collection::vec(
+            // op 0 = model update, op 1 = score probe; otherwise a top-k
+            // query whose parity picks the corruption side (the vendored
+            // proptest caps tuples at 4 slots).
+            (0u32..8, 0u32..24, 0u32..4, 1u32..6),
+            1..50,
+        ),
+    ) {
+        let shards = if four_shards { 4 } else { 1 };
+        staleness_case(PolicyKind::ALL[policy_index], shards, ops)?;
+    }
+}
