@@ -225,6 +225,18 @@ fn checkpoint_file_name(label: &str, kind: ModelKind, dataset: &BenchDataset) ->
     )
 }
 
+/// The per-run *managed* checkpoint directory (a
+/// [`CheckpointManager`](nscaching_serve::CheckpointManager) home): the same
+/// naming scheme as the legacy flat file, with a `.ckpts` directory suffix.
+fn run_dir_name(label: &str, kind: ModelKind, dataset: &BenchDataset) -> String {
+    format!("{}s", checkpoint_file_name(label, kind, dataset))
+}
+
+/// Checkpoints a managed run keeps around: the newest plus one fallback, so
+/// a save torn by a crash (or bit rot on the newest file) still leaves a
+/// valid last-good checkpoint to resume from.
+const CHECKPOINT_KEEP: usize = 2;
+
 /// Resolve where this run's checkpoint lives for `--resume`: a directory
 /// resolves through the per-run naming scheme, a file is taken verbatim.
 fn resume_path(
@@ -252,17 +264,66 @@ enum ResumeOutcome {
     Disabled,
     /// No checkpoint file exists at the resolved path (normal cold start).
     NoCheckpoint(std::path::PathBuf),
-    /// A matching checkpoint resumed the run.
-    Resumed(Box<Trainer>),
-    /// A checkpoint file exists but is unusable; the typed error says why.
+    /// A matching checkpoint resumed the run. `fallbacks` lists newer files
+    /// that failed validation and were quarantined on the way to it —
+    /// non-empty means the newest checkpoint was corrupt and the manager
+    /// fell back to the next-newest valid one.
+    Resumed {
+        trainer: Box<Trainer>,
+        path: std::path::PathBuf,
+        fallbacks: Vec<(
+            std::path::PathBuf,
+            std::path::PathBuf,
+            nscaching_serve::SnapshotError,
+        )>,
+    },
+    /// A checkpoint file exists but is unusable (and no valid fallback
+    /// remains); the typed error says why.
     Unusable {
         path: std::path::PathBuf,
         error: nscaching_serve::SnapshotError,
     },
 }
 
+/// Validate a decoded checkpoint against the run's shape and resume it.
+fn resume_attempt(
+    checkpoint: nscaching_serve::Checkpoint,
+    dataset: &BenchDataset,
+    kind: ModelKind,
+    sampler: &SamplerConfig,
+    settings: &ExperimentSettings,
+    train_config: &TrainConfig,
+) -> Result<Trainer, nscaching_serve::SnapshotError> {
+    if checkpoint.model.kind != kind
+        || checkpoint.model.dim != settings.dim
+        || checkpoint.model.num_entities != dataset.num_entities()
+        || checkpoint.model.num_relations != dataset.num_relations()
+    {
+        return Err(nscaching_serve::SnapshotError::SchemaMismatch(format!(
+            "checkpoint holds {:?} d={} |E|={} |R|={}, run wants {:?} d={} |E|={} |R|={}",
+            checkpoint.model.kind,
+            checkpoint.model.dim,
+            checkpoint.model.num_entities,
+            checkpoint.model.num_relations,
+            kind,
+            settings.dim,
+            dataset.num_entities(),
+            dataset.num_relations()
+        )));
+    }
+    let sampler =
+        nscaching::build_sampler(sampler, dataset.dataset(), settings.seed.wrapping_add(2));
+    nscaching_serve::resume_trainer(checkpoint, sampler, dataset.data(), train_config.clone())
+}
+
 /// Attempt to resume this run from `--resume` (no I/O to stderr — see
-/// [`try_resume`] for the reporting policy).
+/// [`try_resume`] for the reporting policy; quarantine renames inside a
+/// managed directory are the one filesystem mutation).
+///
+/// A managed per-run directory (written by `--checkpoint-every`) resolves
+/// through [`nscaching_serve::CheckpointManager::recover`]: a corrupt newest
+/// checkpoint is quarantined and the next-newest valid one resumes the run.
+/// A bare file path, or a legacy flat checkpoint file, is loaded verbatim.
 fn resume_outcome(
     dataset: &BenchDataset,
     kind: ModelKind,
@@ -274,46 +335,113 @@ fn resume_outcome(
     let Some(resume) = settings.resume.as_deref() else {
         return ResumeOutcome::Disabled;
     };
+
+    // Managed layout first: <resume>/<run>.ckpts/ckpt-<seq>.ckpt.
+    let managed = resume.join(run_dir_name(label, kind, dataset));
+    if resume.is_dir() && managed.is_dir() {
+        return resume_from_managed(&managed, dataset, kind, sampler, settings, train_config);
+    }
+
+    // Legacy flat file (or an explicit --resume <file>).
     let path = resume_path(resume, label, kind, dataset);
     if !path.exists() {
         return ResumeOutcome::NoCheckpoint(path);
     }
     let attempt = nscaching_serve::load_checkpoint(&path).and_then(|checkpoint| {
-        if checkpoint.model.kind != kind
-            || checkpoint.model.dim != settings.dim
-            || checkpoint.model.num_entities != dataset.num_entities()
-            || checkpoint.model.num_relations != dataset.num_relations()
-        {
-            return Err(nscaching_serve::SnapshotError::SchemaMismatch(format!(
-                "checkpoint holds {:?} d={} |E|={} |R|={}, run wants {:?} d={} |E|={} |R|={}",
-                checkpoint.model.kind,
-                checkpoint.model.dim,
-                checkpoint.model.num_entities,
-                checkpoint.model.num_relations,
-                kind,
-                settings.dim,
-                dataset.num_entities(),
-                dataset.num_relations()
-            )));
-        }
-        let sampler =
-            nscaching::build_sampler(sampler, dataset.dataset(), settings.seed.wrapping_add(2));
-        nscaching_serve::resume_trainer(checkpoint, sampler, dataset.data(), train_config.clone())
+        resume_attempt(checkpoint, dataset, kind, sampler, settings, train_config)
     });
     match attempt {
-        Ok(trainer) => ResumeOutcome::Resumed(Box::new(trainer)),
+        Ok(trainer) => ResumeOutcome::Resumed {
+            trainer: Box::new(trainer),
+            path,
+            fallbacks: Vec::new(),
+        },
         Err(error) => ResumeOutcome::Unusable { path, error },
+    }
+}
+
+/// Resume from a managed checkpoint directory via last-good recovery.
+fn resume_from_managed(
+    managed: &std::path::Path,
+    dataset: &BenchDataset,
+    kind: ModelKind,
+    sampler: &SamplerConfig,
+    settings: &ExperimentSettings,
+    train_config: &TrainConfig,
+) -> ResumeOutcome {
+    let manager = match nscaching_serve::CheckpointManager::new(managed, CHECKPOINT_KEEP) {
+        Ok(manager) => manager,
+        Err(error) => {
+            return ResumeOutcome::Unusable {
+                path: managed.to_path_buf(),
+                error,
+            }
+        }
+    };
+    // Read-only verdicts first, so an all-corrupt directory can still report
+    // the newest file's typed error after recovery quarantines everything.
+    let verified = match manager.list_verified() {
+        Ok(verified) => verified,
+        Err(error) => {
+            return ResumeOutcome::Unusable {
+                path: managed.to_path_buf(),
+                error,
+            }
+        }
+    };
+    if verified.is_empty() {
+        return ResumeOutcome::NoCheckpoint(managed.to_path_buf());
+    }
+    match manager.recover() {
+        Err(error) => ResumeOutcome::Unusable {
+            path: managed.to_path_buf(),
+            error,
+        },
+        Ok(None) => {
+            // Everything failed validation. Report the newest file's verdict
+            // (frame-valid files that fail the section decode fall back to a
+            // generic corruption error).
+            let (entry, verdict) = verified.into_iter().next().expect("non-empty");
+            ResumeOutcome::Unusable {
+                path: entry.path,
+                error: verdict.err().unwrap_or_else(|| {
+                    nscaching_serve::SnapshotError::Corrupt(
+                        "frame verifies but the section decode fails".into(),
+                    )
+                }),
+            }
+        }
+        Ok(Some(recovery)) => {
+            let path = recovery.path;
+            match resume_attempt(
+                recovery.checkpoint,
+                dataset,
+                kind,
+                sampler,
+                settings,
+                train_config,
+            ) {
+                Ok(trainer) => ResumeOutcome::Resumed {
+                    trainer: Box::new(trainer),
+                    path,
+                    fallbacks: recovery.quarantined,
+                },
+                Err(error) => ResumeOutcome::Unusable { path, error },
+            }
+        }
     }
 }
 
 /// Try to resume this run from `--resume`. Any failure falls back to a fresh
 /// run — resumption is an optimisation, never a correctness requirement —
-/// but the two failure modes report differently on stderr: a missing
-/// checkpoint is a routine cold start (one informational line), while an
-/// unusable checkpoint (corrupt, truncated, schema drift) is surfaced as a
-/// warning carrying the typed [`nscaching_serve::SnapshotError`]. A
-/// *matching* checkpoint continues the interrupted trajectory bit-for-bit
-/// (see `nscaching_serve`).
+/// but the failure modes report differently on stderr: a missing checkpoint
+/// is a routine cold start (one informational line); a corrupt newest
+/// checkpoint in a managed directory WARNs with both paths (the quarantined
+/// file and the next-newest valid one that actually resumed the run); an
+/// unusable checkpoint with no fallback left is surfaced as a warning
+/// carrying the typed [`nscaching_serve::SnapshotError`]. A *matching*
+/// checkpoint continues the interrupted trajectory bit-for-bit (see
+/// `nscaching_serve`).
 fn try_resume(
     dataset: &BenchDataset,
     kind: ModelKind,
@@ -328,9 +456,19 @@ fn try_resume(
             eprintln!("[{label}] no checkpoint at {path:?}; starting fresh");
             None
         }
-        ResumeOutcome::Resumed(trainer) => {
+        ResumeOutcome::Resumed {
+            trainer,
+            path,
+            fallbacks,
+        } => {
+            for (from, to, error) in &fallbacks {
+                eprintln!(
+                    "[{label}] WARNING: checkpoint {from:?} failed validation ({error}); \
+                     quarantined to {to:?}, falling back to {path:?}"
+                );
+            }
             eprintln!(
-                "[{label}] resumed from checkpoint at epoch {}",
+                "[{label}] resumed from checkpoint {path:?} at epoch {}",
                 trainer.epochs_done()
             );
             Some(*trainer)
@@ -405,19 +543,28 @@ pub fn train_with_sampler(
         };
 
     if settings.checkpoint_every > 0 {
-        let dir = settings.checkpoint_dir();
-        if let Err(e) = std::fs::create_dir_all(&dir) {
-            eprintln!("[{label}] cannot create checkpoint dir {dir:?}: {e}");
-        }
-        let path = dir.join(checkpoint_file_name(&label, kind, dataset));
+        let run_dir = settings
+            .checkpoint_dir()
+            .join(run_dir_name(&label, kind, dataset));
         let every = settings.checkpoint_every;
-        trainer.run_with(&mut |t| {
-            if t.epochs_done() % every == 0 {
-                if let Err(e) = nscaching_serve::save_checkpoint(&path, t) {
-                    eprintln!("[{label}] checkpoint to {path:?} failed: {e}");
-                }
+        match nscaching_serve::CheckpointManager::new(&run_dir, CHECKPOINT_KEEP) {
+            Ok(manager) => {
+                trainer.run_with(&mut |t| {
+                    if t.epochs_done() % every == 0 {
+                        if let Err(e) = manager.save(t) {
+                            eprintln!("[{label}] checkpoint to {run_dir:?} failed: {e}");
+                        }
+                    }
+                });
             }
-        });
+            Err(e) => {
+                eprintln!(
+                    "[{label}] cannot open checkpoint dir {run_dir:?}: {e}; \
+                     running without checkpoints"
+                );
+                trainer.run();
+            }
+        }
     } else {
         trainer.run();
     }
@@ -554,8 +701,12 @@ mod tests {
             &short,
             0,
         );
-        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
-        assert_eq!(files.len(), 1, "one per-run checkpoint file");
+        // Per-epoch saves land in a managed per-run directory; with
+        // CHECKPOINT_KEEP = 2 both epoch checkpoints are retained.
+        let run_dir = dir.join(run_dir_name("ckpt-test", ModelKind::TransE, &dataset));
+        let manager = nscaching_serve::CheckpointManager::new(&run_dir, CHECKPOINT_KEEP).unwrap();
+        let entries = manager.entries().unwrap();
+        assert_eq!(entries.len(), 2, "both epoch checkpoints retained");
 
         // Resume the interrupted run to the full budget.
         settings.resume = Some(dir.clone());
@@ -578,6 +729,39 @@ mod tests {
             resumed.report.combined.mrr.to_bits(),
             reference.report.combined.mrr.to_bits(),
             "resumed grid run must land on the uninterrupted metrics"
+        );
+
+        // Corrupt the *newest* checkpoint: resume must quarantine it, fall
+        // back to the next-newest valid one (epoch 1), rerun the remaining
+        // two epochs and still land on the uninterrupted metrics.
+        let newest = &entries[0].path;
+        let mut bytes = std::fs::read(newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(newest, &bytes).unwrap();
+        let fallback = train_with_sampler(
+            &dataset,
+            ModelKind::TransE,
+            SamplerConfig::Bernoulli,
+            "ckpt-test".into(),
+            0,
+            &settings,
+            0,
+        );
+        assert_eq!(
+            fallback.history.epochs.len(),
+            2,
+            "fallback resumes the epoch-1 checkpoint, so two epochs remain"
+        );
+        assert_eq!(
+            fallback.report.combined.mrr.to_bits(),
+            reference.report.combined.mrr.to_bits(),
+            "fallback resume must land on the uninterrupted metrics"
+        );
+        assert_eq!(
+            manager.quarantined().unwrap().len(),
+            1,
+            "the corrupt newest checkpoint was quarantined, not deleted"
         );
 
         // A non-matching run ignores the checkpoint and starts fresh.
@@ -640,8 +824,10 @@ mod tests {
             _ => panic!("expected NoCheckpoint for an empty resume dir"),
         }
 
-        // Corrupt: a file *is* there but is garbage — the typed
-        // SnapshotError must surface so the operator learns the difference.
+        // Corrupt legacy flat file: a file *is* there but is garbage — the
+        // typed SnapshotError must surface so the operator learns the
+        // difference. (No managed directory exists yet, so this exercises
+        // the legacy single-file path.)
         let path = dir.join(checkpoint_file_name(
             "resume-test",
             ModelKind::TransE,
@@ -658,9 +844,10 @@ mod tests {
             }
             _ => panic!("expected Unusable for a corrupt checkpoint"),
         }
+        std::fs::remove_file(&path).unwrap();
 
-        // Truncated: a checkpoint torn mid-write is unusable too, with the
-        // checksum/truncation family of errors rather than BadMagic.
+        // Write a good managed checkpoint through the real save path.
+        let run_dir = dir.join(run_dir_name("resume-test", ModelKind::TransE, &dataset));
         let good = {
             settings.checkpoint_every = 1;
             settings.checkpoint_dir = Some(dir.clone());
@@ -676,11 +863,27 @@ mod tests {
             );
             settings.resume = Some(dir.clone());
             settings.checkpoint_every = 0;
-            std::fs::read(&path).unwrap()
+            let manager =
+                nscaching_serve::CheckpointManager::new(&run_dir, CHECKPOINT_KEEP).unwrap();
+            std::fs::read(&manager.entries().unwrap()[0].path).unwrap()
         };
-        std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+
+        // Corrupt newest falls back to next-newest valid: plant a truncated
+        // copy as a *newer* sequence number. Resume must quarantine it with
+        // a typed truncation/checksum error and resume the good one.
+        let torn = run_dir.join("ckpt-0000000007.ckpt");
+        std::fs::write(&torn, &good[..good.len() - 7]).unwrap();
         match outcome(&settings) {
-            ResumeOutcome::Unusable { error, .. } => {
+            ResumeOutcome::Resumed {
+                trainer,
+                path: resumed_from,
+                fallbacks,
+            } => {
+                assert_eq!(trainer.epochs_done(), 1);
+                assert_eq!(fallbacks.len(), 1, "the torn newest was quarantined");
+                let (from, to, error) = &fallbacks[0];
+                assert_eq!(from, &torn);
+                assert!(to.exists(), "quarantined bytes are preserved");
                 assert!(
                     matches!(
                         error,
@@ -689,13 +892,35 @@ mod tests {
                     ),
                     "torn checkpoint should be typed truncation/checksum, got: {error}"
                 );
+                assert_ne!(&resumed_from, &torn, "must fall back to the valid file");
             }
-            _ => panic!("expected Unusable for a truncated checkpoint"),
+            _ => panic!("expected a fallback resume past the torn newest checkpoint"),
         }
 
-        // Restore the good bytes: the same path must now actually resume.
-        std::fs::write(&path, &good).unwrap();
-        assert!(matches!(outcome(&settings), ResumeOutcome::Resumed(_)));
+        // All managed checkpoints corrupt: recovery has nothing valid left
+        // and the newest typed error surfaces as Unusable.
+        let manager = nscaching_serve::CheckpointManager::new(&run_dir, CHECKPOINT_KEEP).unwrap();
+        for entry in manager.entries().unwrap() {
+            std::fs::write(&entry.path, b"rotted").unwrap();
+        }
+        match outcome(&settings) {
+            ResumeOutcome::Unusable { error, .. } => {
+                assert!(
+                    matches!(error, nscaching_serve::SnapshotError::BadMagic { .. }),
+                    "rotted managed checkpoints should fail the magic check, got: {error}"
+                );
+            }
+            _ => panic!("expected Unusable when every managed checkpoint is corrupt"),
+        }
+
+        // A fresh good save must resume again — and its sequence number must
+        // be past every quarantined file, so "newest" stays unambiguous.
+        let reborn = run_dir.join("ckpt-0000000023.ckpt");
+        std::fs::write(&reborn, &good).unwrap();
+        match outcome(&settings) {
+            ResumeOutcome::Resumed { fallbacks, .. } => assert!(fallbacks.is_empty()),
+            _ => panic!("expected a clean resume from the restored checkpoint"),
+        }
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -136,6 +136,46 @@ impl NegativeCache {
     pub fn memory_bytes(&self) -> usize {
         self.num_cached_entities() * std::mem::size_of::<EntityId>()
     }
+
+    /// Every materialised entry as `(key, entities)`, **sorted by key** so
+    /// the capture is deterministic despite the hash map's arbitrary
+    /// iteration order. Entity order within an entry is preserved — sampling
+    /// indexes into it, so it is part of the trajectory.
+    pub fn export_entries(&self) -> Vec<(CacheKey, Vec<EntityId>)> {
+        let mut entries: Vec<(CacheKey, Vec<EntityId>)> =
+            self.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Materialise one entry with externally captured contents (checkpoint
+    /// restore). Rejects entries that violate the cache's invariants — an
+    /// over-capacity entry or an out-of-vocabulary entity id means the
+    /// capture does not belong to this cache's configuration.
+    pub fn restore_entry(&mut self, key: CacheKey, entities: Vec<EntityId>) -> Result<(), String> {
+        if entities.len() > self.capacity {
+            return Err(format!(
+                "cache entry for {key:?} holds {} entities, capacity is {}",
+                entities.len(),
+                self.capacity
+            ));
+        }
+        if let Some(&bad) = entities.iter().find(|&&e| e >= self.num_entities) {
+            return Err(format!(
+                "cache entry for {key:?} holds entity {bad}, vocabulary has {}",
+                self.num_entities
+            ));
+        }
+        self.entries.insert(key, entities);
+        Ok(())
+    }
+
+    /// Overwrite the pending changed-element counter (checkpoint restore —
+    /// the counter is trajectory state until the next `take_changed_elements`
+    /// drains it into the epoch statistics).
+    pub fn set_changed_elements(&mut self, changed: u64) {
+        self.changed_elements = changed;
+    }
 }
 
 /// A snapshot of one key's cache contents at some training step.

@@ -17,6 +17,9 @@
 use crate::corruption::CorruptionPolicy;
 use crate::partition::ObservedPartition;
 use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
+use crate::state::{
+    capture_generator_tables, restore_generator_tables, GeneratorKind, GeneratorState, SamplerState,
+};
 use nscaching_kg::{CorruptionSide, Triple};
 use nscaching_math::{sample_one_weighted, softmax_in_place};
 use nscaching_models::{GradientArena, KgeModel};
@@ -347,6 +350,37 @@ impl NegativeSampler for IganSampler {
 
     fn extra_parameters(&self) -> usize {
         self.generator.num_parameters()
+    }
+
+    fn export_state(&self) -> SamplerState {
+        SamplerState::Generator(GeneratorState {
+            kind: GeneratorKind::Igan,
+            baseline: self.baseline,
+            feedback_steps: self.feedback_steps,
+            tables: capture_generator_tables(self.generator.as_ref()),
+            optimizer: self.optimizer.export_state(),
+        })
+    }
+
+    fn import_state(&mut self, state: SamplerState) -> Result<(), String> {
+        let state = match state {
+            SamplerState::Stateless => return Ok(()),
+            SamplerState::Generator(g) if g.kind == GeneratorKind::Igan => g,
+            other => {
+                return Err(format!(
+                    "IGAN sampler cannot import {} state",
+                    other.kind_name()
+                ))
+            }
+        };
+        restore_generator_tables(self.generator.as_mut(), &state.tables)?;
+        self.optimizer.import_state(state.optimizer)?;
+        // Re-bind so the slabs stay pre-sized even if the capture was taken
+        // before the optimizer ever touched some table.
+        self.optimizer.bind(self.generator.as_ref());
+        self.baseline = state.baseline;
+        self.feedback_steps = state.feedback_steps;
+        Ok(())
     }
 }
 

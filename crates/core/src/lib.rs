@@ -32,6 +32,7 @@ pub mod kbgan;
 pub mod nscaching;
 pub mod partition;
 pub mod sampler;
+pub mod state;
 pub mod strategy;
 pub mod uniform;
 
@@ -44,5 +45,9 @@ pub use kbgan::KbGanSampler;
 pub use nscaching::NsCachingSampler;
 pub use partition::{ObservedPartition, PartitionKey, ShardPartition};
 pub use sampler::{shard_of_key, NegativeSampler, SampledNegative, ShardSampler};
+pub use state::{
+    CacheEntryState, CacheState, GeneratorKind, GeneratorState, GeneratorTableState,
+    NsCachingShardState, NsCachingState, SamplerState,
+};
 pub use strategy::{SampleStrategy, UpdateStrategy};
 pub use uniform::UniformSampler;

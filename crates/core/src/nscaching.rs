@@ -5,6 +5,9 @@ use crate::config::NsCachingConfig;
 use crate::corruption::CorruptionPolicy;
 use crate::partition::{ObservedPartition, PartitionKey};
 use crate::sampler::{NegativeSampler, SampledNegative, ShardSampler};
+use crate::state::{
+    CacheEntryState, CacheState, NsCachingShardState, NsCachingState, SamplerState,
+};
 use crate::strategy::{SampleStrategy, UpdateStrategy};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
 use nscaching_math::{
@@ -541,6 +544,71 @@ impl NegativeSampler for NsCachingSampler {
             self.probe_head_cache(positive.relation, positive.tail)
                 .entities,
         )
+    }
+
+    fn export_state(&self) -> SamplerState {
+        let capture = |cache: &NegativeCache| CacheState {
+            changed_elements: cache.changed_elements(),
+            entries: cache
+                .export_entries()
+                .into_iter()
+                .map(|(key, entities)| CacheEntryState { key, entities })
+                .collect(),
+        };
+        SamplerState::NsCaching(NsCachingState {
+            updates_enabled: self.updates_enabled,
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| NsCachingShardState {
+                    refresh_count: shard.refresh_count,
+                    head: capture(&shard.head_cache),
+                    tail: capture(&shard.tail_cache),
+                })
+                .collect(),
+        })
+    }
+
+    fn import_state(&mut self, state: SamplerState) -> Result<(), String> {
+        let state = match state {
+            // Legacy checkpoint without sampler sections: keep the fresh
+            // caches (the pre-full-state-resume behaviour).
+            SamplerState::Stateless => return Ok(()),
+            SamplerState::NsCaching(state) => state,
+            other => {
+                return Err(format!(
+                    "NSCaching sampler cannot import {} state",
+                    other.kind_name()
+                ))
+            }
+        };
+        if state.shards.is_empty() {
+            return Err("NSCaching state holds zero shards".into());
+        }
+        // Rebuild the shard layout to the captured count (the routing
+        // partition is a pure function of the observed keys and the count,
+        // so positionally-restored entries land in the shard that will own
+        // their keys), then fill the caches.
+        self.routing.prepare(state.shards.len());
+        self.shards = state
+            .shards
+            .iter()
+            .map(|_| NsCachingShard::new(&self.config, self.num_entities))
+            .collect();
+        self.updates_enabled = state.updates_enabled;
+        for (shard, captured) in self.shards.iter_mut().zip(&state.shards) {
+            shard.refresh_count = captured.refresh_count;
+            for (cache, capture) in [
+                (&mut shard.head_cache, &captured.head),
+                (&mut shard.tail_cache, &captured.tail),
+            ] {
+                cache.set_changed_elements(capture.changed_elements);
+                for entry in &capture.entries {
+                    cache.restore_entry(entry.key, entry.entities.clone())?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@
 //!   giving every shard its own seeded RNG stream and merging worker
 //!   feedback in ascending shard order.
 
+use crate::state::SamplerState;
 use nscaching_kg::{CorruptionSide, Triple};
 use nscaching_math::split_seed;
 use nscaching_models::KgeModel;
@@ -199,6 +200,38 @@ pub trait NegativeSampler: Send {
     /// sampler maintains a cache.
     fn head_cache_contents(&self, _positive: &Triple) -> Option<Vec<u32>> {
         None
+    }
+
+    /// Capture the sampler's evolving state at an epoch boundary, for
+    /// full-state checkpointing (see [`SamplerState`]). Samplers whose state
+    /// is a pure function of `(dataset, seed)` return
+    /// [`SamplerState::Stateless`] — the default.
+    ///
+    /// The capture must be **deterministic**: two calls on the same sampler
+    /// must produce identical values (keyed state sorted, no hash-map
+    /// iteration order leaking through), so checkpoint bytes are stable.
+    fn export_state(&self) -> SamplerState {
+        SamplerState::Stateless
+    }
+
+    /// Re-apply a state captured by [`export_state`](Self::export_state) on a
+    /// freshly-constructed sampler of the same configuration.
+    ///
+    /// Importing [`SamplerState::Stateless`] is always accepted as a no-op:
+    /// it is what legacy checkpoints (written before sampler sections
+    /// existed) decode to, and a stateful sampler resuming from one keeps its
+    /// fresh construction-time state — a valid trajectory, just not the
+    /// bit-identical one. Importing a *typed* state into the wrong sampler is
+    /// an error.
+    fn import_state(&mut self, state: SamplerState) -> Result<(), String> {
+        match state {
+            SamplerState::Stateless => Ok(()),
+            other => Err(format!(
+                "{} sampler cannot import {} state",
+                self.name(),
+                other.kind_name()
+            )),
+        }
     }
 }
 

@@ -54,6 +54,31 @@
 //! wrong — do not retry". The numbering is pinned by a golden-bytes test;
 //! treat it as a deployment contract.
 //!
+//! ## Hot reload & recovery runbook
+//!
+//! The `Reload` opcode ([`wire::opcode::RELOAD`]) swaps the serving model to
+//! a snapshot file **without a restart**: send `Reload { path }` on any
+//! connection and the server loads + validates the snapshot *off* the worker
+//! queues, then swaps it in under one write-lock acquisition (the result
+//! cache self-invalidates through its version stamps). The operational
+//! contract, proven by `tests/reload.rs` under live traffic:
+//!
+//! * a **valid** snapshot answers `Reloaded` and bumps `reload_ok`;
+//! * a **corrupt / truncated / missing** snapshot answers a typed
+//!   `Internal` error whose detail ends in *"serving model unchanged"*,
+//!   bumps `reload_failed`, and the previous model keeps serving
+//!   bit-identically — a bad push can never take the server down;
+//! * concurrent queries never fail because of a reload, good or bad.
+//!
+//! Recovery after a crash: point [`NetServer::bind_snapshot`] (or the
+//! serving engine's loader) at the newest file a
+//! [`nscaching_serve::CheckpointManager`] directory recovers — its
+//! `recover()` walks newest → oldest, quarantines corrupt files aside with
+//! a typed reason suffix (`*.bad-checksum`, …) and returns the last-good
+//! checkpoint. Quarantined files are evidence: inspect, then delete by
+//! hand. See the `nscaching_serve::manager` docs for the full directory
+//! protocol and the kill-anywhere guarantees behind it.
+//!
 //! ## Drain semantics
 //!
 //! [`NetServer::shutdown`] = stop accepting → finish every request already
@@ -82,5 +107,5 @@ pub mod wire;
 
 pub use client::{ClientConfig, ClientError, ClientStats, NetClient, Reply};
 pub use fault::{FaultPlan, FaultyStream, Transport};
-pub use server::{NetServer, NetServerConfig, NetStatsSnapshot};
+pub use server::{BindSnapshotError, NetServer, NetServerConfig, NetStatsSnapshot};
 pub use wire::{code_of_query_error, Answer, ErrorCode, Request, Response};

@@ -70,11 +70,12 @@ use crate::wire::{
     code_of_query_error, Answer, ErrorCode, Request, Response, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 use nscaching_kg::Triple;
-use nscaching_serve::{KnowledgeServer, QueryScratch, TopKQuery};
+use nscaching_serve::{CacheConfig, KnowledgeServer, QueryScratch, SnapshotError, TopKQuery};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -117,6 +118,11 @@ pub struct NetServerConfig {
     pub clamp_threshold: f64,
     /// Queue occupancy at which level 2 (cache-only) engages.
     pub cache_only_threshold: f64,
+    /// Result-cache configuration (eviction policy, shard count, optional
+    /// score cache) used when the server builds its own engine from a
+    /// snapshot path ([`NetServer::bind_snapshot`]). Ignored by the
+    /// pre-built-engine constructors, which carry their own cache.
+    pub cache: CacheConfig,
 }
 
 impl Default for NetServerConfig {
@@ -139,9 +145,30 @@ impl Default for NetServerConfig {
             degraded_k_clamp: 16,
             clamp_threshold: 0.5,
             cache_only_threshold: 0.8,
+            cache: CacheConfig::default(),
         }
     }
 }
+
+/// Why [`NetServer::bind_snapshot`] failed: the snapshot or the socket.
+#[derive(Debug)]
+pub enum BindSnapshotError {
+    /// The snapshot failed to load or validate (typed, never a panic).
+    Load(SnapshotError),
+    /// The listening socket could not be bound.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for BindSnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindSnapshotError::Load(e) => write!(f, "snapshot load failed: {e}"),
+            BindSnapshotError::Io(e) => write!(f, "bind failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BindSnapshotError {}
 
 /// Monotonic counters of everything the server did. All counters are
 /// cumulative since bind; [`NetStatsSnapshot`] is the readable copy.
@@ -161,6 +188,8 @@ struct NetStats {
     degraded_l2: AtomicU64,
     write_failures: AtomicU64,
     read_failures: AtomicU64,
+    reload_ok: AtomicU64,
+    reload_failed: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -194,6 +223,10 @@ pub struct NetStatsSnapshot {
     pub write_failures: u64,
     /// Connections that died mid-read (torn frames, resets).
     pub read_failures: u64,
+    /// Hot reloads that swapped the served model.
+    pub reload_ok: u64,
+    /// Hot reloads rejected with a typed error (model kept serving).
+    pub reload_failed: u64,
 }
 
 impl NetStatsSnapshot {
@@ -239,6 +272,8 @@ impl NetStats {
             degraded_l2: self.degraded_l2.load(Ordering::Relaxed),
             write_failures: self.write_failures.load(Ordering::Relaxed),
             read_failures: self.read_failures.load(Ordering::Relaxed),
+            reload_ok: self.reload_ok.load(Ordering::Relaxed),
+            reload_failed: self.reload_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -317,6 +352,21 @@ impl NetServer {
         config: NetServerConfig,
     ) -> io::Result<Self> {
         Self::bind_with_faults(addr, engine, config, None)
+    }
+
+    /// Bind on `addr` serving the snapshot (or checkpoint) at `path`,
+    /// building the engine with the result-cache configuration carried in
+    /// `config.cache` — the one-call production entry point that wires
+    /// eviction policy, cache shards and the optional score cache through
+    /// from the front-door configuration.
+    pub fn bind_snapshot(
+        addr: impl ToSocketAddrs,
+        path: &Path,
+        config: NetServerConfig,
+    ) -> Result<Self, BindSnapshotError> {
+        let engine = KnowledgeServer::load_with_cache(path, config.cache)
+            .map_err(BindSnapshotError::Load)?;
+        Self::bind(addr, engine, config).map_err(BindSnapshotError::Io)
     }
 
     /// [`bind`](Self::bind), with a [`FaultPlan`] layered between the server
@@ -812,6 +862,28 @@ fn handle_request(
         return Response::ok(level, Answer::Pong);
     }
 
+    // Reloads run here on the connection thread, off the worker queues: the
+    // load + validation happens on a snapshot nobody is serving yet, so query
+    // workers keep draining at full speed and the swap itself is one write
+    // lock acquisition inside the engine. Any typed failure leaves the
+    // serving model untouched (the engine validates *before* swapping).
+    if let Request::Reload { path } = &request {
+        return match shared.engine.reload(Path::new(path)) {
+            Ok(()) => {
+                shared.stats.reload_ok.fetch_add(1, Ordering::Relaxed);
+                Response::ok(level, Answer::Reloaded)
+            }
+            Err(e) => {
+                shared.stats.reload_failed.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    level,
+                    ErrorCode::Internal,
+                    format!("reload of {path:?} rejected ({e}); serving model unchanged"),
+                )
+            }
+        };
+    }
+
     if level >= 2 {
         // Cache-only mode: serve LRU hits (both the full-k and the clamped
         // key — traffic clamped at level 1 warmed the latter), shed the rest.
@@ -861,9 +933,13 @@ fn handle_request(
     *next_worker = (*next_worker + 1) % workers;
     for probe in 0..workers {
         let target = &queues[(start + probe) % workers];
+        // Count the job in-flight *before* it can reach a worker: the worker
+        // decrements after executing, and with the opposite order a fast
+        // worker could decrement first, wrapping the unsigned counter and
+        // spuriously engaging cache-only degradation for everyone.
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         match target.try_send(job) {
             Ok(()) => {
-                shared.in_flight.fetch_add(1, Ordering::Relaxed);
                 return match reply_rx.recv_timeout(shared.config.reply_deadline) {
                     Ok(response) => response,
                     Err(mpsc::RecvTimeoutError::Timeout) => Response::error(
@@ -876,8 +952,12 @@ fn handle_request(
                     }
                 };
             }
-            Err(TrySendError::Full(j)) => job = j,
+            Err(TrySendError::Full(j)) => {
+                shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                job = j;
+            }
             Err(TrySendError::Disconnected(_)) => {
+                shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                 return Response::error(level, ErrorCode::ShuttingDown, "worker queues closed");
             }
         }
@@ -932,6 +1012,10 @@ fn execute(
         } => engine
             .rank(&Triple::new(*head, *relation, *tail), *side, scratch)
             .map(Answer::Rank),
+        // Reloads are answered on the connection thread in handle_request
+        // and never enqueued; a job carrying one is a programming error that
+        // the catch_unwind below converts into a typed Internal response.
+        Request::Reload { .. } => unreachable!("reload jobs are never queued"),
     }));
     match outcome {
         Ok(Ok(answer)) => Response::ok(degradation, answer),

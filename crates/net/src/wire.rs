@@ -20,6 +20,7 @@
 //! | 2      | TopK    | `u32` relation, `u32` entity, `u8` direction (0 = tail, 1 = head), `u32` k |
 //! | 3      | Score   | `u32` head, `u32` relation, `u32` tail |
 //! | 4      | Rank    | `u32` head, `u32` relation, `u32` tail, `u8` side (0 = tail, 1 = head) |
+//! | 5      | Reload  | `u32` path length, UTF-8 snapshot path (admin: hot-swap the served model) |
 //!
 //! # Response bodies
 //!
@@ -48,10 +49,11 @@
 //!
 //! Only codes 5–7 are retryable: they mean "the request was *not* executed,
 //! try elsewhere/later". Everything else is a property of the request itself
-//! and retrying verbatim can never succeed. All four request kinds are
+//! and retrying verbatim can never succeed. The four query opcodes are
 //! idempotent reads, so a client may also retry a transport failure (torn
-//! connection, timeout) without risking double effects — see
-//! [`Request::idempotent`].
+//! connection, timeout) without risking double effects; `Reload` mutates
+//! server state and is the one opcode the retry layer refuses to re-send —
+//! see [`Request::idempotent`].
 
 use nscaching_kg::CorruptionSide;
 use nscaching_serve::{QueryError, RankedEntity, TopKQuery};
@@ -73,6 +75,8 @@ pub mod opcode {
     pub const SCORE: u8 = 3;
     /// Competition rank of a triple.
     pub const RANK: u8 = 4;
+    /// Admin: hot-reload the served model from a snapshot path.
+    pub const RELOAD: u8 = 5;
 }
 
 /// Stable wire error codes. `0` on the wire means success and has no enum
@@ -152,7 +156,7 @@ pub fn code_of_query_error(e: &QueryError) -> ErrorCode {
 }
 
 /// A decoded request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe; answered without touching the model.
     Ping,
@@ -178,17 +182,27 @@ pub enum Request {
         /// Which side is corrupted.
         side: CorruptionSide,
     },
+    /// Admin: atomically swap the served model for the snapshot at `path`
+    /// (a path on the **server's** filesystem). The snapshot is loaded and
+    /// validated off the serving path; any failure leaves the current model
+    /// serving and returns a typed error.
+    Reload {
+        /// Snapshot or checkpoint file to load, as seen by the server.
+        path: String,
+    },
 }
 
 impl Request {
     /// Whether executing this request twice is indistinguishable from once.
     /// The retry layer refuses to re-send non-idempotent requests after a
-    /// transport failure (today every request is a read and qualifies; the
-    /// gate exists so a future mutating opcode cannot be retried by
-    /// accident).
+    /// transport failure. The query opcodes are all idempotent reads;
+    /// `Reload` mutates the served model (a repeat swaps again, bumping the
+    /// model generation and invalidating the result cache a second time), so
+    /// it must not be silently retried.
     pub fn idempotent(&self) -> bool {
         match self {
             Request::Ping | Request::TopK(_) | Request::Score { .. } | Request::Rank { .. } => true,
+            Request::Reload { .. } => false,
         }
     }
 
@@ -226,6 +240,11 @@ impl Request {
                 buf.extend_from_slice(&tail.to_le_bytes());
                 buf.push(side_to_wire(*side));
             }
+            Request::Reload { path } => {
+                buf.push(opcode::RELOAD);
+                buf.extend_from_slice(&(path.len() as u32).to_le_bytes());
+                buf.extend_from_slice(path.as_bytes());
+            }
         }
     }
 
@@ -261,6 +280,12 @@ impl Request {
                 tail: c.u32().ok_or(ErrorCode::Malformed)?,
                 side: side_from_wire(c.u8().ok_or(ErrorCode::Malformed)?)?,
             },
+            opcode::RELOAD => {
+                let len = c.u32().ok_or(ErrorCode::Malformed)? as usize;
+                let bytes = c.take(len).ok_or(ErrorCode::Malformed)?;
+                let path = String::from_utf8(bytes.to_vec()).map_err(|_| ErrorCode::Malformed)?;
+                Request::Reload { path }
+            }
             _ => return Err(ErrorCode::UnsupportedOp),
         };
         if !c.is_exhausted() {
@@ -281,6 +306,8 @@ pub enum Answer {
     Score(f64),
     /// One competition rank.
     Rank(f64),
+    /// The served model was swapped for the requested snapshot.
+    Reloaded,
 }
 
 /// A decoded response: degradation level plus either an answer or a typed
@@ -319,7 +346,7 @@ impl Response {
                 buf.push(0);
                 buf.push(self.degradation);
                 match answer {
-                    Answer::Pong => {}
+                    Answer::Pong | Answer::Reloaded => {}
                     Answer::TopK(ranked) => {
                         buf.extend_from_slice(&(ranked.len() as u32).to_le_bytes());
                         for r in ranked {
@@ -380,6 +407,7 @@ impl Response {
                 Request::Rank { .. } => {
                     Answer::Rank(f64::from_bits(c.u64().ok_or(ErrorCode::Malformed)?))
                 }
+                Request::Reload { .. } => Answer::Reloaded,
             }),
         };
         if !c.is_exhausted() {
@@ -476,6 +504,44 @@ mod tests {
             tail: 6,
             side: CorruptionSide::Head,
         });
+        round_trip_request(Request::Reload {
+            path: "/var/lib/nscaching/model.ckpt".into(),
+        });
+        round_trip_request(Request::Reload {
+            path: String::new(),
+        });
+    }
+
+    #[test]
+    fn only_reload_is_non_idempotent() {
+        assert!(Request::Ping.idempotent());
+        assert!(Request::TopK(TopKQuery::tails(1, 1, 2)).idempotent());
+        assert!(!Request::Reload {
+            path: "x.ckpt".into()
+        }
+        .idempotent());
+    }
+
+    #[test]
+    fn reload_length_cannot_overrun_the_body() {
+        let mut buf = Vec::new();
+        Request::Reload { path: "abc".into() }.encode(&mut buf);
+        buf[1] = 200; // claim a longer path than the body holds
+        assert_eq!(Request::decode(&buf), Err(ErrorCode::Malformed));
+    }
+
+    #[test]
+    fn reload_responses_round_trip() {
+        let request = Request::Reload {
+            path: "m.ckpt".into(),
+        };
+        let ok = Response::ok(0, Answer::Reloaded);
+        let mut buf = Vec::new();
+        ok.encode(&mut buf);
+        assert_eq!(Response::decode(&buf, &request), Ok(ok));
+        let err = Response::error(0, ErrorCode::Internal, "checksum mismatch");
+        err.encode(&mut buf);
+        assert_eq!(Response::decode(&buf, &request), Ok(err));
     }
 
     #[test]

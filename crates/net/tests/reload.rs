@@ -1,0 +1,210 @@
+//! Hot-reload behaviour of the front door, including the tentpole guarantee:
+//! a corrupt snapshot pushed through the admin opcode **never interrupts
+//! serving** — the rejected reload rolls back to the serving model while live
+//! traffic keeps flowing, and the outcome is counted in the stats ledger.
+
+use nscaching_models::{build_model, KgeModel, ModelConfig, ModelKind};
+use nscaching_net::{Answer, ErrorCode, NetServer, NetServerConfig, Request, Response};
+use nscaching_serve::{save_model, KnowledgeServer};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NUM_ENTITIES: usize = 40;
+const NUM_RELATIONS: usize = 6;
+
+fn model(seed: u64) -> Box<dyn KgeModel> {
+    build_model(
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(8)
+            .with_seed(seed),
+        NUM_ENTITIES,
+        NUM_RELATIONS,
+    )
+}
+
+fn tempfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nscaching-net-reload");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn test_config() -> NetServerConfig {
+    NetServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        idle_timeout: Duration::from_secs(10),
+        poll_interval: Duration::from_millis(5),
+        queue_deadline: Duration::from_secs(1),
+        reply_deadline: Duration::from_secs(3),
+        drain_grace: Duration::from_secs(1),
+        ..NetServerConfig::default()
+    }
+}
+
+fn call(stream: &mut TcpStream, request: &Request) -> Response {
+    let mut body = Vec::new();
+    request.encode(&mut body);
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(&body).unwrap();
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_le_bytes(header) as usize;
+    let mut reply = vec![0u8; len];
+    stream.read_exact(&mut reply).unwrap();
+    Response::decode(&reply, request).unwrap()
+}
+
+fn score_request() -> Request {
+    Request::Score {
+        head: 1,
+        relation: 2,
+        tail: 3,
+    }
+}
+
+fn score_of(response: &Response) -> f64 {
+    match &response.result {
+        Ok(Answer::Score(v)) => *v,
+        other => panic!("expected a score, got {other:?}"),
+    }
+}
+
+#[test]
+fn good_reload_swaps_the_served_model() {
+    let snapshot = tempfile("good-reload.snap");
+    save_model(&snapshot, model(99).as_ref()).unwrap();
+
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        KnowledgeServer::new(model(5), 64),
+        test_config(),
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    let before = score_of(&call(&mut stream, &score_request()));
+    let reload = call(
+        &mut stream,
+        &Request::Reload {
+            path: snapshot.to_string_lossy().into_owned(),
+        },
+    );
+    assert_eq!(reload.result, Ok(Answer::Reloaded));
+    let after = score_of(&call(&mut stream, &score_request()));
+    assert_ne!(
+        before.to_bits(),
+        after.to_bits(),
+        "a different model must score differently"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.reload_ok, 1);
+    assert_eq!(stats.reload_failed, 0);
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn corrupt_reload_is_rejected_and_never_interrupts_serving() {
+    // A corrupt "snapshot", a truncated-real one, and a missing path: all
+    // three must yield a typed error and leave the model serving bit-
+    // identically, while concurrent traffic keeps succeeding.
+    let garbage = tempfile("corrupt-reload.snap");
+    std::fs::write(&garbage, b"these are not snapshot bytes").unwrap();
+    let truncated = tempfile("truncated-reload.snap");
+    {
+        let valid = tempfile("victim.snap");
+        save_model(&valid, model(7).as_ref()).unwrap();
+        let bytes = std::fs::read(&valid).unwrap();
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        let _ = std::fs::remove_file(&valid);
+    }
+    let missing = tempfile("missing-reload.snap");
+
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        KnowledgeServer::new(model(5), 64),
+        test_config(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Live traffic: hammer queries from two background connections for the
+    // whole duration; every response must be a success (no Internal errors,
+    // no torn connections) regardless of what the admin connection does.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let response = call(&mut stream, &score_request());
+                    assert!(
+                        response.result.is_ok(),
+                        "live traffic failed during reload: {response:?}"
+                    );
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    let mut admin = TcpStream::connect(addr).unwrap();
+    let baseline = score_of(&call(&mut admin, &score_request()));
+    for path in [&garbage, &truncated, &missing] {
+        for _ in 0..5 {
+            let reload = call(
+                &mut admin,
+                &Request::Reload {
+                    path: path.to_string_lossy().into_owned(),
+                },
+            );
+            match &reload.result {
+                Err((ErrorCode::Internal, detail)) => {
+                    assert!(
+                        detail.contains("serving model unchanged"),
+                        "detail should state the rollback: {detail}"
+                    );
+                }
+                other => panic!("corrupt reload must be a typed Internal error, got {other:?}"),
+            }
+            // Rollback proof: the serving model still answers, bit-identically.
+            let now = score_of(&call(&mut admin, &score_request()));
+            assert_eq!(
+                baseline.to_bits(),
+                now.to_bits(),
+                "model changed after a failed reload"
+            );
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = traffic.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(served > 0, "traffic threads never got a response in");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.reload_ok, 0);
+    assert_eq!(stats.reload_failed, 15);
+    // Every reload failure is also a typed error in the response ledger.
+    assert!(stats.typed_errors >= 15);
+    assert_eq!(
+        stats.decoded + stats.protocol_errors,
+        stats.written + stats.write_failures,
+        "response ledger must balance"
+    );
+    for path in [&garbage, &truncated, &missing] {
+        let _ = std::fs::remove_file(path);
+    }
+}

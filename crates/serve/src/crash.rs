@@ -1,0 +1,73 @@
+//! Deterministic crash injection for the kill-anywhere recovery harness.
+//!
+//! The checkpoint write path and the [`CheckpointManager`](crate::manager)'s
+//! rotation/quarantine steps are instrumented with [`crash_point`] calls —
+//! named places where a process death would leave the most interesting
+//! on-disk states (a torn temp file, a completed rename with no directory
+//! fsync, a half-finished rotation).
+//!
+//! In normal operation the hook is a no-op behind one relaxed atomic load.
+//! The crash harness (`tests/crash_recovery.rs`) re-executes its own binary
+//! as a child with `NSC_CRASH_AT=<n>` set; the child then dies **hard** (via
+//! [`std::process::abort`] — no destructors, no buffer flushing, no unwinding,
+//! the same on-disk effect as `SIGKILL`) at the `n`-th crash point it passes.
+//! Sweeping `n` over every reachable index enumerates every instrumented
+//! kill schedule deterministically, which is how the harness proves recovery
+//! from *each* of them rather than from whichever a timer happened to hit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable selecting the crash schedule: the 0-based index of
+/// the crash point the process dies at. Unset (the production state) disables
+/// the whole machinery.
+pub const CRASH_AT_ENV: &str = "NSC_CRASH_AT";
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static TARGET: OnceLock<Option<u64>> = OnceLock::new();
+
+fn target() -> Option<u64> {
+    *TARGET.get_or_init(|| {
+        std::env::var(CRASH_AT_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// Die here if this is the crash point selected by [`CRASH_AT_ENV`].
+///
+/// No-op (one atomic load) when the variable is unset. When set, every call
+/// increments a process-global counter; the call whose pre-increment value
+/// equals the selected index prints the label to stderr and aborts without
+/// any cleanup.
+pub fn crash_point(label: &str) {
+    let Some(at) = target() else { return };
+    let index = COUNTER.fetch_add(1, Ordering::Relaxed);
+    if index == at {
+        eprintln!("crash_point: dying at #{index} ({label})");
+        std::process::abort();
+    }
+}
+
+/// Number of crash points passed so far (0 when injection is disabled —
+/// the counter only advances when [`CRASH_AT_ENV`] is set).
+///
+/// The harness runs one uninstrumented-schedule child (`NSC_CRASH_AT` set
+/// beyond reach) to count the reachable crash points before sweeping them.
+pub fn crash_points_passed() -> u64 {
+    COUNTER.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injection_is_a_no_op() {
+        // The test binary never sets NSC_CRASH_AT for itself, so the target
+        // resolves to None and the counter must not advance.
+        crash_point("test");
+        crash_point("test");
+        assert_eq!(crash_points_passed(), 0);
+    }
+}

@@ -165,11 +165,19 @@ pub fn write_frame(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
     frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
 
     let tmp = staging_path(path);
+    crate::crash::crash_point("write_frame: before temp create");
     let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(&frame)?;
+    // Two-part write so the mid-write crash point can leave a *torn* temp
+    // file on disk — the state read_frame's sweep exists for.
+    let half = frame.len() / 2;
+    file.write_all(&frame[..half])?;
+    crate::crash::crash_point("write_frame: mid temp write");
+    file.write_all(&frame[half..])?;
     file.sync_all()?;
     drop(file);
+    crate::crash::crash_point("write_frame: temp durable, before rename");
     std::fs::rename(&tmp, path)?;
+    crate::crash::crash_point("write_frame: after rename, before dir fsync");
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         // Directory fsync can legitimately fail on filesystems that do not
         // support opening directories (e.g. some network mounts); the write

@@ -37,9 +37,13 @@
 //! dimensions, every [`EmbeddingTable`](nscaching_models::EmbeddingTable) as
 //! a dimension-strided `f64`-LE slab), **trainer** (epoch counter, wall-clock
 //! seconds, raw master-RNG state, the batcher's epoch permutation, and a
-//! seed/shards/optimizer fingerprint validated at resume), and **optimizer**
+//! seed/shards/optimizer fingerprint validated at resume), **optimizer**
 //! (the dense per-table state slabs of `nscaching_optim` — Adam `m`/`v`
-//! moments and step counters, AdaGrad accumulators and seen flags). A
+//! moments and step counters, AdaGrad accumulators and seen flags), and
+//! **sampler** (a stateful sampler's evolving state: NSCaching's per-shard
+//! `H`/`T` caches with their refresh/changed-element counters, or a GAN
+//! sampler's generator tables, generator-optimizer slabs and REINFORCE
+//! baseline; absent for stateless samplers and legacy files). A
 //! model-only snapshot ([`save_model`]) is the serving artifact; a full
 //! checkpoint ([`save_checkpoint`]) is a superset, and [`KnowledgeServer`]
 //! accepts either. Readers validate magic → version → length → checksum
@@ -51,17 +55,31 @@
 //! A run interrupted at an epoch boundary and resumed from its checkpoint
 //! ([`load_checkpoint`] → [`resume_trainer`]) produces **bit-for-bit** the
 //! same embeddings, optimizer state and evaluation metrics as the
-//! uninterrupted run. The argument: the trajectory is a pure function of
-//! (model tables, optimizer slabs, master-RNG state, batch permutation,
-//! epoch counter, configuration) — the first five are in the checkpoint, and
-//! the per-epoch shard streams of the parallel engine are re-derived from
+//! uninterrupted run — for **every** sampler, stateful ones included. The
+//! argument: the trajectory is a pure function of (model tables, optimizer
+//! slabs, master-RNG state, batch permutation, epoch counter, sampler state,
+//! configuration) — all but the last are in the checkpoint, and the
+//! per-epoch shard streams of the parallel engine are re-derived from
 //! `(seed, epoch, shard)` through SplitMix64, so restoring the epoch counter
-//! restores them exactly. The guarantee holds for samplers whose state is a
-//! pure function of `(dataset, sampler seed)` — Uniform and Bernoulli; the
-//! stateful samplers (NSCaching's caches, the GAN generators) resume to a
-//! *valid* but not bitwise-identical trajectory, since their evolving state
-//! is not part of the snapshot. `tests/exact_resume.rs` proves the guarantee
-//! for all 7 models × 3 optimizers at shards ∈ {1, 4}.
+//! restores them exactly. At an epoch boundary a sampler's *transient* state
+//! (per-shard REINFORCE buffers, scratch) is empty by construction, so the
+//! sampler section's caches/generator/baseline are the whole of it.
+//! `tests/exact_resume.rs` proves the guarantee for all 7 models × 3
+//! optimizers with Bernoulli, plus NSCaching, KBGAN and IGAN, at
+//! shards ∈ {1, 4}.
+//!
+//! # Crash recovery
+//!
+//! [`CheckpointManager`] turns one-file atomicity into a directory-level
+//! last-good guarantee: sequence-numbered saves (nothing overwritten in
+//! place), keep-last-N rotation that only deletes *after* a new save is
+//! durable, full-validation recovery that walks newest → oldest, and
+//! corruption **quarantine** — a bad file is renamed aside with a typed
+//! reason suffix for inspection, never deleted blind. The kill-anywhere
+//! harness (`tests/crash_recovery.rs`) SIGKILL-equivalently aborts a training
+//! child at every instrumented point of the write/rename/rotate protocol
+//! ([`crash`]) and proves recovery always finds a valid checkpoint and
+//! resumes bit-identically. See [`manager`] for the ops runbook.
 //!
 //! # Query-cache contract
 //!
@@ -79,8 +97,10 @@
 //! does not) change.
 
 pub mod cache;
+pub mod crash;
 pub mod error;
 pub mod format;
+pub mod manager;
 pub mod policy;
 pub mod server;
 pub mod sharded;
@@ -88,6 +108,7 @@ pub mod snapshot;
 
 pub use cache::{CacheStats, LruCache, PolicyCache};
 pub use error::SnapshotError;
+pub use manager::{CheckpointEntry, CheckpointManager, Recovery, VerifiedEntry};
 pub use policy::{
     EvictionPolicy, LfuPolicy, LfudaPolicy, LruPolicy, PolicyInit, PolicyKind, SlruPolicy,
 };

@@ -11,12 +11,20 @@
 //! | 1   | model   | kind, `d`, vocab sizes, every embedding table as a dimension-strided `f64`-LE slab |
 //! | 2   | trainer | epoch counter, wall-clock, raw master-RNG state, batch permutation, config fingerprint |
 //! | 3   | optimizer | per-table state slabs (Adam `m`/`v`/`t`, AdaGrad `acc`/`seen`) |
+//! | 4   | sampler | the sampler's evolving state: NSCaching's per-shard `H`/`T` caches, or a GAN generator's tables + optimizer + REINFORCE baseline |
+//!
+//! Section 4 is absent from checkpoints of stateless samplers and from legacy
+//! files; [`load_checkpoint`] decodes its absence to
+//! [`SamplerState::Stateless`], which every sampler accepts as a no-op import.
 //!
 //! See the crate docs for the exact-resume contract these sections add up to.
 
 use crate::error::SnapshotError;
 use crate::format::{read_frame, write_frame, Reader, Writer};
-use nscaching::NegativeSampler;
+use nscaching::{
+    CacheEntryState, CacheState, GeneratorKind, GeneratorState, GeneratorTableState,
+    NegativeSampler, NsCachingShardState, NsCachingState, SamplerState,
+};
 use nscaching_models::{build_model, KgeModel, ModelConfig, ModelKind};
 use nscaching_optim::{
     AdaGradTableState, AdamTableState, OptimizerConfig, OptimizerKind, OptimizerState,
@@ -27,6 +35,15 @@ use std::path::Path;
 const SECTION_MODEL: u8 = 1;
 const SECTION_TRAINER: u8 = 2;
 const SECTION_OPTIMIZER: u8 = 3;
+const SECTION_SAMPLER: u8 = 4;
+
+/// Sampler-state variant tags within the sampler section.
+const SAMPLER_STATE_NSCACHING: u8 = 1;
+const SAMPLER_STATE_GENERATOR: u8 = 2;
+
+/// Generator-kind tags within a generator sampler state.
+const GENERATOR_KIND_KBGAN: u8 = 1;
+const GENERATOR_KIND_IGAN: u8 = 2;
 
 /// One embedding table captured out of a model.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,6 +260,13 @@ pub fn save_checkpoint(path: &Path, trainer: &Trainer) -> Result<(), SnapshotErr
     write_section(&mut w, SECTION_OPTIMIZER, |w| {
         encode_optimizer_state(w, &state.optimizer)
     });
+    // Stateless samplers write no sampler section at all, keeping their
+    // checkpoints byte-compatible with pre-section-4 readers.
+    if !matches!(state.sampler, SamplerState::Stateless) {
+        write_section(&mut w, SECTION_SAMPLER, |w| {
+            encode_sampler_state(w, &state.sampler)
+        });
+    }
     write_frame(path, &w.into_payload())
 }
 
@@ -253,6 +277,7 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, SnapshotError> {
     let mut model = None;
     let mut trainer = None;
     let mut optimizer = None;
+    let mut sampler = None;
     walk_sections(&mut r, |tag, r| {
         match tag {
             SECTION_MODEL => model = Some(ModelSnapshot::decode(r)?),
@@ -294,6 +319,7 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, SnapshotError> {
                 ));
             }
             SECTION_OPTIMIZER => optimizer = Some(decode_optimizer_state(r)?),
+            SECTION_SAMPLER => sampler = Some(decode_sampler_state(r)?),
             _ => {}
         }
         Ok(())
@@ -318,6 +344,9 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, SnapshotError> {
             rng,
             batch_order,
             optimizer,
+            // Legacy checkpoints (and stateless-sampler checkpoints) carry no
+            // sampler section; every sampler imports `Stateless` as a no-op.
+            sampler: sampler.unwrap_or(SamplerState::Stateless),
         },
         meta,
     })
@@ -389,6 +418,177 @@ fn walk_sections(
         visit(tag, &mut body)?;
     }
     Ok(())
+}
+
+/// Reject a decoded element count whose minimal encoding could not fit in the
+/// reader's remaining bytes — the pre-allocation guard for corrupt counts.
+fn guard_count(
+    r: &Reader<'_>,
+    count: usize,
+    min_elem_bytes: usize,
+    context: &'static str,
+) -> Result<(), SnapshotError> {
+    if count
+        .checked_mul(min_elem_bytes)
+        .is_none_or(|b| b > r.remaining())
+    {
+        return Err(SnapshotError::Truncated {
+            context,
+            needed: count.saturating_mul(min_elem_bytes),
+            available: r.remaining(),
+        });
+    }
+    Ok(())
+}
+
+fn encode_cache_state(w: &mut Writer, cache: &CacheState) {
+    w.u64(cache.changed_elements);
+    w.u64(cache.entries.len() as u64);
+    for entry in &cache.entries {
+        w.u32(entry.key.0);
+        w.u32(entry.key.1);
+        w.u32_slice(&entry.entities);
+    }
+}
+
+fn decode_cache_state(r: &mut Reader<'_>, what: &'static str) -> Result<CacheState, SnapshotError> {
+    let changed_elements = r.u64("cache changed elements")?;
+    let n = r.u64("cache entry count")? as usize;
+    // Allocation guard: each entry takes at least key (8) + count prefix (8)
+    // bytes, so a corrupt count cannot drive a huge Vec::with_capacity.
+    guard_count(r, n, 16, what)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = r.u32("cache key a")?;
+        let b = r.u32("cache key b")?;
+        let entities = r.u32_slice("cache entities")?;
+        entries.push(CacheEntryState {
+            key: (a, b),
+            entities,
+        });
+    }
+    Ok(CacheState {
+        changed_elements,
+        entries,
+    })
+}
+
+fn encode_sampler_state(w: &mut Writer, state: &SamplerState) {
+    match state {
+        // Stateless captures never reach here (save_checkpoint omits the
+        // section), but encode defensively as an NSCaching-free marker-less
+        // no-op is impossible — panic instead of writing a lying section.
+        SamplerState::Stateless => unreachable!("stateless sampler state is not encoded"),
+        SamplerState::NsCaching(ns) => {
+            w.u8(SAMPLER_STATE_NSCACHING);
+            w.u8(ns.updates_enabled as u8);
+            w.u64(ns.shards.len() as u64);
+            for shard in &ns.shards {
+                w.u64(shard.refresh_count);
+                encode_cache_state(w, &shard.head);
+                encode_cache_state(w, &shard.tail);
+            }
+        }
+        SamplerState::Generator(g) => {
+            w.u8(SAMPLER_STATE_GENERATOR);
+            w.u8(match g.kind {
+                GeneratorKind::KbGan => GENERATOR_KIND_KBGAN,
+                GeneratorKind::Igan => GENERATOR_KIND_IGAN,
+            });
+            w.f64(g.baseline);
+            w.u64(g.feedback_steps);
+            w.u32(g.tables.len() as u32);
+            for table in &g.tables {
+                w.str(&table.name);
+                w.u64(table.rows as u64);
+                w.u64(table.dim as u64);
+                w.f64_slice(&table.data);
+            }
+            encode_optimizer_state(w, &g.optimizer);
+        }
+    }
+}
+
+fn decode_sampler_state(r: &mut Reader<'_>) -> Result<SamplerState, SnapshotError> {
+    match r.u8("sampler state kind")? {
+        SAMPLER_STATE_NSCACHING => {
+            let updates_enabled = match r.u8("updates-enabled flag")? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "updates-enabled flag must be 0 or 1, found {other}"
+                    )))
+                }
+            };
+            let n = r.u64("sampler shard count")? as usize;
+            if n == 0 {
+                return Err(SnapshotError::Corrupt(
+                    "NSCaching sampler state records zero shards".into(),
+                ));
+            }
+            guard_count(r, n, 40, "sampler shards")?;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                let refresh_count = r.u64("shard refresh count")?;
+                let head = decode_cache_state(r, "head cache entries")?;
+                let tail = decode_cache_state(r, "tail cache entries")?;
+                shards.push(NsCachingShardState {
+                    refresh_count,
+                    head,
+                    tail,
+                });
+            }
+            Ok(SamplerState::NsCaching(NsCachingState {
+                updates_enabled,
+                shards,
+            }))
+        }
+        SAMPLER_STATE_GENERATOR => {
+            let kind = match r.u8("generator kind")? {
+                GENERATOR_KIND_KBGAN => GeneratorKind::KbGan,
+                GENERATOR_KIND_IGAN => GeneratorKind::Igan,
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "unknown generator kind tag {other}"
+                    )))
+                }
+            };
+            let baseline = r.f64("generator baseline")?;
+            let feedback_steps = r.u64("feedback steps")?;
+            let n = r.u32("generator table count")?;
+            let mut tables = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let name = r.str("generator table name")?;
+                let rows = r.u64("generator table rows")? as usize;
+                let dim = r.u64("generator table dim")? as usize;
+                let data = r.f64_slice("generator table slab")?;
+                if data.len() != rows * dim {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "generator table {name:?} slab holds {} values, expected {rows}×{dim}",
+                        data.len()
+                    )));
+                }
+                tables.push(GeneratorTableState {
+                    name,
+                    rows,
+                    dim,
+                    data,
+                });
+            }
+            let optimizer = decode_optimizer_state(r)?;
+            Ok(SamplerState::Generator(GeneratorState {
+                kind,
+                baseline,
+                feedback_steps,
+                tables,
+                optimizer,
+            }))
+        }
+        other => Err(SnapshotError::Corrupt(format!(
+            "unknown sampler state tag {other}"
+        ))),
+    }
 }
 
 fn encode_optimizer_state(w: &mut Writer, state: &OptimizerState) {

@@ -1,0 +1,352 @@
+//! The kill-anywhere crash harness: a child process runs a train → checkpoint
+//! loop with stateful samplers while `NSC_CRASH_AT=<k>` makes it die **hard**
+//! (`abort`, no cleanup — the on-disk effect of `SIGKILL`) at the `k`-th
+//! instrumented crash point it passes. Sweeping `k` over every reachable
+//! point enumerates every interesting kill schedule deterministically:
+//! mid-temp-write (torn staging file), between fsync and rename, after rename
+//! before the directory fsync, and between the deletes of a rotation.
+//!
+//! For every schedule the parent then proves the last-good guarantee from the
+//! child's wreckage alone:
+//!
+//! 1. [`CheckpointManager::recover`] finds a valid checkpoint whenever at
+//!    least one save completed before the kill (progress is known from the
+//!    child's per-save log, written with unbuffered appends so `abort` cannot
+//!    lose it);
+//! 2. the recovered checkpoint is the *last good* one — its epoch is the last
+//!    logged save, or one past it when the kill hit rotation after the new
+//!    frame was already durable;
+//! 3. resuming it and finishing the run reproduces the uninterrupted
+//!    reference **bit-for-bit**: embedding tables, sampler state (NSCaching
+//!    caches / GAN generator + baseline) and evaluation metrics.
+//!
+//! The matrix covers the three stateful samplers at shards ∈ {1, 4}, which
+//! puts the number of distinct kill schedules above the 200 the robustness
+//! bar asks for (asserted at the end, so shrinking the loop cannot silently
+//! weaken the suite).
+
+use nscaching::{NsCachingConfig, SamplerConfig};
+use nscaching_datagen::GeneratorConfig;
+use nscaching_eval::EvalProtocol;
+use nscaching_kg::Dataset;
+use nscaching_models::{build_model, ModelConfig, ModelKind};
+use nscaching_optim::OptimizerConfig;
+use nscaching_serve::crash::CRASH_AT_ENV;
+use nscaching_serve::{resume_trainer, CheckpointManager};
+use nscaching_train::{TrainConfig, Trainer};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+/// Marks a spawned copy of this binary as the crash child.
+const CHILD_ENV: &str = "NSC_CRASH_CHILD";
+/// Sampler name for the child: `nscaching` | `kbgan` | `igan`.
+const SAMPLER_ENV: &str = "NSC_CRASH_SAMPLER";
+/// Shard count for the child's trainer.
+const SHARDS_ENV: &str = "NSC_CRASH_SHARDS";
+/// Checkpoint directory the child saves into.
+const DIR_ENV: &str = "NSC_CRASH_DIR";
+/// Progress log the child appends to (unbuffered, survives `abort`).
+const LOG_ENV: &str = "NSC_CRASH_LOG";
+
+/// Epochs the child trains, one checkpoint per epoch.
+const EPOCHS: usize = 7;
+/// Retention limit handed to the manager (small, so rotation runs often).
+const KEEP: usize = 2;
+/// A crash index no schedule reaches: the counting run completes normally.
+const BEYOND_REACH: u64 = 1_000_000;
+/// Concurrent child processes per sweep.
+const PARALLEL: usize = 8;
+
+fn dataset() -> Dataset {
+    let mut c = GeneratorConfig::small("crash-recovery");
+    c.num_entities = 60;
+    c.num_train = 300;
+    c.num_valid = 30;
+    c.num_test = 30;
+    c.seed = 11;
+    nscaching_datagen::generate(&c).unwrap()
+}
+
+fn sampler_config(name: &str) -> SamplerConfig {
+    match name {
+        "nscaching" => SamplerConfig::NsCaching(NsCachingConfig::default()),
+        "kbgan" => SamplerConfig::KbGan {
+            generator: ModelKind::TransE,
+            generator_dim: 6,
+            candidate_size: 10,
+            generator_lr: 0.01,
+        },
+        "igan" => SamplerConfig::Igan {
+            generator: ModelKind::TransE,
+            generator_dim: 6,
+            generator_lr: 0.01,
+        },
+        other => panic!("unknown sampler {other:?}"),
+    }
+}
+
+fn build_trainer(ds: &Dataset, sampler: &str, shards: usize) -> Trainer {
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE).with_dim(6).with_seed(3),
+        ds.num_entities(),
+        ds.num_relations(),
+    );
+    let sampler = nscaching::build_sampler(&sampler_config(sampler), ds, 7);
+    let config = TrainConfig::new(EPOCHS)
+        .with_batch_size(64)
+        .with_optimizer(OptimizerConfig::adam(0.02))
+        .with_seed(13)
+        .with_shards(shards);
+    Trainer::new(model, sampler, ds, config)
+}
+
+fn eval_fingerprint(trainer: &Trainer) -> (u64, u64) {
+    let report = trainer.evaluate(&EvalProtocol::filtered().with_max_triples(20));
+    (
+        report.combined.mrr.to_bits(),
+        report.combined.hits_at_10.to_bits(),
+    )
+}
+
+/// Bit patterns of every embedding table, in table order.
+fn model_bits(trainer: &Trainer) -> Vec<Vec<u64>> {
+    trainer
+        .model()
+        .tables()
+        .iter()
+        .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// The child body: train, checkpointing every epoch, logging each completed
+/// save with an unbuffered append (an `abort` mid-save therefore loses at
+/// most the save in flight, never the record of a finished one).
+fn child_main() -> ! {
+    let sampler = std::env::var(SAMPLER_ENV).unwrap();
+    let shards: usize = std::env::var(SHARDS_ENV).unwrap().parse().unwrap();
+    let dir = PathBuf::from(std::env::var(DIR_ENV).unwrap());
+    let log_path = PathBuf::from(std::env::var(LOG_ENV).unwrap());
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&log_path)
+        .unwrap();
+
+    let ds = dataset();
+    let mut trainer = build_trainer(&ds, &sampler, shards);
+    let manager = CheckpointManager::new(&dir, KEEP).unwrap();
+    for epoch in 1..=EPOCHS {
+        trainer.train_epoch();
+        manager.save(&trainer).unwrap();
+        writeln!(log, "SAVED {epoch}").unwrap();
+    }
+    writeln!(
+        log,
+        "POINTS {}",
+        nscaching_serve::crash::crash_points_passed()
+    )
+    .unwrap();
+    std::process::exit(0);
+}
+
+/// What the child's progress log says happened before the process died.
+#[derive(Debug, Default)]
+struct ChildLog {
+    /// Highest epoch whose `manager.save` returned before the kill.
+    last_saved: usize,
+    /// Total crash points passed (present only when the child ran to the end).
+    points: Option<u64>,
+}
+
+fn read_log(path: &Path) -> ChildLog {
+    let mut parsed = ChildLog::default();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return parsed;
+    };
+    for line in text.lines() {
+        if let Some(epoch) = line.strip_prefix("SAVED ") {
+            parsed.last_saved = epoch.parse().unwrap();
+        } else if let Some(points) = line.strip_prefix("POINTS ") {
+            parsed.points = Some(points.parse().unwrap());
+        }
+    }
+    parsed
+}
+
+/// Spawn this test binary as a crash child and wait for it to die (or, for
+/// the counting run, finish). Returns whether it exited successfully.
+fn run_child(sampler: &str, shards: usize, dir: &Path, log: &Path, crash_at: u64) -> bool {
+    let status = Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "kill_anywhere_recovery_matrix", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .env(CRASH_AT_ENV, crash_at.to_string())
+        .env(SAMPLER_ENV, sampler)
+        .env(SHARDS_ENV, shards.to_string())
+        .env(DIR_ENV, dir)
+        .env(LOG_ENV, log)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn crash child");
+    status.success()
+}
+
+/// Per-config scratch space, wiped before every child run.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("nscaching-crash-recovery")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The uninterrupted run's final state, shared read-only across the sweep.
+struct Reference {
+    bits: Vec<Vec<u64>>,
+    sampler_state: nscaching::SamplerState,
+    eval: (u64, u64),
+}
+
+/// Verify one kill schedule: recover from the wreckage, resume, finish, and
+/// compare bits against the reference.
+fn verify_schedule(
+    ds: &Dataset,
+    reference: &Reference,
+    sampler: &str,
+    shards: usize,
+    crash_at: u64,
+) {
+    let tag = format!("{sampler}-{shards}-k{crash_at}");
+    let dir = fresh_dir(&tag);
+    let log_path = dir.join("progress.log");
+    let clean_exit = run_child(sampler, shards, &dir, &log_path, crash_at);
+    assert!(
+        !clean_exit,
+        "{tag}: child survived a crash schedule that should have killed it"
+    );
+    let progress = read_log(&log_path);
+
+    let manager = CheckpointManager::new(&dir, KEEP).unwrap();
+    let recovery = manager.recover().unwrap();
+    let Some(recovery) = recovery else {
+        assert_eq!(
+            progress.last_saved, 0,
+            "{tag}: {} saves completed but recovery found no checkpoint",
+            progress.last_saved
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    };
+    assert!(
+        recovery.quarantined.is_empty(),
+        "{tag}: a hard kill must never leave a corrupt *live* checkpoint \
+         (atomic rename), yet recovery quarantined {:?}",
+        recovery.quarantined
+    );
+
+    let config = TrainConfig::new(EPOCHS)
+        .with_batch_size(64)
+        .with_optimizer(OptimizerConfig::adam(0.02))
+        .with_seed(13)
+        .with_shards(shards);
+    let fresh_sampler = nscaching::build_sampler(&sampler_config(sampler), ds, 7);
+    let mut resumed = resume_trainer(recovery.checkpoint, fresh_sampler, ds, config)
+        .unwrap_or_else(|e| panic!("{tag}: recovered checkpoint failed to resume: {e}"));
+
+    // Last-good: every logged save survives the kill; a kill inside rotation
+    // (or between rename and directory fsync) may additionally have made the
+    // *next* save durable before its `SAVED` line was written.
+    let epoch = resumed.epochs_done();
+    assert!(
+        epoch == progress.last_saved || epoch == progress.last_saved + 1,
+        "{tag}: recovered epoch {epoch} but the log proves {} completed saves",
+        progress.last_saved
+    );
+
+    while resumed.epochs_done() < EPOCHS {
+        resumed.train_epoch();
+    }
+    assert_eq!(
+        model_bits(&resumed),
+        reference.bits,
+        "{tag}: embeddings diverged after crash-recovery resume"
+    );
+    assert_eq!(
+        resumed.checkpoint().sampler,
+        reference.sampler_state,
+        "{tag}: sampler state diverged after crash-recovery resume"
+    );
+    assert_eq!(
+        eval_fingerprint(&resumed),
+        reference.eval,
+        "{tag}: evaluation metrics diverged after crash-recovery resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_anywhere_recovery_matrix() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child_main();
+    }
+
+    let ds = Arc::new(dataset());
+    let mut total_schedules = 0u64;
+    for sampler in ["nscaching", "kbgan", "igan"] {
+        for shards in [1usize, 4] {
+            // Counting run: the child completes untouched (the crash index is
+            // beyond reach) and reports how many crash points the full loop
+            // passes — that is the schedule space for this configuration.
+            let tag = format!("{sampler}-{shards}-count");
+            let dir = fresh_dir(&tag);
+            let log_path = dir.join("progress.log");
+            assert!(
+                run_child(sampler, shards, &dir, &log_path, BEYOND_REACH),
+                "{tag}: counting child failed"
+            );
+            let counted = read_log(&log_path);
+            assert_eq!(counted.last_saved, EPOCHS);
+            let points = counted.points.expect("counting child must report POINTS");
+            assert!(
+                points > 0,
+                "no crash points reached — harness is wired up wrong"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            total_schedules += points;
+
+            // Uninterrupted reference, computed once in-process.
+            let mut reference_trainer = build_trainer(&ds, sampler, shards);
+            for _ in 0..EPOCHS {
+                reference_trainer.train_epoch();
+            }
+            let reference = Arc::new(Reference {
+                bits: model_bits(&reference_trainer),
+                sampler_state: reference_trainer.checkpoint().sampler,
+                eval: eval_fingerprint(&reference_trainer),
+            });
+            drop(reference_trainer);
+
+            // Sweep every schedule, a few children at a time.
+            std::thread::scope(|scope| {
+                for worker in 0..PARALLEL {
+                    let ds = Arc::clone(&ds);
+                    let reference = Arc::clone(&reference);
+                    scope.spawn(move || {
+                        let mut crash_at = worker as u64;
+                        while crash_at < points {
+                            verify_schedule(&ds, &reference, sampler, shards, crash_at);
+                            crash_at += PARALLEL as u64;
+                        }
+                    });
+                }
+            });
+        }
+    }
+    assert!(
+        total_schedules >= 200,
+        "robustness bar: need at least 200 distinct kill schedules, got {total_schedules}"
+    );
+}

@@ -2,19 +2,21 @@
 //! disk produces **bit-for-bit** the same embeddings and evaluation metrics
 //! as the uninterrupted run — for all 7 scoring functions × 3 optimizers at
 //! shards ∈ {1, 4} (the sequential paper-exact engine and the pooled
-//! parallel engine).
+//! parallel engine), and for every *stateful* sampler (NSCaching, KBGAN,
+//! IGAN), whose evolving state rides in the checkpoint's sampler section.
 //!
 //! Why this is provable rather than approximate: the trajectory is a pure
 //! function of (tables, optimizer slabs, master-RNG state, batch
-//! permutation, epoch counter, config). The checkpoint carries the first
-//! five; the parallel engine's per-shard streams are re-derived from
-//! `(seed, epoch, shard)` via SplitMix64, so the restored epoch counter
-//! reproduces them exactly. The Bernoulli sampler used here is a pure
+//! permutation, epoch counter, sampler state, config). The checkpoint
+//! carries all but the config; the parallel engine's per-shard streams are
+//! re-derived from `(seed, epoch, shard)` via SplitMix64, so the restored
+//! epoch counter reproduces them exactly. The Bernoulli sampler is a pure
 //! function of `(dataset, sampler seed)`, so rebuilding it restores the
-//! sampler side too (the stateful samplers are out of the guarantee; see the
-//! crate docs).
+//! sampler side for free; the stateful samplers restore theirs through
+//! `NegativeSampler::import_state` (NSCaching's per-shard `H`/`T` caches,
+//! a GAN sampler's generator tables, optimizer slabs and baseline).
 
-use nscaching::SamplerConfig;
+use nscaching::{NsCachingConfig, SamplerConfig};
 use nscaching_datagen::GeneratorConfig;
 use nscaching_eval::EvalProtocol;
 use nscaching_kg::Dataset;
@@ -57,19 +59,28 @@ fn optimizer_config(opt: usize) -> OptimizerConfig {
     }
 }
 
-fn build_trainer(ds: &Dataset, kind: ModelKind, opt: usize, shards: usize) -> Trainer {
+fn trainer_config(opt: usize, shards: usize) -> TrainConfig {
+    TrainConfig::new(TOTAL_EPOCHS)
+        .with_batch_size(64)
+        .with_optimizer(optimizer_config(opt))
+        .with_seed(9)
+        .with_shards(shards)
+}
+
+fn build_trainer(
+    ds: &Dataset,
+    kind: ModelKind,
+    sampler: &SamplerConfig,
+    opt: usize,
+    shards: usize,
+) -> Trainer {
     let model = build_model(
         &ModelConfig::new(kind).with_dim(6).with_seed(2),
         ds.num_entities(),
         ds.num_relations(),
     );
-    let sampler = nscaching::build_sampler(&SamplerConfig::Bernoulli, ds, 4);
-    let config = TrainConfig::new(TOTAL_EPOCHS)
-        .with_batch_size(64)
-        .with_optimizer(optimizer_config(opt))
-        .with_seed(9)
-        .with_shards(shards);
-    Trainer::new(model, sampler, ds, config)
+    let sampler = nscaching::build_sampler(sampler, ds, 4);
+    Trainer::new(model, sampler, ds, trainer_config(opt, shards))
 }
 
 fn eval_fingerprint(trainer: &Trainer) -> (u64, u64, u64) {
@@ -101,45 +112,82 @@ fn assert_models_bitwise_equal(a: &dyn KgeModel, b: &dyn KgeModel, context: &str
 }
 
 /// One cell of the matrix: train uninterrupted; train → checkpoint → load →
-/// resume → finish; compare bits.
-fn assert_exact_resume(ds: &Dataset, kind: ModelKind, opt: usize, shards: usize) {
+/// resume → finish; compare bits. The resume side gets a **freshly built**
+/// sampler — for stateful samplers its evolving state must come back from the
+/// checkpoint's sampler section, or the comparison fails.
+fn assert_exact_resume_with(
+    ds: &Dataset,
+    kind: ModelKind,
+    sampler: &SamplerConfig,
+    opt: usize,
+    shards: usize,
+) {
     // Uninterrupted reference.
-    let mut reference = build_trainer(ds, kind, opt, shards);
+    let mut reference = build_trainer(ds, kind, sampler, opt, shards);
     for _ in 0..TOTAL_EPOCHS {
         reference.train_epoch();
     }
 
     // Interrupted run, checkpointed to disk at the interrupt point.
-    let mut interrupted = build_trainer(ds, kind, opt, shards);
+    let mut interrupted = build_trainer(ds, kind, sampler, opt, shards);
     for _ in 0..INTERRUPT_AFTER {
         interrupted.train_epoch();
     }
-    let path = tempfile(&format!("{kind:?}-{opt}-{shards}"));
+    let path = tempfile(&format!(
+        "{kind:?}-{}-{opt}-{shards}",
+        sampler.display_name()
+    ));
     save_checkpoint(&path, &interrupted).unwrap();
     drop(interrupted); // the process "dies" here
 
     // A fresh process resumes from the file alone (plus dataset + config).
     let checkpoint = load_checkpoint(&path).unwrap();
     std::fs::remove_file(&path).ok();
-    let sampler = nscaching::build_sampler(&SamplerConfig::Bernoulli, ds, 4);
-    let config = TrainConfig::new(TOTAL_EPOCHS)
-        .with_batch_size(64)
-        .with_optimizer(optimizer_config(opt))
-        .with_seed(9)
-        .with_shards(shards);
-    let mut resumed = resume_trainer(checkpoint, sampler, ds, config).unwrap();
+    let fresh = nscaching::build_sampler(sampler, ds, 4);
+    let mut resumed = resume_trainer(checkpoint, fresh, ds, trainer_config(opt, shards)).unwrap();
     assert_eq!(resumed.epochs_done(), INTERRUPT_AFTER);
     while resumed.epochs_done() < TOTAL_EPOCHS {
         resumed.train_epoch();
     }
 
-    let context = format!("{kind:?} / optimizer {opt} / {shards} shard(s)");
+    let context = format!(
+        "{kind:?} / {} / optimizer {opt} / {shards} shard(s)",
+        sampler.display_name()
+    );
     assert_models_bitwise_equal(reference.model(), resumed.model(), &context);
+    assert_eq!(
+        resumed.checkpoint().sampler,
+        reference.checkpoint().sampler,
+        "{context}: sampler state diverged"
+    );
     assert_eq!(
         eval_fingerprint(&reference),
         eval_fingerprint(&resumed),
         "{context}: evaluation metrics diverged"
     );
+}
+
+fn assert_exact_resume(ds: &Dataset, kind: ModelKind, opt: usize, shards: usize) {
+    assert_exact_resume_with(ds, kind, &SamplerConfig::Bernoulli, opt, shards);
+}
+
+/// The stateful samplers whose state rides in the checkpoint's sampler
+/// section, with small generators to keep the matrix fast.
+fn stateful_samplers() -> Vec<SamplerConfig> {
+    vec![
+        SamplerConfig::NsCaching(NsCachingConfig::default()),
+        SamplerConfig::KbGan {
+            generator: ModelKind::TransE,
+            generator_dim: 6,
+            candidate_size: 10,
+            generator_lr: 0.01,
+        },
+        SamplerConfig::Igan {
+            generator: ModelKind::TransE,
+            generator_dim: 6,
+            generator_lr: 0.01,
+        },
+    ]
 }
 
 #[test]
@@ -162,17 +210,37 @@ fn exact_resume_all_models_all_optimizers_four_shards() {
     }
 }
 
+/// Satellite of the crash-recovery PR: the same bit-for-bit guarantee for
+/// the *stateful* samplers, at both engine shapes. A freshly built sampler
+/// plus the checkpoint's sampler section must equal the sampler that never
+/// died.
+#[test]
+fn exact_resume_stateful_samplers_sequential() {
+    let ds = dataset();
+    for sampler in stateful_samplers() {
+        assert_exact_resume_with(&ds, ModelKind::TransE, &sampler, 2, 1);
+    }
+}
+
+#[test]
+fn exact_resume_stateful_samplers_four_shards() {
+    let ds = dataset();
+    for sampler in stateful_samplers() {
+        assert_exact_resume_with(&ds, ModelKind::TransE, &sampler, 2, 4);
+    }
+}
+
 /// `Trainer::run` semantics after a resume: only the remaining epoch budget
 /// runs, and the final report matches the uninterrupted run's bits.
 #[test]
 fn resumed_run_consumes_only_the_remaining_budget() {
     let ds = dataset();
-    let mut reference = build_trainer(&ds, ModelKind::TransE, 2, 1);
+    let mut reference = build_trainer(&ds, ModelKind::TransE, &SamplerConfig::Bernoulli, 2, 1);
     let reference_history = reference.run();
     assert_eq!(reference_history.epochs.len(), TOTAL_EPOCHS);
     let reference_mrr = reference_history.final_mrr().unwrap();
 
-    let mut interrupted = build_trainer(&ds, ModelKind::TransE, 2, 1);
+    let mut interrupted = build_trainer(&ds, ModelKind::TransE, &SamplerConfig::Bernoulli, 2, 1);
     interrupted.train_epoch();
     let path = tempfile("run-budget");
     save_checkpoint(&path, &interrupted).unwrap();
@@ -180,12 +248,7 @@ fn resumed_run_consumes_only_the_remaining_budget() {
     let checkpoint = load_checkpoint(&path).unwrap();
     std::fs::remove_file(&path).ok();
     let sampler = nscaching::build_sampler(&SamplerConfig::Bernoulli, &ds, 4);
-    let config = TrainConfig::new(TOTAL_EPOCHS)
-        .with_batch_size(64)
-        .with_optimizer(optimizer_config(2))
-        .with_seed(9)
-        .with_shards(1);
-    let mut resumed = resume_trainer(checkpoint, sampler, &ds, config).unwrap();
+    let mut resumed = resume_trainer(checkpoint, sampler, &ds, trainer_config(2, 1)).unwrap();
     let resumed_history = resumed.run();
     assert_eq!(
         resumed_history.epochs.len(),

@@ -10,7 +10,7 @@ use crate::data::TrainData;
 use crate::instrument::{EpochAccumulator, EpochStats, RepeatTracker};
 use crate::pool::WorkerPool;
 use crate::snapshots::{Snapshot, TrainingHistory};
-use nscaching::{NegativeSampler, SampledNegative, ShardSampler};
+use nscaching::{NegativeSampler, SampledNegative, SamplerState, ShardSampler};
 use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
 use nscaching_kg::{FilterIndex, Triple};
 use nscaching_math::{rng_from_state, rng_state, seeded_rng, split_seed};
@@ -47,15 +47,17 @@ pub const SHARD_STREAM_TAG: u64 = 0xA11E1;
 ///   permutes the previous epoch's order in place, so the permutation is
 ///   cumulative state, not a pure function of the RNG);
 /// * `optimizer` — the dense per-table state slabs (Adam moments + step
-///   counters, AdaGrad accumulators).
+///   counters, AdaGrad accumulators);
+/// * `sampler` — the sampler's evolving state ([`SamplerState`]): NSCaching's
+///   per-shard `H`/`T` caches and counters, or a GAN sampler's generator
+///   tables, optimizer moments and REINFORCE baseline. `Stateless` for
+///   Uniform/Bernoulli, whose state is a pure function of
+///   `(dataset, sampler seed)`.
 ///
 /// A trainer rebuilt with the same configuration, dataset, sampler and model
 /// tables and then [`restore`](Trainer::restore)d from this state continues
-/// the run **bit-for-bit** as if it had never stopped — provided the sampler's
-/// own state is a pure function of `(dataset, sampler seed)` (Uniform and
-/// Bernoulli; NSCaching's caches and the GAN generators carry evolving state
-/// that is *not* part of this checkpoint, so their resumed trajectories are
-/// valid but not bitwise-identical). The binary on-disk encoding lives in
+/// the run **bit-for-bit** as if it had never stopped — for *every* sampler,
+/// stateful ones included. The binary on-disk encoding lives in
 /// `nscaching_serve`, which also checkpoints the model tables.
 ///
 /// Not captured (by design): the training history and the repeat-ratio
@@ -73,6 +75,9 @@ pub struct TrainerState {
     pub batch_order: Vec<u32>,
     /// Exported optimizer state slabs.
     pub optimizer: OptimizerState,
+    /// Exported sampler state (`Stateless` for Uniform/Bernoulli and for
+    /// legacy checkpoints written before sampler sections existed).
+    pub sampler: SamplerState,
 }
 
 /// Everything one shard worker produces for one mini-batch, buffered so the
@@ -254,6 +259,7 @@ impl Trainer {
             rng: rng_state(&self.rng),
             batch_order: self.batcher.order().to_vec(),
             optimizer: self.optimizer.export_state(),
+            sampler: self.sampler.export_state(),
         }
     }
 
@@ -263,7 +269,8 @@ impl Trainer {
     /// model whose tables already hold the checkpointed values (the snapshot
     /// store restores them before constructing the trainer). Fails when the
     /// optimizer state belongs to a different optimizer kind than the
-    /// configured one.
+    /// configured one, or the sampler state to a different sampler kind than
+    /// the configured sampler.
     pub fn restore(&mut self, state: TrainerState) -> Result<(), String> {
         // The all-zero state is the one invalid xoshiro256** fixed point; a
         // real trainer can never produce it, and the RNG constructor would
@@ -275,6 +282,7 @@ impl Trainer {
         // Re-pad the imported slabs to the model's table sizes so the
         // no-allocation guarantee of the bound optimizer still holds.
         self.optimizer.bind(self.model.as_ref());
+        self.sampler.import_state(state.sampler)?;
         self.batcher.set_order(state.batch_order)?;
         self.rng = rng_from_state(state.rng);
         self.epochs_done = state.epochs_done as usize;
