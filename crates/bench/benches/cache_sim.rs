@@ -28,6 +28,13 @@
 //! `ShardedCache` of the same total capacity and asserts the hash-split
 //! caches serve (near-)identical hit rates — sharding buys concurrency, not
 //! a different eviction outcome.
+//!
+//! Each cell also replays with the `CacheConfig::admission` TinyLFU filter
+//! in front of the policy (`tinylfu_*` columns): the scan trace is where the
+//! filter should earn its keep (one-touch sweep keys lose their frequency
+//! contest and never evict an incumbent), and the shift trace is where its
+//! halving reset is on trial (stale frequency credit must decay fast enough
+//! for the new head to buy in).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nscaching_serve::{EvictionPolicy, PolicyCache, PolicyKind, ShardedCache};
@@ -135,6 +142,21 @@ fn replay_flat(trace: &[u64], policy: PolicyKind) -> (f64, u64) {
     (stats.hit_rate(), stats.evictions)
 }
 
+/// Replay a trace with a TinyLFU admission filter in front of the policy
+/// (`CacheConfig::admission`): one-touch keys must now out-score the
+/// prospective eviction victim's sketch frequency to get in at all.
+fn replay_admission(trace: &[u64], policy: PolicyKind) -> (f64, u64) {
+    let mut cache: PolicyCache<u64, u64, Box<dyn EvictionPolicy + Send>> =
+        PolicyCache::with_policy(CAPACITY, policy.build(CAPACITY)).with_admission();
+    for &key in trace {
+        if cache.get(&key).is_none() {
+            cache.insert(key, key);
+        }
+    }
+    let stats = cache.stats();
+    (stats.hit_rate(), stats.rejections)
+}
+
 /// Replay a trace through the hash-sharded cache at the same total capacity.
 fn replay_sharded(trace: &[u64], policy: PolicyKind) -> f64 {
     let cache: ShardedCache<u64, u64> = ShardedCache::new(CAPACITY, policy, SHARDS);
@@ -177,6 +199,7 @@ fn assert_cache_sim(_c: &mut Criterion) {
         let mut best: Option<(PolicyKind, f64)> = None;
         for (p, policy) in PolicyKind::ALL.into_iter().enumerate() {
             let (hit_rate, evictions) = replay_flat(trace, policy);
+            let (tinylfu_rate, tinylfu_rejections) = replay_admission(trace, policy);
             let sharded_rate = replay_sharded(trace, policy);
             let delta = (hit_rate - sharded_rate).abs();
             if delta > tolerance {
@@ -191,15 +214,18 @@ fn assert_cache_sim(_c: &mut Criterion) {
             }
             policy_rows.push_str(&format!(
                 "      {{ \"policy\": \"{}\", \"hit_rate\": {hit_rate:.4}, \
-                 \"evictions\": {evictions}, \"sharded_hit_rate\": {sharded_rate:.4} }}",
+                 \"evictions\": {evictions}, \"sharded_hit_rate\": {sharded_rate:.4}, \
+                 \"tinylfu_hit_rate\": {tinylfu_rate:.4}, \
+                 \"tinylfu_rejections\": {tinylfu_rejections} }}",
                 policy.name()
             ));
             println!(
                 "cache_sim {trace_name:>5} {:>5}: hit rate {:.1}% ({evictions} evictions), \
-                 {SHARDS}-shard {:.1}%",
+                 {SHARDS}-shard {:.1}%, +tinylfu {:.1}% ({tinylfu_rejections} rejections)",
                 policy.name(),
                 hit_rate * 100.0,
                 sharded_rate * 100.0,
+                tinylfu_rate * 100.0,
             );
             if best.is_none_or(|(_, b)| hit_rate > b) {
                 best = Some((policy, hit_rate));
@@ -226,7 +252,7 @@ fn assert_cache_sim(_c: &mut Criterion) {
         .collect::<Vec<_>>()
         .join(", ");
     let section = format!(
-        "{{\n  \"workload\": {{\n    \"distinct_keys\": {DISTINCT},\n    \"capacity\": {CAPACITY},\n    \"zipf_exponent\": {ZIPF_S},\n    \"shards\": {SHARDS}\n  }},\n  \"traces\": [\n{trace_rows}\n  ],\n  \"sharded_parity_tolerance\": {tolerance},\n  \"default_policy\": \"slru\",\n  \"note\": \"per-trace winners: {winner_list}. CacheConfig::default() picks SLRU from this table: the highest minimum and mean hit rate across all three shapes (within ~0.2pp of the per-trace winner on zipf and scan, ~1pp on shift), where LFU collapses on shift (stale head pinned by historical counts) and LFUDA gives up ~2pp under scan pollution. The legacy KnowledgeServer::new stays on bit-compatible LRU. Parity gate NSC_CACHE_SIM_OK is the allowed |flat - sharded| hit-rate delta\"\n}}"
+        "{{\n  \"workload\": {{\n    \"distinct_keys\": {DISTINCT},\n    \"capacity\": {CAPACITY},\n    \"zipf_exponent\": {ZIPF_S},\n    \"shards\": {SHARDS}\n  }},\n  \"traces\": [\n{trace_rows}\n  ],\n  \"sharded_parity_tolerance\": {tolerance},\n  \"default_policy\": \"slru\",\n  \"note\": \"per-trace winners: {winner_list}. CacheConfig::default() picks SLRU from this table: the highest minimum and mean hit rate across all three shapes (within ~0.2pp of the per-trace winner on zipf and scan, ~1pp on shift), where LFU collapses on shift (stale head pinned by historical counts) and LFUDA gives up ~2pp under scan pollution. The legacy KnowledgeServer::new stays on bit-compatible LRU. tinylfu_* columns replay the same trace with the CacheConfig::admission TinyLFU filter in front of the policy: it pays for itself on scan pollution (one-touch keys are rejected instead of evicting incumbents) and must not collapse on shift (the halving reset decays stale frequency credit). Admission stays off by default. Parity gate NSC_CACHE_SIM_OK is the allowed |flat - sharded| hit-rate delta\"\n}}"
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

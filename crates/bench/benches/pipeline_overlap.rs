@@ -1,0 +1,205 @@
+//! Criterion bench: the double-buffered pipelined engine against the pool
+//! engine it overlaps — machinery cost on narrow hosts, overlap win on wide
+//! ones.
+//!
+//! Run with `cargo bench -p nscaching-bench --bench pipeline_overlap`.
+//!
+//! The pipelined engine (`TrainRuntime::Pipelined`) scores batch k+1 against
+//! a pre-step shadow model on the worker pool while the main thread merges
+//! and applies batch k. That buys overlap, and it costs machinery: one
+//! `clone_box` of the model per epoch, per-batch stale-row bookkeeping, and
+//! the shadow re-sync after every step. Two gates from the ISSUE's
+//! acceptance bar, both recorded into the `pipeline_overlap` section of
+//! `BENCH_parallel.json`:
+//!
+//! * **1-core pipeline overhead** — pipelined vs pool at a single shard on
+//!   the same workload shape. With no spare core the overlap buys nothing,
+//!   so the difference *is* the machinery: the gate says the double buffer
+//!   may cost at most 5% of the epoch it decorates
+//!   (`NSC_PIPELINE_OVERLAP_MAX`, fractional; CI relaxes it on shared
+//!   runners the same way `NSC_POOL_OVERHEAD_MAX` is relaxed).
+//! * **self-arming overlap ratio** — sequential seconds / 4-shard pipelined
+//!   seconds. On hosts with ≥ 4 cores the gate arms itself at ≥ 2×
+//!   (`NSC_PIPELINE_RATIO4_MIN`): overlapping sampling/scoring with the
+//!   optimizer step must actually convert spare cores into throughput. On
+//!   narrower hosts (this 1-core container included) the same ratio is
+//!   recorded but the default floor relaxes to 0.85 — a sanity bound in the
+//!   territory the pool engine itself occupies on 1 core, not a speedup
+//!   claim.
+//!
+//! The engines are *trajectory-different by design* (the pipeline trains on
+//! staleness-1 delayed gradients), so this bench compares wall-clock only;
+//! `crates/train/tests/pipelined_equivalence.rs` holds the semantics
+//! (bit-reproducibility, staged-engine equivalence, Algorithm 2 ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nscaching::{build_sampler, NsCachingConfig, SamplerConfig};
+use nscaching_datagen::GeneratorConfig;
+use nscaching_kg::Dataset;
+use nscaching_models::{build_model, ModelConfig, ModelKind};
+use nscaching_optim::OptimizerConfig;
+use nscaching_train::{TrainConfig, TrainData, TrainRuntime, Trainer};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Same FB15K-shaped workload as `pool_overhead`, so machinery costs are
+/// directly comparable across `BENCH_pool.json` and `BENCH_parallel.json`.
+fn dataset() -> Dataset {
+    let mut config = GeneratorConfig::small("bench-pipeline-fb15k");
+    config.num_entities = 1_500;
+    config.num_relations = 120;
+    config.num_train = 8_000;
+    config.num_valid = 200;
+    config.num_test = 200;
+    config.seed = 1;
+    nscaching_datagen::generate(&config).expect("generation succeeds")
+}
+
+fn trainer(data: &TrainData, dataset: &Dataset, runtime: TrainRuntime, shards: usize) -> Trainer {
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(64)
+            .with_seed(3),
+        dataset.num_entities(),
+        dataset.num_relations(),
+    );
+    let sampler = build_sampler(
+        &SamplerConfig::NsCaching(NsCachingConfig::new(50, 50)),
+        dataset,
+        7,
+    );
+    let config = TrainConfig::new(0)
+        .with_batch_size(256)
+        .with_optimizer(OptimizerConfig::adam(0.02))
+        .with_margin(3.0)
+        .with_seed(11)
+        .with_shards(shards)
+        .with_runtime(runtime);
+    Trainer::new(model, sampler, data, config)
+}
+
+/// Best-of-N epoch seconds after a warm-up epoch (pool spawned, shadow and
+/// sampler caches materialised, scratch at high-water marks).
+fn epoch_seconds(
+    data: &TrainData,
+    dataset: &Dataset,
+    runtime: TrainRuntime,
+    shards: usize,
+    samples: usize,
+) -> f64 {
+    let mut t = trainer(data, dataset, runtime, shards);
+    t.train_epoch(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(t.train_epoch());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let dataset = dataset();
+    let data = TrainData::from_dataset(&dataset);
+    let mut group = c.benchmark_group("pipeline_epoch");
+    group.sample_size(10);
+    for (label, runtime, shards) in [
+        ("pool_1", TrainRuntime::Pool, 1),
+        ("pipelined_1", TrainRuntime::Pipelined, 1),
+        ("pool_4", TrainRuntime::Pool, 4),
+        ("pipelined_4", TrainRuntime::Pipelined, 4),
+    ] {
+        let mut t = trainer(&data, &dataset, runtime, shards);
+        t.train_epoch(); // warm-up
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(t.train_epoch()))
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance gates: 1-core pipeline machinery ≤ `NSC_PIPELINE_OVERLAP_MAX`
+/// over the pool engine, and on ≥ 4-core hosts a self-armed
+/// ≥ `NSC_PIPELINE_RATIO4_MIN` (default 2×) overlap ratio vs sequential.
+/// Records `BENCH_parallel.json`.
+fn assert_pipeline_overlap(_c: &mut Criterion) {
+    let dataset = dataset();
+    let data = TrainData::from_dataset(&dataset);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let samples = 5;
+    let secs_seq = epoch_seconds(&data, &dataset, TrainRuntime::Sequential, 1, samples);
+    let secs_pool_1 = epoch_seconds(&data, &dataset, TrainRuntime::Pool, 1, samples);
+    let secs_pipe_1 = epoch_seconds(&data, &dataset, TrainRuntime::Pipelined, 1, samples);
+    let secs_pool_4 = epoch_seconds(&data, &dataset, TrainRuntime::Pool, 4, samples);
+    let secs_pipe_4 = epoch_seconds(&data, &dataset, TrainRuntime::Pipelined, 4, samples);
+    let overhead_1 = secs_pipe_1 / secs_pool_1 - 1.0;
+    let ratio_4 = secs_seq / secs_pipe_4;
+    let vs_pool_4 = secs_pool_4 / secs_pipe_4;
+
+    let max_overhead: f64 = std::env::var("NSC_PIPELINE_OVERLAP_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    // The overlap gate self-arms: ≥ 2× only where ≥ 4 cores exist to
+    // overlap onto; elsewhere a sanity floor in pool-engine territory.
+    let armed = cores >= 4;
+    let min_ratio_4: f64 = std::env::var("NSC_PIPELINE_RATIO4_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if armed { 2.0 } else { 0.85 });
+
+    println!(
+        "pipeline_overlap TransE d=64 NSCaching(50,50) |train|={}: \
+         sequential {:.1} ms, pool@1 {:.1} ms, pipelined@1 {:.1} ms \
+         ({:+.2}% machinery, max {:.1}%), pool@4 {:.1} ms, pipelined@4 {:.1} ms \
+         ({ratio_4:.3}x vs sequential, {vs_pool_4:.3}x vs pool@4, \
+         min {min_ratio_4}x {}) on {cores} core(s)",
+        dataset.train.len(),
+        secs_seq * 1e3,
+        secs_pool_1 * 1e3,
+        secs_pipe_1 * 1e3,
+        overhead_1 * 100.0,
+        max_overhead * 100.0,
+        secs_pool_4 * 1e3,
+        secs_pipe_4 * 1e3,
+        if armed { "[armed]" } else { "[relaxed]" },
+    );
+
+    let section = format!(
+        "{{\n  \"workload\": {{\n    \"model\": \"TransE\",\n    \"dim\": 64,\n    \"sampler\": \"NSCaching(N1=50, N2=50)\",\n    \"num_entities\": {},\n    \"num_train\": {},\n    \"batch_size\": 256\n  }},\n  \"cores\": {cores},\n  \"epoch_seconds\": {{\n    \"sequential\": {secs_seq:.6},\n    \"pool_1_shard\": {secs_pool_1:.6},\n    \"pipelined_1_shard\": {secs_pipe_1:.6},\n    \"pool_4_shards\": {secs_pool_4:.6},\n    \"pipelined_4_shards\": {secs_pipe_4:.6}\n  }},\n  \"pipeline_1_shard_overhead\": {overhead_1:.4},\n  \"max_allowed_overhead\": {max_overhead},\n  \"ratio_4_shards_vs_sequential\": {ratio_4:.3},\n  \"ratio_4_shards_vs_pool\": {vs_pool_4:.3},\n  \"min_required_ratio_4\": {min_ratio_4},\n  \"overlap_gate_armed\": {armed},\n  \"note\": \"pipelined@1 vs pool@1 isolates the double-buffer machinery (shadow clone_box per epoch, stale-row bookkeeping, post-step re-sync; <=5% gate, NSC_PIPELINE_OVERLAP_MAX); the overlap ratio gate self-arms at >=2x vs sequential on hosts with >=4 cores and relaxes to a 0.85x sanity floor on narrower hosts (NSC_PIPELINE_RATIO4_MIN). Wall-clock only: the engines train different staleness trajectories by design, semantics held by crates/train/tests/pipelined_equivalence.rs\"\n}}",
+        dataset.num_entities(),
+        dataset.train.len(),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_parallel.json");
+    if let Err(e) =
+        nscaching_bench::update_bench_section(&path, "parallel", "pipeline_overlap", &section)
+    {
+        eprintln!("could not record BENCH_parallel.json at {path:?}: {e}");
+    }
+
+    assert!(
+        overhead_1 <= max_overhead,
+        "1-shard pipelined machinery must cost ≤{:.1}% over the pool engine \
+         (got {:+.2}%; override with NSC_PIPELINE_OVERLAP_MAX)",
+        max_overhead * 100.0,
+        overhead_1 * 100.0,
+    );
+    assert!(
+        ratio_4 >= min_ratio_4,
+        "4-shard pipelined epoch must reach ≥{min_ratio_4}x the sequential epoch \
+         (got {ratio_4:.3}x on {cores} cores, gate {}; override with NSC_PIPELINE_RATIO4_MIN)",
+        if armed { "armed" } else { "relaxed" },
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = assert_pipeline_overlap, bench_engines
+}
+criterion_main!(benches);

@@ -1,5 +1,5 @@
-//! Epoch-scoped relation-projection cache for the matrix/vector-projection
-//! models (TransR, TransD).
+//! Shared epoch-scoped relation-projection cache for the matrix/vector-
+//! projection models (TransR, TransD).
 //!
 //! TransR's candidate kernel needs `M_r·e` for every candidate entity `e` —
 //! a dense `O(d²)` matrix-vector product that defeats the batched fast path's
@@ -7,49 +7,78 @@
 //! `(relation, entity)` pairs are projected over and over: the NSCaching
 //! sampler re-scores its cache residents on every positive sharing a
 //! relation, and the link-prediction ranker projects the whole entity table
-//! once per test triple. This module memoises those projections per thread:
+//! once per test triple. This module memoises those projections in a
+//! **process-wide, read-mostly registry** shared by every scoring thread, so
+//! a panel warmed by one trainer shard (or one serving worker) is warm for
+//! all of them — projections are computed once per parameter version instead
+//! of once per thread.
 //!
-//! * **Keying.** Entries are keyed by `(model instance, relation)`; each
-//!   entry holds one projected vector slot per entity plus a per-entity
-//!   stamp. Model instances are identified by an id drawn from a global
-//!   counter ([`next_projection_model_id`]) so two models can never alias
-//!   each other's projections (model clones take a fresh id).
-//! * **Invalidation.** Every entry records the *combined version* of the
-//!   source [`EmbeddingTable`]s it was computed from (the sum of their
-//!   monotone version counters — any table mutation strictly increases it).
-//!   A per-entity slot is warm iff its stamp equals the entry's version and
-//!   the entry's version equals the tables' current combined version;
-//!   bumping the version therefore lazily invalidates every slot in `O(1)`,
-//!   with no clearing pass. During training this makes the cache
-//!   batch-scoped (the optimizer step touches the tables), during
-//!   evaluation it is effectively immortal.
-//! * **Value transparency.** Cold slots are filled with exactly the
-//!   arithmetic a cache-less implementation would use, and scoring always
-//!   reads the slot, so results are bit-for-bit independent of the cache's
-//!   warm/cold history — a requirement for the trainer's reproducibility
+//! # Sharing contract
+//!
+//! * **Keying.** Panels are keyed by `(model instance, relation)`; each
+//!   panel holds one projected vector slot per entity plus a per-entity
+//!   atomic stamp. Model instances are identified by an id drawn from a
+//!   global counter ([`next_projection_model_id`]) so two models can never
+//!   alias each other's projections (model clones take a fresh id).
+//! * **Invalidation.** A slot is warm iff its stamp equals the *combined
+//!   version* of the source [`EmbeddingTable`]s (the sum of their monotone
+//!   version counters — any table mutation strictly increases it). Bumping
+//!   a version therefore lazily invalidates every slot in `O(1)`, with no
+//!   clearing pass and no cross-thread coordination. During training this
+//!   makes the cache batch-scoped (the optimizer step touches the tables),
+//!   during evaluation it is effectively immortal.
+//! * **Fill protocol.** A thread that finds a slot cold races a single
+//!   compare-and-swap to move the stamp to `version | FILLING`; the winner
+//!   fills the slot exclusively and then publishes it with a release-store
+//!   of `version`. Losers never wait: they compute the projection inline
+//!   into thread-local scratch with exactly the same arithmetic
+//!   ([`PanelGuard::row_or_compute`]), so no scoring call ever blocks on
+//!   another thread's fill.
+//! * **Value transparency.** Cold slots (and loser fallbacks) are computed
+//!   with exactly the arithmetic a cache-less implementation would use, and
+//!   warm reads return those same bits, so results are bit-for-bit
+//!   independent of the cache's warm/cold history *and* of which thread
+//!   warmed a slot — a requirement for the trainer's reproducibility
 //!   contract.
-//! * **Thread locality.** The map is thread-local: the sharded trainer's
-//!   workers each warm their own projections without locks, mirroring the
-//!   query-scratch design in [`crate::batch`]. Nesting
-//!   [`with_projection_cache`] calls on one thread is not supported (and
-//!   never happens — model kernels do not call back into batched scoring).
-//! * **Memory bound.** A soft per-thread budget caps the resident entries;
-//!   exceeding it evicts other models' (possibly dead) entries first, then
-//!   the inserting model's own entries in deterministic key order until the
-//!   newcomer fits — no LRU tracking, and transparent by the point above.
+//! * **Memory bound.** A soft process-wide budget caps the resident panels;
+//!   exceeding it evicts other models' (possibly dead) panels first, then
+//!   the inserting model's own panels in deterministic key order until the
+//!   newcomer fits. Threads still scoring through an evicted panel keep it
+//!   alive via their own `Arc` until the call returns — eviction is
+//!   transparent by the point above.
+//!
+//! # Safety invariant (why the unsafe interior mutability is sound)
+//!
+//! All concurrent users of one panel key hold `&` references to the *same*
+//! model instance: mutating a model requires `&mut` (which excludes
+//! concurrent scoring), and clones draw fresh cache ids. Every concurrent
+//! [`PanelGuard`] for a key therefore carries the **same** `version`, so
+//! * only CAS winners write a slot's data, exclusively, before its
+//!   release-publish;
+//! * readers only dereference a slot after an acquire-load observed the
+//!   publish, which happens-before orders the data writes;
+//! * no thread can be writing a slot at version `v'` while another reads it
+//!   at `v ≠ v'`, because reaching `v'` required `&mut` access in between.
 //!
 //! [`EmbeddingTable`]: crate::embedding::EmbeddingTable
 
 use nscaching_kg::{CorruptionSide, EntityId};
 use nscaching_math::vecops::{l1_distance, l1_sum};
 use std::cell::RefCell;
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// Soft per-thread budget for cached projections (64 MiB). One entry costs
+/// Soft process-wide budget for cached projections (64 MiB). One panel costs
 /// `num_entities · (dim + 1) · 8` bytes, so at FB15K-bench scale
 /// (1.5k entities, d = 64) every relation of the synthetic benchmarks fits.
-const MAX_BYTES_PER_THREAD: usize = 64 << 20;
+const MAX_SHARED_BYTES: usize = 64 << 20;
+
+/// Stamp bit marking a slot as claimed-but-unpublished. Combined table
+/// versions are sums of per-table counters bumped once per mutable access —
+/// astronomically far from 2⁶³ — so the bit never collides with a version.
+const FILLING: u64 = 1 << 63;
 
 static NEXT_MODEL_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -59,86 +88,174 @@ pub fn next_projection_model_id() -> u64 {
     NEXT_MODEL_ID.fetch_add(1, Ordering::Relaxed)
 }
 
-/// One relation's projected-entity table: a `num_entities × dim` slot matrix
-/// plus per-entity warmth stamps.
-#[derive(Debug)]
-pub struct ProjectionEntry {
-    /// Combined source-table version the warm slots were computed at.
-    version: u64,
+/// One relation's shared projected-entity table: a `num_entities × dim` slot
+/// matrix plus per-entity atomic stamps implementing the fill protocol.
+struct Panel {
     dim: usize,
-    /// `stamps[e] == version` ⇔ slot `e` is warm. Slots start at 0, which
+    /// `stamps[e] == version` ⇔ slot `e` is warm at that combined version;
+    /// `version | FILLING` ⇔ a thread is filling it. Slots start at 0, which
     /// never matches (table versions start at 1, so `version ≥ 1`).
-    stamps: Vec<u64>,
-    /// Row-major projected vectors, one `dim`-slot per entity.
-    data: Vec<f64>,
+    stamps: Box<[AtomicU64]>,
+    /// Row-major projected vectors, one `dim`-slot per entity. Written only
+    /// by the CAS winner of a slot's claim, read only after observing its
+    /// publish — see the module-level safety invariant.
+    data: UnsafeCell<Box<[f64]>>,
 }
 
-impl ProjectionEntry {
-    fn new(num_entities: usize, dim: usize, version: u64) -> Self {
-        debug_assert!(version > 0, "table versions start at 1");
+// SAFETY: all cross-thread access to `data` is ordered through the `stamps`
+// claim/publish protocol documented on the module; `UnsafeCell` is only a
+// vehicle for the winner's exclusive write before the release-publish.
+unsafe impl Sync for Panel {}
+unsafe impl Send for Panel {}
+
+impl Panel {
+    fn new(num_entities: usize, dim: usize) -> Self {
         Self {
-            version,
             dim,
-            stamps: vec![0; num_entities],
-            data: vec![0.0; num_entities * dim],
+            stamps: (0..num_entities).map(|_| AtomicU64::new(0)).collect(),
+            data: UnsafeCell::new(vec![0.0; num_entities * dim].into_boxed_slice()),
         }
     }
 
     fn bytes(&self) -> usize {
-        (self.stamps.len() + self.data.len()) * std::mem::size_of::<f64>()
+        (self.stamps.len() + self.stamps.len() * self.dim) * std::mem::size_of::<f64>()
+    }
+}
+
+/// A per-call handle on one `(model, relation)` panel, pinned to the
+/// caller's combined source-table `version`.
+///
+/// The guard owns an `Arc` on the panel, so eviction from the registry never
+/// invalidates an in-flight scoring call.
+pub struct PanelGuard {
+    panel: Arc<Panel>,
+    version: u64,
+}
+
+impl PanelGuard {
+    /// Projection dimension of the panel.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.panel.dim
     }
 
-    /// Whether `entity`'s projection is valid at the entry's version.
+    /// Whether `entity`'s slot is warm at the guard's version.
     #[inline]
     pub fn is_warm(&self, entity: usize) -> bool {
-        self.stamps[entity] == self.version
+        self.panel.stamps[entity].load(Ordering::Acquire) == self.version
     }
 
-    /// The cached projection of `entity`. Must only be called on warm slots.
-    #[inline]
-    pub fn row(&self, entity: usize) -> &[f64] {
-        debug_assert!(self.is_warm(entity), "reading a cold projection slot");
-        &self.data[entity * self.dim..(entity + 1) * self.dim]
+    /// Race to claim every cold entity in `needed`, appending the entities
+    /// *this thread* won (and must now fill and [`publish`](Self::publish))
+    /// to `cold`. Duplicates in `needed` are claimed at most once; entities
+    /// another thread already published or is currently filling are skipped
+    /// — the caller resolves those per slot at score time via
+    /// [`row_or_compute`](Self::row_or_compute).
+    pub fn claim_cold(&self, needed: impl IntoIterator<Item = EntityId>, cold: &mut Vec<EntityId>) {
+        for e in needed {
+            let stamp = &self.panel.stamps[e as usize];
+            let cur = stamp.load(Ordering::Acquire);
+            if cur == self.version || cur == self.version | FILLING {
+                continue;
+            }
+            // A stale stamp (older version, or an older version's FILLING
+            // mark) is just a value: per the safety invariant no thread can
+            // still be writing under it, so claiming from it is exclusive.
+            if stamp
+                .compare_exchange(
+                    cur,
+                    self.version | FILLING,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                cold.push(e);
+            }
+        }
     }
 
-    /// Mutable view of `entity`'s slot for filling. The slot stays cold
-    /// until [`mark_warm`](Self::mark_warm) — fillers that write a slot over
-    /// several passes (the blocked `M_r`-panel fill) stamp once at the end.
+    /// Mutable view of a claimed slot for filling.
+    ///
+    /// # Safety
+    ///
+    /// `entity` must have been claimed by *this thread* through
+    /// [`claim_cold`](Self::claim_cold) on this guard and not yet published;
+    /// the returned slice must be dropped before the next call for the same
+    /// entity. The claim guarantees no other thread reads or writes the slot
+    /// until [`publish`](Self::publish).
     #[inline]
-    pub fn slot_mut(&mut self, entity: usize) -> &mut [f64] {
-        &mut self.data[entity * self.dim..(entity + 1) * self.dim]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn claimed_slot(&self, entity: usize) -> &mut [f64] {
+        let d = self.panel.dim;
+        let base = (*self.panel.data.get()).as_mut_ptr();
+        std::slice::from_raw_parts_mut(base.add(entity * d), d)
     }
 
-    /// Stamp `entity`'s slot warm at the entry's version.
-    #[inline]
-    pub fn mark_warm(&mut self, entity: usize) {
-        self.stamps[entity] = self.version;
+    /// Release-publish the given claimed-and-filled slots at the guard's
+    /// version, making them warm for every thread.
+    pub fn publish(&self, entities: &[EntityId]) {
+        for &e in entities {
+            debug_assert_eq!(
+                self.panel.stamps[e as usize].load(Ordering::Relaxed),
+                self.version | FILLING,
+                "publishing a slot this guard never claimed"
+            );
+            self.panel.stamps[e as usize].store(self.version, Ordering::Release);
+        }
     }
 
-    /// Score warm candidates against a precomputed query context with the
-    /// translational L1 form shared by TransR and TransD: a candidate with
-    /// projection `p` scores `−‖q − p‖₁` under tail corruption and
-    /// `−Σᵢ |p_i + q_i|` under head corruption. Appends one score per
-    /// entity to `out`, in iteration order; every entity must be warm.
+    /// The warm projection of `entity`, or `None` if the slot is cold or
+    /// mid-fill on another thread.
     #[inline]
-    pub fn score_translational_into(
-        &self,
-        side: CorruptionSide,
-        q: &[f64],
-        entities: impl IntoIterator<Item = usize>,
-        out: &mut Vec<f64>,
-    ) {
-        for e in entities {
-            let p = self.row(e);
-            out.push(match side {
-                CorruptionSide::Tail => -l1_distance(q, p),
-                CorruptionSide::Head => -l1_sum(p, q),
-            });
+    pub fn row(&self, entity: usize) -> Option<&[f64]> {
+        if self.is_warm(entity) {
+            let d = self.panel.dim;
+            // SAFETY: the acquire-load in `is_warm` observed the publish of
+            // this slot at the guard's version; the safety invariant rules
+            // out concurrent writers at any other version.
+            Some(unsafe {
+                let base = (*self.panel.data.get()).as_ptr();
+                std::slice::from_raw_parts(base.add(entity * d), d)
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The warm projection of `entity`, or — when the slot is cold or owned
+    /// by another thread's in-flight fill — the projection computed inline
+    /// into `scratch` by `compute`. `compute` must perform exactly the fill
+    /// arithmetic so both paths are bit-identical.
+    #[inline]
+    pub fn row_or_compute<'s>(
+        &'s self,
+        entity: usize,
+        scratch: &'s mut [f64],
+        compute: impl FnOnce(&mut [f64]),
+    ) -> &'s [f64] {
+        match self.row(entity) {
+            Some(p) => p,
+            None => {
+                compute(scratch);
+                scratch
+            }
         }
     }
 }
 
-/// Build the query context from the query side's warm projection `p` and the
+/// The translational L1 candidate kernel shared by TransR and TransD: a
+/// candidate with projection `p` scores `−‖q − p‖₁` under tail corruption
+/// and `−Σᵢ |p_i + q_i|` under head corruption.
+#[inline]
+pub fn translational_score(side: CorruptionSide, q: &[f64], p: &[f64]) -> f64 {
+    match side {
+        CorruptionSide::Tail => -l1_distance(q, p),
+        CorruptionSide::Head => -l1_sum(p, q),
+    }
+}
+
+/// Build the query context from the query side's projection `p` and the
 /// relation embedding `r`: `q = p + r` for tail corruption, `q = r − p` for
 /// head corruption — the combination both TransR (`p = M_r·e`) and TransD
 /// (`p = e⊥`) use.
@@ -159,165 +276,273 @@ pub fn query_from_projection(side: CorruptionSide, p: &[f64], r: &[f64], q: &mut
 }
 
 #[derive(Default)]
-struct ThreadCache {
-    entries: HashMap<(u64, u32), ProjectionEntry>,
+struct Registry {
+    panels: HashMap<(u64, u32), Arc<Panel>>,
     bytes: usize,
 }
 
-/// Make room for an `incoming` -byte entry of `model` under `budget`.
+fn registry() -> &'static RwLock<Registry> {
+    static REGISTRY: OnceLock<RwLock<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Registry::default()))
+}
+
+/// Make room for an `incoming`-byte panel of `model` under `budget`.
 ///
-/// Model ids are never reused, so other models' entries are either dead (the
+/// Model ids are never reused, so other models' panels are either dead (the
 /// model was dropped — its projections can never be read again) or will
-/// lazily refill; they go first. If the inserting model's own entries still
+/// lazily refill; they go first. If the inserting model's own panels still
 /// bust the budget, they are evicted one at a time in ascending key order
-/// until the new entry fits — so a working set one entry over budget sheds
-/// exactly one relation instead of the whole map, and the surviving entries
+/// until the new panel fits — so a working set one panel over budget sheds
+/// exactly one relation instead of the whole map, and the surviving panels
 /// keep their allocations warm. Eviction order is deterministic (sorted
 /// keys, no map-iteration-order dependence) and harmless for correctness
-/// because the cache is value-transparent. A single entry larger than the
-/// whole budget is still admitted (the cache would be useless otherwise);
-/// it just evicts everything else.
-fn evict_for(cache: &mut ThreadCache, model: u64, incoming: usize, budget: usize) {
-    if cache.bytes + incoming <= budget || cache.entries.is_empty() {
+/// because the cache is value-transparent (in-flight guards keep their
+/// panel alive through their `Arc`). A single panel larger than the whole
+/// budget is still admitted (the cache would be useless otherwise); it just
+/// evicts everything else.
+fn evict_for(reg: &mut Registry, model: u64, incoming: usize, budget: usize) {
+    if reg.bytes + incoming <= budget || reg.panels.is_empty() {
         return;
     }
     let mut freed = 0usize;
-    cache.entries.retain(|&(owner, _), entry| {
+    reg.panels.retain(|&(owner, _), panel| {
         if owner == model {
             true
         } else {
-            freed += entry.bytes();
+            freed += panel.bytes();
             false
         }
     });
-    cache.bytes -= freed;
-    if cache.bytes + incoming > budget {
-        let mut keys: Vec<(u64, u32)> = cache.entries.keys().copied().collect();
+    reg.bytes -= freed;
+    if reg.bytes + incoming > budget {
+        let mut keys: Vec<(u64, u32)> = reg.panels.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            if cache.bytes + incoming <= budget {
+            if reg.bytes + incoming <= budget {
                 break;
             }
-            if let Some(entry) = cache.entries.remove(&key) {
-                cache.bytes -= entry.bytes();
+            if let Some(panel) = reg.panels.remove(&key) {
+                reg.bytes -= panel.bytes();
             }
         }
     }
 }
 
-thread_local! {
-    static PROJECTIONS: RefCell<ThreadCache> = RefCell::new(ThreadCache::default());
-}
-
-/// Run `f` with the projection entry for `(model, relation)` and a cleared
-/// cold-candidate scratch list.
+/// Look up (or create) the shared panel for `(model, relation)` and pin it
+/// to `version` — the combined version of the source tables — for the
+/// duration of the returned guard.
 ///
-/// The entry is created on first use and lazily invalidated whenever
-/// `version` (the combined version of the source tables) moves; `f` receives
-/// it with whatever slots are still warm plus a reusable `Vec<EntityId>` for
-/// collecting the candidates that need filling.
-pub fn with_projection_cache<R>(
+/// The fast path is a read-locked map probe; the write lock is only taken
+/// on the first sighting of a key, where the eviction budget is enforced.
+pub fn projection_panel(
     model: u64,
     relation: u32,
     num_entities: usize,
     dim: usize,
     version: u64,
-    f: impl FnOnce(&mut ProjectionEntry, &mut Vec<EntityId>) -> R,
-) -> R {
-    PROJECTIONS.with(|cell| {
-        let mut cache = cell.borrow_mut();
-        let key = (model, relation);
-        if let Some(entry) = cache.entries.get(&key) {
-            // Geometry can only change if a distinct model re-used an id,
-            // which next_projection_model_id rules out — but a debug check
-            // is cheap insurance against future constructors forgetting it.
-            debug_assert_eq!(entry.dim, dim, "projection entry dim changed");
-            debug_assert_eq!(
-                entry.stamps.len(),
-                num_entities,
-                "projection entry entity count changed"
-            );
-        } else {
-            let entry = ProjectionEntry::new(num_entities, dim, version);
-            let bytes = entry.bytes();
-            evict_for(&mut cache, model, bytes, MAX_BYTES_PER_THREAD);
-            cache.bytes += bytes;
-            cache.entries.insert(key, entry);
-        }
-        let cache = &mut *cache;
-        let entry = cache.entries.get_mut(&key).expect("entry just ensured");
-        if entry.version != version {
-            // Source tables moved: adopting the new version orphans every
-            // old stamp (versions are strictly increasing), no clearing pass.
-            entry.version = version;
-        }
-        COLD_SCRATCH.with(|scratch| {
-            let mut cold = scratch.borrow_mut();
-            cold.clear();
-            f(entry, &mut cold)
-        })
-    })
+) -> PanelGuard {
+    debug_assert!(version > 0, "table versions start at 1");
+    let key = (model, relation);
+    if let Some(panel) = registry().read().unwrap().panels.get(&key) {
+        // Geometry can only change if a distinct model re-used an id, which
+        // next_projection_model_id rules out — but a debug check is cheap
+        // insurance against future constructors forgetting it.
+        debug_assert_eq!(panel.dim, dim, "projection panel dim changed");
+        debug_assert_eq!(
+            panel.stamps.len(),
+            num_entities,
+            "projection panel entity count changed"
+        );
+        return PanelGuard {
+            panel: Arc::clone(panel),
+            version,
+        };
+    }
+    let mut reg = registry().write().unwrap();
+    // Re-check under the write lock: another thread may have raced the
+    // insert between our read probe and here.
+    if let Some(panel) = reg.panels.get(&key) {
+        return PanelGuard {
+            panel: Arc::clone(panel),
+            version,
+        };
+    }
+    let panel = Arc::new(Panel::new(num_entities, dim));
+    let bytes = panel.bytes();
+    evict_for(&mut reg, model, bytes, MAX_SHARED_BYTES);
+    reg.bytes += bytes;
+    reg.panels.insert(key, Arc::clone(&panel));
+    PanelGuard { panel, version }
 }
 
 thread_local! {
     static COLD_SCRATCH: RefCell<Vec<EntityId>> = const { RefCell::new(Vec::new()) };
+    static ROW_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a cleared cold-candidate list and a `dim`-sized row buffer
+/// for loser-fallback projections, both thread-local so steady-state scoring
+/// stays allocation-free. Nesting on one thread is not supported (and never
+/// happens — model kernels do not call back into batched scoring).
+pub fn with_panel_scratch<R>(dim: usize, f: impl FnOnce(&mut Vec<EntityId>, &mut [f64]) -> R) -> R {
+    COLD_SCRATCH.with(|cold_cell| {
+        ROW_SCRATCH.with(|row_cell| {
+            let mut cold = cold_cell.borrow_mut();
+            let mut row = row_cell.borrow_mut();
+            cold.clear();
+            row.clear();
+            row.resize(dim, 0.0);
+            f(&mut cold, &mut row[..dim])
+        })
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Barrier;
 
     #[test]
-    fn slots_start_cold_and_warm_after_marking() {
+    fn slots_start_cold_and_warm_after_publish() {
         let model = next_projection_model_id();
-        with_projection_cache(model, 0, 4, 2, 7, |entry, cold| {
-            assert!(cold.is_empty());
-            assert!(!entry.is_warm(2));
-            entry.slot_mut(2).copy_from_slice(&[1.0, 2.0]);
-            assert!(!entry.is_warm(2), "filling does not stamp");
-            entry.mark_warm(2);
-            assert!(entry.is_warm(2));
-            assert_eq!(entry.row(2), &[1.0, 2.0]);
-        });
-        // Same version: the slot survives the round trip.
-        with_projection_cache(model, 0, 4, 2, 7, |entry, _| {
-            assert!(entry.is_warm(2));
-            assert_eq!(entry.row(2), &[1.0, 2.0]);
-        });
+        let guard = projection_panel(model, 0, 4, 2, 7);
+        assert!(!guard.is_warm(2));
+        assert!(guard.row(2).is_none());
+        let mut cold = Vec::new();
+        guard.claim_cold([2, 2, 2], &mut cold);
+        assert_eq!(cold, vec![2], "duplicates are claimed once");
+        (unsafe { guard.claimed_slot(2) }).copy_from_slice(&[1.0, 2.0]);
+        assert!(!guard.is_warm(2), "filling does not publish");
+        guard.publish(&cold);
+        assert!(guard.is_warm(2));
+        assert_eq!(guard.row(2).unwrap(), &[1.0, 2.0]);
+        // A fresh guard at the same version sees the warm slot.
+        let again = projection_panel(model, 0, 4, 2, 7);
+        assert_eq!(again.row(2).unwrap(), &[1.0, 2.0]);
     }
 
     #[test]
     fn version_bump_invalidates_without_clearing() {
         let model = next_projection_model_id();
-        with_projection_cache(model, 3, 3, 2, 10, |entry, _| {
-            entry.slot_mut(1).copy_from_slice(&[5.0, 6.0]);
-            entry.mark_warm(1);
-        });
-        with_projection_cache(model, 3, 3, 2, 11, |entry, _| {
-            assert!(!entry.is_warm(1), "new version orphans old stamps");
-            entry.slot_mut(1).copy_from_slice(&[7.0, 8.0]);
-            entry.mark_warm(1);
-            assert_eq!(entry.row(1), &[7.0, 8.0]);
-        });
+        let guard = projection_panel(model, 3, 3, 2, 10);
+        let mut cold = Vec::new();
+        guard.claim_cold([1], &mut cold);
+        (unsafe { guard.claimed_slot(1) }).copy_from_slice(&[5.0, 6.0]);
+        guard.publish(&cold);
+
+        let bumped = projection_panel(model, 3, 3, 2, 11);
+        assert!(!bumped.is_warm(1), "new version orphans old stamps");
+        assert!(bumped.row(1).is_none(), "a stale panel row is never served");
+        cold.clear();
+        bumped.claim_cold([1], &mut cold);
+        assert_eq!(cold, vec![1], "stale stamps lose the claim race");
+        (unsafe { bumped.claimed_slot(1) }).copy_from_slice(&[7.0, 8.0]);
+        bumped.publish(&cold);
+        assert_eq!(bumped.row(1).unwrap(), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn in_flight_fills_fall_back_to_inline_compute() {
+        let model = next_projection_model_id();
+        let winner = projection_panel(model, 0, 2, 2, 4);
+        let mut cold = Vec::new();
+        winner.claim_cold([0], &mut cold);
+        assert_eq!(cold, vec![0]);
+
+        // A second guard (as another thread would hold) must neither claim
+        // the slot nor read half-filled data: it computes inline.
+        let loser = projection_panel(model, 0, 2, 2, 4);
+        let mut stolen = Vec::new();
+        loser.claim_cold([0], &mut stolen);
+        assert!(stolen.is_empty(), "FILLING slots are not reclaimed");
+        let mut scratch = [0.0; 2];
+        let p = loser.row_or_compute(0, &mut scratch, |buf| buf.copy_from_slice(&[9.0, 9.0]));
+        assert_eq!(p, &[9.0, 9.0], "loser used the inline fallback");
+
+        (unsafe { winner.claimed_slot(0) }).copy_from_slice(&[3.0, 4.0]);
+        winner.publish(&cold);
+        let mut scratch = [0.0; 2];
+        let p = loser.row_or_compute(0, &mut scratch, |_| panic!("slot is warm"));
+        assert_eq!(p, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn warm_panels_are_shared_across_threads() {
+        let model = next_projection_model_id();
+        let guard = projection_panel(model, 0, 3, 2, 6);
+        let mut cold = Vec::new();
+        guard.claim_cold([0, 1, 2], &mut cold);
+        for &e in &cold {
+            (unsafe { guard.claimed_slot(e as usize) }).fill(e as f64 + 0.5);
+        }
+        guard.publish(&cold);
+
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let g = projection_panel(model, 0, 3, 2, 6);
+                    for e in 0..3usize {
+                        assert_eq!(
+                            g.row(e).expect("published slots are warm everywhere"),
+                            &[e as f64 + 0.5, e as f64 + 0.5]
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_claims_elect_exactly_one_filler_per_slot() {
+        let model = next_projection_model_id();
+        let threads = 4;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let g = projection_panel(model, 7, 8, 2, 9);
+                    barrier.wait();
+                    let mut cold = Vec::new();
+                    g.claim_cold(0..8, &mut cold);
+                    for &e in &cold {
+                        (unsafe { g.claimed_slot(e as usize) }).fill(e as f64);
+                    }
+                    g.publish(&cold);
+                    cold.len()
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 8, "every slot has exactly one claim winner");
+        let g = projection_panel(model, 7, 8, 2, 9);
+        for e in 0..8usize {
+            assert_eq!(g.row(e).unwrap(), &[e as f64, e as f64]);
+        }
     }
 
     #[test]
     fn models_and_relations_do_not_alias() {
         let a = next_projection_model_id();
         let b = next_projection_model_id();
-        with_projection_cache(a, 0, 2, 1, 3, |entry, _| {
-            entry.slot_mut(0)[0] = 1.0;
-            entry.mark_warm(0);
-        });
-        with_projection_cache(b, 0, 2, 1, 3, |entry, _| {
-            assert!(!entry.is_warm(0), "other model's entry must be cold");
-        });
-        with_projection_cache(a, 1, 2, 1, 3, |entry, _| {
-            assert!(!entry.is_warm(0), "other relation's entry must be cold");
-        });
-        with_projection_cache(a, 0, 2, 1, 3, |entry, _| {
-            assert!(entry.is_warm(0));
-        });
+        let guard = projection_panel(a, 0, 2, 1, 3);
+        let mut cold = Vec::new();
+        guard.claim_cold([0], &mut cold);
+        (unsafe { guard.claimed_slot(0) })[0] = 1.0;
+        guard.publish(&cold);
+
+        assert!(
+            !projection_panel(b, 0, 2, 1, 3).is_warm(0),
+            "other model's panel must be cold"
+        );
+        assert!(
+            !projection_panel(a, 1, 2, 1, 3).is_warm(0),
+            "other relation's panel must be cold"
+        );
+        assert!(projection_panel(a, 0, 2, 1, 3).is_warm(0));
     }
 
     #[test]
@@ -332,44 +557,44 @@ mod tests {
     fn eviction_drops_other_models_before_the_live_one() {
         let live = next_projection_model_id();
         let dead = next_projection_model_id();
-        let mut cache = ThreadCache::default();
+        let mut reg = Registry::default();
         for relation in 0..3u32 {
-            let entry = ProjectionEntry::new(4, 2, 5); // 96 bytes each
-            cache.bytes += entry.bytes();
-            cache.entries.insert((dead, relation), entry);
+            let panel = Arc::new(Panel::new(4, 2)); // 96 bytes each
+            reg.bytes += panel.bytes();
+            reg.panels.insert((dead, relation), panel);
         }
-        let own = ProjectionEntry::new(4, 2, 5);
-        cache.bytes += own.bytes();
-        cache.entries.insert((live, 0), own);
+        let own = Arc::new(Panel::new(4, 2));
+        reg.bytes += own.bytes();
+        reg.panels.insert((live, 0), own);
 
-        // Budget forces eviction; the dead model's entries go, ours stays.
-        evict_for(&mut cache, live, 96, 2 * 96);
-        assert_eq!(cache.entries.len(), 1);
-        assert!(cache.entries.contains_key(&(live, 0)));
-        assert_eq!(cache.bytes, 96);
+        // Budget forces eviction; the dead model's panels go, ours stays.
+        evict_for(&mut reg, live, 96, 2 * 96);
+        assert_eq!(reg.panels.len(), 1);
+        assert!(reg.panels.contains_key(&(live, 0)));
+        assert_eq!(reg.bytes, 96);
 
         // If the live model alone busts the budget, everything goes.
-        evict_for(&mut cache, live, 96, 96);
-        assert!(cache.entries.is_empty());
-        assert_eq!(cache.bytes, 0);
+        evict_for(&mut reg, live, 96, 96);
+        assert!(reg.panels.is_empty());
+        assert_eq!(reg.bytes, 0);
     }
 
     #[test]
     fn live_model_eviction_sheds_only_enough_entries() {
         let live = next_projection_model_id();
-        let mut cache = ThreadCache::default();
+        let mut reg = Registry::default();
         for relation in 0..3u32 {
-            let entry = ProjectionEntry::new(4, 2, 5); // 96 bytes each
-            cache.bytes += entry.bytes();
-            cache.entries.insert((live, relation), entry);
+            let panel = Arc::new(Panel::new(4, 2)); // 96 bytes each
+            reg.bytes += panel.bytes();
+            reg.panels.insert((live, relation), panel);
         }
-        // 288 resident + 96 incoming over a 288 budget: exactly one entry
+        // 288 resident + 96 incoming over a 288 budget: exactly one panel
         // must go, and it is the lowest-keyed one (deterministic order).
-        evict_for(&mut cache, live, 96, 3 * 96);
-        assert_eq!(cache.entries.len(), 2);
-        assert!(!cache.entries.contains_key(&(live, 0)));
-        assert!(cache.entries.contains_key(&(live, 1)));
-        assert!(cache.entries.contains_key(&(live, 2)));
-        assert_eq!(cache.bytes, 2 * 96);
+        evict_for(&mut reg, live, 96, 3 * 96);
+        assert_eq!(reg.panels.len(), 2);
+        assert!(!reg.panels.contains_key(&(live, 0)));
+        assert!(reg.panels.contains_key(&(live, 1)));
+        assert!(reg.panels.contains_key(&(live, 2)));
+        assert_eq!(reg.bytes, 2 * 96);
     }
 }

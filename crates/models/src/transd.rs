@@ -17,7 +17,8 @@ use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientSink, TableId};
 use crate::projcache::{
-    next_projection_model_id, query_from_projection, with_projection_cache, ProjectionEntry,
+    next_projection_model_id, projection_panel, query_from_projection, translational_score,
+    with_panel_scratch, PanelGuard,
 };
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
@@ -150,18 +151,29 @@ impl TransD {
         self.entities.version() + self.entity_proj.version() + self.relation_proj.version()
     }
 
-    /// Fill every cold slot listed in `cold` with `e⊥ = e + (w_e·e)·w_r`.
-    fn fill_cold_projections(&self, wr: &[f64], cold: &[EntityId], entry: &mut ProjectionEntry) {
-        for &e in cold {
-            let row = self.entities.row(e as usize);
-            let proj = self.entity_proj.row(e as usize);
-            let s = dot(proj, row);
-            let slot = entry.slot_mut(e as usize);
-            for i in 0..slot.len() {
-                slot[i] = row[i] + s * wr[i];
-            }
-            entry.mark_warm(e as usize);
+    /// `e⊥ = e + (w_e·e)·w_r` into `out` — exactly the panel fill's
+    /// arithmetic, so the loser-fallback inline projection is bit-identical
+    /// to a warm panel row.
+    #[inline]
+    fn project_row_into(&self, wr: &[f64], e: usize, out: &mut [f64]) {
+        let row = self.entities.row(e);
+        let proj = self.entity_proj.row(e);
+        let s = dot(proj, row);
+        for i in 0..out.len() {
+            out[i] = row[i] + s * wr[i];
         }
+    }
+
+    /// Fill every slot this thread claimed with `e⊥ = e + (w_e·e)·w_r`,
+    /// then publish the batch, making it warm for every thread.
+    fn fill_claimed(&self, panel: &PanelGuard, wr: &[f64], cold: &[EntityId]) {
+        for &e in cold {
+            // SAFETY: `cold` holds exactly the slots this thread won via
+            // `claim_cold`, still unpublished.
+            let slot = unsafe { panel.claimed_slot(e as usize) };
+            self.project_row_into(wr, e as usize, slot);
+        }
+        panel.publish(cold);
     }
 
     /// The retired fused batched path, kept as the equivalence oracle for
@@ -229,33 +241,31 @@ impl KgeModel for TransD {
             CorruptionSide::Head => t.tail,
         };
         with_query_scratch(self.dim, |q| {
-            with_projection_cache(
-                self.cache_id,
-                t.relation,
-                self.entities.rows(),
-                self.dim,
-                self.projection_version(),
-                |entry, cold| {
-                    if !entry.is_warm(query_entity as usize) {
-                        cold.push(query_entity);
-                    }
-                    cold.extend(
-                        candidates
-                            .iter()
-                            .copied()
-                            .filter(|&e| !entry.is_warm(e as usize)),
-                    );
-                    self.fill_cold_projections(wr, cold, entry);
-                    let r = self.relations.row(t.relation as usize);
-                    query_from_projection(side, entry.row(query_entity as usize), r, q);
-                    entry.score_translational_into(
-                        side,
-                        q,
-                        candidates.iter().map(|&e| e as usize),
-                        out,
-                    );
-                },
-            );
+            with_panel_scratch(self.dim, |cold, fallback| {
+                let panel = projection_panel(
+                    self.cache_id,
+                    t.relation,
+                    self.entities.rows(),
+                    self.dim,
+                    self.projection_version(),
+                );
+                panel.claim_cold(
+                    std::iter::once(query_entity).chain(candidates.iter().copied()),
+                    cold,
+                );
+                self.fill_claimed(&panel, wr, cold);
+                let r = self.relations.row(t.relation as usize);
+                let p = panel.row_or_compute(query_entity as usize, fallback, |buf| {
+                    self.project_row_into(wr, query_entity as usize, buf)
+                });
+                query_from_projection(side, p, r, q);
+                for &e in candidates {
+                    let p = panel.row_or_compute(e as usize, fallback, |buf| {
+                        self.project_row_into(wr, e as usize, buf)
+                    });
+                    out.push(translational_score(side, q, p));
+                }
+            });
         });
     }
 
@@ -269,20 +279,27 @@ impl KgeModel for TransD {
             CorruptionSide::Head => t.tail,
         };
         with_query_scratch(self.dim, |q| {
-            with_projection_cache(
-                self.cache_id,
-                t.relation,
-                n,
-                self.dim,
-                self.projection_version(),
-                |entry, cold| {
-                    cold.extend((0..n as EntityId).filter(|&e| !entry.is_warm(e as usize)));
-                    self.fill_cold_projections(wr, cold, entry);
-                    let r = self.relations.row(t.relation as usize);
-                    query_from_projection(side, entry.row(query_entity as usize), r, q);
-                    entry.score_translational_into(side, q, 0..n, out);
-                },
-            );
+            with_panel_scratch(self.dim, |cold, fallback| {
+                let panel = projection_panel(
+                    self.cache_id,
+                    t.relation,
+                    n,
+                    self.dim,
+                    self.projection_version(),
+                );
+                panel.claim_cold(0..n as EntityId, cold);
+                self.fill_claimed(&panel, wr, cold);
+                let r = self.relations.row(t.relation as usize);
+                let p = panel.row_or_compute(query_entity as usize, fallback, |buf| {
+                    self.project_row_into(wr, query_entity as usize, buf)
+                });
+                query_from_projection(side, p, r, q);
+                for e in 0..n {
+                    let p =
+                        panel.row_or_compute(e, fallback, |buf| self.project_row_into(wr, e, buf));
+                    out.push(translational_score(side, q, p));
+                }
+            });
         });
     }
 
@@ -364,6 +381,10 @@ impl KgeModel for TransD {
                 self.entities.project_row(row);
             }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn KgeModel> {
+        Box::new(self.clone())
     }
 }
 

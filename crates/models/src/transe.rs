@@ -159,6 +159,10 @@ impl KgeModel for TransE {
             }
         }
     }
+
+    fn clone_box(&self) -> Box<dyn KgeModel> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

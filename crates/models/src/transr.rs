@@ -8,10 +8,12 @@
 //!
 //! # Projection cache
 //!
-//! Batched scoring goes through the relation-projection cache of
-//! [`crate::projcache`]: `M_r·e` is memoised per `(relation, entity)` on the
-//! scoring thread, so a warm candidate costs one `O(d)` L1 pass instead of
-//! the dense `O(d²)` matrix-vector product. The **invalidation contract**:
+//! Batched scoring goes through the shared relation-projection cache of
+//! [`crate::projcache`]: `M_r·e` is memoised per `(relation, entity)` in a
+//! process-wide panel registry, so a warm candidate costs one `O(d)` L1 pass
+//! instead of the dense `O(d²)` matrix-vector product — and a panel warmed
+//! by one thread is warm for every trainer shard and serving worker. The
+//! **invalidation contract**:
 //!
 //! * every cache entry is stamped with
 //!   `entities.version() + matrices.version()` at fill time;
@@ -34,7 +36,8 @@ use crate::batch::with_query_scratch;
 use crate::embedding::EmbeddingTable;
 use crate::gradient::{GradientSink, TableId};
 use crate::projcache::{
-    next_projection_model_id, query_from_projection, with_projection_cache, ProjectionEntry,
+    next_projection_model_id, projection_panel, query_from_projection, translational_score,
+    with_panel_scratch, PanelGuard,
 };
 use crate::scorer::{KgeModel, ModelKind, ENTITY_TABLE, RELATION_TABLE};
 use nscaching_kg::{CorruptionSide, EntityId, Triple};
@@ -175,26 +178,38 @@ impl TransR {
         self.entities.version() + self.matrices.version()
     }
 
-    /// Fill every cold slot listed in `cold` with `M_r·e`, blocked by
+    /// `M_r·e` into `out` — per-element exactly the panel fill's dot
+    /// products, so the loser-fallback inline projection is bit-identical
+    /// to a warm panel row.
+    #[inline]
+    fn project_row_into(m: &[f64], row: &[f64], out: &mut [f64]) {
+        let d = out.len();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = dot(&m[i * d..(i + 1) * d], row);
+        }
+    }
+
+    /// Fill every slot this thread claimed with `M_r·e`, blocked by
     /// `M_r`-panel: the outer loop walks [`PANEL_ROWS`] matrix rows at a
-    /// time and the inner loop sweeps all cold candidates, so a panel is
+    /// time and the inner loop sweeps all claimed candidates, so a panel is
     /// loaded once per sweep instead of once per candidate. Each dot product
     /// is exactly the uncached kernel's, keeping the cache value-transparent.
-    fn fill_cold_projections(&self, m: &[f64], cold: &[EntityId], entry: &mut ProjectionEntry) {
+    /// Publishes the batch at the end, making it warm for every thread.
+    fn fill_claimed(&self, panel: &PanelGuard, m: &[f64], cold: &[EntityId]) {
         let d = self.dim;
         for i0 in (0..d).step_by(PANEL_ROWS) {
             let i1 = (i0 + PANEL_ROWS).min(d);
             for &e in cold {
                 let row = self.entities.row(e as usize);
-                let slot = entry.slot_mut(e as usize);
+                // SAFETY: `cold` holds exactly the slots this thread won via
+                // `claim_cold`, still unpublished.
+                let slot = unsafe { panel.claimed_slot(e as usize) };
                 for i in i0..i1 {
                     slot[i] = dot(&m[i * d..(i + 1) * d], row);
                 }
             }
         }
-        for &e in cold {
-            entry.mark_warm(e as usize);
-        }
+        panel.publish(cold);
     }
 
     /// The retired fused batched path, kept as the measured baseline of the
@@ -257,36 +272,36 @@ impl KgeModel for TransR {
             CorruptionSide::Head => t.tail,
         };
         with_query_scratch(self.dim, |q| {
-            with_projection_cache(
-                self.cache_id,
-                t.relation,
-                self.entities.rows(),
-                self.dim,
-                self.projection_version(),
-                |entry, cold| {
-                    // One blocked fill warms the query-side entity and every
-                    // cold candidate together (duplicates just refill the
-                    // same slot with identical values).
-                    if !entry.is_warm(query_entity as usize) {
-                        cold.push(query_entity);
-                    }
-                    cold.extend(
-                        candidates
-                            .iter()
-                            .copied()
-                            .filter(|&e| !entry.is_warm(e as usize)),
-                    );
-                    self.fill_cold_projections(m, cold, entry);
-                    let r = self.relations.row(t.relation as usize);
-                    query_from_projection(side, entry.row(query_entity as usize), r, q);
-                    entry.score_translational_into(
-                        side,
-                        q,
-                        candidates.iter().map(|&e| e as usize),
-                        out,
-                    );
-                },
-            );
+            with_panel_scratch(self.dim, |cold, fallback| {
+                let panel = projection_panel(
+                    self.cache_id,
+                    t.relation,
+                    self.entities.rows(),
+                    self.dim,
+                    self.projection_version(),
+                );
+                // Pass 1: one blocked fill warms the query-side entity and
+                // every cold candidate this thread won the claim for
+                // (duplicates are claimed at most once).
+                panel.claim_cold(
+                    std::iter::once(query_entity).chain(candidates.iter().copied()),
+                    cold,
+                );
+                self.fill_claimed(&panel, m, cold);
+                let r = self.relations.row(t.relation as usize);
+                let p = panel.row_or_compute(query_entity as usize, fallback, |buf| {
+                    Self::project_row_into(m, self.entities.row(query_entity as usize), buf)
+                });
+                query_from_projection(side, p, r, q);
+                // Pass 2: score from the shared panel, computing inline when
+                // another thread still owns a slot's in-flight fill.
+                for &e in candidates {
+                    let p = panel.row_or_compute(e as usize, fallback, |buf| {
+                        Self::project_row_into(m, self.entities.row(e as usize), buf)
+                    });
+                    out.push(translational_score(side, q, p));
+                }
+            });
         });
     }
 
@@ -300,20 +315,28 @@ impl KgeModel for TransR {
             CorruptionSide::Head => t.tail,
         };
         with_query_scratch(self.dim, |q| {
-            with_projection_cache(
-                self.cache_id,
-                t.relation,
-                n,
-                self.dim,
-                self.projection_version(),
-                |entry, cold| {
-                    cold.extend((0..n as EntityId).filter(|&e| !entry.is_warm(e as usize)));
-                    self.fill_cold_projections(m, cold, entry);
-                    let r = self.relations.row(t.relation as usize);
-                    query_from_projection(side, entry.row(query_entity as usize), r, q);
-                    entry.score_translational_into(side, q, 0..n, out);
-                },
-            );
+            with_panel_scratch(self.dim, |cold, fallback| {
+                let panel = projection_panel(
+                    self.cache_id,
+                    t.relation,
+                    n,
+                    self.dim,
+                    self.projection_version(),
+                );
+                panel.claim_cold(0..n as EntityId, cold);
+                self.fill_claimed(&panel, m, cold);
+                let r = self.relations.row(t.relation as usize);
+                let p = panel.row_or_compute(query_entity as usize, fallback, |buf| {
+                    Self::project_row_into(m, self.entities.row(query_entity as usize), buf)
+                });
+                query_from_projection(side, p, r, q);
+                for e in 0..n {
+                    let p = panel.row_or_compute(e, fallback, |buf| {
+                        Self::project_row_into(m, self.entities.row(e), buf)
+                    });
+                    out.push(translational_score(side, q, p));
+                }
+            });
         });
     }
 
@@ -380,6 +403,10 @@ impl KgeModel for TransR {
                 self.entities.project_row(row);
             }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn KgeModel> {
+        Box::new(self.clone())
     }
 }
 
@@ -488,6 +515,36 @@ mod tests {
                 (score - scalar).abs() <= 1e-12,
                 "candidate {e}: cached {score} vs scalar {scalar}"
             );
+        }
+    }
+
+    #[test]
+    fn projections_warmed_by_one_thread_serve_all_threads() {
+        use std::sync::Arc;
+        let m = Arc::new({
+            let mut rng = seeded_rng(41);
+            TransR::new(10, 2, 6, &mut rng)
+        });
+        let t = Triple::new(0, 1, 2);
+        let candidates: Vec<u32> = (0..10).collect();
+        // Warm the panel on the main thread; every worker must then read the
+        // shared slots (or compute bit-identical fallbacks) — same scores.
+        let mut expected = Vec::new();
+        m.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut expected);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let candidates = candidates.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    m.score_candidates(&t, CorruptionSide::Tail, &candidates, &mut out);
+                    assert_eq!(out, expected, "shared panels must be value-transparent");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
         }
     }
 

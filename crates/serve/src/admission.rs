@@ -1,0 +1,308 @@
+//! TinyLFU admission filter: frequency-gated entry into the serving cache.
+//!
+//! An eviction policy decides who *dies* when the cache is full; an
+//! admission policy decides whether the newcomer deserves to kill anyone at
+//! all. Without one, every one-touch key that misses buys its way in by
+//! evicting an incumbent — the scan-pollution failure mode the SLRU
+//! probation segment only partially absorbs (the sweep still churns
+//! probation and costs the first eviction). The TinyLFU scheme (Einziger,
+//! Friedman & Manes, "TinyLFU: A Highly Efficient Cache Admission Policy")
+//! keeps an approximate frequency histogram of *recent* traffic and admits a
+//! candidate only if it is judged more frequent than the eviction victim it
+//! would displace; a key seen once in a blue moon can never displace a key
+//! the histogram has seen often.
+//!
+//! # The sketch
+//!
+//! [`TinyLfu`] is the classic two-layer construction:
+//!
+//! * a **doorkeeper** — a small Bloom filter catching first occurrences, so
+//!   the one-hit tail (the overwhelming majority of keys under Zipf traffic)
+//!   never touches the main histogram; and
+//! * a **4-bit count-min sketch** — [`ROWS`] rows of nibble-packed
+//!   saturating counters; an estimate is the minimum over rows (+1 when the
+//!   doorkeeper knows the key), an increment is *conservative* (only the
+//!   minimal counters grow), so collisions only ever over-estimate, and only
+//!   by colliding with genuinely hot keys.
+//!
+//! Freshness comes from the **halving reset**: after [`sample window`]
+//! recorded accesses (~8× the cache capacity), every counter is halved and
+//! the doorkeeper is cleared. Frequencies are therefore exponentially
+//! decayed estimates of *recent* popularity — a formerly hot key stops
+//! winning admission contests a bounded number of windows after its traffic
+//! stops, which is what keeps the filter from pinning a stale working set
+//! the way plain LFU eviction does.
+//!
+//! Everything is deterministic: the row/doorkeeper probes are SplitMix64
+//! mixes of the caller-supplied key hash, there is no randomized tie-break,
+//! and the structure is a pure function of the recorded access sequence —
+//! so the `cache_sim` trace replays and the admission tests are exactly
+//! reproducible.
+//!
+//! # Wiring
+//!
+//! The filter lives in [`PolicyCache`](crate::cache::PolicyCache) (enabled
+//! per cache via [`CacheConfig::admission`]), *in front of* whatever
+//! eviction policy the cache runs: frequencies are recorded on every lookup
+//! ([`record`]), and an insert into a full cache first asks the policy for
+//! its prospective victim ([`EvictionPolicy::peek_victim`]) and runs the
+//! [`admit`] contest — on rejection the insert is dropped, the victim's
+//! policy books untouched. Eviction policies never see any of this; they
+//! remain pure slot-ordering machines.
+//!
+//! [`sample window`]: TinyLfu::sample_window
+//! [`record`]: TinyLfu::record
+//! [`admit`]: TinyLfu::admit
+//! [`EvictionPolicy::peek_victim`]: crate::policy::EvictionPolicy::peek_victim
+//! [`CacheConfig::admission`]: crate::server::CacheConfig::admission
+
+use nscaching_math::split_seed;
+
+/// Count-min rows. Four is the canonical TinyLFU depth: collision
+/// probability falls geometrically per row while the sketch stays 2 bytes
+/// per counter column.
+const ROWS: usize = 4;
+
+/// Saturation ceiling of one 4-bit counter.
+const MAX_COUNT: u8 = 15;
+
+/// Doorkeeper probes per key (standard small-Bloom choice).
+const DOOR_PROBES: u64 = 2;
+
+/// Domain tags separating the sketch-row and doorkeeper probe streams.
+const ROW_TAG: u64 = 0x7F4A7C15;
+const DOOR_TAG: u64 = 0xD00CE;
+
+/// A TinyLFU admission filter: doorkeeper Bloom filter + 4-bit count-min
+/// sketch with periodic halving. Operates on caller-supplied 64-bit key
+/// hashes; see the [module docs](self) for the scheme and the wiring.
+#[derive(Debug)]
+pub struct TinyLfu {
+    /// Nibble-packed counters: `ROWS` rows of `width` 4-bit columns.
+    sketch: Box<[u8]>,
+    /// Columns per row minus one (`width` is a power of two).
+    column_mask: u64,
+    /// Doorkeeper Bloom bits, `width` of them.
+    doorkeeper: Box<[u64]>,
+    /// Accesses recorded since the last halving reset.
+    samples: u32,
+    /// Reset threshold (~8× the protected cache's capacity).
+    sample_window: u32,
+}
+
+impl TinyLfu {
+    /// A filter sized to guard a cache of `capacity` entries: one sketch
+    /// column per entry rounded up to a power of two (floor 64), and a reset
+    /// window of 8 samples per column.
+    pub fn for_capacity(capacity: usize) -> Self {
+        let width = capacity.next_power_of_two().max(64);
+        Self {
+            sketch: vec![0u8; ROWS * width / 2].into_boxed_slice(),
+            column_mask: width as u64 - 1,
+            doorkeeper: vec![0u64; width / 64].into_boxed_slice(),
+            samples: 0,
+            sample_window: (width as u32).saturating_mul(8),
+        }
+    }
+
+    /// The halving-reset threshold in recorded samples.
+    pub fn sample_window(&self) -> u32 {
+        self.sample_window
+    }
+
+    /// Record one access to the key behind `hash`. First occurrence within
+    /// the current window goes to the doorkeeper; repeats conservatively
+    /// increment the sketch. Triggers the halving reset when the window
+    /// fills.
+    pub fn record(&mut self, hash: u64) {
+        self.samples += 1;
+        if self.samples >= self.sample_window {
+            self.halve();
+        }
+        if !self.door_check_and_set(hash) {
+            return;
+        }
+        // Conservative update: only the row counters currently at the
+        // minimum grow, so a collision with a hot key cannot inflate a cold
+        // key's every row.
+        let min = self.sketch_estimate(hash);
+        if min >= MAX_COUNT {
+            return;
+        }
+        for row in 0..ROWS {
+            let (byte, shift) = self.cell(hash, row);
+            let count = (self.sketch[byte] >> shift) & 0xF;
+            if count == min {
+                self.sketch[byte] += 1 << shift;
+            }
+        }
+    }
+
+    /// The key's approximate access count within the current window:
+    /// count-min over the sketch rows, plus the doorkeeper's remembered
+    /// first occurrence.
+    pub fn estimate(&self, hash: u64) -> u32 {
+        let mut estimate = self.sketch_estimate(hash) as u32;
+        if self.door_contains(hash) {
+            estimate += 1;
+        }
+        estimate
+    }
+
+    /// The admission contest: should `candidate` displace `victim`? Admits
+    /// on ties — the candidate is by definition the more recent of the two,
+    /// and a deterministic anti-recency tie-break would freeze the cache
+    /// contents after the first popularity shift.
+    pub fn admit(&self, candidate: u64, victim: u64) -> bool {
+        self.estimate(candidate) >= self.estimate(victim)
+    }
+
+    /// Forget everything (cache clear).
+    pub fn clear(&mut self) {
+        self.sketch.fill(0);
+        self.doorkeeper.fill(0);
+        self.samples = 0;
+    }
+
+    /// Byte index and nibble shift of the key's counter in `row`.
+    fn cell(&self, hash: u64, row: usize) -> (usize, u32) {
+        let column = split_seed(hash ^ ROW_TAG, row as u64) & self.column_mask;
+        let index = row * (self.column_mask as usize + 1) + column as usize;
+        (index / 2, (index as u32 & 1) * 4)
+    }
+
+    /// Min-over-rows sketch read, doorkeeper excluded.
+    fn sketch_estimate(&self, hash: u64) -> u8 {
+        (0..ROWS)
+            .map(|row| {
+                let (byte, shift) = self.cell(hash, row);
+                (self.sketch[byte] >> shift) & 0xF
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether every doorkeeper probe bit is set; sets them all either way.
+    /// Returns `true` when the key was already known (i.e. the sketch should
+    /// take this occurrence).
+    fn door_check_and_set(&mut self, hash: u64) -> bool {
+        let mut known = true;
+        for probe in 0..DOOR_PROBES {
+            let bit = split_seed(hash ^ DOOR_TAG, probe) & self.column_mask;
+            let (word, mask) = (bit as usize / 64, 1u64 << (bit % 64));
+            known &= self.doorkeeper[word] & mask != 0;
+            self.doorkeeper[word] |= mask;
+        }
+        known
+    }
+
+    fn door_contains(&self, hash: u64) -> bool {
+        (0..DOOR_PROBES).all(|probe| {
+            let bit = split_seed(hash ^ DOOR_TAG, probe) & self.column_mask;
+            self.doorkeeper[bit as usize / 64] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// The halving reset: every counter drops to half, the doorkeeper
+    /// forgets its window, and the sample clock rewinds to half the window
+    /// (the surviving halved counts are exactly half a window of history).
+    fn halve(&mut self) {
+        for byte in self.sketch.iter_mut() {
+            *byte = (*byte >> 1) & 0x77;
+        }
+        self.doorkeeper.fill(0);
+        self.samples = self.sample_window / 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_occurrence_is_doorkeeper_only_then_the_sketch_takes_over() {
+        let mut f = TinyLfu::for_capacity(64);
+        assert_eq!(f.estimate(42), 0);
+        f.record(42);
+        // Doorkeeper remembers the first occurrence; the sketch is untouched.
+        assert_eq!(f.estimate(42), 1);
+        assert_eq!(f.sketch_estimate(42), 0);
+        f.record(42);
+        f.record(42);
+        assert_eq!(f.estimate(42), 3);
+        assert_eq!(f.sketch_estimate(42), 2);
+    }
+
+    #[test]
+    fn estimates_saturate_at_the_nibble_ceiling() {
+        let mut f = TinyLfu::for_capacity(64);
+        for _ in 0..100 {
+            f.record(7);
+        }
+        // 15 from the saturated sketch + 1 from the doorkeeper.
+        assert_eq!(f.estimate(7), 16);
+    }
+
+    #[test]
+    fn admission_prefers_the_frequent_key_and_admits_ties() {
+        let mut f = TinyLfu::for_capacity(64);
+        for _ in 0..6 {
+            f.record(1);
+        }
+        f.record(2);
+        assert!(f.admit(1, 2), "hot candidate displaces cold victim");
+        assert!(!f.admit(2, 1), "cold candidate cannot displace hot victim");
+        f.record(3);
+        assert!(f.admit(2, 3), "equal estimates admit (recency wins ties)");
+    }
+
+    #[test]
+    fn the_window_reset_halves_counts_and_reopens_the_doorkeeper() {
+        let mut f = TinyLfu::for_capacity(64);
+        for _ in 0..12 {
+            f.record(9);
+        }
+        let before = f.estimate(9);
+        // Drive distinct keys through until the sample window rolls over.
+        let window = f.sample_window() as u64;
+        for key in 1_000..1_000 + window {
+            f.record(key);
+        }
+        let after = f.estimate(9);
+        assert!(
+            after <= before / 2 + 1,
+            "estimate {before} must roughly halve, got {after}"
+        );
+        // The doorkeeper forgot: a key recorded pre-reset re-enters as new.
+        assert!(f.estimate(9) < before);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut f = TinyLfu::for_capacity(64);
+        for _ in 0..5 {
+            f.record(11);
+        }
+        f.clear();
+        assert_eq!(f.estimate(11), 0);
+        assert!(f.admit(99, 11), "estimates tied at zero admit");
+    }
+
+    #[test]
+    fn conservative_update_keeps_cold_keys_cold_under_collisions() {
+        // Hammer many hot keys, then check a never-recorded key's estimate
+        // stays small: min-over-rows plus conservative increments bound the
+        // collision inflation.
+        let mut f = TinyLfu::for_capacity(64);
+        for hot in 0..32u64 {
+            for _ in 0..8 {
+                f.record(hot);
+            }
+        }
+        assert!(
+            f.estimate(0xDEAD_BEEF) <= 2,
+            "unrecorded key estimate {} should stay near zero",
+            f.estimate(0xDEAD_BEEF)
+        );
+    }
+}

@@ -13,13 +13,18 @@
 //!    triplet-classification queries through the workspace's batched scoring
 //!    fast paths, fronted by a version-invalidated, hash-**sharded** result
 //!    cache with a pluggable eviction policy ([`PolicyKind`]: LRU, SLRU,
-//!    LFU, LFUDA — selected from trace-driven simulation, see [`policy`])
-//!    and fanned out over the existing worker pool for batch traffic. The
-//!    cache-miss path selects its top-k via an O(|E| + k log k) partial
-//!    selection kernel (`nscaching_math::top_k_indices_into`) instead of a
-//!    full sort; an optional score cache memoises scalar triple scores,
-//!    **including typed negative answers**, for classification-heavy
-//!    traffic ([`CacheConfig::score_capacity`]).
+//!    LFU, LFUDA — selected from trace-driven simulation, see [`policy`]),
+//!    an optional TinyLFU **admission filter** in front of it
+//!    ([`CacheConfig::admission`], see [`admission`]), and fanned out over
+//!    the existing worker pool for batch traffic. The cache-miss path
+//!    selects its top-k via an O(|E| + k log k) partial selection kernel
+//!    (`nscaching_math::top_k_indices_into`) instead of a full sort, and
+//!    with a bound per-relation [`CandidateIndex`] scores only the query
+//!    relation's observed candidate set instead of the full vocabulary
+//!    (see [`candidates`] for the answer semantics); an optional score
+//!    cache memoises scalar triple scores, **including typed negative
+//!    answers**, for classification-heavy traffic
+//!    ([`CacheConfig::score_capacity`]).
 //!
 //! # On-disk format
 //!
@@ -96,7 +101,9 @@
 //! reasoning and [`sharded`] for what hash-splitting does (and provably
 //! does not) change.
 
+pub mod admission;
 pub mod cache;
+pub mod candidates;
 pub mod crash;
 pub mod error;
 pub mod format;
@@ -106,7 +113,9 @@ pub mod server;
 pub mod sharded;
 pub mod snapshot;
 
+pub use admission::TinyLfu;
 pub use cache::{CacheStats, LruCache, PolicyCache};
+pub use candidates::CandidateIndex;
 pub use error::SnapshotError;
 pub use manager::{CheckpointEntry, CheckpointManager, Recovery, VerifiedEntry};
 pub use policy::{

@@ -14,6 +14,7 @@
 //! | [`on_hit`](EvictionPolicy::on_hit) | `slot` was read or its value replaced | update recency/frequency books |
 //! | [`on_remove`](EvictionPolicy::on_remove) | `slot` was explicitly removed | forget `slot` |
 //! | [`victim`](EvictionPolicy::victim) | the cache is full and needs room | pick a tracked slot, forget it, return it |
+//! | [`peek_victim`](EvictionPolicy::peek_victim) | admission wants the prospective victim | name `victim`'s next answer, books untouched |
 //!
 //! Slots are dense `u32` indices below the capacity the policy was built for
 //! ([`PolicyInit::for_capacity`]), so implementations can keep all their
@@ -153,6 +154,14 @@ pub trait EvictionPolicy: std::fmt::Debug {
     /// Choose the slot to evict, stop tracking it, and return it.
     fn victim(&mut self) -> u32;
 
+    /// The slot an immediately following [`victim`](Self::victim) call would
+    /// return, **without** detaching it or touching any books. Same
+    /// precondition as `victim` (at least one slot tracked). The admission
+    /// filter uses this to run its frequency contest *before* committing to
+    /// an eviction — a rejected candidate must leave the victim's policy
+    /// state exactly as it was.
+    fn peek_victim(&self) -> u32;
+
     /// Forget every slot (cache clear). Keeps allocations.
     fn clear(&mut self);
 }
@@ -172,6 +181,9 @@ impl EvictionPolicy for Box<dyn EvictionPolicy + Send> {
     }
     fn victim(&mut self) -> u32 {
         (**self).victim()
+    }
+    fn peek_victim(&self) -> u32 {
+        (**self).peek_victim()
     }
     fn clear(&mut self) {
         (**self).clear()
@@ -318,6 +330,10 @@ impl EvictionPolicy for LruPolicy {
         victim
     }
 
+    fn peek_victim(&self) -> u32 {
+        self.list.tail
+    }
+
     fn clear(&mut self) {
         self.links.clear();
         self.list = ListHead::EMPTY;
@@ -422,6 +438,14 @@ impl EvictionPolicy for SlruPolicy {
             debug_assert_ne!(victim, NIL, "victim() on an empty policy");
             self.links.detach(&mut self.protected, victim);
             victim
+        }
+    }
+
+    fn peek_victim(&self) -> u32 {
+        if !self.probation.is_empty() {
+            self.probation.tail
+        } else {
+            self.protected.tail
         }
     }
 
@@ -557,6 +581,13 @@ impl EvictionPolicy for LfuPolicy {
         victim
     }
 
+    fn peek_victim(&self) -> u32 {
+        self.buckets
+            .get(&self.min_freq)
+            .expect("min_freq cursor points at a live bucket")
+            .tail
+    }
+
     fn clear(&mut self) {
         self.links.clear();
         self.buckets.clear();
@@ -682,6 +713,15 @@ impl EvictionPolicy for LfudaPolicy {
         // Dynamic aging: the floor rises to what it took to get evicted.
         self.age = priority;
         victim
+    }
+
+    fn peek_victim(&self) -> u32 {
+        self.buckets
+            .iter()
+            .next()
+            .expect("peek_victim() on an empty policy")
+            .1
+            .tail
     }
 
     fn clear(&mut self) {
@@ -879,6 +919,54 @@ mod tests {
             );
             policy.on_remove(0);
             policy.clear();
+        }
+    }
+
+    #[test]
+    fn peek_victim_predicts_victim_without_touching_the_books() {
+        // Churn every policy like a capacity-4 cache and check, at every
+        // eviction point, that peek_victim names exactly the slot victim()
+        // then returns — and that peeking (even repeatedly) never changes
+        // the outcome. This is the contract the admission filter leans on.
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build(4);
+            // key → slot map over dense slots 0..4, like the real cache.
+            let mut slot_of = [NIL; 7];
+            let mut free: Vec<u32> = (0..4).rev().collect();
+            for step in 0u32..200 {
+                let key = (step % 7) as usize;
+                if slot_of[key] != NIL {
+                    policy.on_hit(slot_of[key]);
+                } else {
+                    let slot = match free.pop() {
+                        Some(slot) => slot,
+                        None => {
+                            let peeked = policy.peek_victim();
+                            assert_eq!(
+                                policy.peek_victim(),
+                                peeked,
+                                "{}: peeking twice diverged at step {step}",
+                                kind.name()
+                            );
+                            let victim = policy.victim();
+                            assert_eq!(
+                                peeked,
+                                victim,
+                                "{}: peek_victim lied at step {step}",
+                                kind.name()
+                            );
+                            for s in slot_of.iter_mut() {
+                                if *s == victim {
+                                    *s = NIL;
+                                }
+                            }
+                            victim
+                        }
+                    };
+                    policy.on_insert(slot);
+                    slot_of[key] = slot;
+                }
+            }
         }
     }
 }

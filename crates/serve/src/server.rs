@@ -62,6 +62,7 @@
 //! [`BatchScratch`].
 
 use crate::cache::CacheStats;
+use crate::candidates::CandidateIndex;
 use crate::error::SnapshotError;
 use crate::policy::PolicyKind;
 use crate::sharded::ShardedCache;
@@ -272,6 +273,12 @@ pub struct CacheConfig {
     /// Capacity of the scalar score cache — positive scores *and* typed
     /// negative entries — for classification-heavy traffic (0 disables it).
     pub score_capacity: usize,
+    /// Put a TinyLFU admission filter in front of every shard's eviction
+    /// policy (see [`crate::admission`]): an insert into a full shard is
+    /// dropped unless the new answer's key has been looked up at least as
+    /// often (within the sketch's decay window) as the eviction victim's.
+    /// Off by default — unfiltered behaviour is preserved bit-for-bit.
+    pub admission: bool,
 }
 
 impl Default for CacheConfig {
@@ -281,6 +288,7 @@ impl Default for CacheConfig {
             policy: PolicyKind::Slru,
             shards: 1,
             score_capacity: 0,
+            admission: false,
         }
     }
 }
@@ -302,6 +310,7 @@ impl CacheConfig {
             policy: PolicyKind::Lru,
             shards: 1,
             score_capacity: 0,
+            admission: false,
         }
     }
 
@@ -322,10 +331,20 @@ impl CacheConfig {
         self.score_capacity = capacity;
         self
     }
+
+    /// Enable (or disable) the TinyLFU admission filter.
+    pub fn admission(mut self, admission: bool) -> Self {
+        self.admission = admission;
+        self
+    }
 }
 
 struct ServerInner {
     model: RwLock<Box<dyn KgeModel>>,
+    /// Optional per-relation candidate index for the top-k miss path; see
+    /// [`CandidateIndex`] for the answer semantics. Written only under the
+    /// model write lock (lock order: model → candidates → cache shard).
+    candidates: RwLock<Option<Arc<CandidateIndex>>>,
     cache: ShardedCache<TopKQuery, CachedAnswer>,
     /// Scalar score memoisation incl. negative (typed-error) entries;
     /// `None` when `score_capacity` is 0 so the disabled configuration adds
@@ -358,12 +377,24 @@ impl KnowledgeServer {
     /// — eviction policy, shard count, and optional scalar score cache.
     pub fn with_cache(model: Box<dyn KgeModel>, config: CacheConfig) -> Self {
         let stamp = stamp_of(model.as_ref(), 1);
-        let scores = (config.score_capacity > 0)
-            .then(|| ShardedCache::new(config.score_capacity, config.policy, config.shards));
+        let scores = (config.score_capacity > 0).then(|| {
+            ShardedCache::with_admission(
+                config.score_capacity,
+                config.policy,
+                config.shards,
+                config.admission,
+            )
+        });
         Self {
             inner: Arc::new(ServerInner {
                 model: RwLock::new(model),
-                cache: ShardedCache::new(config.capacity, config.policy, config.shards),
+                candidates: RwLock::new(None),
+                cache: ShardedCache::with_admission(
+                    config.capacity,
+                    config.policy,
+                    config.shards,
+                    config.admission,
+                ),
                 scores,
                 stamp: AtomicU64::new(stamp),
                 generation: AtomicU64::new(1),
@@ -406,6 +437,47 @@ impl KnowledgeServer {
         self.inner
             .stamp
             .store(stamp_of(guard.as_ref(), generation), Ordering::Release);
+    }
+
+    /// Bind a per-relation [`CandidateIndex`]: subsequent top-k misses score
+    /// only the query relation's observed candidate set (falling back to the
+    /// full-|E| scan whenever the index cannot shrink it — see
+    /// [`CandidateIndex::shrinking_candidates`]).
+    ///
+    /// Binding **changes the answer set** of indexed queries (entities never
+    /// observed with the relation disappear from answers), so it bumps the
+    /// model stamp exactly like a model mutation: every previously cached
+    /// answer is version-invalidated and can never be served alongside
+    /// index-computed ones.
+    pub fn bind_candidate_index(&self, index: CandidateIndex) {
+        self.swap_candidate_index(Some(Arc::new(index)));
+    }
+
+    /// Drop the bound candidate index, restoring full-vocabulary answers.
+    /// Bumps the model stamp for the same reason binding does.
+    pub fn clear_candidate_index(&self) {
+        self.swap_candidate_index(None);
+    }
+
+    fn swap_candidate_index(&self, index: Option<Arc<CandidateIndex>>) {
+        // Same discipline as `update_model`: the swap happens under the
+        // model write lock, so no reader can compute an answer while the
+        // stamp and the index disagree.
+        let guard = self.inner.model.write().expect("model lock");
+        let generation = self.inner.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.inner.candidates.write().expect("candidate lock") = index;
+        self.inner
+            .stamp
+            .store(stamp_of(guard.as_ref(), generation), Ordering::Release);
+    }
+
+    /// The bound candidate index, if any (diagnostics and benches).
+    pub fn candidate_index(&self) -> Option<Arc<CandidateIndex>> {
+        self.inner
+            .candidates
+            .read()
+            .expect("candidate lock")
+            .clone()
     }
 
     /// The served scoring function.
@@ -540,6 +612,27 @@ impl KnowledgeServer {
         out: &mut Vec<RankedEntity>,
     ) {
         let anchor = query.anchor();
+        // Candidate-index fast path: score only the relation's observed
+        // entities through the batched gather kernel. The candidate list is
+        // sorted ascending, so the partial-selection kernel's
+        // lower-index tie break *is* the full scan's lower-entity-id tie
+        // break, and the ranking over the set is bit-identical to scanning
+        // it entity by entity (asserted against the restricted-scan oracle
+        // in the candidate-index tests).
+        if let Some(index) = &*self.inner.candidates.read().expect("candidate lock") {
+            if let Some(candidates) =
+                index.shrinking_candidates(query.relation, query.direction, model.num_entities())
+            {
+                model.score_candidates(&anchor, query.direction, candidates, &mut scratch.scores);
+                top_k_indices_into(&scratch.scores, query.k as usize, &mut scratch.order);
+                out.clear();
+                out.extend(scratch.order.iter().map(|&i| RankedEntity {
+                    entity: candidates[i],
+                    score: scratch.scores[i],
+                }));
+                return;
+            }
+        }
         model.score_all_into(&anchor, query.direction, &mut scratch.scores);
         top_k_indices_into(&scratch.scores, query.k as usize, &mut scratch.order);
         out.clear();
@@ -920,6 +1013,150 @@ mod tests {
         );
         let n = server.num_entities() as u32;
         assert!(server.top_k_cached(&TopKQuery::tails(n, 0, 1)).is_err());
+    }
+
+    /// The restricted-scan oracle: full scalar scoring of exactly the
+    /// candidate set, sorted with the production total order.
+    fn reference_top_k_over(
+        server: &KnowledgeServer,
+        query: &TopKQuery,
+        candidates: &[EntityId],
+    ) -> Vec<RankedEntity> {
+        let mut scored: Vec<RankedEntity> = candidates
+            .iter()
+            .map(|&e| {
+                let anchor = query.anchor();
+                RankedEntity {
+                    entity: e,
+                    score: server.score(&anchor.corrupted(query.direction, e)).unwrap(),
+                }
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            nscaching_math::cmp_desc(a.score, b.score).then(a.entity.cmp(&b.entity))
+        });
+        scored.truncate(query.k as usize);
+        scored
+    }
+
+    /// A skewed observed-triple set: relation 0 only ever uses a small
+    /// entity slice, relation 1 covers everything, relation 2 is unobserved.
+    fn skewed_triples(num_entities: u32) -> Vec<Triple> {
+        let mut triples = Vec::new();
+        for e in 0..6u32 {
+            triples.push(Triple::new(e, 0, (e + 1) % 6));
+        }
+        for e in 0..num_entities {
+            triples.push(Triple::new(e, 1, (e + 1) % num_entities));
+        }
+        triples
+    }
+
+    #[test]
+    fn candidate_index_answers_match_the_restricted_scan_oracle() {
+        for kind in ModelKind::ALL {
+            let server = server(kind, 0);
+            let n = server.num_entities() as u32;
+            let index = CandidateIndex::build(&skewed_triples(n), server.num_relations());
+            server.bind_candidate_index(index);
+            let bound = server.candidate_index().expect("index bound");
+            let mut scratch = QueryScratch::default();
+            let mut out = Vec::new();
+            for query in [TopKQuery::tails(3, 0, 4), TopKQuery::heads(2, 0, 4)] {
+                let candidates = bound.candidates(query.relation, query.direction);
+                assert!(
+                    !candidates.is_empty() && candidates.len() < n as usize,
+                    "precondition: the skewed relation must shrink the scan"
+                );
+                server.top_k_into(&query, &mut scratch, &mut out).unwrap();
+                let oracle = reference_top_k_over(&server, &query, candidates);
+                assert_eq!(out.len(), oracle.len(), "{kind:?} {query:?}");
+                for (got, want) in out.iter().zip(&oracle) {
+                    assert_eq!(got.entity, want.entity, "{kind:?} {query:?}");
+                    assert!(
+                        (got.score - want.score).abs() <= 1e-12,
+                        "{kind:?} {query:?}: {} vs {}",
+                        got.score,
+                        want.score
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_index_falls_back_to_the_full_scan_when_it_cannot_shrink() {
+        let server = server(ModelKind::TransE, 0);
+        let n = server.num_entities() as u32;
+        let mut scratch = QueryScratch::default();
+        let mut unbound = Vec::new();
+        let full_coverage = TopKQuery::tails(1, 1, 5);
+        let unobserved = TopKQuery::tails(1, 2, 5);
+        let mut expected_full = Vec::new();
+        let mut expected_unobserved = Vec::new();
+        server
+            .top_k_into(&full_coverage, &mut scratch, &mut expected_full)
+            .unwrap();
+        server
+            .top_k_into(&unobserved, &mut scratch, &mut expected_unobserved)
+            .unwrap();
+
+        server.bind_candidate_index(CandidateIndex::build(
+            &skewed_triples(n),
+            server.num_relations(),
+        ));
+        // Relation 1 covers every entity, relation 2 was never observed:
+        // both must take the full-scan path and answer bit-identically to
+        // the unbound server.
+        server
+            .top_k_into(&full_coverage, &mut scratch, &mut unbound)
+            .unwrap();
+        assert_eq!(unbound, expected_full);
+        server
+            .top_k_into(&unobserved, &mut scratch, &mut unbound)
+            .unwrap();
+        assert_eq!(unbound, expected_unobserved);
+    }
+
+    #[test]
+    fn binding_and_clearing_the_index_invalidate_cached_answers() {
+        let server = server(ModelKind::DistMult, 64);
+        let n = server.num_entities() as u32;
+        let mut scratch = QueryScratch::default();
+        let query = TopKQuery::tails(3, 0, 4);
+        let full = server.top_k(&query, &mut scratch).unwrap();
+        let stamp_unbound = server.stamp();
+
+        server.bind_candidate_index(CandidateIndex::build(
+            &skewed_triples(n),
+            server.num_relations(),
+        ));
+        assert_ne!(server.stamp(), stamp_unbound, "bind must move the stamp");
+        let indexed = server.top_k(&query, &mut scratch).unwrap();
+        assert!(
+            !Arc::ptr_eq(&full, &indexed),
+            "a full-scan answer must not survive the bind"
+        );
+        let candidates: Vec<EntityId> = server
+            .candidate_index()
+            .unwrap()
+            .candidates(query.relation, query.direction)
+            .to_vec();
+        assert!(
+            indexed.iter().all(|r| candidates.contains(&r.entity)),
+            "indexed answers draw only from the candidate set"
+        );
+
+        server.clear_candidate_index();
+        let restored = server.top_k(&query, &mut scratch).unwrap();
+        assert!(
+            !Arc::ptr_eq(&indexed, &restored),
+            "an indexed answer must not survive the clear"
+        );
+        assert_eq!(
+            &*restored, &*full,
+            "clearing restores full-vocabulary answers"
+        );
     }
 
     #[test]

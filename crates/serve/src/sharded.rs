@@ -61,12 +61,37 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
     /// `policy` (each shard gets `⌈capacity / shards⌉` slots). `shards` is
     /// clamped to at least 1; capacity 0 disables caching entirely.
     pub fn new(capacity: usize, policy: PolicyKind, shards: usize) -> Self {
+        Self::with_admission(capacity, policy, shards, false)
+    }
+
+    /// Like [`new`](Self::new), optionally putting an independent TinyLFU
+    /// admission filter in front of every shard's policy (each filter sized
+    /// to its shard and fed only that shard's traffic — hash routing means a
+    /// key's frequency always accrues in the one sketch that will judge it).
+    pub fn with_admission(
+        capacity: usize,
+        policy: PolicyKind,
+        shards: usize,
+        admission: bool,
+    ) -> Self {
         let shards = shards.max(1);
         let per_shard = capacity.div_ceil(shards);
         let shards = (0..shards)
-            .map(|_| Mutex::new(PolicyCache::with_policy(per_shard, policy.build(per_shard))))
+            .map(|_| {
+                let shard = PolicyCache::with_policy(per_shard, policy.build(per_shard));
+                Mutex::new(if admission {
+                    shard.with_admission()
+                } else {
+                    shard
+                })
+            })
             .collect();
         Self { shards, policy }
+    }
+
+    /// Whether every shard runs a TinyLFU admission filter.
+    pub fn admission_enabled(&self) -> bool {
+        self.lock(0).admission_enabled()
     }
 
     /// Which policy every shard runs.

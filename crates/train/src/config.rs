@@ -80,6 +80,20 @@ pub enum TrainRuntime {
     /// Used by the `pool_overhead` bench to price the pool runtime against
     /// the sequential engine on an identically-shaped workload.
     Pool,
+    /// The double-buffered pipeline engine: workers sample/score batch
+    /// `k + 1` against the pre-step parameter snapshot while the main
+    /// thread merges and applies batch `k` (delayed-gradient semantics with
+    /// staleness 1). Uses the same shard partition and per-shard RNG
+    /// streams as [`Pool`](TrainRuntime::Pool), so it is bit-reproducible
+    /// for a fixed `(seed, shards)` — but it trains a *third* deterministic
+    /// trajectory (batches `k ≥ 1` are scored against parameters one step
+    /// old). Algorithm 2's cache-update-before-step ordering is preserved
+    /// per batch: each batch's sampler cache merge lands before that
+    /// batch's gradients are applied — see the ordering-contract docs on
+    /// `Trainer::train_epoch_pipelined`. Equivalence against the
+    /// non-overlapped staged reference engine is asserted bit-for-bit in
+    /// `tests/pipelined_equivalence.rs`.
+    Pipelined,
 }
 
 /// Default shard count: `NSC_SHARDS` when set (panicking on malformed values

@@ -29,8 +29,10 @@
 //!    accumulators) plus its own scratch buffers, so the pool workers share
 //!    nothing mutable and need no locks. The embedding model is shared
 //!    read-only through the thread-safe batched scoring API (`&self` +
-//!    thread-local scratch; the TransR/TransD projection caches are also
-//!    per-thread).
+//!    thread-local scratch; the TransR/TransD projection panels live in the
+//!    process-wide shared registry of `nscaching_models::projcache`, whose
+//!    lock-free claim/publish protocol lets one worker's warm panel serve
+//!    every other worker, with bit-identical inline fallback).
 //! 2. **RNG streams.** The master stream (seeded from
 //!    [`TrainConfig::seed`]) keeps its historical role — epoch shuffling,
 //!    and *all* sampling when `shards = 1`. Each worker draws from its own
@@ -69,6 +71,24 @@
 //!   the pool's `Drop` joins them all. A panicking shard job is caught on
 //!   the worker, re-thrown on the main thread after the round drains, and
 //!   leaves the pool reusable. See [`pool`] for the full protocol.
+//!
+//! ## The double-buffered pipelined engine
+//!
+//! [`TrainRuntime::Pipelined`] adds a fourth invariant on top of the three
+//! above — **overlap without reordering**. Instead of one synchronous round
+//! per mini-batch, the pool samples/scores batch `k` against a pre-step
+//! *shadow* copy of the model while the main thread merges and applies batch
+//! `k − 1` to the live model (delayed-gradient training with staleness 1),
+//! using [`WorkerPool::overlap_round`] and two alternating sets of shard
+//! output buffers. The ordering contract that keeps this faithful to
+//! Algorithm 2 is: each batch's **sampler cache merge** (step 8) lands when
+//! its round drains — strictly before that batch's **optimizer step**
+//! (step 9), which only runs during the *next* round's overlap. The rows
+//! each step touches are then copied live → shadow before the next round
+//! dispatches, so the shadow is always exactly one step behind. Full phase
+//! ordering on `Trainer::train_epoch_pipelined`; bit-equivalence against a
+//! single-threaded staged reference engine is asserted across the model ×
+//! sampler matrix in `tests/pipelined_equivalence.rs`.
 //!
 //! `shards = 1` (the default) is the sequential trainer of the paper: the
 //! single shard runs inline on the master stream with per-positive sampler
