@@ -1,0 +1,272 @@
+//! Criterion bench: the observability layer's hot-path cost.
+//!
+//! Run with `cargo bench -p nscaching-bench --bench obs_overhead`.
+//!
+//! The `nscaching_obs` contract is that instrumentation is free enough to
+//! leave on everywhere: counters and histogram records are single relaxed
+//! atomic RMWs, timers read the clock at most twice per *phase per batch*
+//! (train) or once per *miss* (serve), and the serve cache-hit path takes no
+//! clock reads at all. This bench measures and gates exactly that:
+//!
+//! * **serve hit path** — a warmed LRU answering the same hot set with and
+//!   without a [`ServeMetrics`] handle attached; the instrumented/plain time
+//!   ratio must stay within `NSC_OBS_OVERHEAD_MAX` (default 2% locally; CI
+//!   relaxes to 5% on shared runners);
+//! * **pooled trainer** — best-of epoch wall time of the 2-shard pool engine
+//!   with and without a [`TrainMetrics`] handle attached, same gate;
+//! * **alloc-free hot path** — hard-asserted at any gate level: steady-state
+//!   histogram records, counter increments and instrumented serve cache hits
+//!   perform **zero** heap allocations.
+//!
+//! Records the `obs_overhead` section of `BENCH_obs.json` at the workspace
+//! root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nscaching::{build_sampler, NsCachingConfig, SamplerConfig};
+use nscaching_datagen::GeneratorConfig;
+use nscaching_models::{build_model, ModelConfig, ModelKind};
+use nscaching_obs::MetricsRegistry;
+use nscaching_optim::OptimizerConfig;
+use nscaching_serve::{KnowledgeServer, QueryScratch, ServeMetrics, TopKQuery};
+use nscaching_train::{TrainConfig, TrainMetrics, TrainRuntime, Trainer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct CountingAllocator;
+
+static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const DIM: usize = 64;
+const ENTITIES: usize = 2_000;
+const RELATIONS: usize = 32;
+const CACHE_CAPACITY: usize = 256;
+/// Hot-set cache hits per serve measurement pass.
+const HIT_PASS: usize = 100_000;
+/// Training epochs measured per trainer (the best one scores).
+const EPOCHS: usize = 6;
+const TRAIN_SHARDS: usize = 2;
+
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATION_COUNT.load(Ordering::Relaxed);
+    f();
+    ALLOCATION_COUNT.load(Ordering::Relaxed) - before
+}
+
+fn server() -> KnowledgeServer {
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(DIM)
+            .with_seed(3),
+        ENTITIES,
+        RELATIONS,
+    );
+    KnowledgeServer::new(model, CACHE_CAPACITY)
+}
+
+/// A hot set that fits the LRU, so every measured lookup is a pure hit.
+fn hot_queries() -> Vec<TopKQuery> {
+    (0..CACHE_CAPACITY / 2)
+        .map(|i| {
+            let entity = ((i * 131) % ENTITIES) as u32;
+            let relation = ((i * 17) % RELATIONS) as u32;
+            TopKQuery::tails(entity, relation, 10)
+        })
+        .collect()
+}
+
+/// Best-of-`samples` seconds for one measurement pass.
+fn best_seconds(samples: usize, mut pass: impl FnMut()) -> f64 {
+    pass(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of pass time over `HIT_PASS` warm cache hits.
+fn hit_pass_seconds(server: &KnowledgeServer, hot: &[TopKQuery]) -> f64 {
+    let mut scratch = QueryScratch::default();
+    // Warm every hot key so the measured passes never miss.
+    for query in hot {
+        black_box(server.top_k(query, &mut scratch).unwrap());
+    }
+    best_seconds(7, || {
+        for i in 0..HIT_PASS {
+            let query = &hot[i % hot.len()];
+            black_box(server.top_k(query, &mut scratch).unwrap());
+        }
+    })
+}
+
+fn trainer(instrumented: bool) -> (Trainer, Option<Arc<MetricsRegistry>>) {
+    let mut config = GeneratorConfig::small("obs-overhead");
+    config.num_entities = 1_500;
+    config.num_train = 12_000;
+    config.num_valid = 50;
+    config.num_test = 50;
+    config.seed = 29;
+    let dataset = nscaching_datagen::generate(&config).unwrap();
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(32)
+            .with_seed(7),
+        dataset.num_entities(),
+        dataset.num_relations(),
+    );
+    let sampler = build_sampler(
+        &SamplerConfig::NsCaching(NsCachingConfig::new(30, 30)),
+        &dataset,
+        11,
+    );
+    let train_config = TrainConfig::new(EPOCHS)
+        .with_batch_size(512)
+        .with_optimizer(OptimizerConfig::adam(0.02))
+        .with_margin(2.0)
+        .with_seed(5)
+        .with_shards(TRAIN_SHARDS)
+        .with_runtime(TrainRuntime::Pool);
+    let mut trainer = Trainer::new(model, sampler, &dataset, train_config);
+    if instrumented {
+        let registry = Arc::new(MetricsRegistry::new());
+        trainer.attach_metrics(TrainMetrics::register(&registry));
+        (trainer, Some(registry))
+    } else {
+        (trainer, None)
+    }
+}
+
+/// Best epoch wall time over the trainer's full budget.
+fn best_epoch_seconds(trainer: &mut Trainer) -> f64 {
+    (0..EPOCHS)
+        .map(|_| trainer.train_epoch().seconds)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn assert_obs_overhead(_c: &mut Criterion) {
+    let max_overhead: f64 = std::env::var("NSC_OBS_OVERHEAD_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+
+    // --- Alloc-free metric primitives: steady-state records never touch
+    //     the heap (the bucket table is fixed at construction).
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("bench_probe_us");
+    let counter = registry.counter("bench_probe_total");
+    histogram.record(1); // construction + first-touch out of the way
+    counter.inc();
+    let primitive_allocations = allocations(|| {
+        for i in 0..100_000u64 {
+            histogram.record(i % 4_096);
+            counter.inc();
+        }
+    });
+
+    // --- Serve hit path: plain vs instrumented, plus the alloc assert.
+    let hot = hot_queries();
+    let secs_plain_serve = hit_pass_seconds(&server(), &hot);
+    let instrumented = server();
+    let serve_registry = MetricsRegistry::new();
+    instrumented.attach_metrics(ServeMetrics::register(&serve_registry));
+    let secs_obs_serve = hit_pass_seconds(&instrumented, &hot);
+    let serve_hit_allocations = {
+        let mut scratch = QueryScratch::default();
+        allocations(|| {
+            for i in 0..HIT_PASS {
+                let query = &hot[i % hot.len()];
+                black_box(instrumented.top_k(query, &mut scratch).unwrap());
+            }
+        })
+    };
+    let serve_overhead = (secs_obs_serve / secs_plain_serve - 1.0).max(0.0);
+
+    // --- Pooled trainer: plain vs instrumented best epoch.
+    let secs_plain_train = best_epoch_seconds(&mut trainer(false).0);
+    let (mut obs_trainer, train_registry) = trainer(true);
+    let secs_obs_train = best_epoch_seconds(&mut obs_trainer);
+    let train_overhead = (secs_obs_train / secs_plain_train - 1.0).max(0.0);
+    // The instrumented run actually landed on its registry.
+    let train_registry = train_registry.unwrap();
+    assert_eq!(
+        train_registry.counter_value("nsc_train_epochs_total", &[]),
+        Some(EPOCHS as u64)
+    );
+
+    println!(
+        "obs_overhead serve hit path {:.1}M q/s plain vs {:.1}M q/s instrumented \
+         ({serve_overhead:.4} overhead), pool({TRAIN_SHARDS}) epoch {:.3}s plain vs \
+         {:.3}s instrumented ({train_overhead:.4} overhead), max {max_overhead}; \
+         allocations: primitives {primitive_allocations}/200k records, \
+         serve hits {serve_hit_allocations}/{HIT_PASS} queries",
+        HIT_PASS as f64 / secs_plain_serve / 1e6,
+        HIT_PASS as f64 / secs_obs_serve / 1e6,
+        secs_plain_train,
+        secs_obs_train,
+    );
+
+    let section = format!(
+        "{{\n  \"workload\": {{\n    \"serve\": \"TransE d={DIM} |E|={ENTITIES} warm LRU, {HIT_PASS} hits/pass, best of 7\",\n    \"train\": \"TransE d=32 |T|=12000 NSCaching pool({TRAIN_SHARDS}), best of {EPOCHS} epochs\"\n  }},\n  \"serve_hit_overhead\": {serve_overhead:.4},\n  \"trainer_epoch_overhead\": {train_overhead:.4},\n  \"max_allowed_overhead\": {max_overhead},\n  \"steady_state_allocations\": {{\n    \"histogram_and_counter_per_200k_records\": {primitive_allocations},\n    \"instrumented_serve_hit_per_{HIT_PASS}_queries\": {serve_hit_allocations}\n  }},\n  \"note\": \"the hit path takes zero clock reads by design (CacheStats bridge at scrape time); train timers cut once per phase per batch — the gate (NSC_OBS_OVERHEAD_MAX) bounds the instrumented/plain wall-clock ratio on both\"\n}}"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_obs.json");
+    if let Err(e) = nscaching_bench::update_bench_section(&path, "obs", "obs_overhead", &section) {
+        eprintln!("could not record BENCH_obs.json at {path:?}: {e}");
+    }
+
+    assert_eq!(
+        primitive_allocations, 0,
+        "histogram records and counter increments must not allocate"
+    );
+    assert_eq!(
+        serve_hit_allocations, 0,
+        "instrumented steady-state cache hits must not allocate"
+    );
+    assert!(
+        serve_overhead <= max_overhead,
+        "instrumented serve hit path exceeds the overhead budget: \
+         {serve_overhead:.4} > {max_overhead} (override with NSC_OBS_OVERHEAD_MAX)"
+    );
+    assert!(
+        train_overhead <= max_overhead,
+        "instrumented pooled trainer exceeds the overhead budget: \
+         {train_overhead:.4} > {max_overhead} (override with NSC_OBS_OVERHEAD_MAX)"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = assert_obs_overhead
+}
+criterion_main!(benches);

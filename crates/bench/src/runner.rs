@@ -496,6 +496,14 @@ fn try_resume(
 /// checkpointed tables already embody it), and with `--checkpoint-every N`
 /// the trainer saves a resumable checkpoint to `--checkpoint-dir` every `N`
 /// finished epochs through [`Trainer::run_with`]'s epoch hook.
+///
+/// With `--metrics-out FILE` the trainer runs instrumented (a fresh
+/// [`nscaching_obs::MetricsRegistry`] per run, attached through
+/// [`Trainer::attach_metrics`]) and the registry's exposition is appended to
+/// `FILE` under a `# run <label>` header when the run finishes. Attaching
+/// telemetry never perturbs the trajectory (asserted in
+/// `nscaching_train`'s `telemetry_equivalence` suite), and the TSV outputs
+/// are bit-unchanged either way.
 pub fn train_with_sampler(
     dataset: &BenchDataset,
     kind: ModelKind,
@@ -548,6 +556,12 @@ pub fn train_with_sampler(
             }
         };
 
+    let telemetry = settings.metrics_out.as_ref().map(|path| {
+        let registry = std::sync::Arc::new(nscaching_obs::MetricsRegistry::new());
+        trainer.attach_metrics(nscaching_train::TrainMetrics::register(&registry));
+        (registry, path.clone())
+    });
+
     if settings.checkpoint_every > 0 {
         let run_dir = settings
             .checkpoint_dir()
@@ -574,6 +588,11 @@ pub fn train_with_sampler(
     } else {
         trainer.run();
     }
+    if let Some((registry, path)) = telemetry {
+        if let Err(e) = append_metrics(&path, &label, &registry.render()) {
+            eprintln!("[{label}] cannot append --metrics-out {path:?}: {e}");
+        }
+    }
     let history = trainer.history().clone();
     let report = history
         .final_report
@@ -586,6 +605,21 @@ pub fn train_with_sampler(
         pretrain_seconds,
         model,
     }
+}
+
+/// Append one run's metrics exposition to the `--metrics-out` file under a
+/// `# run <label>` header, creating the file (and its parent directory) on
+/// first use so a grid binary accumulates one section per run.
+fn append_metrics(path: &std::path::Path, label: &str, exposition: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    write!(file, "# run {label}\n{exposition}")
 }
 
 /// Generate the four benchmark datasets at the configured scale, each wrapped
@@ -968,6 +1002,48 @@ mod tests {
             ResumeOutcome::Resumed { fallbacks, .. } => assert!(fallbacks.is_empty()),
             _ => panic!("expected a clean resume from the restored checkpoint"),
         }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_out_appends_one_exposition_section_per_run() {
+        let dir =
+            std::env::temp_dir().join(format!("nscaching-runner-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("metrics.txt");
+
+        let mut settings = smoke_settings();
+        settings.epochs = 2;
+        settings.metrics_out = Some(path.clone());
+        let dataset = BenchDataset::new(
+            BenchmarkFamily::Wn18rr
+                .generate(settings.scale, settings.seed)
+                .unwrap(),
+        );
+        for _ in 0..2 {
+            let _ = train_with_sampler(
+                &dataset,
+                ModelKind::TransE,
+                SamplerConfig::Bernoulli,
+                "metrics-test".into(),
+                0,
+                &settings,
+                0,
+            );
+        }
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.matches("# run metrics-test\n").count(),
+            2,
+            "one header per run:\n{text}"
+        );
+        // Each run's section carries the per-phase timers and the epoch
+        // bridge (2 epochs of the sequential smoke engine).
+        assert_eq!(text.matches("nsc_train_epochs_total 2\n").count(), 2);
+        assert!(text.contains("nsc_train_phase_us_count{phase=\"sample_score\"}"));
+        assert!(text.contains("nsc_train_mean_loss "));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

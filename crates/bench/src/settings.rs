@@ -22,6 +22,10 @@ use std::path::{Path, PathBuf};
 /// --resume <path>  resume interrupted runs: a checkpoint file (single-run
 ///                  binaries) or a directory of per-run checkpoints (grids);
 ///                  runs without a matching checkpoint start fresh
+/// --metrics-out <file>  append the metrics-registry exposition (phase
+///                  timers, epoch gauges) after each run, one `# run <label>`
+///                  section per run (default: off; the TSV output is
+///                  unaffected either way)
 /// --smoke          tiny configuration used by CI / integration tests
 /// ```
 #[derive(Debug, Clone)]
@@ -59,6 +63,8 @@ pub struct ExperimentSettings {
     /// Resume source: a checkpoint file or a directory of per-run
     /// checkpoints (None = always start fresh).
     pub resume: Option<PathBuf>,
+    /// Append the metrics exposition here after each run (None = off).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for ExperimentSettings {
@@ -78,6 +84,7 @@ impl Default for ExperimentSettings {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: None,
+            metrics_out: None,
         }
     }
 }
@@ -175,6 +182,7 @@ impl ExperimentSettings {
                     settings.checkpoint_dir = Some(PathBuf::from(next_value(arg)?))
                 }
                 "--resume" => settings.resume = Some(PathBuf::from(next_value(arg)?)),
+                "--metrics-out" => settings.metrics_out = Some(PathBuf::from(next_value(arg)?)),
                 "--smoke" => settings.smoke = true,
                 "--help" | "-h" => return Err(Self::usage().to_owned()),
                 other => return Err(format!("unknown argument {other}\n{}", Self::usage())),
@@ -215,7 +223,8 @@ impl ExperimentSettings {
         "usage: <experiment> [--scale F] [--epochs N] [--dim N] [--seed N] [--out DIR] \
          [--eval-max N] [--threads N] [--runtime sequential|pool|pipelined] \
          [--datasets a,b] [--models A,B] \
-         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume PATH] [--smoke]"
+         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume PATH] \
+         [--metrics-out FILE] [--smoke]"
     }
 
     /// Directory where per-run checkpoints are written.
@@ -373,6 +382,14 @@ mod tests {
         assert!(s.resume.is_none());
         assert!(ExperimentSettings::parse(["--checkpoint-every", "x"]).is_err());
         assert!(ExperimentSettings::parse(["--resume"]).is_err());
+    }
+
+    #[test]
+    fn metrics_out_parses_and_defaults_to_off() {
+        let s = ExperimentSettings::parse(["--metrics-out", "o/metrics.txt"]).unwrap();
+        assert_eq!(s.metrics_out, Some(PathBuf::from("o/metrics.txt")));
+        assert!(ExperimentSettings::default().metrics_out.is_none());
+        assert!(ExperimentSettings::parse(["--metrics-out"]).is_err());
     }
 }
 

@@ -46,6 +46,30 @@
 //! | 1 | top-k `k` clamped to `degraded_k_clamp` | sustained l1 → add workers |
 //! | 2 | cache-only: live result-cache hits served, everything else shed | capacity incident |
 //!
+//! ### Watching the ladder from the outside
+//!
+//! Send the `Stats` opcode ([`wire::opcode::STATS`]) — answered inline on
+//! the connection thread at **every** level, drain included, so telemetry
+//! survives the incident it is describing. The exposition maps onto the
+//! ladder like this:
+//!
+//! | question | metric |
+//! |----------|--------|
+//! | how close to the cliff? | `nsc_net_in_flight` vs `nsc_net_queue_capacity` (occupancy = the ladder's input) |
+//! | how long at each level? | `nsc_net_degradation_ms_total{level="0"/"1"/"2"}` (reaper-tick resolution) |
+//! | how much work degraded? | `nsc_net_responses_degraded_total{level=…}` |
+//! | is shedding happening? | `nsc_net_requests_shed_total`, `nsc_net_deadline_exceeded_total` |
+//! | is cache-only viable? | `nsc_serve_cache_hits_total{cache="topk"}` rate vs `nsc_net_requests_shed_total` rate at level 2 |
+//! | client latency? | `nsc_net_request_latency_us{op=…,q="p50"/"p90"/"p99"/"max"}` (decode→write, per opcode) |
+//!
+//! Rules of thumb: occupancy pinned above `clamp_threshold` with a flat
+//! cache hit rate → add workers; occupancy spiking to `cache_only_threshold`
+//! with a *healthy* hit rate → the ladder is doing its job, ride it out;
+//! `nsc_net_deadline_exceeded_total` climbing while occupancy is low →
+//! deadlines are mis-sized, not capacity. Counters named `nsc_net_*_total`
+//! are the same atomics behind [`NetStatsSnapshot`] — the wire view and the
+//! in-process view cannot disagree.
+//!
 //! ## Wire error codes
 //!
 //! See [`wire`] for the full table; the short version: codes 5–7
@@ -102,10 +126,12 @@
 
 pub mod client;
 pub mod fault;
+pub mod metrics;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, ClientStats, NetClient, Reply};
 pub use fault::{FaultPlan, FaultyStream, Transport};
+pub use metrics::{op_index, NetMetrics, OP_NAMES};
 pub use server::{BindSnapshotError, NetServer, NetServerConfig, NetStatsSnapshot};
 pub use wire::{code_of_query_error, Answer, ErrorCode, Request, Response};

@@ -66,10 +66,12 @@
 //! after `drain_grace` with [`ErrorCode::ShuttingDown`].
 
 use crate::fault::{FaultPlan, FaultyStream, Transport};
+use crate::metrics::{op_index, NetMetrics};
 use crate::wire::{
     code_of_query_error, Answer, ErrorCode, Request, Response, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 use nscaching_kg::Triple;
+use nscaching_obs::{Counter, MetricsRegistry};
 use nscaching_serve::{CacheConfig, KnowledgeServer, QueryScratch, SnapshotError, TopKQuery};
 use std::collections::HashMap;
 use std::io;
@@ -171,25 +173,52 @@ impl std::fmt::Display for BindSnapshotError {
 impl std::error::Error for BindSnapshotError {}
 
 /// Monotonic counters of everything the server did. All counters are
-/// cumulative since bind; [`NetStatsSnapshot`] is the readable copy.
-#[derive(Debug, Default)]
+/// cumulative since bind and live on the server's [`MetricsRegistry`] —
+/// [`NetStatsSnapshot`] and the `STATS` wire exposition read the *same*
+/// atomics, so the two views can never disagree.
+#[derive(Debug)]
 struct NetStats {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    reaped: AtomicU64,
-    decoded: AtomicU64,
-    protocol_errors: AtomicU64,
-    written: AtomicU64,
-    ok: AtomicU64,
-    typed_errors: AtomicU64,
-    shed: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    degraded_l1: AtomicU64,
-    degraded_l2: AtomicU64,
-    write_failures: AtomicU64,
-    read_failures: AtomicU64,
-    reload_ok: AtomicU64,
-    reload_failed: AtomicU64,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    reaped: Arc<Counter>,
+    decoded: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    written: Arc<Counter>,
+    ok: Arc<Counter>,
+    typed_errors: Arc<Counter>,
+    shed: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    degraded_l1: Arc<Counter>,
+    degraded_l2: Arc<Counter>,
+    write_failures: Arc<Counter>,
+    read_failures: Arc<Counter>,
+    reload_ok: Arc<Counter>,
+    reload_failed: Arc<Counter>,
+}
+
+impl NetStats {
+    fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            accepted: registry.counter("nsc_net_connections_accepted_total"),
+            rejected: registry.counter("nsc_net_connections_rejected_total"),
+            reaped: registry.counter("nsc_net_connections_reaped_total"),
+            decoded: registry.counter("nsc_net_requests_decoded_total"),
+            protocol_errors: registry.counter("nsc_net_protocol_errors_total"),
+            written: registry.counter("nsc_net_responses_written_total"),
+            ok: registry.counter("nsc_net_responses_ok_total"),
+            typed_errors: registry.counter("nsc_net_responses_error_total"),
+            shed: registry.counter("nsc_net_requests_shed_total"),
+            deadline_exceeded: registry.counter("nsc_net_deadline_exceeded_total"),
+            degraded_l1: registry
+                .counter_with("nsc_net_responses_degraded_total", &[("level", "1")]),
+            degraded_l2: registry
+                .counter_with("nsc_net_responses_degraded_total", &[("level", "2")]),
+            write_failures: registry.counter("nsc_net_write_failures_total"),
+            read_failures: registry.counter("nsc_net_read_failures_total"),
+            reload_ok: registry.counter_with("nsc_net_reloads_total", &[("outcome", "ok")]),
+            reload_failed: registry.counter_with("nsc_net_reloads_total", &[("outcome", "failed")]),
+        }
+    }
 }
 
 /// A point-in-time copy of the server's counters.
@@ -227,6 +256,11 @@ pub struct NetStatsSnapshot {
     pub reload_ok: u64,
     /// Hot reloads rejected with a typed error (model kept serving).
     pub reload_failed: u64,
+    /// Jobs admitted but not yet executed at snapshot time (instantaneous,
+    /// not cumulative).
+    pub in_flight: u64,
+    /// Open connections at snapshot time (instantaneous, not cumulative).
+    pub active_connections: u64,
 }
 
 impl NetStatsSnapshot {
@@ -253,28 +287,13 @@ impl NetStatsSnapshot {
             (self.degraded_l1 + self.degraded_l2) as f64 / self.written as f64
         }
     }
-}
 
-impl NetStats {
-    fn snapshot(&self) -> NetStatsSnapshot {
-        NetStatsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            reaped: self.reaped.load(Ordering::Relaxed),
-            decoded: self.decoded.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            written: self.written.load(Ordering::Relaxed),
-            ok: self.ok.load(Ordering::Relaxed),
-            typed_errors: self.typed_errors.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            degraded_l1: self.degraded_l1.load(Ordering::Relaxed),
-            degraded_l2: self.degraded_l2.load(Ordering::Relaxed),
-            write_failures: self.write_failures.load(Ordering::Relaxed),
-            read_failures: self.read_failures.load(Ordering::Relaxed),
-            reload_ok: self.reload_ok.load(Ordering::Relaxed),
-            reload_failed: self.reload_failed.load(Ordering::Relaxed),
-        }
+    /// The response ledger: every frame the server decoded — plus every
+    /// frame it could not decode — produced exactly one response attempt.
+    /// Holds at every quiescent point (no request mid-flight), drain
+    /// included; the chaos suite asserts it after every scenario.
+    pub fn ledger_balanced(&self) -> bool {
+        self.decoded + self.protocol_errors == self.written + self.write_failures
     }
 }
 
@@ -291,6 +310,7 @@ struct Shared {
     engine: KnowledgeServer,
     config: NetServerConfig,
     stats: NetStats,
+    metrics: NetMetrics,
     draining: AtomicBool,
     /// Millis since `epoch` at which the drain started (0 = not draining).
     drain_since_ms: AtomicU64,
@@ -314,6 +334,48 @@ impl Shared {
         let since = self.drain_since_ms.load(Ordering::Acquire);
         since != 0
             && self.now_ms().saturating_sub(since) > self.config.drain_grace.as_millis() as u64
+    }
+
+    /// The in-process counter view, including the instantaneous
+    /// in-flight/connection levels.
+    fn stats_snapshot(&self) -> NetStatsSnapshot {
+        let stats = &self.stats;
+        NetStatsSnapshot {
+            accepted: stats.accepted.get(),
+            rejected: stats.rejected.get(),
+            reaped: stats.reaped.get(),
+            decoded: stats.decoded.get(),
+            protocol_errors: stats.protocol_errors.get(),
+            written: stats.written.get(),
+            ok: stats.ok.get(),
+            typed_errors: stats.typed_errors.get(),
+            shed: stats.shed.get(),
+            deadline_exceeded: stats.deadline_exceeded.get(),
+            degraded_l1: stats.degraded_l1.get(),
+            degraded_l2: stats.degraded_l2.get(),
+            write_failures: stats.write_failures.get(),
+            read_failures: stats.read_failures.get(),
+            reload_ok: stats.reload_ok.get(),
+            reload_failed: stats.reload_failed.get(),
+            in_flight: self.in_flight.load(Ordering::Relaxed) as u64,
+            active_connections: self.active_connections.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// Refresh the scrape-time gauges and bridged counters, then render the
+    /// registry. This is the `STATS` answer; it runs on a connection thread
+    /// and touches no lock the query path contends on (the registry mutex
+    /// guards only the entry list, and the engine bridge reads cache stats
+    /// the same way [`KnowledgeServer::cache_stats`] does).
+    fn render_stats(&self) -> String {
+        self.metrics
+            .in_flight
+            .set(self.in_flight.load(Ordering::Relaxed) as f64);
+        self.metrics
+            .active_connections
+            .set(self.active_connections.load(Ordering::Relaxed) as f64);
+        self.engine.publish_metrics();
+        self.metrics.registry.render()
     }
 
     /// Current degradation level from queue occupancy.
@@ -381,10 +443,17 @@ impl NetServer {
         assert!(config.queue_depth >= 1, "queues must hold at least one job");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = NetMetrics::register(&registry);
+        metrics
+            .queue_capacity
+            .set((config.workers * config.queue_depth) as f64);
+        engine.attach_metrics(Arc::clone(&metrics.serve));
         let shared = Arc::new(Shared {
             engine,
             config,
-            stats: NetStats::default(),
+            stats: NetStats::register(&registry),
+            metrics,
             draining: AtomicBool::new(false),
             drain_since_ms: AtomicU64::new(0),
             epoch: Instant::now(),
@@ -444,7 +513,20 @@ impl NetServer {
 
     /// Point-in-time counters.
     pub fn stats(&self) -> NetStatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
+    }
+
+    /// The metrics registry every layer of this server (net, serve) records
+    /// on. Registering further metrics on it is allowed; they will appear in
+    /// the `STATS` exposition.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics.registry
+    }
+
+    /// The current metrics exposition — exactly the text a `STATS` request
+    /// receives over the wire (gauges refreshed, cache counters bridged).
+    pub fn exposition(&self) -> String {
+        self.shared.render_stats()
     }
 
     /// The current degradation level (diagnostics; responses carry it too).
@@ -457,7 +539,7 @@ impl NetServer {
     /// counters.
     pub fn shutdown(mut self) -> NetStatsSnapshot {
         self.shutdown_inner();
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     fn shutdown_inner(&mut self) {
@@ -527,13 +609,13 @@ fn accept_loop(
             break;
         }
         if shared.active_connections.load(Ordering::Relaxed) >= shared.config.max_connections {
-            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.stats.rejected.inc();
             drop(socket);
             continue;
         }
         let conn_id = next_conn_id;
         next_conn_id += 1;
-        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.accepted.inc();
         shared.active_connections.fetch_add(1, Ordering::Relaxed);
 
         let last_active = Arc::new(AtomicU64::new(shared.now_ms()));
@@ -576,14 +658,21 @@ fn reaper_loop(shared: &Arc<Shared>) {
         .max(Duration::from_millis(5))
         .min(shared.config.idle_timeout / 2 + Duration::from_millis(1));
     let budget = shared.config.idle_timeout.as_millis() as u64;
+    let mut level_since = Instant::now();
     while !shared.draining() {
         std::thread::sleep(tick);
+        // Attribute the elapsed tick to the level observed now — resolution
+        // is the poll interval, same as every other reaction latency here.
+        let level = shared.degradation_level() as usize;
+        let elapsed = level_since.elapsed().as_millis() as u64;
+        level_since = Instant::now();
+        shared.metrics.degradation_ms[level].add(elapsed);
         let now = shared.now_ms();
         let mut registry = shared.registry.lock().expect("reaper registry");
         registry.retain(|_, (socket, last_active)| {
             if now.saturating_sub(last_active.load(Ordering::Relaxed)) > budget {
                 let _ = TcpStream::shutdown(socket, std::net::Shutdown::Both);
-                shared.stats.reaped.fetch_add(1, Ordering::Relaxed);
+                shared.stats.reaped.inc();
                 false
             } else {
                 true
@@ -695,19 +784,19 @@ fn write_response(
     let stats = &shared.stats;
     match transport.write_all(frame) {
         Ok(()) => {
-            stats.written.fetch_add(1, Ordering::Relaxed);
+            stats.written.inc();
             match &response.result {
                 Ok(_) => {
-                    stats.ok.fetch_add(1, Ordering::Relaxed);
+                    stats.ok.inc();
                 }
                 Err((code, _)) => {
-                    stats.typed_errors.fetch_add(1, Ordering::Relaxed);
+                    stats.typed_errors.inc();
                     match code {
                         ErrorCode::Overloaded => {
-                            stats.shed.fetch_add(1, Ordering::Relaxed);
+                            stats.shed.inc();
                         }
                         ErrorCode::DeadlineExceeded => {
-                            stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            stats.deadline_exceeded.inc();
                         }
                         _ => {}
                     }
@@ -716,16 +805,16 @@ fn write_response(
             match response.degradation {
                 0 => {}
                 1 => {
-                    stats.degraded_l1.fetch_add(1, Ordering::Relaxed);
+                    stats.degraded_l1.inc();
                 }
                 _ => {
-                    stats.degraded_l2.fetch_add(1, Ordering::Relaxed);
+                    stats.degraded_l2.inc();
                 }
             }
             true
         }
         Err(_) => {
-            stats.write_failures.fetch_add(1, Ordering::Relaxed);
+            stats.write_failures.inc();
             false
         }
     }
@@ -750,7 +839,7 @@ fn serve_connection(
             FrameOutcome::Frame => {}
             FrameOutcome::Closed => break,
             FrameOutcome::Dead => {
-                shared.stats.read_failures.fetch_add(1, Ordering::Relaxed);
+                shared.stats.read_failures.inc();
                 break;
             }
             FrameOutcome::Deadline => {
@@ -764,11 +853,11 @@ fn serve_connection(
                 );
                 response_bytes(&notice, &mut scratch, &mut frame);
                 let _ = transport.write_all(&frame);
-                shared.stats.read_failures.fetch_add(1, Ordering::Relaxed);
+                shared.stats.read_failures.inc();
                 break;
             }
             FrameOutcome::TooLarge(len) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.protocol_errors.inc();
                 let response = Response::error(
                     shared.degradation_level(),
                     ErrorCode::Malformed,
@@ -791,7 +880,7 @@ fn serve_connection(
                 ErrorCode::ShuttingDown,
                 "server draining; connection grace expired",
             );
-            shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.protocol_errors.inc();
             write_response(
                 transport.as_mut(),
                 shared,
@@ -805,7 +894,7 @@ fn serve_connection(
         let request = match Request::decode(&body) {
             Ok(request) => request,
             Err(code) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.protocol_errors.inc();
                 let response =
                     Response::error(shared.degradation_level(), code, "undecodable request");
                 let written = write_response(
@@ -822,16 +911,22 @@ fn serve_connection(
                 continue;
             }
         };
-        shared.stats.decoded.fetch_add(1, Ordering::Relaxed);
+        shared.stats.decoded.inc();
 
+        // The latency window a client experiences minus socket transit:
+        // admission, queue wait, execution and the response write.
+        let op = op_index(&request);
+        let started = Instant::now();
         let response = handle_request(shared, queues, &mut next_worker, request);
-        if !write_response(
+        let written = write_response(
             transport.as_mut(),
             shared,
             &response,
             &mut scratch,
             &mut frame,
-        ) {
+        );
+        shared.metrics.request_latency[op].observe(started.elapsed());
+        if !written {
             break;
         }
     }
@@ -862,6 +957,13 @@ fn handle_request(
         return Response::ok(level, Answer::Pong);
     }
 
+    // Stats answer inline too, and *before* the cache-only branch: the
+    // telemetry you need during an incident must not be shed by the
+    // incident. Rendering touches no model state and no worker queue.
+    if matches!(request, Request::Stats) {
+        return Response::ok(level, Answer::Stats(shared.render_stats()));
+    }
+
     // Reloads run here on the connection thread, off the worker queues: the
     // load + validation happens on a snapshot nobody is serving yet, so query
     // workers keep draining at full speed and the swap itself is one write
@@ -870,11 +972,11 @@ fn handle_request(
     if let Request::Reload { path } = &request {
         return match shared.engine.reload(Path::new(path)) {
             Ok(()) => {
-                shared.stats.reload_ok.fetch_add(1, Ordering::Relaxed);
+                shared.stats.reload_ok.inc();
                 Response::ok(level, Answer::Reloaded)
             }
             Err(e) => {
-                shared.stats.reload_failed.fetch_add(1, Ordering::Relaxed);
+                shared.stats.reload_failed.inc();
                 Response::error(
                     level,
                     ErrorCode::Internal,
@@ -1012,10 +1114,12 @@ fn execute(
         } => engine
             .rank(&Triple::new(*head, *relation, *tail), *side, scratch)
             .map(Answer::Rank),
-        // Reloads are answered on the connection thread in handle_request
-        // and never enqueued; a job carrying one is a programming error that
-        // the catch_unwind below converts into a typed Internal response.
+        // Reloads and stats are answered on the connection thread in
+        // handle_request and never enqueued; a job carrying one is a
+        // programming error that the catch_unwind below converts into a
+        // typed Internal response.
         Request::Reload { .. } => unreachable!("reload jobs are never queued"),
+        Request::Stats => unreachable!("stats jobs are never queued"),
     }));
     match outcome {
         Ok(Ok(answer)) => Response::ok(degradation, answer),

@@ -21,6 +21,7 @@
 //! | 3      | Score   | `u32` head, `u32` relation, `u32` tail |
 //! | 4      | Rank    | `u32` head, `u32` relation, `u32` tail, `u8` side (0 = tail, 1 = head) |
 //! | 5      | Reload  | `u32` path length, UTF-8 snapshot path (admin: hot-swap the served model) |
+//! | 6      | Stats   | *(empty)* — metrics exposition text (read-only, served at every degradation level) |
 //!
 //! # Response bodies
 //!
@@ -28,7 +29,8 @@
 //!
 //! * on success — the opcode-specific payload: TopK is `u32` count followed
 //!   by `count × (u32 entity, u64 score bits)`; Score and Rank are one `u64`
-//!   of `f64` bits; Ping is empty;
+//!   of `f64` bits; Ping is empty; Stats is a length-prefixed UTF-8
+//!   exposition text (`u32` length + bytes, the `nscaching_obs` format);
 //! * on error — a length-prefixed UTF-8 detail string (`u32` length + bytes).
 //!
 //! # Error codes
@@ -77,6 +79,8 @@ pub mod opcode {
     pub const RANK: u8 = 4;
     /// Admin: hot-reload the served model from a snapshot path.
     pub const RELOAD: u8 = 5;
+    /// Read-only metrics scrape: the server's exposition text.
+    pub const STATS: u8 = 6;
 }
 
 /// Stable wire error codes. `0` on the wire means success and has no enum
@@ -190,6 +194,11 @@ pub enum Request {
         /// Snapshot or checkpoint file to load, as seen by the server.
         path: String,
     },
+    /// Read-only metrics scrape. Touches only the metrics registry — never
+    /// the model — so the server answers it inline at every degradation
+    /// level, including cache-only mode and drain (operators need telemetry
+    /// *most* when the ladder is engaged).
+    Stats,
 }
 
 impl Request {
@@ -201,7 +210,11 @@ impl Request {
     /// it must not be silently retried.
     pub fn idempotent(&self) -> bool {
         match self {
-            Request::Ping | Request::TopK(_) | Request::Score { .. } | Request::Rank { .. } => true,
+            Request::Ping
+            | Request::TopK(_)
+            | Request::Score { .. }
+            | Request::Rank { .. }
+            | Request::Stats => true,
             Request::Reload { .. } => false,
         }
     }
@@ -245,6 +258,7 @@ impl Request {
                 buf.extend_from_slice(&(path.len() as u32).to_le_bytes());
                 buf.extend_from_slice(path.as_bytes());
             }
+            Request::Stats => buf.push(opcode::STATS),
         }
     }
 
@@ -286,6 +300,7 @@ impl Request {
                 let path = String::from_utf8(bytes.to_vec()).map_err(|_| ErrorCode::Malformed)?;
                 Request::Reload { path }
             }
+            opcode::STATS => Request::Stats,
             _ => return Err(ErrorCode::UnsupportedOp),
         };
         if !c.is_exhausted() {
@@ -308,6 +323,8 @@ pub enum Answer {
     Rank(f64),
     /// The served model was swapped for the requested snapshot.
     Reloaded,
+    /// The metrics exposition text (the `nscaching_obs` line format).
+    Stats(String),
 }
 
 /// A decoded response: degradation level plus either an answer or a typed
@@ -356,6 +373,10 @@ impl Response {
                     }
                     Answer::Score(v) | Answer::Rank(v) => {
                         buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                    Answer::Stats(text) => {
+                        buf.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                        buf.extend_from_slice(text.as_bytes());
                     }
                 }
             }
@@ -408,6 +429,13 @@ impl Response {
                     Answer::Rank(f64::from_bits(c.u64().ok_or(ErrorCode::Malformed)?))
                 }
                 Request::Reload { .. } => Answer::Reloaded,
+                Request::Stats => {
+                    let len = c.u32().ok_or(ErrorCode::Malformed)? as usize;
+                    let bytes = c.take(len).ok_or(ErrorCode::Malformed)?;
+                    let text =
+                        String::from_utf8(bytes.to_vec()).map_err(|_| ErrorCode::Malformed)?;
+                    Answer::Stats(text)
+                }
             }),
         };
         if !c.is_exhausted() {
@@ -510,6 +538,35 @@ mod tests {
         round_trip_request(Request::Reload {
             path: String::new(),
         });
+        round_trip_request(Request::Stats);
+    }
+
+    #[test]
+    fn stats_responses_round_trip() {
+        let request = Request::Stats;
+        let ok = Response::ok(2, Answer::Stats("nsc_net_requests_total 42\n".to_string()));
+        let mut buf = Vec::new();
+        ok.encode(&mut buf);
+        assert_eq!(Response::decode(&buf, &request), Ok(ok));
+        let empty = Response::ok(0, Answer::Stats(String::new()));
+        empty.encode(&mut buf);
+        assert_eq!(Response::decode(&buf, &request), Ok(empty));
+    }
+
+    #[test]
+    fn stats_is_idempotent() {
+        assert!(Request::Stats.idempotent());
+    }
+
+    #[test]
+    fn stats_length_cannot_overrun_the_body() {
+        let mut buf = vec![0u8, 0];
+        buf.extend_from_slice(&200u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        assert_eq!(
+            Response::decode(&buf, &Request::Stats),
+            Err(ErrorCode::Malformed)
+        );
     }
 
     #[test]

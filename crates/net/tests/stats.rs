@@ -1,0 +1,157 @@
+//! End-to-end pins for the `Stats` wire opcode: a live server under real
+//! traffic must expose its per-opcode latency quantiles and its ledger
+//! counters, and the wire exposition must agree with the in-process views
+//! ([`NetServer::exposition`], [`NetServer::stats`]).
+
+use nscaching_models::{build_model, ModelConfig, ModelKind};
+use nscaching_net::client::{ClientConfig, NetClient};
+use nscaching_net::server::{NetServer, NetServerConfig};
+use nscaching_net::wire::{Answer, Request};
+use nscaching_serve::{KnowledgeServer, TopKQuery};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn engine() -> KnowledgeServer {
+    let model = build_model(
+        &ModelConfig::new(ModelKind::TransE)
+            .with_dim(16)
+            .with_seed(11),
+        50,
+        6,
+    );
+    KnowledgeServer::new(model, 64)
+}
+
+fn config() -> NetServerConfig {
+    NetServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        poll_interval: Duration::from_millis(5),
+        ..NetServerConfig::default()
+    }
+}
+
+/// The value of the first exposition line with this exact prefix.
+fn metric_value(text: &str, prefix: &str) -> Option<f64> {
+    text.lines()
+        .find(|line| line.starts_with(prefix))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|value| value.parse().ok())
+}
+
+#[test]
+fn live_server_exposes_per_opcode_latency_and_ledger_counters() {
+    const PINGS: u64 = 5;
+    const TOPKS: u64 = 12;
+    const SCORES: u64 = 3;
+
+    let server = NetServer::bind("127.0.0.1:0", engine(), config()).unwrap();
+    let mut client = NetClient::new(server.addr(), ClientConfig::default());
+
+    for _ in 0..PINGS {
+        client.call(&Request::Ping).unwrap();
+    }
+    for i in 0..TOPKS {
+        // Distinct queries so the top-k path does real (cold) work.
+        let query = TopKQuery::tails((i % 50) as u32, (i % 6) as u32, 4 + i as u32);
+        client.call(&Request::TopK(query)).unwrap();
+    }
+    for i in 0..SCORES {
+        client
+            .call(&Request::Score {
+                head: i as u32,
+                relation: 0,
+                tail: (i + 1) as u32,
+            })
+            .unwrap();
+    }
+
+    let reply = client.call(&Request::Stats).unwrap();
+    let text = match reply.answer {
+        Answer::Stats(text) => text,
+        other => panic!("expected a stats answer, got {other:?}"),
+    };
+
+    // Exposition shape: sorted lines, trailing newline.
+    assert!(text.ends_with('\n'), "missing trailing newline");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted, "exposition must be byte-sorted");
+
+    // Ledger counters: the stats request itself was the last decoded frame,
+    // but its response had not been written when the text rendered.
+    let decoded = PINGS + TOPKS + SCORES + 1;
+    assert_eq!(
+        metric_value(&text, "nsc_net_requests_decoded_total "),
+        Some(decoded as f64),
+        "{text}"
+    );
+    assert_eq!(
+        metric_value(&text, "nsc_net_responses_written_total "),
+        Some((decoded - 1) as f64),
+        "{text}"
+    );
+    assert_eq!(
+        metric_value(&text, "nsc_net_responses_ok_total "),
+        Some((decoded - 1) as f64),
+        "{text}"
+    );
+
+    // Per-opcode latency histograms: counts are exact, quantiles present.
+    for (op, count) in [("ping", PINGS), ("top_k", TOPKS), ("score", SCORES)] {
+        assert_eq!(
+            metric_value(
+                &text,
+                &format!("nsc_net_request_latency_us_count{{op=\"{op}\"}}")
+            ),
+            Some(count as f64),
+            "{op} count\n{text}"
+        );
+        for q in ["p50", "p90", "p99", "max"] {
+            let prefix = format!("nsc_net_request_latency_us{{op=\"{op}\",q=\"{q}\"}}");
+            assert!(
+                metric_value(&text, &prefix).is_some(),
+                "missing {prefix}\n{text}"
+            );
+        }
+    }
+    // Real traffic takes real time: the slowest top-k round trip is ≥ 1 µs.
+    let topk_max = metric_value(&text, "nsc_net_request_latency_us{op=\"top_k\",q=\"max\"}");
+    assert!(topk_max.unwrap() >= 1.0, "{topk_max:?}");
+
+    // The serve layer shares the registry: cold top-k queries were misses.
+    assert_eq!(
+        metric_value(&text, "nsc_serve_cache_misses_total{cache=\"topk\"}"),
+        Some(TOPKS as f64),
+        "{text}"
+    );
+
+    // Queue-pressure gauges are present (idle at scrape: nothing in flight).
+    assert_eq!(metric_value(&text, "nsc_net_in_flight "), Some(0.0));
+    assert_eq!(metric_value(&text, "nsc_net_queue_capacity "), Some(16.0));
+
+    // The in-process exposition is the same document (same metric set; the
+    // stats round trip itself moved some counter values since).
+    let names = |text: &str| -> BTreeSet<String> {
+        text.lines()
+            .filter_map(|line| line.rsplit_once(' ').map(|(name, _)| name.to_string()))
+            .collect()
+    };
+    assert_eq!(names(&text), names(&server.exposition()));
+
+    // And the typed snapshot reads the same atomics. The stats reply lands
+    // on the client a beat before the server's `written` increment (response
+    // bytes first, ledger second), so give the live counter a bounded moment
+    // to settle before pinning the balance.
+    let settle = std::time::Instant::now();
+    let mut stats = server.stats();
+    while !stats.ledger_balanced() && settle.elapsed() < Duration::from_secs(2) {
+        std::thread::sleep(Duration::from_millis(1));
+        stats = server.stats();
+    }
+    assert_eq!(stats.decoded, decoded);
+    assert_eq!(stats.active_connections, 1);
+    assert!(stats.ledger_balanced(), "{stats:?}");
+    server.shutdown();
+}

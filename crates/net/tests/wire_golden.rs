@@ -25,6 +25,7 @@ fn encoded_response(response: &Response) -> Vec<u8> {
 #[test]
 fn request_bytes_are_pinned() {
     assert_eq!(encoded_request(&Request::Ping), [1]);
+    assert_eq!(encoded_request(&Request::Stats), [6]);
 
     // TopK: opcode, relation u32, entity u32, direction u8, k u32 — all LE.
     assert_eq!(
@@ -94,6 +95,17 @@ fn opcodes_are_pinned() {
     assert_eq!(opcode::TOP_K, 2);
     assert_eq!(opcode::SCORE, 3);
     assert_eq!(opcode::RANK, 4);
+    assert_eq!(opcode::RELOAD, 5);
+    assert_eq!(opcode::STATS, 6);
+}
+
+#[test]
+fn stats_response_bytes_are_pinned() {
+    // Stats payload: u32 text length, then the UTF-8 exposition bytes.
+    assert_eq!(
+        encoded_response(&Response::ok(2, Answer::Stats("a 1\n".into()))),
+        [0, 2, 4, 0, 0, 0, b'a', b' ', b'1', b'\n']
+    );
 }
 
 #[test]

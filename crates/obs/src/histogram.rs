@@ -1,0 +1,300 @@
+//! The log-bucketed [`LatencyHistogram`]: a fixed table of atomic bucket
+//! counters with ~2-significant-figure resolution at every scale.
+//!
+//! # Bucket table
+//!
+//! HDR-style log-linear layout over unsigned integer values (by convention,
+//! microseconds):
+//!
+//! * values `0..64` land in 64 exact unit-width buckets;
+//! * each power-of-two range `[2^e, 2^(e+1))` for `e` in `6..=30` is split
+//!   into 64 linear sub-buckets of width `2^(e-6)`;
+//! * values at or above `2^31` clamp into the last bucket (the exact maximum
+//!   is tracked separately, so `max` never lies).
+//!
+//! Total: `64 + 25 × 64 = 1 664` buckets, ~13 KiB of atomics per histogram.
+//! The relative quantization error is at most one sub-bucket width, i.e.
+//! `1/64 ≈ 1.6 %` of the value — "about two significant figures".
+//!
+//! # Concurrency
+//!
+//! [`record`](LatencyHistogram::record) is one branch-free index computation
+//! plus three relaxed `fetch_add`s and one `fetch_max`; it never allocates,
+//! locks, or spins (quantile reads walk the table without stopping writers,
+//! so a snapshot taken under concurrent recording is approximate to the
+//! in-flight samples only — each sample is atomically either in or out).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two range, as a bit count (64 buckets).
+const SUB_BITS: u32 = 6;
+/// Linear sub-buckets per power-of-two range.
+const SUB: u64 = 1 << SUB_BITS;
+/// Largest bucketed exponent; values at or above `2^(MAX_EXP + 1)` clamp.
+const MAX_EXP: u32 = 30;
+/// Total bucket count.
+pub(crate) const NUM_BUCKETS: usize = (SUB + (MAX_EXP - SUB_BITS + 1) as u64 * SUB) as usize;
+
+/// Index of the bucket holding `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        if exp > MAX_EXP {
+            NUM_BUCKETS - 1
+        } else {
+            let sub = (value >> (exp - SUB_BITS)) & (SUB - 1);
+            (SUB + (exp - SUB_BITS) as u64 * SUB + sub) as usize
+        }
+    }
+}
+
+/// Smallest value mapping into bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    if index < SUB as usize {
+        index as u64
+    } else {
+        let group = (index - SUB as usize) as u64 / SUB;
+        let sub = (index - SUB as usize) as u64 % SUB;
+        (SUB + sub) << group
+    }
+}
+
+/// Width of bucket `index` (1 for the exact range, `2^group` above it).
+pub(crate) fn bucket_width(index: usize) -> u64 {
+    if index < SUB as usize {
+        1
+    } else {
+        1 << ((index - SUB as usize) as u64 / SUB)
+    }
+}
+
+/// Width of the bucket that `value` falls into — the quantization error
+/// bound for any readout at that scale.
+pub fn quantization_error(value: u64) -> u64 {
+    bucket_width(bucket_index(value))
+}
+
+/// A lock-free latency histogram over unsigned integer samples (by
+/// convention, microseconds — see the crate docs' naming convention).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snapshot.count)
+            .field("p50", &snapshot.p50)
+            .field("p99", &snapshot.p99)
+            .field("max", &snapshot.max)
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (allocates its fixed bucket table once).
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free, alloc-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole microseconds (the workspace convention for
+    /// latency metrics).
+    #[inline]
+    pub fn observe(&self, elapsed: Duration) {
+        self.record(elapsed.as_micros() as u64);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact-count quantile readout: the upper bound of the bucket holding
+    /// the rank-`⌈q·count⌉` sample, clamped to the exact recorded maximum.
+    /// `q` outside `[0, 1]` is clamped. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // The clamp bucket's nominal bound understates values at or
+                // above 2^31; its honest upper bound is the exact max.
+                if index == NUM_BUCKETS - 1 {
+                    return self.max.load(Ordering::Relaxed);
+                }
+                let upper = bucket_lower(index) + bucket_width(index) - 1;
+                return upper.min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        // Racing writers can leave the bucket walk one short of `count`;
+        // everything at or past the walk is bounded by the recorded max.
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time readout of the headline stats.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Headline stats read out of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping beyond `u64::MAX`).
+    pub sum: u64,
+    /// Exact largest recorded value.
+    pub max: u64,
+    /// Median (bucket-quantized, error ≤ 1/64 of the value).
+    pub p50: u64,
+    /// 90th percentile (bucket-quantized).
+    pub p90: u64,
+    /// 99th percentile (bucket-quantized).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_table_is_consistent() {
+        // Every bucket's lower bound maps back into the same bucket and the
+        // buckets tile the value range without gaps.
+        for index in 0..NUM_BUCKETS {
+            let lower = bucket_lower(index);
+            assert_eq!(bucket_index(lower), index, "lower bound of {index}");
+            let upper = lower + bucket_width(index) - 1;
+            assert_eq!(bucket_index(upper), index, "upper bound of {index}");
+            if index + 1 < NUM_BUCKETS {
+                assert_eq!(bucket_index(upper + 1), index + 1, "tiling after {index}");
+            }
+        }
+        // Exact range, clamp range.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(63), 63);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.snapshot().sum, 69);
+    }
+
+    #[test]
+    fn quantiles_track_an_exact_reference_within_bucket_width() {
+        let h = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..1000).map(|i| (i * i) % 90_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank];
+            let got = h.quantile(q);
+            let width = quantization_error(exact);
+            assert!(
+                got.abs_diff(exact) <= width,
+                "q={q}: got {got}, exact {exact}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_is_exact_even_when_clamped() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX / 3);
+        assert_eq!(h.snapshot().max, u64::MAX / 3);
+        assert_eq!(h.quantile(1.0), u64::MAX / 3);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.p50, s.p99, s.max), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + (i % 100));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        let bucketed: u64 = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(bucketed, 40_000);
+    }
+}

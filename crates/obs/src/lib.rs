@@ -1,0 +1,74 @@
+//! The unified observability core: atomic counters and gauges, log-bucketed
+//! latency histograms, and a named [`MetricsRegistry`] with a stable text
+//! exposition format.
+//!
+//! Everything upstream of this crate *computes*; this crate makes the stack
+//! *operable*. The training loop's per-phase timers, the serving engine's
+//! cache and checkpoint telemetry and the TCP front door's per-opcode latency
+//! distributions all register here, and the whole registry is readable from a
+//! live server through the `STATS` wire opcode (see `nscaching_net`).
+//!
+//! # Design contract
+//!
+//! * **Zero dependencies** — `std` only, so the crate can sit underneath
+//!   every other layer of the workspace without a cycle.
+//! * **Alloc-free on the hot path** — recording into a [`Counter`],
+//!   [`Gauge`] or [`LatencyHistogram`] is a handful of relaxed atomic
+//!   operations and never allocates. All allocation happens at registration
+//!   time (building the bucket table, interning the name) or at scrape time
+//!   (rendering the exposition text). The `obs_overhead` bench in
+//!   `nscaching-bench` gates the end-to-end cost (`NSC_OBS_OVERHEAD_MAX`,
+//!   ≤ 2 % on the pooled trainer's batch cycle and the serve hit path) and
+//!   asserts the instrumented hot paths stay allocation-free.
+//! * **Lock-free recording** — histograms are fixed tables of atomic bucket
+//!   counters; `record()` is one index computation plus relaxed
+//!   `fetch_add`s. The registry's mutex is touched only at registration and
+//!   scrape time, never per sample.
+//!
+//! # Metric naming convention
+//!
+//! `nsc_<layer>_<subject>[_<unit>][_total]`, with dimensions as labels:
+//!
+//! * `<layer>` is the workspace crate: `net`, `serve`, `train`;
+//! * `<unit>` is spelled out where it matters: `_us` (microseconds),
+//!   `_ms` (milliseconds), `_seconds`;
+//! * monotone counters end in `_total`; gauges and histogram bases do not;
+//! * labels pick the dimension, e.g. `nsc_net_request_latency_us{op="top_k"}`
+//!   or `nsc_train_phase_us{phase="sample"}`.
+//!
+//! # Exposition format
+//!
+//! [`MetricsRegistry::render`] emits one line per value, sorted by
+//! `(name, labels)` so the output is stable across runs and platforms
+//! (golden-pinned by `tests/exposition_golden.rs`, the same deployment
+//! contract as the wire protocol's golden-bytes tests):
+//!
+//! ```text
+//! name{label="v"} value            # counter (u64) or gauge (f64)
+//! name{label="v",q="p50"} value    # histogram quantiles: p50 / p90 / p99 / max
+//! name_count{label="v"} value      # histogram: total samples
+//! name_sum{label="v"} value        # histogram: sum of recorded values
+//! ```
+//!
+//! # Histogram bucket layout
+//!
+//! [`LatencyHistogram`] uses an HDR-style log-linear table: values below 64
+//! land in exact unit-width buckets; above that, each power-of-two range
+//! `[2^e, 2^(e+1))` is split into 64 linear sub-buckets, so the relative
+//! quantization error is bounded by 1/64 ≈ 1.6 % — about two significant
+//! figures — at every scale. The table is fixed at 1 664 buckets covering
+//! `[0, 2^31)` (≈ 35 minutes when recording microseconds); larger values
+//! clamp into the last bucket while the exact maximum is tracked separately.
+//! Quantiles are read out by exact-count rank walks over the bucket table,
+//! never by interpolation between sampled percentiles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod metric;
+pub mod registry;
+
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use metric::{Counter, Gauge};
+pub use registry::MetricsRegistry;

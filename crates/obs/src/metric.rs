@@ -1,0 +1,132 @@
+//! Scalar metrics: monotone [`Counter`]s and floating-point [`Gauge`]s.
+//!
+//! Both are single atomics; recording is a relaxed atomic operation and
+//! never allocates or blocks. Handles are shared as `Arc`s by the
+//! [`MetricsRegistry`](crate::MetricsRegistry), so an instrumented hot loop
+//! holds its counters directly and never touches the registry again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter. Convention: names end in `_total`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value. For **bridging** an external cumulative counter
+    /// (e.g. the serve layer's `CacheStats`) onto the registry at scrape
+    /// time — instrumented hot paths should only ever [`inc`](Self::inc) /
+    /// [`add`](Self::add).
+    #[inline]
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+}
+
+/// A floating-point gauge (a value that goes up *and* down: queue depths,
+/// ratios, the current epoch's loss). Stored as `f64` bits in one atomic.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (compare-and-swap loop; gauges are scrape-path objects,
+    /// contention is not a design point).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts_and_bridges() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.store(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_sets_and_accumulates() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.add(-1.25);
+        assert_eq!(g.get(), 1.25);
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

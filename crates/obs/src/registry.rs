@@ -1,0 +1,300 @@
+//! The named [`MetricsRegistry`] and its text exposition format.
+//!
+//! Registration hands back `Arc` handles; hot paths hold the handles and
+//! never touch the registry again. [`MetricsRegistry::render`] produces the
+//! stable Prometheus-style text described in the crate docs — one line per
+//! value, sorted by `(name, labels)`, golden-pinned by
+//! `tests/exposition_golden.rs`.
+
+use crate::histogram::LatencyHistogram;
+use crate::metric::{Counter, Gauge};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The three metric kinds a registry entry can hold.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric: a name, its label pairs, and the shared handle.
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// A named collection of metrics with a stable text exposition.
+///
+/// Cheap to share (`Arc<MetricsRegistry>`); the internal mutex is taken only
+/// at registration and render time, never on a recording hot path.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().expect("metrics registry");
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &entries.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or fetch) the counter `name` with no labels.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Register (or fetch) the counter `name` with `labels`. Re-registering
+    /// the same `(name, labels)` returns the existing handle; re-registering
+    /// it as a different metric kind panics (a programming error).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, labels, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) the gauge `name` with no labels.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Register (or fetch) the gauge `name` with `labels`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) the histogram `name` with no labels.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Register (or fetch) the histogram `name` with `labels`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        match self.register(name, labels, || {
+            Metric::Histogram(Arc::new(LatencyHistogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        build: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut entries = self.entries.lock().expect("metrics registry");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+        {
+            return entry.metric.clone();
+        }
+        let metric = build();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Current value of the counter `(name, labels)`, if registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let entries = self.entries.lock().expect("metrics registry");
+        entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+            .and_then(|e| match &e.metric {
+                Metric::Counter(c) => Some(c.get()),
+                _ => None,
+            })
+    }
+
+    /// Current value of the gauge `(name, labels)`, if registered.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let entries = self.entries.lock().expect("metrics registry");
+        entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+            .and_then(|e| match &e.metric {
+                Metric::Gauge(g) => Some(g.get()),
+                _ => None,
+            })
+    }
+
+    /// Render the exposition text: one line per value, sorted by
+    /// `(name, labels)`, trailing newline. See the crate docs for the exact
+    /// format; it is pinned by the golden test and must not drift.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("metrics registry");
+        let mut lines: Vec<String> = Vec::new();
+        for entry in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    lines.push(line(&entry.name, &entry.labels, None, &c.get().to_string()));
+                }
+                Metric::Gauge(g) => {
+                    lines.push(line(&entry.name, &entry.labels, None, &format_f64(g.get())));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    for (q, v) in [
+                        ("p50", s.p50),
+                        ("p90", s.p90),
+                        ("p99", s.p99),
+                        ("max", s.max),
+                    ] {
+                        lines.push(line(&entry.name, &entry.labels, Some(q), &v.to_string()));
+                    }
+                    let count_name = format!("{}_count", entry.name);
+                    lines.push(line(&count_name, &entry.labels, None, &s.count.to_string()));
+                    let sum_name = format!("{}_sum", entry.name);
+                    lines.push(line(&sum_name, &entry.labels, None, &s.sum.to_string()));
+                }
+            }
+        }
+        lines.sort_unstable();
+        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn labels_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want.iter())
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// `name{k="v",...} value` (no braces when there are no labels). The `q`
+/// quantile label, when present, always renders last.
+fn line(name: &str, labels: &[(String, String)], q: Option<&str>, value: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 16 + value.len());
+    out.push_str(name);
+    if !labels.is_empty() || q.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{k}=\"{}\"", escape(v));
+        }
+        if let Some(q) = q {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "q=\"{q}\"");
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out
+}
+
+/// Escape `\` and `"` in label values (the exposition format's only two
+/// metacharacters; metric and label names are caller-controlled identifiers).
+fn escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Gauges print like Rust's `f64` `Display` (shortest round-trip form), so
+/// `2.0` renders as `2` and `0.5` as `0.5` — stable across platforms.
+fn format_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter_with("nsc_test_total", &[("op", "x")]);
+        let b = registry.counter_with("nsc_test_total", &[("op", "x")]);
+        let c = registry.counter_with("nsc_test_total", &[("op", "y")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same (name, labels) shares the handle");
+        assert_eq!(c.get(), 0, "different labels are a different series");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("nsc_test_total");
+        registry.gauge("nsc_test_total");
+    }
+
+    #[test]
+    fn values_are_readable_back() {
+        let registry = MetricsRegistry::new();
+        registry.counter_with("c", &[("a", "1")]).add(5);
+        registry.gauge("g").set(0.5);
+        assert_eq!(registry.counter_value("c", &[("a", "1")]), Some(5));
+        assert_eq!(registry.counter_value("c", &[]), None);
+        assert_eq!(registry.gauge_value("g", &[]), Some(0.5));
+        assert_eq!(registry.gauge_value("missing", &[]), None);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zz_total").inc();
+        registry.counter("aa_total").add(2);
+        let text = registry.render();
+        assert_eq!(text, "aa_total 2\nzz_total 1\n");
+        assert_eq!(registry.render(), text, "render is deterministic");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter_with("c_total", &[("path", "a\"b\\c")])
+            .inc();
+        assert_eq!(registry.render(), "c_total{path=\"a\\\"b\\\\c\"} 1\n");
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden-pinned exposition format.
+//!
+//! The `STATS` wire opcode ships `MetricsRegistry::render` output to remote
+//! clients, so the text format is a deployment contract exactly like the wire
+//! protocol's encoded bytes: dashboards and scrapers parse these lines. This
+//! test pins the rendering of every metric kind byte-for-byte. If it fails,
+//! the format changed — that is a breaking protocol change, not a refactor.
+
+use nscaching_obs::MetricsRegistry;
+
+/// One registry exercising every rendering rule: unlabelled counter,
+/// labelled counter, gauge (integral and fractional), empty and populated
+/// histograms, label escaping, and (name, labels) sort order.
+fn golden_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+
+    registry.counter("nsc_demo_requests_total").add(1203);
+    registry
+        .counter_with("nsc_demo_errors_total", &[("op", "top_k")])
+        .add(3);
+    registry
+        .counter_with("nsc_demo_errors_total", &[("op", "score")])
+        .inc();
+
+    registry.gauge("nsc_demo_in_flight").set(7.0);
+    registry
+        .gauge_with("nsc_demo_ratio", &[("phase", "drain")])
+        .set(0.625);
+
+    let hist = registry.histogram_with("nsc_demo_latency_us", &[("op", "ping")]);
+    // 1..=100 µs and one outlier at 1500 µs. Values below 128 sit in
+    // unit-width buckets (exact); 1500 lands in the width-16 bucket
+    // [1488, 1504) whose upper bound 1503 is what quantile readout reports.
+    for v in 1..=100u64 {
+        hist.record(v);
+    }
+    hist.record(1500);
+    registry.histogram("nsc_demo_idle_us"); // registered but never recorded
+
+    registry
+        .counter_with("nsc_demo_reload_total", &[("path", "a\"b\\c")])
+        .inc();
+
+    registry
+}
+
+/// The pinned exposition text. Notes on the lines:
+///  * sorted byte-wise by the full line, so `_count`/`_sum` (0x5F) sort
+///    before the `{`-labelled (0x7B) quantile lines of the same histogram;
+///  * with 101 samples, p50 is rank 51 → 51 exactly; p90 is rank 91 → 91;
+///    p99 is rank 100 → 100; max is the exact outlier 1500;
+///  * empty histograms read zero everywhere;
+///  * gauges print in Rust `f64` shortest form (`7`, `0.625`);
+///  * `"` and `\` in label values are escaped.
+const GOLDEN: &str = "\
+nsc_demo_errors_total{op=\"score\"} 1
+nsc_demo_errors_total{op=\"top_k\"} 3
+nsc_demo_idle_us_count 0
+nsc_demo_idle_us_sum 0
+nsc_demo_idle_us{q=\"max\"} 0
+nsc_demo_idle_us{q=\"p50\"} 0
+nsc_demo_idle_us{q=\"p90\"} 0
+nsc_demo_idle_us{q=\"p99\"} 0
+nsc_demo_in_flight 7
+nsc_demo_latency_us_count{op=\"ping\"} 101
+nsc_demo_latency_us_sum{op=\"ping\"} 6550
+nsc_demo_latency_us{op=\"ping\",q=\"max\"} 1500
+nsc_demo_latency_us{op=\"ping\",q=\"p50\"} 51
+nsc_demo_latency_us{op=\"ping\",q=\"p90\"} 91
+nsc_demo_latency_us{op=\"ping\",q=\"p99\"} 100
+nsc_demo_ratio{phase=\"drain\"} 0.625
+nsc_demo_reload_total{path=\"a\\\"b\\\\c\"} 1
+nsc_demo_requests_total 1203
+";
+
+#[test]
+fn exposition_text_is_pinned() {
+    assert_eq!(
+        golden_registry().render(),
+        GOLDEN,
+        "exposition format drifted — this is a STATS protocol break, \
+         update dashboards/scrapers before repinning"
+    );
+}
+
+#[test]
+fn render_is_idempotent_and_ends_with_newline() {
+    let registry = golden_registry();
+    let first = registry.render();
+    assert_eq!(registry.render(), first);
+    assert!(first.ends_with('\n'));
+    assert!(!first.contains("\n\n"), "no blank lines in exposition");
+}

@@ -1,0 +1,77 @@
+//! Property test: histogram quantile readouts vs an exact sorted-sample
+//! reference.
+//!
+//! For arbitrary sample sets, `LatencyHistogram::quantile(q)` must stay
+//! within one bucket width of the exact rank statistic — the "~2 significant
+//! figures" contract the bucket table is sized for. `quantization_error`
+//! exposes the bucket width at a value, so the bound is checked with the
+//! crate's own resolution arithmetic rather than a hard-coded tolerance.
+
+use nscaching_obs::histogram::quantization_error;
+use nscaching_obs::LatencyHistogram;
+use proptest::prelude::*;
+
+/// Exact rank statistic matching the histogram's readout convention:
+/// the `max(1, ⌈q·n⌉)`-th smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_width(
+        values in prop::collection::vec(0u64..2_000_000, 1..400),
+    ) {
+        let hist = LatencyHistogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = hist.quantile(q);
+            let width = quantization_error(exact);
+            prop_assert!(
+                got.abs_diff(exact) <= width,
+                "q={}: histogram read {}, exact {}, bucket width {}",
+                q, got, exact, width
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_max_are_exact(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let hist = LatencyHistogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snapshot = hist.snapshot();
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+        prop_assert_eq!(snapshot.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snapshot.max, *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in prop::collection::vec(0u64..10_000_000, 1..300),
+    ) {
+        let hist = LatencyHistogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let reads: Vec<u64> = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| hist.quantile(q))
+            .collect();
+        for pair in reads.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantile not monotone: {:?}", reads);
+        }
+    }
+}

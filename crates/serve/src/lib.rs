@@ -112,6 +112,7 @@ pub mod policy;
 pub mod server;
 pub mod sharded;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use admission::TinyLfu;
 pub use cache::{CacheStats, LruCache, PolicyCache};
@@ -129,3 +130,4 @@ pub use snapshot::{
     load_checkpoint, load_model, resume_trainer, save_checkpoint, save_model, Checkpoint,
     CheckpointMeta, ModelSnapshot, TableData,
 };
+pub use telemetry::ServeMetrics;

@@ -44,8 +44,11 @@ use crate::crash::crash_point;
 use crate::error::SnapshotError;
 use crate::format::read_frame;
 use crate::snapshot::{load_checkpoint, save_checkpoint, Checkpoint};
+use crate::telemetry::ServeMetrics;
 use nscaching_train::Trainer;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// File-name prefix of a managed checkpoint.
 const PREFIX: &str = "ckpt-";
@@ -86,6 +89,9 @@ pub struct Recovery {
 pub struct CheckpointManager {
     dir: PathBuf,
     keep: usize,
+    /// Attach-once telemetry (save/recover timings, quarantine counts);
+    /// clones share the handles.
+    metrics: OnceLock<Arc<ServeMetrics>>,
 }
 
 impl CheckpointManager {
@@ -98,7 +104,13 @@ impl CheckpointManager {
         Ok(Self {
             dir,
             keep: keep.max(1),
+            metrics: OnceLock::new(),
         })
+    }
+
+    /// Attach telemetry handles; attach-once, later calls are no-ops.
+    pub fn attach_metrics(&self, metrics: Arc<ServeMetrics>) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// The managed directory.
@@ -118,12 +130,17 @@ impl CheckpointManager {
     /// after it, so a crash anywhere in this call never reduces the set of
     /// valid checkpoints below what it was on entry.
     pub fn save(&self, trainer: &Trainer) -> Result<PathBuf, SnapshotError> {
+        let started = Instant::now();
         let seq = self.next_seq()?;
         let path = self
             .dir
             .join(format!("{PREFIX}{seq:0width$}{SUFFIX}", width = SEQ_WIDTH));
         save_checkpoint(&path, trainer)?;
         self.rotate()?;
+        if let Some(metrics) = self.metrics.get() {
+            metrics.checkpoint_save_us.observe(started.elapsed());
+            metrics.checkpoints_saved.inc();
+        }
         Ok(path)
     }
 
@@ -186,15 +203,17 @@ impl CheckpointManager {
     /// different format generation, a hand-edited file) is also quarantined
     /// rather than crashing the resume path later.
     pub fn recover(&self) -> Result<Option<Recovery>, SnapshotError> {
+        let started = Instant::now();
         let mut quarantined = Vec::new();
         for entry in self.entries()? {
             match load_checkpoint(&entry.path) {
                 Ok(checkpoint) => {
+                    self.record_recover(started, quarantined.len());
                     return Ok(Some(Recovery {
                         checkpoint,
                         path: entry.path,
                         quarantined,
-                    }))
+                    }));
                 }
                 Err(error) => {
                     let to = self.quarantine(&entry.path, &error)?;
@@ -202,7 +221,15 @@ impl CheckpointManager {
                 }
             }
         }
+        self.record_recover(started, quarantined.len());
         Ok(None)
+    }
+
+    fn record_recover(&self, started: Instant, quarantined: usize) {
+        if let Some(metrics) = self.metrics.get() {
+            metrics.checkpoint_recover_us.observe(started.elapsed());
+            metrics.checkpoints_quarantined.add(quarantined as u64);
+        }
     }
 
     /// Move a failed checkpoint aside with a typed reason suffix. The bytes

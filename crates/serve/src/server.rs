@@ -67,13 +67,15 @@ use crate::error::SnapshotError;
 use crate::policy::PolicyKind;
 use crate::sharded::ShardedCache;
 use crate::snapshot::load_model;
+use crate::telemetry::ServeMetrics;
 use nscaching_kg::{CorruptionSide, EntityId, RelationId, Triple};
 use nscaching_math::{rank_contenders_into, split_seed, top_k_indices_into};
 use nscaching_models::{KgeModel, ModelKind};
 use nscaching_train::WorkerPool;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 /// One top-k link-prediction query: the `k` best candidates for the open
 /// slot of `(entity, relation)` in the given direction.
@@ -356,6 +358,10 @@ struct ServerInner {
     /// Bumped on every load/update so stamps from different loaded models
     /// can never collide even if their version sums do.
     generation: AtomicU64,
+    /// Attach-once telemetry handles. Consulted only off the hit path (one
+    /// relaxed load on a cache miss); see [`crate::telemetry`] for the
+    /// overhead contract.
+    metrics: OnceLock<Arc<ServeMetrics>>,
 }
 
 /// The serving engine. Clones share one model and one cache (`Arc` inside).
@@ -398,7 +404,28 @@ impl KnowledgeServer {
                 scores,
                 stamp: AtomicU64::new(stamp),
                 generation: AtomicU64::new(1),
+                metrics: OnceLock::new(),
             }),
+        }
+    }
+
+    /// Attach telemetry handles (typically [`ServeMetrics::register`]ed on
+    /// the front door's registry). Attach-once: later calls are no-ops, so
+    /// the handles an instrumented path already loaded stay valid forever.
+    pub fn attach_metrics(&self, metrics: Arc<ServeMetrics>) {
+        let _ = self.inner.metrics.set(metrics);
+    }
+
+    /// The attached telemetry handles, if any.
+    pub fn metrics(&self) -> Option<&Arc<ServeMetrics>> {
+        self.inner.metrics.get()
+    }
+
+    /// Bridge this engine's cache counters onto the attached registry
+    /// (scrape-time; a no-op when no metrics are attached).
+    pub fn publish_metrics(&self) {
+        if let Some(metrics) = self.inner.metrics.get() {
+            metrics.bridge(&self.cache_stats(), self.score_cache_stats().as_ref());
         }
     }
 
@@ -565,9 +592,19 @@ impl KnowledgeServer {
             // Version-invalidated: drop the corpse so it cannot be
             // promoted over live entries, then recompute.
             self.inner.cache.remove(query);
+            if let Some(metrics) = self.inner.metrics.get() {
+                metrics.stale_invalidations.inc();
+            }
         }
+        // Miss path: the model scan dwarfs the clock reads, so this is the
+        // one serve path that gets timed per call (the hit path above stays
+        // clock-free — see the telemetry module's overhead contract).
+        let compute_started = self.inner.metrics.get().map(|_| Instant::now());
         let mut ranked = Vec::with_capacity(query.k as usize);
         self.top_k_with_model(model.as_ref(), query, scratch, &mut ranked);
+        if let (Some(metrics), Some(started)) = (self.inner.metrics.get(), compute_started) {
+            metrics.topk_compute_us.observe(started.elapsed());
+        }
         let answer: Arc<[RankedEntity]> = ranked.into();
         self.inner.cache.insert(
             *query,
@@ -600,6 +637,9 @@ impl KnowledgeServer {
                 return Ok(Some(entry.answer));
             }
             self.inner.cache.remove(query);
+            if let Some(metrics) = self.inner.metrics.get() {
+                metrics.stale_invalidations.inc();
+            }
         }
         Ok(None)
     }
@@ -667,6 +707,9 @@ impl KnowledgeServer {
                 return entry.result;
             }
             scores.remove(triple);
+            if let Some(metrics) = self.inner.metrics.get() {
+                metrics.stale_invalidations.inc();
+            }
         }
         let result = validate_triple(model, triple).map(|()| model.score(triple));
         scores.insert(*triple, CachedScore { stamp, result });

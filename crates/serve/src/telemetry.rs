@@ -1,0 +1,135 @@
+//! Serving-layer telemetry: cache counters bridged onto the metrics
+//! registry, miss-path compute latency, and checkpoint lifecycle timings.
+//!
+//! # Overhead contract
+//!
+//! The serve **hit path** — a warm [`KnowledgeServer::top_k`] returning an
+//! `Arc` clone — is deliberately *not* timed per call: two clock reads cost
+//! a meaningful fraction of the ~hundreds-of-nanoseconds hit itself and
+//! would blow the `NSC_OBS_OVERHEAD_MAX` gate. Instead:
+//!
+//! * hit/miss/eviction/rejection **counts** come from the cache's own
+//!   [`CacheStats`] (which the hot path already maintains) and are bridged
+//!   onto registry counters at scrape time by [`ServeMetrics::bridge`];
+//! * the compute histogram (`nsc_serve_topk_compute_us`) times only the
+//!   **miss path**, where a model scan dwarfs the clock reads;
+//! * stale-entry invalidations are counted at the drop site (a cache-miss
+//!   shaped path) via [`ServeMetrics::stale_invalidations`];
+//! * checkpoint save/recover timings wrap whole filesystem operations.
+//!
+//! Attach with [`KnowledgeServer::attach_metrics`] /
+//! [`CheckpointManager::attach_metrics`]; both are attach-once
+//! (`OnceLock`), and an unattached engine pays one relaxed atomic load on
+//! the miss path and nothing on the hit path.
+//!
+//! [`KnowledgeServer::top_k`]: crate::KnowledgeServer::top_k
+//! [`KnowledgeServer::attach_metrics`]: crate::KnowledgeServer::attach_metrics
+//! [`CheckpointManager::attach_metrics`]: crate::CheckpointManager::attach_metrics
+//! [`CacheStats`]: crate::CacheStats
+
+use crate::cache::CacheStats;
+use nscaching_obs::{Counter, LatencyHistogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// Registered handles for every serve-layer metric. Cheap to clone the
+/// `Arc`; see the module docs for which paths record what.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Top-k result-cache counters, bridged from [`CacheStats`] at scrape.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_rejections: Arc<Counter>,
+    /// Scalar score-cache counters (stay 0 when the score cache is off).
+    score_hits: Arc<Counter>,
+    score_misses: Arc<Counter>,
+    score_evictions: Arc<Counter>,
+    score_rejections: Arc<Counter>,
+    /// Version-invalidated entries dropped at lookup (never served stale).
+    pub(crate) stale_invalidations: Arc<Counter>,
+    /// Miss-path top-k compute time (model scan + selection), microseconds.
+    pub(crate) topk_compute_us: Arc<LatencyHistogram>,
+    /// Whole [`CheckpointManager::save`](crate::CheckpointManager::save)
+    /// calls (write + fsync + rename + rotation), microseconds.
+    pub(crate) checkpoint_save_us: Arc<LatencyHistogram>,
+    /// Whole [`CheckpointManager::recover`](crate::CheckpointManager::recover)
+    /// calls, microseconds.
+    pub(crate) checkpoint_recover_us: Arc<LatencyHistogram>,
+    /// Checkpoints saved through an instrumented manager.
+    pub(crate) checkpoints_saved: Arc<Counter>,
+    /// Corrupt checkpoints quarantined during recovery.
+    pub(crate) checkpoints_quarantined: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    /// Register every serve-layer metric on `registry` and return the shared
+    /// handle set. Idempotent per registry (re-registering returns the same
+    /// underlying metrics).
+    pub fn register(registry: &MetricsRegistry) -> Arc<Self> {
+        let cache = |name: &str, which: &str| registry.counter_with(name, &[("cache", which)]);
+        Arc::new(Self {
+            cache_hits: cache("nsc_serve_cache_hits_total", "topk"),
+            cache_misses: cache("nsc_serve_cache_misses_total", "topk"),
+            cache_evictions: cache("nsc_serve_cache_evictions_total", "topk"),
+            cache_rejections: cache("nsc_serve_cache_rejections_total", "topk"),
+            score_hits: cache("nsc_serve_cache_hits_total", "score"),
+            score_misses: cache("nsc_serve_cache_misses_total", "score"),
+            score_evictions: cache("nsc_serve_cache_evictions_total", "score"),
+            score_rejections: cache("nsc_serve_cache_rejections_total", "score"),
+            stale_invalidations: registry.counter("nsc_serve_stale_invalidations_total"),
+            topk_compute_us: registry.histogram("nsc_serve_topk_compute_us"),
+            checkpoint_save_us: registry.histogram("nsc_serve_checkpoint_save_us"),
+            checkpoint_recover_us: registry.histogram("nsc_serve_checkpoint_recover_us"),
+            checkpoints_saved: registry.counter("nsc_serve_checkpoints_saved_total"),
+            checkpoints_quarantined: registry.counter("nsc_serve_checkpoints_quarantined_total"),
+        })
+    }
+
+    /// Bridge the engine's cumulative cache counters onto the registry
+    /// (scrape-time only — the hot path never calls this).
+    pub fn bridge(&self, topk: &CacheStats, score: Option<&CacheStats>) {
+        self.cache_hits.store(topk.hits);
+        self.cache_misses.store(topk.misses);
+        self.cache_evictions.store(topk.evictions);
+        self.cache_rejections.store(topk.rejections);
+        if let Some(s) = score {
+            self.score_hits.store(s.hits);
+            self.score_misses.store(s.misses);
+            self.score_evictions.store(s.evictions);
+            self.score_rejections.store(s.rejections);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_bridge_lands_on_the_registry() {
+        let registry = MetricsRegistry::new();
+        let a = ServeMetrics::register(&registry);
+        let b = ServeMetrics::register(&registry);
+        a.stale_invalidations.inc();
+        assert_eq!(b.stale_invalidations.get(), 1, "same underlying counters");
+
+        a.bridge(
+            &CacheStats {
+                hits: 10,
+                misses: 4,
+                evictions: 2,
+                rejections: 1,
+            },
+            None,
+        );
+        assert_eq!(
+            registry.counter_value("nsc_serve_cache_hits_total", &[("cache", "topk")]),
+            Some(10)
+        );
+        assert_eq!(
+            registry.counter_value("nsc_serve_cache_hits_total", &[("cache", "score")]),
+            Some(0),
+            "score cache counters exist (and stay 0) even when disabled"
+        );
+    }
+}

@@ -110,6 +110,7 @@ pub mod instrument;
 pub mod pool;
 pub mod pretrain;
 pub mod snapshots;
+pub mod telemetry;
 pub mod trainer;
 
 pub use batcher::Batcher;
@@ -119,4 +120,5 @@ pub use instrument::{EpochStats, RepeatTracker};
 pub use pool::WorkerPool;
 pub use pretrain::pretrain_model;
 pub use snapshots::{Snapshot, TrainingHistory};
+pub use telemetry::TrainMetrics;
 pub use trainer::{Trainer, TrainerState, SHARD_STREAM_TAG};

@@ -10,6 +10,7 @@ use crate::data::TrainData;
 use crate::instrument::{EpochAccumulator, EpochStats, RepeatTracker};
 use crate::pool::WorkerPool;
 use crate::snapshots::{Snapshot, TrainingHistory};
+use crate::telemetry::{EpochPhaseAcc, TrainMetrics};
 use nscaching::{NegativeSampler, SampledNegative, SamplerState, ShardSampler};
 use nscaching_eval::{evaluate_link_prediction, EvalProtocol, LinkPredictionReport};
 use nscaching_kg::{FilterIndex, Triple};
@@ -169,6 +170,9 @@ pub struct Trainer {
     shard_outputs_prev: Vec<ShardOutput>,
     /// Per-shard positive lists of the parallel engine's batch partition.
     shard_tasks: Vec<Vec<Triple>>,
+    /// Attached telemetry handles; `None` (the default) means every timer
+    /// site is skipped — zero clock reads, zero overhead.
+    metrics: Option<Arc<TrainMetrics>>,
 }
 
 impl Trainer {
@@ -220,7 +224,22 @@ impl Trainer {
             shard_outputs: Vec::new(),
             shard_outputs_prev: Vec::new(),
             shard_tasks: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach telemetry handles ([`TrainMetrics::register`]): per-phase
+    /// batch timers, the pipeline overlap and shard-imbalance gauges, and
+    /// the per-epoch [`EpochStats`] bridge. Training trajectories are
+    /// bit-identical with and without metrics attached — instrumentation
+    /// only reads clocks and counters.
+    pub fn attach_metrics(&mut self, metrics: Arc<TrainMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached telemetry handles, if any.
+    pub fn metrics(&self) -> Option<&Arc<TrainMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The model being trained.
@@ -340,7 +359,9 @@ impl Trainer {
         // value (16 bytes each), so no borrow is held across the loop body
         // and the training split is never cloned.
         self.batcher.shuffle(&mut self.rng);
+        let metrics = self.metrics.clone();
         for batch in 0..self.batcher.batches_per_epoch() {
+            let batch_started = metrics.as_ref().map(|_| Instant::now());
             grads.clear();
             for index in self.batcher.batch_range(batch) {
                 let positive = &self.batcher.get(index);
@@ -386,16 +407,25 @@ impl Trainer {
                     .update(positive, self.model.as_ref(), &mut self.rng);
             }
 
+            let apply_started = metrics.as_ref().map(|_| Instant::now());
             if !grads.is_empty() {
                 acc.record_batch_gradient(grads.norm());
                 self.optimizer.step(self.model.as_mut(), &mut grads);
                 self.model.apply_constraints(grads.touched());
             }
+            if let (Some(metrics), Some(batch_started), Some(apply_started)) =
+                (&metrics, batch_started, apply_started)
+            {
+                metrics
+                    .phase_sample_score
+                    .observe(apply_started - batch_started);
+                metrics.phase_apply.observe(apply_started.elapsed());
+            }
         }
 
         grads.clear();
         self.grads = grads;
-        self.finish_epoch(acc, started)
+        self.finish_epoch(acc, started, EpochPhaseAcc::default(), 1)
     }
 
     /// The parallel pipeline: shard → parallel sample/score/grad → ordered
@@ -433,9 +463,12 @@ impl Trainer {
         let mut outputs = std::mem::take(&mut self.shard_outputs);
         outputs.resize_with(shards, ShardOutput::default);
 
+        let metrics = self.metrics.clone();
+        let mut phase_acc = EpochPhaseAcc::default();
         for batch in 0..self.batcher.batches_per_epoch() {
             // Stage 1 — shard: partition the mini-batch by cache key,
             // preserving batch order within each shard.
+            let shard_started = metrics.as_ref().map(|_| Instant::now());
             for task in &mut tasks {
                 task.clear();
             }
@@ -443,6 +476,14 @@ impl Trainer {
                 let positive = self.batcher.get(index);
                 tasks[self.sampler.shard_of(&positive, shards)].push(positive);
             }
+            let score_started = if let (Some(metrics), Some(started)) = (&metrics, shard_started) {
+                metrics.phase_shard.observe(started.elapsed());
+                phase_acc.max_shard += tasks.iter().map(Vec::len).max().unwrap_or(0) as u64;
+                phase_acc.total_positives += tasks.iter().map(Vec::len).sum::<usize>() as u64;
+                Some(Instant::now())
+            } else {
+                None
+            };
 
             // Stage 2 — parallel sample/score/grad: one pool round per
             // mini-batch, shard `i` on worker `i`, each job owning its
@@ -479,6 +520,7 @@ impl Trainer {
                     });
                 pool.run_round(jobs);
             }
+            let merge_started = metrics.as_ref().map(|_| Instant::now());
             // Workers have been dropped; fold buffered sampler feedback (GAN
             // generator REINFORCE) back in, in shard order.
             self.sampler.merge_batch();
@@ -501,10 +543,20 @@ impl Trainer {
             }
 
             // Stage 4 — apply: one optimizer step per mini-batch.
+            let apply_started = metrics.as_ref().map(|_| Instant::now());
             if !grads.is_empty() {
                 acc.record_batch_gradient(grads.norm());
                 self.optimizer.step(self.model.as_mut(), &mut grads);
                 self.model.apply_constraints(grads.touched());
+            }
+            if let (Some(metrics), Some(score_started), Some(merge_started), Some(apply_started)) =
+                (&metrics, score_started, merge_started, apply_started)
+            {
+                metrics
+                    .phase_sample_score
+                    .observe(merge_started - score_started);
+                metrics.phase_merge.observe(apply_started - merge_started);
+                metrics.phase_apply.observe(apply_started.elapsed());
             }
         }
 
@@ -512,7 +564,7 @@ impl Trainer {
         self.grads = grads;
         self.shard_tasks = tasks;
         self.shard_outputs = outputs;
-        self.finish_epoch(acc, started)
+        self.finish_epoch(acc, started, phase_acc, shards)
     }
 
     /// The double-buffered pipelined engine ([`TrainRuntime::Pipelined`]):
@@ -598,9 +650,12 @@ impl Trainer {
         // drain so phase 4 can re-sync exactly those shadow rows.
         let mut stale_rows: Vec<(TableId, usize)> = Vec::new();
 
+        let metrics = self.metrics.clone();
+        let mut phase_acc = EpochPhaseAcc::default();
         for batch in 0..self.batcher.batches_per_epoch() {
             // Partition mini-batch `k` by cache key (same as the pooled
             // engine; `shard_of` is a pure function of the triple).
+            let shard_started = metrics.as_ref().map(|_| Instant::now());
             for task in &mut tasks {
                 task.clear();
             }
@@ -608,6 +663,14 @@ impl Trainer {
                 let positive = self.batcher.get(index);
                 tasks[self.sampler.shard_of(&positive, shards)].push(positive);
             }
+            let round_started = if let (Some(metrics), Some(started)) = (&metrics, shard_started) {
+                metrics.phase_shard.observe(started.elapsed());
+                phase_acc.max_shard += tasks.iter().map(Vec::len).max().unwrap_or(0) as u64;
+                phase_acc.total_positives += tasks.iter().map(Vec::len).sum::<usize>() as u64;
+                Some(Instant::now())
+            } else {
+                None
+            };
 
             let shadow_model = shadow.as_ref();
             let loss = self.loss.as_ref();
@@ -624,6 +687,8 @@ impl Trainer {
                 let grads = &mut grads;
                 let stale_rows = &mut stale_rows;
                 let prev = &mut prev_outputs;
+                let metrics_ref = metrics.as_deref();
+                let phase_acc = &mut phase_acc;
                 let mut workers = self.sampler.shard_workers();
                 debug_assert_eq!(workers.len(), shards, "one worker per shard");
                 let jobs = workers
@@ -650,6 +715,7 @@ impl Trainer {
                 // Phases 1 + 2: batch `k` samples against the shadow on the
                 // pool while batch `k − 1` merges and steps on this thread.
                 pool.overlap_round(jobs, || {
+                    let drain_started = metrics_ref.map(|_| Instant::now());
                     Self::drain_batch(
                         prev,
                         grads,
@@ -658,8 +724,17 @@ impl Trainer {
                         model.as_mut(),
                         optimizer.as_mut(),
                         Some(stale_rows),
+                        metrics_ref,
                     );
+                    if let Some(started) = drain_started {
+                        phase_acc.overlap_main_us += started.elapsed().as_micros() as u64;
+                    }
                 });
+            }
+            if let (Some(metrics), Some(started)) = (&metrics, round_started) {
+                let elapsed = started.elapsed();
+                metrics.phase_sample_score.observe(elapsed);
+                phase_acc.overlap_round_us += elapsed.as_micros() as u64;
             }
             // Phase 3 — Algorithm 2, step 8 for batch `k`: the workers'
             // buffered cache/feedback updates land before batch `k`'s own
@@ -691,6 +766,7 @@ impl Trainer {
             self.model.as_mut(),
             self.optimizer.as_mut(),
             None,
+            metrics.as_deref(),
         );
 
         grads.clear();
@@ -698,7 +774,7 @@ impl Trainer {
         self.shard_tasks = tasks;
         self.shard_outputs = outputs;
         self.shard_outputs_prev = prev_outputs;
-        self.finish_epoch(acc, started)
+        self.finish_epoch(acc, started, phase_acc, shards)
     }
 
     /// The *staged* reference implementation of the pipelined engine: the
@@ -732,7 +808,10 @@ impl Trainer {
         prev_outputs.resize_with(shards, ShardOutput::default);
         let mut stale_rows: Vec<(TableId, usize)> = Vec::new();
 
+        let metrics = self.metrics.clone();
+        let mut phase_acc = EpochPhaseAcc::default();
         for batch in 0..self.batcher.batches_per_epoch() {
+            let shard_started = metrics.as_ref().map(|_| Instant::now());
             for task in &mut tasks {
                 task.clear();
             }
@@ -740,6 +819,14 @@ impl Trainer {
                 let positive = self.batcher.get(index);
                 tasks[self.sampler.shard_of(&positive, shards)].push(positive);
             }
+            let score_started = if let (Some(metrics), Some(started)) = (&metrics, shard_started) {
+                metrics.phase_shard.observe(started.elapsed());
+                phase_acc.max_shard += tasks.iter().map(Vec::len).max().unwrap_or(0) as u64;
+                phase_acc.total_positives += tasks.iter().map(Vec::len).sum::<usize>() as u64;
+                Some(Instant::now())
+            } else {
+                None
+            };
 
             // Phase 1, staged: batch `k` against the shadow, shard by shard.
             {
@@ -760,6 +847,9 @@ impl Trainer {
                     );
                 }
             }
+            if let (Some(metrics), Some(started)) = (&metrics, score_started) {
+                metrics.phase_sample_score.observe(started.elapsed());
+            }
             // Phase 2, staged: batch `k − 1` merges and steps.
             Self::drain_batch(
                 &mut prev_outputs,
@@ -769,6 +859,7 @@ impl Trainer {
                 self.model.as_mut(),
                 self.optimizer.as_mut(),
                 Some(&mut stale_rows),
+                metrics.as_deref(),
             );
             // Phases 3 + 4: identical to the overlapped engine.
             self.sampler.merge_batch();
@@ -791,6 +882,7 @@ impl Trainer {
             self.model.as_mut(),
             self.optimizer.as_mut(),
             None,
+            metrics.as_deref(),
         );
 
         grads.clear();
@@ -798,7 +890,7 @@ impl Trainer {
         self.shard_tasks = tasks;
         self.shard_outputs = outputs;
         self.shard_outputs_prev = prev_outputs;
-        self.finish_epoch(acc, started)
+        self.finish_epoch(acc, started, phase_acc, shards)
     }
 
     /// Stages 3 + 4 of the parallel engine (ordered merge + apply), hoisted
@@ -806,6 +898,7 @@ impl Trainer {
     /// engine can run it as `overlap_round` main work against a capture set
     /// disjoint from the pool jobs'. When `stale_rows` is given, the rows
     /// the step touched are appended for the caller's shadow re-sync.
+    #[allow(clippy::too_many_arguments)]
     fn drain_batch(
         outputs: &mut [ShardOutput],
         grads: &mut GradientArena,
@@ -814,7 +907,9 @@ impl Trainer {
         model: &mut dyn KgeModel,
         optimizer: &mut dyn Optimizer,
         stale_rows: Option<&mut Vec<(TableId, usize)>>,
+        metrics: Option<&TrainMetrics>,
     ) {
+        let merge_started = metrics.map(|_| Instant::now());
         grads.clear();
         for out in outputs.iter_mut() {
             for &(example_loss, nonzero) in &out.examples {
@@ -828,6 +923,7 @@ impl Trainer {
             grads.merge(&mut out.grads);
             out.grads.clear();
         }
+        let apply_started = metrics.map(|_| Instant::now());
         if !grads.is_empty() {
             acc.record_batch_gradient(grads.norm());
             optimizer.step(model, grads);
@@ -836,16 +932,35 @@ impl Trainer {
                 stale_rows.extend_from_slice(grads.touched());
             }
         }
+        if let (Some(metrics), Some(merge_started), Some(apply_started)) =
+            (metrics, merge_started, apply_started)
+        {
+            metrics.phase_merge.observe(apply_started - merge_started);
+            metrics.phase_apply.observe(apply_started.elapsed());
+        }
     }
 
-    /// Epoch epilogue shared by both pipelines: close out the statistics and
-    /// notify the sampler.
-    fn finish_epoch(&mut self, acc: EpochAccumulator, started: Instant) -> EpochStats {
+    /// Epoch epilogue shared by both pipelines: close out the statistics,
+    /// fold the phase accumulators into the derived gauges, publish the
+    /// epoch onto the metrics registry (when attached) and notify the
+    /// sampler.
+    fn finish_epoch(
+        &mut self,
+        acc: EpochAccumulator,
+        started: Instant,
+        phase: EpochPhaseAcc,
+        shards: usize,
+    ) -> EpochStats {
         let seconds = started.elapsed().as_secs_f64();
         self.train_seconds += seconds;
         let repeat_ratio = self.repeat_tracker.ratio();
         let changed = self.sampler.take_changed_elements();
         let stats = acc.finish(self.epochs_done, repeat_ratio, changed, seconds);
+        if let Some(metrics) = &self.metrics {
+            metrics.shard_imbalance.set(phase.imbalance(shards));
+            metrics.overlap_ratio.set(phase.overlap());
+            metrics.publish_epoch(&stats);
+        }
 
         self.sampler.epoch_finished(self.epochs_done);
         self.repeat_tracker.end_epoch();

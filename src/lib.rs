@@ -17,7 +17,9 @@
 //! * [`eval`] — link prediction and triplet classification protocols;
 //! * [`serve`] — checkpoint store and online link-prediction serving engine;
 //! * [`net`] — fault-tolerant TCP front door (wire protocol, server, client,
-//!   fault-injection harness).
+//!   fault-injection harness);
+//! * [`obs`] — unified observability core (counters, gauges, latency
+//!   histograms, metrics registry with text exposition).
 //!
 //! See the `examples/` directory for end-to-end usage, starting with
 //! `examples/quickstart.rs` (training) and `examples/serve_queries.rs`
@@ -30,6 +32,7 @@ pub use nscaching_kg as kg;
 pub use nscaching_math as math;
 pub use nscaching_models as models;
 pub use nscaching_net as net;
+pub use nscaching_obs as obs;
 pub use nscaching_optim as optim;
 pub use nscaching_serve as serve;
 pub use nscaching_train as train;
